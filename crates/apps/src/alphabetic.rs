@@ -1,0 +1,324 @@
+//! Optimal alphabetic binary codes — the tree-construction family of the
+//! paper's \[AKL+89\] citation ("Atallah, Kosaraju, Larmore, Miller, and
+//! Teng have used Monge-composite arrays to construct Huffman and other
+//! such codes on CRCW- and CREW-PRAMs").
+//!
+//! Given weights `w_1 … w_n` in fixed left-to-right order, find a binary
+//! tree with the weights at its leaves *in that order* minimizing
+//! `Σ w_i · depth_i` (an optimal alphabetic code). Three algorithms:
+//!
+//! * [`alphabetic_dp`] — the quadrangle-inequality dynamic program
+//!   (the leaf-only sibling of Knuth–Yao OBST), `O(n²)`;
+//! * [`alphabetic_dp_cubic`] — the unwindowed `O(n³)` oracle;
+//! * [`garsia_wachs`] — the Garsia–Wachs algorithm, `O(n²)` in this
+//!   simple-list form (`O(n lg n)` with better structures): combine the
+//!   leftmost *locally minimal* pair, reinsert the merged weight behind
+//!   the nearest larger predecessor, read off optimal depths, and
+//!   rebuild an alphabetic tree from the depth sequence.
+//!
+//! Plus [`huffman_cost`], the unordered lower bound every alphabetic
+//! code must dominate.
+
+/// `O(n²)` optimal alphabetic cost via the QI-windowed dynamic program.
+pub fn alphabetic_dp(w: &[f64]) -> f64 {
+    dp(w, true)
+}
+
+/// `O(n³)` oracle.
+pub fn alphabetic_dp_cubic(w: &[f64]) -> f64 {
+    dp(w, false)
+}
+
+fn dp(w: &[f64], windowed: bool) -> f64 {
+    let n = w.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut prefix = vec![0.0f64; n + 1];
+    for (k, &x) in w.iter().enumerate() {
+        prefix[k + 1] = prefix[k] + x;
+    }
+    let wsum = |i: usize, j: usize| prefix[j] - prefix[i];
+    let at = |i: usize, j: usize| i * (n + 1) + j;
+    let mut cost = vec![0.0f64; (n + 1) * (n + 1)];
+    let mut split = vec![0usize; (n + 1) * (n + 1)];
+    for i in 0..n {
+        split[at(i, i + 1)] = i + 1;
+    }
+    for len in 2..=n {
+        for i in 0..=(n - len) {
+            let j = i + len;
+            let (lo, hi) = if windowed {
+                (
+                    split[at(i, j - 1)].max(i + 1),
+                    split[at(i + 1, j)].min(j - 1).max(i + 1),
+                )
+            } else {
+                (i + 1, j - 1)
+            };
+            let mut best = f64::INFINITY;
+            let mut best_r = lo;
+            for r in lo..=hi {
+                let c = cost[at(i, r)] + cost[at(r, j)];
+                if c < best {
+                    best = c;
+                    best_r = r;
+                }
+            }
+            cost[at(i, j)] = best + wsum(i, j);
+            split[at(i, j)] = best_r;
+        }
+    }
+    cost[at(0, n)]
+}
+
+/// Optimal alphabetic depths and total cost by Garsia–Wachs.
+///
+/// ```
+/// use monge_apps::alphabetic::{alphabetic_dp, garsia_wachs};
+///
+/// // Heavy outer weights: the optimal code keeps them shallow (cost 15)
+/// // rather than balancing everything at depth 2 (cost 16).
+/// let w = [3.0, 1.0, 1.0, 3.0];
+/// let (cost, depths) = garsia_wachs(&w);
+/// assert_eq!(cost, 15.0);
+/// assert_eq!(cost, alphabetic_dp(&w));
+/// assert_eq!(depths.iter().filter(|&&d| d == 3).count(), 2); // the two light leaves
+/// ```
+pub fn garsia_wachs(w: &[f64]) -> (f64, Vec<usize>) {
+    let n = w.len();
+    if n == 0 {
+        return (0.0, Vec::new());
+    }
+    if n == 1 {
+        return (0.0, vec![0]);
+    }
+    // Working list of (weight, merge-tree node id); node ids 0..n are the
+    // leaves in order, merges append new nodes.
+    #[derive(Clone, Copy)]
+    struct Item {
+        weight: f64,
+        node: usize,
+    }
+    let mut list: Vec<Item> = w
+        .iter()
+        .enumerate()
+        .map(|(k, &x)| Item { weight: x, node: k })
+        .collect();
+    let mut children: Vec<Option<(usize, usize)>> = vec![None; n];
+
+    while list.len() > 1 {
+        // Leftmost locally minimal pair: smallest i with
+        // list[i-1].weight <= list[i+1].weight (sentinels = +inf).
+        let len = list.len();
+        let get = |list: &Vec<Item>, k: isize| -> f64 {
+            if k < 0 || k as usize >= len {
+                f64::INFINITY
+            } else {
+                list[k as usize].weight
+            }
+        };
+        let mut i = 1usize;
+        while i < len {
+            if get(&list, i as isize - 1) <= get(&list, i as isize + 1) {
+                break;
+            }
+            i += 1;
+        }
+        if i == len {
+            i = len - 1; // combine the last pair
+        }
+        let a = list[i - 1];
+        let b = list[i];
+        let merged = Item {
+            weight: a.weight + b.weight,
+            node: children.len(),
+        };
+        children.push(Some((a.node, b.node)));
+        list.drain(i - 1..=i);
+        // Reinsert just after the nearest preceding element whose weight
+        // is >= merged (Garsia–Wachs's key move).
+        let mut pos = i - 1;
+        while pos > 0 && list[pos - 1].weight < merged.weight {
+            pos -= 1;
+        }
+        list.insert(pos, merged);
+    }
+
+    // Depths of the original leaves in the merge tree.
+    let mut depth = vec![0usize; children.len()];
+    // Children appear before parents in `children` (ids increase), so a
+    // reverse sweep propagates depths top-down.
+    for id in (0..children.len()).rev() {
+        if let Some((l, r)) = children[id] {
+            depth[l] = depth[id] + 1;
+            depth[r] = depth[id] + 1;
+        }
+    }
+    let leaf_depths: Vec<usize> = depth[..n].to_vec();
+    let cost = w
+        .iter()
+        .zip(&leaf_depths)
+        .map(|(&x, &d)| x * d as f64)
+        .sum();
+    (cost, leaf_depths)
+}
+
+/// Rebuilds an explicit alphabetic tree from a (valid) leaf-depth
+/// sequence; returns `parent`-style arrays for inspection. Returns
+/// `None` when the depths do not describe a binary tree (Kraft sum ≠ 1).
+pub fn tree_from_depths(depths: &[usize]) -> Option<Vec<(usize, usize)>> {
+    // Stack-based construction: push leaves left to right; whenever the
+    // two top entries have equal depth, merge them into an internal node
+    // of depth-1. Node encoding: (id, depth); internal nodes get fresh
+    // ids after the leaves.
+    let n = depths.len();
+    if n == 0 {
+        return Some(Vec::new());
+    }
+    let mut next_id = n;
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+    let mut edges: Vec<(usize, usize)> = Vec::new(); // (parent, child)
+    for (leaf, &d) in depths.iter().enumerate() {
+        stack.push((leaf, d));
+        while stack.len() >= 2 {
+            let (b, db) = stack[stack.len() - 1];
+            let (a, da) = stack[stack.len() - 2];
+            if da == db && da > 0 {
+                stack.truncate(stack.len() - 2);
+                let p = next_id;
+                next_id += 1;
+                edges.push((p, a));
+                edges.push((p, b));
+                stack.push((p, da - 1));
+            } else {
+                break;
+            }
+        }
+    }
+    if stack.len() == 1 && stack[0].1 == 0 {
+        Some(edges)
+    } else {
+        None
+    }
+}
+
+/// Huffman (unordered) optimal cost: the lower bound for any alphabetic
+/// code over the same weights.
+pub fn huffman_cost(w: &[f64]) -> f64 {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    if w.len() <= 1 {
+        return 0.0;
+    }
+    // f64 is not Ord; weights are non-negative, compare via bits of the
+    // scaled value is overkill — use a total order wrapper.
+    #[derive(PartialEq)]
+    struct F(f64);
+    impl Eq for F {}
+    impl PartialOrd for F {
+        fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(o))
+        }
+    }
+    impl Ord for F {
+        fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+            self.0.partial_cmp(&o.0).expect("no NaN weights")
+        }
+    }
+    let mut heap: BinaryHeap<Reverse<F>> = w.iter().map(|&x| Reverse(F(x))).collect();
+    let mut total = 0.0;
+    while heap.len() > 1 {
+        let a = heap.pop().unwrap().0 .0;
+        let b = heap.pop().unwrap().0 .0;
+        total += a + b;
+        heap.push(Reverse(F(a + b)));
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn dp_windowed_matches_cubic() {
+        let mut rng = StdRng::seed_from_u64(240);
+        for n in [1usize, 2, 3, 7, 20, 50] {
+            let w: Vec<f64> = (0..n).map(|_| rng.random_range(0.01..5.0)).collect();
+            assert!(
+                (alphabetic_dp(&w) - alphabetic_dp_cubic(&w)).abs() < 1e-9,
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn garsia_wachs_matches_dp() {
+        let mut rng = StdRng::seed_from_u64(241);
+        for n in [1usize, 2, 3, 4, 8, 17, 40, 100] {
+            let w: Vec<f64> = (0..n).map(|_| rng.random_range(0.01..5.0)).collect();
+            let (gw, _) = garsia_wachs(&w);
+            let dp = alphabetic_dp(&w);
+            assert!((gw - dp).abs() < 1e-7, "n={n}: GW {gw} vs DP {dp}");
+        }
+    }
+
+    #[test]
+    fn depths_form_a_valid_tree() {
+        let mut rng = StdRng::seed_from_u64(242);
+        for n in [1usize, 2, 5, 30, 80] {
+            let w: Vec<f64> = (0..n).map(|_| rng.random_range(0.01..5.0)).collect();
+            let (_, depths) = garsia_wachs(&w);
+            let edges = tree_from_depths(&depths);
+            assert!(edges.is_some(), "n={n}: depths {depths:?} not a tree");
+            // Kraft equality for full binary trees.
+            let kraft: f64 = depths.iter().map(|&d| 0.5f64.powi(d as i32)).sum();
+            assert!((kraft - 1.0).abs() < 1e-9 || n == 1, "n={n} kraft {kraft}");
+        }
+    }
+
+    #[test]
+    fn alphabetic_dominates_huffman() {
+        let mut rng = StdRng::seed_from_u64(243);
+        for _ in 0..20 {
+            let n = rng.random_range(2..60);
+            let w: Vec<f64> = (0..n).map(|_| rng.random_range(0.01..5.0)).collect();
+            let (gw, _) = garsia_wachs(&w);
+            let hf = huffman_cost(&w);
+            assert!(gw >= hf - 1e-9, "alphabetic {gw} below Huffman {hf}");
+        }
+    }
+
+    #[test]
+    fn sorted_weights_make_them_equal() {
+        // For non-decreasing weights, an optimal Huffman tree can be made
+        // alphabetic (sibling property), so the costs coincide.
+        let w: Vec<f64> = (1..=16).map(|k| k as f64).collect();
+        let (gw, _) = garsia_wachs(&w);
+        let hf = huffman_cost(&w);
+        assert!((gw - hf).abs() < 1e-9, "{gw} vs {hf}");
+    }
+
+    #[test]
+    fn known_tiny_cases() {
+        // Two leaves: one level each.
+        let (c, d) = garsia_wachs(&[3.0, 5.0]);
+        assert_eq!(d, vec![1, 1]);
+        assert!((c - 8.0).abs() < 1e-12);
+        // Balanced four.
+        let (c4, d4) = garsia_wachs(&[1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(d4, vec![2, 2, 2, 2]);
+        assert!((c4 - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_depths_rejected() {
+        assert!(tree_from_depths(&[1, 1, 1]).is_none());
+        assert!(tree_from_depths(&[2, 2, 1]).is_some());
+        assert!(tree_from_depths(&[1, 2, 2]).is_some());
+        assert!(tree_from_depths(&[3, 3, 3]).is_none());
+    }
+}

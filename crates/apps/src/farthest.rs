@@ -1,0 +1,218 @@
+//! The paper's motivating example (Figure 1.1): farthest neighbors across
+//! the two chains of a convex polygon, and the all-farthest-neighbors
+//! problem it powers (\[AKM+87\]'s application).
+//!
+//! Split a convex polygon's counterclockwise vertex sequence into chains
+//! `P = p_1 … p_m` and `Q = q_1 … q_n`. For `i < k` and `j < l`, the
+//! quadrilateral `p_i p_k q_j q_l` is convex in that cyclic order, so the
+//! quadrangle inequality gives
+//! `d(p_i,q_j) + d(p_k,q_l) ≥ d(p_i,q_l) + d(p_k,q_j)` — the inter-chain
+//! distance array is **inverse-Monge**, and one row-maxima computation
+//! answers every vertex's farthest cross-chain neighbor in `Θ(m + n)`
+//! sequential time (\[AKM+87\]) or polylog parallel time.
+
+use crate::geometry::Point;
+use monge_core::array2d::FnArray;
+use monge_core::smawk::row_maxima_inverse_monge;
+use monge_core::Array2d;
+use monge_parallel::rayon_monge::par_row_maxima_inverse_monge;
+
+/// The inverse-Monge cross-chain distance array of Figure 1.1.
+///
+/// `P` and `Q` must be consecutive counterclockwise chains of one convex
+/// polygon (i.e. `p_1 … p_m q_1 … q_n` is the ccw vertex order).
+pub fn chain_distance_array<'a>(
+    p: &'a [Point],
+    q: &'a [Point],
+) -> FnArray<impl Fn(usize, usize) -> f64 + 'a> {
+    FnArray::new(p.len(), q.len(), move |i: usize, j: usize| p[i].dist(q[j]))
+}
+
+/// For every vertex of `P`, its farthest vertex of `Q` (index into `Q`),
+/// sequential SMAWK, `Θ(m + n)`.
+pub fn farthest_across_chains(p: &[Point], q: &[Point]) -> Vec<usize> {
+    assert!(!p.is_empty() && !q.is_empty());
+    let a = chain_distance_array(p, q);
+    debug_assert!(monge_core::monge::is_inverse_monge(&a));
+    row_maxima_inverse_monge(&a).index
+}
+
+/// Parallel (rayon) version of [`farthest_across_chains`].
+pub fn par_farthest_across_chains(p: &[Point], q: &[Point]) -> Vec<usize> {
+    assert!(!p.is_empty() && !q.is_empty());
+    let a = chain_distance_array(p, q);
+    par_row_maxima_inverse_monge(&a).index
+}
+
+/// Brute-force oracle, `O(mn)`.
+pub fn farthest_across_chains_brute(p: &[Point], q: &[Point]) -> Vec<usize> {
+    p.iter()
+        .map(|&pt| {
+            let mut best = 0usize;
+            let mut best_d = pt.dist(q[0]);
+            for (j, &qt) in q.iter().enumerate().skip(1) {
+                let d = pt.dist(qt);
+                if d > best_d {
+                    best = j;
+                    best_d = d;
+                }
+            }
+            best
+        })
+        .collect()
+}
+
+/// All-farthest-neighbors of a convex polygon: for every vertex, the
+/// index of the farthest other vertex. Divide & conquer over chain
+/// splits: cross-chain queries are Monge searches (`Θ(m+n)` each), and
+/// same-chain queries recurse — `O(n lg n)` total, against the `O(n²)`
+/// brute force.
+pub fn all_farthest_neighbors(poly: &[Point]) -> Vec<usize> {
+    let n = poly.len();
+    assert!(n >= 2);
+    let idx: Vec<usize> = (0..n).collect();
+    let mut best: Vec<Option<(f64, usize)>> = vec![None; n];
+    rec(poly, &idx, &mut best);
+    best.into_iter().map(|b| b.expect("filled").1).collect()
+}
+
+fn rec(poly: &[Point], chain: &[usize], best: &mut [Option<(f64, usize)>]) {
+    let n = chain.len();
+    if n < 2 {
+        return;
+    }
+    if n <= 4 {
+        for (a, &i) in chain.iter().enumerate() {
+            for &j in chain.iter().skip(a + 1) {
+                let d = poly[i].dist(poly[j]);
+                merge(&mut best[i], d, j);
+                merge(&mut best[j], d, i);
+            }
+        }
+        return;
+    }
+    let (p, q) = chain.split_at(n / 2);
+    // Cross-chain farthest via the inverse-Monge array (both directions).
+    let pa = FnArray::new(p.len(), q.len(), |i: usize, j: usize| poly[p[i]].dist(poly[q[j]]));
+    let fq = row_maxima_inverse_monge(&pa).index;
+    for (i, &j) in fq.iter().enumerate() {
+        let d = pa.entry(i, j);
+        merge(&mut best[p[i]], d, q[j]);
+        merge(&mut best[q[j]], d, p[i]);
+    }
+    // The transposed search catches Q-vertices whose farthest P-vertex
+    // was not some P-vertex's farthest Q-vertex. (Q followed by P is
+    // also a consecutive ccw chain pair, so this array is inverse-Monge
+    // too.)
+    let qa = FnArray::new(q.len(), p.len(), |j: usize, i: usize| poly[q[j]].dist(poly[p[i]]));
+    let fp = row_maxima_inverse_monge(&qa).index;
+    for (j, &i) in fp.iter().enumerate() {
+        let d = qa.entry(j, i);
+        merge(&mut best[q[j]], d, p[i]);
+    }
+    rec(poly, p, best);
+    rec(poly, q, best);
+}
+
+fn merge(slot: &mut Option<(f64, usize)>, d: f64, j: usize) {
+    match slot {
+        None => *slot = Some((d, j)),
+        Some((bd, bj)) => {
+            if d > *bd || (d == *bd && j < *bj) {
+                *slot = Some((d, j));
+            }
+        }
+    }
+}
+
+/// Brute-force all-farthest oracle, `O(n²)`.
+pub fn all_farthest_neighbors_brute(poly: &[Point]) -> Vec<usize> {
+    let n = poly.len();
+    (0..n)
+        .map(|i| {
+            let mut best = usize::MAX;
+            let mut best_d = f64::NEG_INFINITY;
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let d = poly[i].dist(poly[j]);
+                if d > best_d {
+                    best = j;
+                    best_d = d;
+                }
+            }
+            best
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::ConvexPolygon;
+    use monge_core::monge::is_inverse_monge;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn chains(n: usize, m: usize, seed: u64) -> (Vec<Point>, Vec<Point>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let poly = ConvexPolygon::random(n + m, 0.0, 0.0, 100.0, &mut rng);
+        let p = poly.vertices[..m].to_vec();
+        let q = poly.vertices[m..].to_vec();
+        (p, q)
+    }
+
+    #[test]
+    fn chain_array_is_inverse_monge() {
+        for seed in 0..10 {
+            let (p, q) = chains(30, 13, seed);
+            let a = chain_distance_array(&p, &q);
+            assert!(is_inverse_monge(&a), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn farthest_matches_brute() {
+        for seed in 0..20 {
+            let (p, q) = chains(24, 11, seed);
+            assert_eq!(
+                farthest_across_chains(&p, &q),
+                farthest_across_chains_brute(&p, &q),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let (p, q) = chains(64, 40, 77);
+        assert_eq!(
+            par_farthest_across_chains(&p, &q),
+            farthest_across_chains(&p, &q)
+        );
+    }
+
+    #[test]
+    fn all_farthest_matches_brute() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for n in [4usize, 7, 16, 33, 64] {
+            let poly = ConvexPolygon::random(n, 0.0, 0.0, 50.0, &mut rng);
+            let got = all_farthest_neighbors(&poly.vertices);
+            let want = all_farthest_neighbors_brute(&poly.vertices);
+            // Distances must match (indices may differ on exact ties,
+            // which random real coordinates make measure-zero).
+            for i in 0..n {
+                let dg = poly.vertices[i].dist(poly.vertices[got[i]]);
+                let dw = poly.vertices[i].dist(poly.vertices[want[i]]);
+                assert!((dg - dw).abs() < 1e-9, "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn two_vertex_polygon() {
+        let poly = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)];
+        assert_eq!(all_farthest_neighbors(&poly), vec![1, 0]);
+    }
+}

@@ -1,0 +1,254 @@
+//! Geometric substrate: points, convex polygons, visibility.
+
+use rand::{Rng, RngExt};
+
+/// A point in the plane.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Point {
+    /// x-coordinate.
+    pub x: f64,
+    /// y-coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Constructs a point.
+    pub fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn dist(self, other: Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+/// Twice the signed area of triangle `abc` (positive iff counterclockwise).
+pub fn cross(a: Point, b: Point, c: Point) -> f64 {
+    (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+}
+
+/// A convex polygon with vertices in counterclockwise order.
+#[derive(Clone, Debug)]
+pub struct ConvexPolygon {
+    /// Counterclockwise vertex list.
+    pub vertices: Vec<Point>,
+}
+
+impl ConvexPolygon {
+    /// Wraps a counterclockwise vertex list; debug builds verify
+    /// convexity.
+    pub fn new(vertices: Vec<Point>) -> Self {
+        let p = Self { vertices };
+        debug_assert!(p.is_convex_ccw(), "vertices are not convex ccw");
+        p
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Is the polygon empty?
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// Is the vertex list convex and counterclockwise (allowing collinear
+    /// runs)?
+    pub fn is_convex_ccw(&self) -> bool {
+        let n = self.vertices.len();
+        if n < 3 {
+            return n > 0;
+        }
+        (0..n).all(|i| {
+            cross(
+                self.vertices[i],
+                self.vertices[(i + 1) % n],
+                self.vertices[(i + 2) % n],
+            ) >= -1e-9
+        })
+    }
+
+    /// A random convex polygon: `n` points on a circle of radius `r`
+    /// (sorted random angles), jittered radially while preserving
+    /// convexity margins, centered at `(cx, cy)`.
+    pub fn random(n: usize, cx: f64, cy: f64, r: f64, rng: &mut impl Rng) -> Self {
+        assert!(n >= 3);
+        let mut angles: Vec<f64> = (0..n)
+            .map(|_| rng.random_range(0.0..std::f64::consts::TAU))
+            .collect();
+        angles.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // Points on a circle are always in convex position.
+        let vertices = angles
+            .into_iter()
+            .map(|t| Point::new(cx + r * t.cos(), cy + r * t.sin()))
+            .collect();
+        Self::new(vertices)
+    }
+
+    /// Does the *open* segment `ab` intersect the polygon's interior?
+    ///
+    /// Used by the visibility predicates: a vertex of one polygon sees a
+    /// vertex of another iff the connecting segment meets neither
+    /// polygon's interior. `O(n)` per query (binary-search variants exist;
+    /// the oracle favors simplicity).
+    pub fn segment_crosses_interior(&self, a: Point, b: Point) -> bool {
+        // Sample the open segment against the convex polygon: the segment
+        // crosses the interior iff some strictly interior point of the
+        // segment is strictly inside the polygon. For convex polygons,
+        // clip the segment against every edge half-plane and test whether
+        // a positive-length sub-segment remains strictly inside.
+        let n = self.vertices.len();
+        let (mut t0, mut t1) = (0.0f64, 1.0f64);
+        for i in 0..n {
+            let p = self.vertices[i];
+            let q = self.vertices[(i + 1) % n];
+            // Inside = left of edge pq: cross(p, q, x) >= 0.
+            let fa = cross(p, q, a);
+            let fb = cross(p, q, b);
+            let da = fa;
+            let db = fb;
+            if da < 0.0 && db < 0.0 {
+                return false; // fully outside this half-plane
+            }
+            if da < 0.0 || db < 0.0 {
+                // Clip.
+                let t = da / (da - db);
+                if da < 0.0 {
+                    t0 = t0.max(t);
+                } else {
+                    t1 = t1.min(t);
+                }
+            }
+        }
+        if t0 >= t1 {
+            return false;
+        }
+        // A positive-length piece lies inside the closed polygon; it
+        // crosses the *interior* iff its midpoint is strictly inside.
+        let tm = 0.5 * (t0 + t1);
+        let m = Point::new(a.x + tm * (b.x - a.x), a.y + tm * (b.y - a.y));
+        self.strictly_contains(m)
+    }
+
+    /// Is `p` strictly inside the polygon?
+    pub fn strictly_contains(&self, p: Point) -> bool {
+        let n = self.vertices.len();
+        (0..n).all(|i| cross(self.vertices[i], self.vertices[(i + 1) % n], p) > 1e-9)
+    }
+}
+
+/// Is vertex `q` of polygon `qp` visible from vertex `p` of polygon `pp`?
+/// (The open segment must avoid both interiors; touching boundaries at
+/// the endpoints is allowed.)
+pub fn visible(pp: &ConvexPolygon, p: Point, qp: &ConvexPolygon, q: Point) -> bool {
+    !pp.segment_crosses_interior(p, q) && !qp.segment_crosses_interior(p, q)
+}
+
+/// Axis-parallel rectangle `[x0, x1] × [y0, y1]`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Rect {
+    /// Left edge.
+    pub x0: f64,
+    /// Bottom edge.
+    pub y0: f64,
+    /// Right edge.
+    pub x1: f64,
+    /// Top edge.
+    pub y1: f64,
+}
+
+impl Rect {
+    /// Constructs a rectangle (requires `x0 <= x1`, `y0 <= y1`).
+    pub fn new(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
+        assert!(x0 <= x1 && y0 <= y1);
+        Self { x0, y0, x1, y1 }
+    }
+
+    /// The rectangle's area.
+    pub fn area(&self) -> f64 {
+        (self.x1 - self.x0) * (self.y1 - self.y0)
+    }
+
+    /// Is `p` strictly inside?
+    pub fn strictly_contains(&self, p: Point) -> bool {
+        p.x > self.x0 && p.x < self.x1 && p.y > self.y0 && p.y < self.y1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn square() -> ConvexPolygon {
+        ConvexPolygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.0, 1.0),
+        ])
+    }
+
+    #[test]
+    fn cross_orientation() {
+        assert!(cross(Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(0.0, 1.0)) > 0.0);
+        assert!(cross(Point::new(0.0, 0.0), Point::new(0.0, 1.0), Point::new(1.0, 0.0)) < 0.0);
+    }
+
+    #[test]
+    fn random_polygons_are_convex() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [3usize, 4, 10, 50] {
+            let p = ConvexPolygon::random(n, 0.0, 0.0, 10.0, &mut rng);
+            assert_eq!(p.len(), n);
+            assert!(p.is_convex_ccw());
+        }
+    }
+
+    #[test]
+    fn contains_works() {
+        let s = square();
+        assert!(s.strictly_contains(Point::new(0.5, 0.5)));
+        assert!(!s.strictly_contains(Point::new(1.5, 0.5)));
+        assert!(!s.strictly_contains(Point::new(1.0, 0.5))); // boundary
+    }
+
+    #[test]
+    fn segment_crossing_detection() {
+        let s = square();
+        // Through the middle: crosses.
+        assert!(s.segment_crosses_interior(Point::new(-1.0, 0.5), Point::new(2.0, 0.5)));
+        // Entirely outside: no.
+        assert!(!s.segment_crosses_interior(Point::new(-1.0, 2.0), Point::new(2.0, 2.0)));
+        // Touching a corner only: no interior crossing.
+        assert!(!s.segment_crosses_interior(Point::new(-1.0, 1.0), Point::new(1.0, -1.0)));
+        // Along an edge: no interior crossing.
+        assert!(!s.segment_crosses_interior(Point::new(0.0, 0.0), Point::new(1.0, 0.0)));
+    }
+
+    #[test]
+    fn visibility_between_disjoint_squares() {
+        let left = square();
+        let right = ConvexPolygon::new(vec![
+            Point::new(3.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 1.0),
+            Point::new(3.0, 1.0),
+        ]);
+        // Facing corners see each other.
+        assert!(visible(&left, Point::new(1.0, 0.0), &right, Point::new(3.0, 0.0)));
+        // Far corners are blocked by both bodies.
+        assert!(!visible(&left, Point::new(0.0, 0.5), &right, Point::new(4.0, 0.5)));
+    }
+
+    #[test]
+    fn rect_area_and_containment() {
+        let r = Rect::new(0.0, 0.0, 2.0, 3.0);
+        assert_eq!(r.area(), 6.0);
+        assert!(r.strictly_contains(Point::new(1.0, 1.0)));
+        assert!(!r.strictly_contains(Point::new(2.0, 1.0)));
+    }
+}

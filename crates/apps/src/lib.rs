@@ -1,0 +1,41 @@
+//! # monge-apps
+//!
+//! The applications of §1.3 of *Aggarwal, Kravets, Park, Sen (SPAA 1990)*,
+//! each built on the array-searching engines of `monge-core` /
+//! `monge-parallel`:
+//!
+//! 1. [`empty_rect`] — the largest-area empty rectangle problem
+//!    (median divide & conquer with a window-scanned crossing case; see
+//!    DESIGN.md §3 for the recorded substitution).
+//! 2. [`max_rect`] — the largest-area rectangle spanned by two points as
+//!    opposite corners (Melville's circuit-leakage motivation); a clean
+//!    Monge reduction over dominance staircases with banded searching.
+//! 3. [`neighbors`] — nearest/farthest visible and invisible neighbors
+//!    between two disjoint convex polygons (arc-structured visibility).
+//! 4. [`string_edit`] — string editing via grid-DAG DIST matrices
+//!    combined with Monge-composite tube minima.
+//!
+//! Plus the paper's motivating example — [`farthest`], all farthest
+//! neighbors between the two chains of a convex polygon (Figure 1.1) —
+//! the geometric substrate they share ([`geometry`]), and the
+//! introduction's Monge-structured dynamic programs:
+//!
+//! * [`lws`] — concave least-weight subsequence and the economic
+//!   lot-size model (\[AP90\]);
+//! * [`obst`] — Knuth–Yao optimal binary search trees (\[Yao80\]);
+//! * [`transport`] — Hoffman's transportation greedy on Monge costs
+//!   (\[Mon81\], \[Hof61\]), with a min-cost-flow oracle.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alphabetic;
+pub mod empty_rect;
+pub mod farthest;
+pub mod geometry;
+pub mod lws;
+pub mod max_rect;
+pub mod neighbors;
+pub mod obst;
+pub mod string_edit;
+pub mod transport;

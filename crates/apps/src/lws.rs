@@ -1,0 +1,256 @@
+//! The least-weight-subsequence (LWS) problem and the economic lot-size
+//! model — the dynamic-programming family the paper's introduction cites
+//! (\[AP90\]: "Aggarwal and Park have used Monge arrays to obtain efficient
+//! algorithms for the economic lot-size model"; \[LS89\], \[EGGI90\] for the
+//! molecular-biology relatives).
+//!
+//! Given a weight function `w(i, j)` for `0 ≤ i < j ≤ n`, compute
+//!
+//! ```text
+//! e[0] = 0,    e[j] = min_{0 ≤ i < j}  e[i] + w(i, j).
+//! ```
+//!
+//! When `w` satisfies either quadrangle-inequality orientation, the
+//! online champion-stack engines of [`monge_core::online`] solve the
+//! recurrence in `O(n lg n)` against the `O(n²)` brute force:
+//!
+//! * [`lws_monge`] — Monge weights (convex gap functions, the lot-size
+//!   costs);
+//! * [`lws_concave`] — inverse-Monge weights (concave gap functions such
+//!   as `√(j-i)` or `ln(1+j-i)`, the classical "concave LWS" of the
+//!   molecular-biology literature).
+
+use monge_core::online::{online_inverse_monge_minima, online_monge_minima};
+
+/// Solves the LWS recurrence for **Monge** (convex-gap) weights;
+/// returns `(e, parent)` where `parent[j]` is the argmin predecessor.
+pub fn lws_monge(n: usize, w: &impl Fn(usize, usize) -> f64) -> (Vec<f64>, Vec<usize>) {
+    assemble(n, online_monge_minima(n, w, |_, m| m, 0.0))
+}
+
+/// Solves the LWS recurrence for **inverse-Monge** (concave-gap)
+/// weights.
+pub fn lws_concave(n: usize, w: &impl Fn(usize, usize) -> f64) -> (Vec<f64>, Vec<usize>) {
+    assemble(n, online_inverse_monge_minima(n, w, |_, m| m, 0.0))
+}
+
+fn assemble(n: usize, rows: Vec<(f64, usize)>) -> (Vec<f64>, Vec<usize>) {
+    let mut e = vec![0.0f64; n + 1];
+    let mut parent = vec![0usize; n + 1];
+    for (k, (m, arg)) in rows.into_iter().enumerate() {
+        e[k + 1] = m;
+        parent[k + 1] = arg;
+    }
+    (e, parent)
+}
+
+/// Brute-force LWS oracle, `O(n²)`.
+pub fn lws_brute(n: usize, w: &impl Fn(usize, usize) -> f64) -> (Vec<f64>, Vec<usize>) {
+    let mut e = vec![0.0f64; n + 1];
+    let mut parent = vec![0usize; n + 1];
+    for j in 1..=n {
+        let mut best = 0usize;
+        let mut best_v = e[0] + w(0, j);
+        #[allow(clippy::needless_range_loop)] // i feeds both e[] and w()
+        for i in 1..j {
+            let v = e[i] + w(i, j);
+            if v < best_v {
+                best = i;
+                best_v = v;
+            }
+        }
+        e[j] = best_v;
+        parent[j] = best;
+    }
+    (e, parent)
+}
+
+/// An economic lot-size instance (Wagner–Whitin): demands per period, a
+/// fixed setup cost per production run, and linear holding costs.
+/// Producing in period `i+1` to cover demand through period `j` costs
+/// `setup + Σ_{t=i+1..j} holding·(t - i - 1)·demand_t` — a **Monge**
+/// weight function (verified by the tests), so the optimal plan is an
+/// `O(n lg n)` LWS.
+#[derive(Clone, Debug)]
+pub struct LotSize {
+    /// Demand of each period.
+    pub demand: Vec<f64>,
+    /// Fixed cost of a production run.
+    pub setup: f64,
+    /// Per-period, per-unit holding cost.
+    pub holding: f64,
+    /// Prefix sums of demand.
+    d1: Vec<f64>,
+    /// Prefix sums of `t · demand_t`.
+    dt: Vec<f64>,
+}
+
+impl LotSize {
+    /// Builds an instance (precomputes prefix sums so `w` is `O(1)`).
+    ///
+    /// ```
+    /// use monge_apps::lws::LotSize;
+    ///
+    /// // Huge setup cost: produce once, up front.
+    /// let ls = LotSize::new(vec![5.0, 5.0, 5.0], 1_000.0, 0.1);
+    /// let (cost, runs) = ls.solve();
+    /// assert_eq!(runs, vec![0]);
+    /// assert!((cost - (1000.0 + 0.1 * (5.0 + 10.0))).abs() < 1e-9);
+    /// ```
+    pub fn new(demand: Vec<f64>, setup: f64, holding: f64) -> Self {
+        let mut d1 = vec![0.0];
+        let mut dt = vec![0.0];
+        for (t, &d) in demand.iter().enumerate() {
+            d1.push(d1[t] + d);
+            dt.push(dt[t] + (t as f64 + 1.0) * d);
+        }
+        Self {
+            demand,
+            setup,
+            holding,
+            d1,
+            dt,
+        }
+    }
+
+    /// The LWS weight: cost of one production run in period `i+1`
+    /// covering periods `i+1 ..= j`.
+    pub fn w(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < j && j <= self.demand.len());
+        // Σ_{t=i+1..j} h (t - i - 1) d_t = h [ Σ t·d_t - (i+1) Σ d_t ].
+        let sum_d = self.d1[j] - self.d1[i];
+        let sum_td = self.dt[j] - self.dt[i];
+        self.setup + self.holding * (sum_td - (i as f64 + 1.0) * sum_d)
+    }
+
+    /// Optimal plan: total cost and the production periods (0-based).
+    pub fn solve(&self) -> (f64, Vec<usize>) {
+        let n = self.demand.len();
+        let lot = |i: usize, j: usize| self.w(i, j);
+        let (e, parent) = lws_monge(n, &lot);
+        let mut runs = Vec::new();
+        let mut j = n;
+        while j > 0 {
+            runs.push(parent[j]);
+            j = parent[j];
+        }
+        runs.reverse();
+        (e[n], runs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn assert_close(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn concave_family_matches_brute() {
+        // sqrt gap + per-candidate additive terms: inverse-Monge.
+        let mut rng = StdRng::seed_from_u64(200);
+        for n in [1usize, 2, 5, 30, 200] {
+            let fo: Vec<f64> = (0..=n).map(|_| rng.random_range(0.0..3.0)).collect();
+            let w = move |i: usize, j: usize| ((j - i) as f64).sqrt() + fo[i];
+            let (e1, _) = lws_concave(n, &w);
+            let (e2, _) = lws_brute(n, &w);
+            assert_close(&e1, &e2);
+        }
+    }
+
+    #[test]
+    fn log_gap_weights() {
+        for n in [3usize, 17, 101] {
+            let w = |i: usize, j: usize| ((j - i) as f64).ln_1p() + (i as f64) * 0.01;
+            let (e1, _) = lws_concave(n, &w);
+            let (e2, _) = lws_brute(n, &w);
+            assert_close(&e1, &e2);
+        }
+    }
+
+    #[test]
+    fn convex_family_matches_brute() {
+        let mut rng = StdRng::seed_from_u64(203);
+        for n in [1usize, 2, 5, 30, 200] {
+            let fo: Vec<f64> = (0..=n).map(|_| rng.random_range(0.0..3.0)).collect();
+            let w = move |i: usize, j: usize| {
+                let d = (j - i) as f64;
+                0.01 * d * d + fo[i]
+            };
+            let (e1, _) = lws_monge(n, &w);
+            let (e2, _) = lws_brute(n, &w);
+            assert_close(&e1, &e2);
+        }
+    }
+
+    #[test]
+    fn lot_size_weight_is_monge() {
+        let mut rng = StdRng::seed_from_u64(201);
+        let demand: Vec<f64> = (0..20).map(|_| rng.random_range(0.0..10.0)).collect();
+        let ls = LotSize::new(demand, 25.0, 0.7);
+        // Quadrangle inequality on the valid simplex i < i' < j < j'.
+        for i in 0..18 {
+            for i2 in i + 1..19 {
+                for j in i2 + 1..20 {
+                    for j2 in j + 1..=20 {
+                        let lhs = ls.w(i, j) + ls.w(i2, j2);
+                        let rhs = ls.w(i, j2) + ls.w(i2, j);
+                        assert!(lhs <= rhs + 1e-9);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lot_size_plan_matches_brute() {
+        let mut rng = StdRng::seed_from_u64(202);
+        for n in [1usize, 4, 12, 60, 200] {
+            let demand: Vec<f64> = (0..n).map(|_| rng.random_range(0.0..10.0)).collect();
+            let ls = LotSize::new(demand, rng.random_range(5.0..50.0), rng.random_range(0.1..2.0));
+            let lot = |i: usize, j: usize| ls.w(i, j);
+            let (e2, _) = lws_brute(n, &lot);
+            let (cost, runs) = ls.solve();
+            assert!((cost - e2[n]).abs() < 1e-9, "n={n}");
+            assert_eq!(runs.first().copied(), Some(0));
+        }
+    }
+
+    #[test]
+    fn plan_reconstruction_is_consistent() {
+        let w = |i: usize, j: usize| ((j - i) as f64).sqrt() + 1.0;
+        let n = 50;
+        let (e, parent) = lws_concave(n, &w);
+        let mut cost = 0.0;
+        let mut j = n;
+        while j > 0 {
+            cost += w(parent[j], j);
+            j = parent[j];
+        }
+        assert!((cost - e[n]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn large_instance_stays_subquadratic_in_evaluations() {
+        use std::cell::Cell;
+        let n = 20_000;
+        let count = Cell::new(0u64);
+        let w = |i: usize, j: usize| {
+            count.set(count.get() + 1);
+            ((j - i) as f64).sqrt()
+        };
+        let _ = lws_concave(n, &w);
+        assert!(
+            count.get() < 3_000_000,
+            "too many weight evaluations: {}",
+            count.get()
+        );
+    }
+}

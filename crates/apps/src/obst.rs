@@ -1,0 +1,234 @@
+//! Optimal binary search trees by the Knuth–Yao quadrangle-inequality
+//! speedup — the paper's introduction credits F. Yao (\[Yao80\]: "used
+//! these arrays to obtain an efficient sequential algorithm for computing
+//! optimal binary trees").
+//!
+//! Given access frequencies `freq[0..n]` for `n` keys, the classic
+//! recurrence
+//!
+//! ```text
+//! e[i][j] = w(i, j) + min_{i < r <= j} ( e[i][r-1] + e[r][j] )
+//! ```
+//!
+//! costs `O(n³)` naively. Because `w(i, j) = Σ freq[i..j]` satisfies the
+//! quadrangle inequality and is monotone in inclusion, the cost table
+//! itself satisfies the QI, which forces the optimal roots to be monotone:
+//! `root[i][j-1] ≤ root[i][j] ≤ root[i+1][j]`. Searching only that window
+//! collapses the total work to `O(n²)` — the archetype of Monge-structured
+//! dynamic programming.
+
+/// Result of an optimal-BST computation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Obst {
+    /// Number of keys.
+    pub n: usize,
+    /// `cost[i][j]` (flattened) = optimal cost of keys `i+1..=j`.
+    cost: Vec<f64>,
+    /// `root[i][j]` = optimal root of keys `i+1..=j` (0 when empty).
+    root: Vec<usize>,
+}
+
+impl Obst {
+    fn at(&self, i: usize, j: usize) -> usize {
+        i * (self.n + 1) + j
+    }
+    /// Optimal total weighted depth of all keys.
+    pub fn total_cost(&self) -> f64 {
+        self.cost[self.at(0, self.n)]
+    }
+    /// Optimal root of the subproblem over keys `i+1..=j`.
+    pub fn root_of(&self, i: usize, j: usize) -> usize {
+        self.root[self.at(i, j)]
+    }
+    /// Extracts the tree as `parent[k]` for each key `k ∈ 1..=n`
+    /// (the root's parent is 0).
+    pub fn parents(&self) -> Vec<usize> {
+        let mut parent = vec![0usize; self.n + 1];
+        let mut stack = vec![(0usize, self.n, 0usize)];
+        while let Some((i, j, p)) = stack.pop() {
+            if i >= j {
+                continue;
+            }
+            let r = self.root_of(i, j);
+            parent[r] = p;
+            stack.push((i, r - 1, r));
+            stack.push((r, j, r));
+        }
+        parent
+    }
+}
+
+/// Knuth–Yao `O(n²)` optimal BST over access frequencies `freq[k]` for
+/// keys `1..=n` (successful searches only — the simple variant).
+///
+/// ```
+/// use monge_apps::obst::optimal_bst;
+///
+/// // A dominant middle key should be the root.
+/// let t = optimal_bst(&[1.0, 10.0, 1.0]);
+/// assert_eq!(t.root_of(0, 3), 2);
+/// assert_eq!(t.total_cost(), 10.0 + 2.0 * 2.0);
+/// ```
+pub fn optimal_bst(freq: &[f64]) -> Obst {
+    build(freq, true)
+}
+
+/// The `O(n³)` dynamic program without the monotonicity window — the
+/// oracle the speedup is verified against.
+pub fn optimal_bst_cubic(freq: &[f64]) -> Obst {
+    build(freq, false)
+}
+
+fn build(freq: &[f64], knuth: bool) -> Obst {
+    let n = freq.len();
+    let mut prefix = vec![0.0f64; n + 1];
+    for (k, &f) in freq.iter().enumerate() {
+        prefix[k + 1] = prefix[k] + f;
+    }
+    let w = |i: usize, j: usize| prefix[j] - prefix[i];
+    let mut t = Obst {
+        n,
+        cost: vec![0.0; (n + 1) * (n + 1)],
+        root: vec![0; (n + 1) * (n + 1)],
+    };
+    // Base: single keys.
+    #[allow(clippy::needless_range_loop)] // i feeds t.at() too
+    for i in 0..n {
+        let a = t.at(i, i + 1);
+        t.cost[a] = freq[i];
+        t.root[a] = i + 1;
+    }
+    for len in 2..=n {
+        for i in 0..=(n - len) {
+            let j = i + len;
+            let (r_lo, r_hi) = if knuth {
+                (t.root[t.at(i, j - 1)].max(i + 1), t.root[t.at(i + 1, j)])
+            } else {
+                (i + 1, j)
+            };
+            let mut best = f64::INFINITY;
+            let mut best_r = r_lo;
+            for r in r_lo..=r_hi.min(j).max(r_lo) {
+                let c = t.cost[t.at(i, r - 1)] + t.cost[t.at(r, j)];
+                if c < best {
+                    best = c;
+                    best_r = r;
+                }
+            }
+            let a = t.at(i, j);
+            t.cost[a] = best + w(i, j);
+            t.root[a] = best_r;
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn knuth_matches_cubic() {
+        let mut rng = StdRng::seed_from_u64(210);
+        for n in [1usize, 2, 3, 8, 25, 60] {
+            let freq: Vec<f64> = (0..n).map(|_| rng.random_range(0.01..5.0)).collect();
+            let fast = optimal_bst(&freq);
+            let slow = optimal_bst_cubic(&freq);
+            assert!(
+                (fast.total_cost() - slow.total_cost()).abs() < 1e-9,
+                "n={n}: {} vs {}",
+                fast.total_cost(),
+                slow.total_cost()
+            );
+        }
+    }
+
+    #[test]
+    fn roots_are_monotone() {
+        let mut rng = StdRng::seed_from_u64(211);
+        let n = 40;
+        let freq: Vec<f64> = (0..n).map(|_| rng.random_range(0.01..5.0)).collect();
+        let t = optimal_bst(&freq);
+        for len in 2..=n {
+            for i in 0..=(n - len) {
+                let j = i + len;
+                assert!(t.root_of(i, j - 1) <= t.root_of(i, j));
+                assert!(t.root_of(i, j) <= t.root_of(i + 1, j));
+            }
+        }
+    }
+
+    #[test]
+    fn known_small_case() {
+        // Keys with freq 0.5, 0.1, 0.4: best root is key 1 or 3? Classic:
+        // root 1: cost = 1*0.5 + (subtree {2,3}: root 3: 0.4 + 2*0.1) ->
+        // 0.5 + 0.1 + 0.4 + (0.4 + 2*0.1)... compute via oracle instead.
+        let freq = [0.5, 0.1, 0.4];
+        let t = optimal_bst(&freq);
+        let o = optimal_bst_cubic(&freq);
+        assert!((t.total_cost() - o.total_cost()).abs() < 1e-12);
+        // Depth-weighted cost of the explicit tree root=1, right={3,{2}}:
+        // 0.5*1 + 0.4*2 + 0.1*3 = 1.6.
+        assert!((t.total_cost() - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_frequencies_give_balanced_tree() {
+        let freq = vec![1.0; 15];
+        let t = optimal_bst(&freq);
+        // Balanced tree over 15 uniform keys: cost = sum of depths =
+        // 1*1 + 2*2 + 4*3 + 8*4 = 49.
+        assert!((t.total_cost() - 49.0).abs() < 1e-9);
+        assert_eq!(t.root_of(0, 15), 8);
+    }
+
+    #[test]
+    fn parents_form_a_tree() {
+        let mut rng = StdRng::seed_from_u64(212);
+        let n = 30;
+        let freq: Vec<f64> = (0..n).map(|_| rng.random_range(0.01..2.0)).collect();
+        let t = optimal_bst(&freq);
+        let parent = t.parents();
+        let root = t.root_of(0, n);
+        assert_eq!(parent[root], 0);
+        // Every key reaches the root.
+        for k in 1..=n {
+            let mut cur = k;
+            let mut hops = 0;
+            while cur != root {
+                cur = parent[cur];
+                hops += 1;
+                assert!(hops <= n, "cycle detected");
+            }
+        }
+        // BST property: left subtree keys < r < right subtree keys, checked
+        // via in-order positions being the key order by construction of
+        // the recurrence (structural recursion guarantees it).
+    }
+
+    #[test]
+    fn evaluation_count_is_quadratic_not_cubic() {
+        // Indirect: time-free check via the window sizes. Sum of
+        // (root[i+1][j] - root[i][j-1] + 1) over all cells is O(n²)
+        // by telescoping; verify on an instance.
+        let mut rng = StdRng::seed_from_u64(213);
+        let n = 120;
+        let freq: Vec<f64> = (0..n).map(|_| rng.random_range(0.01..2.0)).collect();
+        let t = optimal_bst(&freq);
+        let mut window_total = 0usize;
+        for len in 2..=n {
+            for i in 0..=(n - len) {
+                let j = i + len;
+                let lo = t.root_of(i, j - 1).max(i + 1);
+                let hi = t.root_of(i + 1, j);
+                window_total += hi.saturating_sub(lo) + 1;
+            }
+        }
+        assert!(
+            window_total < 4 * n * n,
+            "window work {window_total} not O(n^2)"
+        );
+    }
+}

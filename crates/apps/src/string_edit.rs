@@ -1,0 +1,568 @@
+//! §1.3 application 4: string editing via grid-DAGs and Monge-composite
+//! searching.
+//!
+//! Transform `x` into `y` with minimum total cost using deletions
+//! (`D(x_i)`), insertions (`I(y_j)`) and substitutions (`S(x_i, y_j)`)
+//! — \[WF74\]'s `O(st)` dynamic program is the sequential baseline.
+//!
+//! The parallel algorithms ([AP89a, AALM88], and §1.3's hypercube claim)
+//! reduce the problem to shortest paths in a *grid-DAG* and split the
+//! grid into horizontal strips. Every source-to-sink path crosses each
+//! strip boundary exactly once, so a strip is summarized by its **DIST
+//! matrix** (boundary-to-boundary shortest paths), which is Monge on its
+//! finite band by the crossing-paths argument; adjacent strips combine by
+//! a `(min,+)` product — a *tube minima* computation on a
+//! Monge-composite array (Table 1.3's primitive). This module provides:
+//!
+//! * [`edit_distance_dp`] — Wagner–Fischer, the oracle;
+//! * [`edit_distance_antidiagonal`] — the wavefront parallelization (the
+//!   shape of the Ranka–Sahni SIMD-hypercube baseline the paper compares
+//!   against);
+//! * [`strip_dist`] / [`combine_dist`] / [`edit_distance_dist_tree`] —
+//!   the DIST-matrix pipeline: per-strip DIST by parallel DP over
+//!   boundary starts, then a combining tree of banded doubly-monotone
+//!   `(min,+)` products;
+//! * [`edit_script`] — operation recovery by traceback.
+
+use monge_core::array2d::{Array2d, Dense};
+use monge_core::value::Value;
+use rayon::prelude::*;
+
+/// Edit-operation cost model (plain function pointers keep the model
+/// `Copy` and the arrays `O(1)`-evaluable).
+#[derive(Clone, Copy)]
+pub struct CostModel {
+    /// Cost of deleting character `c` from `x`.
+    pub del: fn(u8) -> i64,
+    /// Cost of inserting character `c` of `y`.
+    pub ins: fn(u8) -> i64,
+    /// Cost of substituting `a` (from `x`) by `b` (from `y`).
+    pub sub: fn(u8, u8) -> i64,
+}
+
+impl CostModel {
+    /// Levenshtein: unit insert/delete/substitute, free match.
+    pub fn unit() -> Self {
+        Self {
+            del: |_| 1,
+            ins: |_| 1,
+            sub: |a, b| i64::from(a != b),
+        }
+    }
+
+    /// A weighted model exercising non-uniform costs (per-character
+    /// weights derived from the byte values).
+    pub fn weighted() -> Self {
+        Self {
+            del: |c| 1 + i64::from(c % 3),
+            ins: |c| 1 + i64::from(c % 2),
+            sub: |a, b| {
+                if a == b {
+                    0
+                } else {
+                    2 + i64::from((a ^ b) % 3)
+                }
+            },
+        }
+    }
+}
+
+/// Wagner–Fischer dynamic program, `O(|x|·|y|)` time, `O(|y|)` space.
+///
+/// ```
+/// use monge_apps::string_edit::{edit_distance_dp, CostModel};
+///
+/// let c = CostModel::unit();
+/// assert_eq!(edit_distance_dp(b"kitten", b"sitting", &c), 3);
+/// ```
+pub fn edit_distance_dp(x: &[u8], y: &[u8], c: &CostModel) -> i64 {
+    let n = y.len();
+    let mut prev: Vec<i64> = Vec::with_capacity(n + 1);
+    prev.push(0);
+    for j in 0..n {
+        prev.push(prev[j] + (c.ins)(y[j]));
+    }
+    let mut cur = vec![0i64; n + 1];
+    for &xc in x {
+        cur[0] = prev[0] + (c.del)(xc);
+        for j in 1..=n {
+            cur[j] = (prev[j] + (c.del)(xc))
+                .min(cur[j - 1] + (c.ins)(y[j - 1]))
+                .min(prev[j - 1] + (c.sub)(xc, y[j - 1]));
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[n]
+}
+
+/// Antidiagonal wavefront: cells of one antidiagonal depend only on the
+/// two previous ones, so each diagonal is a parallel step — the
+/// `O(m + n)`-span, `O(mn)`-work shape of the SIMD-hypercube baselines
+/// the paper improves on.
+pub fn edit_distance_antidiagonal(x: &[u8], y: &[u8], c: &CostModel) -> i64 {
+    let (m, n) = (x.len(), y.len());
+    if m + n == 0 {
+        return 0;
+    }
+    let inf = i64::MAX / 4;
+    // Diagonal d holds cells (i, d - i) for i in [max(0, d-n), min(d, m)],
+    // stored from that lower index.
+    let mut prev2: Vec<i64> = vec![0]; // d = 0
+    let mut prev1: Vec<i64> = {
+        // d = 1: cells (0,1) (if n >= 1) then (1,0) (if m >= 1), in
+        // ascending i order.
+        let mut v = Vec::with_capacity(2);
+        if n >= 1 {
+            v.push((c.ins)(y[0]));
+        }
+        if m >= 1 {
+            v.push((c.del)(x[0]));
+        }
+        v
+    };
+    if m + n == 1 {
+        return prev1[0];
+    }
+    for d in 2..=(m + n) {
+        let i_lo = d.saturating_sub(n);
+        let i_hi = d.min(m);
+        let p1_lo = (d - 1).saturating_sub(n);
+        let p1_hi = (d - 1).min(m);
+        let p2_lo = (d - 2).saturating_sub(n);
+        let p2_hi = (d - 2).min(m);
+        let cells: Vec<i64> = (i_lo..=i_hi)
+            .into_par_iter()
+            .map(|i| {
+                let j = d - i;
+                let mut best = inf;
+                if i >= 1 && (p1_lo..=p1_hi).contains(&(i - 1)) {
+                    best = best.min(prev1[i - 1 - p1_lo] + (c.del)(x[i - 1]));
+                }
+                if j >= 1 && (p1_lo..=p1_hi).contains(&i) {
+                    best = best.min(prev1[i - p1_lo] + (c.ins)(y[j - 1]));
+                }
+                if i >= 1 && j >= 1 && (p2_lo..=p2_hi).contains(&(i - 1)) {
+                    best = best.min(prev2[i - 1 - p2_lo] + (c.sub)(x[i - 1], y[j - 1]));
+                }
+                best
+            })
+            .collect();
+        prev2 = std::mem::replace(&mut prev1, cells);
+    }
+    // The last diagonal (d = m + n) contains only the sink (m, n).
+    prev1[0]
+}
+
+/// The DIST matrix of the strip of `x[r0..r1]` against all of `y`:
+/// `DIST[i][j]` = cheapest path from boundary column `i` above the strip
+/// to boundary column `j` below it (`∞` for `j < i`, since grid-DAG
+/// columns never decrease). Computed by one DP per start column,
+/// parallel over starts: `O((n + h) · h · n)` work for height `h`.
+pub fn strip_dist(xs: &[u8], y: &[u8], c: &CostModel) -> Dense<i64> {
+    let n = y.len();
+    let inf = <i64 as Value>::INFINITY;
+    let rows: Vec<Vec<i64>> = (0..=n)
+        .into_par_iter()
+        .map(|start| {
+            // DP over the strip from (row 0, col start).
+            let mut prev = vec![inf; n + 1];
+            prev[start] = 0;
+            for j in start + 1..=n {
+                prev[j] = prev[j - 1].saturating_add((c.ins)(y[j - 1]));
+            }
+            let mut cur = vec![inf; n + 1];
+            for &xc in xs {
+                for j in 0..=n {
+                    let mut best = prev[j].saturating_add((c.del)(xc));
+                    if j >= 1 {
+                        best = best
+                            .min(cur[j - 1].saturating_add((c.ins)(y[j - 1])))
+                            .min(prev[j - 1].saturating_add((c.sub)(xc, y[j - 1])));
+                    }
+                    cur[j] = best.min(inf);
+                }
+                std::mem::swap(&mut prev, &mut cur);
+                cur.fill(inf);
+            }
+            // Clamp to the saturating infinity so Monge checks stay exact.
+            prev.iter().map(|&v| v.min(inf)).collect()
+        })
+        .collect();
+    Dense::from_rows(rows)
+}
+
+/// Banded `(min,+)` product of two DIST matrices by the doubly-monotone
+/// divide & conquer (tube minima of the Monge-composite array, clipped to
+/// the finite band `j ∈ [i, k]`): `O(s²)`-ish per product instead of
+/// `O(s³)`.
+pub fn combine_dist(a: &Dense<i64>, b: &Dense<i64>) -> Dense<i64> {
+    let s = a.rows();
+    assert_eq!(a.cols(), s);
+    assert_eq!(b.rows(), s);
+    assert_eq!(b.cols(), s);
+    let inf = <i64 as Value>::INFINITY;
+    let mut out = Dense::filled(s, s, inf);
+    // Solve rows (of the output) by halving with per-column sandwiches.
+    let lo = vec![0usize; s];
+    let hi = vec![s - 1; s];
+    dc(a, b, 0, s, &lo, &hi, &mut out);
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dc(
+    a: &Dense<i64>,
+    b: &Dense<i64>,
+    i0: usize,
+    i1: usize,
+    lo: &[usize],
+    hi: &[usize],
+    out: &mut Dense<i64>,
+) {
+    if i0 >= i1 {
+        return;
+    }
+    let s = a.rows();
+    let mid = i0 + (i1 - i0) / 2;
+    let mut args = vec![0usize; s];
+    let mut from = 0usize;
+    for k in 0..s {
+        // Feasible middle coordinates: j in [mid, k] (band) ∩ sandwich.
+        if k < mid {
+            args[k] = mid.min(k); // unused; out stays ∞ (j<i infeasible)
+            continue;
+        }
+        let l = lo[k].max(from).max(mid);
+        let h = hi[k].min(k);
+        let (mut bj, mut bv) = (l, a.entry(mid, l).add(b.entry(l, k)));
+        for j in l + 1..=h {
+            let v = a.entry(mid, j).add(b.entry(j, k));
+            if v.total_lt(bv) {
+                bj = j;
+                bv = v;
+            }
+        }
+        out.set(mid, k, bv);
+        args[k] = bj;
+        from = bj;
+    }
+    let hi_top: Vec<usize> = args.to_vec();
+    let lo_bot: Vec<usize> = args;
+    dc(a, b, i0, mid, lo, &hi_top, out);
+    dc(a, b, mid + 1, i1, &lo_bot, hi, out);
+}
+
+/// Brute-force `(min,+)` oracle for DIST products.
+pub fn combine_dist_brute(a: &Dense<i64>, b: &Dense<i64>) -> Dense<i64> {
+    let s = a.rows();
+    Dense::tabulate(s, s, |i, k| {
+        let mut best = <i64 as Value>::INFINITY;
+        for j in 0..s {
+            let v = a.entry(i, j).add(b.entry(j, k));
+            if v < best {
+                best = v;
+            }
+        }
+        best
+    })
+}
+
+/// Edit distance through the DIST pipeline: split `x` into `strips`
+/// horizontal strips, build each strip's DIST in parallel, combine with
+/// a parallel reduction tree of banded `(min,+)` products, and read
+/// `DIST[0][n]`.
+pub fn edit_distance_dist_tree(x: &[u8], y: &[u8], c: &CostModel, strips: usize) -> i64 {
+    let strips = strips.clamp(1, x.len().max(1));
+    let chunk = x.len().div_ceil(strips);
+    let parts: Vec<&[u8]> = if x.is_empty() {
+        vec![&[][..]]
+    } else {
+        x.chunks(chunk).collect()
+    };
+    let dists: Vec<Dense<i64>> = parts.par_iter().map(|xs| strip_dist(xs, y, c)).collect();
+    let combined = dists
+        .into_par_iter()
+        .reduce_with(|a, b| combine_dist(&a, &b))
+        .expect("at least one strip");
+    combined.entry(0, y.len())
+}
+
+/// Edit distance with the DIST combining tree executed on the simulated
+/// hypercube — §1.3's headline claim ("the string editing problem … can
+/// be solved in `O(lg n lg m)` time on an `nm`-processor hypercube,
+/// cube-connected cycles, or shuffle-exchange network"). Strip DIST
+/// matrices are built host-side; every `(min,+)` combination runs as a
+/// tube-minima computation on the network
+/// ([`monge_parallel::hc_tube::hc_tube_minima`]), and the returned
+/// metrics accumulate the exchanges of all `⌈lg strips⌉` combining
+/// rounds (each round's combines run on disjoint sub-networks, so the
+/// critical path adds the *maximum* steps per round).
+pub fn edit_distance_hc(
+    x: &[u8],
+    y: &[u8],
+    c: &CostModel,
+    strips: usize,
+) -> (i64, monge_hypercube::NetMetrics) {
+    let strips = strips.clamp(1, x.len().max(1));
+    let chunk = x.len().div_ceil(strips);
+    let parts: Vec<&[u8]> = if x.is_empty() {
+        vec![&[][..]]
+    } else {
+        x.chunks(chunk).collect()
+    };
+    let mut level: Vec<Dense<i64>> = parts.iter().map(|xs| strip_dist(xs, y, c)).collect();
+    let mut total = monge_hypercube::NetMetrics::default();
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        let mut round_steps = 0u64;
+        let mut round_local = 0u64;
+        let mut iter = level.into_iter();
+        while let Some(a) = iter.next() {
+            match iter.next() {
+                Some(b) => {
+                    let run = monge_parallel::hc_tube::hc_tube_minima(&a, &b);
+                    round_steps = round_steps.max(run.metrics.comm_steps);
+                    round_local = round_local.max(run.metrics.local_steps);
+                    total.messages += run.metrics.messages;
+                    next.push(Dense::from_vec(
+                        run.extrema.p,
+                        run.extrema.r,
+                        run.extrema.value,
+                    ));
+                }
+                None => next.push(a),
+            }
+        }
+        total.comm_steps += round_steps;
+        total.local_steps += round_local;
+        level = next;
+    }
+    let d = level.pop().expect("at least one strip");
+    (d.entry(0, y.len()), total)
+}
+
+/// One edit operation of a recovered script.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EditOp {
+    /// Delete `x[i]`.
+    Delete(usize),
+    /// Insert `y[j]` .
+    Insert(usize),
+    /// Substitute `x[i]` by `y[j]` (possibly a free match).
+    Substitute(usize, usize),
+}
+
+/// Full DP with traceback: returns the optimal cost and one optimal
+/// script. `O(mn)` time and space.
+pub fn edit_script(x: &[u8], y: &[u8], c: &CostModel) -> (i64, Vec<EditOp>) {
+    let (m, n) = (x.len(), y.len());
+    let mut dp = vec![0i64; (m + 1) * (n + 1)];
+    let at = |i: usize, j: usize| i * (n + 1) + j;
+    for j in 1..=n {
+        dp[at(0, j)] = dp[at(0, j - 1)] + (c.ins)(y[j - 1]);
+    }
+    for i in 1..=m {
+        dp[at(i, 0)] = dp[at(i - 1, 0)] + (c.del)(x[i - 1]);
+        for j in 1..=n {
+            dp[at(i, j)] = (dp[at(i - 1, j)] + (c.del)(x[i - 1]))
+                .min(dp[at(i, j - 1)] + (c.ins)(y[j - 1]))
+                .min(dp[at(i - 1, j - 1)] + (c.sub)(x[i - 1], y[j - 1]));
+        }
+    }
+    // Traceback.
+    let mut ops = Vec::new();
+    let (mut i, mut j) = (m, n);
+    while i > 0 || j > 0 {
+        let cur = dp[at(i, j)];
+        if i > 0 && j > 0 && cur == dp[at(i - 1, j - 1)] + (c.sub)(x[i - 1], y[j - 1]) {
+            ops.push(EditOp::Substitute(i - 1, j - 1));
+            i -= 1;
+            j -= 1;
+        } else if i > 0 && cur == dp[at(i - 1, j)] + (c.del)(x[i - 1]) {
+            ops.push(EditOp::Delete(i - 1));
+            i -= 1;
+        } else {
+            ops.push(EditOp::Insert(j - 1));
+            j -= 1;
+        }
+    }
+    ops.reverse();
+    (dp[at(m, n)], ops)
+}
+
+/// Applies a script to `x`, producing the edited byte string (test
+/// helper asserting script validity).
+pub fn apply_script(x: &[u8], y: &[u8], ops: &[EditOp]) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut xi = 0usize;
+    for &op in ops {
+        match op {
+            EditOp::Delete(i) => {
+                assert_eq!(i, xi, "script out of order");
+                xi += 1;
+            }
+            EditOp::Insert(j) => out.push(y[j]),
+            EditOp::Substitute(i, j) => {
+                assert_eq!(i, xi);
+                out.push(y[j]);
+                xi += 1;
+            }
+        }
+    }
+    assert_eq!(xi, x.len(), "script did not consume x");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_string(n: usize, sigma: u8, rng: &mut StdRng) -> Vec<u8> {
+        (0..n).map(|_| b'a' + rng.random_range(0..sigma)).collect()
+    }
+
+    #[test]
+    fn dp_known_cases() {
+        let c = CostModel::unit();
+        assert_eq!(edit_distance_dp(b"kitten", b"sitting", &c), 3);
+        assert_eq!(edit_distance_dp(b"", b"abc", &c), 3);
+        assert_eq!(edit_distance_dp(b"abc", b"", &c), 3);
+        assert_eq!(edit_distance_dp(b"abc", b"abc", &c), 0);
+        assert_eq!(edit_distance_dp(b"", b"", &c), 0);
+    }
+
+    #[test]
+    fn antidiagonal_matches_dp() {
+        let mut rng = StdRng::seed_from_u64(160);
+        for _ in 0..20 {
+            let m = rng.random_range(0..40);
+            let n = rng.random_range(0..40);
+            let x = random_string(m, 4, &mut rng);
+            let y = random_string(n, 4, &mut rng);
+            for c in [CostModel::unit(), CostModel::weighted()] {
+                assert_eq!(
+                    edit_distance_antidiagonal(&x, &y, &c),
+                    edit_distance_dp(&x, &y, &c),
+                    "m={m} n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dist_matrices_are_monge_on_the_finite_band() {
+        let mut rng = StdRng::seed_from_u64(161);
+        let x = random_string(6, 4, &mut rng);
+        let y = random_string(9, 4, &mut rng);
+        let c = CostModel::unit();
+        let d = strip_dist(&x, &y, &c);
+        let s = d.rows();
+        for i in 0..s {
+            for k in i + 1..s {
+                for j in 0..s {
+                    for l in j + 1..s {
+                        let (a1, a2, a3, a4) =
+                            (d.entry(i, j), d.entry(i, l), d.entry(k, j), d.entry(k, l));
+                        let inf = <i64 as Value>::INFINITY;
+                        if a1 < inf && a2 < inf && a3 < inf && a4 < inf {
+                            assert!(a1 + a4 <= a2 + a3, "quadrangle fails at {i},{k},{j},{l}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn combine_matches_brute() {
+        let mut rng = StdRng::seed_from_u64(162);
+        let y = random_string(12, 4, &mut rng);
+        let c = CostModel::weighted();
+        let x1 = random_string(5, 4, &mut rng);
+        let x2 = random_string(7, 4, &mut rng);
+        let a = strip_dist(&x1, &y, &c);
+        let b = strip_dist(&x2, &y, &c);
+        assert_eq!(combine_dist(&a, &b), combine_dist_brute(&a, &b));
+    }
+
+    #[test]
+    fn dist_tree_matches_dp() {
+        let mut rng = StdRng::seed_from_u64(163);
+        for strips in [1usize, 2, 3, 5, 8] {
+            let m = rng.random_range(1..50);
+            let n = rng.random_range(1..50);
+            let x = random_string(m, 3, &mut rng);
+            let y = random_string(n, 3, &mut rng);
+            for c in [CostModel::unit(), CostModel::weighted()] {
+                assert_eq!(
+                    edit_distance_dist_tree(&x, &y, &c, strips),
+                    edit_distance_dp(&x, &y, &c),
+                    "strips={strips} m={m} n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn script_is_valid_and_optimal() {
+        let mut rng = StdRng::seed_from_u64(164);
+        for _ in 0..10 {
+            let x = random_string(rng.random_range(0..25), 3, &mut rng);
+            let y = random_string(rng.random_range(0..25), 3, &mut rng);
+            let c = CostModel::unit();
+            let (cost, ops) = edit_script(&x, &y, &c);
+            assert_eq!(cost, edit_distance_dp(&x, &y, &c));
+            assert_eq!(apply_script(&x, &y, &ops), y);
+            // Unit model: script cost equals the number of non-free ops.
+            let paid = ops
+                .iter()
+                .filter(|op| match op {
+                    EditOp::Substitute(i, j) => x[*i] != y[*j],
+                    _ => true,
+                })
+                .count() as i64;
+            assert_eq!(paid, cost);
+        }
+    }
+
+    #[test]
+    fn hypercube_combine_matches_dp() {
+        let mut rng = StdRng::seed_from_u64(165);
+        for strips in [2usize, 3, 4] {
+            let m = rng.random_range(4..16);
+            let n = rng.random_range(4..16);
+            let x = random_string(m, 4, &mut rng);
+            let y = random_string(n, 4, &mut rng);
+            let c = CostModel::unit();
+            let (d, metrics) = edit_distance_hc(&x, &y, &c, strips);
+            assert_eq!(d, edit_distance_dp(&x, &y, &c), "strips={strips} m={m} n={n}");
+            assert!(metrics.comm_steps > 0);
+        }
+    }
+
+    #[test]
+    fn hypercube_combine_steps_are_polylogarithmic() {
+        let c = CostModel::unit();
+        let steps_of = |n: usize| {
+            let (x, y) = (
+                (0..n).map(|i| b'a' + (i % 4) as u8).collect::<Vec<_>>(),
+                (0..n).map(|i| b'a' + (i % 3) as u8).collect::<Vec<_>>(),
+            );
+            edit_distance_hc(&x, &y, &c, 2).1.comm_steps
+        };
+        let s12 = steps_of(8);
+        let s24 = steps_of(16);
+        // Doubling n must grow the exchange count far slower than the
+        // O(n²) work a flat DP would need.
+        assert!(s24 <= 3 * s12, "{s12} -> {s24}");
+    }
+
+    #[test]
+    fn empty_strip_edge_cases() {
+        let c = CostModel::unit();
+        assert_eq!(edit_distance_dist_tree(b"", b"abc", &c, 4), 3);
+        assert_eq!(edit_distance_dist_tree(b"abc", b"", &c, 2), 3);
+    }
+}

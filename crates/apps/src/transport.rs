@@ -1,0 +1,274 @@
+//! The transportation problem on Monge costs — the origin story the
+//! paper opens with: G. Monge's 1781 cannonball observation, and
+//! A. J. Hoffman's 1961 theorem (\[Hof61\]) that "a greedy algorithm
+//! correctly solves the transportation problem for `m` sources and `n`
+//! sinks if the corresponding `m × n` cost array is a Monge array".
+//!
+//! Given supplies `a_i`, demands `b_j` (`Σa = Σb`) and a Monge cost array
+//! `c[i][j]`, the **northwest-corner greedy** — repeatedly ship as much
+//! as possible between the first unfinished source and the first
+//! unfinished sink — is optimal. This module implements the greedy plus
+//! a successive-shortest-paths min-cost-flow oracle that certifies
+//! optimality on arbitrary (including non-Monge) instances.
+
+use monge_core::array2d::Array2d;
+
+/// A shipment in a transportation plan.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Shipment {
+    /// Source index.
+    pub from: usize,
+    /// Sink index.
+    pub to: usize,
+    /// Quantity shipped.
+    pub amount: i64,
+}
+
+/// Hoffman's northwest-corner greedy: optimal for Monge costs,
+/// `O(m + n)` shipments, `O(m + n)` time.
+///
+/// ```
+/// use monge_apps::transport::{northwest_corner, plan_cost};
+/// use monge_core::array2d::Dense;
+///
+/// let c = Dense::tabulate(2, 2, |i, j| ((i as i64) - (j as i64)).abs());
+/// let plan = northwest_corner(&[2, 1], &[1, 2]);
+/// assert_eq!(plan.len(), 3);
+/// assert_eq!(plan_cost(&plan, &c), 1); // ship diagonally where possible
+/// ```
+pub fn northwest_corner(supply: &[i64], demand: &[i64]) -> Vec<Shipment> {
+    assert_eq!(
+        supply.iter().sum::<i64>(),
+        demand.iter().sum::<i64>(),
+        "supply and demand must balance"
+    );
+    assert!(supply.iter().all(|&x| x >= 0) && demand.iter().all(|&x| x >= 0));
+    let mut plan = Vec::with_capacity(supply.len() + demand.len());
+    let mut a = supply.to_vec();
+    let mut b = demand.to_vec();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        if a[i] == 0 {
+            i += 1;
+            continue;
+        }
+        if b[j] == 0 {
+            j += 1;
+            continue;
+        }
+        let q = a[i].min(b[j]);
+        plan.push(Shipment {
+            from: i,
+            to: j,
+            amount: q,
+        });
+        a[i] -= q;
+        b[j] -= q;
+    }
+    debug_assert!(a.iter().all(|&x| x == 0) && b.iter().all(|&x| x == 0));
+    plan
+}
+
+/// Total cost of a plan under a cost array.
+pub fn plan_cost<A: Array2d<i64>>(plan: &[Shipment], c: &A) -> i64 {
+    plan.iter()
+        .map(|s| s.amount * c.entry(s.from, s.to))
+        .sum()
+}
+
+/// Exact minimum-cost transportation by successive shortest paths
+/// (Bellman–Ford on the residual network) — the oracle certifying the
+/// greedy. Exponential in nothing, polynomial in total supply units and
+/// network size; intended for test-sized instances.
+pub fn min_cost_transport<A: Array2d<i64>>(supply: &[i64], demand: &[i64], c: &A) -> i64 {
+    let (m, n) = (supply.len(), demand.len());
+    assert_eq!(c.rows(), m);
+    assert_eq!(c.cols(), n);
+    // Nodes: 0 = source, 1..=m supplies, m+1..=m+n demands, m+n+1 = sink.
+    let nodes = m + n + 2;
+    let (s, t) = (0usize, m + n + 1);
+    #[derive(Clone)]
+    struct E {
+        to: usize,
+        cap: i64,
+        cost: i64,
+        rev: usize,
+    }
+    let mut g: Vec<Vec<E>> = vec![Vec::new(); nodes];
+    let add = |g: &mut Vec<Vec<E>>, u: usize, v: usize, cap: i64, cost: i64| {
+        let ru = g[v].len();
+        let rv = g[u].len();
+        g[u].push(E {
+            to: v,
+            cap,
+            cost,
+            rev: ru,
+        });
+        g[v].push(E {
+            to: u,
+            cap: 0,
+            cost: -cost,
+            rev: rv,
+        });
+    };
+    for (i, &a) in supply.iter().enumerate() {
+        add(&mut g, s, 1 + i, a, 0);
+    }
+    for (j, &b) in demand.iter().enumerate() {
+        add(&mut g, 1 + m + j, t, b, 0);
+    }
+    for i in 0..m {
+        for j in 0..n {
+            add(&mut g, 1 + i, 1 + m + j, i64::MAX / 4, c.entry(i, j));
+        }
+    }
+    let mut total = 0i64;
+    loop {
+        // Bellman–Ford shortest path s -> t in the residual network.
+        let inf = i64::MAX / 4;
+        let mut dist = vec![inf; nodes];
+        let mut pre: Vec<Option<(usize, usize)>> = vec![None; nodes];
+        dist[s] = 0;
+        for _ in 0..nodes {
+            let mut changed = false;
+            for u in 0..nodes {
+                if dist[u] >= inf {
+                    continue;
+                }
+                for (k, e) in g[u].iter().enumerate() {
+                    if e.cap > 0 && dist[u] + e.cost < dist[e.to] {
+                        dist[e.to] = dist[u] + e.cost;
+                        pre[e.to] = Some((u, k));
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        if dist[t] >= inf {
+            break;
+        }
+        // Bottleneck along the path.
+        let mut push = i64::MAX;
+        let mut v = t;
+        while let Some((u, k)) = pre[v] {
+            push = push.min(g[u][k].cap);
+            v = u;
+        }
+        if push == 0 || push == i64::MAX {
+            break;
+        }
+        let mut v = t;
+        while let Some((u, k)) = pre[v] {
+            g[u][k].cap -= push;
+            let rev = g[u][k].rev;
+            let to = g[u][k].to;
+            g[to][rev].cap += push;
+            total += push * g[u][k].cost;
+            v = u;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monge_core::array2d::Dense;
+    use monge_core::generators::{random_monge_dense, TransportArray};
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_balanced(m: usize, n: usize, rng: &mut StdRng) -> (Vec<i64>, Vec<i64>) {
+        let a: Vec<i64> = (0..m).map(|_| rng.random_range(0..20)).collect();
+        let total: i64 = a.iter().sum();
+        // Random composition of `total` into n parts.
+        let mut b = vec![0i64; n];
+        let mut left = total;
+        for item in b.iter_mut().take(n - 1) {
+            let x = if left > 0 { rng.random_range(0..=left) } else { 0 };
+            *item = x;
+            left -= x;
+        }
+        b[n - 1] = left;
+        (a, b)
+    }
+
+    #[test]
+    fn greedy_is_optimal_on_monge_costs() {
+        let mut rng = StdRng::seed_from_u64(220);
+        for trial in 0..15 {
+            let (m, n) = (2 + trial % 5, 2 + (trial * 3) % 5);
+            // Shift the Monge array to non-negative costs (shifting by a
+            // constant preserves Monge-ness and adds a constant to every
+            // feasible plan of fixed total volume... it is simplest to
+            // just compare plan costs under the same array).
+            let c = random_monge_dense(m, n, &mut rng);
+            let (a, b) = random_balanced(m, n, &mut rng);
+            if a.iter().sum::<i64>() == 0 {
+                continue;
+            }
+            let plan = northwest_corner(&a, &b);
+            let greedy = plan_cost(&plan, &c);
+            let opt = min_cost_transport(&a, &b, &c);
+            assert_eq!(greedy, opt, "trial {trial}: greedy {greedy} vs opt {opt}");
+        }
+    }
+
+    #[test]
+    fn monges_original_family() {
+        // |x_i - y_j| over sorted positions: the 1781 instance class.
+        let mut rng = StdRng::seed_from_u64(221);
+        for _ in 0..10 {
+            let c = TransportArray::random(4, 6, &mut rng);
+            let (a, b) = random_balanced(4, 6, &mut rng);
+            let plan = northwest_corner(&a, &b);
+            assert_eq!(
+                plan_cost(&plan, &c),
+                min_cost_transport(&a, &b, &c)
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_can_fail_on_non_monge_costs() {
+        // A deliberately anti-Monge cost array where NW-corner is wrong.
+        let c = Dense::from_rows(vec![vec![0i64, 10], vec![10, 0]]);
+        // is it anti-Monge? 0 + 0 <= 10 + 10 -> actually Monge. Flip:
+        let c2 = Dense::from_rows(vec![vec![10i64, 0], vec![0, 10]]);
+        assert!(!monge_core::monge::is_monge(&c2));
+        let a = vec![1, 1];
+        let b = vec![1, 1];
+        let plan = northwest_corner(&a, &b);
+        let greedy = plan_cost(&plan, &c2);
+        let opt = min_cost_transport(&a, &b, &c2);
+        assert!(greedy > opt, "greedy {greedy} should be suboptimal vs {opt}");
+        let _ = c;
+    }
+
+    #[test]
+    fn plan_is_feasible() {
+        let mut rng = StdRng::seed_from_u64(222);
+        let (a, b) = random_balanced(6, 4, &mut rng);
+        let plan = northwest_corner(&a, &b);
+        let mut shipped_out = vec![0i64; 6];
+        let mut shipped_in = vec![0i64; 4];
+        for s in &plan {
+            assert!(s.amount > 0);
+            shipped_out[s.from] += s.amount;
+            shipped_in[s.to] += s.amount;
+        }
+        assert_eq!(shipped_out, a);
+        assert_eq!(shipped_in, b);
+        // NW-corner plans have at most m + n - 1 shipments.
+        assert!(plan.len() < 6 + 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "balance")]
+    fn unbalanced_instances_are_rejected() {
+        let _ = northwest_corner(&[3, 2], &[4]);
+    }
+}

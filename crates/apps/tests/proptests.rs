@@ -1,0 +1,188 @@
+//! Property-based tests for the applications: every fast algorithm
+//! against its brute-force oracle on randomized instances, plus the
+//! structural facts the reductions depend on.
+
+use monge_apps::empty_rect::{
+    is_empty_rect, largest_empty_rectangle, largest_empty_rectangle_brute,
+};
+use monge_apps::farthest::{all_farthest_neighbors, all_farthest_neighbors_brute};
+use monge_apps::geometry::{ConvexPolygon, Point, Rect};
+use monge_apps::lws::{lws_brute, lws_concave, LotSize};
+use monge_apps::max_rect::{largest_corner_rectangle, largest_corner_rectangle_brute};
+use monge_apps::neighbors::{neighbors_brute, neighbors_seq, visible_fast, Goal};
+use monge_apps::obst::{optimal_bst, optimal_bst_cubic};
+use monge_apps::string_edit::{
+    apply_script, edit_distance_antidiagonal, edit_distance_dist_tree, edit_distance_dp,
+    edit_script, CostModel,
+};
+use monge_apps::transport::{min_cost_transport, northwest_corner, plan_cost};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn points_from_seed(n: usize, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Point::new(rng.random_range(0.0..100.0), rng.random_range(0.0..100.0)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn empty_rectangle_is_optimal(n in 1usize..24, seed in any::<u64>()) {
+        let pts = points_from_seed(n, seed);
+        let bbox = Rect::new(0.0, 0.0, 100.0, 100.0);
+        let fast = largest_empty_rectangle(&pts, bbox);
+        let brute = largest_empty_rectangle_brute(&pts, bbox);
+        prop_assert!(is_empty_rect(&pts, fast));
+        prop_assert!((fast.area() - brute.area()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn corner_rectangle_is_optimal(n in 2usize..40, seed in any::<u64>()) {
+        let pts = points_from_seed(n, seed);
+        let fast = largest_corner_rectangle(&pts);
+        let brute = largest_corner_rectangle_brute(&pts);
+        prop_assert!((fast.area - brute.area).abs() < 1e-6);
+    }
+
+    #[test]
+    fn neighbor_goals_match_oracle(m in 4usize..12, n in 4usize..12, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = ConvexPolygon::random(m.max(3), 0.0, 0.0, 10.0, &mut rng);
+        let q = ConvexPolygon::random(n.max(3), 40.0, 5.0, 10.0, &mut rng);
+        for goal in [Goal::NearestVisible, Goal::NearestInvisible,
+                     Goal::FarthestVisible, Goal::FarthestInvisible] {
+            let fast = neighbors_seq(&p, &q, goal);
+            let brute = neighbors_brute(&p, &q, goal);
+            for i in 0..m.max(3) {
+                match (fast[i], brute[i]) {
+                    (None, None) => {}
+                    (Some(a), Some(b)) => {
+                        let da = p.vertices[i].dist(q.vertices[a]);
+                        let db = p.vertices[i].dist(q.vertices[b]);
+                        prop_assert!((da - db).abs() < 1e-9, "{goal:?} row {i}");
+                    }
+                    other => prop_assert!(false, "{goal:?} row {i}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn visibility_predicate_matches_clipping(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = ConvexPolygon::random(7, 0.0, 0.0, 10.0, &mut rng);
+        let q = ConvexPolygon::random(8, 40.0, -5.0, 12.0, &mut rng);
+        for i in 0..7 {
+            for j in 0..8 {
+                prop_assert_eq!(
+                    visible_fast(&p, i, &q, j),
+                    monge_apps::geometry::visible(&p, p.vertices[i], &q, q.vertices[j])
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_farthest_distances_match(n in 4usize..40, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let poly = ConvexPolygon::random(n.max(4), 0.0, 0.0, 50.0, &mut rng);
+        let got = all_farthest_neighbors(&poly.vertices);
+        let want = all_farthest_neighbors_brute(&poly.vertices);
+        for i in 0..poly.len() {
+            let dg = poly.vertices[i].dist(poly.vertices[got[i]]);
+            let dw = poly.vertices[i].dist(poly.vertices[want[i]]);
+            prop_assert!((dg - dw).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn edit_engines_agree(m in 0usize..30, n in 0usize..30, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x: Vec<u8> = (0..m).map(|_| b'a' + rng.random_range(0..4)).collect();
+        let y: Vec<u8> = (0..n).map(|_| b'a' + rng.random_range(0..4)).collect();
+        for c in [CostModel::unit(), CostModel::weighted()] {
+            let d = edit_distance_dp(&x, &y, &c);
+            prop_assert_eq!(edit_distance_antidiagonal(&x, &y, &c), d);
+            prop_assert_eq!(edit_distance_dist_tree(&x, &y, &c, 4), d);
+            let (cost, ops) = edit_script(&x, &y, &c);
+            prop_assert_eq!(cost, d);
+            prop_assert_eq!(apply_script(&x, &y, &ops), y.clone());
+        }
+    }
+
+    #[test]
+    fn lws_stack_matches_brute(n in 0usize..80, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let fo: Vec<f64> = (0..=n).map(|_| rng.random_range(0.0..2.0)).collect();
+        let w = move |i: usize, j: usize| ((j - i) as f64).sqrt() + fo[i];
+        let (e1, _) = lws_concave(n, &w);
+        let (e2, _) = lws_brute(n, &w);
+        for (a, b) in e1.iter().zip(&e2) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn lot_size_optimal(n in 1usize..40, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let demand: Vec<f64> = (0..n).map(|_| rng.random_range(0.0..10.0)).collect();
+        let ls = LotSize::new(demand, rng.random_range(1.0..40.0), rng.random_range(0.05..2.0));
+        let (cost, _) = ls.solve();
+        let lot = |i: usize, j: usize| ls.w(i, j);
+        let (e, _) = lws_brute(n, &lot);
+        prop_assert!((cost - e[n]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn obst_speedup_is_exact(n in 1usize..30, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let freq: Vec<f64> = (0..n).map(|_| rng.random_range(0.01..3.0)).collect();
+        let fast = optimal_bst(&freq);
+        let slow = optimal_bst_cubic(&freq);
+        prop_assert!((fast.total_cost() - slow.total_cost()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn garsia_wachs_matches_dp(n in 1usize..50, seed in any::<u64>()) {
+        use monge_apps::alphabetic::*;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w: Vec<f64> = (0..n).map(|_| rng.random_range(0.01..5.0)).collect();
+        let (gw, depths) = garsia_wachs(&w);
+        prop_assert!((gw - alphabetic_dp(&w)).abs() < 1e-7);
+        prop_assert!(tree_from_depths(&depths).is_some());
+        prop_assert!(gw >= huffman_cost(&w) - 1e-9);
+    }
+
+    #[test]
+    fn pram_corner_rectangle_matches(n in 2usize..60, seed in any::<u64>()) {
+        use monge_parallel::MinPrimitive;
+        let pts = points_from_seed(n, seed);
+        let want = largest_corner_rectangle(&pts);
+        let (got, metrics) =
+            monge_apps::max_rect::pram_largest_corner_rectangle(&pts, MinPrimitive::DoublyLog);
+        prop_assert!((got.area - want.area).abs() < 1e-6);
+        prop_assert!(metrics.steps > 0 || n < 2);
+    }
+
+    #[test]
+    fn hoffman_greedy_is_optimal_on_monge(m in 2usize..5, n in 2usize..5, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c = monge_core::generators::random_monge_dense(m, n, &mut rng);
+        let a: Vec<i64> = (0..m).map(|_| rng.random_range(0..8)).collect();
+        let total: i64 = a.iter().sum();
+        let mut b = vec![0i64; n];
+        let mut left = total;
+        for item in b.iter_mut().take(n - 1) {
+            let x = if left > 0 { rng.random_range(0..=left) } else { 0 };
+            *item = x;
+            left -= x;
+        }
+        b[n - 1] = left;
+        let plan = northwest_corner(&a, &b);
+        prop_assert_eq!(plan_cost(&plan, &c), min_cost_transport(&a, &b, &c));
+    }
+}

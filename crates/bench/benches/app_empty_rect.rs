@@ -1,0 +1,33 @@
+//! App 1 wall-clock: largest empty rectangle — median divide & conquer
+//! (sequential and rayon) vs the `O(n³)` strip-enumeration brute force.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use monge_apps::empty_rect::{
+    largest_empty_rectangle, largest_empty_rectangle_brute, par_largest_empty_rectangle,
+};
+use monge_bench::workloads::{random_points, unit_box};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("app_empty_rect");
+    g.sample_size(10);
+    for n in [128usize, 512, 2048] {
+        let pts = random_points(n, 10);
+        let bbox = unit_box();
+        g.bench_with_input(BenchmarkId::new("dc_seq", n), &n, |b, _| {
+            b.iter(|| black_box(largest_empty_rectangle(&pts, bbox)))
+        });
+        g.bench_with_input(BenchmarkId::new("dc_rayon", n), &n, |b, _| {
+            b.iter(|| black_box(par_largest_empty_rectangle(&pts, bbox)))
+        });
+        if n <= 128 {
+            g.bench_with_input(BenchmarkId::new("brute", n), &n, |b, _| {
+                b.iter(|| black_box(largest_empty_rectangle_brute(&pts, bbox)))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

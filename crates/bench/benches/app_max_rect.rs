@@ -1,0 +1,32 @@
+//! App 2 wall-clock: largest two-corner rectangle — banded Monge search
+//! over dominance staircases (`O(n lg n)`) vs the `O(n²)` brute force.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use monge_apps::max_rect::{
+    largest_corner_rectangle, largest_corner_rectangle_brute, par_largest_corner_rectangle,
+};
+use monge_bench::workloads::random_points;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("app_max_rect");
+    g.sample_size(10);
+    for n in [1024usize, 16384, 131072] {
+        let pts = random_points(n, 11);
+        g.bench_with_input(BenchmarkId::new("monge_seq", n), &n, |b, _| {
+            b.iter(|| black_box(largest_corner_rectangle(&pts)))
+        });
+        g.bench_with_input(BenchmarkId::new("monge_rayon", n), &n, |b, _| {
+            b.iter(|| black_box(par_largest_corner_rectangle(&pts)))
+        });
+        if n <= 16384 {
+            g.bench_with_input(BenchmarkId::new("brute", n), &n, |b, _| {
+                b.iter(|| black_box(largest_corner_rectangle_brute(&pts)))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

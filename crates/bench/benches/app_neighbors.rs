@@ -1,0 +1,31 @@
+//! App 3 wall-clock: nearest-invisible neighbors between two disjoint
+//! convex polygons — `O(1)` wedge/tangent predicates (sequential and
+//! rayon) vs the `O(mn(m+n))` segment-clipping brute force.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use monge_apps::neighbors::{neighbors, neighbors_brute, neighbors_seq, Goal};
+use monge_bench::workloads::polygon_pair;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("app_neighbors");
+    g.sample_size(10);
+    for n in [64usize, 256, 1024] {
+        let (p, q) = polygon_pair(n);
+        g.bench_with_input(BenchmarkId::new("predicates_seq", n), &n, |b, _| {
+            b.iter(|| black_box(neighbors_seq(&p, &q, Goal::NearestInvisible)))
+        });
+        g.bench_with_input(BenchmarkId::new("predicates_rayon", n), &n, |b, _| {
+            b.iter(|| black_box(neighbors(&p, &q, Goal::NearestInvisible)))
+        });
+        if n <= 256 {
+            g.bench_with_input(BenchmarkId::new("brute", n), &n, |b, _| {
+                b.iter(|| black_box(neighbors_brute(&p, &q, Goal::NearestInvisible)))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

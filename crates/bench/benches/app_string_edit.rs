@@ -1,0 +1,34 @@
+//! App 4 wall-clock: string editing — Wagner–Fischer DP vs the
+//! antidiagonal wavefront (Ranka–Sahni shape) vs the DIST-matrix tree
+//! (grid-DAG + tube minima).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use monge_apps::string_edit::{
+    edit_distance_antidiagonal, edit_distance_dist_tree, edit_distance_dp, CostModel,
+};
+use monge_bench::workloads::random_strings;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("app_string_edit");
+    g.sample_size(10);
+    let costs = CostModel::unit();
+    for n in [128usize, 512, 1024] {
+        let (x, y) = random_strings(n, n, 4);
+        g.bench_with_input(BenchmarkId::new("wagner_fischer", n), &n, |b, _| {
+            b.iter(|| black_box(edit_distance_dp(&x, &y, &costs)))
+        });
+        g.bench_with_input(BenchmarkId::new("antidiagonal", n), &n, |b, _| {
+            b.iter(|| black_box(edit_distance_antidiagonal(&x, &y, &costs)))
+        });
+        if n <= 512 {
+            g.bench_with_input(BenchmarkId::new("dist_tree8", n), &n, |b, _| {
+                b.iter(|| black_box(edit_distance_dist_tree(&x, &y, &costs, 8)))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Figure 1.1 wall-clock: farthest neighbors across two convex chains —
+//! SMAWK row maxima (`Θ(m+n)`) vs the `O(mn)` brute force vs rayon.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use monge_apps::farthest::{
+    farthest_across_chains, farthest_across_chains_brute, par_farthest_across_chains,
+};
+use monge_bench::workloads::polygon_chains;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig_1_1_farthest");
+    g.sample_size(10);
+    for n in [1024usize, 8192, 65536] {
+        let (p, q) = polygon_chains(n);
+        g.bench_with_input(BenchmarkId::new("smawk", n), &n, |b, _| {
+            b.iter(|| black_box(farthest_across_chains(&p, &q)))
+        });
+        g.bench_with_input(BenchmarkId::new("rayon", n), &n, |b, _| {
+            b.iter(|| black_box(par_farthest_across_chains(&p, &q)))
+        });
+        if n <= 8192 {
+            g.bench_with_input(BenchmarkId::new("brute", n), &n, |b, _| {
+                b.iter(|| black_box(farthest_across_chains_brute(&p, &q)))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

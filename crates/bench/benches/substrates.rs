@@ -1,0 +1,62 @@
+//! Substrate wall-clock: the building blocks the paper's pipeline rests
+//! on — ANSV (Lemma 2.2's allocator), the online concave/convex DP
+//! engines, and the tree-construction applications.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use monge_bench::workloads::rng_for;
+use monge_core::ansv::ansv;
+use monge_parallel::ansv_par::par_ansv;
+use rand::RngExt;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrates");
+    g.sample_size(10);
+
+    for n in [4096usize, 65536] {
+        let mut rng = rng_for(40, n);
+        let a: Vec<i64> = (0..n).map(|_| rng.random_range(0..1000)).collect();
+        g.bench_with_input(BenchmarkId::new("ansv_seq", n), &n, |b, _| {
+            b.iter(|| black_box(ansv(&a)))
+        });
+        g.bench_with_input(BenchmarkId::new("ansv_rayon", n), &n, |b, _| {
+            b.iter(|| black_box(par_ansv(&a)))
+        });
+    }
+
+    for n in [1024usize, 8192] {
+        let mut rng = rng_for(41, n);
+        let demand: Vec<f64> = (0..n).map(|_| rng.random_range(0.0..10.0)).collect();
+        let ls = monge_apps::lws::LotSize::new(demand, 25.0, 0.4);
+        g.bench_with_input(BenchmarkId::new("lot_size_lws", n), &n, |b, _| {
+            b.iter(|| black_box(ls.solve()))
+        });
+        if n <= 1024 {
+            let lot = |i: usize, j: usize| ls.w(i, j);
+            g.bench_with_input(BenchmarkId::new("lot_size_brute", n), &n, |b, _| {
+                b.iter(|| black_box(monge_apps::lws::lws_brute(n, &lot)))
+            });
+        }
+    }
+
+    for n in [128usize, 512] {
+        let mut rng = rng_for(42, n);
+        let freq: Vec<f64> = (0..n).map(|_| rng.random_range(0.01..3.0)).collect();
+        g.bench_with_input(BenchmarkId::new("obst_knuth_yao", n), &n, |b, _| {
+            b.iter(|| black_box(monge_apps::obst::optimal_bst(&freq)))
+        });
+        if n <= 128 {
+            g.bench_with_input(BenchmarkId::new("obst_cubic", n), &n, |b, _| {
+                b.iter(|| black_box(monge_apps::obst::optimal_bst_cubic(&freq)))
+            });
+        }
+        g.bench_with_input(BenchmarkId::new("garsia_wachs", n), &n, |b, _| {
+            b.iter(|| black_box(monge_apps::alphabetic::garsia_wachs(&freq)))
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Regenerates the paper's tables and application claims.
+//!
+//! ```text
+//! cargo run --release -p monge-bench --bin tables -- all
+//! cargo run --release -p monge-bench --bin tables -- table1.1 table1.3
+//! ```
+
+use monge_bench::tables;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = args.is_empty() || args.iter().any(|a| a == "all");
+    let want = |k: &str| all || args.iter().any(|a| a == k);
+
+    if want("table1.1") {
+        tables::table_1_1(&[64, 128, 256, 512, 1024, 2048]);
+    }
+    if want("table1.2") {
+        tables::table_1_2(&[64, 128, 256, 512, 1024, 2048]);
+    }
+    if want("table1.3") {
+        tables::table_1_3(&[16, 32, 64, 128, 256], &[8, 16, 32]);
+    }
+    if want("app1") {
+        tables::app1(&[64, 128, 256, 512, 1024, 2048], 256);
+    }
+    if want("app2") {
+        tables::app2(&[256, 1024, 4096, 16384, 65536], 16384);
+    }
+    if want("app3") {
+        tables::app3(&[32, 64, 128, 256, 512, 1024], 128);
+    }
+    if want("app4") {
+        tables::app4(&[64, 128, 256, 512]);
+    }
+    if want("fig1.1") {
+        tables::fig_1_1_capped(&[1024, 4096, 16384, 65536], 16384);
+    }
+    if want("ablation") {
+        tables::ablation(&[64, 256, 1024]);
+    }
+    if want("dp") {
+        tables::dp_apps(&[128, 512, 2048]);
+    }
+    if want("speedup") {
+        tables::speedup(4096);
+    }
+}

@@ -1,0 +1,119 @@
+//! Growth-shape fitting: which candidate law does a measured series
+//! follow?
+//!
+//! For each candidate `g(n)` (e.g. `lg n`, `lg n · lg lg n`, `lg² n`,
+//! `n`), compute the ratios `t(n) / g(n)` across the sweep; the candidate
+//! whose ratio series is flattest (smallest relative spread) is the best
+//! fit. This is deliberately simple — the sweeps span 2–3 orders of
+//! magnitude, enough to separate `lg`, `polylog` and polynomial laws by
+//! eye, and the table prints the ratios so readers can judge.
+
+/// A candidate growth law.
+#[derive(Clone, Copy)]
+pub struct Law {
+    /// Display name, e.g. `"lg n"`.
+    pub name: &'static str,
+    /// The law itself.
+    pub f: fn(f64) -> f64,
+}
+
+/// The laws relevant to the paper's bounds.
+pub fn standard_laws() -> Vec<Law> {
+    vec![
+        Law {
+            name: "lg n",
+            f: |n| n.log2(),
+        },
+        Law {
+            name: "lg n lglg n",
+            f: |n| n.log2() * n.log2().max(2.0).log2(),
+        },
+        Law {
+            name: "lg^2 n",
+            f: |n| n.log2() * n.log2(),
+        },
+        Law {
+            name: "lg^3 n",
+            f: |n| n.log2().powi(3),
+        },
+        Law {
+            name: "n",
+            f: |n| n,
+        },
+        Law {
+            name: "n lg n",
+            f: |n| n * n.log2(),
+        },
+        Law {
+            name: "n^2",
+            f: |n| n * n,
+        },
+    ]
+}
+
+/// Relative spread (max/min) of the ratio series `t_i / g(n_i)`; lower is
+/// flatter, 1.0 is a perfect fit.
+pub fn spread(ns: &[f64], ts: &[f64], law: &Law) -> f64 {
+    assert_eq!(ns.len(), ts.len());
+    let ratios: Vec<f64> = ns
+        .iter()
+        .zip(ts)
+        .map(|(&n, &t)| t / (law.f)(n).max(1e-9))
+        .collect();
+    let mx = ratios.iter().cloned().fold(f64::MIN, f64::max);
+    let mn = ratios.iter().cloned().fold(f64::MAX, f64::min);
+    if mn <= 0.0 {
+        return f64::INFINITY;
+    }
+    mx / mn
+}
+
+/// The best-fitting law among the standard candidates.
+pub fn best_fit(ns: &[f64], ts: &[f64]) -> &'static str {
+    let laws = standard_laws();
+    laws.iter()
+        .min_by(|a, b| {
+            spread(ns, ts, a)
+                .partial_cmp(&spread(ns, ts, b))
+                .unwrap()
+        })
+        .map(|l| l.name)
+        .unwrap_or("?")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recognizes_linear() {
+        let ns: Vec<f64> = vec![64.0, 256.0, 1024.0, 4096.0];
+        let ts: Vec<f64> = ns.iter().map(|n| 3.0 * n + 5.0).collect();
+        assert_eq!(best_fit(&ns, &ts), "n");
+    }
+
+    #[test]
+    fn recognizes_logarithmic() {
+        let ns: Vec<f64> = vec![64.0, 256.0, 1024.0, 4096.0, 16384.0];
+        let ts: Vec<f64> = ns.iter().map(|n| 7.0 * n.log2()).collect();
+        assert_eq!(best_fit(&ns, &ts), "lg n");
+    }
+
+    #[test]
+    fn recognizes_squared_log() {
+        let ns: Vec<f64> = vec![64.0, 256.0, 1024.0, 4096.0, 16384.0];
+        let ts: Vec<f64> = ns.iter().map(|n| 2.0 * n.log2() * n.log2()).collect();
+        assert_eq!(best_fit(&ns, &ts), "lg^2 n");
+    }
+
+    #[test]
+    fn perfect_fit_has_unit_spread() {
+        let ns = vec![16.0, 64.0, 256.0];
+        let law = Law {
+            name: "n",
+            f: |n| n,
+        };
+        let ts: Vec<f64> = ns.iter().map(|&n| 2.0 * n).collect();
+        assert!((spread(&ns, &ts, &law) - 1.0).abs() < 1e-12);
+    }
+}

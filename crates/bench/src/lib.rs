@@ -1,0 +1,22 @@
+//! # monge-bench
+//!
+//! The harness that regenerates the paper's evaluation: Tables 1.1–1.3
+//! (row maxima of Monge arrays, row minima of staircase-Monge arrays,
+//! tube maxima of Monge-composite arrays — each across machine models)
+//! and the §1.3 application claims, plus the Figure 1.1 example.
+//!
+//! The paper's tables state asymptotic time/processor bounds; no
+//! testbed numbers exist to match. Reproduction therefore means
+//! *measuring the shape*: the `tables` binary sweeps `n`, reports
+//! simulator steps / work / processor budgets next to the paper's
+//! claimed rows, and fits the measured series against the candidate
+//! growth laws so the reader can see which bound the curve follows.
+//! Criterion benches (in `benches/`) add wall-clock numbers for the
+//! sequential-vs-rayon engines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fit;
+pub mod tables;
+pub mod workloads;

@@ -1,0 +1,125 @@
+//! Sized workload constructors shared by the `tables` binary and the
+//! criterion benches. All are deterministic under fixed seeds so
+//! repeated runs regenerate identical tables.
+
+use monge_apps::geometry::{ConvexPolygon, Point, Rect};
+use monge_core::array2d::Dense;
+use monge_core::generators::{
+    apply_staircase, random_monge_dense, random_staircase_boundary,
+};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Deterministic RNG for a (workload, size) pair.
+pub fn rng_for(tag: u64, n: usize) -> StdRng {
+    StdRng::seed_from_u64(tag.wrapping_mul(0x9E3779B97F4A7C15) ^ n as u64)
+}
+
+/// A dense `n × n` Monge array.
+pub fn monge_square(n: usize) -> Dense<i64> {
+    random_monge_dense(n, n, &mut rng_for(1, n))
+}
+
+/// A dense `n × n` staircase-Monge array with its boundary.
+pub fn staircase_square(n: usize) -> (Dense<i64>, Vec<usize>) {
+    let mut rng = rng_for(2, n);
+    let base = random_monge_dense(n, n, &mut rng);
+    let f = random_staircase_boundary(n, n, &mut rng);
+    (apply_staircase(&base, &f), f)
+}
+
+/// A Monge-composite pair `(D, E)`, both `n × n`.
+pub fn composite_pair(n: usize) -> (Dense<i64>, Dense<i64>) {
+    let mut rng = rng_for(3, n);
+    (
+        random_monge_dense(n, n, &mut rng),
+        random_monge_dense(n, n, &mut rng),
+    )
+}
+
+/// Sorted vectors for the hypercube `VectorArray` model (`|v_i - w_j|`,
+/// Monge).
+pub fn transport_vectors(n: usize) -> (Vec<i64>, Vec<i64>) {
+    let mut rng = rng_for(4, n);
+    let mut v: Vec<i64> = (0..n).map(|_| rng.random_range(0..1_000_000)).collect();
+    let mut w: Vec<i64> = (0..n).map(|_| rng.random_range(0..1_000_000)).collect();
+    v.sort_unstable();
+    w.sort_unstable();
+    (v, w)
+}
+
+/// Uniform random points in the unit box scaled to 1000.
+pub fn random_points(n: usize, tag: u64) -> Vec<Point> {
+    let mut rng = rng_for(tag, n);
+    (0..n)
+        .map(|_| {
+            Point::new(
+                rng.random_range(0.0..1000.0),
+                rng.random_range(0.0..1000.0),
+            )
+        })
+        .collect()
+}
+
+/// The standard bounding box for the empty-rectangle workloads.
+pub fn unit_box() -> Rect {
+    Rect::new(0.0, 0.0, 1000.0, 1000.0)
+}
+
+/// Two disjoint convex polygons with `n` vertices each.
+pub fn polygon_pair(n: usize) -> (ConvexPolygon, ConvexPolygon) {
+    let mut rng = rng_for(6, n);
+    let p = ConvexPolygon::random(n.max(3), 0.0, 0.0, 100.0, &mut rng);
+    let q = ConvexPolygon::random(n.max(3), 350.0, 30.0, 100.0, &mut rng);
+    (p, q)
+}
+
+/// A convex polygon split into two chains (Figure 1.1's setting).
+pub fn polygon_chains(n: usize) -> (Vec<Point>, Vec<Point>) {
+    let mut rng = rng_for(7, n);
+    let poly = ConvexPolygon::random((2 * n).max(4), 0.0, 0.0, 1000.0, &mut rng);
+    let m = poly.vertices.len() / 2;
+    (poly.vertices[..m].to_vec(), poly.vertices[m..].to_vec())
+}
+
+/// Random byte strings over a `sigma`-letter alphabet (DNA-like when
+/// `sigma = 4`).
+pub fn random_strings(m: usize, n: usize, sigma: u8) -> (Vec<u8>, Vec<u8>) {
+    let mut rng = rng_for(8, m * 131 + n);
+    let x = (0..m).map(|_| b'a' + rng.random_range(0..sigma)).collect();
+    let y = (0..n).map(|_| b'a' + rng.random_range(0..sigma)).collect();
+    (x, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monge_core::monge::{is_monge, is_staircase_monge};
+
+    #[test]
+    fn workloads_are_certified() {
+        assert!(is_monge(&monge_square(16)));
+        let (a, _f) = staircase_square(16);
+        assert!(is_staircase_monge(&a));
+        let (d, e) = composite_pair(8);
+        assert!(is_monge(&d) && is_monge(&e));
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        assert_eq!(monge_square(12), monge_square(12));
+        let (x1, y1) = random_strings(20, 30, 4);
+        let (x2, y2) = random_strings(20, 30, 4);
+        assert_eq!(x1, x2);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn polygon_pair_is_disjoint() {
+        let (p, q) = polygon_pair(32);
+        // Far apart by construction; sanity-check bounding intervals.
+        let pmax = p.vertices.iter().map(|v| v.x).fold(f64::MIN, f64::max);
+        let qmin = q.vertices.iter().map(|v| v.x).fold(f64::MAX, f64::min);
+        assert!(pmax < qmin);
+    }
+}

@@ -1,0 +1,136 @@
+//! All Nearest Smaller Values (ANSV).
+//!
+//! Defined by Berkman, Breslauer, Galil, Schieber and Vishkin \[BBG+89\] and
+//! used by the paper's Lemma 2.2: "an application of their ANSV algorithm
+//! followed by sorting enables us to allocate processors". Given a list
+//! `a_1, …, a_n`, determine for each `a_i` the nearest element to its left
+//! and the nearest element to its right that are (strictly) less than
+//! `a_i`, if they exist.
+//!
+//! This module provides the `O(n)` sequential stack algorithm; the
+//! work-optimal parallel version lives in `monge-parallel::ansv_par`. In
+//! the staircase-Monge algorithm the left-match of each sampled-row minimum
+//! identifies the minimum that *brackets* it (its closest north-west
+//! neighbor in Figure 2.2), which determines the extra feasible Monge
+//! regions.
+
+/// Result of an ANSV computation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Ansv {
+    /// `left[i]` is the index of the nearest `j < i` with `a[j] < a[i]`.
+    pub left: Vec<Option<usize>>,
+    /// `right[i]` is the index of the nearest `j > i` with `a[j] < a[i]`.
+    pub right: Vec<Option<usize>>,
+}
+
+/// Sequential stack-based ANSV in `O(n)` time.
+pub fn ansv<T: PartialOrd>(a: &[T]) -> Ansv {
+    let n = a.len();
+    let mut left = vec![None; n];
+    let mut right = vec![None; n];
+    let mut stack: Vec<usize> = Vec::with_capacity(n);
+    for i in 0..n {
+        while let Some(&top) = stack.last() {
+            if a[top] < a[i] {
+                break;
+            }
+            stack.pop();
+        }
+        left[i] = stack.last().copied();
+        stack.push(i);
+    }
+    stack.clear();
+    for i in (0..n).rev() {
+        while let Some(&top) = stack.last() {
+            if a[top] < a[i] {
+                break;
+            }
+            stack.pop();
+        }
+        right[i] = stack.last().copied();
+        stack.push(i);
+    }
+    Ansv { left, right }
+}
+
+/// Brute-force ANSV oracle, `O(n²)` — used in tests.
+pub fn ansv_brute<T: PartialOrd>(a: &[T]) -> Ansv {
+    let n = a.len();
+    let left = (0..n)
+        .map(|i| (0..i).rev().find(|&j| a[j] < a[i]))
+        .collect();
+    let right = (0..n)
+        .map(|i| (i + 1..n).find(|&j| a[j] < a[i]))
+        .collect();
+    Ansv { left, right }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_case() {
+        let a = [3, 1, 4, 1, 5, 9, 2, 6];
+        let r = ansv(&a);
+        assert_eq!(r.left[0], None);
+        assert_eq!(r.left[2], Some(1)); // nearest smaller left of 4 is a[1]=1
+        assert_eq!(r.right[5], Some(6)); // nearest smaller right of 9 is 2
+        assert_eq!(r, ansv_brute(&a));
+    }
+
+    #[test]
+    fn strictly_increasing() {
+        let a: Vec<i32> = (0..10).collect();
+        let r = ansv(&a);
+        for i in 1..10 {
+            assert_eq!(r.left[i], Some(i - 1));
+            assert_eq!(r.right[i], None);
+        }
+        assert_eq!(r.left[0], None);
+    }
+
+    #[test]
+    fn strictly_decreasing() {
+        let a: Vec<i32> = (0..10).rev().collect();
+        let r = ansv(&a);
+        for i in 0..9 {
+            assert_eq!(r.right[i], Some(i + 1));
+            assert_eq!(r.left[i], None);
+        }
+    }
+
+    #[test]
+    fn equal_elements_are_not_smaller() {
+        let a = [5, 5, 5];
+        let r = ansv(&a);
+        assert!(r.left.iter().all(Option::is_none));
+        assert!(r.right.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let r = ansv::<i32>(&[]);
+        assert!(r.left.is_empty() && r.right.is_empty());
+        let r = ansv(&[7]);
+        assert_eq!(r.left, vec![None]);
+        assert_eq!(r.right, vec![None]);
+    }
+
+    #[test]
+    fn matches_brute_on_random() {
+        // Deterministic pseudo-random without pulling rand into unit scope.
+        let mut x: u64 = 0x2545F4914F6CDD1D;
+        for len in [2usize, 3, 17, 64, 129] {
+            let a: Vec<u64> = (0..len)
+                .map(|_| {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    x % 16
+                })
+                .collect();
+            assert_eq!(ansv(&a), ansv_brute(&a), "len={len}");
+        }
+    }
+}

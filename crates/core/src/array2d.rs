@@ -1,0 +1,514 @@
+//! Two-dimensional array views.
+//!
+//! The paper assumes "for any given `i` and `j`, a processor can compute the
+//! `(i,j)`-th entry of this array in `O(1)` time" (§1.2). We mirror that
+//! with the [`Array2d`] trait: an array is anything that can produce the
+//! entry at `(i, j)` on demand. Dense storage ([`Dense`]), closure-backed
+//! arrays ([`FnArray`]) and a family of adapters implement it.
+//!
+//! The adapters matter algorithmically: the paper observes that "reversing
+//! the order of an array's columns and/or negating its entries allows us to
+//! move back and forth" between row-minima and row-maxima problems for Monge
+//! and inverse-Monge arrays (§1.2). [`Negate`], [`ReverseCols`],
+//! [`ReverseRows`], [`Transpose`] and [`SubArray`] encode those reductions
+//! once, so each searching algorithm is written a single time.
+
+use crate::value::Value;
+use std::ops::Range;
+
+/// A lazily evaluated `rows() × cols()` array of values.
+///
+/// Implementations must be cheap to query: `entry(i, j)` is expected to be
+/// `O(1)` (the PRAM model's assumption). Implementations must be `Sync` so
+/// parallel engines can share them across threads.
+pub trait Array2d<T: Value>: Sync {
+    /// Number of rows `m`.
+    fn rows(&self) -> usize;
+    /// Number of columns `n`.
+    fn cols(&self) -> usize;
+    /// The entry `a[i, j]`, `0 <= i < rows()`, `0 <= j < cols()`.
+    fn entry(&self, i: usize, j: usize) -> T;
+
+    /// Materializes the array into dense row-major storage.
+    fn to_dense(&self) -> Dense<T>
+    where
+        Self: Sized,
+    {
+        let (m, n) = (self.rows(), self.cols());
+        let mut data = Vec::with_capacity(m * n);
+        for i in 0..m {
+            for j in 0..n {
+                data.push(self.entry(i, j));
+            }
+        }
+        Dense::from_vec(m, n, data)
+    }
+
+    /// One full row as a `Vec`.
+    fn row(&self, i: usize) -> Vec<T>
+    where
+        Self: Sized,
+    {
+        (0..self.cols()).map(|j| self.entry(i, j)).collect()
+    }
+}
+
+impl<T: Value, A: Array2d<T> + ?Sized> Array2d<T> for &A {
+    fn rows(&self) -> usize {
+        (**self).rows()
+    }
+    fn cols(&self) -> usize {
+        (**self).cols()
+    }
+    fn entry(&self, i: usize, j: usize) -> T {
+        (**self).entry(i, j)
+    }
+}
+
+/// Dense row-major storage.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Dense<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Value> Dense<T> {
+    /// Creates a dense array from row-major data; `data.len()` must equal
+    /// `rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "dense array data length {} != {rows} x {cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Creates a dense array from nested rows (convenient in tests).
+    pub fn from_rows(rows: Vec<Vec<T>>) -> Self {
+        let m = rows.len();
+        let n = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(m * n);
+        for (i, r) in rows.into_iter().enumerate() {
+            assert_eq!(r.len(), n, "row {i} has ragged length");
+            data.extend(r);
+        }
+        Self::from_vec(m, n, data)
+    }
+
+    /// Creates a constant-filled array.
+    pub fn filled(rows: usize, cols: usize, v: T) -> Self {
+        Self::from_vec(rows, cols, vec![v; rows * cols])
+    }
+
+    /// Builds a dense array by tabulating `f` over all index pairs.
+    pub fn tabulate(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Self::from_vec(rows, cols, data)
+    }
+
+    /// Mutable access to an entry.
+    pub fn set(&mut self, i: usize, j: usize, v: T) {
+        assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Underlying row-major data.
+    pub fn data(&self) -> &[T] {
+        &self.data
+    }
+
+    /// A view of row `i` as a slice.
+    pub fn row_slice(&self, i: usize) -> &[T] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+}
+
+impl<T: Value> Array2d<T> for Dense<T> {
+    #[inline]
+    fn rows(&self) -> usize {
+        self.rows
+    }
+    #[inline]
+    fn cols(&self) -> usize {
+        self.cols
+    }
+    #[inline]
+    fn entry(&self, i: usize, j: usize) -> T {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+}
+
+/// Closure-backed array: entries are computed on demand.
+///
+/// This is the natural representation for geometric instances (e.g. the
+/// inter-chain distance array of Figure 1.1, where `a[i,j] = d(p_i, q_j)`
+/// is computed from the two vertex lists in constant time).
+#[derive(Clone, Debug)]
+pub struct FnArray<F> {
+    rows: usize,
+    cols: usize,
+    f: F,
+}
+
+impl<F> FnArray<F> {
+    /// Creates a closure-backed `rows × cols` array.
+    pub fn new(rows: usize, cols: usize, f: F) -> Self {
+        Self { rows, cols, f }
+    }
+}
+
+impl<T: Value, F: Fn(usize, usize) -> T + Sync> Array2d<T> for FnArray<F> {
+    #[inline]
+    fn rows(&self) -> usize {
+        self.rows
+    }
+    #[inline]
+    fn cols(&self) -> usize {
+        self.cols
+    }
+    #[inline]
+    fn entry(&self, i: usize, j: usize) -> T {
+        (self.f)(i, j)
+    }
+}
+
+/// Entry-wise negation: row maxima of `A` are row minima of `Negate(A)`.
+#[derive(Clone, Copy, Debug)]
+pub struct Negate<A>(pub A);
+
+impl<T: Value, A: Array2d<T>> Array2d<T> for Negate<A> {
+    fn rows(&self) -> usize {
+        self.0.rows()
+    }
+    fn cols(&self) -> usize {
+        self.0.cols()
+    }
+    #[inline]
+    fn entry(&self, i: usize, j: usize) -> T {
+        self.0.entry(i, j).neg()
+    }
+}
+
+/// Column reversal: converts between Monge and inverse-Monge.
+#[derive(Clone, Copy, Debug)]
+pub struct ReverseCols<A>(pub A);
+
+impl<T: Value, A: Array2d<T>> Array2d<T> for ReverseCols<A> {
+    fn rows(&self) -> usize {
+        self.0.rows()
+    }
+    fn cols(&self) -> usize {
+        self.0.cols()
+    }
+    #[inline]
+    fn entry(&self, i: usize, j: usize) -> T {
+        self.0.entry(i, self.0.cols() - 1 - j)
+    }
+}
+
+/// Row reversal: also converts between Monge and inverse-Monge.
+#[derive(Clone, Copy, Debug)]
+pub struct ReverseRows<A>(pub A);
+
+impl<T: Value, A: Array2d<T>> Array2d<T> for ReverseRows<A> {
+    fn rows(&self) -> usize {
+        self.0.rows()
+    }
+    fn cols(&self) -> usize {
+        self.0.cols()
+    }
+    #[inline]
+    fn entry(&self, i: usize, j: usize) -> T {
+        self.0.entry(self.0.rows() - 1 - i, j)
+    }
+}
+
+/// Transposition: Monge-ness is preserved.
+#[derive(Clone, Copy, Debug)]
+pub struct Transpose<A>(pub A);
+
+impl<T: Value, A: Array2d<T>> Array2d<T> for Transpose<A> {
+    fn rows(&self) -> usize {
+        self.0.cols()
+    }
+    fn cols(&self) -> usize {
+        self.0.rows()
+    }
+    #[inline]
+    fn entry(&self, i: usize, j: usize) -> T {
+        self.0.entry(j, i)
+    }
+}
+
+/// A contiguous sub-array `A[r0..r1, c0..c1]`. Any sub-array of a Monge
+/// array is Monge; this is what makes divide-and-conquer possible.
+#[derive(Clone, Debug)]
+pub struct SubArray<A> {
+    inner: A,
+    row_range: Range<usize>,
+    col_range: Range<usize>,
+}
+
+impl<A> SubArray<A> {
+    /// Creates a view of `inner[rows, cols]`.
+    pub fn new<T: Value>(inner: A, rows: Range<usize>, cols: Range<usize>) -> Self
+    where
+        A: Array2d<T>,
+    {
+        assert!(rows.end <= inner.rows() && cols.end <= inner.cols());
+        assert!(rows.start <= rows.end && cols.start <= cols.end);
+        Self {
+            inner,
+            row_range: rows,
+            col_range: cols,
+        }
+    }
+
+    /// The row offset of this view inside the parent array.
+    pub fn row_offset(&self) -> usize {
+        self.row_range.start
+    }
+
+    /// The column offset of this view inside the parent array.
+    pub fn col_offset(&self) -> usize {
+        self.col_range.start
+    }
+}
+
+impl<T: Value, A: Array2d<T>> Array2d<T> for SubArray<A> {
+    fn rows(&self) -> usize {
+        self.row_range.end - self.row_range.start
+    }
+    fn cols(&self) -> usize {
+        self.col_range.end - self.col_range.start
+    }
+    #[inline]
+    fn entry(&self, i: usize, j: usize) -> T {
+        self.inner
+            .entry(self.row_range.start + i, self.col_range.start + j)
+    }
+}
+
+/// Entry-wise sum of two equal-shape arrays. Monge arrays are closed
+/// under addition (the quadrangle inequalities add), which is how
+/// compound cost structures — e.g. a distance term plus per-row/column
+/// charges — stay searchable.
+#[derive(Clone, Copy, Debug)]
+pub struct Plus<A, B>(pub A, pub B);
+
+impl<T: Value, A: Array2d<T>, B: Array2d<T>> Array2d<T> for Plus<A, B> {
+    fn rows(&self) -> usize {
+        debug_assert_eq!(self.0.rows(), self.1.rows());
+        self.0.rows()
+    }
+    fn cols(&self) -> usize {
+        debug_assert_eq!(self.0.cols(), self.1.cols());
+        self.0.cols()
+    }
+    #[inline]
+    fn entry(&self, i: usize, j: usize) -> T {
+        self.0.entry(i, j).add(self.1.entry(i, j))
+    }
+}
+
+/// A row-sampled view: row `i` of the view is row `index_of(i)` of the
+/// parent, for an arbitrary strictly increasing row selection. Selecting
+/// rows (or columns) of a Monge array keeps it Monge.
+#[derive(Clone, Debug)]
+pub struct SelectRows<A> {
+    inner: A,
+    rows: Vec<usize>,
+}
+
+impl<A> SelectRows<A> {
+    /// Creates a view of the given rows (must be strictly increasing).
+    pub fn new<T: Value>(inner: A, rows: Vec<usize>) -> Self
+    where
+        A: Array2d<T>,
+    {
+        debug_assert!(rows.windows(2).all(|w| w[0] < w[1]));
+        if let Some(&last) = rows.last() {
+            assert!(last < inner.rows());
+        }
+        Self { inner, rows }
+    }
+
+    /// The parent row index of view row `i`.
+    pub fn parent_row(&self, i: usize) -> usize {
+        self.rows[i]
+    }
+}
+
+impl<T: Value, A: Array2d<T>> Array2d<T> for SelectRows<A> {
+    fn rows(&self) -> usize {
+        self.rows.len()
+    }
+    fn cols(&self) -> usize {
+        self.inner.cols()
+    }
+    #[inline]
+    fn entry(&self, i: usize, j: usize) -> T {
+        self.inner.entry(self.rows[i], j)
+    }
+}
+
+/// A column-selected view (strictly increasing column selection).
+#[derive(Clone, Debug)]
+pub struct SelectCols<A> {
+    inner: A,
+    cols: Vec<usize>,
+}
+
+impl<A> SelectCols<A> {
+    /// Creates a view of the given columns (must be strictly increasing).
+    pub fn new<T: Value>(inner: A, cols: Vec<usize>) -> Self
+    where
+        A: Array2d<T>,
+    {
+        debug_assert!(cols.windows(2).all(|w| w[0] < w[1]));
+        if let Some(&last) = cols.last() {
+            assert!(last < inner.cols());
+        }
+        Self { inner, cols }
+    }
+
+    /// The parent column index of view column `j`.
+    pub fn parent_col(&self, j: usize) -> usize {
+        self.cols[j]
+    }
+}
+
+impl<T: Value, A: Array2d<T>> Array2d<T> for SelectCols<A> {
+    fn rows(&self) -> usize {
+        self.inner.rows()
+    }
+    fn cols(&self) -> usize {
+        self.cols.len()
+    }
+    #[inline]
+    fn entry(&self, i: usize, j: usize) -> T {
+        self.inner.entry(i, self.cols[j])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dense<i64> {
+        Dense::from_rows(vec![vec![1, 2, 3], vec![4, 5, 6]])
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let a = sample();
+        assert_eq!(a.rows(), 2);
+        assert_eq!(a.cols(), 3);
+        assert_eq!(a.entry(0, 0), 1);
+        assert_eq!(a.entry(1, 2), 6);
+        assert_eq!(a.row(1), vec![4, 5, 6]);
+        assert_eq!(a.row_slice(0), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn tabulate_matches_closure() {
+        let a = Dense::tabulate(3, 4, |i, j| (i * 10 + j) as i64);
+        let f = FnArray::new(3, 4, |i, j| (i * 10 + j) as i64);
+        assert_eq!(a, f.to_dense());
+    }
+
+    #[test]
+    fn negate_adapter() {
+        let a = Negate(sample());
+        assert_eq!(a.entry(0, 0), -1);
+        assert_eq!(a.entry(1, 2), -6);
+    }
+
+    #[test]
+    fn reverse_cols_adapter() {
+        let a = ReverseCols(sample());
+        assert_eq!(a.entry(0, 0), 3);
+        assert_eq!(a.entry(0, 2), 1);
+        assert_eq!(a.entry(1, 1), 5);
+    }
+
+    #[test]
+    fn reverse_rows_adapter() {
+        let a = ReverseRows(sample());
+        assert_eq!(a.entry(0, 0), 4);
+        assert_eq!(a.entry(1, 0), 1);
+    }
+
+    #[test]
+    fn transpose_adapter() {
+        let a = Transpose(sample());
+        assert_eq!(a.rows(), 3);
+        assert_eq!(a.cols(), 2);
+        assert_eq!(a.entry(2, 1), 6);
+    }
+
+    #[test]
+    fn sub_array_view() {
+        let a = Dense::tabulate(5, 5, |i, j| (i * 5 + j) as i64);
+        let s = SubArray::new(&a, 1..4, 2..5);
+        assert_eq!(s.rows(), 3);
+        assert_eq!(s.cols(), 3);
+        assert_eq!(s.entry(0, 0), 7);
+        assert_eq!(s.entry(2, 2), 19);
+        assert_eq!(s.row_offset(), 1);
+        assert_eq!(s.col_offset(), 2);
+    }
+
+    #[test]
+    fn select_rows_and_cols() {
+        let a = Dense::tabulate(6, 6, |i, j| (i * 6 + j) as i64);
+        let r = SelectRows::new(&a, vec![0, 2, 5]);
+        assert_eq!(r.rows(), 3);
+        assert_eq!(r.entry(1, 3), 15);
+        assert_eq!(r.parent_row(2), 5);
+        let c = SelectCols::new(&a, vec![1, 4]);
+        assert_eq!(c.cols(), 2);
+        assert_eq!(c.entry(3, 1), 22);
+        assert_eq!(c.parent_col(0), 1);
+    }
+
+    #[test]
+    fn plus_adapter_preserves_monge() {
+        use crate::monge::is_monge;
+        let a = Dense::tabulate(6, 7, |i, j| -((i * j) as i64));
+        let b = Dense::tabulate(6, 7, |i, j| {
+            let d = i as i64 - j as i64;
+            d * d
+        });
+        assert!(is_monge(&a) && is_monge(&b));
+        let s = Plus(&a, &b);
+        assert!(is_monge(&s), "Monge closed under +");
+        assert_eq!(s.entry(2, 3), a.entry(2, 3) + b.entry(2, 3));
+        // And searching the sum works like any other array.
+        let idx = crate::smawk::row_minima_monge(&s).index;
+        assert_eq!(idx, crate::monge::brute_row_minima(&s));
+    }
+
+    #[test]
+    #[should_panic]
+    fn ragged_rows_panic() {
+        let _ = Dense::from_rows(vec![vec![1i64, 2], vec![3]]);
+    }
+
+    #[test]
+    fn infinity_entries_flow_through_adapters() {
+        let inf = <i64 as Value>::INFINITY;
+        let a = Dense::from_rows(vec![vec![1, inf], vec![2, inf]]);
+        assert!(Value::is_pos_infinite(Negate(&a).entry(0, 1).neg()));
+        assert!(Value::is_pos_infinite(ReverseCols(&a).entry(0, 0)));
+    }
+}

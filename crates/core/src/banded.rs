@@ -1,0 +1,290 @@
+//! Row minima / maxima of Monge arrays restricted to *monotone bands*.
+//!
+//! Several of the paper's applications (the rectangle problems, the
+//! invisible-neighbor problem) produce Monge arrays whose entries are
+//! only *valid* inside a per-row window `[lo_i, hi_i)` with both
+//! endpoints monotone in `i` — a two-sided generalization of the
+//! staircase shape.
+//!
+//! The tractable pairings keep the divide & conquer one-dimensional
+//! (each recursion side searches a *single* interval):
+//!
+//! * **row maxima** with **non-increasing** bands: argmax positions are
+//!   non-increasing, the escape region of an upper row (columns valid
+//!   for it but not for the middle row) sits flush against `[j*, ·)`,
+//!   and the lower rows' left escape merges with `(·, j*]`;
+//! * **row minima** with **non-decreasing** bands: the mirror image.
+//!
+//! The opposite pairings (e.g. minima with non-increasing bands — which
+//! contains the staircase-minima problem as the `lo_i = 0` special case)
+//! produce disconnected feasible regions and genuinely need the paper's
+//! staircase machinery ([`crate::staircase`]); that asymmetry is exactly
+//! why the paper treats staircase row *minima* as the hard problem while
+//! row *maxima* stay easy (§1.2).
+
+use crate::array2d::Array2d;
+use crate::value::Value;
+
+/// Leftmost row minima of a Monge array within **non-decreasing** bands
+/// `[lo_i, hi_i)`. Rows with empty bands yield `None`. `O((m + n) lg m)`.
+pub fn banded_row_minima_monge<T: Value, A: Array2d<T>>(
+    a: &A,
+    lo: &[usize],
+    hi: &[usize],
+) -> Vec<Option<usize>> {
+    debug_assert!(
+        lo.windows(2).all(|w| w[0] <= w[1]) && hi.windows(2).all(|w| w[0] <= w[1]),
+        "minima bands must be non-decreasing"
+    );
+    banded(a, lo, hi, false)
+}
+
+/// Leftmost row maxima of a Monge array within **non-increasing** bands
+/// `[lo_i, hi_i)`. Rows with empty bands yield `None`. `O((m + n) lg m)`.
+///
+/// ```
+/// use monge_core::array2d::Dense;
+/// use monge_core::banded::banded_row_maxima_monge;
+///
+/// let a = Dense::tabulate(3, 5, |i, j| -((i * j) as i64)); // Monge
+/// // Bands shrink leftward down the rows (the staircase direction
+/// // maxima pair with).
+/// let lo = vec![2, 1, 0];
+/// let hi = vec![5, 4, 2];
+/// let arg = banded_row_maxima_monge(&a, &lo, &hi);
+/// assert_eq!(arg, vec![Some(2), Some(1), Some(0)]);
+/// ```
+pub fn banded_row_maxima_monge<T: Value, A: Array2d<T>>(
+    a: &A,
+    lo: &[usize],
+    hi: &[usize],
+) -> Vec<Option<usize>> {
+    debug_assert!(
+        lo.windows(2).all(|w| w[0] >= w[1]) && hi.windows(2).all(|w| w[0] >= w[1]),
+        "maxima bands must be non-increasing"
+    );
+    banded(a, lo, hi, true)
+}
+
+fn banded<T: Value, A: Array2d<T>>(
+    a: &A,
+    lo: &[usize],
+    hi: &[usize],
+    maxima: bool,
+) -> Vec<Option<usize>> {
+    let m = a.rows();
+    assert_eq!(lo.len(), m);
+    assert_eq!(hi.len(), m);
+    debug_assert!((0..m).all(|i| hi[i] <= a.cols()));
+    let mut out = vec![None; m];
+    // Only rows with nonempty bands participate; skipping rows preserves
+    // the Monge structure.
+    let rows: Vec<usize> = (0..m).filter(|&i| lo[i] < hi[i]).collect();
+    if rows.is_empty() {
+        return out;
+    }
+    let n = a.cols();
+    rec(a, lo, hi, &rows, 0, rows.len(), 0, n, maxima, &mut out);
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rec<T: Value, A: Array2d<T>>(
+    a: &A,
+    lo: &[usize],
+    hi: &[usize],
+    rows: &[usize],
+    r0: usize,
+    r1: usize,
+    cur_lo: usize,
+    cur_hi: usize,
+    maxima: bool,
+    out: &mut [Option<usize>],
+) {
+    if r0 >= r1 {
+        return;
+    }
+    let mid = r0 + (r1 - r0) / 2;
+    let row = rows[mid];
+    let from = cur_lo.max(lo[row]);
+    let to = cur_hi.min(hi[row]);
+    debug_assert!(from < to, "invariant violated: empty middle interval");
+    let mut best = from;
+    let mut best_v = a.entry(row, from);
+    for j in from + 1..to {
+        let v = a.entry(row, j);
+        let better = if maxima {
+            best_v.total_lt(v)
+        } else {
+            v.total_lt(best_v)
+        };
+        if better {
+            best = j;
+            best_v = v;
+        }
+    }
+    out[row] = Some(best);
+    if maxima {
+        // Argmax non-increasing: rows above search right of j*, rows
+        // below left of it (escapes merge into single intervals for
+        // non-increasing bands).
+        rec(a, lo, hi, rows, r0, mid, best, cur_hi, maxima, out);
+        rec(a, lo, hi, rows, mid + 1, r1, cur_lo, best + 1, maxima, out);
+    } else {
+        // Argmin non-decreasing: the mirror (non-decreasing bands).
+        rec(a, lo, hi, rows, r0, mid, cur_lo, best + 1, maxima, out);
+        rec(a, lo, hi, rows, mid + 1, r1, best, cur_hi, maxima, out);
+    }
+}
+
+/// Brute-force oracle for banded minima.
+pub fn banded_row_minima_brute<T: Value, A: Array2d<T>>(
+    a: &A,
+    lo: &[usize],
+    hi: &[usize],
+) -> Vec<Option<usize>> {
+    banded_brute(a, lo, hi, false)
+}
+
+/// Brute-force oracle for banded maxima.
+pub fn banded_row_maxima_brute<T: Value, A: Array2d<T>>(
+    a: &A,
+    lo: &[usize],
+    hi: &[usize],
+) -> Vec<Option<usize>> {
+    banded_brute(a, lo, hi, true)
+}
+
+fn banded_brute<T: Value, A: Array2d<T>>(
+    a: &A,
+    lo: &[usize],
+    hi: &[usize],
+    maxima: bool,
+) -> Vec<Option<usize>> {
+    (0..a.rows())
+        .map(|i| {
+            if lo[i] >= hi[i] {
+                return None;
+            }
+            let mut best = lo[i];
+            let mut best_v = a.entry(i, best);
+            for j in lo[i] + 1..hi[i] {
+                let v = a.entry(i, j);
+                let better = if maxima {
+                    best_v.total_lt(v)
+                } else {
+                    v.total_lt(best_v)
+                };
+                if better {
+                    best = j;
+                    best_v = v;
+                }
+            }
+            Some(best)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::random_monge_dense;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_bands(
+        m: usize,
+        n: usize,
+        increasing: bool,
+        rng: &mut StdRng,
+    ) -> (Vec<usize>, Vec<usize>) {
+        let mut lo: Vec<usize> = (0..m).map(|_| rng.random_range(0..=n)).collect();
+        let mut hi: Vec<usize> = (0..m).map(|_| rng.random_range(0..=n)).collect();
+        if increasing {
+            lo.sort_unstable();
+            hi.sort_unstable();
+        } else {
+            lo.sort_unstable_by(|a, b| b.cmp(a));
+            hi.sort_unstable_by(|a, b| b.cmp(a));
+        }
+        let lo: Vec<usize> = lo.iter().zip(&hi).map(|(&l, &h)| l.min(h)).collect();
+        (lo, hi)
+    }
+
+    #[test]
+    fn minima_matches_brute() {
+        let mut rng = StdRng::seed_from_u64(140);
+        for trial in 0..60 {
+            let (m, n) = (1 + trial % 20, 1 + (trial * 7) % 20);
+            let a = random_monge_dense(m, n, &mut rng);
+            let (lo, hi) = random_bands(m, n, true, &mut rng);
+            assert_eq!(
+                banded_row_minima_monge(&a, &lo, &hi),
+                banded_row_minima_brute(&a, &lo, &hi),
+                "trial {trial}"
+            );
+        }
+    }
+
+    #[test]
+    fn maxima_matches_brute() {
+        let mut rng = StdRng::seed_from_u64(141);
+        for trial in 0..60 {
+            let (m, n) = (1 + (trial * 3) % 20, 1 + (trial * 5) % 20);
+            let a = random_monge_dense(m, n, &mut rng);
+            let (lo, hi) = random_bands(m, n, false, &mut rng);
+            assert_eq!(
+                banded_row_maxima_monge(&a, &lo, &hi),
+                banded_row_maxima_brute(&a, &lo, &hi),
+                "trial {trial}"
+            );
+        }
+    }
+
+    #[test]
+    fn full_band_equals_plain_search() {
+        let mut rng = StdRng::seed_from_u64(142);
+        let a = random_monge_dense(15, 12, &mut rng);
+        let lo = vec![0usize; 15];
+        let hi = vec![12usize; 15];
+        let got: Vec<usize> = banded_row_minima_monge(&a, &lo, &hi)
+            .into_iter()
+            .map(Option::unwrap)
+            .collect();
+        assert_eq!(got, crate::monge::brute_row_minima(&a));
+        let got: Vec<usize> = banded_row_maxima_monge(&a, &lo, &hi)
+            .into_iter()
+            .map(Option::unwrap)
+            .collect();
+        assert_eq!(got, crate::monge::brute_row_maxima(&a));
+    }
+
+    #[test]
+    fn all_empty_bands() {
+        let mut rng = StdRng::seed_from_u64(143);
+        let a = random_monge_dense(5, 5, &mut rng);
+        let lo = vec![5usize; 5];
+        let hi = vec![5usize; 5];
+        assert!(banded_row_minima_monge(&a, &lo, &hi)
+            .iter()
+            .all(Option::is_none));
+    }
+
+    #[test]
+    fn staircase_maxima_is_a_special_band() {
+        // The `lo = 0`, non-increasing-`hi` band is exactly the staircase
+        // shape, and row *maxima* (the easy direction, §1.2) are solved
+        // by the banded search directly.
+        use crate::generators::random_staircase_boundary;
+        let mut rng = StdRng::seed_from_u64(144);
+        let a = random_monge_dense(18, 14, &mut rng);
+        let f = random_staircase_boundary(18, 14, &mut rng);
+        let lo = vec![0usize; 18];
+        let got: Vec<usize> = banded_row_maxima_monge(&a, &lo, &f)
+            .into_iter()
+            .map(Option::unwrap)
+            .collect();
+        let masked = crate::generators::apply_staircase(&a, &f);
+        assert_eq!(got, crate::staircase::staircase_row_maxima_brute(&masked, &f));
+    }
+}

@@ -1,0 +1,336 @@
+//! Certified random instance generators.
+//!
+//! Every generator produces arrays that are Monge / inverse-Monge /
+//! staircase-Monge *by construction*, so the test suite can both rely on
+//! them and re-verify them with the predicates in [`crate::monge`].
+//!
+//! Two constructions are used:
+//!
+//! * **Density integration** (dense, the most general): a finite array is
+//!   Monge iff its discrete mixed second difference ("density")
+//!   `a[i,j] + a[i+1,j+1] - a[i,j+1] - a[i+1,j]` is everywhere `<= 0`.
+//!   Drawing a non-negative random density `g` and integrating
+//!   `a[i,j] = u[i] + v[j] - Σ_{i'<=i, j'<=j} g[i',j']` therefore yields a
+//!   uniformly "generic" Monge array. `O(mn)` memory.
+//! * **Structured implicit arrays** ([`ImplicitMonge`], `O(m + n + k)`
+//!   memory, `O(k)` per entry): sums of terms `-w · min(x[i], y[j])` with
+//!   ascending `x`, `y` and `w >= 0`, plus row/column offsets. `min` of
+//!   monotone coordinates is supermodular, so each negated term is
+//!   submodular (Monge), and Monge arrays are closed under addition. These
+//!   power the large-`n` benchmarks where a dense array would not fit in
+//!   memory.
+
+use crate::array2d::{Array2d, Dense};
+use crate::value::Value;
+use rand::{Rng, RngExt};
+
+/// Bounds used by the integer generators so that saturating arithmetic
+/// (`i64` infinity at `i64::MAX / 4`) can never be reached by sums of
+/// finitely many entries.
+const OFFSET_RANGE: i64 = 1_000;
+const DENSITY_RANGE: i64 = 16;
+
+/// A dense random `m × n` Monge array over `i64` (density integration).
+///
+/// ```
+/// use monge_core::generators::random_monge_dense;
+/// use monge_core::monge::is_monge;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let a = random_monge_dense(8, 11, &mut StdRng::seed_from_u64(7));
+/// assert!(is_monge(&a)); // certified by construction
+/// ```
+#[allow(clippy::needless_range_loop)] // u[i]/v[j] pair with prefix[j]
+pub fn random_monge_dense(m: usize, n: usize, rng: &mut impl Rng) -> Dense<i64> {
+    assert!(m > 0 && n > 0);
+    // Prefix-summed density, built row by row.
+    let mut prefix = vec![0i64; n];
+    let mut data = Vec::with_capacity(m * n);
+    let u: Vec<i64> = (0..m)
+        .map(|_| rng.random_range(-OFFSET_RANGE..=OFFSET_RANGE))
+        .collect();
+    let v: Vec<i64> = (0..n)
+        .map(|_| rng.random_range(-OFFSET_RANGE..=OFFSET_RANGE))
+        .collect();
+    for i in 0..m {
+        let mut row_acc = 0i64;
+        for j in 0..n {
+            // Leave the first row and column density-free so the array's
+            // margins stay random.
+            let g = if i == 0 || j == 0 {
+                0
+            } else {
+                rng.random_range(0..=DENSITY_RANGE)
+            };
+            row_acc += g;
+            prefix[j] += row_acc;
+            data.push(u[i] + v[j] - prefix[j]);
+        }
+    }
+    Dense::from_vec(m, n, data)
+}
+
+/// A dense random `m × n` inverse-Monge array over `i64`.
+pub fn random_inverse_monge_dense(m: usize, n: usize, rng: &mut impl Rng) -> Dense<i64> {
+    let a = random_monge_dense(m, n, rng);
+    let data = a.data().iter().map(|&x| -x).collect();
+    Dense::from_vec(m, n, data)
+}
+
+/// A dense random `m × n` Monge array over `f64`.
+pub fn random_monge_dense_f64(m: usize, n: usize, rng: &mut impl Rng) -> Dense<f64> {
+    let a = random_monge_dense(m, n, rng);
+    let data = a.data().iter().map(|&x| x as f64).collect();
+    Dense::from_vec(m, n, data)
+}
+
+/// A random non-increasing staircase boundary `f_1 >= f_2 >= … >= f_m`,
+/// with `1 <= f_i <= n` (every row keeps at least one finite entry, so row
+/// minima stay well-defined).
+pub fn random_staircase_boundary(m: usize, n: usize, rng: &mut impl Rng) -> Vec<usize> {
+    assert!(m > 0 && n > 0);
+    let mut f: Vec<usize> = (0..m).map(|_| rng.random_range(1..=n)).collect();
+    f.sort_unstable_by(|a, b| b.cmp(a));
+    f
+}
+
+/// A dense random `m × n` staircase-Monge array over `i64`: a Monge base
+/// with a random legal staircase of `∞` entries.
+pub fn random_staircase_monge_dense(m: usize, n: usize, rng: &mut impl Rng) -> Dense<i64> {
+    let base = random_monge_dense(m, n, rng);
+    let f = random_staircase_boundary(m, n, rng);
+    apply_staircase(&base, &f)
+}
+
+/// A dense random `m × n` staircase-**inverse**-Monge array over `i64`
+/// (negated Monge base under a legal staircase of `+∞`).
+pub fn random_staircase_inverse_monge_dense(
+    m: usize,
+    n: usize,
+    rng: &mut impl Rng,
+) -> Dense<i64> {
+    let base = random_monge_dense(m, n, rng);
+    let f = random_staircase_boundary(m, n, rng);
+    Dense::tabulate(m, n, |i, j| {
+        if j >= f[i] {
+            <i64 as Value>::INFINITY
+        } else {
+            -base.entry(i, j)
+        }
+    })
+}
+
+/// Masks `base` with the staircase boundary `f` (entries at columns
+/// `>= f[i]` become `+∞`).
+pub fn apply_staircase(base: &Dense<i64>, f: &[usize]) -> Dense<i64> {
+    let (m, n) = (base.rows(), base.cols());
+    assert_eq!(f.len(), m);
+    Dense::tabulate(m, n, |i, j| {
+        if j >= f[i] {
+            <i64 as Value>::INFINITY
+        } else {
+            base.entry(i, j)
+        }
+    })
+}
+
+/// One `-w · min(x[i], y[j])` term of an [`ImplicitMonge`] array.
+#[derive(Clone, Debug)]
+struct Bump {
+    weight: i64,
+    x: Vec<i64>,
+    y: Vec<i64>,
+}
+
+/// An implicit Monge array with `O(m + n)` memory and `O(k)`-time entries,
+/// for benchmark sizes where dense storage is impossible.
+///
+/// `a[i,j] = row_off[i] + col_off[j] - Σ_k w_k · min(x_k[i], y_k[j])` with
+/// `w_k >= 0` and each `x_k`, `y_k` ascending — Monge by the supermodularity
+/// of `min` over monotone coordinates.
+#[derive(Clone, Debug)]
+pub struct ImplicitMonge {
+    row_off: Vec<i64>,
+    col_off: Vec<i64>,
+    bumps: Vec<Bump>,
+    negate: bool,
+}
+
+impl ImplicitMonge {
+    /// A random implicit `m × n` Monge array with `k` structural terms.
+    pub fn random(m: usize, n: usize, k: usize, rng: &mut impl Rng) -> Self {
+        assert!(m > 0 && n > 0);
+        let row_off = (0..m)
+            .map(|_| rng.random_range(-OFFSET_RANGE..=OFFSET_RANGE))
+            .collect();
+        let col_off = (0..n)
+            .map(|_| rng.random_range(-OFFSET_RANGE..=OFFSET_RANGE))
+            .collect();
+        let bumps = (0..k)
+            .map(|_| {
+                let mut x: Vec<i64> = (0..m).map(|_| rng.random_range(0..=OFFSET_RANGE)).collect();
+                let mut y: Vec<i64> = (0..n).map(|_| rng.random_range(0..=OFFSET_RANGE)).collect();
+                x.sort_unstable();
+                y.sort_unstable();
+                Bump {
+                    weight: rng.random_range(0..=DENSITY_RANGE),
+                    x,
+                    y,
+                }
+            })
+            .collect();
+        Self {
+            row_off,
+            col_off,
+            bumps,
+            negate: false,
+        }
+    }
+
+    /// A random implicit inverse-Monge array (entry-wise negation).
+    pub fn random_inverse(m: usize, n: usize, k: usize, rng: &mut impl Rng) -> Self {
+        let mut a = Self::random(m, n, k, rng);
+        a.negate = true;
+        a
+    }
+}
+
+impl Array2d<i64> for ImplicitMonge {
+    fn rows(&self) -> usize {
+        self.row_off.len()
+    }
+    fn cols(&self) -> usize {
+        self.col_off.len()
+    }
+    #[inline]
+    fn entry(&self, i: usize, j: usize) -> i64 {
+        let mut v = self.row_off[i] + self.col_off[j];
+        for b in &self.bumps {
+            v -= b.weight * b.x[i].min(b.y[j]);
+        }
+        if self.negate {
+            -v
+        } else {
+            v
+        }
+    }
+}
+
+/// The sorted-transportation Monge family `a[i,j] = |x_i - y_j|` for
+/// ascending `x`, `y` — G. Monge's own 1781 example class, useful as a
+/// structurally different test family.
+#[derive(Clone, Debug)]
+pub struct TransportArray {
+    x: Vec<i64>,
+    y: Vec<i64>,
+}
+
+impl TransportArray {
+    /// Random sorted supply/demand positions.
+    pub fn random(m: usize, n: usize, rng: &mut impl Rng) -> Self {
+        let mut x: Vec<i64> = (0..m)
+            .map(|_| rng.random_range(0..=OFFSET_RANGE * 10))
+            .collect();
+        let mut y: Vec<i64> = (0..n)
+            .map(|_| rng.random_range(0..=OFFSET_RANGE * 10))
+            .collect();
+        x.sort_unstable();
+        y.sort_unstable();
+        Self { x, y }
+    }
+}
+
+impl Array2d<i64> for TransportArray {
+    fn rows(&self) -> usize {
+        self.x.len()
+    }
+    fn cols(&self) -> usize {
+        self.y.len()
+    }
+    #[inline]
+    fn entry(&self, i: usize, j: usize) -> i64 {
+        (self.x[i] - self.y[j]).abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monge::{
+        has_staircase_shape, is_inverse_monge, is_monge, is_staircase_monge,
+    };
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dense_generator_is_monge() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for &(m, n) in &[(1, 1), (2, 7), (7, 2), (16, 16), (23, 31)] {
+            let a = random_monge_dense(m, n, &mut rng);
+            assert!(is_monge(&a), "{m}x{n} not Monge");
+        }
+    }
+
+    #[test]
+    fn dense_inverse_generator_is_inverse_monge() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = random_inverse_monge_dense(13, 9, &mut rng);
+        assert!(is_inverse_monge(&a));
+    }
+
+    #[test]
+    fn f64_generator_is_monge() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = random_monge_dense_f64(10, 12, &mut rng);
+        assert!(is_monge(&a));
+    }
+
+    #[test]
+    fn staircase_generator_is_staircase_monge() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10 {
+            let a = random_staircase_monge_dense(12, 15, &mut rng);
+            assert!(has_staircase_shape(&a));
+            assert!(is_staircase_monge(&a));
+        }
+    }
+
+    #[test]
+    fn staircase_boundary_is_non_increasing_and_positive() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let f = random_staircase_boundary(50, 20, &mut rng);
+        assert!(f.windows(2).all(|w| w[0] >= w[1]));
+        assert!(f.iter().all(|&x| (1..=20).contains(&x)));
+    }
+
+    #[test]
+    fn implicit_monge_is_monge() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = ImplicitMonge::random(17, 13, 4, &mut rng);
+        assert!(is_monge(&a));
+        let b = ImplicitMonge::random_inverse(9, 21, 3, &mut rng);
+        assert!(is_inverse_monge(&b));
+    }
+
+    #[test]
+    fn implicit_monge_zero_bumps_is_additive() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = ImplicitMonge::random(5, 5, 0, &mut rng);
+        assert!(is_monge(&a));
+        assert!(is_inverse_monge(&a)); // additive arrays are both
+    }
+
+    #[test]
+    fn transport_array_is_monge() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let a = TransportArray::random(14, 18, &mut rng);
+        assert!(is_monge(&a));
+    }
+
+    #[test]
+    fn generators_are_deterministic_under_seed() {
+        let a = random_monge_dense(6, 6, &mut StdRng::seed_from_u64(42));
+        let b = random_monge_dense(6, 6, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+}

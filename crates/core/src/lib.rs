@@ -1,0 +1,62 @@
+//! # monge-core
+//!
+//! Core abstractions and sequential algorithms for searching in *Monge*,
+//! *staircase-Monge* and *Monge-composite* arrays, reproducing the
+//! definitions and sequential baselines of
+//! *Aggarwal, Kravets, Park, Sen — "Parallel Searching in Generalized Monge
+//! Arrays with Applications" (SPAA 1990)*.
+//!
+//! An `m × n` array `A = {a[i,j]}` is **Monge** if for all `i < k`, `j < l`
+//!
+//! ```text
+//! a[i,j] + a[k,l] <= a[i,l] + a[k,j]            (1.1)
+//! ```
+//!
+//! and **inverse-Monge** if the inequality is reversed (1.2). A
+//! **staircase-Monge** array additionally allows `∞` entries, where the
+//! infinite region spreads right and down, and (1.1) must hold whenever all
+//! four entries are finite. A `p × q × r` array `C` is **Monge-composite**
+//! if `c[i,j,k] = d[i,j] + e[j,k]` for Monge arrays `D` and `E`.
+//!
+//! This crate provides:
+//!
+//! * [`value`] — the [`value::Value`] scalar abstraction (finite numbers plus
+//!   an explicit `∞`, exact integer instances for testing).
+//! * [`array2d`] — lazily evaluated two-dimensional array views and the
+//!   adapters (transpose / negate / reverse / sub-array) that interconvert
+//!   row-minima and row-maxima problems.
+//! * [`monge`] — verification predicates for every array class in the paper.
+//! * [`generators`] — certified random instance generators (Monge via
+//!   non-positive-density integration, staircase boundaries, convex chains).
+//! * [`smawk`] — the `Θ(m+n)` SMAWK algorithm of \[AKM+87\] for row minima /
+//!   maxima of (inverse-)Monge arrays, with explicit tie-breaking control.
+//! * [`staircase`] — sequential row-minima of staircase-Monge arrays.
+//! * [`tube`] — tube maxima / minima of Monge-composite arrays (the
+//!   `(min,+)` / `(max,+)` middle-coordinate problem used by the paper's
+//!   applications) plus the literal third-coordinate variant.
+//! * [`ansv`] — all-nearest-smaller-values, the substrate used by the
+//!   paper's Lemma 2.2 processor allocation.
+//! * [`dist`] — DIST-matrix algebra ((min,+) products of Monge matrices)
+//!   used by the string-editing application.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ansv;
+pub mod array2d;
+pub mod banded;
+pub mod dist;
+pub mod generators;
+pub mod monge;
+pub mod online;
+pub mod smawk;
+pub mod staircase;
+pub mod tube;
+pub mod value;
+
+pub use array2d::{Array2d, Dense, FnArray};
+pub use smawk::{
+    row_maxima_inverse_monge, row_maxima_monge, row_minima_inverse_monge, row_minima_monge,
+    RowExtrema,
+};
+pub use value::Value;

@@ -1,0 +1,351 @@
+//! Online row minima of Monge-structured implicit arrays — the "on-line
+//! dynamic programming" setting of the paper's \[LS89\] citation (Larmore &
+//! Schieber, RNA secondary structure) and the engine behind the
+//! economic-lot-size application (\[AP90\]).
+//!
+//! The implicit array `a[j][i] = o_i + w(i, j)` (`0 ≤ i < j ≤ n`) has
+//! row `j`'s minimum needed *before* the next candidate offset `o_j` —
+//! which may depend on it — is revealed, so SMAWK cannot run. Both
+//! quadrangle-inequality orientations admit `O(n lg n)` champion-stack
+//! algorithms, but they are mirror images of each other:
+//!
+//! * **Monge weights** (`w(i,j) + w(i',j') ≤ w(i,j') + w(i',j)`, e.g.
+//!   *convex* gap functions `w = g(j-i)` and the lot-size costs):
+//!   leftmost argmins are non-decreasing in `j`, a newer candidate's
+//!   advantage improves with `j`, and each newcomer captures a **suffix**
+//!   of the future — maintained by popping/pushing at the *back*
+//!   ([`online_monge_minima`]).
+//! * **Inverse-Monge weights** (the reverse inequality, e.g. *concave*
+//!   gap functions like `√(j-i)` or `ln(1+j-i)` — the "concave LWS" of
+//!   the molecular-biology literature): argmins are non-increasing, a
+//!   newcomer either wins row `j+1` immediately or never, capturing a
+//!   **prefix** — maintained at the *front*
+//!   ([`online_inverse_monge_minima`]).
+//!
+//! Correctness of the single-interval insertions follows from argmin
+//! monotonicity (per-column offsets preserve both array classes), and is
+//! enforced by oracle comparison in the tests.
+
+use crate::value::Value;
+
+/// Online minima for **Monge** weights (see module docs):
+///
+/// ```text
+/// m[j] = min_{0 <= i < j}  o_i + w(i, j),      j = 1..=n,
+/// ```
+///
+/// with `o_0` given and `o_j = offset_of(j, m[j])` revealed after row
+/// `j`'s minimum (pass `|_, m| m` for the least-weight-subsequence
+/// recurrence). Returns `(m[j], argmin_j)` for `j = 1..=n`.
+///
+/// ```
+/// use monge_core::online::online_monge_minima;
+///
+/// // Least-weight subsequence with a convex (Monge) gap cost: each
+/// // step pays (j - i)², so the optimum chains unit steps.
+/// let w = |i: usize, j: usize| ((j - i) * (j - i)) as i64;
+/// let out = online_monge_minima(5, w, |_, m| m, 0i64);
+/// assert_eq!(out.last().unwrap().0, 5); // five unit steps
+/// assert_eq!(out[4].1, 4);              // row 5 came from candidate 4
+/// ```
+pub fn online_monge_minima<T: Value>(
+    n: usize,
+    w: impl Fn(usize, usize) -> T,
+    mut offset_of: impl FnMut(usize, T) -> T,
+    o0: T,
+) -> Vec<(T, usize)> {
+    let mut out = Vec::with_capacity(n);
+    if n == 0 {
+        return out;
+    }
+    let mut offsets: Vec<T> = Vec::with_capacity(n + 1);
+    offsets.push(o0);
+    // Champion intervals (candidate, first_row), ordered by first_row;
+    // consumed intervals are skipped at `front`, beaten ones popped from
+    // the back. Argmin monotonicity (non-decreasing) guarantees a
+    // newcomer's territory is one suffix, so back-only maintenance is
+    // exact.
+    let mut stack: Vec<(usize, usize)> = vec![(0, 1)];
+    let mut front = 0usize;
+    for j in 1..=n {
+        while front + 1 < stack.len() && stack[front + 1].1 <= j {
+            front += 1;
+        }
+        let i = stack[front].0;
+        let m = offsets[i].add(w(i, j));
+        out.push((m, i));
+        if j == n {
+            break;
+        }
+        let oj = offset_of(j, m);
+        offsets.push(oj);
+        let beats = |i_old: usize, row: usize| {
+            offsets[j]
+                .add(w(j, row))
+                .total_lt(offsets[i_old].add(w(i_old, row)))
+        };
+        loop {
+            let (bi, bs) = *stack.last().expect("stack never empties");
+            let s = bs.max(j + 1);
+            if beats(bi, s) {
+                if stack.len() - 1 > front {
+                    stack.pop();
+                    continue;
+                }
+                stack.push((j, j + 1));
+                break;
+            }
+            if beats(bi, n) {
+                let (mut lo, mut hi) = (s + 1, n);
+                while lo < hi {
+                    let mid = (lo + hi) / 2;
+                    if beats(bi, mid) {
+                        hi = mid;
+                    } else {
+                        lo = mid + 1;
+                    }
+                }
+                stack.push((j, lo));
+            }
+            break;
+        }
+    }
+    out
+}
+
+/// Online minima for **inverse-Monge** weights (concave gap functions;
+/// see module docs). Same protocol as [`online_monge_minima`].
+pub fn online_inverse_monge_minima<T: Value>(
+    n: usize,
+    w: impl Fn(usize, usize) -> T,
+    mut offset_of: impl FnMut(usize, T) -> T,
+    o0: T,
+) -> Vec<(T, usize)> {
+    let mut out = Vec::with_capacity(n);
+    if n == 0 {
+        return out;
+    }
+    let mut offsets: Vec<T> = Vec::with_capacity(n + 1);
+    offsets.push(o0);
+    // Champion intervals ordered by first_row, maintained as a deque on a
+    // Vec: `front` indexes the interval owning the next rows; a newcomer
+    // either beats the front owner at row j+1 (and captures a prefix,
+    // evicting front intervals it fully covers) or is discarded —
+    // argmins are non-increasing, so a newcomer that loses row j+1 can
+    // never win a later row.
+    let mut deque: Vec<(usize, usize)> = vec![(0, 1)];
+    let mut front = 0usize;
+    for j in 1..=n {
+        while front + 1 < deque.len() && deque[front + 1].1 <= j {
+            front += 1;
+        }
+        let i = deque[front].0;
+        let m = offsets[i].add(w(i, j));
+        out.push((m, i));
+        if j == n {
+            break;
+        }
+        let oj = offset_of(j, m);
+        offsets.push(oj);
+        let beats = |i_old: usize, row: usize| {
+            offsets[j]
+                .add(w(j, row))
+                .total_lt(offsets[i_old].add(w(i_old, row)))
+        };
+        // The owner of row j+1 sits at `front` (or is the newcomer's
+        // predecessor interval if j+1 crosses a boundary — advance
+        // lazily first).
+        while front + 1 < deque.len() && deque[front + 1].1 <= j + 1 {
+            front += 1;
+        }
+        if !beats(deque[front].0, j + 1) {
+            continue; // never wins anything
+        }
+        // The newcomer owns a prefix [j+1, h). Evict intervals it covers
+        // entirely: interval k (from front) is fully covered when the
+        // newcomer still beats its owner at the interval's last row,
+        // i.e. at the next interval's start - 1 (or n for the last).
+        let mut k = front;
+        loop {
+            let end = if k + 1 < deque.len() {
+                deque[k + 1].1 - 1
+            } else {
+                n
+            };
+            if beats(deque[k].0, end) {
+                if k + 1 < deque.len() {
+                    k += 1;
+                    continue;
+                }
+                // Covers everything to n.
+                deque.truncate(front);
+                deque.push((j, j + 1));
+                break;
+            }
+            // Partial coverage of interval k: crossover h in
+            // (max(start_k, j+1), end]: first row where the newcomer
+            // LOSES.
+            let s = deque[k].1.max(j + 1);
+            let (mut lo, mut hi) = (s, end);
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                if beats(deque[k].0, mid) {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            // Rows [j+1, lo) are the newcomer's; interval k keeps
+            // [lo, ...). Replace the evicted front intervals.
+            let keep_owner = deque[k].0;
+            let mut rebuilt: Vec<(usize, usize)> = deque[..front].to_vec();
+            rebuilt.push((j, j + 1));
+            rebuilt.push((keep_owner, lo));
+            rebuilt.extend_from_slice(&deque[k + 1..]);
+            deque = rebuilt;
+            break;
+        }
+        // `front` still indexes the newcomer's interval position.
+    }
+    out
+}
+
+/// Brute-force oracle for the online protocols, `O(n²)`.
+pub fn online_minima_brute<T: Value>(
+    n: usize,
+    w: impl Fn(usize, usize) -> T,
+    mut offset_of: impl FnMut(usize, T) -> T,
+    o0: T,
+) -> Vec<(T, usize)> {
+    let mut out = Vec::with_capacity(n);
+    let mut offsets = vec![o0];
+    for j in 1..=n {
+        let mut best = 0usize;
+        let mut best_v = offsets[0].add(w(0, j));
+        for (i, &o) in offsets.iter().enumerate().skip(1) {
+            let v = o.add(w(i, j));
+            if v.total_lt(best_v) {
+                best = i;
+                best_v = v;
+            }
+        }
+        out.push((best_v, best));
+        if j < n {
+            let oj = offset_of(j, best_v);
+            offsets.push(oj);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn assert_same(a: &[(f64, usize)], b: &[(f64, usize)]) {
+        assert_eq!(a.len(), b.len());
+        for (k, ((va, _), (vb, _))) in a.iter().zip(b).enumerate() {
+            assert!((va - vb).abs() < 1e-9, "row {}: {va} vs {vb}", k + 1);
+        }
+    }
+
+    // ---- Monge (convex-gap) weights --------------------------------
+
+    #[test]
+    fn monge_lws_matches_brute() {
+        let mut rng = StdRng::seed_from_u64(250);
+        for n in [0usize, 1, 2, 10, 100, 500] {
+            let fo: Vec<f64> = (0..=n).map(|_| rng.random_range(0.0..2.0)).collect();
+            // Convex gap + per-candidate additive term: Monge.
+            let w = |i: usize, j: usize| {
+                let d = (j - i) as f64;
+                0.03 * d * d + fo[i]
+            };
+            let fast = online_monge_minima(n, w, |_, m| m, 0.0);
+            let brute = online_minima_brute(n, w, |_, m| m, 0.0);
+            assert_same(&fast, &brute);
+        }
+    }
+
+    #[test]
+    fn monge_fixed_offsets_match_brute() {
+        let mut rng = StdRng::seed_from_u64(251);
+        for n in [2usize, 15, 60, 300] {
+            let off: Vec<f64> = (0..=n).map(|_| rng.random_range(0.0..5.0)).collect();
+            let w = |i: usize, j: usize| {
+                let d = (j - i) as f64;
+                d * d.ln_1p() // superlinear => convex => Monge
+            };
+            let fast = online_monge_minima(n, w, |j, _| off[j], off[0]);
+            let brute = online_minima_brute(n, w, |j, _| off[j], off[0]);
+            assert_same(&fast, &brute);
+        }
+    }
+
+    #[test]
+    fn monge_integer_values() {
+        // w(i,j) = C - i*j is Monge over i < j (checked in the module
+        // docs of the old revision; (i-i')(j'-j) <= 0).
+        let w = |i: usize, j: usize| 1000i64 - (i as i64) * (j as i64);
+        let n = 120;
+        let fast = online_monge_minima(n, w, |_, m| m, 0i64);
+        let brute = online_minima_brute(n, w, |_, m| m, 0i64);
+        assert_eq!(fast, brute);
+    }
+
+    // ---- inverse-Monge (concave-gap) weights ------------------------
+
+    #[test]
+    fn concave_sqrt_matches_brute() {
+        let mut rng = StdRng::seed_from_u64(252);
+        for n in [0usize, 1, 2, 15, 100, 400] {
+            let fo: Vec<f64> = (0..=n).map(|_| rng.random_range(0.0..2.0)).collect();
+            let w = |i: usize, j: usize| ((j - i) as f64).sqrt() + fo[i];
+            let fast = online_inverse_monge_minima(n, w, |_, m| m, 0.0);
+            let brute = online_minima_brute(n, w, |_, m| m, 0.0);
+            assert_same(&fast, &brute);
+        }
+    }
+
+    #[test]
+    fn concave_log_fixed_offsets() {
+        let mut rng = StdRng::seed_from_u64(253);
+        for n in [2usize, 15, 60, 300] {
+            let off: Vec<f64> = (0..=n).map(|_| rng.random_range(0.0..5.0)).collect();
+            let w = |i: usize, j: usize| ((j - i) as f64).ln_1p();
+            let fast = online_inverse_monge_minima(n, w, |j, _| off[j], off[0]);
+            let brute = online_minima_brute(n, w, |j, _| off[j], off[0]);
+            assert_same(&fast, &brute);
+        }
+    }
+
+    #[test]
+    fn argmins_are_valid_predecessors() {
+        let w = |i: usize, j: usize| ((j - i) as f64).sqrt();
+        let out = online_inverse_monge_minima(60, w, |_, m| m, 0.0);
+        for (k, &(_, arg)) in out.iter().enumerate() {
+            assert!(arg <= k, "row {} picked future candidate {arg}", k + 1);
+        }
+        let w2 = |i: usize, j: usize| {
+            let d = (j - i) as f64;
+            d * d
+        };
+        let out = online_monge_minima(60, w2, |_, m| m, 0.0);
+        for (k, &(_, arg)) in out.iter().enumerate() {
+            assert!(arg <= k);
+        }
+    }
+
+    #[test]
+    fn linear_gap_is_both_classes() {
+        // Linear g is simultaneously convex and concave: both engines
+        // must agree with the oracle.
+        let w = |i: usize, j: usize| 2.5 * (j - i) as f64;
+        let n = 80;
+        let brute = online_minima_brute(n, w, |_, m| m, 0.0);
+        assert_same(&online_monge_minima(n, w, |_, m| m, 0.0), &brute);
+        assert_same(&online_inverse_monge_minima(n, w, |_, m| m, 0.0), &brute);
+    }
+}

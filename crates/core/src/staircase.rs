@@ -1,0 +1,410 @@
+//! Sequential searching in staircase-Monge arrays.
+//!
+//! A staircase-Monge array's `∞` region spreads right and down, so the
+//! first infinite column `f_i` of row `i` is non-increasing. Row *maxima*
+//! are easy (argmax positions stay monotone, §1.2: "we could employ the
+//! sequential algorithm given in \[AKM+87\]"), but row *minima* are not:
+//! when the staircase cuts off below a previous row's minimum, the search
+//! interval "restarts" at the left edge — this is exactly the shape of the
+//! feasible staircase regions in the paper's Figure 2.2.
+//!
+//! This module provides:
+//!
+//! * [`compute_boundary`] — extract `f_1 ≥ … ≥ f_m` in `O(m + n)`.
+//! * [`staircase_row_minima`] — three-way divide & conquer row minima,
+//!   `O((m+n) log m)` on typical instances (the paper's own sub-logarithmic
+//!   sequential algorithms [AK88, KK88] trade simplicity for an
+//!   `α(m)`-factor improvement we do not need as a baseline).
+//! * [`staircase_row_maxima`] — two-way divide & conquer using the
+//!   monotone-argmax property.
+//! * Brute-force oracles for both.
+//!
+//! Returned argmin/argmax positions are the **leftmost** optimum of each
+//! row's finite prefix; a fully infinite row (only possible with `f_i = 0`,
+//! which the generators never produce) reports column `0`.
+
+use crate::array2d::Array2d;
+use crate::value::Value;
+
+/// Extracts the staircase boundary `f_i` (first infinite column of row
+/// `i`, or `n` when the row is fully finite) in `O(m + n)` total, relying
+/// on `f` being non-increasing. Debug builds verify the shape.
+pub fn compute_boundary<T: Value, A: Array2d<T>>(a: &A) -> Vec<usize> {
+    let (m, n) = (a.rows(), a.cols());
+    let mut f = Vec::with_capacity(m);
+    let mut cur = n;
+    for i in 0..m {
+        // f_i <= f_{i-1}: walk left from the previous boundary.
+        while cur > 0 && a.entry(i, cur - 1).is_pos_infinite() {
+            cur -= 1;
+        }
+        debug_assert!(
+            (0..cur).all(|j| !a.entry(i, j).is_pos_infinite()),
+            "array does not have staircase shape at row {i}"
+        );
+        f.push(cur);
+    }
+    f
+}
+
+/// Brute-force leftmost row minima over each row's finite prefix,
+/// `O(Σ f_i)` time. Oracle for the fast algorithms.
+pub fn staircase_row_minima_brute<T: Value, A: Array2d<T>>(a: &A, f: &[usize]) -> Vec<usize> {
+    assert_eq!(f.len(), a.rows());
+    (0..a.rows())
+        .map(|i| {
+            let fi = f[i].max(1).min(a.cols());
+            let mut best = 0;
+            let mut best_v = a.entry(i, 0);
+            for j in 1..fi {
+                let v = a.entry(i, j);
+                if v.total_lt(best_v) {
+                    best = j;
+                    best_v = v;
+                }
+            }
+            best
+        })
+        .collect()
+}
+
+/// Brute-force leftmost row maxima over each row's finite prefix.
+pub fn staircase_row_maxima_brute<T: Value, A: Array2d<T>>(a: &A, f: &[usize]) -> Vec<usize> {
+    assert_eq!(f.len(), a.rows());
+    (0..a.rows())
+        .map(|i| {
+            let fi = f[i].max(1).min(a.cols());
+            let mut best = 0;
+            let mut best_v = a.entry(i, 0);
+            for j in 1..fi {
+                let v = a.entry(i, j);
+                if best_v.total_lt(v) {
+                    best = j;
+                    best_v = v;
+                }
+            }
+            best
+        })
+        .collect()
+}
+
+/// Leftmost row minima of a staircase-Monge array.
+///
+/// Divide & conquer on rows, mirroring the feasible-region structure of
+/// the paper's Figure 2.2. Let `j*` be the leftmost minimum of the middle
+/// row over its current region `[c0, min(c1, f_mid))`:
+///
+/// * **rows above** `mid` keep their minima in the *Monge region*
+///   `[c0, j*]` **or** in the *staircase region* `[f_mid, c1)` beyond the
+///   middle row's boundary (the middle row says nothing about columns it
+///   cannot see) — the two candidate sub-searches are merged by value;
+/// * **rows below** `mid` whose finite prefix still contains `j*` keep
+///   their minima in `[j*, c1)` (Monge transfer downward);
+/// * **rows below** that the staircase cuts off at or before `j*` form an
+///   independent staircase subproblem on `[c0, j*]`.
+///
+/// ```
+/// use monge_core::array2d::Dense;
+/// use monge_core::staircase::{compute_boundary, staircase_row_minima};
+/// use monge_core::Value;
+///
+/// const INF: i64 = <i64 as Value>::INFINITY;
+/// // The staircase cuts below row 0's minimum, so row 1 restarts at the
+/// // left — the feasible-region effect of the paper's Figure 2.2.
+/// let a = Dense::from_rows(vec![
+///     vec![5, 4, 0, 9],
+///     vec![5, 4, INF, INF],
+///     vec![5, INF, INF, INF],
+/// ]);
+/// let f = compute_boundary(&a);
+/// assert_eq!(f, vec![4, 2, 1]);
+/// assert_eq!(staircase_row_minima(&a, &f), vec![2, 1, 0]);
+/// ```
+pub fn staircase_row_minima<T: Value, A: Array2d<T>>(a: &A, f: &[usize]) -> Vec<usize> {
+    let m = a.rows();
+    assert_eq!(f.len(), m);
+    if m == 0 {
+        return Vec::new();
+    }
+    assert!(a.cols() > 0);
+    let mut best: Vec<Option<(T, usize)>> = vec![None; m];
+    minima_rec(a, f, 0, m, 0, a.cols(), &mut best);
+    best.into_iter()
+        .map(|b| b.map_or(0, |(_, j)| j))
+        .collect()
+}
+
+/// Merges a candidate `(value, column)` into the running leftmost minimum
+/// of a row.
+fn merge_candidate<T: Value>(slot: &mut Option<(T, usize)>, v: T, j: usize) {
+    match slot {
+        None => *slot = Some((v, j)),
+        Some((bv, bj)) => {
+            if v.total_lt(*bv) || (!bv.total_lt(v) && j < *bj) {
+                *slot = Some((v, j));
+            }
+        }
+    }
+}
+
+fn minima_rec<T: Value, A: Array2d<T>>(
+    a: &A,
+    f: &[usize],
+    r0: usize,
+    mut r1: usize,
+    c0: usize,
+    c1: usize,
+    out: &mut [Option<(T, usize)>],
+) {
+    // Trim rows whose finite prefix does not reach this column range:
+    // `f` is non-increasing, so they form a suffix.
+    r1 = partition_point(r0, r1, |i| f[i] > c0);
+    if r0 >= r1 || c0 >= c1 {
+        return;
+    }
+    let mid = r0 + (r1 - r0) / 2;
+    // Scan the middle row's region [c0, min(c1, f_mid)); nonempty since
+    // f_mid > c0 after trimming.
+    let hi = c1.min(f[mid]);
+    let mut best = c0;
+    let mut best_v = a.entry(mid, best);
+    for j in c0 + 1..hi {
+        let v = a.entry(mid, j);
+        if v.total_lt(best_v) {
+            best = j;
+            best_v = v;
+        }
+    }
+    merge_candidate(&mut out[mid], best_v, best);
+
+    // Rows above: the Monge region left of (and including) best …
+    minima_rec(a, f, r0, mid, c0, best + 1, out);
+    // … plus the staircase region beyond the middle row's boundary.
+    if f[mid] < c1 {
+        minima_rec(a, f, r0, mid, f[mid], c1, out);
+    }
+
+    if mid + 1 >= r1 {
+        return;
+    }
+    // Rows below split at the first row the staircase cuts off at or
+    // before `best`.
+    let cut = partition_point(mid + 1, r1, |i| f[i] > best);
+    minima_rec(a, f, mid + 1, cut, best, c1, out);
+    minima_rec(a, f, cut, r1, c0, best + 1, out);
+}
+
+/// Leftmost row maxima of a staircase-Monge array; argmax positions are
+/// non-increasing in the row index, so a plain two-way divide & conquer
+/// applies.
+pub fn staircase_row_maxima<T: Value, A: Array2d<T>>(a: &A, f: &[usize]) -> Vec<usize> {
+    let m = a.rows();
+    assert_eq!(f.len(), m);
+    let mut out = vec![0usize; m];
+    if m == 0 {
+        return out;
+    }
+    assert!(a.cols() > 0);
+    maxima_rec(a, f, 0, m, 0, a.cols(), &mut out);
+    out
+}
+
+fn maxima_rec<T: Value, A: Array2d<T>>(
+    a: &A,
+    f: &[usize],
+    r0: usize,
+    r1: usize,
+    c0: usize,
+    c1: usize,
+    out: &mut [usize],
+) {
+    if r0 >= r1 {
+        return;
+    }
+    let mid = r0 + (r1 - r0) / 2;
+    let hi = c1.min(f[mid]).max(c0 + 1).min(a.cols());
+    let mut best = c0.min(a.cols() - 1);
+    let mut best_v = a.entry(mid, best);
+    for j in best + 1..hi {
+        let v = a.entry(mid, j);
+        if best_v.total_lt(v) {
+            best = j;
+            best_v = v;
+        }
+    }
+    out[mid] = best;
+    // argmax is non-increasing: rows above search right of best, rows
+    // below search left of best.
+    maxima_rec(a, f, r0, mid, best, c1, out);
+    maxima_rec(a, f, mid + 1, r1, c0, best + 1, out);
+}
+
+/// Leftmost row **maxima** of a staircase-**inverse**-Monge array — the
+/// hard direction for the inverse class, mirroring §1.2's asymmetry.
+/// Negating the finite entries turns the array staircase-Monge with the
+/// same boundary (the clipped searches never touch the padding), so the
+/// feasible-region divide & conquer applies verbatim.
+pub fn staircase_inverse_row_maxima<T: Value, A: Array2d<T>>(a: &A, f: &[usize]) -> Vec<usize> {
+    staircase_row_minima(&crate::array2d::Negate(a), f)
+}
+
+/// Leftmost row **minima** of a staircase-inverse-Monge array — the easy
+/// direction (monotone argmin positions), via the same negation.
+pub fn staircase_inverse_row_minima<T: Value, A: Array2d<T>>(a: &A, f: &[usize]) -> Vec<usize> {
+    staircase_row_maxima(&crate::array2d::Negate(a), f)
+}
+
+/// First index in `[lo, hi)` where `pred` becomes false (pred must be
+/// monotone true→false).
+fn partition_point(lo: usize, hi: usize, pred: impl Fn(usize) -> bool) -> usize {
+    let (mut lo, mut hi) = (lo, hi);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if pred(mid) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array2d::Dense;
+    use crate::generators::{
+        apply_staircase, random_monge_dense, random_staircase_boundary,
+        random_staircase_monge_dense,
+    };
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const INF: i64 = <i64 as Value>::INFINITY;
+
+    #[test]
+    fn boundary_extraction() {
+        let a = Dense::from_rows(vec![
+            vec![1, 2, 3, 4],
+            vec![1, 2, INF, INF],
+            vec![1, INF, INF, INF],
+        ]);
+        assert_eq!(compute_boundary(&a), vec![4, 2, 1]);
+    }
+
+    #[test]
+    fn fully_finite_is_plain_monge_search() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let a = random_monge_dense(9, 7, &mut rng);
+        let f = vec![7; 9];
+        assert_eq!(
+            staircase_row_minima(&a, &f),
+            crate::monge::brute_row_minima(&a)
+        );
+        assert_eq!(
+            staircase_row_maxima(&a, &f),
+            crate::monge::brute_row_maxima(&a)
+        );
+    }
+
+    #[test]
+    fn hand_example_with_cutoff() {
+        // The staircase cuts below row 0's minimum, forcing the fresh
+        // left subproblem.
+        let a = Dense::from_rows(vec![
+            vec![5, 4, 0, 9],
+            vec![5, 4, INF, INF],
+            vec![5, INF, INF, INF],
+        ]);
+        assert!(crate::monge::is_staircase_monge(&a));
+        let f = compute_boundary(&a);
+        assert_eq!(staircase_row_minima(&a, &f), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn minima_matches_brute_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..50 {
+            let a = random_staircase_monge_dense(17, 13, &mut rng);
+            let f = compute_boundary(&a);
+            assert_eq!(
+                staircase_row_minima(&a, &f),
+                staircase_row_minima_brute(&a, &f)
+            );
+        }
+    }
+
+    #[test]
+    fn maxima_matches_brute_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..50 {
+            let a = random_staircase_monge_dense(13, 17, &mut rng);
+            let f = compute_boundary(&a);
+            assert_eq!(
+                staircase_row_maxima(&a, &f),
+                staircase_row_maxima_brute(&a, &f)
+            );
+        }
+    }
+
+    #[test]
+    fn rectangular_extremes() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for &(m, n) in &[(1usize, 20usize), (20, 1), (2, 2), (40, 3), (3, 40)] {
+            let base = random_monge_dense(m, n, &mut rng);
+            let f = random_staircase_boundary(m, n, &mut rng);
+            let a = apply_staircase(&base, &f);
+            assert_eq!(
+                staircase_row_minima(&a, &f),
+                staircase_row_minima_brute(&a, &f),
+                "{m}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn steep_staircase() {
+        // Strictly decreasing boundary: every row one column shorter.
+        let mut rng = StdRng::seed_from_u64(14);
+        let n = 24;
+        let base = random_monge_dense(n, n, &mut rng);
+        let f: Vec<usize> = (0..n).map(|i| n - i).collect();
+        let a = apply_staircase(&base, &f);
+        assert!(crate::monge::is_staircase_monge(&a));
+        assert_eq!(
+            staircase_row_minima(&a, &f),
+            staircase_row_minima_brute(&a, &f)
+        );
+        assert_eq!(
+            staircase_row_maxima(&a, &f),
+            staircase_row_maxima_brute(&a, &f)
+        );
+    }
+
+    #[test]
+    fn inverse_class_wrappers_match_brute() {
+        use crate::generators::random_staircase_inverse_monge_dense;
+        use crate::monge::is_staircase_inverse_monge;
+        let mut rng = StdRng::seed_from_u64(15);
+        for _ in 0..20 {
+            let a = random_staircase_inverse_monge_dense(14, 18, &mut rng);
+            assert!(is_staircase_inverse_monge(&a));
+            let f = compute_boundary(&a);
+            assert_eq!(
+                staircase_inverse_row_maxima(&a, &f),
+                staircase_row_maxima_brute(&a, &f)
+            );
+            assert_eq!(
+                staircase_inverse_row_minima(&a, &f),
+                staircase_row_minima_brute(&a, &f)
+            );
+        }
+    }
+
+    #[test]
+    fn single_finite_column() {
+        let a = Dense::from_rows(vec![vec![3, INF], vec![1, INF]]);
+        let f = compute_boundary(&a);
+        assert_eq!(staircase_row_minima(&a, &f), vec![0, 0]);
+    }
+}

@@ -1,0 +1,341 @@
+//! Tube maxima / minima of Monge-composite arrays.
+//!
+//! A `p × q × r` array `C = {c[i,j,k]}` is Monge-composite when
+//! `c[i,j,k] = d[i,j] + e[j,k]` for Monge arrays `D` (`p × q`) and `E`
+//! (`q × r`) (§1.1). Following the applications in [AP89a, AALM88] (string
+//! editing, Huffman codes), the *tube* over the pair `(i, k)` varies the
+//! **middle** coordinate `j`:
+//!
+//! ```text
+//! tube-max(i, k) = max_j  d[i,j] + e[j,k]
+//! ```
+//!
+//! i.e. tube maxima is the `(max,+)` matrix product `D ⊗ E`, and tube
+//! minima the `(min,+)` product — exactly the DIST-matrix combination step
+//! of the grid-DAG string-editing algorithm.
+//!
+//! (The extended abstract's §1.2 literally defines the `(i,j)` tube as
+//! varying the third coordinate, under which the problem degenerates to
+//! `d[i,j] + max_k e[j,k]`; that variant is provided as
+//! [`tube_maxima_literal`] for completeness. See DESIGN.md §3.)
+//!
+//! Key structural fact used everywhere: for fixed `i`, the *plane*
+//! `F_i[k][j] = d[i,j] + e[j,k]` is a Monge array in `(k, j)`, so each
+//! plane's row maxima/minima take `Θ(q + r)` time by SMAWK, giving the
+//! sequential `O((p + r) q)` bound of §1.2 for square-ish inputs.
+
+use crate::array2d::{Array2d, FnArray};
+use crate::smawk::{row_maxima_monge, row_minima_monge};
+use crate::value::Value;
+
+/// A Monge-composite array `c[i,j,k] = d[i,j] + e[j,k]`.
+#[derive(Clone, Debug)]
+pub struct MongeComposite<T, A, B> {
+    /// The `p × q` left factor.
+    pub d: A,
+    /// The `q × r` right factor.
+    pub e: B,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Value, A: Array2d<T>, B: Array2d<T>> MongeComposite<T, A, B> {
+    /// Wraps two factors; their inner dimensions must agree.
+    pub fn new(d: A, e: B) -> Self {
+        assert_eq!(
+            d.cols(),
+            e.rows(),
+            "inner dimensions disagree: D is {}x{}, E is {}x{}",
+            d.rows(),
+            d.cols(),
+            e.rows(),
+            e.cols()
+        );
+        Self {
+            d,
+            e,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// `p`, the first dimension.
+    pub fn p(&self) -> usize {
+        self.d.rows()
+    }
+    /// `q`, the middle dimension.
+    pub fn q(&self) -> usize {
+        self.d.cols()
+    }
+    /// `r`, the third dimension.
+    pub fn r(&self) -> usize {
+        self.e.cols()
+    }
+
+    /// The entry `c[i,j,k] = d[i,j] + e[j,k]`.
+    #[inline]
+    pub fn entry(&self, i: usize, j: usize, k: usize) -> T {
+        self.d.entry(i, j).add(self.e.entry(j, k))
+    }
+}
+
+/// Results of a tube search: for every `(i, k)` the optimizing middle
+/// coordinate `j` and the optimal value.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TubeExtrema<T> {
+    /// First dimension `p`.
+    pub p: usize,
+    /// Third dimension `r`.
+    pub r: usize,
+    /// Row-major `p × r` argopt array (middle coordinate `j`).
+    pub index: Vec<usize>,
+    /// Row-major `p × r` optimal values.
+    pub value: Vec<T>,
+}
+
+impl<T: Value> TubeExtrema<T> {
+    /// The optimizing `j` for the tube `(i, k)`.
+    #[inline]
+    pub fn arg(&self, i: usize, k: usize) -> usize {
+        self.index[i * self.r + k]
+    }
+    /// The optimal value of the tube `(i, k)`.
+    #[inline]
+    pub fn val(&self, i: usize, k: usize) -> T {
+        self.value[i * self.r + k]
+    }
+}
+
+/// The Monge plane `F_i[k][j] = d[i,j] + e[j,k]` for a fixed `i`.
+pub fn plane<'a, T: Value, A: Array2d<T>, B: Array2d<T>>(
+    d: &'a A,
+    e: &'a B,
+    i: usize,
+) -> FnArray<impl Fn(usize, usize) -> T + 'a> {
+    FnArray::new(e.cols(), d.cols(), move |k, j| {
+        d.entry(i, j).add(e.entry(j, k))
+    })
+}
+
+/// Tube maxima (`(max,+)` product) by per-plane SMAWK:
+/// `O(p (q + r))` time. Ties take the smallest `j`, matching the paper's
+/// "minimum third coordinate" convention transported to the middle
+/// coordinate.
+pub fn tube_maxima<T: Value, A: Array2d<T>, B: Array2d<T>>(d: &A, e: &B) -> TubeExtrema<T> {
+    assert_eq!(d.cols(), e.rows(), "inner dimensions disagree");
+    let (p, q, r) = (d.rows(), d.cols(), e.cols());
+    assert!(q > 0, "tube over an empty middle dimension is undefined");
+    let mut index = Vec::with_capacity(p * r);
+    let mut value = Vec::with_capacity(p * r);
+    for i in 0..p {
+        let ex = row_maxima_monge(&plane(d, e, i));
+        index.extend_from_slice(&ex.index);
+        value.extend_from_slice(&ex.value);
+    }
+    TubeExtrema { p, r, index, value }
+}
+
+/// Tube minima (`(min,+)` product) by per-plane SMAWK, `O(p (q + r))`.
+///
+/// ```
+/// use monge_core::array2d::Dense;
+/// use monge_core::tube::{tube_minima, tube_minima_brute};
+///
+/// // Two small Monge factors; the tube minima are the (min,+) product.
+/// let d = Dense::tabulate(3, 4, |i, j| -((i * j) as i64));
+/// let e = Dense::tabulate(4, 3, |j, k| (j as i64 - k as i64).pow(2));
+/// let fast = tube_minima(&d, &e);
+/// assert_eq!(fast, tube_minima_brute(&d, &e));
+/// assert_eq!(fast.val(2, 1), (0..4).map(|j| d.entry(2, j) + e.entry(j, 1)).min().unwrap());
+/// # use monge_core::Array2d;
+/// ```
+pub fn tube_minima<T: Value, A: Array2d<T>, B: Array2d<T>>(d: &A, e: &B) -> TubeExtrema<T> {
+    assert_eq!(d.cols(), e.rows(), "inner dimensions disagree");
+    let (p, q, r) = (d.rows(), d.cols(), e.cols());
+    assert!(q > 0, "tube over an empty middle dimension is undefined");
+    let mut index = Vec::with_capacity(p * r);
+    let mut value = Vec::with_capacity(p * r);
+    for i in 0..p {
+        let ex = row_minima_monge(&plane(d, e, i));
+        index.extend_from_slice(&ex.index);
+        value.extend_from_slice(&ex.value);
+    }
+    TubeExtrema { p, r, index, value }
+}
+
+/// Tube maxima of a composite of **inverse-Monge** factors: for
+/// inverse-Monge `E` every plane `F_i[k][j] = d[i,j] + e[j,k]` is
+/// inverse-Monge (the `d` terms cancel out of every quadrangle), so the
+/// per-plane search uses [`crate::smawk::row_maxima_inverse_monge`]. `O(p (q + r))`.
+pub fn tube_maxima_inverse<T: Value, A: Array2d<T>, B: Array2d<T>>(
+    d: &A,
+    e: &B,
+) -> TubeExtrema<T> {
+    assert_eq!(d.cols(), e.rows(), "inner dimensions disagree");
+    let (p, q, r) = (d.rows(), d.cols(), e.cols());
+    assert!(q > 0, "tube over an empty middle dimension is undefined");
+    let mut index = Vec::with_capacity(p * r);
+    let mut value = Vec::with_capacity(p * r);
+    for i in 0..p {
+        let ex = crate::smawk::row_maxima_inverse_monge(&plane(d, e, i));
+        index.extend_from_slice(&ex.index);
+        value.extend_from_slice(&ex.value);
+    }
+    TubeExtrema { p, r, index, value }
+}
+
+/// Brute-force tube maxima oracle, `O(p q r)`.
+pub fn tube_maxima_brute<T: Value, A: Array2d<T>, B: Array2d<T>>(
+    d: &A,
+    e: &B,
+) -> TubeExtrema<T> {
+    tube_brute(d, e, |cand, best| best.total_lt(cand))
+}
+
+/// Brute-force tube minima oracle, `O(p q r)`.
+pub fn tube_minima_brute<T: Value, A: Array2d<T>, B: Array2d<T>>(
+    d: &A,
+    e: &B,
+) -> TubeExtrema<T> {
+    tube_brute(d, e, |cand, best| cand.total_lt(best))
+}
+
+fn tube_brute<T: Value, A: Array2d<T>, B: Array2d<T>>(
+    d: &A,
+    e: &B,
+    better: impl Fn(T, T) -> bool,
+) -> TubeExtrema<T> {
+    assert_eq!(d.cols(), e.rows(), "inner dimensions disagree");
+    let (p, q, r) = (d.rows(), d.cols(), e.cols());
+    assert!(q > 0);
+    let mut index = Vec::with_capacity(p * r);
+    let mut value = Vec::with_capacity(p * r);
+    for i in 0..p {
+        for k in 0..r {
+            let mut best = 0usize;
+            let mut best_v = d.entry(i, 0).add(e.entry(0, k));
+            for j in 1..q {
+                let v = d.entry(i, j).add(e.entry(j, k));
+                if better(v, best_v) {
+                    best = j;
+                    best_v = v;
+                }
+            }
+            index.push(best);
+            value.push(best_v);
+        }
+    }
+    TubeExtrema { p, r, index, value }
+}
+
+/// The extended abstract's literal tube definition: for each `(i, j)`,
+/// optimize over the **third** coordinate `k`. Because
+/// `c[i,j,k] = d[i,j] + e[j,k]`, this decomposes as
+/// `d[i,j] + max_k e[j,k]`: one row-maxima computation on `E` answers all
+/// `p × q` tubes. Ties take the minimum third coordinate (leftmost).
+pub fn tube_maxima_literal<T: Value, A: Array2d<T>, B: Array2d<T>>(
+    d: &A,
+    e: &B,
+) -> TubeExtrema<T> {
+    assert_eq!(d.cols(), e.rows(), "inner dimensions disagree");
+    let (p, q) = (d.rows(), d.cols());
+    assert!(e.cols() > 0);
+    let emax = row_maxima_monge(e);
+    let mut index = Vec::with_capacity(p * q);
+    let mut value = Vec::with_capacity(p * q);
+    for i in 0..p {
+        for j in 0..q {
+            index.push(emax.index[j]);
+            value.push(d.entry(i, j).add(emax.value[j]));
+        }
+    }
+    TubeExtrema {
+        p,
+        r: q,
+        index,
+        value,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::random_monge_dense;
+    use crate::monge::is_monge;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn planes_are_monge() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let d = random_monge_dense(6, 8, &mut rng);
+        let e = random_monge_dense(8, 5, &mut rng);
+        for i in 0..6 {
+            assert!(is_monge(&plane(&d, &e, i)), "plane {i} not Monge");
+        }
+    }
+
+    #[test]
+    fn tube_maxima_matches_brute() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for &(p, q, r) in &[(1usize, 1usize, 1usize), (4, 7, 3), (9, 5, 9), (6, 6, 6)] {
+            let d = random_monge_dense(p, q, &mut rng);
+            let e = random_monge_dense(q, r, &mut rng);
+            assert_eq!(tube_maxima(&d, &e), tube_maxima_brute(&d, &e), "{p}x{q}x{r}");
+        }
+    }
+
+    #[test]
+    fn tube_minima_matches_brute() {
+        let mut rng = StdRng::seed_from_u64(22);
+        for &(p, q, r) in &[(3usize, 9usize, 4usize), (8, 8, 8), (2, 3, 11)] {
+            let d = random_monge_dense(p, q, &mut rng);
+            let e = random_monge_dense(q, r, &mut rng);
+            assert_eq!(tube_minima(&d, &e), tube_minima_brute(&d, &e), "{p}x{q}x{r}");
+        }
+    }
+
+    #[test]
+    fn composite_entry_is_sum() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let d = random_monge_dense(3, 4, &mut rng);
+        let e = random_monge_dense(4, 5, &mut rng);
+        let c = MongeComposite::new(&d, &e);
+        assert_eq!(c.p(), 3);
+        assert_eq!(c.q(), 4);
+        assert_eq!(c.r(), 5);
+        assert_eq!(c.entry(2, 1, 3), d.entry(2, 1) + e.entry(1, 3));
+    }
+
+    #[test]
+    fn literal_tubes_decompose() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let d = random_monge_dense(4, 5, &mut rng);
+        let e = random_monge_dense(5, 6, &mut rng);
+        let lit = tube_maxima_literal(&d, &e);
+        for i in 0..4 {
+            for j in 0..5 {
+                let mut best = 0;
+                let mut best_v = e.entry(j, 0);
+                for k in 1..6 {
+                    if best_v < e.entry(j, k) {
+                        best = k;
+                        best_v = e.entry(j, k);
+                    }
+                }
+                assert_eq!(lit.arg(i, j), best);
+                assert_eq!(lit.val(i, j), d.entry(i, j) + best_v);
+            }
+        }
+    }
+
+    #[test]
+    fn tie_break_takes_smallest_middle_coordinate() {
+        use crate::array2d::Dense;
+        // All-zero factors: every j ties; smallest must win.
+        let d = Dense::filled(2, 3, 0i64);
+        let e = Dense::filled(3, 2, 0i64);
+        let mx = tube_maxima(&d, &e);
+        let mn = tube_minima(&d, &e);
+        assert!(mx.index.iter().all(|&j| j == 0));
+        assert!(mn.index.iter().all(|&j| j == 0));
+    }
+}

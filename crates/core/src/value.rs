@@ -1,0 +1,234 @@
+//! Scalar values stored in Monge arrays.
+//!
+//! The paper's staircase-Monge arrays contain "either a real number or `∞`"
+//! (§1.1, definition item 1). We model this with a [`Value`] trait providing
+//! an explicit positive/negative infinity and an addition that saturates at
+//! infinity, so that `∞`-padded arrays behave like the paper's arrays under
+//! the `(min,+)` and `(max,+)` operations used throughout.
+//!
+//! Two families of instances are provided:
+//!
+//! * `f64` / `f32` — the natural choice for the geometric applications,
+//!   using IEEE infinities.
+//! * `i64` / `i32` — exact integers for property-based testing (no rounding
+//!   noise when validating the quadrangle inequality), with an infinity
+//!   placed far enough from the representable range that a single saturated
+//!   addition cannot overflow.
+
+use std::fmt::Debug;
+
+/// A scalar usable as a Monge-array entry.
+///
+/// Implementations must form a totally ordered additive group on their
+/// finite values, extended with `+∞`/`-∞` absorbing elements. `NaN` is
+/// forbidden by construction: all generators and algorithms in this
+/// workspace only produce values through [`Value::add`]/[`Value::sub`] on
+/// finite inputs or the explicit infinities.
+pub trait Value: Copy + PartialOrd + Debug + Send + Sync + 'static {
+    /// The additive identity.
+    const ZERO: Self;
+
+    /// Positive infinity: the padding value of staircase-Monge arrays.
+    const INFINITY: Self;
+
+    /// Negative infinity: used when converting maxima problems to minima
+    /// problems by negation.
+    const NEG_INFINITY: Self;
+
+    /// Saturating addition: if either operand is infinite the result is the
+    /// corresponding infinity.
+    fn add(self, other: Self) -> Self;
+
+    /// Saturating subtraction (`self + (-other)`).
+    fn sub(self, other: Self) -> Self;
+
+    /// Negation; maps `+∞` to `-∞` and vice versa.
+    fn neg(self) -> Self;
+
+    /// Is this value `+∞` or `-∞`?
+    fn is_infinite(self) -> bool;
+
+    /// Is this value `+∞`?
+    fn is_pos_infinite(self) -> bool;
+
+    /// Total-order comparison. Finite values compare numerically;
+    /// `-∞ < finite < +∞`.
+    fn total_lt(self, other: Self) -> bool;
+
+    /// `self <= other` under the same total order.
+    fn total_le(self, other: Self) -> bool {
+        !other.total_lt(self)
+    }
+}
+
+macro_rules! impl_value_float {
+    ($t:ty) => {
+        impl Value for $t {
+            const ZERO: Self = 0.0;
+            const INFINITY: Self = <$t>::INFINITY;
+            const NEG_INFINITY: Self = <$t>::NEG_INFINITY;
+
+            #[inline]
+            fn add(self, other: Self) -> Self {
+                // IEEE addition already saturates at infinity; `∞ + -∞`
+                // never occurs because arrays mix at most one sign of
+                // infinity with finite values.
+                self + other
+            }
+
+            #[inline]
+            fn sub(self, other: Self) -> Self {
+                self - other
+            }
+
+            #[inline]
+            fn neg(self) -> Self {
+                -self
+            }
+
+            #[inline]
+            fn is_infinite(self) -> bool {
+                <$t>::is_infinite(self)
+            }
+
+            #[inline]
+            fn is_pos_infinite(self) -> bool {
+                <$t>::is_infinite(self) && self > 0.0
+            }
+
+            #[inline]
+            fn total_lt(self, other: Self) -> bool {
+                self < other
+            }
+        }
+    };
+}
+
+impl_value_float!(f64);
+impl_value_float!(f32);
+
+macro_rules! impl_value_int {
+    ($t:ty) => {
+        impl Value for $t {
+            const ZERO: Self = 0;
+            // Keep infinities a factor 4 inside the representable range so
+            // that one saturated addition of a finite value (bounded by the
+            // generators to |x| < INFINITY / 4) cannot wrap.
+            const INFINITY: Self = <$t>::MAX / 4;
+            const NEG_INFINITY: Self = <$t>::MIN / 4;
+
+            #[inline]
+            fn add(self, other: Self) -> Self {
+                if self.is_infinite() {
+                    self
+                } else if other.is_infinite() {
+                    other
+                } else {
+                    self + other
+                }
+            }
+
+            #[inline]
+            fn sub(self, other: Self) -> Self {
+                Value::add(self, Value::neg(other))
+            }
+
+            #[inline]
+            fn neg(self) -> Self {
+                if self == Self::INFINITY {
+                    Self::NEG_INFINITY
+                } else if self == Self::NEG_INFINITY {
+                    Self::INFINITY
+                } else {
+                    -self
+                }
+            }
+
+            #[inline]
+            fn is_infinite(self) -> bool {
+                self >= Self::INFINITY || self <= Self::NEG_INFINITY
+            }
+
+            #[inline]
+            fn is_pos_infinite(self) -> bool {
+                self >= Self::INFINITY
+            }
+
+            #[inline]
+            fn total_lt(self, other: Self) -> bool {
+                self < other
+            }
+        }
+    };
+}
+
+impl_value_int!(i64);
+impl_value_int!(i32);
+
+/// Returns the smaller of two values under the total order, preferring
+/// `a` on ties.
+#[inline]
+pub fn min_left<T: Value>(a: T, b: T) -> T {
+    if b.total_lt(a) {
+        b
+    } else {
+        a
+    }
+}
+
+/// Returns the larger of two values under the total order, preferring
+/// `a` on ties.
+#[inline]
+pub fn max_left<T: Value>(a: T, b: T) -> T {
+    if a.total_lt(b) {
+        b
+    } else {
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_infinity_saturates() {
+        assert!(f64::INFINITY.is_pos_infinite());
+        assert_eq!(Value::add(f64::INFINITY, -5.0), f64::INFINITY);
+        assert_eq!(Value::neg(f64::INFINITY), f64::NEG_INFINITY);
+        assert!((-3.0f64).total_lt(2.0));
+    }
+
+    #[test]
+    fn int_infinity_saturates() {
+        let inf = <i64 as Value>::INFINITY;
+        assert!(Value::is_pos_infinite(inf));
+        assert_eq!(Value::add(inf, -1234), inf);
+        assert_eq!(Value::add(inf, inf), inf);
+        assert_eq!(Value::neg(inf), <i64 as Value>::NEG_INFINITY);
+        assert!(!Value::is_infinite(0i64));
+    }
+
+    #[test]
+    fn int_finite_arithmetic_is_exact() {
+        assert_eq!(Value::add(3i64, 4), 7);
+        assert_eq!(Value::sub(3i64, 4), -1);
+        assert_eq!(Value::neg(3i64), -3);
+    }
+
+    #[test]
+    fn min_max_tie_prefers_left() {
+        assert_eq!(min_left(1.0f64, 1.0), 1.0);
+        assert_eq!(min_left(2.0f64, 1.0), 1.0);
+        assert_eq!(max_left(2i64, 2), 2);
+        assert_eq!(max_left(1i64, 2), 2);
+    }
+
+    #[test]
+    fn total_order_places_infinities_at_ends() {
+        assert!(<i64 as Value>::NEG_INFINITY.total_lt(0));
+        assert!(0i64.total_lt(<i64 as Value>::INFINITY));
+        assert!(f64::NEG_INFINITY.total_lt(0.0));
+        assert!(0.0f64.total_lt(f64::INFINITY));
+    }
+}

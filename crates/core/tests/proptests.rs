@@ -1,0 +1,256 @@
+//! Property-based tests for monge-core: every searching algorithm against
+//! its brute-force oracle on randomized certified instances, plus the
+//! structural invariants the algorithms rely on.
+
+use monge_core::ansv::{ansv, ansv_brute};
+use monge_core::array2d::{Array2d, Negate, ReverseCols, Transpose};
+use monge_core::dist::{min_plus, min_plus_brute};
+use monge_core::generators::{
+    apply_staircase, random_monge_dense, random_staircase_boundary, ImplicitMonge,
+    TransportArray,
+};
+use monge_core::monge::{
+    brute_row_maxima, brute_row_minima, is_inverse_monge, is_monge, is_staircase_monge,
+    is_totally_monotone_minima,
+};
+use monge_core::smawk::{
+    row_maxima_inverse_monge, row_maxima_monge, row_minima_inverse_monge, row_minima_monge,
+};
+use monge_core::staircase::{
+    compute_boundary, staircase_row_maxima, staircase_row_maxima_brute, staircase_row_minima,
+    staircase_row_minima_brute,
+};
+use monge_core::tube::{tube_maxima, tube_maxima_brute, tube_minima, tube_minima_brute};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn dims() -> impl Strategy<Value = (usize, usize)> {
+    (1usize..24, 1usize..24)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generator_output_is_monge((m, n) in dims(), seed in any::<u64>()) {
+        let a = random_monge_dense(m, n, &mut StdRng::seed_from_u64(seed));
+        prop_assert!(is_monge(&a));
+        prop_assert!(is_totally_monotone_minima(&a));
+    }
+
+    #[test]
+    fn implicit_generator_is_monge((m, n) in dims(), k in 0usize..5, seed in any::<u64>()) {
+        let a = ImplicitMonge::random(m, n, k, &mut StdRng::seed_from_u64(seed));
+        prop_assert!(is_monge(&a));
+    }
+
+    #[test]
+    fn transport_family_is_monge((m, n) in dims(), seed in any::<u64>()) {
+        let a = TransportArray::random(m, n, &mut StdRng::seed_from_u64(seed));
+        prop_assert!(is_monge(&a));
+    }
+
+    #[test]
+    fn smawk_minima_matches_brute((m, n) in dims(), seed in any::<u64>()) {
+        let a = random_monge_dense(m, n, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(row_minima_monge(&a).index, brute_row_minima(&a));
+    }
+
+    #[test]
+    fn smawk_maxima_matches_brute((m, n) in dims(), seed in any::<u64>()) {
+        let a = random_monge_dense(m, n, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(row_maxima_monge(&a).index, brute_row_maxima(&a));
+    }
+
+    #[test]
+    fn smawk_inverse_variants_match_brute((m, n) in dims(), seed in any::<u64>()) {
+        let base = random_monge_dense(m, n, &mut StdRng::seed_from_u64(seed));
+        let a = Negate(&base).to_dense();
+        prop_assert!(is_inverse_monge(&a));
+        prop_assert_eq!(row_minima_inverse_monge(&a).index, brute_row_minima(&a));
+        prop_assert_eq!(row_maxima_inverse_monge(&a).index, brute_row_maxima(&a));
+    }
+
+    #[test]
+    fn smawk_on_adapters_stays_consistent((m, n) in dims(), seed in any::<u64>()) {
+        // Row minima of the transpose = column minima of the original.
+        let a = random_monge_dense(m, n, &mut StdRng::seed_from_u64(seed));
+        let t = Transpose(&a);
+        let col_minima = row_minima_monge(&t);
+        for (j, &i) in col_minima.index.iter().enumerate() {
+            for ii in 0..m {
+                prop_assert!(!a.entry(ii, j).total_lt_helper(a.entry(i, j)));
+            }
+        }
+    }
+
+    #[test]
+    fn monge_argmin_positions_are_monotone((m, n) in dims(), seed in any::<u64>()) {
+        // The structural property every divide-and-conquer step uses.
+        let a = random_monge_dense(m, n, &mut StdRng::seed_from_u64(seed));
+        let idx = row_minima_monge(&a).index;
+        prop_assert!(idx.windows(2).all(|w| w[0] <= w[1]));
+        let idx = row_maxima_monge(&a).index;
+        prop_assert!(idx.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn reverse_cols_swaps_classes((m, n) in dims(), seed in any::<u64>()) {
+        let a = random_monge_dense(m, n, &mut StdRng::seed_from_u64(seed));
+        prop_assert!(is_inverse_monge(&ReverseCols(&a)));
+    }
+
+    #[test]
+    fn staircase_minima_matches_brute((m, n) in dims(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = random_monge_dense(m, n, &mut rng);
+        let f = random_staircase_boundary(m, n, &mut rng);
+        let a = apply_staircase(&base, &f);
+        prop_assert!(is_staircase_monge(&a));
+        prop_assert_eq!(compute_boundary(&a), f.clone());
+        prop_assert_eq!(
+            staircase_row_minima(&a, &f),
+            staircase_row_minima_brute(&a, &f)
+        );
+    }
+
+    #[test]
+    fn staircase_maxima_matches_brute((m, n) in dims(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = random_monge_dense(m, n, &mut rng);
+        let f = random_staircase_boundary(m, n, &mut rng);
+        let a = apply_staircase(&base, &f);
+        prop_assert_eq!(
+            staircase_row_maxima(&a, &f),
+            staircase_row_maxima_brute(&a, &f)
+        );
+    }
+
+    #[test]
+    fn tube_extrema_match_brute(p in 1usize..12, q in 1usize..12, r in 1usize..12,
+                                seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = random_monge_dense(p, q, &mut rng);
+        let e = random_monge_dense(q, r, &mut rng);
+        prop_assert_eq!(tube_maxima(&d, &e), tube_maxima_brute(&d, &e));
+        prop_assert_eq!(tube_minima(&d, &e), tube_minima_brute(&d, &e));
+    }
+
+    #[test]
+    fn tube_argmin_is_monotone_in_both_coordinates(
+        p in 2usize..10, q in 2usize..10, r in 2usize..10, seed in any::<u64>()) {
+        // The monotonicity the parallel tube algorithms exploit: the
+        // optimizing middle coordinate is non-decreasing in i and in k.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = random_monge_dense(p, q, &mut rng);
+        let e = random_monge_dense(q, r, &mut rng);
+        let ex = tube_minima(&d, &e);
+        for i in 0..p {
+            for k in 0..r.saturating_sub(1) {
+                prop_assert!(ex.arg(i, k) <= ex.arg(i, k + 1),
+                    "argmin not monotone in k at ({i},{k})");
+            }
+        }
+        for k in 0..r {
+            for i in 0..p.saturating_sub(1) {
+                prop_assert!(ex.arg(i, k) <= ex.arg(i + 1, k),
+                    "argmin not monotone in i at ({i},{k})");
+            }
+        }
+    }
+
+    #[test]
+    fn min_plus_closure_and_oracle(p in 1usize..10, q in 1usize..10, r in 1usize..10,
+                                   seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = random_monge_dense(p, q, &mut rng);
+        let e = random_monge_dense(q, r, &mut rng);
+        let f = min_plus(&d, &e);
+        prop_assert_eq!(&f, &min_plus_brute(&d, &e));
+        prop_assert!(is_monge(&f));
+    }
+
+    #[test]
+    fn ansv_matches_brute(v in proptest::collection::vec(0i64..32, 0..200)) {
+        prop_assert_eq!(ansv(&v), ansv_brute(&v));
+    }
+
+    #[test]
+    fn banded_searches_match_brute((m, n) in dims(), seed in any::<u64>()) {
+        use monge_core::banded::*;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_monge_dense(m, n, &mut rng);
+        let mut lo: Vec<usize> = (0..m).map(|_| rng.random_range(0..=n)).collect();
+        let mut hi: Vec<usize> = (0..m).map(|_| rng.random_range(0..=n)).collect();
+        lo.sort_unstable();
+        hi.sort_unstable();
+        let lo_inc: Vec<usize> = lo.iter().zip(&hi).map(|(&l, &h)| l.min(h)).collect();
+        prop_assert_eq!(
+            banded_row_minima_monge(&a, &lo_inc, &hi),
+            banded_row_minima_brute(&a, &lo_inc, &hi)
+        );
+        let mut lo_dec = lo_inc.clone();
+        let mut hi_dec = hi.clone();
+        lo_dec.reverse();
+        hi_dec.reverse();
+        let lo_dec: Vec<usize> = lo_dec.iter().zip(&hi_dec).map(|(&l, &h)| l.min(h)).collect();
+        prop_assert_eq!(
+            banded_row_maxima_monge(&a, &lo_dec, &hi_dec),
+            banded_row_maxima_brute(&a, &lo_dec, &hi_dec)
+        );
+    }
+
+    #[test]
+    fn online_engines_match_oracle(n in 0usize..120, seed in any::<u64>()) {
+        use monge_core::online::*;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let off: Vec<f64> = (0..=n).map(|_| rng.random_range(0.0..4.0)).collect();
+        // Convex gap -> Monge engine.
+        let wm = |i: usize, j: usize| {
+            let d = (j - i) as f64;
+            0.02 * d * d
+        };
+        let fast = online_monge_minima(n, wm, |j, _| off[j], off[0]);
+        let brute = online_minima_brute(n, wm, |j, _| off[j], off[0]);
+        for ((a, _), (b, _)) in fast.iter().zip(&brute) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+        // Concave gap -> inverse engine.
+        let wc = |i: usize, j: usize| ((j - i) as f64).sqrt();
+        let fast = online_inverse_monge_minima(n, wc, |j, _| off[j], off[0]);
+        let brute = online_minima_brute(n, wc, |j, _| off[j], off[0]);
+        for ((a, _), (b, _)) in fast.iter().zip(&brute) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn staircase_inverse_wrappers_match_brute((m, n) in dims(), seed in any::<u64>()) {
+        use monge_core::generators::random_staircase_inverse_monge_dense;
+        use monge_core::staircase::*;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_staircase_inverse_monge_dense(m, n, &mut rng);
+        prop_assert!(monge_core::monge::is_staircase_inverse_monge(&a));
+        let f = compute_boundary(&a);
+        prop_assert_eq!(
+            staircase_inverse_row_maxima(&a, &f),
+            staircase_row_maxima_brute(&a, &f)
+        );
+        prop_assert_eq!(
+            staircase_inverse_row_minima(&a, &f),
+            staircase_row_minima_brute(&a, &f)
+        );
+    }
+}
+
+/// Helper used above (leftmost-minimum check without importing Value).
+trait TotalLtHelper {
+    fn total_lt_helper(self, other: Self) -> bool;
+}
+
+impl TotalLtHelper for i64 {
+    fn total_lt_helper(self, other: Self) -> bool {
+        self < other
+    }
+}

@@ -1,0 +1,57 @@
+//! # monge-hypercube
+//!
+//! A synchronous hypercube network simulator, plus the cube-connected
+//! cycles (CCC) and shuffle-exchange emulation layer — the machine models
+//! of the paper's §3.
+//!
+//! ## Model
+//!
+//! A [`network::Hypercube`] has `2^d` nodes, each holding a private
+//! register file (there is **no global memory** — §3's whole point: "the
+//! hypercube lacks a global memory … the manner in which the `v[i]`,
+//! `w[j]`, `d[i,j]`, and `e[j,k]` are distributed through the hypercube is
+//! then an important consideration"). Two step types exist:
+//!
+//! * a **local step** — every node updates its own registers;
+//! * an **exchange step** across one dimension `k` — every node reads its
+//!   dimension-`k` neighbor's pre-step registers.
+//!
+//! One dimension per step is the *normal algorithm* discipline; algorithms
+//! honoring it (ours do, and the simulator records the dimension trace to
+//! prove it) run on CCC and shuffle-exchange networks with constant
+//! slowdown — the classical emulation theorems behind the paper's
+//! "hypercube, cube-connected cycles, and shuffle-exchange" claims. The
+//! [`topology`] module builds those graphs, implements a working
+//! shuffle-exchange machine, and prices a recorded trace on each network.
+//!
+//! ## Primitives ([`ops`])
+//!
+//! Broadcast, reduce, (segmented) parallel prefix, bitonic merge
+//! (`O(lg n)`) and sort (`O(lg² n)`), monotone (isotone) bit-fixing
+//! routing, and sort-based random-access gathers — the toolkit Lemma 3.1
+//! assembles its data movement from.
+//!
+//! ```
+//! use monge_hypercube::Hypercube;
+//! use monge_hypercube::ops::scan_inclusive;
+//! use monge_hypercube::topology::EmulationCost;
+//!
+//! // Prefix sums over a 16-node hypercube, priced on the other networks.
+//! let mut hc = Hypercube::<i64>::new(4);
+//! let r = hc.alloc_reg(0);
+//! hc.load(r, &(1..=16).collect::<Vec<_>>());
+//! scan_inclusive(&mut hc, r, |a, b| a + b);
+//! assert_eq!(hc.peek(15, r), 136);
+//! assert_eq!(hc.metrics().comm_steps, 4); // one exchange per dimension
+//! let cost = EmulationCost::price(hc.metrics(), 4);
+//! assert!(cost.normal && cost.se_steps <= 2 * cost.hypercube_steps);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod network;
+pub mod ops;
+pub mod topology;
+
+pub use network::{Hypercube, NetMetrics, Reg};

@@ -1,0 +1,281 @@
+//! The synchronous hypercube machine.
+
+use std::fmt::Debug;
+
+/// A register value. Ordering is needed by the sorting/merging
+/// primitives.
+pub trait Word: Copy + PartialEq + PartialOrd + Debug + 'static {}
+impl<T: Copy + PartialEq + PartialOrd + Debug + 'static> Word for T {}
+
+/// A register slot identifier, valid on every node (SPMD register files).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Reg(pub(crate) usize);
+
+/// Cost counters of a simulated hypercube execution.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NetMetrics {
+    /// Local compute steps.
+    pub local_steps: u64,
+    /// Communication steps (one dimension each).
+    pub comm_steps: u64,
+    /// Total messages (every exchange moves `2^d` register values).
+    pub messages: u64,
+    /// The sequence of dimensions used by exchanges — the *trace* the
+    /// CCC / shuffle-exchange emulators price.
+    pub dim_trace: Vec<usize>,
+}
+
+impl NetMetrics {
+    /// Total steps (local + communication).
+    pub fn steps(&self) -> u64 {
+        self.local_steps + self.comm_steps
+    }
+}
+
+/// A node's view of its own register file during a step.
+pub struct NodeView<'a, C: Word> {
+    regs: &'a mut [C],
+}
+
+impl<'a, C: Word> NodeView<'a, C> {
+    pub(crate) fn new(regs: &'a mut [C]) -> Self {
+        Self { regs }
+    }
+
+    /// Reads one of this node's registers.
+    pub fn get(&self, r: Reg) -> C {
+        self.regs[r.0]
+    }
+    /// Writes one of this node's registers.
+    pub fn set(&mut self, r: Reg, v: C) {
+        self.regs[r.0] = v;
+    }
+}
+
+/// A read-only view of the dimension-neighbor's pre-step registers.
+pub struct RemoteView<'a, C: Word> {
+    regs: &'a [C],
+}
+
+impl<'a, C: Word> RemoteView<'a, C> {
+    pub(crate) fn new(regs: &'a [C]) -> Self {
+        Self { regs }
+    }
+
+    /// Reads one of the neighbor's registers (pre-step value).
+    pub fn get(&self, r: Reg) -> C {
+        self.regs[r.0]
+    }
+}
+
+/// A `2^dim`-node hypercube with per-node register files.
+pub struct Hypercube<C: Word> {
+    dim: usize,
+    nregs: usize,
+    /// Row-major: `regs[node * nregs + slot]`.
+    regs: Vec<C>,
+    snapshot: Vec<C>,
+    metrics: NetMetrics,
+}
+
+impl<C: Word> Hypercube<C> {
+    /// Creates a hypercube of `2^dim` nodes with empty register files.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim <= 26, "refusing to simulate more than 2^26 nodes");
+        Self {
+            dim,
+            nregs: 0,
+            regs: Vec::new(),
+            snapshot: Vec::new(),
+            metrics: NetMetrics::default(),
+        }
+    }
+
+    /// Hypercube dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of nodes `2^d`.
+    pub fn nodes(&self) -> usize {
+        1 << self.dim
+    }
+
+    /// Accumulated cost counters.
+    pub fn metrics(&self) -> &NetMetrics {
+        &self.metrics
+    }
+
+    /// A checkpoint for [`Hypercube::reg_reset`]: the current register
+    /// count.
+    pub fn reg_mark(&self) -> usize {
+        self.nregs
+    }
+
+    /// Frees every register allocated after `mark` (returned by
+    /// [`Hypercube::reg_mark`]). `Reg` handles issued since the mark
+    /// become invalid; callers use this to reclaim the scratch registers
+    /// primitives allocate, keeping the simulated register files small.
+    pub fn reg_reset(&mut self, mark: usize) {
+        assert!(mark <= self.nregs);
+        if mark == self.nregs {
+            return;
+        }
+        let n = self.nodes();
+        let old = self.nregs;
+        let mut regs = Vec::with_capacity(n * mark);
+        for node in 0..n {
+            regs.extend_from_slice(&self.regs[node * old..node * old + mark]);
+        }
+        self.regs = regs;
+        self.nregs = mark;
+    }
+
+    /// Adds a register slot to every node, initialized to `init`
+    /// (untimed; models static storage allocation).
+    pub fn alloc_reg(&mut self, init: C) -> Reg {
+        let n = self.nodes();
+        let old = self.nregs;
+        self.nregs += 1;
+        // Re-layout row-major register files.
+        let mut regs = Vec::with_capacity(n * self.nregs);
+        for node in 0..n {
+            regs.extend_from_slice(&self.regs[node * old..(node + 1) * old]);
+            regs.push(init);
+        }
+        self.regs = regs;
+        Reg(old)
+    }
+
+    /// Host-side staging: writes `data[i]` into node `i`'s register
+    /// (models the §3 input assumption, e.g. "the `i`-th hypercube
+    /// processor's local memory holds `v[i]` and `w[i]`"). Untimed.
+    pub fn load(&mut self, r: Reg, data: &[C]) {
+        assert!(data.len() <= self.nodes());
+        for (node, &v) in data.iter().enumerate() {
+            self.regs[node * self.nregs + r.0] = v;
+        }
+    }
+
+    /// Host-side readout of a register across all nodes (untimed).
+    pub fn read_reg(&self, r: Reg) -> Vec<C> {
+        (0..self.nodes())
+            .map(|node| self.regs[node * self.nregs + r.0])
+            .collect()
+    }
+
+    /// Host-side peek at one node's register (untimed).
+    pub fn peek(&self, node: usize, r: Reg) -> C {
+        self.regs[node * self.nregs + r.0]
+    }
+
+    /// One local compute step: every node updates its own registers.
+    pub fn local(&mut self, mut f: impl FnMut(usize, &mut NodeView<'_, C>)) {
+        let nregs = self.nregs;
+        for node in 0..self.nodes() {
+            let file = &mut self.regs[node * nregs..(node + 1) * nregs];
+            let mut view = NodeView { regs: file };
+            f(node, &mut view);
+        }
+        self.metrics.local_steps += 1;
+    }
+
+    /// One exchange step across dimension `d`: every node sees its
+    /// dimension-`d` neighbor's **pre-step** registers and may update its
+    /// own. Counts one communication step and `2^dim` messages.
+    pub fn exchange(&mut self, d: usize, mut f: impl FnMut(usize, &mut NodeView<'_, C>, &RemoteView<'_, C>)) {
+        assert!(d < self.dim, "dimension {d} out of range (dim = {})", self.dim);
+        let nregs = self.nregs;
+        self.snapshot.clear();
+        self.snapshot.extend_from_slice(&self.regs);
+        let snapshot = std::mem::take(&mut self.snapshot);
+        for node in 0..self.nodes() {
+            let partner = node ^ (1 << d);
+            let remote = RemoteView {
+                regs: &snapshot[partner * nregs..(partner + 1) * nregs],
+            };
+            let file = &mut self.regs[node * nregs..(node + 1) * nregs];
+            let mut view = NodeView { regs: file };
+            f(node, &mut view, &remote);
+        }
+        self.snapshot = snapshot;
+        self.metrics.comm_steps += 1;
+        self.metrics.messages += self.nodes() as u64;
+        self.metrics.dim_trace.push(d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_registers() {
+        let mut hc = Hypercube::<i64>::new(3);
+        assert_eq!(hc.nodes(), 8);
+        let r = hc.alloc_reg(0);
+        let s = hc.alloc_reg(7);
+        hc.load(r, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(hc.read_reg(r), vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(hc.read_reg(s), vec![7; 8]);
+        assert_eq!(hc.peek(3, r), 4);
+    }
+
+    #[test]
+    fn local_step_updates_every_node() {
+        let mut hc = Hypercube::<i64>::new(2);
+        let r = hc.alloc_reg(0);
+        hc.local(|node, v| v.set(r, node as i64 * 10));
+        assert_eq!(hc.read_reg(r), vec![0, 10, 20, 30]);
+        assert_eq!(hc.metrics().local_steps, 1);
+        assert_eq!(hc.metrics().comm_steps, 0);
+    }
+
+    #[test]
+    fn exchange_is_synchronous() {
+        // Swap register values across dimension 0: both directions see
+        // pre-step values.
+        let mut hc = Hypercube::<i64>::new(2);
+        let r = hc.alloc_reg(0);
+        hc.load(r, &[10, 11, 12, 13]);
+        hc.exchange(0, |_, own, remote| own.set(r, remote.get(r)));
+        assert_eq!(hc.read_reg(r), vec![11, 10, 13, 12]);
+        assert_eq!(hc.metrics().comm_steps, 1);
+        assert_eq!(hc.metrics().messages, 4);
+        assert_eq!(hc.metrics().dim_trace, vec![0]);
+    }
+
+    #[test]
+    fn exchange_partners_are_correct_in_every_dimension() {
+        let mut hc = Hypercube::<i64>::new(3);
+        let r = hc.alloc_reg(0);
+        let ids: Vec<i64> = (0..8).collect();
+        for d in 0..3 {
+            hc.load(r, &ids);
+            hc.exchange(d, |_, own, remote| own.set(r, remote.get(r)));
+            let got = hc.read_reg(r);
+            for node in 0..8usize {
+                assert_eq!(got[node], (node ^ (1 << d)) as i64);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn exchange_rejects_bad_dimension() {
+        let mut hc = Hypercube::<i64>::new(2);
+        let r = hc.alloc_reg(0);
+        hc.exchange(2, |_, own, remote| own.set(r, remote.get(r)));
+    }
+
+    #[test]
+    fn dim_zero_cube_is_a_single_node() {
+        let mut hc = Hypercube::<i64>::new(0);
+        let r = hc.alloc_reg(5);
+        hc.local(|_, v| {
+            let x = v.get(r);
+            v.set(r, x + 1);
+        });
+        assert_eq!(hc.read_reg(r), vec![6]);
+    }
+}

@@ -1,0 +1,789 @@
+//! Normal-algorithm primitives on the hypercube: the data-movement
+//! toolkit of Lemma 3.1 ("merge lists … parallel prefix … isotone
+//! routing", citing \[LLS89\]).
+//!
+//! | primitive | exchange steps |
+//! |---|---|
+//! | [`broadcast_from_zero`] | `d` |
+//! | [`reduce_to_zero`] | `d` |
+//! | [`scan_inclusive`] / [`segmented_scan_inclusive`] | `d` |
+//! | [`bitonic_merge`] | `d` |
+//! | [`bitonic_sort`] | `d(d+1)/2` |
+//! | [`route_monotone`] | `d` |
+//!
+//! All use one dimension per exchange (normal discipline), so the
+//! [`crate::topology`] emulators can price them on CCC and
+//! shuffle-exchange networks.
+
+use crate::network::{Hypercube, Reg, Word};
+
+/// Broadcasts node 0's register to all nodes in `d` exchange steps.
+pub fn broadcast_from_zero<C: Word>(hc: &mut Hypercube<C>, r: Reg) {
+    for d in 0..hc.dim() {
+        hc.exchange(d, |node, own, remote| {
+            if (node >> d) & 1 == 1 {
+                own.set(r, remote.get(r));
+            }
+        });
+    }
+}
+
+/// Reduces a register by `combine` into node 0 in `d` exchange steps.
+/// `combine(a, b)` receives the lower node's value first.
+pub fn reduce_to_zero<C: Word>(
+    hc: &mut Hypercube<C>,
+    r: Reg,
+    combine: impl Fn(C, C) -> C + Copy,
+) {
+    for d in 0..hc.dim() {
+        hc.exchange(d, |node, own, remote| {
+            if (node >> d) & 1 == 0 {
+                own.set(r, combine(own.get(r), remote.get(r)));
+            }
+        });
+    }
+}
+
+/// Inclusive parallel prefix over node-id order in `d` exchange steps
+/// plus one local step; `combine` must be associative.
+pub fn scan_inclusive<C: Word>(
+    hc: &mut Hypercube<C>,
+    r: Reg,
+    combine: impl Fn(C, C) -> C + Copy,
+) {
+    let total = hc.alloc_reg(hc.peek(0, r));
+    hc.local(|_, own| {
+        let v = own.get(r);
+        own.set(total, v);
+    });
+    for d in 0..hc.dim() {
+        hc.exchange(d, |node, own, remote| {
+            let rt = remote.get(total);
+            if (node >> d) & 1 == 1 {
+                own.set(r, combine(rt, own.get(r)));
+                own.set(total, combine(rt, own.get(total)));
+            } else {
+                own.set(total, combine(own.get(total), rt));
+            }
+        });
+    }
+}
+
+/// Segmented inclusive prefix: `flag == one` marks the first element of a
+/// segment; the scan restarts there. Costs the same as
+/// [`scan_inclusive`].
+pub fn segmented_scan_inclusive<C: Word>(
+    hc: &mut Hypercube<C>,
+    r: Reg,
+    flag: Reg,
+    one: C,
+    combine: impl Fn(C, C) -> C + Copy,
+) {
+    // Pair scan with the segmented operator
+    //   (v1,f1) ⊕ (v2,f2) = (f2 ? v2 : v1∘v2, f1 ∨ f2),
+    // which is associative, so the plain hypercube scan applies to pairs.
+    // Registers: (r, rf) = running prefix pair, (t, tf) = running total
+    // pair of the node-interval each scan phase has absorbed.
+    let rf = hc.alloc_reg(one);
+    let t = hc.alloc_reg(hc.peek(0, r));
+    let tf = hc.alloc_reg(one);
+    hc.local(|_, own| {
+        let v = own.get(r);
+        let f = own.get(flag);
+        own.set(rf, f);
+        own.set(t, v);
+        own.set(tf, f);
+    });
+    for d in 0..hc.dim() {
+        hc.exchange(d, |node, own, remote| {
+            let (rt, rtf) = (remote.get(t), remote.get(tf));
+            if (node >> d) & 1 == 1 {
+                // Lower half precedes this node: prefix = remote_total ⊕ prefix.
+                if own.get(rf) != one {
+                    own.set(r, combine(rt, own.get(r)));
+                    if rtf == one {
+                        own.set(rf, one);
+                    }
+                }
+                // total = remote_total ⊕ total.
+                if own.get(tf) != one {
+                    own.set(t, combine(rt, own.get(t)));
+                    if rtf == one {
+                        own.set(tf, one);
+                    }
+                }
+            } else {
+                // total = total ⊕ remote_total.
+                if rtf == one {
+                    own.set(t, rt);
+                    own.set(tf, one);
+                } else {
+                    own.set(t, combine(own.get(t), rt));
+                }
+            }
+        });
+    }
+}
+
+/// Bitonic compare-exchange cascade along descending dimensions: merges a
+/// bitonic key sequence into an ascending one in `d` exchange steps,
+/// carrying `payloads` with the keys. Ties keep both sides in place
+/// (consistent on both endpoints).
+pub fn bitonic_merge<C: Word>(hc: &mut Hypercube<C>, key: Reg, payloads: &[Reg]) {
+    let payloads = payloads.to_vec();
+    for j in (0..hc.dim()).rev() {
+        compare_exchange(hc, j, key, &payloads, |node, j| (node >> j) & 1 == 0);
+    }
+}
+
+/// Full bitonic sort by `key` (ascending in node-id order), carrying
+/// `payloads`, in `d(d+1)/2` exchange steps.
+pub fn bitonic_sort<C: Word>(hc: &mut Hypercube<C>, key: Reg, payloads: &[Reg]) {
+    let payloads = payloads.to_vec();
+    let dim = hc.dim();
+    for k in 0..dim {
+        for j in (0..=k).rev() {
+            compare_exchange(hc, j, key, &payloads, move |node, j| {
+                let ascending = (node >> (k + 1)) & 1 == 0;
+                ((node >> j) & 1 == 0) == ascending
+            });
+        }
+    }
+}
+
+/// One compare-exchange step along dimension `j`: the endpoint where
+/// `keep_small(node, j)` holds keeps the smaller key.
+fn compare_exchange<C: Word>(
+    hc: &mut Hypercube<C>,
+    j: usize,
+    key: Reg,
+    payloads: &[Reg],
+    keep_small: impl Fn(usize, usize) -> bool + Copy,
+) {
+    hc.exchange(j, |node, own, remote| {
+        let a = own.get(key);
+        let b = remote.get(key);
+        // Strict comparison; equal keys stay put (both sides agree).
+        let take_remote = if keep_small(node, j) { b < a } else { a < b };
+        if take_remote {
+            own.set(key, b);
+            for &p in payloads {
+                own.set(p, remote.get(p));
+            }
+        }
+    });
+}
+
+/// One bit-fixing pass over the given dimension order. Packets cross
+/// dimension `d` when their destination disagrees with their current node
+/// in bit `d`; a collision panics (callers guarantee congestion-freedom).
+#[allow(clippy::too_many_arguments)]
+fn bit_fix_pass<C: Word>(
+    hc: &mut Hypercube<C>,
+    dims: impl Iterator<Item = usize>,
+    valid: Reg,
+    one: C,
+    zero: C,
+    dest: Reg,
+    dest_of: impl Fn(C) -> usize + Copy,
+    payloads: &[Reg],
+) {
+    let payloads = payloads.to_vec();
+    for d in dims {
+        hc.exchange(d, |node, own, remote| {
+            let own_has = own.get(valid) == one;
+            let own_cross = own_has && ((dest_of(own.get(dest)) >> d) & 1) != ((node >> d) & 1);
+            let partner = node ^ (1 << d);
+            let rem_has = remote.get(valid) == one;
+            let rem_cross =
+                rem_has && ((dest_of(remote.get(dest)) >> d) & 1) != ((partner >> d) & 1);
+            match (own_has && !own_cross, rem_cross) {
+                (true, true) => panic!(
+                    "routing congestion at node {node}, dimension {d}: \
+                     route is not a monotone concentration/distribution"
+                ),
+                (false, true) => {
+                    own.set(valid, one);
+                    own.set(dest, remote.get(dest));
+                    for &p in &payloads {
+                        own.set(p, remote.get(p));
+                    }
+                }
+                (false, false) => {
+                    own.set(valid, zero);
+                }
+                (true, false) => { /* keep own packet */ }
+            }
+        });
+    }
+}
+
+/// Concentration routing (Nassimi–Sahni): packet `i` (in node order) moves
+/// to node `rank_of(rank register)`, where ranks must equal the packet's
+/// 0-based order among valid packets. Ascending bit-fixing is
+/// congestion-free for exactly this route class; `d` exchange steps.
+pub fn concentrate<C: Word>(
+    hc: &mut Hypercube<C>,
+    valid: Reg,
+    one: C,
+    zero: C,
+    rank: Reg,
+    rank_of: impl Fn(C) -> usize + Copy,
+    payloads: &[Reg],
+) {
+    let dim = hc.dim();
+    bit_fix_pass(hc, 0..dim, valid, one, zero, rank, rank_of, payloads);
+}
+
+/// Distribution routing: the inverse of concentration. Valid packets must
+/// sit in nodes `0..k` (rank order) with strictly increasing destinations;
+/// descending bit-fixing delivers them congestion-free in `d` exchange
+/// steps.
+pub fn distribute<C: Word>(
+    hc: &mut Hypercube<C>,
+    valid: Reg,
+    one: C,
+    zero: C,
+    dest: Reg,
+    dest_of: impl Fn(C) -> usize + Copy,
+    payloads: &[Reg],
+) {
+    let dim = hc.dim();
+    bit_fix_pass(hc, (0..dim).rev(), valid, one, zero, dest, dest_of, payloads);
+}
+
+/// General monotone (isotone) routing — the Lemma 3.1 primitive: packets
+/// with strictly increasing destinations move to those destinations in
+/// `2d` exchange steps by concentrating on their ranks and then
+/// distributing. `rank` must hold each packet's 0-based order among valid
+/// packets (obtained from a prefix scan); `dest` its final destination.
+#[allow(clippy::too_many_arguments)]
+pub fn route_monotone<C: Word>(
+    hc: &mut Hypercube<C>,
+    valid: Reg,
+    one: C,
+    zero: C,
+    rank: Reg,
+    rank_of: impl Fn(C) -> usize + Copy,
+    dest: Reg,
+    dest_of: impl Fn(C) -> usize + Copy,
+    payloads: &[Reg],
+) {
+    let mut all = payloads.to_vec();
+    all.push(dest);
+    concentrate(hc, valid, one, zero, rank, rank_of, &all);
+    let mut all = payloads.to_vec();
+    all.push(rank);
+    distribute(hc, valid, one, zero, dest, dest_of, &all);
+}
+
+/// General distinct-destination routing for packets in *arbitrary* source
+/// order: bitonic-sort the packets by destination (invalid packets carry
+/// `invalid_key`, which must sort after every valid key), then distribute.
+/// `O(lg² n)` exchange steps — the fallback when a route is not monotone.
+#[allow(clippy::too_many_arguments)]
+pub fn sorted_route<C: Word>(
+    hc: &mut Hypercube<C>,
+    valid: Reg,
+    one: C,
+    zero: C,
+    dest_key: Reg,
+    dest_of: impl Fn(C) -> usize + Copy,
+    payloads: &[Reg],
+    invalid_key: C,
+) {
+    // Invalid nodes sort to the back.
+    hc.local(|_, own| {
+        if own.get(valid) != one {
+            own.set(dest_key, invalid_key);
+        }
+    });
+    let mut carry = payloads.to_vec();
+    carry.push(valid);
+    bitonic_sort(hc, dest_key, &carry);
+    distribute(hc, valid, one, zero, dest_key, dest_of, payloads);
+}
+
+/// Sort-based gather (a "random-access read" h-relation): every node may
+/// request the `table` value held by the node named in its `req_key`;
+/// after the call, `resp` holds the fetched value at every requesting
+/// node. Duplicate keys are allowed (resolved by one fetch plus a
+/// segmented broadcast). Cost: two bitonic sorts plus `O(lg n)` routes
+/// and scans — `O(lg² n)` exchange steps.
+///
+/// `key_of`/`make_key` convert between `C` and node indices and must be
+/// order-preserving; `invalid_key` must sort after every valid key.
+#[allow(clippy::too_many_arguments)]
+pub fn sorted_gather<C: Word>(
+    hc: &mut Hypercube<C>,
+    req_valid: Reg,
+    one: C,
+    zero: C,
+    req_key: Reg,
+    key_of: impl Fn(C) -> usize + Copy,
+    make_key: impl Fn(usize) -> C + Copy,
+    table: Reg,
+    resp: Reg,
+    invalid_key: C,
+) {
+    let n = hc.nodes();
+    let origin = hc.alloc_reg(zero);
+    // 1. Stamp origins; park invalid requests at the back of the sort.
+    hc.local(|node, own| {
+        own.set(origin, make_key(node));
+        if own.get(req_valid) != one {
+            own.set(req_key, invalid_key);
+        }
+    });
+    // 2. Sort requests by key.
+    bitonic_sort(hc, req_key, &[origin, req_valid]);
+    // 3. Remember sorted positions; fetch the predecessor's key to mark
+    //    first occurrences (shift-by-one is a monotone route).
+    let sortpos = hc.alloc_reg(zero);
+    let prevkey = hc.alloc_reg(zero);
+    let svalid = hc.alloc_reg(zero);
+    let srank = hc.alloc_reg(zero);
+    let sdest = hc.alloc_reg(zero);
+    hc.local(|node, own| {
+        own.set(sortpos, make_key(node));
+        own.set(prevkey, own.get(req_key));
+        own.set(
+            svalid,
+            if node + 1 < n { one } else { zero },
+        );
+        own.set(srank, make_key(node));
+        own.set(sdest, make_key((node + 1).min(n - 1)));
+    });
+    route_monotone(
+        hc,
+        svalid,
+        one,
+        zero,
+        srank,
+        key_of,
+        sdest,
+        key_of,
+        &[prevkey],
+    );
+    // 4. First-occurrence flags among valid requests.
+    let first = hc.alloc_reg(zero);
+    hc.local(|_, own| {
+        let is_first = own.get(req_valid) == one
+            && (own.get(svalid) != one || own.get(prevkey) != own.get(req_key));
+        own.set(first, if is_first { one } else { zero });
+    });
+    // 5. Rank the first occurrences by a counting prefix scan.
+    let rank = hc.alloc_reg(zero);
+    hc.local(|_, own| {
+        let f = own.get(first);
+        own.set(rank, make_key(usize::from(f == one)));
+    });
+    scan_inclusive(hc, rank, |a, b| make_key(key_of(a) + key_of(b)));
+    hc.local(|_, own| {
+        let r = key_of(own.get(rank));
+        own.set(rank, make_key(r.saturating_sub(1)));
+    });
+    // 6. Send one representative request per distinct key to the table
+    //    node, read the value, and bring it back to the sorted position.
+    let cflag = hc.alloc_reg(zero);
+    let ckey = hc.alloc_reg(zero);
+    let cpos = hc.alloc_reg(zero);
+    let crank = hc.alloc_reg(zero);
+    hc.local(|_, own| {
+        own.set(cflag, own.get(first));
+        own.set(ckey, own.get(req_key));
+        own.set(cpos, own.get(sortpos));
+        own.set(crank, own.get(rank));
+    });
+    concentrate(hc, cflag, one, zero, crank, key_of, &[ckey, cpos]);
+    // Re-derive ranks after concentration (they are now the node ids).
+    hc.local(|node, own| own.set(crank, make_key(node)));
+    distribute(hc, cflag, one, zero, ckey, key_of, &[cpos, crank]);
+    let travel = hc.alloc_reg(zero);
+    hc.local(|_, own| {
+        let t = own.get(table);
+        own.set(travel, t);
+    });
+    route_monotone(
+        hc,
+        cflag,
+        one,
+        zero,
+        crank,
+        key_of,
+        cpos,
+        key_of,
+        &[travel],
+    );
+    // 7. Spread each key's value across its duplicates (segments start at
+    //    first occurrences).
+    segmented_scan_inclusive(hc, travel, first, one, |a, _b| a);
+    // 8. Sort everything back to the origins (a full permutation).
+    bitonic_sort(hc, origin, &[travel, req_valid, req_key]);
+    hc.local(|_, own| {
+        let t = own.get(travel);
+        own.set(resp, t);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cube_with(vals: &[i64]) -> (Hypercube<i64>, Reg) {
+        let dim = vals.len().trailing_zeros() as usize;
+        assert_eq!(1 << dim, vals.len());
+        let mut hc = Hypercube::new(dim);
+        let r = hc.alloc_reg(0);
+        hc.load(r, vals);
+        (hc, r)
+    }
+
+    #[test]
+    fn broadcast_reaches_all_nodes_in_d_steps() {
+        let (mut hc, r) = cube_with(&[42, 0, 0, 0, 0, 0, 0, 0]);
+        broadcast_from_zero(&mut hc, r);
+        assert_eq!(hc.read_reg(r), vec![42; 8]);
+        assert_eq!(hc.metrics().comm_steps, 3);
+    }
+
+    #[test]
+    fn reduce_sums_into_node_zero() {
+        let (mut hc, r) = cube_with(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        reduce_to_zero(&mut hc, r, |a, b| a + b);
+        assert_eq!(hc.peek(0, r), 36);
+        assert_eq!(hc.metrics().comm_steps, 3);
+    }
+
+    #[test]
+    fn reduce_min_into_node_zero() {
+        let (mut hc, r) = cube_with(&[5, 3, 9, 1, 7, 2, 8, 6]);
+        reduce_to_zero(&mut hc, r, |a, b| a.min(b));
+        assert_eq!(hc.peek(0, r), 1);
+    }
+
+    #[test]
+    fn scan_computes_prefix_sums() {
+        let (mut hc, r) = cube_with(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        scan_inclusive(&mut hc, r, |a, b| a + b);
+        assert_eq!(hc.read_reg(r), vec![1, 3, 6, 10, 15, 21, 28, 36]);
+        assert_eq!(hc.metrics().comm_steps, 3);
+    }
+
+    #[test]
+    fn scan_with_min_operator() {
+        let (mut hc, r) = cube_with(&[5, 3, 9, 1, 7, 2, 8, 6]);
+        scan_inclusive(&mut hc, r, |a, b| a.min(b));
+        assert_eq!(hc.read_reg(r), vec![5, 3, 3, 1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn segmented_scan_restarts_at_flags() {
+        let (mut hc, r) = cube_with(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        let f = hc.alloc_reg(0);
+        hc.load(f, &[1, 0, 0, 1, 0, 1, 0, 0]); // segments: [0..3), [3..5), [5..8)
+        segmented_scan_inclusive(&mut hc, r, f, 1, |a, b| a + b);
+        assert_eq!(hc.read_reg(r), vec![1, 3, 6, 4, 9, 6, 13, 21]);
+    }
+
+    #[test]
+    fn segmented_scan_single_segment_equals_scan() {
+        let (mut hc, r) = cube_with(&[4, 1, 3, 2]);
+        let f = hc.alloc_reg(0);
+        hc.load(f, &[1, 0, 0, 0]);
+        segmented_scan_inclusive(&mut hc, r, f, 1, |a, b| a + b);
+        assert_eq!(hc.read_reg(r), vec![4, 5, 8, 10]);
+    }
+
+    #[test]
+    fn segmented_scan_all_singletons() {
+        let (mut hc, r) = cube_with(&[4, 1, 3, 2]);
+        let f = hc.alloc_reg(0);
+        hc.load(f, &[1, 1, 1, 1]);
+        segmented_scan_inclusive(&mut hc, r, f, 1, |a, b| a + b);
+        assert_eq!(hc.read_reg(r), vec![4, 1, 3, 2]);
+    }
+
+    #[test]
+    fn bitonic_sort_sorts_random_data() {
+        let vals: Vec<i64> = vec![9, 1, 8, 2, 7, 3, 6, 4, 5, 0, 11, 10, 15, 13, 12, 14];
+        let (mut hc, r) = cube_with(&vals);
+        bitonic_sort(&mut hc, r, &[]);
+        let mut want = vals.clone();
+        want.sort_unstable();
+        assert_eq!(hc.read_reg(r), want);
+        // d(d+1)/2 = 10 exchanges for d = 4.
+        assert_eq!(hc.metrics().comm_steps, 10);
+    }
+
+    #[test]
+    fn bitonic_sort_with_duplicates_and_payload() {
+        let keys: Vec<i64> = vec![3, 1, 3, 0, 2, 1, 0, 2];
+        let (mut hc, k) = cube_with(&keys);
+        let p = hc.alloc_reg(0);
+        hc.load(p, &[100, 101, 102, 103, 104, 105, 106, 107]);
+        bitonic_sort(&mut hc, k, &[p]);
+        let got_k = hc.read_reg(k);
+        let got_p = hc.read_reg(p);
+        let mut want: Vec<i64> = keys.clone();
+        want.sort_unstable();
+        assert_eq!(got_k, want);
+        // Payloads must still pair with their original keys.
+        for (kk, pp) in got_k.iter().zip(got_p.iter()) {
+            assert_eq!(keys[(*pp - 100) as usize], *kk);
+        }
+    }
+
+    #[test]
+    fn bitonic_merge_merges_two_sorted_halves() {
+        // Lower half ascending, upper half descending = bitonic input.
+        let vals: Vec<i64> = vec![1, 4, 6, 9, 8, 7, 3, 2];
+        let (mut hc, r) = cube_with(&vals);
+        bitonic_merge(&mut hc, r, &[]);
+        assert_eq!(hc.read_reg(r), vec![1, 2, 3, 4, 6, 7, 8, 9]);
+        assert_eq!(hc.metrics().comm_steps, 3); // d steps, not d(d+1)/2
+    }
+
+    #[test]
+    fn concentrate_compacts_packets() {
+        // Packets at nodes 1,3,6 with ranks 0,1,2.
+        let mut hc = Hypercube::<i64>::new(3);
+        let valid = hc.alloc_reg(0);
+        let rank = hc.alloc_reg(0);
+        let pay = hc.alloc_reg(0);
+        hc.load(valid, &[0, 1, 0, 1, 0, 0, 1, 0]);
+        hc.load(rank, &[0, 0, 0, 1, 0, 0, 2, 0]);
+        hc.load(pay, &[0, 10, 0, 30, 0, 0, 60, 0]);
+        concentrate(&mut hc, valid, 1, 0, rank, |c| c as usize, &[pay]);
+        assert_eq!(&hc.read_reg(pay)[0..3], &[10, 30, 60]);
+        assert_eq!(&hc.read_reg(valid)[0..4], &[1, 1, 1, 0]);
+        assert_eq!(hc.metrics().comm_steps, 3);
+    }
+
+    #[test]
+    fn distribute_spreads_packets() {
+        // Spread from ranks 0,1,2 to destinations 1,4,6.
+        let mut hc = Hypercube::<i64>::new(3);
+        let valid = hc.alloc_reg(0);
+        let dest = hc.alloc_reg(0);
+        let pay = hc.alloc_reg(0);
+        hc.load(valid, &[1, 1, 1, 0, 0, 0, 0, 0]);
+        hc.load(dest, &[1, 4, 6, 0, 0, 0, 0, 0]);
+        hc.load(pay, &[10, 20, 30, 0, 0, 0, 0, 0]);
+        distribute(&mut hc, valid, 1, 0, dest, |c| c as usize, &[pay]);
+        let v = hc.read_reg(valid);
+        let p = hc.read_reg(pay);
+        assert_eq!(v, vec![0, 1, 0, 0, 1, 0, 1, 0]);
+        assert_eq!(p[1], 10);
+        assert_eq!(p[4], 20);
+        assert_eq!(p[6], 30);
+    }
+
+    #[test]
+    fn route_monotone_general_case() {
+        // The case single-pass bit-fixing cannot do: 0 -> 0, 1 -> 4.
+        let mut hc = Hypercube::<i64>::new(3);
+        let valid = hc.alloc_reg(0);
+        let rank = hc.alloc_reg(0);
+        let dest = hc.alloc_reg(0);
+        let pay = hc.alloc_reg(0);
+        hc.load(valid, &[1, 1, 0, 0, 0, 0, 0, 0]);
+        hc.load(rank, &[0, 1, 0, 0, 0, 0, 0, 0]);
+        hc.load(dest, &[0, 4, 0, 0, 0, 0, 0, 0]);
+        hc.load(pay, &[70, 71, 0, 0, 0, 0, 0, 0]);
+        route_monotone(
+            &mut hc,
+            valid,
+            1,
+            0,
+            rank,
+            |c| c as usize,
+            dest,
+            |c| c as usize,
+            &[pay],
+        );
+        let p = hc.read_reg(pay);
+        let v = hc.read_reg(valid);
+        assert_eq!(p[0], 70);
+        assert_eq!(p[4], 71);
+        assert_eq!(v, vec![1, 0, 0, 0, 1, 0, 0, 0]);
+        assert_eq!(hc.metrics().comm_steps, 6); // 2d
+    }
+
+    #[test]
+    #[should_panic(expected = "congestion")]
+    fn non_monotone_concentration_fails_loudly() {
+        // Ranks that do not match packet order create a collision; the
+        // router must panic rather than silently drop data.
+        let mut hc = Hypercube::<i64>::new(3);
+        let valid = hc.alloc_reg(0);
+        let rank = hc.alloc_reg(0);
+        hc.load(valid, &[1, 1, 1, 0, 0, 0, 0, 0]);
+        hc.load(rank, &[2, 0, 1, 0, 0, 0, 0, 0]); // order-breaking ranks
+        concentrate(&mut hc, valid, 1, 0, rank, |c| c as usize, &[]);
+    }
+
+    #[test]
+    fn sorted_route_handles_unordered_sources() {
+        // Packets at 0,2,5 with destinations 6,1,3 — NOT order-preserving.
+        let mut hc = Hypercube::<i64>::new(3);
+        let valid = hc.alloc_reg(0);
+        let dest = hc.alloc_reg(0);
+        let pay = hc.alloc_reg(0);
+        hc.load(valid, &[1, 0, 1, 0, 0, 1, 0, 0]);
+        hc.load(dest, &[6, 0, 1, 0, 0, 3, 0, 0]);
+        hc.load(pay, &[100, 0, 102, 0, 0, 105, 0, 0]);
+        sorted_route(&mut hc, valid, 1, 0, dest, |c| c as usize, &[pay], i64::MAX);
+        let p = hc.read_reg(pay);
+        let v = hc.read_reg(valid);
+        assert_eq!(v[1], 1);
+        assert_eq!(p[1], 102);
+        assert_eq!(v[3], 1);
+        assert_eq!(p[3], 105);
+        assert_eq!(v[6], 1);
+        assert_eq!(p[6], 100);
+        assert_eq!(v[0] + v[2] + v[4] + v[5] + v[7], 0);
+    }
+
+    #[test]
+    fn sorted_gather_fetches_with_duplicates() {
+        let mut hc = Hypercube::<i64>::new(3);
+        let table = hc.alloc_reg(0);
+        hc.load(table, &[100, 101, 102, 103, 104, 105, 106, 107]);
+        let valid = hc.alloc_reg(0);
+        let key = hc.alloc_reg(0);
+        let resp = hc.alloc_reg(0);
+        hc.load(valid, &[1, 1, 0, 1, 1, 1, 0, 1]);
+        hc.load(key, &[5, 2, 0, 2, 7, 0, 0, 2]);
+        sorted_gather(
+            &mut hc,
+            valid,
+            1,
+            0,
+            key,
+            |c| c as usize,
+            |k| k as i64,
+            table,
+            resp,
+            i64::MAX,
+        );
+        let r = hc.read_reg(resp);
+        assert_eq!(r[0], 105);
+        assert_eq!(r[1], 102);
+        assert_eq!(r[3], 102);
+        assert_eq!(r[4], 107);
+        assert_eq!(r[5], 100);
+        assert_eq!(r[7], 102);
+    }
+
+    #[test]
+    fn sorted_gather_random_instances() {
+        let mut x: u64 = 0xDEADBEEFCAFE;
+        let mut rnd = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for dim in 2..=7usize {
+            let n = 1usize << dim;
+            for _ in 0..5 {
+                let tbl: Vec<i64> = (0..n).map(|i| 1000 + i as i64).collect();
+                let vv: Vec<i64> = (0..n).map(|_| (rnd() % 2) as i64).collect();
+                let kk: Vec<i64> = (0..n).map(|_| (rnd() % n as u64) as i64).collect();
+                let mut hc = Hypercube::<i64>::new(dim);
+                let table = hc.alloc_reg(0);
+                let valid = hc.alloc_reg(0);
+                let key = hc.alloc_reg(0);
+                let resp = hc.alloc_reg(0);
+                hc.load(table, &tbl);
+                hc.load(valid, &vv);
+                hc.load(key, &kk);
+                sorted_gather(
+                    &mut hc,
+                    valid,
+                    1,
+                    0,
+                    key,
+                    |c| c as usize,
+                    |k| k as i64,
+                    table,
+                    resp,
+                    i64::MAX,
+                );
+                let r = hc.read_reg(resp);
+                for i in 0..n {
+                    if vv[i] == 1 {
+                        assert_eq!(r[i], tbl[kk[i] as usize], "dim={dim} i={i}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn route_monotone_random_instances_never_congest() {
+        // Randomized monotone partial permutations; the router panics on
+        // congestion, so reaching the assertions proves congestion-freedom.
+        let mut x: u64 = 0x9E3779B97F4A7C15;
+        let mut rnd = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for dim in 2..=6usize {
+            let n = 1usize << dim;
+            for _ in 0..20 {
+                // Random sources and destinations, both strictly increasing.
+                let mut srcs: Vec<usize> = (0..n).filter(|_| rnd() % 3 == 0).collect();
+                if srcs.is_empty() {
+                    srcs.push((rnd() % n as u64) as usize);
+                }
+                let k = srcs.len();
+                let mut dests: Vec<usize> = (0..n).collect();
+                // choose k of n increasing dests
+                while dests.len() > k {
+                    let i = (rnd() % dests.len() as u64) as usize;
+                    dests.remove(i);
+                }
+                let mut hc = Hypercube::<i64>::new(dim);
+                let valid = hc.alloc_reg(0);
+                let rank = hc.alloc_reg(0);
+                let dest = hc.alloc_reg(0);
+                let pay = hc.alloc_reg(0);
+                let mut vvec = vec![0i64; n];
+                let mut rvec = vec![0i64; n];
+                let mut dvec = vec![0i64; n];
+                let mut pvec = vec![0i64; n];
+                for (r, (&s, &t)) in srcs.iter().zip(dests.iter()).enumerate() {
+                    vvec[s] = 1;
+                    rvec[s] = r as i64;
+                    dvec[s] = t as i64;
+                    pvec[s] = 1000 + s as i64;
+                }
+                hc.load(valid, &vvec);
+                hc.load(rank, &rvec);
+                hc.load(dest, &dvec);
+                hc.load(pay, &pvec);
+                route_monotone(
+                    &mut hc,
+                    valid,
+                    1,
+                    0,
+                    rank,
+                    |c| c as usize,
+                    dest,
+                    |c| c as usize,
+                    &[pay],
+                );
+                let p = hc.read_reg(pay);
+                let v = hc.read_reg(valid);
+                for (&s, &t) in srcs.iter().zip(dests.iter()) {
+                    assert_eq!(v[t], 1, "dim={dim} packet {s}->{t} missing");
+                    assert_eq!(p[t], 1000 + s as i64, "dim={dim} payload {s}->{t}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,585 @@
+//! Hypercube-like networks: cube-connected cycles and shuffle-exchange.
+//!
+//! The paper's §3 claims its hypercube algorithms "can also be used for
+//! shuffle-exchange graphs and other hypercube-like networks". The
+//! classical justification is that all three algorithms are *normal*: each
+//! exchange step uses a single dimension, and consecutive steps use
+//! adjacent dimensions (in our algorithms, ascending or descending runs).
+//! Normal algorithms run on CCC and shuffle-exchange networks with
+//! constant-factor slowdown \[LLS89\].
+//!
+//! This module provides three things:
+//!
+//! * graph constructions ([`ccc_edges`], [`shuffle_exchange_edges`]) with
+//!   structural tests (degree, size, connectivity);
+//! * a working [`ShuffleExchange`] machine that executes normal hypercube
+//!   step sequences via unshuffle rotations (2 steps per hypercube
+//!   exchange), used to *run* the paper's primitives on a genuinely
+//!   different network;
+//! * [`EmulationCost`], which prices a recorded hypercube dimension trace
+//!   on both networks, so every algorithm's "hypercube, etc." row can be
+//!   reported from its actual trace.
+
+use crate::network::{NetMetrics, Word};
+
+/// An undirected edge between two node ids.
+pub type Edge = (usize, usize);
+
+/// Cube-connected cycles CCC(d): `d · 2^d` nodes `(w, i)` encoded as
+/// `w * d + i`, with cycle edges `(w,i)—(w,i+1 mod d)` and one cube edge
+/// `(w,i)—(w ⊕ 2^i, i)` per node.
+pub fn ccc_edges(d: usize) -> Vec<Edge> {
+    assert!(d >= 1);
+    let id = |w: usize, i: usize| w * d + i;
+    let mut edges = Vec::new();
+    for w in 0..(1usize << d) {
+        for i in 0..d {
+            // Cycle edge i -> i+1 (mod d), added once per i; for d == 2
+            // the two directions coincide, so add only i = 0; for d == 1
+            // it would be a self-loop.
+            let j = (i + 1) % d;
+            if d >= 3 || (d == 2 && i == 0) {
+                edges.push((id(w, i), id(w, j)));
+            }
+            // Cube edge, once per pair.
+            let w2 = w ^ (1 << i);
+            if w < w2 {
+                edges.push((id(w, i), id(w2, i)));
+            }
+        }
+    }
+    edges
+}
+
+/// Shuffle-exchange SE(d): `2^d` nodes, exchange edges `w — w ⊕ 1` and
+/// shuffle edges `w — rol(w)` (cyclic left rotation of the `d`-bit id).
+pub fn shuffle_exchange_edges(d: usize) -> Vec<Edge> {
+    assert!(d >= 1);
+    let n = 1usize << d;
+    let mut edges = Vec::new();
+    for w in 0..n {
+        let x = w ^ 1;
+        if w < x {
+            edges.push((w, x));
+        }
+        let s = rol(w, d);
+        if w < s {
+            edges.push((w, s));
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    edges
+}
+
+/// Cyclic left rotation of a `d`-bit word.
+pub fn rol(w: usize, d: usize) -> usize {
+    ((w << 1) | (w >> (d - 1))) & ((1 << d) - 1)
+}
+
+/// Cyclic right rotation of a `d`-bit word.
+pub fn ror(w: usize, d: usize) -> usize {
+    ((w >> 1) | ((w & 1) << (d - 1))) & ((1 << d) - 1)
+}
+
+/// Prices a hypercube execution trace on CCC and shuffle-exchange
+/// networks, using the standard emulations: an exchange across dimension
+/// `k` is available after rotating the "current dimension" pointer from
+/// the previous step's dimension to `k` (each rotation is one cycle /
+/// shuffle step), plus one step for the exchange itself. Normal
+/// algorithms (|Δdim| = 1 between consecutive exchanges, as all of ours
+/// are) therefore pay ≤ 2 steps per hypercube step.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EmulationCost {
+    /// Steps of the original hypercube execution (local + exchange).
+    pub hypercube_steps: u64,
+    /// Steps on a cube-connected-cycles network.
+    pub ccc_steps: u64,
+    /// Steps on a shuffle-exchange network.
+    pub se_steps: u64,
+    /// Whether the trace was normal (every dimension change ≤ 1 mod d).
+    pub normal: bool,
+}
+
+impl EmulationCost {
+    /// Prices `metrics` for a hypercube of dimension `dim`.
+    pub fn price(metrics: &NetMetrics, dim: usize) -> Self {
+        let d = dim.max(1) as i64;
+        let mut ccc: u64 = metrics.local_steps;
+        let mut se: u64 = metrics.local_steps;
+        let mut normal = true;
+        let mut cur: Option<i64> = None;
+        for &k in &metrics.dim_trace {
+            let k = k as i64;
+            let dist = match cur {
+                None => 0, // first exchange: pointer starts wherever needed
+                Some(c) => {
+                    let fwd = (k - c).rem_euclid(d);
+                    let bwd = (c - k).rem_euclid(d);
+                    fwd.min(bwd)
+                }
+            };
+            if dist > 1 {
+                normal = false;
+            }
+            ccc += dist as u64 + 1;
+            se += dist as u64 + 1;
+            cur = Some(k);
+        }
+        EmulationCost {
+            hypercube_steps: metrics.steps(),
+            ccc_steps: ccc,
+            se_steps: se,
+            normal,
+        }
+    }
+}
+
+/// A working shuffle-exchange machine executing *normal* algorithms: it
+/// supports an exchange across the current lowest bit plus an unshuffle
+/// rotation that realigns the data so the next dimension becomes the
+/// lowest bit. After `d` unshuffles the data is home again.
+pub struct ShuffleExchange<C: Word> {
+    dim: usize,
+    nregs: usize,
+    regs: Vec<C>,
+    snapshot: Vec<C>,
+    /// How many unshuffles have been applied (mod d): data of logical
+    /// node `w` currently lives at physical node `ror^k(w)`.
+    rotation: usize,
+    /// Steps executed on the shuffle-exchange network itself.
+    pub steps: u64,
+}
+
+impl<C: Word> ShuffleExchange<C> {
+    /// Creates an SE network with `2^dim` nodes.
+    pub fn new(dim: usize) -> Self {
+        assert!((1..=22).contains(&dim));
+        Self {
+            dim,
+            nregs: 0,
+            regs: Vec::new(),
+            snapshot: Vec::new(),
+            rotation: 0,
+            steps: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        1 << self.dim
+    }
+
+    /// Adds a register to every node (untimed).
+    pub fn alloc_reg(&mut self, init: C) -> crate::network::Reg {
+        let n = self.nodes();
+        let old = self.nregs;
+        self.nregs += 1;
+        let mut regs = Vec::with_capacity(n * self.nregs);
+        for node in 0..n {
+            regs.extend_from_slice(&self.regs[node * old..(node + 1) * old]);
+            regs.push(init);
+        }
+        self.regs = regs;
+        crate::network::Reg(old)
+    }
+
+    /// Loads `data[w]` into *logical* node `w` (untimed; requires the
+    /// machine to be in home position).
+    pub fn load(&mut self, r: crate::network::Reg, data: &[C]) {
+        assert_eq!(self.rotation, 0, "load requires home position");
+        for (node, &v) in data.iter().enumerate() {
+            self.regs[node * self.nregs + r.0] = v;
+        }
+    }
+
+    /// Reads a register across *logical* nodes (untimed; requires home
+    /// position).
+    pub fn read_reg(&self, r: crate::network::Reg) -> Vec<C> {
+        assert_eq!(self.rotation, 0, "read_reg requires home position");
+        (0..self.nodes())
+            .map(|node| self.regs[node * self.nregs + r.0])
+            .collect()
+    }
+
+    /// The logical node id currently hosted at physical node `p`.
+    fn logical_of_physical(&self, p: usize) -> usize {
+        // Data of logical w is at ror^rotation(w); invert: rol^rotation(p).
+        let mut w = p;
+        for _ in 0..self.rotation {
+            w = rol(w, self.dim);
+        }
+        w
+    }
+
+    /// One exchange step along the *exchange* edges (`p ↔ p ⊕ 1`). In the
+    /// current rotation, physical bit 0 corresponds to logical bit
+    /// `rotation`; `f` receives logical node ids.
+    pub fn exchange_lowest(
+        &mut self,
+        mut f: impl FnMut(usize, &mut crate::network::NodeView<'_, C>, &crate::network::RemoteView<'_, C>),
+    ) {
+        let nregs = self.nregs;
+        self.snapshot.clear();
+        self.snapshot.extend_from_slice(&self.regs);
+        let snapshot = std::mem::take(&mut self.snapshot);
+        for p in 0..self.nodes() {
+            let partner = p ^ 1;
+            let logical = self.logical_of_physical(p);
+            let remote = crate::network::RemoteView::new(
+                &snapshot[partner * nregs..(partner + 1) * nregs],
+            );
+            let file = &mut self.regs[p * nregs..(p + 1) * nregs];
+            let mut view = crate::network::NodeView::new(file);
+            f(logical, &mut view, &remote);
+        }
+        self.snapshot = snapshot;
+        self.steps += 1;
+    }
+
+    /// One unshuffle step: every node forwards its whole register file
+    /// along the shuffle edge `p → ror(p)`, advancing the rotation so the
+    /// next logical dimension aligns with the exchange edges.
+    pub fn unshuffle(&mut self) {
+        let nregs = self.nregs;
+        let n = self.nodes();
+        let mut next = self.regs.clone();
+        for p in 0..n {
+            let q = ror(p, self.dim);
+            next[q * nregs..(q + 1) * nregs].copy_from_slice(&self.regs[p * nregs..(p + 1) * nregs]);
+        }
+        self.regs = next;
+        self.rotation = (self.rotation + 1) % self.dim;
+        self.steps += 1;
+    }
+
+    /// The logical dimension the exchange edges currently realize.
+    pub fn current_dimension(&self) -> usize {
+        self.rotation
+    }
+}
+
+/// A working cube-connected-cycles machine executing *normal* hypercube
+/// algorithms: each cycle of `d` small nodes simulates one hypercube
+/// node, with its register file physically held at the cycle position
+/// matching the current dimension. A hypercube exchange across the
+/// current dimension uses the cube edges at that position (1 CCC step);
+/// advancing to the next dimension moves every file one step along its
+/// cycle (1 CCC step) — 2 CCC steps per hypercube step, the constant
+/// \[LLS89\] emulation.
+pub struct CubeConnectedCycles<C: Word> {
+    dim: usize,
+    nregs: usize,
+    /// One register file per *cycle* (supernode); its physical cycle
+    /// position is `cur`.
+    regs: Vec<C>,
+    snapshot: Vec<C>,
+    cur: usize,
+    /// Steps executed on the CCC itself.
+    pub steps: u64,
+}
+
+impl<C: Word> CubeConnectedCycles<C> {
+    /// Creates a CCC over `d · 2^d` small nodes (`2^d` cycles).
+    pub fn new(dim: usize) -> Self {
+        assert!((1..=22).contains(&dim));
+        Self {
+            dim,
+            nregs: 0,
+            regs: Vec::new(),
+            snapshot: Vec::new(),
+            cur: 0,
+            steps: 0,
+        }
+    }
+
+    /// Number of cycles (simulated hypercube nodes).
+    pub fn cycles(&self) -> usize {
+        1 << self.dim
+    }
+
+    /// Number of physical CCC nodes.
+    pub fn nodes(&self) -> usize {
+        self.dim << self.dim
+    }
+
+    /// Adds a register to every cycle (untimed).
+    pub fn alloc_reg(&mut self, init: C) -> crate::network::Reg {
+        let n = self.cycles();
+        let old = self.nregs;
+        self.nregs += 1;
+        let mut regs = Vec::with_capacity(n * self.nregs);
+        for node in 0..n {
+            regs.extend_from_slice(&self.regs[node * old..(node + 1) * old]);
+            regs.push(init);
+        }
+        self.regs = regs;
+        crate::network::Reg(old)
+    }
+
+    /// Loads `data[w]` into cycle `w`'s register (untimed).
+    pub fn load(&mut self, r: crate::network::Reg, data: &[C]) {
+        for (node, &v) in data.iter().enumerate() {
+            self.regs[node * self.nregs + r.0] = v;
+        }
+    }
+
+    /// Reads a register across cycles (untimed).
+    pub fn read_reg(&self, r: crate::network::Reg) -> Vec<C> {
+        (0..self.cycles())
+            .map(|node| self.regs[node * self.nregs + r.0])
+            .collect()
+    }
+
+    /// The dimension the cube edges currently realize.
+    pub fn current_dimension(&self) -> usize {
+        self.cur
+    }
+
+    /// One exchange across the current dimension via the cube edges at
+    /// cycle position `cur`.
+    pub fn exchange_current(
+        &mut self,
+        mut f: impl FnMut(usize, &mut crate::network::NodeView<'_, C>, &crate::network::RemoteView<'_, C>),
+    ) {
+        let d = self.cur;
+        let nregs = self.nregs;
+        self.snapshot.clear();
+        self.snapshot.extend_from_slice(&self.regs);
+        let snapshot = std::mem::take(&mut self.snapshot);
+        for w in 0..self.cycles() {
+            let partner = w ^ (1 << d);
+            let remote = crate::network::RemoteView::new(
+                &snapshot[partner * nregs..(partner + 1) * nregs],
+            );
+            let file = &mut self.regs[w * nregs..(w + 1) * nregs];
+            let mut view = crate::network::NodeView::new(file);
+            f(w, &mut view, &remote);
+        }
+        self.snapshot = snapshot;
+        self.steps += 1;
+    }
+
+    /// Advances every register file one position along its cycle,
+    /// aligning the cube edges with the next dimension.
+    pub fn advance(&mut self) {
+        self.cur = (self.cur + 1) % self.dim;
+        self.steps += 1; // the cycle-edge hop
+    }
+}
+
+/// An ascending-dimension normal scan on the CCC machine, mirroring
+/// [`crate::ops::scan_inclusive`] — proof by execution of the 2×
+/// emulation.
+pub fn ccc_scan_inclusive<C: Word>(
+    ccc: &mut CubeConnectedCycles<C>,
+    r: crate::network::Reg,
+    combine: impl Fn(C, C) -> C + Copy,
+) {
+    let total = ccc.alloc_reg(ccc.regs[r.0]);
+    for w in 0..ccc.cycles() {
+        let v = ccc.regs[w * ccc.nregs + r.0];
+        ccc.regs[w * ccc.nregs + total.0] = v;
+    }
+    ccc.steps += 1;
+    for d in 0..ccc.dim {
+        debug_assert_eq!(ccc.current_dimension(), d);
+        ccc.exchange_current(|w, own, remote| {
+            let rt = remote.get(total);
+            if (w >> d) & 1 == 1 {
+                own.set(r, combine(rt, own.get(r)));
+                own.set(total, combine(rt, own.get(total)));
+            } else {
+                own.set(total, combine(own.get(total), rt));
+            }
+        });
+        ccc.advance();
+    }
+}
+
+/// Runs an ascending-dimension normal "scan" on the shuffle-exchange
+/// machine, mirroring [`crate::ops::scan_inclusive`]: proof by execution
+/// that the hypercube primitive ports at 2 SE steps per hypercube step.
+pub fn se_scan_inclusive<C: Word>(
+    se: &mut ShuffleExchange<C>,
+    r: crate::network::Reg,
+    combine: impl Fn(C, C) -> C + Copy,
+) {
+    let total = se.alloc_reg(se.regs[r.0]);
+    // Initialize total := value (a local step, free on SE too since it
+    // needs no communication; count it as one step for parity).
+    for p in 0..se.nodes() {
+        let v = se.regs[p * se.nregs + r.0];
+        se.regs[p * se.nregs + total.0] = v;
+    }
+    se.steps += 1;
+    for d in 0..se.dim {
+        debug_assert_eq!(se.current_dimension(), d);
+        se.exchange_lowest(|logical, own, remote| {
+            let rt = remote.get(total);
+            if (logical >> d) & 1 == 1 {
+                own.set(r, combine(rt, own.get(r)));
+                own.set(total, combine(rt, own.get(total)));
+            } else {
+                own.set(total, combine(own.get(total), rt));
+            }
+        });
+        se.unshuffle();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Hypercube;
+    use crate::ops::scan_inclusive;
+
+    fn degree_map(n: usize, edges: &[Edge]) -> Vec<usize> {
+        let mut deg = vec![0usize; n];
+        for &(a, b) in edges {
+            deg[a] += 1;
+            deg[b] += 1;
+        }
+        deg
+    }
+
+    fn is_connected(n: usize, edges: &[Edge]) -> bool {
+        let mut adj = vec![Vec::new(); n];
+        for &(a, b) in edges {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = stack.pop() {
+            for &w in &adj[v] {
+                if !seen[w] {
+                    seen[w] = true;
+                    count += 1;
+                    stack.push(w);
+                }
+            }
+        }
+        count == n
+    }
+
+    #[test]
+    fn ccc_structure() {
+        for d in 3..7usize {
+            let edges = ccc_edges(d);
+            let n = d << d;
+            // Every node: 2 cycle edges + 1 cube edge = degree 3.
+            let deg = degree_map(n, &edges);
+            assert!(deg.iter().all(|&x| x == 3), "CCC({d}) degree");
+            assert!(is_connected(n, &edges), "CCC({d}) connectivity");
+        }
+    }
+
+    #[test]
+    fn shuffle_exchange_structure() {
+        for d in 2..8usize {
+            let edges = shuffle_exchange_edges(d);
+            let n = 1usize << d;
+            assert!(is_connected(n, &edges), "SE({d}) connectivity");
+            // Degree <= 3 (exchange + two shuffle directions, with
+            // self-loops at 0…0 and 1…1 removed).
+            let deg = degree_map(n, &edges);
+            assert!(deg.iter().all(|&x| x <= 3), "SE({d}) degree");
+        }
+    }
+
+    #[test]
+    fn rotations_are_inverse() {
+        for d in 1..10usize {
+            for w in 0..(1usize << d) {
+                assert_eq!(ror(rol(w, d), d), w);
+                assert_eq!(rol(ror(w, d), d), w);
+            }
+        }
+    }
+
+    #[test]
+    fn normal_trace_prices_at_most_2x() {
+        let mut hc = Hypercube::<i64>::new(5);
+        let r = hc.alloc_reg(0);
+        hc.load(r, &(0..32i64).collect::<Vec<_>>());
+        scan_inclusive(&mut hc, r, |a, b| a + b);
+        let cost = EmulationCost::price(hc.metrics(), 5);
+        assert!(cost.normal);
+        assert!(cost.se_steps <= 2 * cost.hypercube_steps);
+        assert!(cost.ccc_steps <= 2 * cost.hypercube_steps);
+    }
+
+    #[test]
+    fn non_normal_trace_detected() {
+        let mut hc = Hypercube::<i64>::new(6);
+        let r = hc.alloc_reg(0);
+        hc.exchange(0, |_, own, remote| own.set(r, remote.get(r)));
+        hc.exchange(3, |_, own, remote| own.set(r, remote.get(r)));
+        let cost = EmulationCost::price(hc.metrics(), 6);
+        assert!(!cost.normal);
+        assert!(cost.se_steps > cost.hypercube_steps);
+    }
+
+    #[test]
+    fn se_scan_matches_hypercube_scan() {
+        let vals: Vec<i64> = vec![3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3];
+        let mut hc = Hypercube::<i64>::new(4);
+        let hr = hc.alloc_reg(0);
+        hc.load(hr, &vals);
+        scan_inclusive(&mut hc, hr, |a, b| a + b);
+
+        let mut se = ShuffleExchange::<i64>::new(4);
+        let sr = se.alloc_reg(0);
+        se.load(sr, &vals);
+        se_scan_inclusive(&mut se, sr, |a, b| a + b);
+
+        assert_eq!(se.read_reg(sr), hc.read_reg(hr));
+        // 2 SE steps per hypercube exchange (+1 local each side).
+        assert_eq!(se.steps, 2 * hc.metrics().comm_steps + 1);
+    }
+
+    #[test]
+    fn ccc_scan_matches_hypercube_scan() {
+        let vals: Vec<i64> = vec![3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3];
+        let mut hc = Hypercube::<i64>::new(4);
+        let hr = hc.alloc_reg(0);
+        hc.load(hr, &vals);
+        scan_inclusive(&mut hc, hr, |a, b| a + b);
+
+        let mut ccc = CubeConnectedCycles::<i64>::new(4);
+        let cr = ccc.alloc_reg(0);
+        ccc.load(cr, &vals);
+        ccc_scan_inclusive(&mut ccc, cr, |a, b| a + b);
+
+        assert_eq!(ccc.read_reg(cr), hc.read_reg(hr));
+        // 2 CCC steps per hypercube exchange (+1 local each side).
+        assert_eq!(ccc.steps, 2 * hc.metrics().comm_steps + 1);
+        assert_eq!(ccc.nodes(), 4 * 16);
+    }
+
+    #[test]
+    fn ccc_advance_cycles_through_dimensions() {
+        let mut ccc = CubeConnectedCycles::<i64>::new(3);
+        let _ = ccc.alloc_reg(0);
+        assert_eq!(ccc.current_dimension(), 0);
+        ccc.advance();
+        ccc.advance();
+        assert_eq!(ccc.current_dimension(), 2);
+        ccc.advance();
+        assert_eq!(ccc.current_dimension(), 0); // wrapped
+    }
+
+    #[test]
+    fn se_rotation_returns_home() {
+        let mut se = ShuffleExchange::<i64>::new(3);
+        let r = se.alloc_reg(0);
+        se.load(r, &[10, 11, 12, 13, 14, 15, 16, 17]);
+        for _ in 0..3 {
+            se.unshuffle();
+        }
+        assert_eq!(se.read_reg(r), vec![10, 11, 12, 13, 14, 15, 16, 17]);
+    }
+}

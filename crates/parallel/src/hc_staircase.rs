@@ -1,0 +1,224 @@
+//! Row minima of staircase-Monge arrays on the simulated hypercube —
+//! Theorem 3.3.
+//!
+//! The feasible-region divide & conquer of the staircase algorithm is
+//! executed level by level on the network, reusing the
+//! [`crate::hc_monge`] executor. Staircase levels are harsher than plain
+//! Monge levels — block intervals of one level may overlap arbitrarily
+//! (Figure 2.2's region families) and block rows are not sorted with
+//! their intervals — exactly the data-movement complications the paper
+//! highlights ("we must deal more carefully with the issue of processor
+//! allocation … and data movement through the hypercube"). The
+//! gather-based executor absorbs both: candidates are laid out
+//! consecutively regardless of interval overlap, and the operand
+//! gathers' sorting tolerates unsorted rows.
+
+use crate::hc_monge::{Block, HcEngine, HcRun};
+use crate::vector_array::VectorArray;
+use monge_core::value::Value;
+use monge_hypercube::topology::EmulationCost;
+
+/// A staircase task: rows `r0..r1`, feasible columns `[c0, min(c1, f_i))`.
+#[derive(Clone, Copy, Debug)]
+struct Task {
+    r0: usize,
+    r1: usize,
+    c0: usize,
+    c1: usize,
+}
+
+/// Row minima of the staircase-Monge array `a[i,j] = g(v[i], w[j])` for
+/// `j < f[i]` (`∞` beyond) on the simulated hypercube. Returns leftmost
+/// argmins over each row's finite prefix.
+pub fn hc_staircase_row_minima<T: Value, G: Fn(T, T) -> T + Sync>(
+    a: &VectorArray<T, G>,
+    f: &[usize],
+) -> HcRun {
+    let (m, n) = (a.v.len(), a.w.len());
+    assert_eq!(f.len(), m);
+    let mut eng = HcEngine::new(&a.v, &a.w);
+    let mut best: Vec<Option<(T, usize)>> = vec![None; m];
+
+    let mut tasks = vec![Task {
+        r0: 0,
+        r1: m,
+        c0: 0,
+        c1: n,
+    }];
+    while !tasks.is_empty() {
+        // Trim each task's rows to those whose finite prefix reaches c0
+        // (they form a suffix because f is non-increasing).
+        let mut level: Vec<Task> = Vec::with_capacity(tasks.len());
+        for mut t in tasks.drain(..) {
+            t.r1 = partition_point(t.r0, t.r1, |i| f[i] > t.c0);
+            if t.r0 < t.r1 && t.c0 < t.c1 {
+                level.push(t);
+            }
+        }
+        if level.is_empty() {
+            break;
+        }
+        let blocks: Vec<Block> = level
+            .iter()
+            .map(|t| {
+                let mid = t.r0 + (t.r1 - t.r0) / 2;
+                Block {
+                    row: mid,
+                    lo: t.c0,
+                    hi: t.c1.min(f[mid]),
+                }
+            })
+            .collect();
+        let minima = eng.level_minima(&a.g, &blocks, false);
+        for (k, t) in level.iter().enumerate() {
+            let mid = t.r0 + (t.r1 - t.r0) / 2;
+            let (j, v) = minima[k];
+            merge_candidate(&mut best[mid], v, j);
+            // Children (see monge_core::staircase for the region proof):
+            if mid > t.r0 {
+                tasks.push(Task {
+                    r0: t.r0,
+                    r1: mid,
+                    c0: t.c0,
+                    c1: j + 1,
+                });
+                if f[mid] < t.c1 {
+                    tasks.push(Task {
+                        r0: t.r0,
+                        r1: mid,
+                        c0: f[mid],
+                        c1: t.c1,
+                    });
+                }
+            }
+            if mid + 1 < t.r1 {
+                let cut = partition_point(mid + 1, t.r1, |i| f[i] > j);
+                if mid + 1 < cut {
+                    tasks.push(Task {
+                        r0: mid + 1,
+                        r1: cut,
+                        c0: j,
+                        c1: t.c1,
+                    });
+                }
+                if cut < t.r1 {
+                    tasks.push(Task {
+                        r0: cut,
+                        r1: t.r1,
+                        c0: t.c0,
+                        c1: j + 1,
+                    });
+                }
+            }
+        }
+    }
+
+    let metrics = eng.hc.metrics().clone();
+    let emulation = EmulationCost::price(&metrics, eng.hc.dim());
+    HcRun {
+        index: best.into_iter().map(|c| c.map_or(0, |(_, j)| j)).collect(),
+        metrics,
+        emulation,
+    }
+}
+
+fn merge_candidate<T: Value>(slot: &mut Option<(T, usize)>, v: T, j: usize) {
+    match slot {
+        None => *slot = Some((v, j)),
+        Some((bv, bj)) => {
+            if v.total_lt(*bv) || (!bv.total_lt(v) && j < *bj) {
+                *slot = Some((v, j));
+            }
+        }
+    }
+}
+
+fn partition_point(lo: usize, hi: usize, pred: impl Fn(usize) -> bool) -> usize {
+    let (mut lo, mut hi) = (lo, hi);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if pred(mid) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monge_core::array2d::{Array2d, Dense};
+    use monge_core::staircase::staircase_row_minima_brute;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    /// Sorted-transport staircase instance.
+    fn instance(
+        m: usize,
+        n: usize,
+        seed: u64,
+    ) -> (VectorArray<i64, fn(i64, i64) -> i64>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut v: Vec<i64> = (0..m).map(|_| rng.random_range(0..10_000)).collect();
+        let mut w: Vec<i64> = (0..n).map(|_| rng.random_range(0..10_000)).collect();
+        v.sort_unstable();
+        w.sort_unstable();
+        let mut f: Vec<usize> = (0..m).map(|_| rng.random_range(1..=n)).collect();
+        f.sort_unstable_by(|a, b| b.cmp(a));
+        let g: fn(i64, i64) -> i64 = |x, y| (x - y).abs();
+        (VectorArray::new(v, w, g), f)
+    }
+
+    fn masked(a: &VectorArray<i64, fn(i64, i64) -> i64>, f: &[usize]) -> Dense<i64> {
+        Dense::tabulate(a.rows(), a.cols(), |i, j| {
+            if j < f[i] {
+                a.entry(i, j)
+            } else {
+                <i64 as monge_core::Value>::INFINITY
+            }
+        })
+    }
+
+    #[test]
+    fn matches_brute_on_random_instances() {
+        for seed in 0..15u64 {
+            let (a, f) = instance(17, 13, seed);
+            let run = hc_staircase_row_minima(&a, &f);
+            let dense = masked(&a, &f);
+            assert_eq!(
+                run.index,
+                staircase_row_minima_brute(&dense, &f),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn fully_finite_reduces_to_monge() {
+        let (a, _) = instance(16, 16, 99);
+        let f = vec![16usize; 16];
+        let run = hc_staircase_row_minima(&a, &f);
+        assert_eq!(run.index, monge_core::monge::brute_row_minima(&a));
+    }
+
+    #[test]
+    fn steep_staircase() {
+        let (a, _) = instance(24, 24, 7);
+        let f: Vec<usize> = (0..24).map(|i| 24 - i).collect();
+        let run = hc_staircase_row_minima(&a, &f);
+        let dense = masked(&a, &f);
+        assert_eq!(run.index, staircase_row_minima_brute(&dense, &f));
+    }
+
+    #[test]
+    fn infinity_is_never_selected() {
+        let (a, f) = instance(20, 11, 3);
+        let run = hc_staircase_row_minima(&a, &f);
+        for (i, &j) in run.index.iter().enumerate() {
+            assert!(j < f[i], "row {i} picked an infinite column");
+        }
+        let _ = <i64 as monge_core::Value>::INFINITY.is_pos_infinite();
+    }
+}

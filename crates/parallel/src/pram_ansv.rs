@@ -1,0 +1,170 @@
+//! All-Nearest-Smaller-Values on the simulated PRAM — the \[BBG+89\]
+//! substrate Lemma 2.2 invokes for processor allocation ("an application
+//! of their ANSV algorithm followed by sorting enables us to allocate
+//! processors"), executed on the machine with step accounting.
+//!
+//! ## Algorithm
+//!
+//! 1. **Doubling table**: `T_k[i] = min a[i .. i + 2^k)` for all `i`,
+//!    built in `⌈lg n⌉` steps with `n` processors.
+//! 2. **Exponential search + binary descent** per element, one table
+//!    query per step, all elements in parallel: grow `2^k` windows to the
+//!    left until one contains a smaller value, then descend to the
+//!    nearest one. `O(lg n)` steps, `n` processors, `O(n lg n)` work —
+//!    a `lg n` factor above \[BBG+89\]'s optimal version (the blocked
+//!    rayon implementation in [`crate::ansv_par`] is the work-efficient
+//!    one); the *time* bound, which Lemma 2.2's critical path needs,
+//!    matches.
+//!
+//! The right-matches come from running the same program on the reversed,
+//! index-mirrored sequence.
+
+use monge_core::ansv::Ansv;
+use monge_pram::machine::{Mode, Pram};
+use monge_pram::{Metrics, WritePolicy};
+
+/// Result of a PRAM ANSV run.
+#[derive(Clone, Debug)]
+pub struct PramAnsvRun {
+    /// The matches.
+    pub ansv: Ansv,
+    /// Simulator metrics.
+    pub metrics: Metrics,
+}
+
+/// ANSV on a CREW PRAM: `O(lg n)` steps, `n` processors.
+pub fn pram_ansv(a: &[i64]) -> PramAnsvRun {
+    let mut p = Pram::new(Mode::Crcw(WritePolicy::Arbitrary));
+    let left = directional(&mut p, a);
+    let rev: Vec<i64> = a.iter().rev().copied().collect();
+    let right_rev = directional(&mut p, &rev);
+    let n = a.len();
+    let right: Vec<Option<usize>> = (0..n)
+        .map(|i| right_rev[n - 1 - i].map(|j| n - 1 - j))
+        .collect();
+    PramAnsvRun {
+        ansv: Ansv { left, right },
+        metrics: p.metrics().clone(),
+    }
+}
+
+/// Nearest smaller to the LEFT of every element, on the machine.
+fn directional(p: &mut Pram<i64>, a: &[i64]) -> Vec<Option<usize>> {
+    let n = a.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let levels = (usize::BITS - (n - 1).max(1).leading_zeros()) as usize;
+    // Table rows: T_0 = a, T_k[i] = min(T_{k-1}[i], T_{k-1}[i + 2^{k-1}]).
+    let t0 = p.load(a);
+    let mut rows = vec![t0.start];
+    for k in 1..=levels {
+        let prev = rows[k - 1];
+        let row = p.alloc(n, i64::MAX);
+        let start = row.start;
+        let h = 1usize << (k - 1);
+        p.step(n, |ctx| {
+            let i = ctx.proc();
+            let x = ctx.read(prev + i);
+            let y = if i + h < n { ctx.read(prev + i + h) } else { x };
+            ctx.write(start + i, x.min(y));
+        });
+        rows.push(start);
+    }
+    // Per-element state in one machine cell: `cur`, the exclusive right
+    // end of the still-unsearched prefix `[0, cur)`.
+    let cur = p.alloc(n, 0i64);
+    let cs = cur.start;
+    p.step(n, |ctx| {
+        let i = ctx.proc();
+        ctx.write(cs + i, i as i64);
+    });
+    // Binary descent from the largest scale, all elements in parallel,
+    // one table probe per step: at scale k, if the window `[cur-2^k,
+    // cur)` contains no value smaller than `a[i]`, skip past it.
+    for k in (0..=levels).rev() {
+        let h = 1usize << k;
+        let row = rows[k];
+        p.step(n, |ctx| {
+            let i = ctx.proc();
+            let c = ctx.read(cs + i) as usize;
+            if c >= h {
+                let blockmin = ctx.read(row + (c - h));
+                let me = ctx.read(rows[0] + i);
+                if blockmin >= me {
+                    ctx.write(cs + i, (c - h) as i64);
+                }
+            }
+        });
+    }
+    // After the descent, cur is the number of left elements skipped; the
+    // match is cur - 1 when cur > 0 and a[cur - 1] < a[i], else none.
+    let result = p.alloc(n, -1i64);
+    let rs = result.start;
+    p.step(n, |ctx| {
+        let i = ctx.proc();
+        let c = ctx.read(cs + i) as usize;
+        if c > 0 {
+            let v = ctx.read(rows[0] + (c - 1));
+            let me = ctx.read(rows[0] + i);
+            if v < me {
+                ctx.write(rs + i, (c - 1) as i64);
+            }
+        }
+    });
+    (0..n)
+        .map(|i| {
+            let v = p.peek(rs + i);
+            (v >= 0).then_some(v as usize)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monge_core::ansv::ansv;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn matches_sequential_on_random_inputs() {
+        let mut rng = StdRng::seed_from_u64(230);
+        for n in [1usize, 2, 3, 8, 33, 100, 511] {
+            let a: Vec<i64> = (0..n).map(|_| rng.random_range(0..40)).collect();
+            let run = pram_ansv(&a);
+            assert_eq!(run.ansv, ansv(&a), "n={n}");
+        }
+    }
+
+    #[test]
+    fn sorted_and_constant_sequences() {
+        let inc: Vec<i64> = (0..64).collect();
+        assert_eq!(pram_ansv(&inc).ansv, ansv(&inc));
+        let dec: Vec<i64> = (0..64).rev().collect();
+        assert_eq!(pram_ansv(&dec).ansv, ansv(&dec));
+        let cst = vec![5i64; 40];
+        assert_eq!(pram_ansv(&cst).ansv, ansv(&cst));
+    }
+
+    #[test]
+    fn steps_are_logarithmic() {
+        let steps_of = |n: usize| {
+            let a: Vec<i64> = (0..n).map(|i| ((i * 2654435761) % 1000) as i64).collect();
+            pram_ansv(&a).metrics.steps
+        };
+        let s256 = steps_of(256);
+        let s4096 = steps_of(4096);
+        // lg 4096 / lg 256 = 12/8: allow slack but rule out linear (16x).
+        assert!(s4096 <= 2 * s256, "{s256} -> {s4096}");
+    }
+
+    #[test]
+    fn descent_needs_no_exact_powers() {
+        let mut rng = StdRng::seed_from_u64(231);
+        for n in [5usize, 17, 100, 1000] {
+            let a: Vec<i64> = (0..n).map(|_| rng.random_range(0..10)).collect();
+            assert_eq!(pram_ansv(&a).ansv, ansv(&a), "n={n}");
+        }
+    }
+}

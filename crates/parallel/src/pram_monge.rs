@@ -1,0 +1,580 @@
+//! Row minima / maxima of (inverse-)Monge arrays on the simulated PRAM —
+//! the Table 1.1 engines, including the rectangular reductions of the
+//! paper's Lemma 2.1.
+//!
+//! ## Structure
+//!
+//! The square-array routine is the recursive row-halving divide & conquer:
+//! the middle row's optimum is found by a parallel minimum over its
+//! candidate interval, and the two halves are solved as parallel branches
+//! (fork/join accounting). The minimum-finding primitive is pluggable
+//! ([`MinPrimitive`]), reproducing each machine row of Table 1.1:
+//!
+//! * `Tree` (CREW): `⌈lg w⌉`-step binary-tree minimum — measured time
+//!   `O(lg m · lg n)`.
+//! * `DoublyLog` (CRCW): `O(lg lg w)`-step accelerated cascades — measured
+//!   time `O(lg m · lg lg n)`.
+//! * `Constant` (CRCW, `w²/2` processors): 3-step pairwise minimum —
+//!   measured time `O(lg m)`, the cited \[AP89a\] bound's shape.
+//! * `Combining` (CRCW with `Min` write resolution): 1-step minimum.
+//!
+//! The square primitive the paper *cites* from \[AP89a\] is not described in
+//! the extended abstract; `Constant`/`Combining` model it exactly
+//! (`O(lg n)` total), while `DoublyLog` shows the honest cost with only
+//! `n` standard-CRCW processors (an extra `lg lg n` factor). See
+//! DESIGN.md §3.
+//!
+//! Lemma 2.1's rectangular algorithm ([`pram_row_minima_rect`]) is
+//! implemented verbatim: for `m ≥ n`, solve every `⌈m/n⌉`-th row and
+//! fill in the `O(m)` remaining candidates; for `m < n`, split into
+//! `⌈n/m⌉` squares and combine per-row.
+
+use monge_core::array2d::{Array2d, Negate, ReverseCols};
+use monge_core::value::Value;
+use monge_pram::machine::{Mode, Pram};
+use monge_pram::ops::{
+    combining_min, crcw_min_doubly_log, crcw_min_quadratic, tree_min, VI,
+};
+use monge_pram::{Metrics, WritePolicy};
+
+/// The parallel minimum primitive — selects the machine model and the
+/// measured time shape (see module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MinPrimitive {
+    /// CREW binary tree, `⌈lg w⌉ + 1` steps, `w/2` processors.
+    Tree,
+    /// CRCW accelerated cascades, `O(lg lg w)` steps, `w` processors.
+    DoublyLog,
+    /// CRCW pairwise, 3 steps, `w²/2` processors.
+    Constant,
+    /// Combining-`Min` CRCW, 1 step, `w` processors.
+    Combining,
+}
+
+impl MinPrimitive {
+    /// The PRAM mode this primitive requires.
+    pub fn mode(self) -> Mode {
+        match self {
+            MinPrimitive::Tree => Mode::Crew,
+            MinPrimitive::DoublyLog | MinPrimitive::Constant => {
+                Mode::Crcw(WritePolicy::Arbitrary)
+            }
+            MinPrimitive::Combining => Mode::Crcw(WritePolicy::Min),
+        }
+    }
+}
+
+/// Result of a PRAM engine run: the answer plus the machine's accounting.
+#[derive(Clone, Debug)]
+pub struct PramRun {
+    /// Per-row argmin/argmax (leftmost).
+    pub index: Vec<usize>,
+    /// Simulator metrics (steps on the critical path, work, …).
+    pub metrics: Metrics,
+    /// The analytical processor budget of the algorithm as stated in the
+    /// paper's tables (e.g. `n` for Table 1.1 CRCW).
+    pub processors: u64,
+}
+
+/// A machine wrapper holding the PRAM plus the entry oracle convention:
+/// "a processor can compute the `(i,j)`-th entry … in `O(1)` time"
+/// (§1.2), so loading `w` candidates of one row costs one step with `w`
+/// processors.
+pub(crate) struct Engine<T: Value> {
+    pub pram: Pram<VI<T>>,
+    pub prim: MinPrimitive,
+    /// When `Some(n)`, column indices are stored mirrored (`n - 1 - j`)
+    /// in the `VI` cells, so the lexicographic minimum prefers the
+    /// *rightmost* column on ties — needed by the reverse-and-negate
+    /// maxima reduction, whose mirrored leftmost optimum is a rightmost
+    /// minimum.
+    pub mirror: Option<usize>,
+}
+
+impl<T: Value> Engine<T> {
+    pub fn new(prim: MinPrimitive) -> Self {
+        Self {
+            pram: Pram::new(prim.mode()),
+            prim,
+            mirror: None,
+        }
+    }
+
+    #[inline]
+    fn encode(&self, col: usize) -> usize {
+        self.mirror.map_or(col, |n| n - 1 - col)
+    }
+
+    #[inline]
+    fn decode(&self, enc: usize) -> usize {
+        self.mirror.map_or(enc, |n| n - 1 - enc)
+    }
+
+    /// Leftmost minimum of `a[row, lo..hi)`: one load step with `hi-lo`
+    /// processors, then the selected minimum primitive. Returns
+    /// `(argmin, value)`.
+    pub fn interval_min<A: Array2d<T>>(
+        &mut self,
+        a: &A,
+        row: usize,
+        lo: usize,
+        hi: usize,
+    ) -> (usize, T) {
+        debug_assert!(lo < hi);
+        let w = hi - lo;
+        let region = self.pram.alloc(w, VI::new(T::ZERO, 0));
+        let start = region.start;
+        let encoded: Vec<usize> = (lo..hi).map(|j| self.encode(j)).collect();
+        self.pram.step(w, |ctx| {
+            let k = ctx.proc();
+            ctx.write(start + k, VI::new(a.entry(row, lo + k), encoded[k]));
+        });
+        let at = match self.prim {
+            MinPrimitive::Tree => tree_min(&mut self.pram, region),
+            MinPrimitive::DoublyLog => crcw_min_doubly_log(
+                &mut self.pram,
+                region,
+                VI::new(T::ZERO, 0),
+                VI::new(T::ZERO, 1),
+            ),
+            MinPrimitive::Constant => {
+                let dst = self.pram.alloc(1, VI::new(T::ZERO, 0)).start;
+                crcw_min_quadratic(
+                    &mut self.pram,
+                    region,
+                    dst,
+                    VI::new(T::ZERO, 0),
+                    VI::new(T::ZERO, 1),
+                );
+                dst
+            }
+            MinPrimitive::Combining => combining_min(&mut self.pram, region),
+        };
+        let cell = self.pram.peek(at);
+        (self.decode(cell.i as usize), cell.v)
+    }
+
+    /// One-step minimum over explicit `(value, index)` candidates already
+    /// known to the host (used when combining subproblem results).
+    pub fn combine_candidates(&mut self, cands: &[(T, usize)]) -> (usize, T) {
+        assert!(!cands.is_empty());
+        let region = self.pram.alloc(cands.len(), VI::new(T::ZERO, 0));
+        let start = region.start;
+        let cands_vec: Vec<VI<T>> = cands.iter().map(|&(v, j)| VI::new(v, j)).collect();
+        self.pram.step(cands.len(), |ctx| {
+            let k = ctx.proc();
+            ctx.write(start + k, cands_vec[k]);
+        });
+        let at = match self.prim {
+            MinPrimitive::Tree => tree_min(&mut self.pram, region),
+            MinPrimitive::DoublyLog => crcw_min_doubly_log(
+                &mut self.pram,
+                region,
+                VI::new(T::ZERO, 0),
+                VI::new(T::ZERO, 1),
+            ),
+            MinPrimitive::Constant => {
+                let dst = self.pram.alloc(1, VI::new(T::ZERO, 0)).start;
+                crcw_min_quadratic(
+                    &mut self.pram,
+                    region,
+                    dst,
+                    VI::new(T::ZERO, 0),
+                    VI::new(T::ZERO, 1),
+                );
+                dst
+            }
+            MinPrimitive::Combining => combining_min(&mut self.pram, region),
+        };
+        let cell = self.pram.peek(at);
+        (cell.i as usize, cell.v)
+    }
+}
+
+/// Recursive halving over rows: fills `out[r0..r1]`.
+fn rec<T: Value, A: Array2d<T>>(
+    eng: &mut Engine<T>,
+    a: &A,
+    r0: usize,
+    r1: usize,
+    c0: usize,
+    c1: usize,
+    out: &mut [usize],
+) {
+    if r0 >= r1 {
+        return;
+    }
+    let mid = r0 + (r1 - r0) / 2;
+    let (best, _) = eng.interval_min(a, mid, c0, c1);
+    out[mid] = best;
+    if r1 - r0 == 1 {
+        return;
+    }
+    eng.pram.fork();
+    rec(eng, a, r0, mid, c0, best + 1, out);
+    eng.pram.branch_done();
+    rec(eng, a, mid + 1, r1, best, c1, out);
+    eng.pram.branch_done();
+    eng.pram.join();
+}
+
+/// Row minima of a Monge array by parallel divide & conquer on the
+/// simulated PRAM (the square-array primitive of Lemma 2.1).
+pub fn pram_row_minima_dc<T: Value, A: Array2d<T>>(a: &A, prim: MinPrimitive) -> PramRun {
+    dc_with_mirror(a, prim, None)
+}
+
+fn dc_with_mirror<T: Value, A: Array2d<T>>(
+    a: &A,
+    prim: MinPrimitive,
+    mirror: Option<usize>,
+) -> PramRun {
+    let (m, n) = (a.rows(), a.cols());
+    assert!(n > 0);
+    let mut eng = Engine::new(prim);
+    eng.mirror = mirror;
+    let mut out = vec![0usize; m];
+    rec(&mut eng, a, 0, m, 0, n, &mut out);
+    PramRun {
+        index: out,
+        metrics: eng.pram.metrics().clone(),
+        processors: (m + n) as u64,
+    }
+}
+
+/// Lemma 2.1: row minima of an `m × n` Monge array in `O(lg m + lg n)`
+/// time using `(m / lg m) + n` processors (CRCW).
+pub fn pram_row_minima_rect<T: Value, A: Array2d<T>>(a: &A, prim: MinPrimitive) -> PramRun {
+    let (m, n) = (a.rows(), a.cols());
+    assert!(m > 0 && n > 0);
+    let mut eng = Engine::new(prim);
+    let mut out = vec![0usize; m];
+
+    if m >= n {
+        // Case 1: solve the n sampled rows (every ⌈m/n⌉-th), then the
+        // remaining row minima are sandwiched — O(m) candidates total.
+        let s = m.div_ceil(n);
+        let sampled: Vec<usize> = (0..m).step_by(s).collect();
+        // Sampled subproblem via the square routine on a row-selected view.
+        let view = monge_core::array2d::SelectRows::new(a, sampled.clone());
+        let mut sub = vec![0usize; sampled.len()];
+        rec(&mut eng, &view, 0, sampled.len(), 0, n, &mut sub);
+        for (k, &row) in sampled.iter().enumerate() {
+            out[row] = sub[k];
+        }
+        // Fill-in: every remaining row in parallel (one branch each);
+        // each scans the interval between its sampled neighbours' minima
+        // — O(m) candidates in total.
+        eng.pram.fork();
+        for (k, &row) in sampled.iter().enumerate() {
+            let lo = sub[k];
+            let hi = if k + 1 < sampled.len() { sub[k + 1] } else { n - 1 };
+            let next_row = if k + 1 < sampled.len() {
+                sampled[k + 1]
+            } else {
+                m
+            };
+            #[allow(clippy::needless_range_loop)] // r is a row id, not a slice index
+            for r in row + 1..next_row {
+                let (j, _) = eng.interval_min(a, r, lo, hi + 1);
+                out[r] = j;
+                eng.pram.branch_done();
+            }
+        }
+        eng.pram.join();
+    } else {
+        // Case 2: partition the columns into ⌈n/m⌉ blocks of width ≤ m,
+        // solve each square in parallel, then combine per row.
+        let blocks: Vec<(usize, usize)> = (0..n)
+            .step_by(m)
+            .map(|c| (c, (c + m).min(n)))
+            .collect();
+        let mut block_res: Vec<Vec<usize>> = Vec::with_capacity(blocks.len());
+        eng.pram.fork();
+        for &(c0, c1) in &blocks {
+            let mut sub = vec![0usize; m];
+            rec(&mut eng, a, 0, m, c0, c1, &mut sub);
+            block_res.push(sub);
+            eng.pram.branch_done();
+        }
+        eng.pram.join();
+        // Per-row combination over the block winners.
+        eng.pram.fork();
+        for (row, o) in out.iter_mut().enumerate() {
+            let cands: Vec<(T, usize)> = block_res
+                .iter()
+                .map(|sub| (a.entry(row, sub[row]), sub[row]))
+                .collect();
+            let (j, _) = eng.combine_candidates(&cands);
+            *o = j;
+            eng.pram.branch_done();
+        }
+        eng.pram.join();
+    }
+
+    PramRun {
+        index: out,
+        metrics: eng.pram.metrics().clone(),
+        processors: (m / (usize::BITS - m.leading_zeros()).max(1) as usize + n) as u64,
+    }
+}
+
+/// Row minima of a Monge array within **non-decreasing** validity bands
+/// `[lo_i, hi_i)` on the simulated PRAM (the banded class of
+/// [`monge_core::banded`]); rows with empty bands yield `None`.
+pub fn pram_banded_row_minima_monge<T: Value, A: Array2d<T>>(
+    a: &A,
+    lo: &[usize],
+    hi: &[usize],
+    prim: MinPrimitive,
+) -> (Vec<Option<usize>>, Metrics) {
+    let m = a.rows();
+    assert_eq!(lo.len(), m);
+    assert_eq!(hi.len(), m);
+    debug_assert!(lo.windows(2).all(|w| w[0] <= w[1]) && hi.windows(2).all(|w| w[0] <= w[1]));
+    let mut eng: Engine<T> = Engine::new(prim);
+    let mut out = vec![None; m];
+    let rows: Vec<usize> = (0..m).filter(|&i| lo[i] < hi[i]).collect();
+    if !rows.is_empty() {
+        banded_rec(&mut eng, a, lo, hi, &rows, 0, rows.len(), 0, a.cols(), &mut out);
+    }
+    (out, eng.pram.metrics().clone())
+}
+
+/// Row maxima of a Monge array within **non-increasing** bands on the
+/// simulated PRAM, via the reverse-and-negate reduction (bands map to
+/// non-decreasing minima bands under column reversal).
+pub fn pram_banded_row_maxima_monge<T: Value, A: Array2d<T>>(
+    a: &A,
+    lo: &[usize],
+    hi: &[usize],
+    prim: MinPrimitive,
+) -> (Vec<Option<usize>>, Metrics) {
+    let n = a.cols();
+    let t = Negate(ReverseCols(a));
+    let rlo: Vec<usize> = hi.iter().map(|&h| n - h).collect();
+    let rhi: Vec<usize> = lo.iter().map(|&l| n - l).collect();
+    let m = a.rows();
+    assert_eq!(lo.len(), m);
+    let mut eng: Engine<T> = Engine::new(prim);
+    eng.mirror = Some(n);
+    let mut out = vec![None; m];
+    let rows: Vec<usize> = (0..m).filter(|&i| rlo[i] < rhi[i]).collect();
+    if !rows.is_empty() {
+        banded_rec(&mut eng, &t, &rlo, &rhi, &rows, 0, rows.len(), 0, n, &mut out);
+    }
+    let metrics = eng.pram.metrics().clone();
+    (
+        out.into_iter().map(|o| o.map(|j| n - 1 - j)).collect(),
+        metrics,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn banded_rec<T: Value, A: Array2d<T>>(
+    eng: &mut Engine<T>,
+    a: &A,
+    lo: &[usize],
+    hi: &[usize],
+    rows: &[usize],
+    r0: usize,
+    r1: usize,
+    cur_lo: usize,
+    cur_hi: usize,
+    out: &mut [Option<usize>],
+) {
+    if r0 >= r1 {
+        return;
+    }
+    let mid = r0 + (r1 - r0) / 2;
+    let row = rows[mid];
+    let from = cur_lo.max(lo[row]);
+    let to = cur_hi.min(hi[row]);
+    debug_assert!(from < to);
+    let (best, _) = eng.interval_min(a, row, from, to);
+    out[row] = Some(best);
+    if r1 - r0 == 1 {
+        return;
+    }
+    eng.pram.fork();
+    banded_rec(eng, a, lo, hi, rows, r0, mid, cur_lo, best + 1, out);
+    eng.pram.branch_done();
+    banded_rec(eng, a, lo, hi, rows, mid + 1, r1, best, cur_hi, out);
+    eng.pram.branch_done();
+    eng.pram.join();
+}
+
+/// Row maxima of a Monge array on the PRAM (Table 1.1's problem),
+/// leftmost tie-break, via the reverse-and-negate reduction.
+pub fn pram_row_maxima_monge<T: Value, A: Array2d<T>>(a: &A, prim: MinPrimitive) -> PramRun {
+    let n = a.cols();
+    // Leftmost maxima of A = mirrored leftmost minima of the reflected
+    // negated array (the VI index encodes the mirrored column, so the
+    // lexicographic minimum already prefers the rightmost original
+    // column, i.e. the leftmost after mirroring back).
+    let t = Negate(ReverseCols(a));
+    let mut run = dc_with_mirror(&t, prim, Some(n));
+    for j in run.index.iter_mut() {
+        *j = n - 1 - *j;
+    }
+    run
+}
+
+/// Row minima of a Monge array (direct).
+pub fn pram_row_minima_monge<T: Value, A: Array2d<T>>(a: &A, prim: MinPrimitive) -> PramRun {
+    pram_row_minima_dc(a, prim)
+}
+
+/// Row maxima of an inverse-Monge array on the PRAM (the Figure 1.1
+/// geometry case).
+pub fn pram_row_maxima_inverse_monge<T: Value, A: Array2d<T>>(
+    a: &A,
+    prim: MinPrimitive,
+) -> PramRun {
+    pram_row_minima_dc(&Negate(a), prim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monge_core::generators::random_monge_dense;
+    use monge_core::monge::{brute_row_maxima, brute_row_minima};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn all_prims() -> [MinPrimitive; 4] {
+        [
+            MinPrimitive::Tree,
+            MinPrimitive::DoublyLog,
+            MinPrimitive::Constant,
+            MinPrimitive::Combining,
+        ]
+    }
+
+    #[test]
+    fn dc_matches_brute_under_every_primitive() {
+        let mut rng = StdRng::seed_from_u64(80);
+        for prim in all_prims() {
+            for &(m, n) in &[(1usize, 1usize), (7, 5), (16, 16), (30, 9)] {
+                let a = random_monge_dense(m, n, &mut rng);
+                let run = pram_row_minima_dc(&a, prim);
+                assert_eq!(run.index, brute_row_minima(&a), "{prim:?} {m}x{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn rect_matches_brute_both_cases() {
+        let mut rng = StdRng::seed_from_u64(81);
+        for prim in [MinPrimitive::DoublyLog, MinPrimitive::Tree] {
+            for &(m, n) in &[(50usize, 7usize), (7, 50), (64, 64), (33, 5), (5, 33)] {
+                let a = random_monge_dense(m, n, &mut rng);
+                let run = pram_row_minima_rect(&a, prim);
+                assert_eq!(run.index, brute_row_minima(&a), "{prim:?} {m}x{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn maxima_matches_brute() {
+        let mut rng = StdRng::seed_from_u64(82);
+        let a = random_monge_dense(24, 18, &mut rng);
+        let run = pram_row_maxima_monge(&a, MinPrimitive::DoublyLog);
+        assert_eq!(run.index, brute_row_maxima(&a));
+    }
+
+    #[test]
+    fn inverse_maxima_matches_brute() {
+        use monge_core::array2d::Negate;
+        let mut rng = StdRng::seed_from_u64(83);
+        let base = random_monge_dense(15, 21, &mut rng);
+        let a = Negate(&base).to_dense();
+        let run = pram_row_maxima_inverse_monge(&a, MinPrimitive::Constant);
+        assert_eq!(run.index, brute_row_maxima(&a));
+    }
+
+    #[test]
+    fn constant_primitive_is_logarithmic_in_steps() {
+        let mut rng = StdRng::seed_from_u64(84);
+        let a = random_monge_dense(64, 64, &mut rng);
+        let run = pram_row_minima_dc(&a, MinPrimitive::Constant);
+        // lg 64 = 6 levels, ≤ 4 steps each (load + 3-step min).
+        assert!(run.metrics.steps <= 4 * 7, "steps = {}", run.metrics.steps);
+    }
+
+    #[test]
+    fn tree_primitive_costs_an_extra_log_factor() {
+        let mut rng = StdRng::seed_from_u64(85);
+        let a = random_monge_dense(64, 64, &mut rng);
+        let t = pram_row_minima_dc(&a, MinPrimitive::Tree).metrics.steps;
+        let c = pram_row_minima_dc(&a, MinPrimitive::Constant).metrics.steps;
+        assert!(t > c, "tree {t} should exceed constant {c}");
+    }
+
+    #[test]
+    fn work_is_near_linear_per_level() {
+        let mut rng = StdRng::seed_from_u64(86);
+        let n = 128usize;
+        let a = random_monge_dense(n, n, &mut rng);
+        let run = pram_row_minima_dc(&a, MinPrimitive::DoublyLog);
+        // Work O(n lg n) with a modest constant.
+        let bound = 32 * (n as u64) * 7; // lg 128 = 7
+        assert!(run.metrics.work <= bound, "work = {}", run.metrics.work);
+    }
+
+    #[test]
+    fn banded_minima_matches_core() {
+        use monge_core::banded::{banded_row_minima_brute, banded_row_minima_monge};
+        let mut rng = StdRng::seed_from_u64(87);
+        for trial in 0..20 {
+            let (m, n) = (1 + trial % 12, 1 + (trial * 5) % 12);
+            let a = random_monge_dense(m, n, &mut rng);
+            let (lo, hi) = random_incr_bands(m, n, &mut rng);
+            let want = banded_row_minima_brute(&a, &lo, &hi);
+            assert_eq!(banded_row_minima_monge(&a, &lo, &hi), want);
+            let (got, _) = pram_banded_row_minima_monge(&a, &lo, &hi, MinPrimitive::DoublyLog);
+            assert_eq!(got, want, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn banded_maxima_matches_core() {
+        use monge_core::banded::{banded_row_maxima_brute, banded_row_maxima_monge};
+        let mut rng = StdRng::seed_from_u64(88);
+        for trial in 0..20 {
+            let (m, n) = (1 + (trial * 3) % 12, 1 + (trial * 7) % 12);
+            let a = random_monge_dense(m, n, &mut rng);
+            let (mut lo, mut hi) = random_incr_bands(m, n, &mut rng);
+            lo.reverse();
+            hi.reverse();
+            let want = banded_row_maxima_brute(&a, &lo, &hi);
+            assert_eq!(banded_row_maxima_monge(&a, &lo, &hi), want);
+            let (got, _) = pram_banded_row_maxima_monge(&a, &lo, &hi, MinPrimitive::Constant);
+            assert_eq!(got, want, "trial {trial}");
+        }
+    }
+
+    fn random_incr_bands(
+        m: usize,
+        n: usize,
+        rng: &mut StdRng,
+    ) -> (Vec<usize>, Vec<usize>) {
+        use rand::RngExt;
+        let mut lo: Vec<usize> = (0..m).map(|_| rng.random_range(0..=n)).collect();
+        let mut hi: Vec<usize> = (0..m).map(|_| rng.random_range(0..=n)).collect();
+        lo.sort_unstable();
+        hi.sort_unstable();
+        let lo: Vec<usize> = lo.iter().zip(&hi).map(|(&l, &h)| l.min(h)).collect();
+        (lo, hi)
+    }
+
+    #[test]
+    fn tie_break_is_leftmost() {
+        use monge_core::array2d::Dense;
+        let a = Dense::filled(9, 9, 5i64);
+        for prim in all_prims() {
+            assert_eq!(pram_row_minima_dc(&a, prim).index, vec![0; 9], "{prim:?}");
+            assert_eq!(pram_row_maxima_monge(&a, prim).index, vec![0; 9], "{prim:?}");
+        }
+    }
+}

@@ -1,0 +1,387 @@
+//! Row minima of staircase-Monge arrays on the simulated PRAM —
+//! the paper's §2 contribution (Lemma 2.2, Theorem 2.3, Corollary 2.4).
+//!
+//! ## Algorithm (following Theorem 2.3)
+//!
+//! For a row range with `m` rows: sample every `s ≈ √m`-th row. For each
+//! sampled row `S_g`, the *modified* row `R_g^t` zeroes in on the columns
+//! the next sampled row can still see (`A^t`'s entries beyond
+//! `f_{S_{g+1}}` become `∞`). Then:
+//!
+//! 1. **`A^t` row minima** via its decomposition into Monge strips
+//!    (Figure 2.1): group columns by the distinct sampled boundaries;
+//!    each strip (a prefix of sampled rows × one column segment) is fully
+//!    finite, hence Monge, and solved by the Lemma 2.1 engine; per-row
+//!    combination over covering strips gives `j^t_g`.
+//! 2. **Un-modify** (Lemma 2.2's last paragraph): each sampled row
+//!    rechecks the ≤ `n` entries that were turned to `∞`, recovering its
+//!    original minimum `j^orig_g`.
+//! 3. **Fill-in** (Lemma 2.2 / Figure 2.2): for a row `k` in the gap
+//!    above `S_g`, the feasible positions are
+//!    `[L_g, j^orig_g] ∪ [f_{S_g}, f_k)` where
+//!    `L_g = max { j^t_l : l < g, j^t_l < f_{S_g} }` — the *bracketing*
+//!    structure: `L_g` is exactly the nearest dominating sampled minimum,
+//!    which the paper computes with ANSV. The left part is a feasible
+//!    Monge region (solved by the Lemma 2.1 engine); the right part is a
+//!    feasible staircase region, recursed upon (`T(m) = T(√m) + O(·)`).
+//! 4. Per-row combination of the two candidates.
+//!
+//! The recursion bottoms out at gaps of `O(√m)` rows solved directly.
+
+use crate::pram_monge::{Engine, MinPrimitive, PramRun};
+use monge_core::array2d::Array2d;
+use monge_core::value::Value;
+
+type Cand<T> = Option<(T, usize)>;
+
+fn merge_candidate<T: Value>(slot: &mut Cand<T>, v: T, j: usize) {
+    match slot {
+        None => *slot = Some((v, j)),
+        Some((bv, bj)) => {
+            if v.total_lt(*bv) || (!bv.total_lt(v) && j < *bj) {
+                *slot = Some((v, j));
+            }
+        }
+    }
+}
+
+/// Row minima of a staircase-Monge array with boundary `f` on the
+/// simulated PRAM. Returns leftmost argmins (rows whose finite prefix is
+/// empty report column 0).
+pub fn pram_staircase_row_minima<T: Value, A: Array2d<T>>(
+    a: &A,
+    f: &[usize],
+    prim: MinPrimitive,
+) -> PramRun {
+    let (m, n) = (a.rows(), a.cols());
+    assert_eq!(f.len(), m);
+    assert!(n > 0);
+    let mut eng = Engine::new(prim);
+    let mut out: Vec<Cand<T>> = vec![None; m];
+    if m > 0 {
+        solve(&mut eng, a, f, 0, m, 0, n, &mut out);
+    }
+    PramRun {
+        index: out.into_iter().map(|c| c.map_or(0, |(_, j)| j)).collect(),
+        metrics: eng.pram.metrics().clone(),
+        processors: n as u64,
+    }
+}
+
+/// Rows below this count are solved by direct per-row interval minima.
+const BASE_ROWS: usize = 4;
+
+/// Solves rows `r0..r1` over columns `[c0, min(c1, f_i))`, merging each
+/// row's candidate into `out`.
+#[allow(clippy::too_many_arguments)]
+fn solve<T: Value, A: Array2d<T>>(
+    eng: &mut Engine<T>,
+    a: &A,
+    f: &[usize],
+    r0: usize,
+    mut r1: usize,
+    c0: usize,
+    c1: usize,
+    out: &mut [Cand<T>],
+) {
+    // Rows whose finite prefix does not reach c0 form a suffix; trim them.
+    r1 = partition_point(r0, r1, |i| f[i] > c0);
+    if r0 >= r1 || c0 >= c1 {
+        return;
+    }
+    let m = r1 - r0;
+    if m <= BASE_ROWS {
+        // Base case: each row scans its own interval, all in parallel.
+        eng.pram.fork();
+        for k in r0..r1 {
+            let hi = c1.min(f[k]);
+            let (j, v) = eng.interval_min(a, k, c0, hi);
+            merge_candidate(&mut out[k], v, j);
+            eng.pram.branch_done();
+        }
+        eng.pram.join();
+        return;
+    }
+
+    // ---- sampling -----------------------------------------------------
+    let u = (m as f64).sqrt().ceil() as usize;
+    let s = m.div_ceil(u);
+    // Sampled rows; the last row of the range is always sampled so every
+    // gap has a lower constraint.
+    let mut samples: Vec<usize> = (r0..r1).skip(s - 1).step_by(s).collect();
+    if *samples.last().unwrap() != r1 - 1 {
+        samples.push(r1 - 1);
+    }
+    let su = samples.len();
+
+    // Modified boundary of sampled row g: what the *next* sampled row can
+    // still see (the A^t construction). The last sample keeps its own.
+    let b: Vec<usize> = (0..su)
+        .map(|g| {
+            let next = if g + 1 < su { f[samples[g + 1]] } else { f[samples[g]] };
+            c1.min(next).min(f[samples[g]])
+        })
+        .collect();
+
+    // ---- step 1: A^t minima via Monge strip decomposition (Fig 2.1) ----
+    // Column segment edges: c0 plus the distinct modified boundaries.
+    let mut edges: Vec<usize> = b.iter().copied().filter(|&x| x > c0).collect();
+    edges.push(c0);
+    edges.sort_unstable();
+    edges.dedup();
+    // Strip for segment [edges[k], edges[k+1]): the prefix of samples
+    // whose modified boundary covers the segment end.
+    let mut jt: Vec<Cand<T>> = vec![None; su];
+    eng.pram.fork();
+    for w in edges.windows(2) {
+        let (lo, hi) = (w[0], w[1]);
+        // Samples with b_g >= hi (b is non-increasing, so a prefix).
+        let cnt = partition_point(0, su, |g| b[g] >= hi);
+        if cnt == 0 {
+            continue;
+        }
+        // Monge strip: sampled rows 0..cnt × columns [lo, hi). Solve by
+        // the Lemma 2.1 divide & conquer on the row-selected view.
+        let view =
+            monge_core::array2d::SelectRows::new(a, samples[..cnt].to_vec());
+        let mut sub = vec![0usize; cnt];
+        crate::pram_staircase::monge_rec(eng, &view, 0, cnt, lo, hi, &mut sub);
+        for (g, &j) in sub.iter().enumerate() {
+            merge_candidate(&mut jt[g], a.entry(samples[g], j), j);
+        }
+        eng.pram.branch_done();
+    }
+    eng.pram.join();
+
+    // ---- step 2: un-modify (recover original sampled minima) -----------
+    let mut jorig: Vec<Cand<T>> = jt.clone();
+    eng.pram.fork();
+    for g in 0..su {
+        let lo = b[g].max(c0);
+        let hi = c1.min(f[samples[g]]);
+        if lo < hi {
+            let (j, v) = eng.interval_min(a, samples[g], lo, hi);
+            merge_candidate(&mut jorig[g], v, j);
+            eng.pram.branch_done();
+        }
+    }
+    eng.pram.join();
+    for g in 0..su {
+        if let Some((v, j)) = jorig[g] {
+            merge_candidate(&mut out[samples[g]], v, j);
+        }
+    }
+
+    // ---- step 3: fill in the gaps --------------------------------------
+    // Gap g: the rows strictly between the previous sample and sample g.
+    // Lower bracketing bound L_g (ANSV structure, computed as a running
+    // prefix maximum over qualifying modified minima).
+    eng.pram.fork();
+    for g in 0..su {
+        let gap_lo = if g == 0 { r0 } else { samples[g - 1] + 1 };
+        let gap_hi = samples[g];
+        if gap_lo >= gap_hi {
+            continue;
+        }
+        let fs = f[samples[g]].min(c1);
+        // L_g: the largest modified minimum among samples above the gap
+        // that every gap row can still see (column < f at the gap's
+        // bottom sample). This is the "bracketing" minimum of Lemma 2.2.
+        let mut lg = c0;
+        #[allow(clippy::needless_range_loop)] // l < g, a prefix of jt
+        for l in 0..g {
+            if let Some((_, j)) = jt[l] {
+                if j < fs && j > lg {
+                    lg = j;
+                }
+            }
+        }
+        // Feasible Monge region: [lg, j^orig_g] within the fully finite
+        // column prefix.
+        if let Some((_, jo)) = jorig[g] {
+            if jo >= lg {
+                let mut sub = vec![0usize; gap_hi - gap_lo];
+                monge_rec_rows(eng, a, gap_lo, gap_hi, lg, jo + 1, &mut sub);
+                for (k, &j) in sub.iter().enumerate() {
+                    merge_candidate(&mut out[gap_lo + k], a.entry(gap_lo + k, j), j);
+                }
+            }
+        }
+        eng.pram.branch_done();
+        // Feasible staircase region beyond the bottom sample's boundary:
+        // recurse (this is the T(m) = T(√m) + O(·) recursion).
+        if fs < c1 {
+            solve(eng, a, f, gap_lo, gap_hi, fs, c1, out);
+            eng.pram.branch_done();
+        }
+    }
+    eng.pram.join();
+}
+
+/// Monge divide & conquer on a row-contiguous region of the original
+/// array (all-finite by the caller's guarantee).
+fn monge_rec_rows<T: Value, A: Array2d<T>>(
+    eng: &mut Engine<T>,
+    a: &A,
+    r0: usize,
+    r1: usize,
+    c0: usize,
+    c1: usize,
+    out: &mut [usize],
+) {
+    if r0 >= r1 || c0 >= c1 {
+        return;
+    }
+    let mid = r0 + (r1 - r0) / 2;
+    let (best, _) = eng.interval_min(a, mid, c0, c1);
+    out[mid - r0] = best;
+    if r1 - r0 == 1 {
+        return;
+    }
+    eng.pram.fork();
+    {
+        let (top, rest) = out.split_at_mut(mid - r0);
+        let bot = &mut rest[1..];
+        monge_rec_rows(eng, a, r0, mid, c0, best + 1, top);
+        eng.pram.branch_done();
+        monge_rec_rows(eng, a, mid + 1, r1, best, c1, bot);
+        eng.pram.branch_done();
+    }
+    eng.pram.join();
+}
+
+/// Same divide & conquer on an arbitrary [`Array2d`] view with its own
+/// row indexing (used for the sampled-row strips).
+fn monge_rec<T: Value, A: Array2d<T>>(
+    eng: &mut Engine<T>,
+    a: &A,
+    r0: usize,
+    r1: usize,
+    c0: usize,
+    c1: usize,
+    out: &mut [usize],
+) {
+    if r0 >= r1 || c0 >= c1 {
+        return;
+    }
+    let mid = r0 + (r1 - r0) / 2;
+    let (best, _) = eng.interval_min(a, mid, c0, c1);
+    out[mid] = best;
+    if r1 - r0 == 1 {
+        return;
+    }
+    eng.pram.fork();
+    monge_rec(eng, a, r0, mid, c0, best + 1, out);
+    eng.pram.branch_done();
+    monge_rec(eng, a, mid + 1, r1, best, c1, out);
+    eng.pram.branch_done();
+    eng.pram.join();
+}
+
+fn partition_point(lo: usize, hi: usize, pred: impl Fn(usize) -> bool) -> usize {
+    let (mut lo, mut hi) = (lo, hi);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if pred(mid) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monge_core::generators::{
+        apply_staircase, random_monge_dense, random_staircase_boundary,
+        random_staircase_monge_dense,
+    };
+    use monge_core::staircase::{compute_boundary, staircase_row_minima_brute};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matches_brute_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(90);
+        for trial in 0..40 {
+            let a = random_staircase_monge_dense(23, 19, &mut rng);
+            let fb = compute_boundary(&a);
+            let run = pram_staircase_row_minima(&a, &fb, MinPrimitive::DoublyLog);
+            assert_eq!(
+                run.index,
+                staircase_row_minima_brute(&a, &fb),
+                "trial {trial}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_brute_under_every_primitive() {
+        let mut rng = StdRng::seed_from_u64(91);
+        let a = random_staircase_monge_dense(30, 30, &mut rng);
+        let fb = compute_boundary(&a);
+        let want = staircase_row_minima_brute(&a, &fb);
+        for prim in [
+            MinPrimitive::Tree,
+            MinPrimitive::DoublyLog,
+            MinPrimitive::Constant,
+            MinPrimitive::Combining,
+        ] {
+            let run = pram_staircase_row_minima(&a, &fb, prim);
+            assert_eq!(run.index, want, "{prim:?}");
+        }
+    }
+
+    #[test]
+    fn fully_finite_array() {
+        let mut rng = StdRng::seed_from_u64(92);
+        let a = random_monge_dense(40, 25, &mut rng);
+        let fb = vec![25usize; 40];
+        let run = pram_staircase_row_minima(&a, &fb, MinPrimitive::DoublyLog);
+        assert_eq!(run.index, monge_core::monge::brute_row_minima(&a));
+    }
+
+    #[test]
+    fn steep_staircase() {
+        let mut rng = StdRng::seed_from_u64(93);
+        let n = 32;
+        let base = random_monge_dense(n, n, &mut rng);
+        let fb: Vec<usize> = (0..n).map(|i| n - i).collect();
+        let a = apply_staircase(&base, &fb);
+        let run = pram_staircase_row_minima(&a, &fb, MinPrimitive::DoublyLog);
+        assert_eq!(run.index, staircase_row_minima_brute(&a, &fb));
+    }
+
+    #[test]
+    fn rectangular_shapes() {
+        let mut rng = StdRng::seed_from_u64(94);
+        for &(m, n) in &[(60usize, 9usize), (9, 60), (1, 30), (30, 1)] {
+            let base = random_monge_dense(m, n, &mut rng);
+            let fb = random_staircase_boundary(m, n, &mut rng);
+            let a = apply_staircase(&base, &fb);
+            let run = pram_staircase_row_minima(&a, &fb, MinPrimitive::DoublyLog);
+            assert_eq!(
+                run.index,
+                staircase_row_minima_brute(&a, &fb),
+                "{m}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn steps_are_polylogarithmic() {
+        let mut rng = StdRng::seed_from_u64(95);
+        let n = 256usize;
+        let a = random_staircase_monge_dense(n, n, &mut rng);
+        let fb = compute_boundary(&a);
+        let run = pram_staircase_row_minima(&a, &fb, MinPrimitive::Constant);
+        let lg = 64 - (n as u64).leading_zeros() as u64;
+        assert!(
+            run.metrics.steps <= 30 * lg * lg,
+            "steps = {} for n = {n}",
+            run.metrics.steps
+        );
+    }
+}

@@ -1,0 +1,164 @@
+//! Tube maxima / minima of Monge-composite arrays on the simulated PRAM —
+//! the Table 1.3 engines.
+//!
+//! Following [AP89a, AALM88], every plane `F_i[k][j] = d[i,j] + e[j,k]`
+//! of the composite array is a Monge array in `(k, j)`; the engine runs
+//! the divide-and-conquer row search on all `p` planes as parallel
+//! branches. With the `Constant` primitive the measured critical path is
+//! `O(lg n)` (the CREW row of Table 1.3); with `DoublyLog` it is
+//! `O(lg n · lg lg n)` using `n²`-processor budgets. (Atallah's
+//! `Θ(lg lg n)` CRCW bound \[Ata89\] uses machinery beyond this extended
+//! abstract; we report our engine's measured shape instead — see
+//! DESIGN.md §3.)
+
+use crate::pram_monge::{Engine, MinPrimitive};
+use monge_core::array2d::Array2d;
+use monge_core::tube::{plane, TubeExtrema};
+use monge_core::value::Value;
+use monge_pram::Metrics;
+
+/// Result of a PRAM tube search.
+#[derive(Clone, Debug)]
+pub struct PramTubeRun<T> {
+    /// Per-tube argopt and values.
+    pub extrema: TubeExtrema<T>,
+    /// Simulator metrics.
+    pub metrics: Metrics,
+    /// Analytical processor budget (`p·(q + r)`).
+    pub processors: u64,
+}
+
+/// Tube minima (`(min,+)` product) on the PRAM.
+pub fn pram_tube_minima<T: Value, A: Array2d<T>, B: Array2d<T>>(
+    d: &A,
+    e: &B,
+    prim: MinPrimitive,
+) -> PramTubeRun<T> {
+    pram_tube(d, e, prim, false)
+}
+
+/// Tube maxima (`(max,+)` product) on the PRAM.
+pub fn pram_tube_maxima<T: Value, A: Array2d<T>, B: Array2d<T>>(
+    d: &A,
+    e: &B,
+    prim: MinPrimitive,
+) -> PramTubeRun<T> {
+    pram_tube(d, e, prim, true)
+}
+
+fn pram_tube<T: Value, A: Array2d<T>, B: Array2d<T>>(
+    d: &A,
+    e: &B,
+    prim: MinPrimitive,
+    maxima: bool,
+) -> PramTubeRun<T> {
+    assert_eq!(d.cols(), e.rows(), "inner dimensions disagree");
+    let (p, q, r) = (d.rows(), d.cols(), e.cols());
+    assert!(q > 0);
+    let mut eng: Engine<T> = Engine::new(prim);
+    if maxima {
+        // The reverse-and-negate reduction needs rightmost-minima tie
+        // handling (see pram_monge::Engine::mirror).
+        eng.mirror = Some(q);
+    }
+    let mut index = vec![0usize; p * r];
+    let mut value = vec![T::ZERO; p * r];
+
+    eng.pram.fork();
+    for i in 0..p {
+        let pl = plane(d, e, i);
+        let out = &mut index[i * r..(i + 1) * r];
+        if maxima {
+            // Leftmost maxima via reverse + negate (mirrored indices).
+            let t = monge_core::array2d::Negate(monge_core::array2d::ReverseCols(&pl));
+            rec(&mut eng, &t, 0, r, 0, q, out);
+            for j in out.iter_mut() {
+                *j = q - 1 - *j;
+            }
+        } else {
+            rec(&mut eng, &pl, 0, r, 0, q, out);
+        }
+        for (k, &j) in out.iter().enumerate() {
+            value[i * r + k] = d.entry(i, j).add(e.entry(j, k));
+        }
+        eng.pram.branch_done();
+    }
+    eng.pram.join();
+
+    PramTubeRun {
+        extrema: TubeExtrema { p, r, index, value },
+        metrics: eng.pram.metrics().clone(),
+        processors: (p * (q + r)) as u64,
+    }
+}
+
+fn rec<T: Value, A: Array2d<T>>(
+    eng: &mut Engine<T>,
+    a: &A,
+    r0: usize,
+    r1: usize,
+    c0: usize,
+    c1: usize,
+    out: &mut [usize],
+) {
+    if r0 >= r1 || c0 >= c1 {
+        return;
+    }
+    let mid = r0 + (r1 - r0) / 2;
+    let (best, _) = eng.interval_min(a, mid, c0, c1);
+    out[mid] = best;
+    if r1 - r0 == 1 {
+        return;
+    }
+    eng.pram.fork();
+    rec(eng, a, r0, mid, c0, best + 1, out);
+    eng.pram.branch_done();
+    rec(eng, a, mid + 1, r1, best, c1, out);
+    eng.pram.branch_done();
+    eng.pram.join();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monge_core::generators::random_monge_dense;
+    use monge_core::tube::{tube_maxima_brute, tube_minima_brute};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn minima_matches_brute() {
+        let mut rng = StdRng::seed_from_u64(100);
+        for &(p, q, r) in &[(1usize, 1usize, 1usize), (6, 8, 5), (12, 12, 12)] {
+            let d = random_monge_dense(p, q, &mut rng);
+            let e = random_monge_dense(q, r, &mut rng);
+            let run = pram_tube_minima(&d, &e, MinPrimitive::DoublyLog);
+            assert_eq!(run.extrema, tube_minima_brute(&d, &e), "{p}x{q}x{r}");
+        }
+    }
+
+    #[test]
+    fn maxima_matches_brute() {
+        let mut rng = StdRng::seed_from_u64(101);
+        for &(p, q, r) in &[(5usize, 9usize, 7usize), (10, 4, 10)] {
+            let d = random_monge_dense(p, q, &mut rng);
+            let e = random_monge_dense(q, r, &mut rng);
+            let run = pram_tube_maxima(&d, &e, MinPrimitive::Constant);
+            assert_eq!(run.extrema, tube_maxima_brute(&d, &e), "{p}x{q}x{r}");
+        }
+    }
+
+    #[test]
+    fn critical_path_is_one_plane() {
+        // All planes run as parallel branches: steps should match a
+        // single-plane run, not p of them.
+        let mut rng = StdRng::seed_from_u64(102);
+        let d = random_monge_dense(16, 16, &mut rng);
+        let e = random_monge_dense(16, 16, &mut rng);
+        let run_all = pram_tube_minima(&d, &e, MinPrimitive::Constant);
+        let d1 = random_monge_dense(1, 16, &mut rng);
+        let run_one = pram_tube_minima(&d1, &e, MinPrimitive::Constant);
+        assert!(run_all.metrics.steps <= 2 * run_one.metrics.steps + 16);
+        assert!(run_all.metrics.work >= 8 * run_one.metrics.work);
+    }
+}

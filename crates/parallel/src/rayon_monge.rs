@@ -1,0 +1,269 @@
+//! Multithreaded row minima / maxima of (inverse-)Monge arrays.
+//!
+//! The engine is the recursive-halving divide & conquer the paper's PRAM
+//! algorithms are built from: find the middle row's optimum, split the
+//! remaining rows into two independent subproblems with nested column
+//! intervals (total monotonicity), and recurse in parallel. The interval
+//! scan of a middle row is itself a parallel reduction when wide.
+//!
+//! Work is `O((m + n) lg m)`, span `O(lg m lg n)`, so wall-clock scales
+//! with cores — the rayon stand-in for the paper's `n`-processor bounds.
+
+use monge_core::array2d::{Array2d, Negate, ReverseCols};
+use monge_core::smawk::RowExtrema;
+use monge_core::value::Value;
+use rayon::prelude::*;
+
+/// Below this interval width, scan sequentially rather than spawn.
+const SEQ_SCAN: usize = 2_048;
+/// Below this row count, recurse sequentially.
+const SEQ_ROWS: usize = 64;
+
+/// Leftmost minimum of `a[row, lo..hi)`, scanning in parallel when wide.
+fn interval_argmin<T: Value, A: Array2d<T>>(a: &A, row: usize, lo: usize, hi: usize) -> usize {
+    debug_assert!(lo < hi);
+    if hi - lo <= SEQ_SCAN {
+        let mut best = lo;
+        let mut best_v = a.entry(row, lo);
+        for j in lo + 1..hi {
+            let v = a.entry(row, j);
+            if v.total_lt(best_v) {
+                best = j;
+                best_v = v;
+            }
+        }
+        return best;
+    }
+    (lo..hi)
+        .into_par_iter()
+        .fold_chunks(SEQ_SCAN, || None::<(usize, T)>, |acc, j| {
+            let v = a.entry(row, j);
+            match acc {
+                None => Some((j, v)),
+                Some((bj, bv)) => {
+                    if v.total_lt(bv) {
+                        Some((j, v))
+                    } else {
+                        Some((bj, bv))
+                    }
+                }
+            }
+        })
+        .flatten()
+        .reduce_with(|x, y| {
+            // Prefer the smaller column on equal values (chunks are in
+            // index order, but reduce order is not; compare explicitly).
+            if y.1.total_lt(x.1) || (!x.1.total_lt(y.1) && y.0 < x.0) {
+                y
+            } else {
+                x
+            }
+        })
+        .map(|(j, _)| j)
+        .expect("non-empty interval")
+}
+
+fn rec<T: Value, A: Array2d<T>>(a: &A, r0: usize, r1: usize, c0: usize, c1: usize, out: &mut [usize]) {
+    if r0 >= r1 {
+        return;
+    }
+    let mid = r0 + (r1 - r0) / 2;
+    let best = interval_argmin(a, mid, c0, c1);
+    out[mid - r0] = best;
+    if r1 - r0 <= SEQ_ROWS {
+        let (top, rest) = out.split_at_mut(mid - r0);
+        let bot = &mut rest[1..];
+        rec_seq(a, r0, mid, c0, best + 1, top);
+        rec_seq(a, mid + 1, r1, best, c1, bot);
+        return;
+    }
+    let (top, rest) = out.split_at_mut(mid - r0);
+    let bot = &mut rest[1..];
+    rayon::join(
+        || rec(a, r0, mid, c0, best + 1, top),
+        || rec(a, mid + 1, r1, best, c1, bot),
+    );
+}
+
+fn rec_seq<T: Value, A: Array2d<T>>(
+    a: &A,
+    r0: usize,
+    r1: usize,
+    c0: usize,
+    c1: usize,
+    out: &mut [usize],
+) {
+    if r0 >= r1 {
+        return;
+    }
+    let mid = r0 + (r1 - r0) / 2;
+    let mut best = c0;
+    let mut best_v = a.entry(mid, c0);
+    for j in c0 + 1..c1 {
+        let v = a.entry(mid, j);
+        if v.total_lt(best_v) {
+            best = j;
+            best_v = v;
+        }
+    }
+    out[mid - r0] = best;
+    let (top, rest) = out.split_at_mut(mid - r0);
+    let bot = &mut rest[1..];
+    rec_seq(a, r0, mid, c0, best + 1, top);
+    rec_seq(a, mid + 1, r1, best, c1, bot);
+}
+
+/// Core parallel routine: leftmost row minima of a totally monotone
+/// (minima) array by parallel divide & conquer.
+pub fn par_row_minima_totally_monotone<T: Value, A: Array2d<T>>(a: &A) -> Vec<usize> {
+    let (m, n) = (a.rows(), a.cols());
+    assert!(n > 0);
+    let mut out = vec![0usize; m];
+    rec(a, 0, m, 0, n, &mut out);
+    out
+}
+
+/// Parallel leftmost row minima of a Monge array.
+pub fn par_row_minima_monge<T: Value, A: Array2d<T>>(a: &A) -> RowExtrema<T> {
+    let index = par_row_minima_totally_monotone(a);
+    RowExtrema::from_indices(a, index)
+}
+
+/// Parallel leftmost row maxima of an inverse-Monge array.
+pub fn par_row_maxima_inverse_monge<T: Value, A: Array2d<T>>(a: &A) -> RowExtrema<T> {
+    let index = par_row_minima_totally_monotone(&Negate(a));
+    RowExtrema::from_indices(a, index)
+}
+
+/// Parallel leftmost row maxima of a Monge array (Table 1.1's problem).
+pub fn par_row_maxima_monge<T: Value, A: Array2d<T>>(a: &A) -> RowExtrema<T> {
+    // As in the sequential case: reverse + negate maps leftmost maxima to
+    // *rightmost* minima; run the D&C on the reflected array with a
+    // reflected tie rule by reflecting indices.
+    let n = a.cols();
+    let t = Negate(ReverseCols(a));
+    // Rightmost minima of t == leftmost minima on the reflection of t,
+    // which is the reflection of a's leftmost maxima. The D&C preserves
+    // leftmost-minima semantics, so run on t and mirror.
+    let index: Vec<usize> = par_rightmost_row_minima(&t)
+        .into_iter()
+        .map(|j| n - 1 - j)
+        .collect();
+    RowExtrema::from_indices(a, index)
+}
+
+/// Parallel leftmost row minima of an inverse-Monge array.
+pub fn par_row_minima_inverse_monge<T: Value, A: Array2d<T>>(a: &A) -> RowExtrema<T> {
+    let n = a.cols();
+    let t = ReverseCols(a);
+    let index: Vec<usize> = par_rightmost_row_minima(&t)
+        .into_iter()
+        .map(|j| n - 1 - j)
+        .collect();
+    RowExtrema::from_indices(a, index)
+}
+
+/// Rightmost row minima via the same D&C with a right-preferring scan.
+fn par_rightmost_row_minima<T: Value, A: Array2d<T>>(a: &A) -> Vec<usize> {
+    let (m, n) = (a.rows(), a.cols());
+    assert!(n > 0);
+    let mut out = vec![0usize; m];
+    rec_right(a, 0, m, 0, n, &mut out);
+    out
+}
+
+fn rec_right<T: Value, A: Array2d<T>>(
+    a: &A,
+    r0: usize,
+    r1: usize,
+    c0: usize,
+    c1: usize,
+    out: &mut [usize],
+) {
+    if r0 >= r1 {
+        return;
+    }
+    let mid = r0 + (r1 - r0) / 2;
+    let mut best = c0;
+    let mut best_v = a.entry(mid, c0);
+    for j in c0 + 1..c1 {
+        let v = a.entry(mid, j);
+        if v.total_le(best_v) {
+            best = j;
+            best_v = v;
+        }
+    }
+    out[mid - r0] = best;
+    let (top, rest) = out.split_at_mut(mid - r0);
+    let bot = &mut rest[1..];
+    if r1 - r0 <= SEQ_ROWS {
+        rec_right(a, r0, mid, c0, best + 1, top);
+        rec_right(a, mid + 1, r1, best, c1, bot);
+    } else {
+        rayon::join(
+            || rec_right(a, r0, mid, c0, best + 1, top),
+            || rec_right(a, mid + 1, r1, best, c1, bot),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monge_core::array2d::Dense;
+    use monge_core::generators::{random_monge_dense, ImplicitMonge};
+    use monge_core::monge::{brute_row_maxima, brute_row_minima};
+    use monge_core::smawk::{row_maxima_monge, row_minima_monge};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matches_smawk_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(40);
+        for &(m, n) in &[(1usize, 1usize), (5, 9), (33, 17), (64, 64), (100, 3)] {
+            let a = random_monge_dense(m, n, &mut rng);
+            assert_eq!(
+                par_row_minima_monge(&a).index,
+                row_minima_monge(&a).index,
+                "{m}x{n}"
+            );
+            assert_eq!(
+                par_row_maxima_monge(&a).index,
+                row_maxima_monge(&a).index,
+                "{m}x{n} maxima"
+            );
+        }
+    }
+
+    #[test]
+    fn inverse_variants_match_brute() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let a = random_monge_dense(40, 30, &mut rng);
+        let b = Negate(&a).to_dense();
+        assert_eq!(par_row_maxima_inverse_monge(&b).index, brute_row_maxima(&b));
+        assert_eq!(par_row_minima_inverse_monge(&b).index, brute_row_minima(&b));
+    }
+
+    #[test]
+    fn wide_rows_exercise_parallel_scan() {
+        let mut rng = StdRng::seed_from_u64(42);
+        // Wider than SEQ_SCAN to hit the parallel reduction path.
+        let a = ImplicitMonge::random(4, 5000, 3, &mut rng);
+        let got = par_row_minima_monge(&a);
+        assert_eq!(got.index, brute_row_minima(&a));
+    }
+
+    #[test]
+    fn tie_breaking_is_leftmost() {
+        let a = Dense::filled(10, 10, 3i64);
+        assert_eq!(par_row_minima_monge(&a).index, vec![0; 10]);
+        assert_eq!(par_row_maxima_monge(&a).index, vec![0; 10]);
+    }
+
+    #[test]
+    fn tall_arrays_hit_parallel_rows() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let a = random_monge_dense(300, 20, &mut rng);
+        assert_eq!(par_row_minima_monge(&a).index, brute_row_minima(&a));
+    }
+}

@@ -1,0 +1,190 @@
+//! Multithreaded row minima of staircase-Monge arrays.
+//!
+//! Parallelization of the feasible-region divide & conquer (the
+//! shared-memory analogue of the paper's Theorem 2.3): the middle row's
+//! minimum splits the remaining rows into
+//!
+//! * an upper *Monge region* and an upper *staircase region* beyond the
+//!   middle row's boundary (Figure 2.2's `F`-regions), whose candidates
+//!   are combined by value, and
+//! * two disjoint lower subproblems.
+//!
+//! Subproblems run under `rayon::join`; the overlapping upper regions
+//! write into separate buffers that are merged in parallel.
+
+use monge_core::array2d::Array2d;
+use monge_core::value::Value;
+
+/// Below this row count, recurse sequentially.
+const SEQ_ROWS: usize = 64;
+
+type Cand<T> = Option<(T, usize)>;
+
+/// Parallel leftmost row minima of a staircase-Monge array with boundary
+/// `f` (see [`monge_core::staircase::compute_boundary`]).
+pub fn par_staircase_row_minima<T: Value, A: Array2d<T>>(a: &A, f: &[usize]) -> Vec<usize> {
+    let m = a.rows();
+    assert_eq!(f.len(), m);
+    if m == 0 {
+        return Vec::new();
+    }
+    assert!(a.cols() > 0);
+    let mut best: Vec<Cand<T>> = vec![None; m];
+    rec(a, f, 0, m, 0, a.cols(), &mut best);
+    best.into_iter().map(|b| b.map_or(0, |(_, j)| j)).collect()
+}
+
+fn merge_candidate<T: Value>(slot: &mut Cand<T>, v: T, j: usize) {
+    match slot {
+        None => *slot = Some((v, j)),
+        Some((bv, bj)) => {
+            if v.total_lt(*bv) || (!bv.total_lt(v) && j < *bj) {
+                *slot = Some((v, j));
+            }
+        }
+    }
+}
+
+/// `out` covers rows `r0..r1` (index `i - r0`).
+fn rec<T: Value, A: Array2d<T>>(
+    a: &A,
+    f: &[usize],
+    r0: usize,
+    mut r1: usize,
+    c0: usize,
+    c1: usize,
+    out: &mut [Cand<T>],
+) {
+    r1 = partition_point(r0, r1, |i| f[i] > c0);
+    if r0 >= r1 || c0 >= c1 {
+        return;
+    }
+    let mid = r0 + (r1 - r0) / 2;
+    let hi = c1.min(f[mid]);
+    let mut best = c0;
+    let mut best_v = a.entry(mid, best);
+    for j in c0 + 1..hi {
+        let v = a.entry(mid, j);
+        if v.total_lt(best_v) {
+            best = j;
+            best_v = v;
+        }
+    }
+    merge_candidate(&mut out[mid - r0], best_v, best);
+
+    let cut = partition_point(mid + 1, r1, |i| f[i] > best);
+    let parallel = r1 - r0 > SEQ_ROWS;
+
+    let (above, rest) = out.split_at_mut(mid - r0);
+    let below = &mut rest[1..];
+    let (below_hi, below_lo) = below.split_at_mut(cut - (mid + 1));
+
+    let upper = |above: &mut [Cand<T>]| {
+        // Monge region left of the middle minimum.
+        rec(a, f, r0, mid, c0, best + 1, above);
+        // Staircase region beyond the middle row's boundary, merged in.
+        if f[mid] < c1 {
+            let mut tmp: Vec<Cand<T>> = vec![None; mid - r0];
+            rec(a, f, r0, mid, f[mid], c1, &mut tmp);
+            for (slot, cand) in above.iter_mut().zip(tmp) {
+                if let Some((v, j)) = cand {
+                    merge_candidate(slot, v, j);
+                }
+            }
+        }
+    };
+    let lower = |below_hi: &mut [Cand<T>], below_lo: &mut [Cand<T>]| {
+        if parallel {
+            rayon::join(
+                || rec(a, f, mid + 1, cut, best, c1, below_hi),
+                || rec(a, f, cut, r1, c0, best + 1, below_lo),
+            );
+        } else {
+            rec(a, f, mid + 1, cut, best, c1, below_hi);
+            rec(a, f, cut, r1, c0, best + 1, below_lo);
+        }
+    };
+
+    if parallel {
+        rayon::join(|| upper(above), || lower(below_hi, below_lo));
+    } else {
+        upper(above);
+        lower(below_hi, below_lo);
+    }
+}
+
+fn partition_point(lo: usize, hi: usize, pred: impl Fn(usize) -> bool) -> usize {
+    let (mut lo, mut hi) = (lo, hi);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if pred(mid) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monge_core::generators::{
+        apply_staircase, random_monge_dense, random_staircase_boundary,
+        random_staircase_monge_dense,
+    };
+    use monge_core::staircase::{
+        compute_boundary, staircase_row_minima, staircase_row_minima_brute,
+    };
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matches_sequential_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(50);
+        for _ in 0..30 {
+            let a = random_staircase_monge_dense(37, 23, &mut rng);
+            let f = compute_boundary(&a);
+            assert_eq!(
+                par_staircase_row_minima(&a, &f),
+                staircase_row_minima(&a, &f)
+            );
+        }
+    }
+
+    #[test]
+    fn large_instance_crosses_parallel_threshold() {
+        let mut rng = StdRng::seed_from_u64(51);
+        let base = random_monge_dense(300, 200, &mut rng);
+        let f = random_staircase_boundary(300, 200, &mut rng);
+        let a = apply_staircase(&base, &f);
+        assert_eq!(
+            par_staircase_row_minima(&a, &f),
+            staircase_row_minima_brute(&a, &f)
+        );
+    }
+
+    #[test]
+    fn steep_staircase_parallel() {
+        let mut rng = StdRng::seed_from_u64(52);
+        let n = 128;
+        let base = random_monge_dense(n, n, &mut rng);
+        let f: Vec<usize> = (0..n).map(|i| n - i).collect();
+        let a = apply_staircase(&base, &f);
+        assert_eq!(
+            par_staircase_row_minima(&a, &f),
+            staircase_row_minima_brute(&a, &f)
+        );
+    }
+
+    #[test]
+    fn fully_finite_reduces_to_monge() {
+        let mut rng = StdRng::seed_from_u64(53);
+        let a = random_monge_dense(80, 90, &mut rng);
+        let f = vec![90usize; 80];
+        assert_eq!(
+            par_staircase_row_minima(&a, &f),
+            monge_core::monge::brute_row_minima(&a)
+        );
+    }
+}

@@ -1,0 +1,178 @@
+//! Multithreaded tube maxima / minima of Monge-composite arrays.
+//!
+//! Two engines:
+//!
+//! * [`par_tube_maxima`] / [`par_tube_minima`] — plane-parallel: each of
+//!   the `p` Monge planes `F_i[k][j] = d[i,j] + e[j,k]` is an independent
+//!   SMAWK instance (`Θ(q + r)` work each); rayon distributes planes over
+//!   cores. Work `O(p(q + r))` — the sequential optimum — with span
+//!   `O(q + r)`.
+//! * [`par_tube_minima_dc`] — the doubly-monotone divide & conquer the
+//!   PRAM/hypercube engines use (argmin `j*(i,k)` is non-decreasing in
+//!   both `i` and `k`), exercised here for cross-engine validation and as
+//!   the low-span alternative (span `O(lg p · (q + lg r))`).
+
+use monge_core::array2d::Array2d;
+use monge_core::tube::{plane, TubeExtrema};
+use monge_core::value::Value;
+use rayon::prelude::*;
+
+/// Plane-parallel tube maxima: `(max,+)` product of Monge factors.
+pub fn par_tube_maxima<T: Value, A: Array2d<T>, B: Array2d<T>>(d: &A, e: &B) -> TubeExtrema<T> {
+    par_tube(d, e, true)
+}
+
+/// Plane-parallel tube minima: `(min,+)` product of Monge factors.
+pub fn par_tube_minima<T: Value, A: Array2d<T>, B: Array2d<T>>(d: &A, e: &B) -> TubeExtrema<T> {
+    par_tube(d, e, false)
+}
+
+fn par_tube<T: Value, A: Array2d<T>, B: Array2d<T>>(
+    d: &A,
+    e: &B,
+    maxima: bool,
+) -> TubeExtrema<T> {
+    assert_eq!(d.cols(), e.rows(), "inner dimensions disagree");
+    let (p, q, r) = (d.rows(), d.cols(), e.cols());
+    assert!(q > 0);
+    let per_plane: Vec<(Vec<usize>, Vec<T>)> = (0..p)
+        .into_par_iter()
+        .map(|i| {
+            let pl = plane(d, e, i);
+            let ex = if maxima {
+                monge_core::smawk::row_maxima_monge(&pl)
+            } else {
+                monge_core::smawk::row_minima_monge(&pl)
+            };
+            (ex.index, ex.value)
+        })
+        .collect();
+    let mut index = Vec::with_capacity(p * r);
+    let mut value = Vec::with_capacity(p * r);
+    for (idx, val) in per_plane {
+        index.extend(idx);
+        value.extend(val);
+    }
+    TubeExtrema { p, r, index, value }
+}
+
+/// Divide & conquer tube minima using double argmin monotonicity: solve
+/// the middle plane with SMAWK, then recurse on the upper and lower plane
+/// blocks with `j`-ranges clipped by the middle plane's argmins.
+pub fn par_tube_minima_dc<T: Value, A: Array2d<T>, B: Array2d<T>>(
+    d: &A,
+    e: &B,
+) -> TubeExtrema<T> {
+    assert_eq!(d.cols(), e.rows(), "inner dimensions disagree");
+    let (p, q, r) = (d.rows(), d.cols(), e.cols());
+    assert!(q > 0);
+    let mut index = vec![0usize; p * r];
+    let mut value = vec![T::ZERO; p * r];
+    {
+        let lo = vec![0usize; r];
+        let hi = vec![q; r];
+        dc(d, e, 0, p, &lo, &hi, r, &mut index, &mut value);
+    }
+    TubeExtrema { p, r, index, value }
+}
+
+/// Solves planes `i0..i1`; plane `i`'s argmin for column `k` is known to
+/// lie in `[lo[k], hi[k])`.
+#[allow(clippy::too_many_arguments)]
+fn dc<T: Value, A: Array2d<T>, B: Array2d<T>>(
+    d: &A,
+    e: &B,
+    i0: usize,
+    i1: usize,
+    lo: &[usize],
+    hi: &[usize],
+    r: usize,
+    index: &mut [usize],
+    value: &mut [T],
+) {
+    if i0 >= i1 {
+        return;
+    }
+    let mid = i0 + (i1 - i0) / 2;
+    // Solve the middle plane by a constrained sweep: argmin is monotone
+    // in k, and sandwiched in [lo[k], hi[k]).
+    let mut mid_arg = vec![0usize; r];
+    {
+        let mut from = 0usize;
+        for k in 0..r {
+            let a = lo[k].max(from);
+            let b = hi[k].max(a + 1).min(d.cols());
+            let mut best = a.min(d.cols() - 1);
+            let mut best_v = d.entry(mid, best).add(e.entry(best, k));
+            for j in best + 1..b {
+                let v = d.entry(mid, j).add(e.entry(j, k));
+                if v.total_lt(best_v) {
+                    best = j;
+                    best_v = v;
+                }
+            }
+            mid_arg[k] = best;
+            from = best;
+            let at = (mid - i0) * r + k;
+            index[at] = best;
+            value[at] = best_v;
+        }
+    }
+    let (top, rest) = index.split_at_mut((mid - i0) * r);
+    let bot_i = &mut rest[r..];
+    let (top_v, rest_v) = value.split_at_mut((mid - i0) * r);
+    let bot_v = &mut rest_v[r..];
+    // Upper planes: argmin(i,k) <= mid_arg[k]; lower: >= mid_arg[k].
+    let hi_top: Vec<usize> = mid_arg.iter().map(|&j| j + 1).collect();
+    let lo_bot = mid_arg;
+    if i1 - i0 > 8 {
+        rayon::join(
+            || dc(d, e, i0, mid, lo, &hi_top, r, top, top_v),
+            || dc(d, e, mid + 1, i1, &lo_bot, hi, r, bot_i, bot_v),
+        );
+    } else {
+        dc(d, e, i0, mid, lo, &hi_top, r, top, top_v);
+        dc(d, e, mid + 1, i1, &lo_bot, hi, r, bot_i, bot_v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monge_core::generators::random_monge_dense;
+    use monge_core::tube::{tube_maxima_brute, tube_minima_brute};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn plane_parallel_matches_brute() {
+        let mut rng = StdRng::seed_from_u64(60);
+        for &(p, q, r) in &[(1usize, 1usize, 1usize), (8, 5, 9), (16, 16, 16), (3, 20, 2)] {
+            let d = random_monge_dense(p, q, &mut rng);
+            let e = random_monge_dense(q, r, &mut rng);
+            assert_eq!(par_tube_maxima(&d, &e), tube_maxima_brute(&d, &e), "{p}x{q}x{r}");
+            assert_eq!(par_tube_minima(&d, &e), tube_minima_brute(&d, &e), "{p}x{q}x{r}");
+        }
+    }
+
+    #[test]
+    fn dc_matches_brute() {
+        let mut rng = StdRng::seed_from_u64(61);
+        for &(p, q, r) in &[(1usize, 4usize, 6usize), (20, 10, 20), (31, 7, 13)] {
+            let d = random_monge_dense(p, q, &mut rng);
+            let e = random_monge_dense(q, r, &mut rng);
+            assert_eq!(par_tube_minima_dc(&d, &e), tube_minima_brute(&d, &e), "{p}x{q}x{r}");
+        }
+    }
+
+    #[test]
+    fn dc_and_plane_agree_on_ties() {
+        use monge_core::array2d::Dense;
+        let d = Dense::filled(6, 7, 1i64);
+        let e = Dense::filled(7, 5, 2i64);
+        let a = par_tube_minima(&d, &e);
+        let b = par_tube_minima_dc(&d, &e);
+        assert_eq!(a, b);
+        assert!(a.index.iter().all(|&j| j == 0));
+    }
+}

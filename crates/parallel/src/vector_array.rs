@@ -1,0 +1,65 @@
+//! Rank-structured arrays for distributed-memory engines.
+//!
+//! §3's machine model: "we assume there are two vectors `v[1], …, v[m]`
+//! and `w[1], …, w[n]` (where initially the `i`-th hypercube processor's
+//! local memory holds `v[i]` and `w[i]`), such that a processor needs to
+//! know both `v[i]` and `w[j]` before it can compute `a[i,j]` in constant
+//! time." [`VectorArray`] is that model: an array whose entries are a
+//! function of one row datum and one column datum.
+
+use monge_core::array2d::Array2d;
+use monge_core::value::Value;
+
+/// An `m × n` array `a[i,j] = g(v[i], w[j])`.
+///
+/// This is both a perfectly ordinary [`Array2d`] (for the shared-memory
+/// engines) and the *only* array form the hypercube engines accept,
+/// because it pins down what data must move through the network.
+#[derive(Clone, Debug)]
+pub struct VectorArray<T, G> {
+    /// Per-row data `v[i]`.
+    pub v: Vec<T>,
+    /// Per-column data `w[j]`.
+    pub w: Vec<T>,
+    /// The constant-time entry function `g`.
+    pub g: G,
+}
+
+impl<T: Value, G: Fn(T, T) -> T + Sync> VectorArray<T, G> {
+    /// Wraps row data, column data and an entry function.
+    pub fn new(v: Vec<T>, w: Vec<T>, g: G) -> Self {
+        assert!(!v.is_empty() && !w.is_empty());
+        Self { v, w, g }
+    }
+}
+
+impl<T: Value, G: Fn(T, T) -> T + Sync> Array2d<T> for VectorArray<T, G> {
+    fn rows(&self) -> usize {
+        self.v.len()
+    }
+    fn cols(&self) -> usize {
+        self.w.len()
+    }
+    #[inline]
+    fn entry(&self, i: usize, j: usize) -> T {
+        (self.g)(self.v[i], self.w[j])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monge_core::monge::is_monge;
+
+    #[test]
+    fn sorted_difference_family_is_monge() {
+        // |v_i - w_j| over sorted vectors: Monge's 1781 example.
+        let v: Vec<i64> = vec![1, 4, 9, 16];
+        let w: Vec<i64> = vec![0, 2, 8, 20];
+        let a = VectorArray::new(v, w, |x: i64, y: i64| (x - y).abs());
+        assert!(is_monge(&a));
+        assert_eq!(a.entry(2, 1), 7);
+        assert_eq!(a.rows(), 4);
+        assert_eq!(a.cols(), 4);
+    }
+}

@@ -1,0 +1,118 @@
+//! Cross-engine agreement: the sequential (SMAWK / divide & conquer),
+//! rayon, PRAM and hypercube engines must return identical argmin/argmax
+//! vectors — same optima *and* same leftmost tie-breaking — on the same
+//! certified random instances.
+
+use monge_core::generators::{
+    apply_staircase, random_monge_dense, random_staircase_boundary,
+};
+use monge_core::monge::{brute_row_maxima, brute_row_minima};
+use monge_core::smawk::{row_maxima_monge, row_minima_monge};
+use monge_core::staircase::staircase_row_minima;
+use monge_core::tube::{tube_maxima, tube_minima};
+use monge_core::Array2d;
+use monge_parallel::pram_monge::{pram_row_maxima_monge, pram_row_minima_monge};
+use monge_parallel::pram_staircase::pram_staircase_row_minima;
+use monge_parallel::pram_tube::{pram_tube_maxima, pram_tube_minima};
+use monge_parallel::rayon_monge::{par_row_maxima_monge, par_row_minima_monge};
+use monge_parallel::rayon_staircase::par_staircase_row_minima;
+use monge_parallel::rayon_tube::{par_tube_maxima, par_tube_minima, par_tube_minima_dc};
+use monge_parallel::MinPrimitive;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn dims() -> impl Strategy<Value = (usize, usize)> {
+    (1usize..20, 1usize..20)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn row_minima_engines_agree((m, n) in dims(), seed in any::<u64>()) {
+        let a = random_monge_dense(m, n, &mut StdRng::seed_from_u64(seed));
+        let seq = row_minima_monge(&a).index;
+        prop_assert_eq!(&seq, &brute_row_minima(&a));
+        prop_assert_eq!(&seq, &par_row_minima_monge(&a).index);
+        prop_assert_eq!(&seq, &pram_row_minima_monge(&a, MinPrimitive::DoublyLog).index);
+        prop_assert_eq!(&seq, &pram_row_minima_monge(&a, MinPrimitive::Tree).index);
+    }
+
+    #[test]
+    fn row_maxima_engines_agree((m, n) in dims(), seed in any::<u64>()) {
+        let a = random_monge_dense(m, n, &mut StdRng::seed_from_u64(seed));
+        let seq = row_maxima_monge(&a).index;
+        prop_assert_eq!(&seq, &brute_row_maxima(&a));
+        prop_assert_eq!(&seq, &par_row_maxima_monge(&a).index);
+        prop_assert_eq!(&seq, &pram_row_maxima_monge(&a, MinPrimitive::Constant).index);
+    }
+
+    #[test]
+    fn staircase_engines_agree((m, n) in dims(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = random_monge_dense(m, n, &mut rng);
+        let f = random_staircase_boundary(m, n, &mut rng);
+        let a = apply_staircase(&base, &f);
+        let seq = staircase_row_minima(&a, &f);
+        prop_assert_eq!(&seq, &par_staircase_row_minima(&a, &f));
+        prop_assert_eq!(
+            &seq,
+            &pram_staircase_row_minima(&a, &f, MinPrimitive::DoublyLog).index
+        );
+    }
+
+    #[test]
+    fn tube_engines_agree(p in 1usize..10, q in 1usize..10, r in 1usize..10,
+                          seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = random_monge_dense(p, q, &mut rng);
+        let e = random_monge_dense(q, r, &mut rng);
+        let seq_min = tube_minima(&d, &e);
+        let seq_max = tube_maxima(&d, &e);
+        prop_assert_eq!(&seq_min, &par_tube_minima(&d, &e));
+        prop_assert_eq!(&seq_min, &par_tube_minima_dc(&d, &e));
+        prop_assert_eq!(&seq_max, &par_tube_maxima(&d, &e));
+        prop_assert_eq!(&seq_min, &pram_tube_minima(&d, &e, MinPrimitive::DoublyLog).extrema);
+        prop_assert_eq!(&seq_max, &pram_tube_maxima(&d, &e, MinPrimitive::DoublyLog).extrema);
+    }
+}
+
+/// Hypercube engines run on the `VectorArray` model, so they get their
+/// own generator (sorted-transport family) and a smaller case count
+/// (network simulation is the slowest engine).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn hypercube_engines_agree((m, n) in (1usize..16, 1usize..16), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut v: Vec<i64> = (0..m).map(|_| rng.random_range(0..1_000)).collect();
+        let mut w: Vec<i64> = (0..n).map(|_| rng.random_range(0..1_000)).collect();
+        v.sort_unstable();
+        w.sort_unstable();
+        let a = monge_parallel::VectorArray::new(v, w, |x: i64, y: i64| (x - y).abs());
+        let seq_min = row_minima_monge(&a).index;
+        let seq_max = row_maxima_monge(&a).index;
+        prop_assert_eq!(&seq_min, &monge_parallel::hc_monge::hc_row_minima(&a).index);
+        prop_assert_eq!(&seq_max, &monge_parallel::hc_monge::hc_row_maxima(&a).index);
+
+        // Staircase variant of the same instance.
+        let f = random_staircase_boundary(m, n, &mut rng);
+        let run = monge_parallel::hc_staircase::hc_staircase_row_minima(&a, &f);
+        let dense = monge_core::array2d::Dense::tabulate(m, n, |i, j| {
+            if j < f[i] { a.entry(i, j) } else { <i64 as monge_core::Value>::INFINITY }
+        });
+        prop_assert_eq!(&run.index, &staircase_row_minima(&dense, &f));
+    }
+
+    #[test]
+    fn hypercube_tube_agrees(p in 1usize..8, q in 1usize..8, r in 1usize..8,
+                             seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = random_monge_dense(p, q, &mut rng);
+        let e = random_monge_dense(q, r, &mut rng);
+        let run = monge_parallel::hc_tube::hc_tube_minima(&d, &e);
+        prop_assert_eq!(&run.extrema, &tube_minima(&d, &e));
+    }
+}

@@ -1,0 +1,68 @@
+//! # monge-pram
+//!
+//! A synchronous PRAM simulator. The paper's §2 algorithms are stated for
+//! CRCW- and CREW-PRAMs; since no such machine exists, this crate builds
+//! one in software, with the accounting needed to *measure* the paper's
+//! claims: parallel time (steps), work (processor-steps), and peak
+//! processor demand.
+//!
+//! ## Model
+//!
+//! A [`machine::Pram`] owns a shared memory of cells. One **step** runs a
+//! per-processor closure for every scheduled processor: all reads observe
+//! the memory as it was at the beginning of the step (synchronous
+//! semantics), each processor may issue at most one write, and writes are
+//! applied at the end of the step under the machine's
+//! [`machine::Mode`]:
+//!
+//! * `Erew` — concurrent reads **and** writes to the same cell are model
+//!   violations;
+//! * `Crew` — concurrent reads allowed, concurrent writes are violations;
+//! * `Crcw(policy)` — concurrent writes resolved by a
+//!   [`machine::WritePolicy`]: `Common` (all written values must agree),
+//!   `Arbitrary`/`Priority` (lowest processor id wins), `Min`/`Max`
+//!   (combining write, the primitive behind constant-time extrema).
+//!
+//! Violations panic in strict mode (the default) and are tallied in
+//! [`metrics::Metrics`] otherwise.
+//!
+//! ## Fork/join accounting
+//!
+//! The paper's algorithms solve many independent subproblems "in
+//! parallel". The simulator executes branches sequentially but accounts
+//! for them in parallel: within a [`machine::Pram::fork`]…
+//! [`machine::Pram::join`] section, elapsed steps are the **maximum**
+//! over branches while work accumulates additively — exactly the PRAM
+//! cost of running the branches side by side on disjoint processors.
+//!
+//! ## Primitives
+//!
+//! [`ops`] implements the standard toolkit the paper's proofs lean on:
+//! broadcast, tree reductions, (segmented) parallel prefix, Blelloch's
+//! work-efficient EREW scan, list ranking, and the doubly-logarithmic
+//! and constant-time CRCW minimum.
+//!
+//! ```
+//! use monge_pram::{Mode, Pram};
+//! use monge_pram::ops::{tree_min, VI};
+//!
+//! // Find the leftmost minimum of eight values on a simulated CREW
+//! // machine and inspect the cost.
+//! let mut p = Pram::new(Mode::Crew);
+//! let cells: Vec<VI<i64>> = [5, 2, 8, 2, 9, 7, 1, 4]
+//!     .iter().enumerate().map(|(i, &v)| VI::new(v, i)).collect();
+//! let region = p.load(&cells);
+//! let at = tree_min(&mut p, region);
+//! assert_eq!(p.peek(at), VI::new(1, 6));
+//! assert_eq!(p.metrics().steps, 4); // 1 copy + ⌈lg 8⌉ halvings
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod machine;
+pub mod metrics;
+pub mod ops;
+
+pub use machine::{Mode, Pram, WritePolicy};
+pub use metrics::Metrics;

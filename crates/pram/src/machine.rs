@@ -1,0 +1,538 @@
+//! The synchronous PRAM machine.
+
+use crate::metrics::{ForkFrame, Metrics};
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// A shared-memory cell. Conflict policies need equality (for `Common`)
+/// and ordering (for `Min`/`Max` combining writes).
+pub trait Cell: Copy + PartialEq + PartialOrd + Debug + 'static {}
+impl<T: Copy + PartialEq + PartialOrd + Debug + 'static> Cell for T {}
+
+/// Concurrent-write resolution rule for CRCW machines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WritePolicy {
+    /// All processors writing one cell in one step must write the same
+    /// value; anything else is a violation.
+    Common,
+    /// An unspecified processor wins. The simulator deterministically
+    /// picks the lowest processor id so runs are reproducible.
+    Arbitrary,
+    /// The lowest-id processor wins (identical to the simulator's
+    /// `Arbitrary`, but a violation-free guarantee of the model).
+    Priority,
+    /// The minimum written value wins (combining CRCW) — the primitive
+    /// behind constant-time minimum with `n²` processors.
+    Min,
+    /// The maximum written value wins (combining CRCW).
+    Max,
+}
+
+/// PRAM access model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Exclusive-read exclusive-write.
+    Erew,
+    /// Concurrent-read exclusive-write.
+    Crew,
+    /// Concurrent-read concurrent-write under the given policy.
+    Crcw(WritePolicy),
+}
+
+impl Mode {
+    fn allows_concurrent_reads(self) -> bool {
+        !matches!(self, Mode::Erew)
+    }
+    fn allows_concurrent_writes(self) -> bool {
+        matches!(self, Mode::Crcw(_))
+    }
+}
+
+/// Per-processor view of the machine during one step.
+///
+/// Reads observe the pre-step memory; at most one write may be issued.
+pub struct Ctx<'a, C: Cell> {
+    proc: usize,
+    mem: &'a [C],
+    read_log: &'a mut Vec<usize>,
+    write: &'a mut Option<(usize, C)>,
+}
+
+impl<'a, C: Cell> Ctx<'a, C> {
+    /// The executing processor's id within this step.
+    pub fn proc(&self) -> usize {
+        self.proc
+    }
+
+    /// Reads the cell at `addr` (pre-step value).
+    pub fn read(&mut self, addr: usize) -> C {
+        self.read_log.push(addr);
+        self.mem[addr]
+    }
+
+    /// Issues this processor's write. Panics if the processor already
+    /// wrote this step (the model allows one write per step).
+    pub fn write(&mut self, addr: usize, value: C) {
+        assert!(
+            self.write.is_none(),
+            "processor {} issued two writes in one step",
+            self.proc
+        );
+        assert!(addr < self.mem.len(), "write out of bounds: {addr}");
+        *self.write = Some((addr, value));
+    }
+}
+
+/// The simulated machine. See the crate docs for the model.
+pub struct Pram<C: Cell> {
+    mem: Vec<C>,
+    mode: Mode,
+    strict: bool,
+    metrics: Metrics,
+    fork_stack: Vec<ForkFrame>,
+    // Scratch reused across steps to detect conflicts in O(accesses).
+    stamp: u64,
+    read_stamp: Vec<u64>,
+    write_stamp: Vec<u64>,
+    write_value: Vec<C>,
+    write_proc: Vec<usize>,
+}
+
+impl<C: Cell> Pram<C> {
+    /// Creates an empty machine in the given mode (strict: violations
+    /// panic).
+    pub fn new(mode: Mode) -> Self {
+        Self {
+            mem: Vec::new(),
+            mode,
+            strict: true,
+            metrics: Metrics::default(),
+            fork_stack: Vec::new(),
+            stamp: 0,
+            read_stamp: Vec::new(),
+            write_stamp: Vec::new(),
+            write_value: Vec::new(),
+            write_proc: Vec::new(),
+        }
+    }
+
+    /// Creates a machine that records violations in
+    /// [`Metrics::violations`] instead of panicking.
+    pub fn new_lenient(mode: Mode) -> Self {
+        let mut p = Self::new(mode);
+        p.strict = false;
+        p
+    }
+
+    /// The machine's access mode.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Cost counters accumulated so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Current memory size.
+    pub fn len(&self) -> usize {
+        self.mem.len()
+    }
+
+    /// Is the memory empty?
+    pub fn is_empty(&self) -> bool {
+        self.mem.is_empty()
+    }
+
+    /// Allocates `n` cells initialized to `init`; returns their address
+    /// range. Allocation is free (it models naming a region of the
+    /// machine's memory, not a timed operation).
+    pub fn alloc(&mut self, n: usize, init: C) -> Range<usize> {
+        let start = self.mem.len();
+        self.mem.resize(start + n, init);
+        self.read_stamp.resize(self.mem.len(), 0);
+        self.write_stamp.resize(self.mem.len(), 0);
+        self.write_value.resize(self.mem.len(), init);
+        self.write_proc.resize(self.mem.len(), 0);
+        start..self.mem.len()
+    }
+
+    /// Allocates and initializes cells from a slice (models the input
+    /// sitting in global memory, as §1.2 assumes for `D` and `E`).
+    pub fn load(&mut self, data: &[C]) -> Range<usize> {
+        let start = self.mem.len();
+        self.mem.extend_from_slice(data);
+        let init = *data.first().unwrap_or(&self.mem[0]);
+        self.read_stamp.resize(self.mem.len(), 0);
+        self.write_stamp.resize(self.mem.len(), 0);
+        self.write_value.resize(self.mem.len(), init);
+        self.write_proc.resize(self.mem.len(), 0);
+        start..self.mem.len()
+    }
+
+    /// Copies a memory region out of the machine (host-side, untimed).
+    pub fn read_out(&self, r: Range<usize>) -> Vec<C> {
+        self.mem[r].to_vec()
+    }
+
+    /// Host-side peek at one cell (untimed; for tests and result
+    /// extraction).
+    pub fn peek(&self, addr: usize) -> C {
+        self.mem[addr]
+    }
+
+    /// Host-side poke of one cell (untimed; for input staging only).
+    pub fn poke(&mut self, addr: usize, v: C) {
+        self.mem[addr] = v;
+    }
+
+    fn violation(&mut self, msg: &str) {
+        if self.strict {
+            panic!("PRAM model violation: {msg}");
+        }
+        self.metrics.violations += 1;
+    }
+
+    /// Executes one synchronous step on processors `0..procs`.
+    ///
+    /// `f(ctx)` runs once per processor; all reads see pre-step memory and
+    /// writes apply at the end under the machine's mode. Costs: 1 step
+    /// (more under an enclosing fork: see [`Pram::fork`]), `procs` work.
+    pub fn step(&mut self, procs: usize, mut f: impl FnMut(&mut Ctx<'_, C>)) {
+        if procs == 0 {
+            return;
+        }
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let mut read_log: Vec<usize> = Vec::new();
+        let mut concurrent_read = false;
+        let mut concurrent_write = false;
+        let mut pending: Vec<(usize, C, usize)> = Vec::new(); // (addr, value, proc)
+        let mut written: Vec<usize> = Vec::new();
+
+        for proc in 0..procs {
+            read_log.clear();
+            let mut write = None;
+            {
+                let mut ctx = Ctx {
+                    proc,
+                    mem: &self.mem,
+                    read_log: &mut read_log,
+                    write: &mut write,
+                };
+                f(&mut ctx);
+            }
+            self.metrics.reads += read_log.len() as u64;
+            for &addr in read_log.iter() {
+                if self.read_stamp[addr] == stamp {
+                    concurrent_read = true;
+                } else {
+                    self.read_stamp[addr] = stamp;
+                }
+            }
+            if let Some((addr, value)) = write {
+                pending.push((addr, value, proc));
+            }
+        }
+
+        if concurrent_read {
+            self.metrics.concurrent_read_events += 1;
+            if !self.mode.allows_concurrent_reads() {
+                self.violation("concurrent read on an EREW machine");
+            }
+        }
+
+        // Resolve writes. Processors were iterated in id order, so the
+        // first pending write to a cell is the lowest-id processor's.
+        for (addr, value, _proc) in pending {
+            if self.write_stamp[addr] == stamp {
+                concurrent_write = true;
+                if !self.mode.allows_concurrent_writes() {
+                    self.violation("concurrent write on a non-CRCW machine");
+                }
+                if let Mode::Crcw(policy) = self.mode {
+                    let cur = self.write_value[addr];
+                    let new = match policy {
+                        WritePolicy::Common => {
+                            if cur != value {
+                                self.violation(
+                                    "Common CRCW processors disagreed on a written value",
+                                );
+                            }
+                            cur
+                        }
+                        WritePolicy::Arbitrary | WritePolicy::Priority => cur,
+                        WritePolicy::Min => {
+                            if value < cur {
+                                value
+                            } else {
+                                cur
+                            }
+                        }
+                        WritePolicy::Max => {
+                            if value > cur {
+                                value
+                            } else {
+                                cur
+                            }
+                        }
+                    };
+                    self.write_value[addr] = new;
+                }
+            } else {
+                self.write_stamp[addr] = stamp;
+                self.write_value[addr] = value;
+                written.push(addr);
+            }
+        }
+        if concurrent_write {
+            self.metrics.concurrent_write_events += 1;
+        }
+        // Commit (only the cells actually written this step).
+        for &addr in &written {
+            self.mem[addr] = self.write_value[addr];
+        }
+        self.metrics.writes += written.len() as u64;
+
+        self.metrics.steps += 1;
+        self.metrics.work += procs as u64;
+        if procs as u64 > self.metrics.peak_processors {
+            self.metrics.peak_processors = procs as u64;
+        }
+    }
+
+    // ----- fork/join accounting --------------------------------------
+
+    /// Opens a parallel section. Branches executed between `fork` and
+    /// [`Pram::join`], each terminated by [`Pram::branch_done`],
+    /// contribute the *maximum* of their step counts to the critical path
+    /// (work still accumulates additively).
+    pub fn fork(&mut self) {
+        self.fork_stack.push(ForkFrame {
+            base_steps: self.metrics.steps,
+            max_branch_steps: 0,
+        });
+    }
+
+    /// Marks the end of the current branch within the innermost fork:
+    /// rewinds the step clock to the fork point after recording this
+    /// branch's contribution.
+    pub fn branch_done(&mut self) {
+        let frame = self
+            .fork_stack
+            .last_mut()
+            .expect("branch_done outside a fork");
+        let delta = self.metrics.steps - frame.base_steps;
+        if delta > frame.max_branch_steps {
+            frame.max_branch_steps = delta;
+        }
+        self.metrics.steps = frame.base_steps;
+    }
+
+    /// Closes the innermost parallel section, advancing the step clock by
+    /// the longest branch.
+    pub fn join(&mut self) {
+        let frame = self.fork_stack.pop().expect("join without fork");
+        debug_assert_eq!(
+            self.metrics.steps, frame.base_steps,
+            "join called with an unterminated branch (missing branch_done?)"
+        );
+        self.metrics.steps = frame.base_steps + frame.max_branch_steps;
+    }
+
+    /// Convenience: runs `branches` as a fork/join section.
+    #[allow(clippy::type_complexity)]
+    pub fn parallel(&mut self, branches: Vec<Box<dyn FnOnce(&mut Self) + '_>>) {
+        self.fork();
+        for b in branches {
+            b(self);
+            self.branch_done();
+        }
+        self.join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_is_synchronous() {
+        // Parallel swap: both processors read pre-step values.
+        let mut p = Pram::new(Mode::Erew);
+        let r = p.load(&[1i64, 2]);
+        p.step(2, |ctx| {
+            let me = ctx.proc();
+            let other = ctx.read(r.start + 1 - me);
+            ctx.write(r.start + me, other);
+        });
+        assert_eq!(p.read_out(r), vec![2, 1]);
+        assert_eq!(p.metrics().steps, 1);
+        assert_eq!(p.metrics().work, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "concurrent read")]
+    fn erew_detects_concurrent_reads() {
+        let mut p = Pram::new(Mode::Erew);
+        let r = p.load(&[7i64, 0, 0]);
+        p.step(2, |ctx| {
+            let v = ctx.read(r.start);
+            ctx.write(r.start + 1 + ctx.proc(), v);
+        });
+    }
+
+    #[test]
+    fn crew_allows_concurrent_reads() {
+        let mut p = Pram::new(Mode::Crew);
+        let r = p.load(&[7i64, 0, 0]);
+        p.step(2, |ctx| {
+            let v = ctx.read(r.start);
+            ctx.write(r.start + 1 + ctx.proc(), v);
+        });
+        assert_eq!(p.read_out(r), vec![7, 7, 7]);
+        assert_eq!(p.metrics().concurrent_read_events, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "concurrent write")]
+    fn crew_detects_concurrent_writes() {
+        let mut p = Pram::new(Mode::Crew);
+        let r = p.load(&[0i64]);
+        p.step(2, |ctx| {
+            let me = ctx.proc() as i64;
+            ctx.write(r.start, me);
+        });
+    }
+
+    #[test]
+    fn crcw_min_policy_combines() {
+        let mut p = Pram::new(Mode::Crcw(WritePolicy::Min));
+        let r = p.load(&[100i64]);
+        p.step(4, |ctx| {
+            let v = [5i64, 3, 9, 3][ctx.proc()];
+            ctx.write(r.start, v);
+        });
+        assert_eq!(p.peek(r.start), 3);
+        assert_eq!(p.metrics().concurrent_write_events, 1);
+    }
+
+    #[test]
+    fn crcw_max_policy_combines() {
+        let mut p = Pram::new(Mode::Crcw(WritePolicy::Max));
+        let r = p.load(&[-100i64]);
+        p.step(3, |ctx| ctx.write(r.start, ctx.proc() as i64));
+        assert_eq!(p.peek(r.start), 2);
+    }
+
+    #[test]
+    fn crcw_priority_lowest_proc_wins() {
+        let mut p = Pram::new(Mode::Crcw(WritePolicy::Priority));
+        let r = p.load(&[0i64]);
+        p.step(3, |ctx| ctx.write(r.start, 10 + ctx.proc() as i64));
+        assert_eq!(p.peek(r.start), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagreed")]
+    fn crcw_common_requires_agreement() {
+        let mut p = Pram::new(Mode::Crcw(WritePolicy::Common));
+        let r = p.load(&[0i64]);
+        p.step(2, |ctx| ctx.write(r.start, ctx.proc() as i64));
+    }
+
+    #[test]
+    fn crcw_common_accepts_agreement() {
+        let mut p = Pram::new(Mode::Crcw(WritePolicy::Common));
+        let r = p.load(&[0i64]);
+        p.step(8, |ctx| ctx.write(r.start, 42));
+        assert_eq!(p.peek(r.start), 42);
+    }
+
+    #[test]
+    fn lenient_mode_counts_violations() {
+        let mut p = Pram::new_lenient(Mode::Erew);
+        let r = p.load(&[7i64, 0, 0]);
+        p.step(2, |ctx| {
+            let v = ctx.read(r.start);
+            ctx.write(r.start + 1 + ctx.proc(), v);
+        });
+        assert_eq!(p.metrics().violations, 1);
+    }
+
+    #[test]
+    fn fork_join_takes_max_of_branches() {
+        let mut p = Pram::new(Mode::Crew);
+        let r = p.alloc(4, 0i64);
+        p.fork();
+        // Branch 1: 3 steps.
+        for _ in 0..3 {
+            p.step(1, |ctx| ctx.write(r.start, 1));
+        }
+        p.branch_done();
+        // Branch 2: 5 steps.
+        for _ in 0..5 {
+            p.step(1, |ctx| ctx.write(r.start + 1, 2));
+        }
+        p.branch_done();
+        p.join();
+        assert_eq!(p.metrics().steps, 5);
+        assert_eq!(p.metrics().work, 8);
+    }
+
+    #[test]
+    fn nested_forks() {
+        let mut p = Pram::new(Mode::Crew);
+        let r = p.alloc(2, 0i64);
+        p.fork();
+        {
+            p.fork();
+            p.step(1, |ctx| ctx.write(r.start, 1));
+            p.branch_done();
+            p.step(1, |ctx| ctx.write(r.start, 2));
+            p.step(1, |ctx| ctx.write(r.start, 3));
+            p.branch_done();
+            p.join(); // inner: 2 steps
+        }
+        p.branch_done();
+        p.step(1, |ctx| ctx.write(r.start + 1, 9));
+        p.branch_done();
+        p.join(); // max(2, 1) = 2
+        assert_eq!(p.metrics().steps, 2);
+    }
+
+    #[test]
+    fn work_and_peak_processors() {
+        let mut p = Pram::new(Mode::Crew);
+        let r = p.alloc(16, 0i64);
+        p.step(16, |ctx| {
+            let me = ctx.proc();
+            ctx.write(r.start + me, me as i64);
+        });
+        p.step(4, |ctx| {
+            let me = ctx.proc();
+            let _ = ctx.read(r.start + me);
+        });
+        assert_eq!(p.metrics().peak_processors, 16);
+        assert_eq!(p.metrics().work, 20);
+        assert_eq!(p.metrics().steps, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "two writes")]
+    fn double_write_is_rejected() {
+        let mut p = Pram::new(Mode::Crew);
+        let r = p.alloc(2, 0i64);
+        p.step(1, |ctx| {
+            ctx.write(r.start, 1);
+            ctx.write(r.start + 1, 2);
+        });
+    }
+
+    #[test]
+    fn zero_processor_step_is_free() {
+        let mut p = Pram::<i64>::new(Mode::Crew);
+        p.step(0, |_| unreachable!());
+        assert_eq!(p.metrics().steps, 0);
+    }
+}

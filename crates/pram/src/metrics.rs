@@ -1,0 +1,73 @@
+//! Step / work / processor accounting — the quantities the paper's
+//! Tables 1.1–1.3 are stated in.
+
+/// Aggregated cost counters of a simulated PRAM execution.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Parallel time: number of synchronous steps on the critical path
+    /// (fork/join sections contribute the maximum over their branches).
+    pub steps: u64,
+    /// Work: total processor-steps scheduled (`Σ active processors`).
+    pub work: u64,
+    /// Largest number of processors scheduled in any single step,
+    /// including processors conceptually running in sibling fork branches.
+    pub peak_processors: u64,
+    /// Total shared-memory reads.
+    pub reads: u64,
+    /// Total shared-memory writes (after conflict resolution, one per
+    /// written cell per step).
+    pub writes: u64,
+    /// Steps in which at least two processors read the same cell.
+    pub concurrent_read_events: u64,
+    /// Steps in which at least two processors wrote the same cell.
+    pub concurrent_write_events: u64,
+    /// Model violations observed (only populated in non-strict mode;
+    /// strict mode panics instead).
+    pub violations: u64,
+}
+
+impl Metrics {
+    /// The processor-time product `steps × peak_processors`, the paper's
+    /// headline efficiency figure.
+    pub fn processor_time_product(&self) -> u64 {
+        self.steps.saturating_mul(self.peak_processors)
+    }
+}
+
+/// A snapshot used by fork/join sections to combine branch costs.
+///
+/// Note on `peak_processors`: inside a fork section the simulator runs
+/// branches one after another, so the recorded peak is the largest
+/// *single-step* processor count, a lower bound on the true concurrent
+/// demand. The engines report their analytical processor budgets
+/// alongside (see `monge-parallel`).
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct ForkFrame {
+    /// `steps` at the time of the fork.
+    pub base_steps: u64,
+    /// Maximum branch step delta seen so far.
+    pub max_branch_steps: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn product_saturates() {
+        let m = Metrics {
+            steps: u64::MAX,
+            peak_processors: 2,
+            ..Default::default()
+        };
+        assert_eq!(m.processor_time_product(), u64::MAX);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        let m = Metrics::default();
+        assert_eq!(m.steps, 0);
+        assert_eq!(m.work, 0);
+        assert_eq!(m.violations, 0);
+    }
+}

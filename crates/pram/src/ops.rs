@@ -1,0 +1,665 @@
+//! Standard PRAM primitives: broadcast, tree reduction, parallel prefix,
+//! and the three minimum-finding routines whose step counts the paper's
+//! bounds hinge on:
+//!
+//! | routine | model | steps | processors |
+//! |---|---|---|---|
+//! | [`tree_reduce`] | EREW+ | `⌈lg n⌉ + 1` | `n/2` |
+//! | [`crcw_min_doubly_log`] | CRCW (Common/Arbitrary/Priority) | `O(lg lg n)` | `n` |
+//! | [`crcw_min_quadratic`] | CRCW (Common/Arbitrary/Priority) | `O(1)` | `n²/2` |
+//! | [`combining_min`] | CRCW (`Min` policy) | `1` | `n` |
+//!
+//! The doubly-logarithmic routine is the accelerated-cascade scheme of
+//! Valiant / Shiloach–Vishkin: one halving round, then rounds with group
+//! size `g = budget / m`, squaring the reduction ratio each time.
+
+use crate::machine::{Cell, Mode, Pram, WritePolicy};
+use std::ops::Range;
+
+/// A `(value, index)` cell whose derived lexicographic order makes
+/// "minimum with leftmost tie-break" a plain `<` comparison — the cell
+/// type used by the array-searching engines.
+#[derive(Clone, Copy, Debug, PartialEq, PartialOrd)]
+pub struct VI<T> {
+    /// The compared value.
+    pub v: T,
+    /// The value's origin (column index), breaking ties leftward.
+    pub i: i64,
+}
+
+impl<T> VI<T> {
+    /// Creates a `(value, index)` cell.
+    pub fn new(v: T, i: usize) -> Self {
+        Self { v, i: i as i64 }
+    }
+}
+
+/// Copies `src` into `dst` in one step with `len` processors.
+pub fn copy_region<C: Cell>(p: &mut Pram<C>, src: Range<usize>, dst: Range<usize>) {
+    assert_eq!(src.len(), dst.len());
+    let n = src.len();
+    let (s0, d0) = (src.start, dst.start);
+    p.step(n, |ctx| {
+        let k = ctx.proc();
+        let v = ctx.read(s0 + k);
+        ctx.write(d0 + k, v);
+    });
+}
+
+/// Broadcasts the cell at `src` to every cell of `dst`.
+///
+/// On CREW/CRCW machines this is a single concurrent-read step with
+/// `dst.len()` processors; on EREW it is the classical doubling tree in
+/// `⌈lg n⌉ + 1` exclusive steps.
+pub fn broadcast<C: Cell>(p: &mut Pram<C>, src: usize, dst: Range<usize>) {
+    let n = dst.len();
+    if n == 0 {
+        return;
+    }
+    let d0 = dst.start;
+    if p.mode() != Mode::Erew {
+        p.step(n, |ctx| {
+            let v = ctx.read(src);
+            ctx.write(d0 + ctx.proc(), v);
+        });
+        return;
+    }
+    // EREW doubling.
+    p.step(1, |ctx| {
+        let v = ctx.read(src);
+        ctx.write(d0, v);
+    });
+    let mut have = 1usize;
+    while have < n {
+        let copy = have.min(n - have);
+        p.step(copy, |ctx| {
+            let k = ctx.proc();
+            let v = ctx.read(d0 + k);
+            ctx.write(d0 + have + k, v);
+        });
+        have += copy;
+    }
+}
+
+/// Tree reduction of `region` by a combining function, in `⌈lg n⌉` steps
+/// after a 1-step copy into scratch. Returns the address holding the
+/// result. Works on every mode (accesses are exclusive).
+pub fn tree_reduce<C: Cell>(
+    p: &mut Pram<C>,
+    region: Range<usize>,
+    combine: impl Fn(C, C) -> C + Copy,
+) -> usize {
+    let n = region.len();
+    assert!(n > 0, "reduce over an empty region");
+    let scratch = p.alloc(n, p.peek(region.start));
+    copy_region(p, region, scratch.clone());
+    let s0 = scratch.start;
+    let mut m = n;
+    while m > 1 {
+        let pairs = m / 2;
+        let odd = m % 2 == 1;
+        p.step(pairs + usize::from(odd), |ctx| {
+            let k = ctx.proc();
+            if k < pairs {
+                let a = ctx.read(s0 + 2 * k);
+                let b = ctx.read(s0 + 2 * k + 1);
+                ctx.write(s0 + k, combine(a, b));
+            } else {
+                // Odd leftover rides along to position pairs.
+                let v = ctx.read(s0 + m - 1);
+                ctx.write(s0 + pairs, v);
+            }
+        });
+        m = pairs + usize::from(odd);
+    }
+    s0
+}
+
+/// Minimum (with leftmost tie-break when `C = VI<_>`) by tree reduction.
+pub fn tree_min<C: Cell>(p: &mut Pram<C>, region: Range<usize>) -> usize {
+    tree_reduce(p, region, |a, b| if b < a { b } else { a })
+}
+
+/// Inclusive parallel prefix (Hillis–Steele): `⌈lg n⌉` steps with `n`
+/// processors. Requires concurrent reads (CREW or CRCW).
+pub fn scan_inclusive<C: Cell>(
+    p: &mut Pram<C>,
+    region: Range<usize>,
+    combine: impl Fn(C, C) -> C + Copy,
+) {
+    assert!(
+        p.mode() != Mode::Erew,
+        "scan_inclusive requires concurrent reads; use an EREW-specific scan"
+    );
+    let n = region.len();
+    let r0 = region.start;
+    let mut d = 1usize;
+    while d < n {
+        p.step(n, |ctx| {
+            let k = ctx.proc();
+            if k >= d {
+                let a = ctx.read(r0 + k - d);
+                let b = ctx.read(r0 + k);
+                ctx.write(r0 + k, combine(a, b));
+            }
+        });
+        d *= 2;
+    }
+}
+
+/// Work-efficient exclusive prefix scan (Blelloch): up-sweep then
+/// down-sweep over a balanced tree — `2⌈lg n⌉ + O(1)` steps, `O(n)` work,
+/// and every access is exclusive, so it runs on an **EREW** machine
+/// (unlike the `n lg n`-work [`scan_inclusive`], which needs concurrent
+/// reads). `identity` is the combine's neutral element. The region length
+/// must be a power of two.
+pub fn scan_exclusive_blelloch<C: Cell>(
+    p: &mut Pram<C>,
+    region: Range<usize>,
+    identity: C,
+    combine: impl Fn(C, C) -> C + Copy,
+) {
+    let n = region.len();
+    assert!(n.is_power_of_two(), "Blelloch scan needs a power-of-two length");
+    let r0 = region.start;
+    // Up-sweep.
+    let mut d = 1usize;
+    while d < n {
+        let stride = 2 * d;
+        p.step(n / stride, |ctx| {
+            let k = ctx.proc() * stride;
+            let a = ctx.read(r0 + k + d - 1);
+            let b = ctx.read(r0 + k + stride - 1);
+            ctx.write(r0 + k + stride - 1, combine(a, b));
+        });
+        d = stride;
+    }
+    // Clear the root.
+    p.step(1, |ctx| ctx.write(r0 + n - 1, identity));
+    // Down-sweep. Each level swaps the left child with the node value and
+    // writes combine(left, node) to the right child; since a processor
+    // may issue only one write per step, the swap is staged through a
+    // scratch region over three exclusive steps.
+    let scratch = p.alloc(n.max(1) / 2, identity);
+    let s0 = scratch.start;
+    let mut d = n / 2;
+    while d >= 1 {
+        let stride = 2 * d;
+        let procs = n / stride;
+        p.step(procs, |ctx| {
+            let k = ctx.proc();
+            let left = ctx.read(r0 + k * stride + d - 1);
+            ctx.write(s0 + k, left);
+        });
+        p.step(procs, |ctx| {
+            let k = ctx.proc();
+            let root = ctx.read(r0 + k * stride + stride - 1);
+            ctx.write(r0 + k * stride + d - 1, root);
+        });
+        p.step(procs, |ctx| {
+            let k = ctx.proc();
+            let left = ctx.read(s0 + k);
+            let root = ctx.read(r0 + k * stride + stride - 1);
+            ctx.write(r0 + k * stride + stride - 1, combine(left, root));
+        });
+        d /= 2;
+    }
+}
+
+/// Constant-time CRCW minimum with `n(n-1)/2 + 2n` processor-steps across
+/// exactly 3 steps: clear loser flags, mark losers pairwise, winner
+/// writes. Needs any CRCW policy (all concurrent writes agree). `flag_one`
+/// must differ from `flag_zero`.
+pub fn crcw_min_quadratic<C: Cell>(
+    p: &mut Pram<C>,
+    region: Range<usize>,
+    dst: usize,
+    flag_zero: C,
+    flag_one: C,
+) {
+    assert!(matches!(p.mode(), Mode::Crcw(_)), "requires a CRCW machine");
+    let n = region.len();
+    assert!(n > 0);
+    let r0 = region.start;
+    let flags = p.alloc(n, flag_zero);
+    let f0 = flags.start;
+    p.step(n, |ctx| ctx.write(f0 + ctx.proc(), flag_zero));
+    let pairs = n * (n - 1) / 2;
+    if pairs > 0 {
+        p.step(pairs, |ctx| {
+            let (x, y) = decode_pair(ctx.proc());
+            let a = ctx.read(r0 + x);
+            let b = ctx.read(r0 + y);
+            // x < y; the later element loses ties, keeping the leftmost.
+            if b < a {
+                ctx.write(f0 + x, flag_one);
+            } else {
+                ctx.write(f0 + y, flag_one);
+            }
+        });
+    }
+    p.step(n, |ctx| {
+        let k = ctx.proc();
+        if ctx.read(f0 + k) == flag_zero {
+            let v = ctx.read(r0 + k);
+            ctx.write(dst, v);
+        }
+    });
+}
+
+/// Decodes processor id `t` into the `t`-th pair `(x, y)`, `x < y`, in
+/// colexicographic order.
+fn decode_pair(t: usize) -> (usize, usize) {
+    // y is the largest integer with y(y-1)/2 <= t.
+    let mut y = (((8 * t + 1) as f64).sqrt() as usize).div_ceil(2);
+    while y * (y + 1) / 2 > t {
+        y -= 1;
+    }
+    while (y + 1) * (y + 2) / 2 <= t {
+        y += 1;
+    }
+    let y = y + 1;
+    let x = t - y * (y - 1) / 2;
+    (x, y)
+}
+
+/// Doubly-logarithmic CRCW minimum: `O(lg lg n)` phases of 3 steps each
+/// with a processor budget of `max(n, budget)`, via accelerated cascades.
+/// Returns the address of the result.
+pub fn crcw_min_doubly_log<C: Cell>(
+    p: &mut Pram<C>,
+    region: Range<usize>,
+    flag_zero: C,
+    flag_one: C,
+) -> usize {
+    assert!(matches!(p.mode(), Mode::Crcw(_)), "requires a CRCW machine");
+    let n = region.len();
+    assert!(n > 0);
+    let budget = n.max(2);
+    // Candidates live in scratch[0..m].
+    let scratch = p.alloc(n, p.peek(region.start));
+    copy_region(p, region.clone(), scratch.clone());
+    let s0 = scratch.start;
+    let mut m = n;
+    while m > 1 {
+        let g = (budget / m).clamp(2, m);
+        let groups = m.div_ceil(g);
+        // Quadratic min inside every group simultaneously: one fused
+        // 3-step phase (clear, losers, winners → compacted prefix).
+        let flags = p.alloc(m, flag_zero);
+        let f0 = flags.start;
+        p.step(m, |ctx| ctx.write(f0 + ctx.proc(), flag_zero));
+        // Pairs within groups. The last group may be smaller.
+        let mut pair_count = 0usize;
+        let mut group_pairs = Vec::with_capacity(groups);
+        for gi in 0..groups {
+            let size = g.min(m - gi * g);
+            group_pairs.push((pair_count, gi, size));
+            pair_count += size * (size - 1) / 2;
+        }
+        if pair_count > 0 {
+            p.step(pair_count, |ctx| {
+                let t = ctx.proc();
+                // Locate the group (linear scan over groups is host-side
+                // decoding of the processor id, not a machine cost).
+                let gp = match group_pairs.binary_search_by(|&(base, _, _)| base.cmp(&t)) {
+                    Ok(idx) => idx,
+                    Err(idx) => idx - 1,
+                };
+                let (base, gi, _size) = group_pairs[gp];
+                let (x, y) = decode_pair(t - base);
+                let off = gi * g;
+                let a = ctx.read(s0 + off + x);
+                let b = ctx.read(s0 + off + y);
+                if b < a {
+                    ctx.write(f0 + off + x, flag_one);
+                } else {
+                    ctx.write(f0 + off + y, flag_one);
+                }
+            });
+        }
+        p.step(m, |ctx| {
+            let k = ctx.proc();
+            if ctx.read(f0 + k) == flag_zero {
+                let v = ctx.read(s0 + k);
+                ctx.write(s0 + k / g, v);
+            }
+        });
+        m = groups;
+    }
+    s0
+}
+
+/// List ranking by pointer jumping (Wyllie): given successor pointers in
+/// `next` (cell value = index within `next`, self-loop at the tail) and
+/// initial weights in `rank`, computes in `rank[i]` the sum of weights
+/// from `i`'s successor chain to the tail — `2⌈lg n⌉` steps with `n`
+/// processors on a CREW machine (reads concentrate at the tail).
+///
+/// This is the standard PRAM substrate under the paper's family of
+/// algorithms (e.g. processor allocation by list operations).
+pub fn list_rank(p: &mut Pram<i64>, next: Range<usize>, rank: Range<usize>) {
+    let n = next.len();
+    assert_eq!(rank.len(), n);
+    assert!(p.mode() != Mode::Erew, "pointer jumping needs concurrent reads");
+    if n == 0 {
+        return;
+    }
+    let (n0, r0) = (next.start, rank.start);
+    let mut hops = 1usize;
+    while hops < n {
+        // Step 1: rank[i] += rank[next[i]] (unless next[i] == i).
+        p.step(n, |ctx| {
+            let i = ctx.proc();
+            let nx = ctx.read(n0 + i) as usize;
+            if nx != i {
+                let a = ctx.read(r0 + i);
+                let b = ctx.read(r0 + nx);
+                ctx.write(r0 + i, a + b);
+            }
+        });
+        // Step 2: next[i] = next[next[i]].
+        p.step(n, |ctx| {
+            let i = ctx.proc();
+            let nx = ctx.read(n0 + i) as usize;
+            if nx != i {
+                let nn = ctx.read(n0 + nx);
+                ctx.write(n0 + i, nn);
+            }
+        });
+        hops *= 2;
+    }
+}
+
+/// Single-step minimum under the combining `Min` write policy with `n`
+/// processors. Returns the address of the result.
+pub fn combining_min<C: Cell>(p: &mut Pram<C>, region: Range<usize>) -> usize {
+    assert_eq!(
+        p.mode(),
+        Mode::Crcw(WritePolicy::Min),
+        "combining_min requires the Min write policy"
+    );
+    let n = region.len();
+    assert!(n > 0);
+    let dst = p.alloc(1, p.peek(region.start)).start;
+    let r0 = region.start;
+    p.step(n, |ctx| {
+        let v = ctx.read(r0 + ctx.proc());
+        ctx.write(dst, v);
+    });
+    dst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load_vi(p: &mut Pram<VI<i64>>, vals: &[i64]) -> Range<usize> {
+        let cells: Vec<VI<i64>> = vals.iter().enumerate().map(|(i, &v)| VI::new(v, i)).collect();
+        p.load(&cells)
+    }
+
+    const FZ: VI<i64> = VI { v: 0, i: 0 };
+    const FO: VI<i64> = VI { v: 0, i: 1 };
+
+    #[test]
+    fn decode_pair_enumerates_all_pairs() {
+        let mut seen = std::collections::HashSet::new();
+        for t in 0..45 {
+            let (x, y) = decode_pair(t);
+            assert!(x < y && y < 10, "bad pair ({x},{y}) at t={t}");
+            assert!(seen.insert((x, y)));
+        }
+        assert_eq!(seen.len(), 45);
+    }
+
+    #[test]
+    fn vi_order_is_lexicographic() {
+        assert!(VI::new(1i64, 5) < VI::new(2, 0));
+        assert!(VI::new(1i64, 0) < VI::new(1, 5));
+    }
+
+    #[test]
+    fn broadcast_crew_is_one_step() {
+        let mut p = Pram::new(Mode::Crew);
+        let src = p.load(&[9i64]);
+        let dst = p.alloc(8, 0);
+        broadcast(&mut p, src.start, dst.clone());
+        assert_eq!(p.read_out(dst), vec![9; 8]);
+        assert_eq!(p.metrics().steps, 1);
+    }
+
+    #[test]
+    fn broadcast_erew_is_logarithmic() {
+        let mut p = Pram::new(Mode::Erew);
+        let src = p.load(&[9i64]);
+        let dst = p.alloc(8, 0);
+        broadcast(&mut p, src.start, dst.clone());
+        assert_eq!(p.read_out(dst), vec![9; 8]);
+        assert_eq!(p.metrics().steps, 4); // 1 + lg 8
+    }
+
+    #[test]
+    fn tree_min_finds_leftmost_minimum() {
+        let mut p = Pram::new(Mode::Crew);
+        let r = load_vi(&mut p, &[5, 2, 8, 2, 9, 7]);
+        let at = tree_min(&mut p, r);
+        assert_eq!(p.peek(at), VI::new(2, 1));
+        // 1 copy + ceil(lg 6) = 3 halving steps.
+        assert_eq!(p.metrics().steps, 4);
+    }
+
+    #[test]
+    fn tree_reduce_handles_non_powers_of_two() {
+        for n in 1..40usize {
+            let mut p = Pram::new(Mode::Crew);
+            let vals: Vec<i64> = (0..n).map(|i| ((i * 7919) % 101) as i64).collect();
+            let r = load_vi(&mut p, &vals);
+            let at = tree_min(&mut p, r);
+            let want = vals
+                .iter()
+                .enumerate()
+                .min_by_key(|&(i, &v)| (v, i))
+                .map(|(i, &v)| VI::new(v, i))
+                .unwrap();
+            assert_eq!(p.peek(at), want, "n={n}");
+        }
+    }
+
+    #[test]
+    fn scan_inclusive_prefix_sums() {
+        let mut p = Pram::new(Mode::Crew);
+        let r = p.load(&[1i64, 2, 3, 4, 5]);
+        scan_inclusive(&mut p, r.clone(), |a, b| a + b);
+        assert_eq!(p.read_out(r), vec![1, 3, 6, 10, 15]);
+        assert_eq!(p.metrics().steps, 3); // ceil(lg 5)
+    }
+
+    #[test]
+    fn scan_inclusive_min() {
+        let mut p = Pram::new(Mode::Crew);
+        let r = p.load(&[4i64, 2, 7, 1, 9]);
+        scan_inclusive(&mut p, r.clone(), |a, b| a.min(b));
+        assert_eq!(p.read_out(r), vec![4, 2, 2, 1, 1]);
+    }
+
+    #[test]
+    fn blelloch_scan_is_erew_and_work_efficient() {
+        let mut p = Pram::new(Mode::Erew); // exclusive accesses only
+        let r = p.load(&[3i64, 1, 7, 0, 4, 1, 6, 3]);
+        scan_exclusive_blelloch(&mut p, r.clone(), 0, |a, b| a + b);
+        assert_eq!(p.read_out(r), vec![0, 3, 4, 11, 11, 15, 16, 22]);
+        // 2 up-sweep + 1 clear + 3x3 down-sweep steps at n = 8.
+        assert!(p.metrics().steps <= 3 + 3 * 3 + 1);
+        // Work O(n): Σ n/2^k over levels (twice) plus staging.
+        assert!(p.metrics().work <= 6 * 8);
+    }
+
+    #[test]
+    fn blelloch_matches_inclusive_scan_shifted() {
+        for n in [1usize, 2, 4, 16, 64] {
+            let vals: Vec<i64> = (0..n).map(|i| (i as i64 * 13) % 7).collect();
+            let mut p1 = Pram::new(Mode::Erew);
+            let r1 = p1.load(&vals);
+            scan_exclusive_blelloch(&mut p1, r1.clone(), 0, |a, b| a + b);
+            let excl = p1.read_out(r1);
+            let mut acc = 0;
+            for (i, &v) in vals.iter().enumerate() {
+                assert_eq!(excl[i], acc, "n={n} i={i}");
+                acc += v;
+            }
+        }
+    }
+
+    #[test]
+    fn blelloch_with_min_operator() {
+        let mut p = Pram::new(Mode::Crew);
+        let r = p.load(&[5i64, 3, 9, 1]);
+        scan_exclusive_blelloch(&mut p, r.clone(), i64::MAX, |a, b| a.min(b));
+        assert_eq!(p.read_out(r), vec![i64::MAX, 5, 3, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn blelloch_rejects_odd_lengths() {
+        let mut p = Pram::new(Mode::Erew);
+        let r = p.load(&[1i64, 2, 3]);
+        scan_exclusive_blelloch(&mut p, r, 0, |a, b| a + b);
+    }
+
+    #[test]
+    fn quadratic_min_is_three_steps() {
+        let mut p = Pram::new(Mode::Crcw(WritePolicy::Arbitrary));
+        let r = load_vi(&mut p, &[4, 4, 1, 3, 1, 8]);
+        let dst = p.alloc(1, FZ).start;
+        crcw_min_quadratic(&mut p, r, dst, FZ, FO);
+        assert_eq!(p.peek(dst), VI::new(1, 2)); // leftmost of the two 1s
+        assert_eq!(p.metrics().steps, 3);
+    }
+
+    #[test]
+    fn quadratic_min_works_under_common_policy() {
+        let mut p = Pram::new(Mode::Crcw(WritePolicy::Common));
+        let r = load_vi(&mut p, &[10, 3, 5]);
+        let dst = p.alloc(1, FZ).start;
+        crcw_min_quadratic(&mut p, r, dst, FZ, FO);
+        assert_eq!(p.peek(dst), VI::new(3, 1));
+    }
+
+    #[test]
+    fn doubly_log_min_correct_and_fast() {
+        for n in [1usize, 2, 3, 5, 16, 100, 257, 1024] {
+            let mut p = Pram::new(Mode::Crcw(WritePolicy::Arbitrary));
+            let vals: Vec<i64> = (0..n).map(|i| ((i * 2654435761) % 1000) as i64).collect();
+            let r = load_vi(&mut p, &vals);
+            let at = crcw_min_doubly_log(&mut p, r, FZ, FO);
+            let want = vals
+                .iter()
+                .enumerate()
+                .min_by_key(|&(i, &v)| (v, i))
+                .map(|(i, &v)| VI::new(v, i))
+                .unwrap();
+            assert_eq!(p.peek(at), want, "n={n}");
+            // 3 steps per phase + copy; lg lg 1024 ≈ 3.3 → allow a
+            // generous constant.
+            assert!(
+                p.metrics().steps <= 3 * 8 + 1,
+                "n={n}: {} steps",
+                p.metrics().steps
+            );
+        }
+    }
+
+    #[test]
+    fn doubly_log_phases_grow_very_slowly() {
+        // steps(2^20 elements) should exceed steps(2^8) by at most ~2
+        // phases (6 steps) — the doubly-log signature. Use moderate sizes
+        // to keep the test fast.
+        let steps_of = |n: usize| {
+            let mut p = Pram::new(Mode::Crcw(WritePolicy::Arbitrary));
+            let vals: Vec<i64> = (0..n).map(|i| (i as i64 * 37) % 1009).collect();
+            let r = load_vi(&mut p, &vals);
+            let _ = crcw_min_doubly_log(&mut p, r, FZ, FO);
+            p.metrics().steps
+        };
+        assert!(steps_of(1 << 14) <= steps_of(1 << 7) + 6);
+    }
+
+    #[test]
+    fn combining_min_single_step() {
+        let mut p = Pram::new(Mode::Crcw(WritePolicy::Min));
+        let r = load_vi(&mut p, &[4, 1, 1, 7]);
+        let at = combining_min(&mut p, r);
+        assert_eq!(p.peek(at), VI::new(1, 1));
+        assert_eq!(p.metrics().steps, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires the Min write policy")]
+    fn combining_min_rejects_wrong_policy() {
+        let mut p = Pram::new(Mode::Crcw(WritePolicy::Arbitrary));
+        let r = load_vi(&mut p, &[1, 2]);
+        let _ = combining_min(&mut p, r);
+    }
+
+    #[test]
+    fn list_ranking_computes_distances() {
+        // List 3 -> 0 -> 2 -> 1 (tail), stored as next-pointers.
+        let mut p = Pram::new(Mode::Crew);
+        let next = p.load(&[2i64, 1, 1, 0]); // next[3]=0, next[0]=2, next[2]=1, next[1]=1 (tail)
+        let rank = p.load(&[1i64, 0, 1, 1]); // weight 1 per non-tail node
+        list_rank(&mut p, next, rank.clone());
+        // Distances to tail: node3=3, node0=2, node2=1, node1=0.
+        assert_eq!(p.read_out(rank), vec![2, 0, 1, 3]);
+    }
+
+    #[test]
+    fn list_ranking_random_permutations() {
+        let mut x: u64 = 0xA5A5_5A5A_1234_5678;
+        let mut rnd = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for n in [1usize, 2, 5, 33, 128] {
+            // Random chain order.
+            let mut order: Vec<usize> = (0..n).collect();
+            for i in (1..n).rev() {
+                let j = (rnd() % (i as u64 + 1)) as usize;
+                order.swap(i, j);
+            }
+            let mut next = vec![0i64; n];
+            let mut want = vec![0i64; n];
+            for k in 0..n {
+                next[order[k]] = if k + 1 < n {
+                    order[k + 1] as i64
+                } else {
+                    order[k] as i64
+                };
+                want[order[k]] = (n - 1 - k) as i64;
+            }
+            let rankv: Vec<i64> = (0..n)
+                .map(|i| if next[i] == i as i64 { 0 } else { 1 })
+                .collect();
+            let mut p = Pram::new(Mode::Crew);
+            let nr = p.load(&next);
+            let rr = p.load(&rankv);
+            list_rank(&mut p, nr, rr.clone());
+            assert_eq!(p.read_out(rr), want, "n={n}");
+            // 2 steps per doubling round.
+            let lg = (usize::BITS - (n - 1).max(1).leading_zeros()) as u64;
+            assert!(p.metrics().steps <= 2 * (lg + 1), "n={n}");
+        }
+    }
+
+    #[test]
+    fn copy_region_one_step() {
+        let mut p = Pram::new(Mode::Erew);
+        let src = p.load(&[1i64, 2, 3]);
+        let dst = p.alloc(3, 0);
+        copy_region(&mut p, src, dst.clone());
+        assert_eq!(p.read_out(dst), vec![1, 2, 3]);
+        assert_eq!(p.metrics().steps, 1);
+    }
+}

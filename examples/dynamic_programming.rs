@@ -1,0 +1,64 @@
+//! The introduction's Monge-structured dynamic programs: optimal binary
+//! search trees (\[Yao80\]), the economic lot-size model (\[AP90\]), and
+//! Hoffman's transportation greedy (\[Hof61\] / Monge 1781).
+//!
+//! ```text
+//! cargo run --release --example dynamic_programming
+//! ```
+
+use monge::apps::lws::LotSize;
+use monge::apps::obst::optimal_bst;
+use monge::apps::transport::{min_cost_transport, northwest_corner, plan_cost};
+use monge::core::generators::random_monge_dense;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(1781);
+
+    // --- Optimal binary search tree (Knuth–Yao) -------------------------
+    let freq: Vec<f64> = (0..2000).map(|_| rng.random_range(0.01..5.0)).collect();
+    let t = optimal_bst(&freq);
+    println!(
+        "optimal BST over {} keys: weighted depth {:.2}, root = key {}",
+        freq.len(),
+        t.total_cost(),
+        t.root_of(0, freq.len())
+    );
+
+    // --- Economic lot-size (Wagner–Whitin as concave LWS) ---------------
+    let demand: Vec<f64> = (0..3650).map(|_| rng.random_range(0.0..20.0)).collect();
+    let ls = LotSize::new(demand, 120.0, 0.35);
+    let (cost, runs) = ls.solve();
+    println!(
+        "lot-size over {} periods: optimal cost {:.1} with {} production runs \
+         (first five: {:?})",
+        ls.demand.len(),
+        cost,
+        runs.len(),
+        &runs[..5.min(runs.len())]
+    );
+
+    // --- Monge transportation (Hoffman's greedy) -------------------------
+    let m = 60;
+    let n = 80;
+    let c = random_monge_dense(m, n, &mut rng);
+    let supply: Vec<i64> = (0..m).map(|_| rng.random_range(1..30)).collect();
+    let total: i64 = supply.iter().sum();
+    let mut demandv = vec![total / n as i64; n];
+    demandv[n - 1] = total - (n as i64 - 1) * (total / n as i64);
+    let plan = northwest_corner(&supply, &demandv);
+    let greedy = plan_cost(&plan, &c);
+    println!(
+        "transportation {}x{}: northwest-corner greedy ships {} units in {} moves, \
+         cost {}",
+        m,
+        n,
+        total,
+        plan.len(),
+        greedy
+    );
+    let opt = min_cost_transport(&supply, &demandv, &c);
+    assert_eq!(greedy, opt);
+    println!("min-cost-flow oracle confirms optimality (Hoffman 1961 on Monge costs).");
+}

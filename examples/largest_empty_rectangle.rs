@@ -1,0 +1,56 @@
+//! The rectangle applications (§1.3, items 1 and 2): the largest empty
+//! rectangle among points, and the largest rectangle spanned by two
+//! points as opposite corners.
+//!
+//! ```text
+//! cargo run --release --example largest_empty_rectangle
+//! ```
+
+use monge::apps::empty_rect::{
+    is_empty_rect, largest_empty_rectangle, par_largest_empty_rectangle,
+};
+use monge::apps::geometry::{Point, Rect};
+use monge::apps::max_rect::{largest_corner_rectangle, par_largest_corner_rectangle};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2026);
+    let bbox = Rect::new(0.0, 0.0, 1000.0, 1000.0);
+    let points: Vec<Point> = (0..5000)
+        .map(|_| {
+            Point::new(
+                rng.random_range(0.0..1000.0),
+                rng.random_range(0.0..1000.0),
+            )
+        })
+        .collect();
+
+    // --- App 1: largest empty rectangle ---------------------------------
+    let r = largest_empty_rectangle(&points, bbox);
+    assert!(is_empty_rect(&points, r));
+    println!(
+        "App 1: among {} points, the largest empty rectangle is \
+         [{:.1}, {:.1}] x [{:.1}, {:.1}], area {:.1}",
+        points.len(),
+        r.x0,
+        r.x1,
+        r.y0,
+        r.y1,
+        r.area()
+    );
+    let rp = par_largest_empty_rectangle(&points, bbox);
+    assert!((r.area() - rp.area()).abs() < 1e-9);
+    println!("        (parallel engine agrees: area {:.1})", rp.area());
+
+    // --- App 2: largest two-corner rectangle ----------------------------
+    let c = largest_corner_rectangle(&points);
+    println!(
+        "App 2: the most 'detrimental leakage path' pair [Mel89] spans \
+         ({:.1}, {:.1}) - ({:.1}, {:.1}), rectangle area {:.1}",
+        c.a.x, c.a.y, c.b.x, c.b.y, c.area
+    );
+    let cp = par_largest_corner_rectangle(&points);
+    assert!((c.area - cp.area).abs() < 1e-9);
+    println!("        (parallel engine agrees)");
+}

@@ -1,0 +1,105 @@
+//! A tour of the simulated machines: PRAM modes and write policies,
+//! hypercube collectives, and the CCC/shuffle-exchange emulation pricing.
+//!
+//! ```text
+//! cargo run --release --example pram_playground
+//! ```
+
+use monge::hypercube::ops::{scan_inclusive, sorted_gather};
+use monge::hypercube::topology::EmulationCost;
+use monge::hypercube::Hypercube;
+use monge::pram::ops::{crcw_min_doubly_log, tree_min, VI};
+use monge::pram::{Mode, Pram, WritePolicy};
+
+fn main() {
+    // --- PRAM: the same minimum, three machine models -------------------
+    let vals: Vec<i64> = (0..4096).map(|i| (i * 2654435761u64 as i64) % 100_000).collect();
+
+    // CREW binary tree: ⌈lg n⌉ steps.
+    let mut crew = Pram::new(Mode::Crew);
+    let cells: Vec<VI<i64>> = vals.iter().enumerate().map(|(i, &v)| VI::new(v, i)).collect();
+    let region = crew.load(&cells);
+    let at = tree_min(&mut crew, region);
+    let crew_answer = crew.peek(at);
+    println!(
+        "CREW tree minimum: value {} at index {} in {} steps ({} work)",
+        crew_answer.v,
+        crew_answer.i,
+        crew.metrics().steps,
+        crew.metrics().work
+    );
+
+    // CRCW accelerated cascades: O(lg lg n) steps with n processors.
+    let mut crcw = Pram::new(Mode::Crcw(WritePolicy::Arbitrary));
+    let region = crcw.load(&cells);
+    let at = crcw_min_doubly_log(&mut crcw, region, VI::new(0, 0), VI::new(0, 1));
+    println!(
+        "CRCW doubly-log minimum: same answer ({}) in {} steps \
+         (O(lg lg n) — flat in n, unlike the tree's ⌈lg n⌉)",
+        crcw.peek(at).v,
+        crcw.metrics().steps
+    );
+    assert_eq!(crcw.peek(at), crew_answer);
+
+    // Combining-Min CRCW: one step.
+    let mut comb = Pram::new(Mode::Crcw(WritePolicy::Min));
+    let region = comb.load(&cells);
+    let at = monge::pram::ops::combining_min(&mut comb, region);
+    println!(
+        "combining-Min CRCW: same answer in {} step",
+        comb.metrics().steps
+    );
+    assert_eq!(comb.peek(at), crew_answer);
+
+    // --- Hypercube: scans and gathers, priced on CCC / shuffle-exchange -
+    let dim = 12;
+    let mut hc = Hypercube::<i64>::new(dim);
+    let r = hc.alloc_reg(0);
+    let data: Vec<i64> = (0..hc.nodes() as i64).collect();
+    hc.load(r, &data);
+    scan_inclusive(&mut hc, r, |a, b| a + b);
+    let sums = hc.read_reg(r);
+    println!();
+    println!(
+        "hypercube prefix sums over {} nodes: node 0 -> {}, last node -> {} \
+         in {} exchange steps",
+        hc.nodes(),
+        sums[0],
+        sums[hc.nodes() - 1],
+        hc.metrics().comm_steps
+    );
+
+    // A random-access gather (every node reads another node's value).
+    let table = hc.alloc_reg(0);
+    hc.load(table, &data.iter().map(|x| 1000 + x).collect::<Vec<_>>());
+    let valid = hc.alloc_reg(1);
+    let key = hc.alloc_reg(0);
+    hc.load(
+        key,
+        &(0..hc.nodes() as i64).map(|i| (i * 7) % hc.nodes() as i64).collect::<Vec<_>>(),
+    );
+    let resp = hc.alloc_reg(0);
+    sorted_gather(
+        &mut hc,
+        valid,
+        1,
+        0,
+        key,
+        |c| c as usize,
+        |k| k as i64,
+        table,
+        resp,
+        i64::MAX,
+    );
+    println!(
+        "sort-based gather of {} random reads completed; node 1 fetched {}",
+        hc.nodes(),
+        hc.peek(1, resp)
+    );
+
+    let cost = EmulationCost::price(hc.metrics(), dim);
+    println!(
+        "emulation pricing: {} hypercube steps -> {} on shuffle-exchange, {} on CCC",
+        cost.hypercube_steps, cost.se_steps, cost.ccc_steps
+    );
+}

@@ -1,0 +1,65 @@
+//! Quickstart: build Monge-family arrays and search them with every
+//! engine in the workspace.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use monge::core::array2d::{Array2d, Dense};
+use monge::core::generators::{random_monge_dense, random_staircase_monge_dense};
+use monge::core::monge::{is_monge, is_staircase_monge};
+use monge::core::smawk::row_minima_monge;
+use monge::core::staircase::{compute_boundary, staircase_row_minima};
+use monge::core::Value;
+use monge::parallel::pram_monge::pram_row_minima_monge;
+use monge::parallel::rayon_monge::par_row_minima_monge;
+use monge::parallel::MinPrimitive;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(42);
+
+    // --- a certified random Monge array --------------------------------
+    let n = 512;
+    let a: Dense<i64> = random_monge_dense(n, n, &mut rng);
+    assert!(is_monge(&a));
+    println!("built a {n} x {n} Monge array (certified by the predicate)");
+
+    // Sequential SMAWK: Θ(m+n).
+    let seq = row_minima_monge(&a);
+    println!(
+        "SMAWK row minima: first rows argmin = {:?}",
+        &seq.index[..8.min(n)]
+    );
+
+    // Rayon divide & conquer: same answer, multicore.
+    let par = par_row_minima_monge(&a);
+    assert_eq!(seq.index, par.index);
+    println!("rayon engine agrees on all {n} rows");
+
+    // Simulated CRCW PRAM: the paper's machine, with step accounting.
+    let pram = pram_row_minima_monge(&a, MinPrimitive::Constant);
+    assert_eq!(seq.index, pram.index);
+    println!(
+        "CRCW PRAM simulation: {} parallel steps, {} work, {} processors budgeted",
+        pram.metrics.steps, pram.metrics.work, pram.processors
+    );
+
+    // --- staircase-Monge: the paper's §2 problem ------------------------
+    let b = random_staircase_monge_dense(n, n, &mut rng);
+    assert!(is_staircase_monge(&b));
+    let f = compute_boundary(&b);
+    let stair = staircase_row_minima(&b, &f);
+    println!(
+        "staircase-Monge row minima: row 0 argmin = {} (boundary {}), row {} argmin = {}",
+        stair[0],
+        f[0],
+        n - 1,
+        stair[n - 1]
+    );
+    // Every minimum is finite (inside the staircase).
+    assert!((0..n).all(|i| stair[i] < f[i].max(1)));
+    assert!(!b.entry(0, stair[0]).is_infinite());
+    println!("all minima verified inside the finite staircase region");
+}

@@ -1,0 +1,23 @@
+//! # monge — facade crate
+//!
+//! One-stop re-export of the full workspace reproducing
+//! *Aggarwal, Kravets, Park, Sen — "Parallel Searching in Generalized Monge
+//! Arrays with Applications" (SPAA 1990)*:
+//!
+//! * [`core`] — array classes, generators and sequential algorithms
+//!   (SMAWK, staircase row minima, tube maxima, ANSV, DIST products).
+//! * [`pram`] — the synchronous PRAM simulator (EREW/CREW/CRCW).
+//! * [`hypercube`] — the hypercube / CCC / shuffle-exchange simulator.
+//! * [`parallel`] — the paper's parallel algorithms on three engines:
+//!   rayon (real threads), simulated PRAM, simulated hypercube.
+//! * [`apps`] — the paper's applications: rectangle problems, convex
+//!   polygon neighbor problems, string editing, farthest neighbors.
+//!
+//! See the `examples/` directory for runnable walkthroughs and
+//! `EXPERIMENTS.md` for the reproduction of the paper's tables.
+
+pub use monge_apps as apps;
+pub use monge_core as core;
+pub use monge_hypercube as hypercube;
+pub use monge_parallel as parallel;
+pub use monge_pram as pram;
