@@ -40,12 +40,7 @@ pub fn largest_empty_rectangle_brute(points: &[Point], bbox: Rect) -> Rect {
         for &xr in xs.iter().skip(a + 1) {
             // Points strictly inside the strip.
             let mut ys: Vec<f64> = vec![bbox.y0, bbox.y1];
-            ys.extend(
-                points
-                    .iter()
-                    .filter(|p| p.x > xl && p.x < xr)
-                    .map(|p| p.y),
-            );
+            ys.extend(points.iter().filter(|p| p.x > xl && p.x < xr).map(|p| p.y));
             ys.sort_by(|u, v| u.partial_cmp(v).unwrap());
             for w in ys.windows(2) {
                 let area = (xr - xl) * (w[1] - w[0]);

@@ -14,7 +14,6 @@
 use crate::geometry::Point;
 use monge_core::array2d::FnArray;
 use monge_core::smawk::row_maxima_inverse_monge;
-use monge_core::Array2d;
 use monge_parallel::rayon_monge::par_row_maxima_inverse_monge;
 
 /// The inverse-Monge cross-chain distance array of Figure 1.1.
@@ -93,10 +92,11 @@ fn rec(poly: &[Point], chain: &[usize], best: &mut [Option<(f64, usize)>]) {
     }
     let (p, q) = chain.split_at(n / 2);
     // Cross-chain farthest via the inverse-Monge array (both directions).
-    let pa = FnArray::new(p.len(), q.len(), |i: usize, j: usize| poly[p[i]].dist(poly[q[j]]));
-    let fq = row_maxima_inverse_monge(&pa).index;
-    for (i, &j) in fq.iter().enumerate() {
-        let d = pa.entry(i, j);
+    let pa = FnArray::new(p.len(), q.len(), |i: usize, j: usize| {
+        poly[p[i]].dist(poly[q[j]])
+    });
+    let fq = row_maxima_inverse_monge(&pa);
+    for (i, (&j, &d)) in fq.index.iter().zip(&fq.value).enumerate() {
         merge(&mut best[p[i]], d, q[j]);
         merge(&mut best[q[j]], d, p[i]);
     }
@@ -104,10 +104,11 @@ fn rec(poly: &[Point], chain: &[usize], best: &mut [Option<(f64, usize)>]) {
     // was not some P-vertex's farthest Q-vertex. (Q followed by P is
     // also a consecutive ccw chain pair, so this array is inverse-Monge
     // too.)
-    let qa = FnArray::new(q.len(), p.len(), |j: usize, i: usize| poly[q[j]].dist(poly[p[i]]));
-    let fp = row_maxima_inverse_monge(&qa).index;
-    for (j, &i) in fp.iter().enumerate() {
-        let d = qa.entry(j, i);
+    let qa = FnArray::new(q.len(), p.len(), |j: usize, i: usize| {
+        poly[q[j]].dist(poly[p[i]])
+    });
+    let fp = row_maxima_inverse_monge(&qa);
+    for (j, (&i, &d)) in fp.index.iter().zip(&fp.value).enumerate() {
         merge(&mut best[q[j]], d, p[i]);
     }
     rec(poly, p, best);

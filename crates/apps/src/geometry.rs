@@ -194,8 +194,20 @@ mod tests {
 
     #[test]
     fn cross_orientation() {
-        assert!(cross(Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(0.0, 1.0)) > 0.0);
-        assert!(cross(Point::new(0.0, 0.0), Point::new(0.0, 1.0), Point::new(1.0, 0.0)) < 0.0);
+        assert!(
+            cross(
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 0.0),
+                Point::new(0.0, 1.0)
+            ) > 0.0
+        );
+        assert!(
+            cross(
+                Point::new(0.0, 0.0),
+                Point::new(0.0, 1.0),
+                Point::new(1.0, 0.0)
+            ) < 0.0
+        );
     }
 
     #[test]
@@ -239,9 +251,19 @@ mod tests {
             Point::new(3.0, 1.0),
         ]);
         // Facing corners see each other.
-        assert!(visible(&left, Point::new(1.0, 0.0), &right, Point::new(3.0, 0.0)));
+        assert!(visible(
+            &left,
+            Point::new(1.0, 0.0),
+            &right,
+            Point::new(3.0, 0.0)
+        ));
         // Far corners are blocked by both bodies.
-        assert!(!visible(&left, Point::new(0.0, 0.5), &right, Point::new(4.0, 0.5)));
+        assert!(!visible(
+            &left,
+            Point::new(0.0, 0.5),
+            &right,
+            Point::new(4.0, 0.5)
+        ));
     }
 
     #[test]

@@ -214,7 +214,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(202);
         for n in [1usize, 4, 12, 60, 200] {
             let demand: Vec<f64> = (0..n).map(|_| rng.random_range(0.0..10.0)).collect();
-            let ls = LotSize::new(demand, rng.random_range(5.0..50.0), rng.random_range(0.1..2.0));
+            let ls = LotSize::new(
+                demand,
+                rng.random_range(5.0..50.0),
+                rng.random_range(0.1..2.0),
+            );
             let lot = |i: usize, j: usize| ls.w(i, j);
             let (e2, _) = lws_brute(n, &lot);
             let (cost, runs) = ls.solve();

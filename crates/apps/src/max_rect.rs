@@ -160,10 +160,7 @@ pub fn largest_corner_rectangle(points: &[Point]) -> CornerRect {
 pub fn par_largest_corner_rectangle(points: &[Point]) -> CornerRect {
     assert!(points.len() >= 2);
     let reflected: Vec<Point> = points.iter().map(|p| Point::new(p.x, -p.y)).collect();
-    let (ne, se) = rayon::join(
-        || best_ne_pair(points),
-        || best_ne_pair(&reflected),
-    );
+    let (ne, se) = rayon::join(|| best_ne_pair(points), || best_ne_pair(&reflected));
     let se = se.map(|r| CornerRect {
         area: r.area,
         a: Point::new(r.a.x, -r.a.y),
@@ -258,12 +255,7 @@ mod tests {
     fn random_points(n: usize, seed: u64) -> Vec<Point> {
         let mut rng = StdRng::seed_from_u64(seed);
         (0..n)
-            .map(|_| {
-                Point::new(
-                    rng.random_range(0.0..1000.0),
-                    rng.random_range(0.0..1000.0),
-                )
-            })
+            .map(|_| Point::new(rng.random_range(0.0..1000.0), rng.random_range(0.0..1000.0)))
             .collect()
     }
 
@@ -325,18 +317,12 @@ mod tests {
             assert!((got.area - want.area).abs() < 1e-6, "seed {seed}");
         }
         // Step growth: quadrupling n adds O(1) levels of lg.
-        let s_small = pram_largest_corner_rectangle(
-            &random_points(256, 9),
-            MinPrimitive::Constant,
-        )
-        .1
-        .steps;
-        let s_big = pram_largest_corner_rectangle(
-            &random_points(4096, 9),
-            MinPrimitive::Constant,
-        )
-        .1
-        .steps;
+        let s_small = pram_largest_corner_rectangle(&random_points(256, 9), MinPrimitive::Constant)
+            .1
+            .steps;
+        let s_big = pram_largest_corner_rectangle(&random_points(4096, 9), MinPrimitive::Constant)
+            .1
+            .steps;
         assert!(s_big <= s_small + 40, "{s_small} -> {s_big}");
     }
 

@@ -25,6 +25,8 @@
 //! DESIGN.md §3 for this recorded substitution).
 
 use crate::geometry::{cross, visible, ConvexPolygon};
+use monge_core::array2d::FnArray;
+use monge_core::eval::CachedArray;
 use rayon::prelude::*;
 
 /// Which neighbor is sought.
@@ -70,12 +72,7 @@ pub fn neighbors_seq(p: &ConvexPolygon, q: &ConvexPolygon, goal: Goal) -> Vec<Op
     solve(p, q, goal, false)
 }
 
-fn solve(
-    p: &ConvexPolygon,
-    q: &ConvexPolygon,
-    goal: Goal,
-    parallel: bool,
-) -> Vec<Option<usize>> {
+fn solve(p: &ConvexPolygon, q: &ConvexPolygon, goal: Goal, parallel: bool) -> Vec<Option<usize>> {
     let m = p.vertices.len();
     let row = |i: usize| -> Option<usize> {
         let want_visible = matches!(goal, Goal::NearestVisible | Goal::FarthestVisible);
@@ -109,6 +106,59 @@ fn solve(
     }
 }
 
+/// All four goals at once over one *shared, memoized* distance array.
+///
+/// Answering the goals separately evaluates every `p`–`q` distance four
+/// times; here a [`CachedArray`] over the implicit distance array
+/// materializes each row once and the four goal scans (and any later
+/// consumer holding the same wrapper) reuse it. Results are indexed by
+/// [`Goal`] declaration order: `[NearestVisible, NearestInvisible,
+/// FarthestVisible, FarthestInvisible]`.
+pub fn neighbors_all_goals(p: &ConvexPolygon, q: &ConvexPolygon) -> [Vec<Option<usize>>; 4] {
+    let m = p.vertices.len();
+    let n = q.vertices.len();
+    let dist = FnArray::new(m, n, |i: usize, j: usize| p.vertices[i].dist(q.vertices[j]));
+    let cached = CachedArray::new(dist);
+    let per_row: Vec<[Option<usize>; 4]> = (0..m)
+        .into_par_iter()
+        .map(|i| {
+            let row = cached.row_cached(i);
+            let vis: Vec<bool> = (0..n).map(|j| visible_fast(p, i, q, j)).collect();
+            let mut best = [None::<(f64, usize)>; 4];
+            for (g, slot) in best.iter_mut().enumerate() {
+                let want_visible = g % 2 == 0; // NearestVisible, FarthestVisible
+                let want_min = g < 2; // NearestVisible, NearestInvisible
+                for (j, &d) in row.iter().enumerate() {
+                    if vis[j] != want_visible {
+                        continue;
+                    }
+                    let better = match *slot {
+                        None => true,
+                        Some((bd, _)) => {
+                            if want_min {
+                                d < bd
+                            } else {
+                                d > bd
+                            }
+                        }
+                    };
+                    if better {
+                        *slot = Some((d, j));
+                    }
+                }
+            }
+            best.map(|b| b.map(|(_, j)| j))
+        })
+        .collect();
+    let mut out = [vec![], vec![], vec![], vec![]];
+    for row in per_row {
+        for (g, j) in row.into_iter().enumerate() {
+            out[g].push(j);
+        }
+    }
+    out
+}
+
 /// Segment-clipping oracle (`O(mn(m+n))`): the ground truth the fast
 /// predicates are validated against.
 pub fn neighbors_brute(p: &ConvexPolygon, q: &ConvexPolygon, goal: Goal) -> Vec<Option<usize>> {
@@ -125,7 +175,13 @@ pub fn neighbors_brute(p: &ConvexPolygon, q: &ConvexPolygon, goal: Goal) -> Vec<
                 let d = pv.dist(qv);
                 let better = match best {
                     None => true,
-                    Some((bd, _)) => if want_min { d < bd } else { d > bd },
+                    Some((bd, _)) => {
+                        if want_min {
+                            d < bd
+                        } else {
+                            d > bd
+                        }
+                    }
                 };
                 if better {
                     best = Some((d, j));
@@ -213,6 +269,45 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn all_goals_shared_cache_matches_per_goal_scans() {
+        for seed in [3u64, 11, 29] {
+            let (p, q) = instance(13, 17, seed);
+            let all = neighbors_all_goals(&p, &q);
+            for (g, goal) in [
+                Goal::NearestVisible,
+                Goal::NearestInvisible,
+                Goal::FarthestVisible,
+                Goal::FarthestInvisible,
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                assert_eq!(all[g], neighbors(&p, &q, goal), "seed {seed} {goal:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_cache_evaluates_each_distance_once() {
+        use monge_core::array2d::FnArray;
+        use monge_core::{CachedArray, CountingArray};
+        let (p, q) = instance(11, 14, 5);
+        let counted = CountingArray::new(FnArray::new(11, 14, |i: usize, j: usize| {
+            p.vertices[i].dist(q.vertices[j])
+        }));
+        let cached = CachedArray::new(&counted);
+        // Four full passes (one per goal) over every row…
+        for _ in 0..4 {
+            for i in 0..11 {
+                let _ = cached.row_cached(i);
+            }
+        }
+        // …but each distance was computed exactly once.
+        assert_eq!(counted.evaluations(), 11 * 14);
+        assert_eq!(cached.materialized_rows(), 11);
     }
 
     #[test]

@@ -25,6 +25,8 @@
 //! * [`edit_script`] — operation recovery by traceback.
 
 use monge_core::array2d::{Array2d, Dense};
+use monge_core::eval;
+use monge_core::tube::plane;
 use monge_core::value::Value;
 use rayon::prelude::*;
 
@@ -196,6 +198,13 @@ pub fn strip_dist(xs: &[u8], y: &[u8], c: &CostModel) -> Dense<i64> {
 /// the finite band `j ∈ [i, k]`): `O(s²)`-ish per product instead of
 /// `O(s³)`.
 pub fn combine_dist(a: &Dense<i64>, b: &Dense<i64>) -> Dense<i64> {
+    combine_dist_arrays(a, b)
+}
+
+/// [`combine_dist`] generalized over any [`Array2d`] factors, so a
+/// combining tree can consume lazy products ([`DistProduct`], possibly
+/// wrapped in [`monge_core::CachedArray`]) without materializing them.
+pub fn combine_dist_arrays<A: Array2d<i64>, B: Array2d<i64>>(a: &A, b: &B) -> Dense<i64> {
     let s = a.rows();
     assert_eq!(a.cols(), s);
     assert_eq!(b.rows(), s);
@@ -205,25 +214,29 @@ pub fn combine_dist(a: &Dense<i64>, b: &Dense<i64>) -> Dense<i64> {
     // Solve rows (of the output) by halving with per-column sandwiches.
     let lo = vec![0usize; s];
     let hi = vec![s - 1; s];
-    dc(a, b, 0, s, &lo, &hi, &mut out);
+    dc(a, b, 0, s, &lo, &hi, &mut out, &mut Vec::new());
     out
 }
 
 #[allow(clippy::too_many_arguments)]
-fn dc(
-    a: &Dense<i64>,
-    b: &Dense<i64>,
+fn dc<A: Array2d<i64>, B: Array2d<i64>>(
+    a: &A,
+    b: &B,
     i0: usize,
     i1: usize,
     lo: &[usize],
     hi: &[usize],
     out: &mut Dense<i64>,
+    scratch: &mut Vec<i64>,
 ) {
     if i0 >= i1 {
         return;
     }
     let s = a.rows();
     let mid = i0 + (i1 - i0) / 2;
+    // The middle output row lives on the Monge plane
+    // F[k][j] = a[mid,j] + b[j,k]; each sandwich is one batched scan.
+    let pl = plane(a, b, mid);
     let mut args = vec![0usize; s];
     let mut from = 0usize;
     for k in 0..s {
@@ -234,22 +247,81 @@ fn dc(
         }
         let l = lo[k].max(from).max(mid);
         let h = hi[k].min(k);
-        let (mut bj, mut bv) = (l, a.entry(mid, l).add(b.entry(l, k)));
-        for j in l + 1..=h {
-            let v = a.entry(mid, j).add(b.entry(j, k));
-            if v.total_lt(bv) {
-                bj = j;
-                bv = v;
-            }
-        }
+        let (bj, bv) = eval::interval_argmin(&pl, k, l, h.max(l) + 1, scratch);
         out.set(mid, k, bv);
         args[k] = bj;
         from = bj;
     }
     let hi_top: Vec<usize> = args.to_vec();
     let lo_bot: Vec<usize> = args;
-    dc(a, b, i0, mid, lo, &hi_top, out);
-    dc(a, b, mid + 1, i1, &lo_bot, hi, out);
+    dc(a, b, i0, mid, lo, &hi_top, out, scratch);
+    dc(a, b, mid + 1, i1, &lo_bot, hi, out, scratch);
+}
+
+/// A **lazy** banded `(min,+)` DIST product: entries are computed on
+/// demand from the factors instead of materializing the `s × s` result.
+///
+/// An entry costs a band scan and a whole row costs one monotone sweep,
+/// so consuming the same entries repeatedly (as the next level of a
+/// combining tree does) recomputes expensive work — wrap the product in
+/// [`monge_core::CachedArray`] to materialize each row at most once.
+/// The `cached_lazy_product_*` test demonstrates the evaluation-count
+/// difference via [`monge_core::CountingArray`].
+pub struct DistProduct<'a, A, B> {
+    a: &'a A,
+    b: &'a B,
+}
+
+impl<'a, A: Array2d<i64>, B: Array2d<i64>> DistProduct<'a, A, B> {
+    /// Wraps two square DIST factors of equal order.
+    pub fn new(a: &'a A, b: &'a B) -> Self {
+        let s = a.rows();
+        assert_eq!(a.cols(), s);
+        assert_eq!(b.rows(), s);
+        assert_eq!(b.cols(), s);
+        Self { a, b }
+    }
+}
+
+impl<'a, A: Array2d<i64>, B: Array2d<i64>> Array2d<i64> for DistProduct<'a, A, B> {
+    fn rows(&self) -> usize {
+        self.a.rows()
+    }
+    fn cols(&self) -> usize {
+        self.a.rows()
+    }
+    fn entry(&self, i: usize, k: usize) -> i64 {
+        if k < i {
+            return <i64 as Value>::INFINITY;
+        }
+        let mut best = <i64 as Value>::INFINITY;
+        for j in i..=k {
+            let v = self.a.entry(i, j).add(self.b.entry(j, k));
+            if v < best {
+                best = v;
+            }
+        }
+        best
+    }
+    fn fill_row(&self, i: usize, cols: std::ops::Range<usize>, out: &mut [i64]) {
+        // One monotone sweep computes the whole output row in
+        // O(s + argmin span) factor evaluations; the requested slice is
+        // copied out. (Row granularity matches CachedArray's.)
+        let s = self.a.rows();
+        let inf = <i64 as Value>::INFINITY;
+        let mut row = vec![inf; s];
+        let pl = plane(self.a, self.b, i);
+        let mut scratch = Vec::new();
+        let mut from = i;
+        for (k, slot) in row.iter_mut().enumerate().skip(i) {
+            let (bj, bv) = eval::interval_argmin(&pl, k, from, k + 1, &mut scratch);
+            *slot = bv;
+            from = bj;
+        }
+        for (slot, k) in out.iter_mut().zip(cols) {
+            *slot = row[k];
+        }
+    }
 }
 
 /// Brute-force `(min,+)` oracle for DIST products.
@@ -488,6 +560,60 @@ mod tests {
     }
 
     #[test]
+    fn lazy_product_matches_dense_product() {
+        let mut rng = StdRng::seed_from_u64(164);
+        let y = random_string(14, 4, &mut rng);
+        let c = CostModel::weighted();
+        let a = strip_dist(&random_string(6, 4, &mut rng), &y, &c);
+        let b = strip_dist(&random_string(5, 4, &mut rng), &y, &c);
+        let dense = combine_dist(&a, &b);
+        let lazy = DistProduct::new(&a, &b);
+        let s = dense.rows();
+        assert_eq!(lazy.to_dense(), dense);
+        let mut buf = vec![0i64; s];
+        for i in 0..s {
+            lazy.fill_row(i, 0..s, &mut buf);
+            for (k, &v) in buf.iter().enumerate() {
+                assert_eq!(v, dense.entry(i, k), "row {i} col {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn cached_lazy_product_does_fewer_factor_evaluations() {
+        use monge_core::{CachedArray, CountingArray};
+        // Three strips combined as (d1 ⊗ d2) ⊗ d3, with the inner product
+        // kept lazy. Every touch of the lazy product re-sweeps the factors,
+        // so the CachedArray wrapper (one sweep per row, then memcpy) must
+        // show far fewer factor evaluations for the same output.
+        let mut rng = StdRng::seed_from_u64(165);
+        let y = random_string(16, 4, &mut rng);
+        let c = CostModel::weighted();
+        let d1 = strip_dist(&random_string(6, 4, &mut rng), &y, &c);
+        let d2 = strip_dist(&random_string(7, 4, &mut rng), &y, &c);
+        let d3 = strip_dist(&random_string(5, 4, &mut rng), &y, &c);
+        let want = combine_dist(&combine_dist(&d1, &d2), &d3);
+
+        let (ca, cb) = (CountingArray::new(&d1), CountingArray::new(&d2));
+        let lazy = DistProduct::new(&ca, &cb);
+        let got_plain = combine_dist_arrays(&lazy, &d3);
+        let plain_evals = ca.evaluations() + cb.evaluations();
+
+        let (ca, cb) = (CountingArray::new(&d1), CountingArray::new(&d2));
+        let lazy = DistProduct::new(&ca, &cb);
+        let cached = CachedArray::new(&lazy);
+        let got_cached = combine_dist_arrays(&cached, &d3);
+        let cached_evals = ca.evaluations() + cb.evaluations();
+
+        assert_eq!(got_plain, want);
+        assert_eq!(got_cached, want);
+        assert!(
+            cached_evals < plain_evals,
+            "cached {cached_evals} vs plain {plain_evals}"
+        );
+    }
+
+    #[test]
     fn dist_tree_matches_dp() {
         let mut rng = StdRng::seed_from_u64(163);
         for strips in [1usize, 2, 3, 5, 8] {
@@ -537,7 +663,11 @@ mod tests {
             let y = random_string(n, 4, &mut rng);
             let c = CostModel::unit();
             let (d, metrics) = edit_distance_hc(&x, &y, &c, strips);
-            assert_eq!(d, edit_distance_dp(&x, &y, &c), "strips={strips} m={m} n={n}");
+            assert_eq!(
+                d,
+                edit_distance_dp(&x, &y, &c),
+                "strips={strips} m={m} n={n}"
+            );
             assert!(metrics.comm_steps > 0);
         }
     }

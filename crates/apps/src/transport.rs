@@ -71,9 +71,7 @@ pub fn northwest_corner(supply: &[i64], demand: &[i64]) -> Vec<Shipment> {
 
 /// Total cost of a plan under a cost array.
 pub fn plan_cost<A: Array2d<i64>>(plan: &[Shipment], c: &A) -> i64 {
-    plan.iter()
-        .map(|s| s.amount * c.entry(s.from, s.to))
-        .sum()
+    plan.iter().map(|s| s.amount * c.entry(s.from, s.to)).sum()
 }
 
 /// Exact minimum-cost transportation by successive shortest paths
@@ -188,7 +186,11 @@ mod tests {
         let mut b = vec![0i64; n];
         let mut left = total;
         for item in b.iter_mut().take(n - 1) {
-            let x = if left > 0 { rng.random_range(0..=left) } else { 0 };
+            let x = if left > 0 {
+                rng.random_range(0..=left)
+            } else {
+                0
+            };
             *item = x;
             left -= x;
         }
@@ -225,10 +227,7 @@ mod tests {
             let c = TransportArray::random(4, 6, &mut rng);
             let (a, b) = random_balanced(4, 6, &mut rng);
             let plan = northwest_corner(&a, &b);
-            assert_eq!(
-                plan_cost(&plan, &c),
-                min_cost_transport(&a, &b, &c)
-            );
+            assert_eq!(plan_cost(&plan, &c), min_cost_transport(&a, &b, &c));
         }
     }
 
@@ -244,7 +243,10 @@ mod tests {
         let plan = northwest_corner(&a, &b);
         let greedy = plan_cost(&plan, &c2);
         let opt = min_cost_transport(&a, &b, &c2);
-        assert!(greedy > opt, "greedy {greedy} should be suboptimal vs {opt}");
+        assert!(
+            greedy > opt,
+            "greedy {greedy} should be suboptimal vs {opt}"
+        );
         let _ = c;
     }
 

@@ -5,9 +5,41 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use monge_bench::workloads::rng_for;
 use monge_core::ansv::ansv;
+use monge_core::array2d::Array2d;
+use monge_core::eval;
+use monge_core::generators::{random_monge_dense, ImplicitMonge};
 use monge_parallel::ansv_par::par_ansv;
 use rand::RngExt;
 use std::hint::black_box;
+
+/// Row minima via one `entry` call per element, tracking the argmin
+/// index — the pre-batching shape of every engine's inner loop.
+fn per_entry_row_minima<A: Array2d<i64>>(a: &A) -> Vec<(usize, i64)> {
+    (0..a.rows())
+        .map(|i| {
+            let mut bj = 0usize;
+            let mut bv = a.entry(i, 0);
+            for j in 1..a.cols() {
+                let v = a.entry(i, j);
+                if v < bv {
+                    bj = j;
+                    bv = v;
+                }
+            }
+            (bj, bv)
+        })
+        .collect()
+}
+
+/// Row minima through the evaluation layer: a zero-copy `row_view` scan
+/// where the substrate stores its rows, else `fill_row` into a reused
+/// scratch buffer + slice argmin.
+fn batched_row_minima<A: Array2d<i64>>(a: &A) -> Vec<(usize, i64)> {
+    let mut buf = Vec::new();
+    (0..a.rows())
+        .map(|i| eval::interval_argmin(a, i, 0, a.cols(), &mut buf))
+        .collect()
+}
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("substrates");
@@ -55,6 +87,30 @@ fn bench(c: &mut Criterion) {
         });
     }
 
+    g.finish();
+
+    // The evaluation layer itself: per-entry loops vs batched fill_row
+    // scans, on a dense (memcpy fill) and an implicit (computed fill)
+    // substrate. The rowmin_json bin emits the same comparison as JSON.
+    let mut g = c.benchmark_group("rowmin");
+    g.sample_size(10);
+    const ROWS: usize = 64;
+    for n in [1024usize, 4096, 16384] {
+        let dense = random_monge_dense(ROWS, n, &mut rng_for(43, n));
+        g.bench_with_input(BenchmarkId::new("dense_per_entry", n), &n, |b, _| {
+            b.iter(|| black_box(per_entry_row_minima(&dense)))
+        });
+        g.bench_with_input(BenchmarkId::new("dense_batched", n), &n, |b, _| {
+            b.iter(|| black_box(batched_row_minima(&dense)))
+        });
+        let implicit = ImplicitMonge::random(ROWS, n, 3, &mut rng_for(44, n));
+        g.bench_with_input(BenchmarkId::new("implicit_per_entry", n), &n, |b, _| {
+            b.iter(|| black_box(per_entry_row_minima(&implicit)))
+        });
+        g.bench_with_input(BenchmarkId::new("implicit_batched", n), &n, |b, _| {
+            b.iter(|| black_box(batched_row_minima(&implicit)))
+        });
+    }
     g.finish();
 }
 

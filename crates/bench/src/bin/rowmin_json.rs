@@ -1,0 +1,93 @@
+//! Per-entry vs batched row-minima micro-benchmark with a JSON summary.
+//!
+//! Measures the evaluation layer in isolation (no criterion, plain
+//! `std::time`) and writes `bench-results/rowmin.json`, so the ≥1.5×
+//! dense-batching acceptance bar can be checked by a script:
+//!
+//! ```text
+//! cargo run --release --bin rowmin_json
+//! ```
+
+use monge_bench::workloads::rng_for;
+use monge_core::array2d::Array2d;
+use monge_core::eval;
+use monge_core::generators::{random_monge_dense, ImplicitMonge};
+use std::hint::black_box;
+use std::time::Instant;
+
+const ROWS: usize = 64;
+
+/// What every engine's inner loop did before batching: a per-entry scan
+/// tracking the leftmost argmin *index* and its value.
+fn per_entry_row_minima<A: Array2d<i64>>(a: &A) -> Vec<(usize, i64)> {
+    (0..a.rows())
+        .map(|i| {
+            let mut bj = 0usize;
+            let mut bv = a.entry(i, 0);
+            for j in 1..a.cols() {
+                let v = a.entry(i, j);
+                if v < bv {
+                    bj = j;
+                    bv = v;
+                }
+            }
+            (bj, bv)
+        })
+        .collect()
+}
+
+fn batched_row_minima<A: Array2d<i64>>(a: &A) -> Vec<(usize, i64)> {
+    let mut buf = Vec::new();
+    (0..a.rows())
+        .map(|i| eval::interval_argmin(a, i, 0, a.cols(), &mut buf))
+        .collect()
+}
+
+/// Best-of-`reps` wall clock in nanoseconds.
+fn time_ns<R, F: FnMut() -> R>(mut f: F, reps: usize) -> u128 {
+    let mut best = u128::MAX;
+    for _ in 0..reps {
+        let t = Instant::now();
+        black_box(f());
+        best = best.min(t.elapsed().as_nanos());
+    }
+    best
+}
+
+fn main() {
+    let reps = 15;
+    let mut records = Vec::new();
+    for n in [1024usize, 4096, 16384] {
+        let dense = random_monge_dense(ROWS, n, &mut rng_for(43, n));
+        let implicit = ImplicitMonge::random(ROWS, n, 3, &mut rng_for(44, n));
+        assert_eq!(per_entry_row_minima(&dense), batched_row_minima(&dense));
+        assert_eq!(
+            per_entry_row_minima(&implicit),
+            batched_row_minima(&implicit)
+        );
+        for (substrate, per_entry, batched) in [
+            (
+                "dense",
+                time_ns(|| per_entry_row_minima(&dense), reps),
+                time_ns(|| batched_row_minima(&dense), reps),
+            ),
+            (
+                "implicit",
+                time_ns(|| per_entry_row_minima(&implicit), reps),
+                time_ns(|| batched_row_minima(&implicit), reps),
+            ),
+        ] {
+            let speedup = per_entry as f64 / batched as f64;
+            println!("{substrate:>9} n={n:<6} per_entry={per_entry:>10}ns batched={batched:>10}ns speedup={speedup:.2}x");
+            records.push(format!(
+                "    {{\"substrate\": \"{substrate}\", \"rows\": {ROWS}, \"n\": {n}, \
+                 \"per_entry_ns\": {per_entry}, \"batched_ns\": {batched}, \
+                 \"speedup\": {speedup:.4}}}"
+            ));
+        }
+    }
+    let json = format!("{{\n  \"rowmin\": [\n{}\n  ]\n}}\n", records.join(",\n"));
+    std::fs::create_dir_all("bench-results").expect("create bench-results/");
+    std::fs::write("bench-results/rowmin.json", &json).expect("write rowmin.json");
+    println!("wrote bench-results/rowmin.json");
+}

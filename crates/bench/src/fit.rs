@@ -72,11 +72,7 @@ pub fn spread(ns: &[f64], ts: &[f64], law: &Law) -> f64 {
 pub fn best_fit(ns: &[f64], ts: &[f64]) -> &'static str {
     let laws = standard_laws();
     laws.iter()
-        .min_by(|a, b| {
-            spread(ns, ts, a)
-                .partial_cmp(&spread(ns, ts, b))
-                .unwrap()
-        })
+        .min_by(|a, b| spread(ns, ts, a).partial_cmp(&spread(ns, ts, b)).unwrap())
         .map(|l| l.name)
         .unwrap_or("?")
 }

@@ -4,9 +4,7 @@
 
 use monge_apps::geometry::{ConvexPolygon, Point, Rect};
 use monge_core::array2d::Dense;
-use monge_core::generators::{
-    apply_staircase, random_monge_dense, random_staircase_boundary,
-};
+use monge_core::generators::{apply_staircase, random_monge_dense, random_staircase_boundary};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -52,12 +50,7 @@ pub fn transport_vectors(n: usize) -> (Vec<i64>, Vec<i64>) {
 pub fn random_points(n: usize, tag: u64) -> Vec<Point> {
     let mut rng = rng_for(tag, n);
     (0..n)
-        .map(|_| {
-            Point::new(
-                rng.random_range(0.0..1000.0),
-                rng.random_range(0.0..1000.0),
-            )
-        })
+        .map(|_| Point::new(rng.random_range(0.0..1000.0), rng.random_range(0.0..1000.0)))
         .collect()
 }
 

@@ -59,9 +59,7 @@ pub fn ansv_brute<T: PartialOrd>(a: &[T]) -> Ansv {
     let left = (0..n)
         .map(|i| (0..i).rev().find(|&j| a[j] < a[i]))
         .collect();
-    let right = (0..n)
-        .map(|i| (i + 1..n).find(|&j| a[j] < a[i]))
-        .collect();
+    let right = (0..n).map(|i| (i + 1..n).find(|&j| a[j] < a[i])).collect();
     Ansv { left, right }
 }
 

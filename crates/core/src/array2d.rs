@@ -29,6 +29,38 @@ pub trait Array2d<T: Value>: Sync {
     /// The entry `a[i, j]`, `0 <= i < rows()`, `0 <= j < cols()`.
     fn entry(&self, i: usize, j: usize) -> T;
 
+    /// Fills `out` with the row segment `a[i, cols.start..cols.end]`.
+    ///
+    /// `out.len()` must equal `cols.len()`. This is the batched
+    /// evaluation primitive the searching engines are built on: filling a
+    /// contiguous buffer once and scanning the slice replaces per-element
+    /// `entry` calls (one generic-dispatch round-trip each) with code the
+    /// compiler can keep in registers and vectorize. The default
+    /// implementation loops `entry`; implementors with cheaper bulk
+    /// access (dense storage, adapters over such arrays, cached rows)
+    /// override it.
+    fn fill_row(&self, i: usize, cols: Range<usize>, out: &mut [T]) {
+        debug_assert_eq!(out.len(), cols.len());
+        for (slot, j) in out.iter_mut().zip(cols) {
+            *slot = self.entry(i, j);
+        }
+    }
+
+    /// A borrowed view of the row segment `a[i, cols]` when the
+    /// implementation already holds it contiguously in memory, else
+    /// `None`.
+    ///
+    /// This is the zero-copy tier above [`Array2d::fill_row`]: the
+    /// interval scans in [`crate::eval`] scan the borrowed slice in
+    /// place and skip the scratch-buffer copy entirely. Only
+    /// implementations that *store* the requested segment (dense
+    /// storage, cached rows, views that merely re-index rows) should
+    /// return `Some`; implementations must never compute entries to
+    /// satisfy this call.
+    fn row_view(&self, _i: usize, _cols: Range<usize>) -> Option<&[T]> {
+        None
+    }
+
     /// Materializes the array into dense row-major storage.
     fn to_dense(&self) -> Dense<T>
     where
@@ -62,6 +94,13 @@ impl<T: Value, A: Array2d<T> + ?Sized> Array2d<T> for &A {
     }
     fn entry(&self, i: usize, j: usize) -> T {
         (**self).entry(i, j)
+    }
+    fn fill_row(&self, i: usize, cols: Range<usize>, out: &mut [T]) {
+        // Forward explicitly so references keep the inner specialization.
+        (**self).fill_row(i, cols, out)
+    }
+    fn row_view(&self, i: usize, cols: Range<usize>) -> Option<&[T]> {
+        (**self).row_view(i, cols)
     }
 }
 
@@ -145,6 +184,16 @@ impl<T: Value> Array2d<T> for Dense<T> {
         debug_assert!(i < self.rows && j < self.cols);
         self.data[i * self.cols + j]
     }
+    #[inline]
+    fn fill_row(&self, i: usize, cols: Range<usize>, out: &mut [T]) {
+        let base = i * self.cols;
+        out.copy_from_slice(&self.data[base + cols.start..base + cols.end]);
+    }
+    #[inline]
+    fn row_view(&self, i: usize, cols: Range<usize>) -> Option<&[T]> {
+        let base = i * self.cols;
+        Some(&self.data[base + cols.start..base + cols.end])
+    }
 }
 
 /// Closure-backed array: entries are computed on demand.
@@ -196,6 +245,12 @@ impl<T: Value, A: Array2d<T>> Array2d<T> for Negate<A> {
     fn entry(&self, i: usize, j: usize) -> T {
         self.0.entry(i, j).neg()
     }
+    fn fill_row(&self, i: usize, cols: Range<usize>, out: &mut [T]) {
+        self.0.fill_row(i, cols, out);
+        for v in out.iter_mut() {
+            *v = v.neg();
+        }
+    }
 }
 
 /// Column reversal: converts between Monge and inverse-Monge.
@@ -213,6 +268,13 @@ impl<T: Value, A: Array2d<T>> Array2d<T> for ReverseCols<A> {
     fn entry(&self, i: usize, j: usize) -> T {
         self.0.entry(i, self.0.cols() - 1 - j)
     }
+    fn fill_row(&self, i: usize, cols: Range<usize>, out: &mut [T]) {
+        // View columns [lo, hi) are parent columns [n - hi, n - lo), read
+        // in reverse order.
+        let n = self.0.cols();
+        self.0.fill_row(i, n - cols.end..n - cols.start, out);
+        out.reverse();
+    }
 }
 
 /// Row reversal: also converts between Monge and inverse-Monge.
@@ -229,6 +291,12 @@ impl<T: Value, A: Array2d<T>> Array2d<T> for ReverseRows<A> {
     #[inline]
     fn entry(&self, i: usize, j: usize) -> T {
         self.0.entry(self.0.rows() - 1 - i, j)
+    }
+    fn fill_row(&self, i: usize, cols: Range<usize>, out: &mut [T]) {
+        self.0.fill_row(self.0.rows() - 1 - i, cols, out);
+    }
+    fn row_view(&self, i: usize, cols: Range<usize>) -> Option<&[T]> {
+        self.0.row_view(self.0.rows() - 1 - i, cols)
     }
 }
 
@@ -296,6 +364,19 @@ impl<T: Value, A: Array2d<T>> Array2d<T> for SubArray<A> {
         self.inner
             .entry(self.row_range.start + i, self.col_range.start + j)
     }
+    fn fill_row(&self, i: usize, cols: Range<usize>, out: &mut [T]) {
+        let c0 = self.col_range.start;
+        self.inner.fill_row(
+            self.row_range.start + i,
+            c0 + cols.start..c0 + cols.end,
+            out,
+        );
+    }
+    fn row_view(&self, i: usize, cols: Range<usize>) -> Option<&[T]> {
+        let c0 = self.col_range.start;
+        self.inner
+            .row_view(self.row_range.start + i, c0 + cols.start..c0 + cols.end)
+    }
 }
 
 /// Entry-wise sum of two equal-shape arrays. Monge arrays are closed
@@ -317,6 +398,14 @@ impl<T: Value, A: Array2d<T>, B: Array2d<T>> Array2d<T> for Plus<A, B> {
     #[inline]
     fn entry(&self, i: usize, j: usize) -> T {
         self.0.entry(i, j).add(self.1.entry(i, j))
+    }
+    fn fill_row(&self, i: usize, cols: Range<usize>, out: &mut [T]) {
+        // Batch the left operand; fold the right one in per element (no
+        // scratch buffer is available for a second batched fill).
+        self.0.fill_row(i, cols.clone(), out);
+        for (slot, j) in out.iter_mut().zip(cols) {
+            *slot = slot.add(self.1.entry(i, j));
+        }
     }
 }
 
@@ -358,6 +447,12 @@ impl<T: Value, A: Array2d<T>> Array2d<T> for SelectRows<A> {
     #[inline]
     fn entry(&self, i: usize, j: usize) -> T {
         self.inner.entry(self.rows[i], j)
+    }
+    fn fill_row(&self, i: usize, cols: Range<usize>, out: &mut [T]) {
+        self.inner.fill_row(self.rows[i], cols, out);
+    }
+    fn row_view(&self, i: usize, cols: Range<usize>) -> Option<&[T]> {
+        self.inner.row_view(self.rows[i], cols)
     }
 }
 
@@ -496,6 +591,23 @@ mod tests {
         // And searching the sum works like any other array.
         let idx = crate::smawk::row_minima_monge(&s).index;
         assert_eq!(idx, crate::monge::brute_row_minima(&s));
+    }
+
+    #[test]
+    fn row_view_zero_copy_paths() {
+        let a = Dense::tabulate(4, 6, |i, j| (i * 6 + j) as i64);
+        assert_eq!(a.row_view(2, 1..5).unwrap(), &[13, 14, 15, 16]);
+        let s = SubArray::new(&a, 1..4, 2..6);
+        assert_eq!(s.row_view(0, 0..4).unwrap(), &[8, 9, 10, 11]);
+        let r = ReverseRows(&a);
+        assert_eq!(r.row_view(0, 0..2).unwrap(), &[18, 19]);
+        let sel = SelectRows::new(&a, vec![0, 3]);
+        assert_eq!(sel.row_view(1, 0..3).unwrap(), &[18, 19, 20]);
+        // Adapters that would have to *compute* entries must decline.
+        assert!(Negate(&a).row_view(0, 0..6).is_none());
+        assert!(ReverseCols(&a).row_view(0, 0..6).is_none());
+        let f = FnArray::new(2, 2, |i, j| (i + j) as i64);
+        assert!(f.row_view(0, 0..2).is_none());
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! row *maxima* stay easy (§1.2).
 
 use crate::array2d::Array2d;
+use crate::eval::{interval_argmax, interval_argmin};
 use crate::value::Value;
 
 /// Leftmost row minima of a Monge array within **non-decreasing** bands
@@ -84,7 +85,20 @@ fn banded<T: Value, A: Array2d<T>>(
         return out;
     }
     let n = a.cols();
-    rec(a, lo, hi, &rows, 0, rows.len(), 0, n, maxima, &mut out);
+    let mut scratch = Vec::new();
+    rec(
+        a,
+        lo,
+        hi,
+        &rows,
+        0,
+        rows.len(),
+        0,
+        n,
+        maxima,
+        &mut out,
+        &mut scratch,
+    );
     out
 }
 
@@ -100,6 +114,7 @@ fn rec<T: Value, A: Array2d<T>>(
     cur_hi: usize,
     maxima: bool,
     out: &mut [Option<usize>],
+    scratch: &mut Vec<T>,
 ) {
     if r0 >= r1 {
         return;
@@ -109,31 +124,58 @@ fn rec<T: Value, A: Array2d<T>>(
     let from = cur_lo.max(lo[row]);
     let to = cur_hi.min(hi[row]);
     debug_assert!(from < to, "invariant violated: empty middle interval");
-    let mut best = from;
-    let mut best_v = a.entry(row, from);
-    for j in from + 1..to {
-        let v = a.entry(row, j);
-        let better = if maxima {
-            best_v.total_lt(v)
-        } else {
-            v.total_lt(best_v)
-        };
-        if better {
-            best = j;
-            best_v = v;
-        }
-    }
+    let (best, _) = if maxima {
+        interval_argmax(a, row, from, to, scratch)
+    } else {
+        interval_argmin(a, row, from, to, scratch)
+    };
     out[row] = Some(best);
     if maxima {
         // Argmax non-increasing: rows above search right of j*, rows
         // below left of it (escapes merge into single intervals for
         // non-increasing bands).
-        rec(a, lo, hi, rows, r0, mid, best, cur_hi, maxima, out);
-        rec(a, lo, hi, rows, mid + 1, r1, cur_lo, best + 1, maxima, out);
+        rec(a, lo, hi, rows, r0, mid, best, cur_hi, maxima, out, scratch);
+        rec(
+            a,
+            lo,
+            hi,
+            rows,
+            mid + 1,
+            r1,
+            cur_lo,
+            best + 1,
+            maxima,
+            out,
+            scratch,
+        );
     } else {
         // Argmin non-decreasing: the mirror (non-decreasing bands).
-        rec(a, lo, hi, rows, r0, mid, cur_lo, best + 1, maxima, out);
-        rec(a, lo, hi, rows, mid + 1, r1, best, cur_hi, maxima, out);
+        rec(
+            a,
+            lo,
+            hi,
+            rows,
+            r0,
+            mid,
+            cur_lo,
+            best + 1,
+            maxima,
+            out,
+            scratch,
+        );
+        rec(
+            a,
+            lo,
+            hi,
+            rows,
+            mid + 1,
+            r1,
+            best,
+            cur_hi,
+            maxima,
+            out,
+            scratch,
+        );
     }
 }
 
@@ -285,6 +327,9 @@ mod tests {
             .map(Option::unwrap)
             .collect();
         let masked = crate::generators::apply_staircase(&a, &f);
-        assert_eq!(got, crate::staircase::staircase_row_maxima_brute(&masked, &f));
+        assert_eq!(
+            got,
+            crate::staircase::staircase_row_maxima_brute(&masked, &f)
+        );
     }
 }

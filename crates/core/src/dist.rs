@@ -14,6 +14,7 @@
 //! monotonicity the product inherits; re-verified by property tests).
 
 use crate::array2d::{Array2d, Dense};
+use crate::eval::CachedArray;
 use crate::tube::{tube_maxima, tube_minima};
 use crate::value::Value;
 
@@ -30,6 +31,18 @@ pub fn min_plus<T: Value, A: Array2d<T>, B: Array2d<T>>(d: &A, e: &B) -> Dense<T
 /// inverse-Monge (see [`max_plus_inverse`]).
 pub fn max_plus<T: Value, A: Array2d<T>, B: Array2d<T>>(d: &A, e: &B) -> Dense<T> {
     let ex = tube_maxima(d, e);
+    Dense::from_vec(ex.p, ex.r, ex.value)
+}
+
+/// `(min,+)` product with the **right factor memoized**: every plane
+/// `F_i[k][j] = d[i,j] + e[j,k]` reads the same `q × r` array `E`, so when
+/// `E` is an expensive implicit array (a recursively combined DIST
+/// matrix) its entries are recomputed once per plane — `p` times overall.
+/// Wrapping `E` in a [`CachedArray`] caps that at one evaluation per
+/// entry, at the cost of `O(qr)` memory for the materialized rows.
+pub fn min_plus_cached<T: Value, A: Array2d<T>, B: Array2d<T>>(d: &A, e: &B) -> Dense<T> {
+    let cached = CachedArray::new(e);
+    let ex = tube_minima(d, &cached);
     Dense::from_vec(ex.p, ex.r, ex.value)
 }
 
@@ -115,12 +128,41 @@ mod tests {
             let d = random_inverse_monge_dense(6, 8, &mut rng);
             let e = random_inverse_monge_dense(8, 4, &mut rng);
             let f = max_plus_inverse(&d, &e);
-            assert!(is_inverse_monge(&f), "(max,+) product lost inverse-Monge-ness");
+            assert!(
+                is_inverse_monge(&f),
+                "(max,+) product lost inverse-Monge-ness"
+            );
             let want = Dense::tabulate(6, 4, |i, k| {
                 (0..8).map(|j| d.entry(i, j) + e.entry(j, k)).max().unwrap()
             });
             assert_eq!(f, want);
         }
+    }
+
+    #[test]
+    fn cached_min_plus_matches_and_saves_evaluations() {
+        use crate::eval::CountingArray;
+        let mut rng = StdRng::seed_from_u64(36);
+        let (p, q, r) = (60usize, 8usize, 8usize);
+        let d = random_monge_dense(p, q, &mut rng);
+        let e = random_monge_dense(q, r, &mut rng);
+
+        let plain = CountingArray::new(&e);
+        let want = min_plus(&d, &plain);
+        let plain_evals = plain.evaluations();
+
+        let counted = CountingArray::new(&e);
+        let got = min_plus_cached(&d, &counted);
+        assert_eq!(got, want);
+        // The cache evaluates each entry of E at most once; the uncached
+        // product re-reads E once per plane.
+        assert!(counted.evaluations() <= (q * r) as u64);
+        assert!(
+            counted.evaluations() < plain_evals,
+            "cached: {} vs plain: {}",
+            counted.evaluations(),
+            plain_evals
+        );
     }
 
     #[test]

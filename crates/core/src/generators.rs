@@ -104,11 +104,7 @@ pub fn random_staircase_monge_dense(m: usize, n: usize, rng: &mut impl Rng) -> D
 
 /// A dense random `m × n` staircase-**inverse**-Monge array over `i64`
 /// (negated Monge base under a legal staircase of `+∞`).
-pub fn random_staircase_inverse_monge_dense(
-    m: usize,
-    n: usize,
-    rng: &mut impl Rng,
-) -> Dense<i64> {
+pub fn random_staircase_inverse_monge_dense(m: usize, n: usize, rng: &mut impl Rng) -> Dense<i64> {
     let base = random_monge_dense(m, n, rng);
     let f = random_staircase_boundary(m, n, rng);
     Dense::tabulate(m, n, |i, j| {
@@ -214,6 +210,25 @@ impl Array2d<i64> for ImplicitMonge {
             v
         }
     }
+    fn fill_row(&self, i: usize, cols: std::ops::Range<usize>, out: &mut [i64]) {
+        // Hoist the per-row terms (`row_off[i]`, each bump's `x[i]`) out
+        // of the column loop; the inner loops run over contiguous slices.
+        let ri = self.row_off[i];
+        for (slot, &c) in out.iter_mut().zip(&self.col_off[cols.clone()]) {
+            *slot = ri + c;
+        }
+        for b in &self.bumps {
+            let (w, xi) = (b.weight, b.x[i]);
+            for (slot, &yj) in out.iter_mut().zip(&b.y[cols.clone()]) {
+                *slot -= w * xi.min(yj);
+            }
+        }
+        if self.negate {
+            for slot in out.iter_mut() {
+                *slot = -*slot;
+            }
+        }
+    }
 }
 
 /// The sorted-transportation Monge family `a[i,j] = |x_i - y_j|` for
@@ -251,14 +266,18 @@ impl Array2d<i64> for TransportArray {
     fn entry(&self, i: usize, j: usize) -> i64 {
         (self.x[i] - self.y[j]).abs()
     }
+    fn fill_row(&self, i: usize, cols: std::ops::Range<usize>, out: &mut [i64]) {
+        let xi = self.x[i];
+        for (slot, &yj) in out.iter_mut().zip(&self.y[cols]) {
+            *slot = (xi - yj).abs();
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::monge::{
-        has_staircase_shape, is_inverse_monge, is_monge, is_staircase_monge,
-    };
+    use crate::monge::{has_staircase_shape, is_inverse_monge, is_monge, is_staircase_monge};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -38,6 +38,9 @@
 //!   paper's Lemma 2.2 processor allocation.
 //! * [`dist`] — DIST-matrix algebra ((min,+) products of Monge matrices)
 //!   used by the string-editing application.
+//! * [`eval`] — the batched evaluation layer: scratch-buffer interval
+//!   scans over [`Array2d::fill_row`], the [`eval::CachedArray`] memoizing
+//!   wrapper, and the [`eval::CountingArray`] evaluation-count metrics hook.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,6 +49,7 @@ pub mod ansv;
 pub mod array2d;
 pub mod banded;
 pub mod dist;
+pub mod eval;
 pub mod generators;
 pub mod monge;
 pub mod online;
@@ -55,6 +59,7 @@ pub mod tube;
 pub mod value;
 
 pub use array2d::{Array2d, Dense, FnArray};
+pub use eval::{CachedArray, CountingArray};
 pub use smawk::{
     row_maxima_inverse_monge, row_maxima_monge, row_minima_inverse_monge, row_minima_monge,
     RowExtrema,

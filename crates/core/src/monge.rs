@@ -20,10 +20,7 @@ pub fn is_inverse_monge<T: Value, A: Array2d<T>>(a: &A) -> bool {
     adjacent_quadrangles_hold(a, |lhs, rhs| rhs.total_le(lhs))
 }
 
-fn adjacent_quadrangles_hold<T: Value, A: Array2d<T>>(
-    a: &A,
-    ok: impl Fn(T, T) -> bool,
-) -> bool {
+fn adjacent_quadrangles_hold<T: Value, A: Array2d<T>>(a: &A, ok: impl Fn(T, T) -> bool) -> bool {
     let (m, n) = (a.rows(), a.cols());
     for i in 0..m.saturating_sub(1) {
         for j in 0..n.saturating_sub(1) {
@@ -74,7 +71,9 @@ pub fn staircase_boundary_row<T: Value, A: Array2d<T>>(a: &A, i: usize) -> usize
 
 /// The full staircase boundary `f_1, …, f_m`.
 pub fn staircase_boundary<T: Value, A: Array2d<T>>(a: &A) -> Vec<usize> {
-    (0..a.rows()).map(|i| staircase_boundary_row(a, i)).collect()
+    (0..a.rows())
+        .map(|i| staircase_boundary_row(a, i))
+        .collect()
 }
 
 /// Is `A` staircase-Monge? (Items 1–3 of the §1.1 definition: legal

@@ -94,23 +94,23 @@ fn smawk_rec<T: Value, A: Array2d<T>>(
     }
 
     // REDUCE: keep at most |rows| columns that can still contain a row
-    // minimum. `stack[k]` is a live column competing at row `rows[k]`.
+    // minimum. `stack[k]` is a live column competing at row `rows[k]`;
+    // `vals[k]` caches `a.entry(rows[k], stack[k])` so each comparison
+    // evaluates only the challenger, not the incumbent again.
     let mut stack: Vec<usize> = Vec::with_capacity(rows.len());
+    let mut vals: Vec<T> = Vec::with_capacity(rows.len());
     for &c in cols {
-        loop {
-            match stack.last() {
-                None => break,
-                Some(&top) => {
-                    let r = rows[stack.len() - 1];
-                    if replaces(a.entry(r, c), a.entry(r, top), tie) {
-                        stack.pop();
-                    } else {
-                        break;
-                    }
-                }
+        while let Some(&inc) = vals.last() {
+            let r = rows[stack.len() - 1];
+            if replaces(a.entry(r, c), inc, tie) {
+                stack.pop();
+                vals.pop();
+            } else {
+                break;
             }
         }
         if stack.len() < rows.len() {
+            vals.push(a.entry(rows[stack.len()], c));
             stack.push(c);
         }
     }
@@ -223,15 +223,33 @@ mod tests {
     /// The classic 9x18 totally monotone example from the SMAWK literature.
     fn classic() -> Dense<i64> {
         let rows = vec![
-            vec![25, 21, 13, 10, 20, 13, 19, 35, 37, 41, 58, 66, 82, 99, 124, 133, 156, 178],
-            vec![42, 35, 26, 20, 29, 21, 25, 37, 36, 39, 56, 64, 76, 91, 116, 125, 146, 164],
-            vec![57, 48, 35, 28, 33, 24, 28, 40, 37, 37, 54, 61, 72, 83, 107, 113, 131, 146],
-            vec![78, 65, 51, 42, 44, 35, 38, 48, 42, 42, 55, 61, 70, 80, 100, 106, 120, 135],
-            vec![90, 76, 58, 48, 49, 39, 42, 48, 39, 35, 47, 51, 56, 63, 80, 86, 97, 110],
-            vec![103, 85, 67, 56, 55, 44, 44, 49, 39, 33, 41, 44, 49, 56, 71, 75, 84, 96],
-            vec![123, 105, 86, 75, 73, 59, 57, 62, 51, 44, 50, 52, 55, 59, 72, 74, 80, 92],
-            vec![142, 123, 100, 86, 82, 65, 61, 62, 50, 43, 47, 45, 46, 46, 58, 59, 65, 73],
-            vec![151, 130, 104, 88, 80, 59, 52, 49, 37, 29, 29, 24, 23, 20, 28, 25, 31, 39],
+            vec![
+                25, 21, 13, 10, 20, 13, 19, 35, 37, 41, 58, 66, 82, 99, 124, 133, 156, 178,
+            ],
+            vec![
+                42, 35, 26, 20, 29, 21, 25, 37, 36, 39, 56, 64, 76, 91, 116, 125, 146, 164,
+            ],
+            vec![
+                57, 48, 35, 28, 33, 24, 28, 40, 37, 37, 54, 61, 72, 83, 107, 113, 131, 146,
+            ],
+            vec![
+                78, 65, 51, 42, 44, 35, 38, 48, 42, 42, 55, 61, 70, 80, 100, 106, 120, 135,
+            ],
+            vec![
+                90, 76, 58, 48, 49, 39, 42, 48, 39, 35, 47, 51, 56, 63, 80, 86, 97, 110,
+            ],
+            vec![
+                103, 85, 67, 56, 55, 44, 44, 49, 39, 33, 41, 44, 49, 56, 71, 75, 84, 96,
+            ],
+            vec![
+                123, 105, 86, 75, 73, 59, 57, 62, 51, 44, 50, 52, 55, 59, 72, 74, 80, 92,
+            ],
+            vec![
+                142, 123, 100, 86, 82, 65, 61, 62, 50, 43, 47, 45, 46, 46, 58, 59, 65, 73,
+            ],
+            vec![
+                151, 130, 104, 88, 80, 59, 52, 49, 37, 29, 29, 24, 23, 20, 28, 25, 31, 39,
+            ],
         ];
         Dense::from_rows(rows)
     }

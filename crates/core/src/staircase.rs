@@ -24,6 +24,7 @@
 //! which the generators never produce) reports column `0`.
 
 use crate::array2d::Array2d;
+use crate::eval::{interval_argmax, interval_argmin};
 use crate::value::Value;
 
 /// Extracts the staircase boundary `f_i` (first infinite column of row
@@ -128,10 +129,9 @@ pub fn staircase_row_minima<T: Value, A: Array2d<T>>(a: &A, f: &[usize]) -> Vec<
     }
     assert!(a.cols() > 0);
     let mut best: Vec<Option<(T, usize)>> = vec![None; m];
-    minima_rec(a, f, 0, m, 0, a.cols(), &mut best);
-    best.into_iter()
-        .map(|b| b.map_or(0, |(_, j)| j))
-        .collect()
+    let mut scratch = Vec::new();
+    minima_rec(a, f, 0, m, 0, a.cols(), &mut best, &mut scratch);
+    best.into_iter().map(|b| b.map_or(0, |(_, j)| j)).collect()
 }
 
 /// Merges a candidate `(value, column)` into the running leftmost minimum
@@ -147,6 +147,7 @@ fn merge_candidate<T: Value>(slot: &mut Option<(T, usize)>, v: T, j: usize) {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn minima_rec<T: Value, A: Array2d<T>>(
     a: &A,
     f: &[usize],
@@ -155,6 +156,7 @@ fn minima_rec<T: Value, A: Array2d<T>>(
     c0: usize,
     c1: usize,
     out: &mut [Option<(T, usize)>],
+    scratch: &mut Vec<T>,
 ) {
     // Trim rows whose finite prefix does not reach this column range:
     // `f` is non-increasing, so they form a suffix.
@@ -166,22 +168,14 @@ fn minima_rec<T: Value, A: Array2d<T>>(
     // Scan the middle row's region [c0, min(c1, f_mid)); nonempty since
     // f_mid > c0 after trimming.
     let hi = c1.min(f[mid]);
-    let mut best = c0;
-    let mut best_v = a.entry(mid, best);
-    for j in c0 + 1..hi {
-        let v = a.entry(mid, j);
-        if v.total_lt(best_v) {
-            best = j;
-            best_v = v;
-        }
-    }
+    let (best, best_v) = interval_argmin(a, mid, c0, hi, scratch);
     merge_candidate(&mut out[mid], best_v, best);
 
     // Rows above: the Monge region left of (and including) best …
-    minima_rec(a, f, r0, mid, c0, best + 1, out);
+    minima_rec(a, f, r0, mid, c0, best + 1, out, scratch);
     // … plus the staircase region beyond the middle row's boundary.
     if f[mid] < c1 {
-        minima_rec(a, f, r0, mid, f[mid], c1, out);
+        minima_rec(a, f, r0, mid, f[mid], c1, out, scratch);
     }
 
     if mid + 1 >= r1 {
@@ -190,8 +184,8 @@ fn minima_rec<T: Value, A: Array2d<T>>(
     // Rows below split at the first row the staircase cuts off at or
     // before `best`.
     let cut = partition_point(mid + 1, r1, |i| f[i] > best);
-    minima_rec(a, f, mid + 1, cut, best, c1, out);
-    minima_rec(a, f, cut, r1, c0, best + 1, out);
+    minima_rec(a, f, mid + 1, cut, best, c1, out, scratch);
+    minima_rec(a, f, cut, r1, c0, best + 1, out, scratch);
 }
 
 /// Leftmost row maxima of a staircase-Monge array; argmax positions are
@@ -205,10 +199,12 @@ pub fn staircase_row_maxima<T: Value, A: Array2d<T>>(a: &A, f: &[usize]) -> Vec<
         return out;
     }
     assert!(a.cols() > 0);
-    maxima_rec(a, f, 0, m, 0, a.cols(), &mut out);
+    let mut scratch = Vec::new();
+    maxima_rec(a, f, 0, m, 0, a.cols(), &mut out, &mut scratch);
     out
 }
 
+#[allow(clippy::too_many_arguments)]
 fn maxima_rec<T: Value, A: Array2d<T>>(
     a: &A,
     f: &[usize],
@@ -217,26 +213,20 @@ fn maxima_rec<T: Value, A: Array2d<T>>(
     c0: usize,
     c1: usize,
     out: &mut [usize],
+    scratch: &mut Vec<T>,
 ) {
     if r0 >= r1 {
         return;
     }
     let mid = r0 + (r1 - r0) / 2;
-    let hi = c1.min(f[mid]).max(c0 + 1).min(a.cols());
-    let mut best = c0.min(a.cols() - 1);
-    let mut best_v = a.entry(mid, best);
-    for j in best + 1..hi {
-        let v = a.entry(mid, j);
-        if best_v.total_lt(v) {
-            best = j;
-            best_v = v;
-        }
-    }
+    let from = c0.min(a.cols() - 1);
+    let hi = c1.min(f[mid]).max(from + 1).min(a.cols());
+    let (best, _) = interval_argmax(a, mid, from, hi, scratch);
     out[mid] = best;
     // argmax is non-increasing: rows above search right of best, rows
     // below search left of best.
-    maxima_rec(a, f, r0, mid, best, c1, out);
-    maxima_rec(a, f, mid + 1, r1, c0, best + 1, out);
+    maxima_rec(a, f, r0, mid, best, c1, out, scratch);
+    maxima_rec(a, f, mid + 1, r1, c0, best + 1, out, scratch);
 }
 
 /// Leftmost row **maxima** of a staircase-**inverse**-Monge array — the

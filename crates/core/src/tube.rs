@@ -24,9 +24,10 @@
 //! plane's row maxima/minima take `Θ(q + r)` time by SMAWK, giving the
 //! sequential `O((p + r) q)` bound of §1.2 for square-ish inputs.
 
-use crate::array2d::{Array2d, FnArray};
+use crate::array2d::Array2d;
 use crate::smawk::{row_maxima_monge, row_minima_monge};
 use crate::value::Value;
+use std::ops::Range;
 
 /// A Monge-composite array `c[i,j,k] = d[i,j] + e[j,k]`.
 #[derive(Clone, Debug)]
@@ -105,14 +106,52 @@ impl<T: Value> TubeExtrema<T> {
 }
 
 /// The Monge plane `F_i[k][j] = d[i,j] + e[j,k]` for a fixed `i`.
+///
+/// A named array type (rather than a closure) so that `fill_row` can
+/// batch: the `d` terms of a plane row are a contiguous slice of row `i`
+/// of `D`, fetched with one [`Array2d::fill_row`] call, and only the `e`
+/// terms need per-element evaluation.
+#[derive(Clone, Debug)]
+pub struct Plane<'a, T, A, B> {
+    d: &'a A,
+    e: &'a B,
+    i: usize,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<'a, T: Value, A: Array2d<T>, B: Array2d<T>> Array2d<T> for Plane<'a, T, A, B> {
+    fn rows(&self) -> usize {
+        self.e.cols()
+    }
+    fn cols(&self) -> usize {
+        self.d.cols()
+    }
+    #[inline]
+    fn entry(&self, k: usize, j: usize) -> T {
+        self.d.entry(self.i, j).add(self.e.entry(j, k))
+    }
+    fn fill_row(&self, k: usize, cols: Range<usize>, out: &mut [T]) {
+        // `out` doubles as the buffer for the d-row slice; the e column
+        // is folded in place, so no temporary allocation is needed.
+        self.d.fill_row(self.i, cols.clone(), out);
+        for (slot, j) in out.iter_mut().zip(cols) {
+            *slot = slot.add(self.e.entry(j, k));
+        }
+    }
+}
+
+/// Builds the plane `F_i` of the composite `c[i,j,k] = d[i,j] + e[j,k]`.
 pub fn plane<'a, T: Value, A: Array2d<T>, B: Array2d<T>>(
     d: &'a A,
     e: &'a B,
     i: usize,
-) -> FnArray<impl Fn(usize, usize) -> T + 'a> {
-    FnArray::new(e.cols(), d.cols(), move |k, j| {
-        d.entry(i, j).add(e.entry(j, k))
-    })
+) -> Plane<'a, T, A, B> {
+    Plane {
+        d,
+        e,
+        i,
+        _marker: std::marker::PhantomData,
+    }
 }
 
 /// Tube maxima (`(max,+)` product) by per-plane SMAWK:
@@ -165,10 +204,7 @@ pub fn tube_minima<T: Value, A: Array2d<T>, B: Array2d<T>>(d: &A, e: &B) -> Tube
 /// inverse-Monge `E` every plane `F_i[k][j] = d[i,j] + e[j,k]` is
 /// inverse-Monge (the `d` terms cancel out of every quadrangle), so the
 /// per-plane search uses [`crate::smawk::row_maxima_inverse_monge`]. `O(p (q + r))`.
-pub fn tube_maxima_inverse<T: Value, A: Array2d<T>, B: Array2d<T>>(
-    d: &A,
-    e: &B,
-) -> TubeExtrema<T> {
+pub fn tube_maxima_inverse<T: Value, A: Array2d<T>, B: Array2d<T>>(d: &A, e: &B) -> TubeExtrema<T> {
     assert_eq!(d.cols(), e.rows(), "inner dimensions disagree");
     let (p, q, r) = (d.rows(), d.cols(), e.cols());
     assert!(q > 0, "tube over an empty middle dimension is undefined");
@@ -183,18 +219,12 @@ pub fn tube_maxima_inverse<T: Value, A: Array2d<T>, B: Array2d<T>>(
 }
 
 /// Brute-force tube maxima oracle, `O(p q r)`.
-pub fn tube_maxima_brute<T: Value, A: Array2d<T>, B: Array2d<T>>(
-    d: &A,
-    e: &B,
-) -> TubeExtrema<T> {
+pub fn tube_maxima_brute<T: Value, A: Array2d<T>, B: Array2d<T>>(d: &A, e: &B) -> TubeExtrema<T> {
     tube_brute(d, e, |cand, best| best.total_lt(cand))
 }
 
 /// Brute-force tube minima oracle, `O(p q r)`.
-pub fn tube_minima_brute<T: Value, A: Array2d<T>, B: Array2d<T>>(
-    d: &A,
-    e: &B,
-) -> TubeExtrema<T> {
+pub fn tube_minima_brute<T: Value, A: Array2d<T>, B: Array2d<T>>(d: &A, e: &B) -> TubeExtrema<T> {
     tube_brute(d, e, |cand, best| cand.total_lt(best))
 }
 
@@ -231,10 +261,7 @@ fn tube_brute<T: Value, A: Array2d<T>, B: Array2d<T>>(
 /// `c[i,j,k] = d[i,j] + e[j,k]`, this decomposes as
 /// `d[i,j] + max_k e[j,k]`: one row-maxima computation on `E` answers all
 /// `p × q` tubes. Ties take the minimum third coordinate (leftmost).
-pub fn tube_maxima_literal<T: Value, A: Array2d<T>, B: Array2d<T>>(
-    d: &A,
-    e: &B,
-) -> TubeExtrema<T> {
+pub fn tube_maxima_literal<T: Value, A: Array2d<T>, B: Array2d<T>>(d: &A, e: &B) -> TubeExtrema<T> {
     assert_eq!(d.cols(), e.rows(), "inner dimensions disagree");
     let (p, q) = (d.rows(), d.cols());
     assert!(e.cols() > 0);
@@ -279,7 +306,11 @@ mod tests {
         for &(p, q, r) in &[(1usize, 1usize, 1usize), (4, 7, 3), (9, 5, 9), (6, 6, 6)] {
             let d = random_monge_dense(p, q, &mut rng);
             let e = random_monge_dense(q, r, &mut rng);
-            assert_eq!(tube_maxima(&d, &e), tube_maxima_brute(&d, &e), "{p}x{q}x{r}");
+            assert_eq!(
+                tube_maxima(&d, &e),
+                tube_maxima_brute(&d, &e),
+                "{p}x{q}x{r}"
+            );
         }
     }
 
@@ -289,7 +320,11 @@ mod tests {
         for &(p, q, r) in &[(3usize, 9usize, 4usize), (8, 8, 8), (2, 3, 11)] {
             let d = random_monge_dense(p, q, &mut rng);
             let e = random_monge_dense(q, r, &mut rng);
-            assert_eq!(tube_minima(&d, &e), tube_minima_brute(&d, &e), "{p}x{q}x{r}");
+            assert_eq!(
+                tube_minima(&d, &e),
+                tube_minima_brute(&d, &e),
+                "{p}x{q}x{r}"
+            );
         }
     }
 

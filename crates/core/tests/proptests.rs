@@ -6,8 +6,7 @@ use monge_core::ansv::{ansv, ansv_brute};
 use monge_core::array2d::{Array2d, Negate, ReverseCols, Transpose};
 use monge_core::dist::{min_plus, min_plus_brute};
 use monge_core::generators::{
-    apply_staircase, random_monge_dense, random_staircase_boundary, ImplicitMonge,
-    TransportArray,
+    apply_staircase, random_monge_dense, random_staircase_boundary, ImplicitMonge, TransportArray,
 };
 use monge_core::monge::{
     brute_row_maxima, brute_row_minima, is_inverse_monge, is_monge, is_staircase_monge,

@@ -183,8 +183,16 @@ impl<C: Word> Hypercube<C> {
     /// One exchange step across dimension `d`: every node sees its
     /// dimension-`d` neighbor's **pre-step** registers and may update its
     /// own. Counts one communication step and `2^dim` messages.
-    pub fn exchange(&mut self, d: usize, mut f: impl FnMut(usize, &mut NodeView<'_, C>, &RemoteView<'_, C>)) {
-        assert!(d < self.dim, "dimension {d} out of range (dim = {})", self.dim);
+    pub fn exchange(
+        &mut self,
+        d: usize,
+        mut f: impl FnMut(usize, &mut NodeView<'_, C>, &RemoteView<'_, C>),
+    ) {
+        assert!(
+            d < self.dim,
+            "dimension {d} out of range (dim = {})",
+            self.dim
+        );
         let nregs = self.nregs;
         self.snapshot.clear();
         self.snapshot.extend_from_slice(&self.regs);
@@ -254,8 +262,8 @@ mod tests {
             hc.load(r, &ids);
             hc.exchange(d, |_, own, remote| own.set(r, remote.get(r)));
             let got = hc.read_reg(r);
-            for node in 0..8usize {
-                assert_eq!(got[node], (node ^ (1 << d)) as i64);
+            for (node, &v) in got.iter().enumerate() {
+                assert_eq!(v, (node ^ (1 << d)) as i64);
             }
         }
     }

@@ -30,11 +30,7 @@ pub fn broadcast_from_zero<C: Word>(hc: &mut Hypercube<C>, r: Reg) {
 
 /// Reduces a register by `combine` into node 0 in `d` exchange steps.
 /// `combine(a, b)` receives the lower node's value first.
-pub fn reduce_to_zero<C: Word>(
-    hc: &mut Hypercube<C>,
-    r: Reg,
-    combine: impl Fn(C, C) -> C + Copy,
-) {
+pub fn reduce_to_zero<C: Word>(hc: &mut Hypercube<C>, r: Reg, combine: impl Fn(C, C) -> C + Copy) {
     for d in 0..hc.dim() {
         hc.exchange(d, |node, own, remote| {
             if (node >> d) & 1 == 0 {
@@ -46,11 +42,7 @@ pub fn reduce_to_zero<C: Word>(
 
 /// Inclusive parallel prefix over node-id order in `d` exchange steps
 /// plus one local step; `combine` must be associative.
-pub fn scan_inclusive<C: Word>(
-    hc: &mut Hypercube<C>,
-    r: Reg,
-    combine: impl Fn(C, C) -> C + Copy,
-) {
+pub fn scan_inclusive<C: Word>(hc: &mut Hypercube<C>, r: Reg, combine: impl Fn(C, C) -> C + Copy) {
     let total = hc.alloc_reg(hc.peek(0, r));
     hc.local(|_, own| {
         let v = own.get(r);
@@ -249,7 +241,16 @@ pub fn distribute<C: Word>(
     payloads: &[Reg],
 ) {
     let dim = hc.dim();
-    bit_fix_pass(hc, (0..dim).rev(), valid, one, zero, dest, dest_of, payloads);
+    bit_fix_pass(
+        hc,
+        (0..dim).rev(),
+        valid,
+        one,
+        zero,
+        dest,
+        dest_of,
+        payloads,
+    );
 }
 
 /// General monotone (isotone) routing — the Lemma 3.1 primitive: packets
@@ -347,10 +348,7 @@ pub fn sorted_gather<C: Word>(
     hc.local(|node, own| {
         own.set(sortpos, make_key(node));
         own.set(prevkey, own.get(req_key));
-        own.set(
-            svalid,
-            if node + 1 < n { one } else { zero },
-        );
+        own.set(svalid, if node + 1 < n { one } else { zero });
         own.set(srank, make_key(node));
         own.set(sdest, make_key((node + 1).min(n - 1)));
     });
@@ -404,17 +402,7 @@ pub fn sorted_gather<C: Word>(
         let t = own.get(table);
         own.set(travel, t);
     });
-    route_monotone(
-        hc,
-        cflag,
-        one,
-        zero,
-        crank,
-        key_of,
-        cpos,
-        key_of,
-        &[travel],
-    );
+    route_monotone(hc, cflag, one, zero, crank, key_of, cpos, key_of, &[travel]);
     // 7. Spread each key's value across its duplicates (segments start at
     //    first occurrences).
     segmented_scan_inclusive(hc, travel, first, one, |a, _b| a);

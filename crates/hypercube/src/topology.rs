@@ -217,7 +217,11 @@ impl<C: Word> ShuffleExchange<C> {
     /// `rotation`; `f` receives logical node ids.
     pub fn exchange_lowest(
         &mut self,
-        mut f: impl FnMut(usize, &mut crate::network::NodeView<'_, C>, &crate::network::RemoteView<'_, C>),
+        mut f: impl FnMut(
+            usize,
+            &mut crate::network::NodeView<'_, C>,
+            &crate::network::RemoteView<'_, C>,
+        ),
     ) {
         let nregs = self.nregs;
         self.snapshot.clear();
@@ -226,9 +230,8 @@ impl<C: Word> ShuffleExchange<C> {
         for p in 0..self.nodes() {
             let partner = p ^ 1;
             let logical = self.logical_of_physical(p);
-            let remote = crate::network::RemoteView::new(
-                &snapshot[partner * nregs..(partner + 1) * nregs],
-            );
+            let remote =
+                crate::network::RemoteView::new(&snapshot[partner * nregs..(partner + 1) * nregs]);
             let file = &mut self.regs[p * nregs..(p + 1) * nregs];
             let mut view = crate::network::NodeView::new(file);
             f(logical, &mut view, &remote);
@@ -246,7 +249,8 @@ impl<C: Word> ShuffleExchange<C> {
         let mut next = self.regs.clone();
         for p in 0..n {
             let q = ror(p, self.dim);
-            next[q * nregs..(q + 1) * nregs].copy_from_slice(&self.regs[p * nregs..(p + 1) * nregs]);
+            next[q * nregs..(q + 1) * nregs]
+                .copy_from_slice(&self.regs[p * nregs..(p + 1) * nregs]);
         }
         self.regs = next;
         self.rotation = (self.rotation + 1) % self.dim;
@@ -340,7 +344,11 @@ impl<C: Word> CubeConnectedCycles<C> {
     /// cycle position `cur`.
     pub fn exchange_current(
         &mut self,
-        mut f: impl FnMut(usize, &mut crate::network::NodeView<'_, C>, &crate::network::RemoteView<'_, C>),
+        mut f: impl FnMut(
+            usize,
+            &mut crate::network::NodeView<'_, C>,
+            &crate::network::RemoteView<'_, C>,
+        ),
     ) {
         let d = self.cur;
         let nregs = self.nregs;
@@ -349,9 +357,8 @@ impl<C: Word> CubeConnectedCycles<C> {
         let snapshot = std::mem::take(&mut self.snapshot);
         for w in 0..self.cycles() {
             let partner = w ^ (1 << d);
-            let remote = crate::network::RemoteView::new(
-                &snapshot[partner * nregs..(partner + 1) * nregs],
-            );
+            let remote =
+                crate::network::RemoteView::new(&snapshot[partner * nregs..(partner + 1) * nregs]);
             let file = &mut self.regs[w * nregs..(w + 1) * nregs];
             let mut view = crate::network::NodeView::new(file);
             f(w, &mut view, &remote);

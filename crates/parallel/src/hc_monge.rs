@@ -288,13 +288,13 @@ impl<T: Value> HcEngine<T> {
         });
 
         // Segmented minimum: each block's optimum lands on its last node.
-        segmented_scan_inclusive(
-            &mut self.hc,
-            self.cand,
-            self.flag,
-            Self::one(),
-            |a, b| if b < a { b } else { a },
-        );
+        segmented_scan_inclusive(&mut self.hc, self.cand, self.flag, Self::one(), |a, b| {
+            if b < a {
+                b
+            } else {
+                a
+            }
+        });
 
         for &(b, last) in &ends {
             let w = self.hc.peek(last, self.cand);
@@ -433,9 +433,6 @@ mod tests {
         let s256 = hc_row_minima(&a256).metrics.steps();
         // lg² growth: going 64 -> 256 multiplies lg² by (8/6)² ≈ 1.8;
         // anything at or under 3x rules out linear behaviour (4x).
-        assert!(
-            s256 <= 3 * s64,
-            "steps grew too fast: {s64} -> {s256}"
-        );
+        assert!(s256 <= 3 * s64, "steps grew too fast: {s64} -> {s256}");
     }
 }

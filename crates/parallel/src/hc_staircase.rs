@@ -154,12 +154,10 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{RngExt, SeedableRng};
 
+    type TransportArray = VectorArray<i64, fn(i64, i64) -> i64>;
+
     /// Sorted-transport staircase instance.
-    fn instance(
-        m: usize,
-        n: usize,
-        seed: u64,
-    ) -> (VectorArray<i64, fn(i64, i64) -> i64>, Vec<usize>) {
+    fn instance(m: usize, n: usize, seed: u64) -> (TransportArray, Vec<usize>) {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut v: Vec<i64> = (0..m).map(|_| rng.random_range(0..10_000)).collect();
         let mut w: Vec<i64> = (0..n).map(|_| rng.random_range(0..10_000)).collect();

@@ -89,18 +89,22 @@ impl<T: Value> TubeEngine<T> {
         let flag = hc.alloc_reg(HW::inf());
         let jcol = hc.alloc_reg(HW::inf());
         let cand = hc.alloc_reg(HW::inf());
-        // Distribute D and E row-major over the nodes.
+        // Distribute D and E row-major over the nodes; rows are fetched
+        // batched so implicit factors amortize their per-row work.
+        let mut row = vec![T::ZERO; q.max(r)];
         let mut dv = vec![HW::inf(); hc.nodes()];
         for i in 0..p {
-            for j in 0..q {
-                dv[i * q + j] = HW::new(d.entry(i, j), 0);
+            d.fill_row(i, 0..q, &mut row[..q]);
+            for (j, &v) in row[..q].iter().enumerate() {
+                dv[i * q + j] = HW::new(v, 0);
             }
         }
         hc.load(rd, &dv);
         let mut ev = vec![HW::inf(); hc.nodes()];
         for j in 0..q {
-            for k in 0..r {
-                ev[j * r + k] = HW::new(e.entry(j, k), 0);
+            e.fill_row(j, 0..r, &mut row[..r]);
+            for (k, &v) in row[..r].iter().enumerate() {
+                ev[j * r + k] = HW::new(v, 0);
             }
         }
         hc.load(re, &ev);
@@ -141,12 +145,11 @@ impl<T: Value> TubeEngine<T> {
             } else {
                 0
             };
-            if (b == blocks.len() || used + w > n)
-                && !sweep.is_empty() {
-                    self.run_sweep(blocks, &sweep, &mut results);
-                    sweep.clear();
-                    used = 0;
-                }
+            if (b == blocks.len() || used + w > n) && !sweep.is_empty() {
+                self.run_sweep(blocks, &sweep, &mut results);
+                sweep.clear();
+                used = 0;
+            }
             if b < blocks.len() {
                 assert!(w <= n, "single block wider than the machine");
                 sweep.push(b);

@@ -47,6 +47,7 @@ pub mod pram_tube;
 pub mod rayon_monge;
 pub mod rayon_staircase;
 pub mod rayon_tube;
+pub mod tuning;
 pub mod vector_array;
 
 pub use pram_monge::MinPrimitive;

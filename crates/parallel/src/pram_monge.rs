@@ -32,9 +32,7 @@
 use monge_core::array2d::{Array2d, Negate, ReverseCols};
 use monge_core::value::Value;
 use monge_pram::machine::{Mode, Pram};
-use monge_pram::ops::{
-    combining_min, crcw_min_doubly_log, crcw_min_quadratic, tree_min, VI,
-};
+use monge_pram::ops::{combining_min, crcw_min_doubly_log, crcw_min_quadratic, tree_min, VI};
 use monge_pram::{Metrics, WritePolicy};
 
 /// The parallel minimum primitive — selects the machine model and the
@@ -56,9 +54,7 @@ impl MinPrimitive {
     pub fn mode(self) -> Mode {
         match self {
             MinPrimitive::Tree => Mode::Crew,
-            MinPrimitive::DoublyLog | MinPrimitive::Constant => {
-                Mode::Crcw(WritePolicy::Arbitrary)
-            }
+            MinPrimitive::DoublyLog | MinPrimitive::Constant => Mode::Crcw(WritePolicy::Arbitrary),
             MinPrimitive::Combining => Mode::Crcw(WritePolicy::Min),
         }
     }
@@ -125,9 +121,15 @@ impl<T: Value> Engine<T> {
         let region = self.pram.alloc(w, VI::new(T::ZERO, 0));
         let start = region.start;
         let encoded: Vec<usize> = (lo..hi).map(|j| self.encode(j)).collect();
+        // Host-side batched evaluation: the simulated load step is one
+        // step with `w` processors either way (the §1.2 entry-oracle
+        // convention), but fetching the whole interval through
+        // `fill_row` lets implicit arrays amortize their per-row work.
+        let mut vals = vec![T::ZERO; w];
+        a.fill_row(row, lo..hi, &mut vals);
         self.pram.step(w, |ctx| {
             let k = ctx.proc();
-            ctx.write(start + k, VI::new(a.entry(row, lo + k), encoded[k]));
+            ctx.write(start + k, VI::new(vals[k], encoded[k]));
         });
         let at = match self.prim {
             MinPrimitive::Tree => tree_min(&mut self.pram, region),
@@ -268,7 +270,11 @@ pub fn pram_row_minima_rect<T: Value, A: Array2d<T>>(a: &A, prim: MinPrimitive) 
         eng.pram.fork();
         for (k, &row) in sampled.iter().enumerate() {
             let lo = sub[k];
-            let hi = if k + 1 < sampled.len() { sub[k + 1] } else { n - 1 };
+            let hi = if k + 1 < sampled.len() {
+                sub[k + 1]
+            } else {
+                n - 1
+            };
             let next_row = if k + 1 < sampled.len() {
                 sampled[k + 1]
             } else {
@@ -285,10 +291,7 @@ pub fn pram_row_minima_rect<T: Value, A: Array2d<T>>(a: &A, prim: MinPrimitive) 
     } else {
         // Case 2: partition the columns into ⌈n/m⌉ blocks of width ≤ m,
         // solve each square in parallel, then combine per row.
-        let blocks: Vec<(usize, usize)> = (0..n)
-            .step_by(m)
-            .map(|c| (c, (c + m).min(n)))
-            .collect();
+        let blocks: Vec<(usize, usize)> = (0..n).step_by(m).map(|c| (c, (c + m).min(n))).collect();
         let mut block_res: Vec<Vec<usize>> = Vec::with_capacity(blocks.len());
         eng.pram.fork();
         for &(c0, c1) in &blocks {
@@ -336,7 +339,18 @@ pub fn pram_banded_row_minima_monge<T: Value, A: Array2d<T>>(
     let mut out = vec![None; m];
     let rows: Vec<usize> = (0..m).filter(|&i| lo[i] < hi[i]).collect();
     if !rows.is_empty() {
-        banded_rec(&mut eng, a, lo, hi, &rows, 0, rows.len(), 0, a.cols(), &mut out);
+        banded_rec(
+            &mut eng,
+            a,
+            lo,
+            hi,
+            &rows,
+            0,
+            rows.len(),
+            0,
+            a.cols(),
+            &mut out,
+        );
     }
     (out, eng.pram.metrics().clone())
 }
@@ -361,7 +375,18 @@ pub fn pram_banded_row_maxima_monge<T: Value, A: Array2d<T>>(
     let mut out = vec![None; m];
     let rows: Vec<usize> = (0..m).filter(|&i| rlo[i] < rhi[i]).collect();
     if !rows.is_empty() {
-        banded_rec(&mut eng, &t, &rlo, &rhi, &rows, 0, rows.len(), 0, n, &mut out);
+        banded_rec(
+            &mut eng,
+            &t,
+            &rlo,
+            &rhi,
+            &rows,
+            0,
+            rows.len(),
+            0,
+            n,
+            &mut out,
+        );
     }
     let metrics = eng.pram.metrics().clone();
     (
@@ -554,11 +579,7 @@ mod tests {
         }
     }
 
-    fn random_incr_bands(
-        m: usize,
-        n: usize,
-        rng: &mut StdRng,
-    ) -> (Vec<usize>, Vec<usize>) {
+    fn random_incr_bands(m: usize, n: usize, rng: &mut StdRng) -> (Vec<usize>, Vec<usize>) {
         use rand::RngExt;
         let mut lo: Vec<usize> = (0..m).map(|_| rng.random_range(0..=n)).collect();
         let mut hi: Vec<usize> = (0..m).map(|_| rng.random_range(0..=n)).collect();
@@ -574,7 +595,11 @@ mod tests {
         let a = Dense::filled(9, 9, 5i64);
         for prim in all_prims() {
             assert_eq!(pram_row_minima_dc(&a, prim).index, vec![0; 9], "{prim:?}");
-            assert_eq!(pram_row_maxima_monge(&a, prim).index, vec![0; 9], "{prim:?}");
+            assert_eq!(
+                pram_row_maxima_monge(&a, prim).index,
+                vec![0; 9],
+                "{prim:?}"
+            );
         }
     }
 }

@@ -68,9 +68,6 @@ pub fn pram_staircase_row_minima<T: Value, A: Array2d<T>>(
     }
 }
 
-/// Rows below this count are solved by direct per-row interval minima.
-const BASE_ROWS: usize = 4;
-
 /// Solves rows `r0..r1` over columns `[c0, min(c1, f_i))`, merging each
 /// row's candidate into `out`.
 #[allow(clippy::too_many_arguments)]
@@ -90,7 +87,7 @@ fn solve<T: Value, A: Array2d<T>>(
         return;
     }
     let m = r1 - r0;
-    if m <= BASE_ROWS {
+    if m <= crate::tuning::pram_base_rows() {
         // Base case: each row scans its own interval, all in parallel.
         eng.pram.fork();
         for k in r0..r1 {
@@ -118,7 +115,11 @@ fn solve<T: Value, A: Array2d<T>>(
     // still see (the A^t construction). The last sample keeps its own.
     let b: Vec<usize> = (0..su)
         .map(|g| {
-            let next = if g + 1 < su { f[samples[g + 1]] } else { f[samples[g]] };
+            let next = if g + 1 < su {
+                f[samples[g + 1]]
+            } else {
+                f[samples[g]]
+            };
             c1.min(next).min(f[samples[g]])
         })
         .collect();
@@ -142,8 +143,7 @@ fn solve<T: Value, A: Array2d<T>>(
         }
         // Monge strip: sampled rows 0..cnt × columns [lo, hi). Solve by
         // the Lemma 2.1 divide & conquer on the row-selected view.
-        let view =
-            monge_core::array2d::SelectRows::new(a, samples[..cnt].to_vec());
+        let view = monge_core::array2d::SelectRows::new(a, samples[..cnt].to_vec());
         let mut sub = vec![0usize; cnt];
         crate::pram_staircase::monge_rec(eng, &view, 0, cnt, lo, hi, &mut sub);
         for (g, &j) in sub.iter().enumerate() {
@@ -362,11 +362,7 @@ mod tests {
             let fb = random_staircase_boundary(m, n, &mut rng);
             let a = apply_staircase(&base, &fb);
             let run = pram_staircase_row_minima(&a, &fb, MinPrimitive::DoublyLog);
-            assert_eq!(
-                run.index,
-                staircase_row_minima_brute(&a, &fb),
-                "{m}x{n}"
-            );
+            assert_eq!(run.index, staircase_row_minima_brute(&a, &fb), "{m}x{n}");
         }
     }
 

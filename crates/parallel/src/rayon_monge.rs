@@ -6,82 +6,126 @@
 //! intervals (total monotonicity), and recurse in parallel. The interval
 //! scan of a middle row is itself a parallel reduction when wide.
 //!
+//! All interval scans go through the batched evaluation layer
+//! ([`monge_core::eval`]): each sequential leaf fills a reusable scratch
+//! buffer with one [`Array2d::fill_row`] call and argmins over the
+//! slice; the wide-interval path splits the interval into
+//! [`crate::tuning::seq_scan`]-sized chunks, scans each chunk the same
+//! way, and combines candidates with an order-insensitive lexicographic
+//! reduction.
+//!
 //! Work is `O((m + n) lg m)`, span `O(lg m lg n)`, so wall-clock scales
 //! with cores — the rayon stand-in for the paper's `n`-processor bounds.
 
+use crate::tuning;
 use monge_core::array2d::{Array2d, Negate, ReverseCols};
+use monge_core::eval;
 use monge_core::smawk::RowExtrema;
 use monge_core::value::Value;
 use rayon::prelude::*;
 
-/// Below this interval width, scan sequentially rather than spawn.
-const SEQ_SCAN: usize = 2_048;
-/// Below this row count, recurse sequentially.
-const SEQ_ROWS: usize = 64;
-
-/// Leftmost minimum of `a[row, lo..hi)`, scanning in parallel when wide.
-fn interval_argmin<T: Value, A: Array2d<T>>(a: &A, row: usize, lo: usize, hi: usize) -> usize {
-    debug_assert!(lo < hi);
-    if hi - lo <= SEQ_SCAN {
-        let mut best = lo;
-        let mut best_v = a.entry(row, lo);
-        for j in lo + 1..hi {
-            let v = a.entry(row, j);
-            if v.total_lt(best_v) {
-                best = j;
-                best_v = v;
-            }
-        }
-        return best;
+/// Order-insensitive combiner for `(column, value)` candidates: smaller
+/// value wins, and on equal values the smaller column. Associative and
+/// commutative, so the result is the leftmost minimum no matter how
+/// rayon associates the reduction.
+#[inline]
+pub(crate) fn lex_min<T: Value>(x: (usize, T), y: (usize, T)) -> (usize, T) {
+    if y.1.total_lt(x.1) || (!x.1.total_lt(y.1) && y.0 < x.0) {
+        y
+    } else {
+        x
     }
-    (lo..hi)
+}
+
+/// Rightmost-preference twin of [`lex_min`]: on equal values the
+/// *larger* column wins.
+#[inline]
+fn lex_min_rightmost<T: Value>(x: (usize, T), y: (usize, T)) -> (usize, T) {
+    if y.1.total_lt(x.1) || (!x.1.total_lt(y.1) && y.0 > x.0) {
+        y
+    } else {
+        x
+    }
+}
+
+/// Leftmost minimum of `a[row, lo..hi)` with its value; scans in
+/// parallel chunks when the interval is wider than the tuning cutoff.
+pub(crate) fn interval_argmin<T: Value, A: Array2d<T>>(
+    a: &A,
+    row: usize,
+    lo: usize,
+    hi: usize,
+    scratch: &mut Vec<T>,
+) -> (usize, T) {
+    debug_assert!(lo < hi);
+    let chunk = tuning::seq_scan();
+    if hi - lo <= chunk {
+        return eval::interval_argmin(a, row, lo, hi, scratch);
+    }
+    let n_chunks = (hi - lo).div_ceil(chunk);
+    (0..n_chunks)
         .into_par_iter()
-        .fold_chunks(SEQ_SCAN, || None::<(usize, T)>, |acc, j| {
-            let v = a.entry(row, j);
-            match acc {
-                None => Some((j, v)),
-                Some((bj, bv)) => {
-                    if v.total_lt(bv) {
-                        Some((j, v))
-                    } else {
-                        Some((bj, bv))
-                    }
-                }
-            }
+        .map(|ci| {
+            let c_lo = lo + ci * chunk;
+            let c_hi = (c_lo + chunk).min(hi);
+            let mut buf = Vec::new();
+            eval::interval_argmin(a, row, c_lo, c_hi, &mut buf)
         })
-        .flatten()
-        .reduce_with(|x, y| {
-            // Prefer the smaller column on equal values (chunks are in
-            // index order, but reduce order is not; compare explicitly).
-            if y.1.total_lt(x.1) || (!x.1.total_lt(y.1) && y.0 < x.0) {
-                y
-            } else {
-                x
-            }
-        })
-        .map(|(j, _)| j)
+        .reduce_with(lex_min)
         .expect("non-empty interval")
 }
 
-fn rec<T: Value, A: Array2d<T>>(a: &A, r0: usize, r1: usize, c0: usize, c1: usize, out: &mut [usize]) {
+/// Rightmost-minimum variant of [`interval_argmin`].
+fn interval_argmin_rightmost<T: Value, A: Array2d<T>>(
+    a: &A,
+    row: usize,
+    lo: usize,
+    hi: usize,
+    scratch: &mut Vec<T>,
+) -> (usize, T) {
+    debug_assert!(lo < hi);
+    let chunk = tuning::seq_scan();
+    if hi - lo <= chunk {
+        return eval::interval_argmin_rightmost(a, row, lo, hi, scratch);
+    }
+    let n_chunks = (hi - lo).div_ceil(chunk);
+    (0..n_chunks)
+        .into_par_iter()
+        .map(|ci| {
+            let c_lo = lo + ci * chunk;
+            let c_hi = (c_lo + chunk).min(hi);
+            let mut buf = Vec::new();
+            eval::interval_argmin_rightmost(a, row, c_lo, c_hi, &mut buf)
+        })
+        .reduce_with(lex_min_rightmost)
+        .expect("non-empty interval")
+}
+
+fn rec<T: Value, A: Array2d<T>>(
+    a: &A,
+    r0: usize,
+    r1: usize,
+    c0: usize,
+    c1: usize,
+    out: &mut [usize],
+    scratch: &mut Vec<T>,
+) {
     if r0 >= r1 {
         return;
     }
     let mid = r0 + (r1 - r0) / 2;
-    let best = interval_argmin(a, mid, c0, c1);
+    let (best, _) = interval_argmin(a, mid, c0, c1, scratch);
     out[mid - r0] = best;
-    if r1 - r0 <= SEQ_ROWS {
-        let (top, rest) = out.split_at_mut(mid - r0);
-        let bot = &mut rest[1..];
-        rec_seq(a, r0, mid, c0, best + 1, top);
-        rec_seq(a, mid + 1, r1, best, c1, bot);
-        return;
-    }
     let (top, rest) = out.split_at_mut(mid - r0);
     let bot = &mut rest[1..];
+    if r1 - r0 <= tuning::seq_rows() {
+        rec_seq(a, r0, mid, c0, best + 1, top, scratch);
+        rec_seq(a, mid + 1, r1, best, c1, bot, scratch);
+        return;
+    }
     rayon::join(
-        || rec(a, r0, mid, c0, best + 1, top),
-        || rec(a, mid + 1, r1, best, c1, bot),
+        || rec(a, r0, mid, c0, best + 1, top, &mut Vec::new()),
+        || rec(a, mid + 1, r1, best, c1, bot, &mut Vec::new()),
     );
 }
 
@@ -92,25 +136,18 @@ fn rec_seq<T: Value, A: Array2d<T>>(
     c0: usize,
     c1: usize,
     out: &mut [usize],
+    scratch: &mut Vec<T>,
 ) {
     if r0 >= r1 {
         return;
     }
     let mid = r0 + (r1 - r0) / 2;
-    let mut best = c0;
-    let mut best_v = a.entry(mid, c0);
-    for j in c0 + 1..c1 {
-        let v = a.entry(mid, j);
-        if v.total_lt(best_v) {
-            best = j;
-            best_v = v;
-        }
-    }
+    let (best, _) = interval_argmin(a, mid, c0, c1, scratch);
     out[mid - r0] = best;
     let (top, rest) = out.split_at_mut(mid - r0);
     let bot = &mut rest[1..];
-    rec_seq(a, r0, mid, c0, best + 1, top);
-    rec_seq(a, mid + 1, r1, best, c1, bot);
+    rec_seq(a, r0, mid, c0, best + 1, top, scratch);
+    rec_seq(a, mid + 1, r1, best, c1, bot, scratch);
 }
 
 /// Core parallel routine: leftmost row minima of a totally monotone
@@ -119,7 +156,7 @@ pub fn par_row_minima_totally_monotone<T: Value, A: Array2d<T>>(a: &A) -> Vec<us
     let (m, n) = (a.rows(), a.cols());
     assert!(n > 0);
     let mut out = vec![0usize; m];
-    rec(a, 0, m, 0, n, &mut out);
+    rec(a, 0, m, 0, n, &mut out, &mut Vec::new());
     out
 }
 
@@ -168,7 +205,7 @@ fn par_rightmost_row_minima<T: Value, A: Array2d<T>>(a: &A) -> Vec<usize> {
     let (m, n) = (a.rows(), a.cols());
     assert!(n > 0);
     let mut out = vec![0usize; m];
-    rec_right(a, 0, m, 0, n, &mut out);
+    rec_right(a, 0, m, 0, n, &mut out, &mut Vec::new());
     out
 }
 
@@ -179,30 +216,23 @@ fn rec_right<T: Value, A: Array2d<T>>(
     c0: usize,
     c1: usize,
     out: &mut [usize],
+    scratch: &mut Vec<T>,
 ) {
     if r0 >= r1 {
         return;
     }
     let mid = r0 + (r1 - r0) / 2;
-    let mut best = c0;
-    let mut best_v = a.entry(mid, c0);
-    for j in c0 + 1..c1 {
-        let v = a.entry(mid, j);
-        if v.total_le(best_v) {
-            best = j;
-            best_v = v;
-        }
-    }
+    let (best, _) = interval_argmin_rightmost(a, mid, c0, c1, scratch);
     out[mid - r0] = best;
     let (top, rest) = out.split_at_mut(mid - r0);
     let bot = &mut rest[1..];
-    if r1 - r0 <= SEQ_ROWS {
-        rec_right(a, r0, mid, c0, best + 1, top);
-        rec_right(a, mid + 1, r1, best, c1, bot);
+    if r1 - r0 <= tuning::seq_rows() {
+        rec_right(a, r0, mid, c0, best + 1, top, scratch);
+        rec_right(a, mid + 1, r1, best, c1, bot, scratch);
     } else {
         rayon::join(
-            || rec_right(a, r0, mid, c0, best + 1, top),
-            || rec_right(a, mid + 1, r1, best, c1, bot),
+            || rec_right(a, r0, mid, c0, best + 1, top, &mut Vec::new()),
+            || rec_right(a, mid + 1, r1, best, c1, bot, &mut Vec::new()),
         );
     }
 }
@@ -247,7 +277,7 @@ mod tests {
     #[test]
     fn wide_rows_exercise_parallel_scan() {
         let mut rng = StdRng::seed_from_u64(42);
-        // Wider than SEQ_SCAN to hit the parallel reduction path.
+        // Wider than the seq_scan cutoff to hit the parallel reduction.
         let a = ImplicitMonge::random(4, 5000, 3, &mut rng);
         let got = par_row_minima_monge(&a);
         assert_eq!(got.index, brute_row_minima(&a));
@@ -258,6 +288,21 @@ mod tests {
         let a = Dense::filled(10, 10, 3i64);
         assert_eq!(par_row_minima_monge(&a).index, vec![0; 10]);
         assert_eq!(par_row_maxima_monge(&a).index, vec![0; 10]);
+    }
+
+    #[test]
+    fn plateau_wider_than_cutoff_stays_leftmost() {
+        // Regression for the parallel reduce: on an all-equal (plateau)
+        // array every chunk candidate ties, so only an order-insensitive
+        // lexicographic combiner returns the leftmost column no matter
+        // how rayon associates the reduction. Width must exceed the
+        // seq_scan cutoff so the parallel path actually runs.
+        let n = tuning::seq_scan() * 3 + 17;
+        let a = Dense::filled(3, n, 42i64);
+        assert_eq!(par_row_minima_monge(&a).index, vec![0; 3]);
+        assert_eq!(par_row_maxima_monge(&a).index, vec![0; 3]);
+        assert_eq!(par_row_minima_inverse_monge(&a).index, vec![0; 3]);
+        assert_eq!(par_row_maxima_inverse_monge(&a).index, vec![0; 3]);
     }
 
     #[test]

@@ -12,11 +12,10 @@
 //! Subproblems run under `rayon::join`; the overlapping upper regions
 //! write into separate buffers that are merged in parallel.
 
+use crate::rayon_monge::interval_argmin;
+use crate::tuning;
 use monge_core::array2d::Array2d;
 use monge_core::value::Value;
-
-/// Below this row count, recurse sequentially.
-const SEQ_ROWS: usize = 64;
 
 type Cand<T> = Option<(T, usize)>;
 
@@ -30,7 +29,7 @@ pub fn par_staircase_row_minima<T: Value, A: Array2d<T>>(a: &A, f: &[usize]) -> 
     }
     assert!(a.cols() > 0);
     let mut best: Vec<Cand<T>> = vec![None; m];
-    rec(a, f, 0, m, 0, a.cols(), &mut best);
+    rec(a, f, 0, m, 0, a.cols(), &mut best, &mut Vec::new());
     best.into_iter().map(|b| b.map_or(0, |(_, j)| j)).collect()
 }
 
@@ -46,6 +45,7 @@ fn merge_candidate<T: Value>(slot: &mut Cand<T>, v: T, j: usize) {
 }
 
 /// `out` covers rows `r0..r1` (index `i - r0`).
+#[allow(clippy::too_many_arguments)]
 fn rec<T: Value, A: Array2d<T>>(
     a: &A,
     f: &[usize],
@@ -54,6 +54,7 @@ fn rec<T: Value, A: Array2d<T>>(
     c0: usize,
     c1: usize,
     out: &mut [Cand<T>],
+    scratch: &mut Vec<T>,
 ) {
     r1 = partition_point(r0, r1, |i| f[i] > c0);
     if r0 >= r1 || c0 >= c1 {
@@ -61,31 +62,24 @@ fn rec<T: Value, A: Array2d<T>>(
     }
     let mid = r0 + (r1 - r0) / 2;
     let hi = c1.min(f[mid]);
-    let mut best = c0;
-    let mut best_v = a.entry(mid, best);
-    for j in c0 + 1..hi {
-        let v = a.entry(mid, j);
-        if v.total_lt(best_v) {
-            best = j;
-            best_v = v;
-        }
-    }
+    // Batched scan of the middle row (parallel chunks when wide).
+    let (best, best_v) = interval_argmin(a, mid, c0, hi, scratch);
     merge_candidate(&mut out[mid - r0], best_v, best);
 
     let cut = partition_point(mid + 1, r1, |i| f[i] > best);
-    let parallel = r1 - r0 > SEQ_ROWS;
+    let parallel = r1 - r0 > tuning::seq_rows();
 
     let (above, rest) = out.split_at_mut(mid - r0);
     let below = &mut rest[1..];
     let (below_hi, below_lo) = below.split_at_mut(cut - (mid + 1));
 
-    let upper = |above: &mut [Cand<T>]| {
+    let upper = |above: &mut [Cand<T>], scratch: &mut Vec<T>| {
         // Monge region left of the middle minimum.
-        rec(a, f, r0, mid, c0, best + 1, above);
+        rec(a, f, r0, mid, c0, best + 1, above, scratch);
         // Staircase region beyond the middle row's boundary, merged in.
         if f[mid] < c1 {
             let mut tmp: Vec<Cand<T>> = vec![None; mid - r0];
-            rec(a, f, r0, mid, f[mid], c1, &mut tmp);
+            rec(a, f, r0, mid, f[mid], c1, &mut tmp, scratch);
             for (slot, cand) in above.iter_mut().zip(tmp) {
                 if let Some((v, j)) = cand {
                     merge_candidate(slot, v, j);
@@ -93,23 +87,26 @@ fn rec<T: Value, A: Array2d<T>>(
             }
         }
     };
-    let lower = |below_hi: &mut [Cand<T>], below_lo: &mut [Cand<T>]| {
+    let lower = |below_hi: &mut [Cand<T>], below_lo: &mut [Cand<T>], scratch: &mut Vec<T>| {
         if parallel {
             rayon::join(
-                || rec(a, f, mid + 1, cut, best, c1, below_hi),
-                || rec(a, f, cut, r1, c0, best + 1, below_lo),
+                || rec(a, f, mid + 1, cut, best, c1, below_hi, &mut Vec::new()),
+                || rec(a, f, cut, r1, c0, best + 1, below_lo, &mut Vec::new()),
             );
         } else {
-            rec(a, f, mid + 1, cut, best, c1, below_hi);
-            rec(a, f, cut, r1, c0, best + 1, below_lo);
+            rec(a, f, mid + 1, cut, best, c1, below_hi, scratch);
+            rec(a, f, cut, r1, c0, best + 1, below_lo, scratch);
         }
     };
 
     if parallel {
-        rayon::join(|| upper(above), || lower(below_hi, below_lo));
+        rayon::join(
+            || upper(above, &mut Vec::new()),
+            || lower(below_hi, below_lo, &mut Vec::new()),
+        );
     } else {
-        upper(above);
-        lower(below_hi, below_lo);
+        upper(above, scratch);
+        lower(below_hi, below_lo, scratch);
     }
 }
 
@@ -175,6 +172,17 @@ mod tests {
             par_staircase_row_minima(&a, &f),
             staircase_row_minima_brute(&a, &f)
         );
+    }
+
+    #[test]
+    fn plateau_wider_than_cutoff_stays_leftmost() {
+        // All-equal rows force every chunk of the parallel scan to tie;
+        // the leftmost column must still win (mirrors the rayon_monge
+        // plateau regression for the staircase engine).
+        let n = crate::tuning::seq_scan() * 2 + 5;
+        let a = monge_core::array2d::Dense::filled(3, n, 7i64);
+        let f = vec![n; 3];
+        assert_eq!(par_staircase_row_minima(&a, &f), vec![0; 3]);
     }
 
     #[test]

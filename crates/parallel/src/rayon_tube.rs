@@ -12,6 +12,8 @@
 //!   both `i` and `k`), exercised here for cross-engine validation and as
 //!   the low-span alternative (span `O(lg p · (q + lg r))`).
 
+use crate::rayon_monge::interval_argmin;
+use crate::tuning;
 use monge_core::array2d::Array2d;
 use monge_core::tube::{plane, TubeExtrema};
 use monge_core::value::Value;
@@ -27,11 +29,7 @@ pub fn par_tube_minima<T: Value, A: Array2d<T>, B: Array2d<T>>(d: &A, e: &B) -> 
     par_tube(d, e, false)
 }
 
-fn par_tube<T: Value, A: Array2d<T>, B: Array2d<T>>(
-    d: &A,
-    e: &B,
-    maxima: bool,
-) -> TubeExtrema<T> {
+fn par_tube<T: Value, A: Array2d<T>, B: Array2d<T>>(d: &A, e: &B, maxima: bool) -> TubeExtrema<T> {
     assert_eq!(d.cols(), e.rows(), "inner dimensions disagree");
     let (p, q, r) = (d.rows(), d.cols(), e.cols());
     assert!(q > 0);
@@ -59,10 +57,7 @@ fn par_tube<T: Value, A: Array2d<T>, B: Array2d<T>>(
 /// Divide & conquer tube minima using double argmin monotonicity: solve
 /// the middle plane with SMAWK, then recurse on the upper and lower plane
 /// blocks with `j`-ranges clipped by the middle plane's argmins.
-pub fn par_tube_minima_dc<T: Value, A: Array2d<T>, B: Array2d<T>>(
-    d: &A,
-    e: &B,
-) -> TubeExtrema<T> {
+pub fn par_tube_minima_dc<T: Value, A: Array2d<T>, B: Array2d<T>>(d: &A, e: &B) -> TubeExtrema<T> {
     assert_eq!(d.cols(), e.rows(), "inner dimensions disagree");
     let (p, q, r) = (d.rows(), d.cols(), e.cols());
     assert!(q > 0);
@@ -95,22 +90,19 @@ fn dc<T: Value, A: Array2d<T>, B: Array2d<T>>(
     }
     let mid = i0 + (i1 - i0) / 2;
     // Solve the middle plane by a constrained sweep: argmin is monotone
-    // in k, and sandwiched in [lo[k], hi[k]).
+    // in k, and sandwiched in [lo[k], hi[k]). Each sandwich interval is
+    // one batched scan of the plane row (Plane::fill_row fetches the
+    // d-row slice in one call and folds in the e column).
     let mut mid_arg = vec![0usize; r];
     {
+        let pl = plane(d, e, mid);
+        let mut scratch = Vec::new();
         let mut from = 0usize;
         for k in 0..r {
             let a = lo[k].max(from);
             let b = hi[k].max(a + 1).min(d.cols());
-            let mut best = a.min(d.cols() - 1);
-            let mut best_v = d.entry(mid, best).add(e.entry(best, k));
-            for j in best + 1..b {
-                let v = d.entry(mid, j).add(e.entry(j, k));
-                if v.total_lt(best_v) {
-                    best = j;
-                    best_v = v;
-                }
-            }
+            let a = a.min(d.cols() - 1);
+            let (best, best_v) = interval_argmin(&pl, k, a, b, &mut scratch);
             mid_arg[k] = best;
             from = best;
             let at = (mid - i0) * r + k;
@@ -125,7 +117,7 @@ fn dc<T: Value, A: Array2d<T>, B: Array2d<T>>(
     // Upper planes: argmin(i,k) <= mid_arg[k]; lower: >= mid_arg[k].
     let hi_top: Vec<usize> = mid_arg.iter().map(|&j| j + 1).collect();
     let lo_bot = mid_arg;
-    if i1 - i0 > 8 {
+    if i1 - i0 > tuning::tube_seq_planes() {
         rayon::join(
             || dc(d, e, i0, mid, lo, &hi_top, r, top, top_v),
             || dc(d, e, mid + 1, i1, &lo_bot, hi, r, bot_i, bot_v),
@@ -147,11 +139,24 @@ mod tests {
     #[test]
     fn plane_parallel_matches_brute() {
         let mut rng = StdRng::seed_from_u64(60);
-        for &(p, q, r) in &[(1usize, 1usize, 1usize), (8, 5, 9), (16, 16, 16), (3, 20, 2)] {
+        for &(p, q, r) in &[
+            (1usize, 1usize, 1usize),
+            (8, 5, 9),
+            (16, 16, 16),
+            (3, 20, 2),
+        ] {
             let d = random_monge_dense(p, q, &mut rng);
             let e = random_monge_dense(q, r, &mut rng);
-            assert_eq!(par_tube_maxima(&d, &e), tube_maxima_brute(&d, &e), "{p}x{q}x{r}");
-            assert_eq!(par_tube_minima(&d, &e), tube_minima_brute(&d, &e), "{p}x{q}x{r}");
+            assert_eq!(
+                par_tube_maxima(&d, &e),
+                tube_maxima_brute(&d, &e),
+                "{p}x{q}x{r}"
+            );
+            assert_eq!(
+                par_tube_minima(&d, &e),
+                tube_minima_brute(&d, &e),
+                "{p}x{q}x{r}"
+            );
         }
     }
 
@@ -161,7 +166,11 @@ mod tests {
         for &(p, q, r) in &[(1usize, 4usize, 6usize), (20, 10, 20), (31, 7, 13)] {
             let d = random_monge_dense(p, q, &mut rng);
             let e = random_monge_dense(q, r, &mut rng);
-            assert_eq!(par_tube_minima_dc(&d, &e), tube_minima_brute(&d, &e), "{p}x{q}x{r}");
+            assert_eq!(
+                par_tube_minima_dc(&d, &e),
+                tube_minima_brute(&d, &e),
+                "{p}x{q}x{r}"
+            );
         }
     }
 
@@ -170,6 +179,22 @@ mod tests {
         use monge_core::array2d::Dense;
         let d = Dense::filled(6, 7, 1i64);
         let e = Dense::filled(7, 5, 2i64);
+        let a = par_tube_minima(&d, &e);
+        let b = par_tube_minima_dc(&d, &e);
+        assert_eq!(a, b);
+        assert!(a.index.iter().all(|&j| j == 0));
+    }
+
+    #[test]
+    fn plateau_wider_than_cutoff_stays_leftmost() {
+        use monge_core::array2d::Dense;
+        // Middle dimension wider than the parallel-scan cutoff and more
+        // planes than the sequential-plane cutoff: the all-equal tube
+        // must still pick the smallest middle coordinate everywhere.
+        let q = crate::tuning::seq_scan() + 5;
+        let p = crate::tuning::tube_seq_planes() * 2 + 1;
+        let d = Dense::filled(p, q, 1i64);
+        let e = Dense::filled(q, 3, 2i64);
         let a = par_tube_minima(&d, &e);
         let b = par_tube_minima_dc(&d, &e);
         assert_eq!(a, b);

@@ -1,0 +1,79 @@
+//! Centralized sequential-cutoff thresholds for the parallel engines.
+//!
+//! Every divide & conquer engine in this crate bottoms out into a
+//! sequential scan once the subproblem is small enough that spawning
+//! costs more than it saves. Those cutoffs used to be copy-pasted
+//! `const`s scattered across the engine modules; they now live here,
+//! with environment-variable overrides so deployments can retune
+//! without recompiling.
+//!
+//! | knob | env var | default |
+//! |---|---|---|
+//! | [`seq_scan`] | `MONGE_SEQ_SCAN` | 2048 |
+//! | [`seq_rows`] | `MONGE_SEQ_ROWS` | 64 |
+//! | [`tube_seq_planes`] | `MONGE_TUBE_SEQ_PLANES` | 8 |
+//! | [`pram_base_rows`] | `MONGE_PRAM_BASE_ROWS` | 4 |
+//!
+//! Defaults were chosen with `cargo bench -p monge-bench --bench
+//! substrates` (row-minima group) on an 8-core x86-64 host: below ~2k
+//! elements a rayon task's spawn/steal overhead (~1–2 µs) exceeds the
+//! scan itself, and below ~64 rows the per-level join overhead of the
+//! row recursion dominates. The `rowmin_json` binary in `crates/bench`
+//! regenerates the supporting numbers.
+//!
+//! Each getter parses its variable once per process (malformed or
+//! zero values fall back to the default — a zero cutoff would recurse
+//! forever).
+
+use std::sync::OnceLock;
+
+fn env_usize(lock: &'static OnceLock<usize>, var: &str, default: usize) -> usize {
+    *lock.get_or_init(|| {
+        std::env::var(var)
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&v| v > 0)
+            .unwrap_or(default)
+    })
+}
+
+/// Column intervals at most this wide are scanned sequentially instead
+/// of being split across rayon tasks.
+pub fn seq_scan() -> usize {
+    static V: OnceLock<usize> = OnceLock::new();
+    env_usize(&V, "MONGE_SEQ_SCAN", 2048)
+}
+
+/// Row ranges at most this tall are solved by the sequential divide &
+/// conquer instead of forking.
+pub fn seq_rows() -> usize {
+    static V: OnceLock<usize> = OnceLock::new();
+    env_usize(&V, "MONGE_SEQ_ROWS", 64)
+}
+
+/// Tube problems with at most this many planes (rows of `D`) run the
+/// per-plane loop sequentially.
+pub fn tube_seq_planes() -> usize {
+    static V: OnceLock<usize> = OnceLock::new();
+    env_usize(&V, "MONGE_TUBE_SEQ_PLANES", 8)
+}
+
+/// Row ranges at most this tall are handled directly by a PRAM
+/// interval-minimum step instead of recursing.
+pub fn pram_base_rows() -> usize {
+    static V: OnceLock<usize> = OnceLock::new();
+    env_usize(&V, "MONGE_PRAM_BASE_ROWS", 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_positive() {
+        assert!(seq_scan() > 0);
+        assert!(seq_rows() > 0);
+        assert!(tube_seq_planes() > 0);
+        assert!(pram_base_rows() > 0);
+    }
+}

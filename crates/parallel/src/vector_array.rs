@@ -44,6 +44,12 @@ impl<T: Value, G: Fn(T, T) -> T + Sync> Array2d<T> for VectorArray<T, G> {
     fn entry(&self, i: usize, j: usize) -> T {
         (self.g)(self.v[i], self.w[j])
     }
+    fn fill_row(&self, i: usize, cols: std::ops::Range<usize>, out: &mut [T]) {
+        let vi = self.v[i];
+        for (slot, &wj) in out.iter_mut().zip(&self.w[cols]) {
+            *slot = (self.g)(vi, wj);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -61,5 +67,19 @@ mod tests {
         assert_eq!(a.entry(2, 1), 7);
         assert_eq!(a.rows(), 4);
         assert_eq!(a.cols(), 4);
+    }
+
+    #[test]
+    fn fill_row_matches_entry_loop() {
+        let v: Vec<i64> = vec![3, 1, 7];
+        let w: Vec<i64> = vec![2, 5, 0, 9, 4];
+        let a = VectorArray::new(v, w, |x: i64, y: i64| (x - y).abs() + x);
+        let mut buf = vec![0i64; 3];
+        for i in 0..3 {
+            a.fill_row(i, 1..4, &mut buf);
+            for (t, j) in (1..4).enumerate() {
+                assert_eq!(buf[t], a.entry(i, j));
+            }
+        }
     }
 }

@@ -3,9 +3,7 @@
 //! vectors — same optima *and* same leftmost tie-breaking — on the same
 //! certified random instances.
 
-use monge_core::generators::{
-    apply_staircase, random_monge_dense, random_staircase_boundary,
-};
+use monge_core::generators::{apply_staircase, random_monge_dense, random_staircase_boundary};
 use monge_core::monge::{brute_row_maxima, brute_row_minima};
 use monge_core::smawk::{row_maxima_monge, row_minima_monge};
 use monge_core::staircase::staircase_row_minima;

@@ -160,7 +160,10 @@ pub fn scan_exclusive_blelloch<C: Cell>(
     combine: impl Fn(C, C) -> C + Copy,
 ) {
     let n = region.len();
-    assert!(n.is_power_of_two(), "Blelloch scan needs a power-of-two length");
+    assert!(
+        n.is_power_of_two(),
+        "Blelloch scan needs a power-of-two length"
+    );
     let r0 = region.start;
     // Up-sweep.
     let mut d = 1usize;
@@ -341,7 +344,10 @@ pub fn crcw_min_doubly_log<C: Cell>(
 pub fn list_rank(p: &mut Pram<i64>, next: Range<usize>, rank: Range<usize>) {
     let n = next.len();
     assert_eq!(rank.len(), n);
-    assert!(p.mode() != Mode::Erew, "pointer jumping needs concurrent reads");
+    assert!(
+        p.mode() != Mode::Erew,
+        "pointer jumping needs concurrent reads"
+    );
     if n == 0 {
         return;
     }
@@ -395,7 +401,11 @@ mod tests {
     use super::*;
 
     fn load_vi(p: &mut Pram<VI<i64>>, vals: &[i64]) -> Range<usize> {
-        let cells: Vec<VI<i64>> = vals.iter().enumerate().map(|(i, &v)| VI::new(v, i)).collect();
+        let cells: Vec<VI<i64>> = vals
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| VI::new(v, i))
+            .collect();
         p.load(&cells)
     }
 

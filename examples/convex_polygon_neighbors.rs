@@ -17,10 +17,7 @@ fn main() {
     // --- Figure 1.1: farthest neighbors across two chains ---------------
     let poly = ConvexPolygon::random(4000, 0.0, 0.0, 1000.0, &mut rng);
     let m = poly.len() / 2;
-    let (p, q) = (
-        poly.vertices[..m].to_vec(),
-        poly.vertices[m..].to_vec(),
-    );
+    let (p, q) = (poly.vertices[..m].to_vec(), poly.vertices[m..].to_vec());
     let far = farthest_across_chains(&p, &q);
     println!(
         "Figure 1.1: split a {}-gon into chains of {} and {} vertices",

@@ -18,12 +18,7 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(2026);
     let bbox = Rect::new(0.0, 0.0, 1000.0, 1000.0);
     let points: Vec<Point> = (0..5000)
-        .map(|_| {
-            Point::new(
-                rng.random_range(0.0..1000.0),
-                rng.random_range(0.0..1000.0),
-            )
-        })
+        .map(|_| Point::new(rng.random_range(0.0..1000.0), rng.random_range(0.0..1000.0)))
         .collect();
 
     // --- App 1: largest empty rectangle ---------------------------------

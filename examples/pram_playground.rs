@@ -13,11 +13,17 @@ use monge::pram::{Mode, Pram, WritePolicy};
 
 fn main() {
     // --- PRAM: the same minimum, three machine models -------------------
-    let vals: Vec<i64> = (0..4096).map(|i| (i * 2654435761u64 as i64) % 100_000).collect();
+    let vals: Vec<i64> = (0..4096)
+        .map(|i| (i * 2654435761u64 as i64) % 100_000)
+        .collect();
 
     // CREW binary tree: ⌈lg n⌉ steps.
     let mut crew = Pram::new(Mode::Crew);
-    let cells: Vec<VI<i64>> = vals.iter().enumerate().map(|(i, &v)| VI::new(v, i)).collect();
+    let cells: Vec<VI<i64>> = vals
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| VI::new(v, i))
+        .collect();
     let region = crew.load(&cells);
     let at = tree_min(&mut crew, region);
     let crew_answer = crew.peek(at);
@@ -76,7 +82,9 @@ fn main() {
     let key = hc.alloc_reg(0);
     hc.load(
         key,
-        &(0..hc.nodes() as i64).map(|i| (i * 7) % hc.nodes() as i64).collect::<Vec<_>>(),
+        &(0..hc.nodes() as i64)
+            .map(|i| (i * 7) % hc.nodes() as i64)
+            .collect::<Vec<_>>(),
     );
     let resp = hc.alloc_reg(0);
     sorted_gather(

@@ -28,10 +28,7 @@ fn main() {
                 "  replace x[{i}] = '{}' by y[{j}] = '{}'",
                 x[*i] as char, y[*j] as char
             ),
-            EditOp::Substitute(i, j) => println!(
-                "  keep    x[{i}] = y[{j}] = '{}'",
-                x[*i] as char
-            ),
+            EditOp::Substitute(i, j) => println!("  keep    x[{i}] = y[{j}] = '{}'", x[*i] as char),
         }
     }
     assert_eq!(apply_script(&x, &y, &ops), y);
@@ -40,8 +37,12 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(99);
     let m = 600;
     let n = 700;
-    let xs: Vec<u8> = (0..m).map(|_| b"acgt"[rng.random_range(0..4usize)]).collect();
-    let ys: Vec<u8> = (0..n).map(|_| b"acgt"[rng.random_range(0..4usize)]).collect();
+    let xs: Vec<u8> = (0..m)
+        .map(|_| b"acgt"[rng.random_range(0..4usize)])
+        .collect();
+    let ys: Vec<u8> = (0..n)
+        .map(|_| b"acgt"[rng.random_range(0..4usize)])
+        .collect();
     let d0 = edit_distance_dp(&xs, &ys, &costs);
     let d1 = edit_distance_antidiagonal(&xs, &ys, &costs);
     let d2 = edit_distance_dist_tree(&xs, &ys, &costs, 8);

@@ -26,9 +26,17 @@ fn pram_work_bounded_by_steps_times_peak() {
         // bound applies to the *sum of branch lengths*, which is at
         // least the recorded work / peak. Sanity: every step schedules
         // at least one processor.
-        assert!(m.work >= m.steps, "{prim:?}: work {} < steps {}", m.work, m.steps);
+        assert!(
+            m.work >= m.steps,
+            "{prim:?}: work {} < steps {}",
+            m.work,
+            m.steps
+        );
         assert!(m.peak_processors >= 1);
-        assert!(m.writes <= m.work, "each processor writes at most once per step");
+        assert!(
+            m.writes <= m.work,
+            "each processor writes at most once per step"
+        );
         assert_eq!(m.violations, 0);
     }
 }
@@ -38,11 +46,8 @@ fn pram_staircase_accounting_consistent() {
     let mut rng = StdRng::seed_from_u64(61);
     let a = random_staircase_monge_dense(64, 64, &mut rng);
     let f = compute_boundary(&a);
-    let run = monge::parallel::pram_staircase::pram_staircase_row_minima(
-        &a,
-        &f,
-        MinPrimitive::DoublyLog,
-    );
+    let run =
+        monge::parallel::pram_staircase::pram_staircase_row_minima(&a, &f, MinPrimitive::DoublyLog);
     let m = &run.metrics;
     // Candidate loads write cells whose values come straight from the
     // entry oracle (the §1.2 "compute a[i,j] in O(1)" assumption), so
