@@ -25,6 +25,7 @@
 //! record the deviation in DESIGN.md §3.
 
 use crate::geometry::{Point, Rect};
+use monge_parallel::tuning::Tuning;
 use rayon::prelude::*;
 
 /// Brute-force oracle, `O(n³)`: enumerate all (left, right) support
@@ -59,15 +60,24 @@ pub fn largest_empty_rectangle_brute(points: &[Point], bbox: Rect) -> Rect {
 pub fn largest_empty_rectangle(points: &[Point], bbox: Rect) -> Rect {
     let mut sorted: Vec<Point> = points.to_vec();
     sorted.sort_by(|a, b| a.x.partial_cmp(&b.x).unwrap());
-    rec(&sorted, bbox, false)
+    rec(&sorted, bbox, None)
 }
 
 /// Parallel variant (rayon): recursion sides and window scans run
-/// concurrently.
+/// concurrently, with environment-seeded grain sizes.
 pub fn par_largest_empty_rectangle(points: &[Point], bbox: Rect) -> Rect {
+    par_largest_empty_rectangle_with(points, bbox, Tuning::from_env())
+}
+
+/// [`par_largest_empty_rectangle`] with explicit tuning:
+/// [`Tuning::seq_rows`] bounds both the point count a recursion side
+/// handles without forking and the window count a crossing case scans
+/// without fanning out (each bottom's scan is one row's worth of work,
+/// so the row grain transfers directly).
+pub fn par_largest_empty_rectangle_with(points: &[Point], bbox: Rect, t: Tuning) -> Rect {
     let mut sorted: Vec<Point> = points.to_vec();
     sorted.sort_by(|a, b| a.x.partial_cmp(&b.x).unwrap());
-    rec(&sorted, bbox, true)
+    rec(&sorted, bbox, Some(t))
 }
 
 fn better(a: Rect, b: Rect) -> Rect {
@@ -78,7 +88,7 @@ fn better(a: Rect, b: Rect) -> Rect {
     }
 }
 
-fn rec(points: &[Point], bbox: Rect, parallel: bool) -> Rect {
+fn rec(points: &[Point], bbox: Rect, parallel: Option<Tuning>) -> Rect {
     let n = points.len();
     if n == 0 {
         return bbox;
@@ -101,8 +111,14 @@ fn rec(points: &[Point], bbox: Rect, parallel: bool) -> Rect {
     let rbox = Rect::new(x_med, bbox.y0, bbox.x1, bbox.y1);
     // Guard against non-shrinking recursions when many points share the
     // median x (they block crossing but belong to neither side).
-    let (lb, rb) = if parallel && left.len() + right.len() > 256 {
-        rayon::join(|| rec(&left, lbox, true), || rec(&right, rbox, true))
+    let fork = parallel
+        .map(|t| left.len() + right.len() > t.seq_rows.max(1))
+        .unwrap_or(false);
+    let (lb, rb) = if fork {
+        rayon::join(
+            || rec(&left, lbox, parallel),
+            || rec(&right, rbox, parallel),
+        )
     } else {
         (rec(&left, lbox, parallel), rec(&right, rbox, parallel))
     };
@@ -110,7 +126,7 @@ fn rec(points: &[Point], bbox: Rect, parallel: bool) -> Rect {
 }
 
 /// Best rectangle crossing the vertical line `x = x_med`.
-fn crossing(points: &[Point], x_med: f64, bbox: Rect, parallel: bool) -> Rect {
+fn crossing(points: &[Point], x_med: f64, bbox: Rect, parallel: Option<Tuning>) -> Rect {
     // Window candidates: walls plus point ordinates, sorted.
     let mut ys: Vec<f64> = vec![bbox.y0, bbox.y1];
     ys.extend(points.iter().map(|p| p.y));
@@ -150,7 +166,8 @@ fn crossing(points: &[Point], x_med: f64, bbox: Rect, parallel: bool) -> Rect {
     };
 
     let k = ys.len();
-    if parallel && k > 64 {
+    let fan_out = parallel.map(|t| k > t.seq_rows.max(1)).unwrap_or(false);
+    if fan_out {
         (0..k - 1)
             .into_par_iter()
             .map(scan_bottom)

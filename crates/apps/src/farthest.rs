@@ -14,7 +14,10 @@
 use crate::geometry::Point;
 use monge_core::array2d::FnArray;
 use monge_core::smawk::row_maxima_inverse_monge;
-use monge_parallel::rayon_monge::par_row_maxima_inverse_monge;
+use monge_parallel::rayon_monge::{
+    par_row_maxima_inverse_monge, par_row_maxima_inverse_monge_with,
+};
+use monge_parallel::tuning::Tuning;
 
 /// The inverse-Monge cross-chain distance array of Figure 1.1.
 ///
@@ -113,6 +116,79 @@ fn rec(poly: &[Point], chain: &[usize], best: &mut [Option<(f64, usize)>]) {
     }
     rec(poly, p, best);
     rec(poly, q, best);
+}
+
+/// Parallel all-farthest-neighbors: every cross-chain query runs on the
+/// rayon row-maxima engine (the two directions fork against each other)
+/// and the two same-chain recursions run under `rayon::join`, so the
+/// whole divide & conquer — not just one search — scales with cores.
+pub fn par_all_farthest_neighbors(poly: &[Point]) -> Vec<usize> {
+    par_all_farthest_neighbors_with(poly, Tuning::from_env())
+}
+
+/// [`par_all_farthest_neighbors`] with explicit tuning
+/// ([`Tuning::seq_rows`] bounds the chain length solved without
+/// forking).
+pub fn par_all_farthest_neighbors_with(poly: &[Point], t: Tuning) -> Vec<usize> {
+    let n = poly.len();
+    assert!(n >= 2);
+    let mut best: Vec<Option<(f64, usize)>> = vec![None; n];
+    par_rec(poly, 0, n, &mut best, t);
+    best.into_iter().map(|b| b.expect("filled").1).collect()
+}
+
+/// Solves the contiguous chain `lo..hi`; `best` covers exactly those
+/// vertices (`best[i - lo]` is vertex `i`'s candidate).
+fn par_rec(poly: &[Point], lo: usize, hi: usize, best: &mut [Option<(f64, usize)>], t: Tuning) {
+    let n = hi - lo;
+    if n < 2 {
+        return;
+    }
+    if n <= 4 {
+        for i in lo..hi {
+            for j in i + 1..hi {
+                let d = poly[i].dist(poly[j]);
+                merge(&mut best[i - lo], d, j);
+                merge(&mut best[j - lo], d, i);
+            }
+        }
+        return;
+    }
+    let mid = lo + n / 2;
+    // Cross-chain farthest via the inverse-Monge array, both directions
+    // (see `rec` for why the transposed search is needed); the searches
+    // are independent, so they fork against each other.
+    let pa = FnArray::new(mid - lo, hi - mid, |i: usize, j: usize| {
+        poly[lo + i].dist(poly[mid + j])
+    });
+    let qa = FnArray::new(hi - mid, mid - lo, |j: usize, i: usize| {
+        poly[mid + j].dist(poly[lo + i])
+    });
+    let (fq, fp) = if n > t.seq_rows.max(1) {
+        rayon::join(
+            || par_row_maxima_inverse_monge_with(&pa, t),
+            || par_row_maxima_inverse_monge_with(&qa, t),
+        )
+    } else {
+        (row_maxima_inverse_monge(&pa), row_maxima_inverse_monge(&qa))
+    };
+    for (i, (&j, &d)) in fq.index.iter().zip(&fq.value).enumerate() {
+        merge(&mut best[i], d, mid + j);
+        merge(&mut best[mid + j - lo], d, lo + i);
+    }
+    for (j, (&i, &d)) in fp.index.iter().zip(&fp.value).enumerate() {
+        merge(&mut best[mid + j - lo], d, lo + i);
+    }
+    let (bp, bq) = best.split_at_mut(mid - lo);
+    if n > t.seq_rows.max(1) {
+        rayon::join(
+            || par_rec(poly, lo, mid, bp, t),
+            || par_rec(poly, mid, hi, bq, t),
+        );
+    } else {
+        par_rec(poly, lo, mid, bp, t);
+        par_rec(poly, mid, hi, bq, t);
+    }
 }
 
 fn merge(slot: &mut Option<(f64, usize)>, d: f64, j: usize) {
@@ -215,5 +291,29 @@ mod tests {
     fn two_vertex_polygon() {
         let poly = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)];
         assert_eq!(all_farthest_neighbors(&poly), vec![1, 0]);
+        assert_eq!(par_all_farthest_neighbors(&poly), vec![1, 0]);
+    }
+
+    #[test]
+    fn parallel_all_farthest_matches_sequential_distances() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for n in [5usize, 16, 33, 64, 150] {
+            let poly = ConvexPolygon::random(n, 0.0, 0.0, 50.0, &mut rng);
+            let seq = all_farthest_neighbors(&poly.vertices);
+            for t in [
+                Tuning::DEFAULT,
+                Tuning {
+                    seq_rows: 1,
+                    ..Tuning::DEFAULT
+                },
+            ] {
+                let par = par_all_farthest_neighbors_with(&poly.vertices, t);
+                for i in 0..n {
+                    let dp = poly.vertices[i].dist(poly.vertices[par[i]]);
+                    let ds = poly.vertices[i].dist(poly.vertices[seq[i]]);
+                    assert!((dp - ds).abs() < 1e-9, "n={n} i={i}");
+                }
+            }
+        }
     }
 }

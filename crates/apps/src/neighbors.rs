@@ -27,6 +27,7 @@
 use crate::geometry::{cross, visible, ConvexPolygon};
 use monge_core::array2d::FnArray;
 use monge_core::eval::CachedArray;
+use monge_parallel::tuning::Tuning;
 use rayon::prelude::*;
 
 /// Which neighbor is sought.
@@ -64,15 +65,32 @@ pub fn visible_fast(p: &ConvexPolygon, i: usize, q: &ConvexPolygon, j: usize) ->
 /// `P`'s vertices. Returns, per vertex of `P`, the best `Q` index (or
 /// `None` when the sought class is empty).
 pub fn neighbors(p: &ConvexPolygon, q: &ConvexPolygon, goal: Goal) -> Vec<Option<usize>> {
-    solve(p, q, goal, true)
+    solve(p, q, goal, Some(Tuning::from_env()))
+}
+
+/// [`neighbors`] with explicit tuning: rows are dealt to rayon tasks in
+/// blocks of [`Tuning::seq_rows`] so a small polygon doesn't pay one
+/// spawn per vertex.
+pub fn neighbors_with(
+    p: &ConvexPolygon,
+    q: &ConvexPolygon,
+    goal: Goal,
+    t: Tuning,
+) -> Vec<Option<usize>> {
+    solve(p, q, goal, Some(t))
 }
 
 /// Sequential variant of [`neighbors`].
 pub fn neighbors_seq(p: &ConvexPolygon, q: &ConvexPolygon, goal: Goal) -> Vec<Option<usize>> {
-    solve(p, q, goal, false)
+    solve(p, q, goal, None)
 }
 
-fn solve(p: &ConvexPolygon, q: &ConvexPolygon, goal: Goal, parallel: bool) -> Vec<Option<usize>> {
+fn solve(
+    p: &ConvexPolygon,
+    q: &ConvexPolygon,
+    goal: Goal,
+    parallel: Option<Tuning>,
+) -> Vec<Option<usize>> {
     let m = p.vertices.len();
     let row = |i: usize| -> Option<usize> {
         let want_visible = matches!(goal, Goal::NearestVisible | Goal::FarthestVisible);
@@ -99,10 +117,22 @@ fn solve(p: &ConvexPolygon, q: &ConvexPolygon, goal: Goal, parallel: bool) -> Ve
         }
         best.map(|(_, j)| j)
     };
-    if parallel {
-        (0..m).into_par_iter().map(row).collect()
-    } else {
-        (0..m).map(row).collect()
+    match parallel {
+        Some(t) => {
+            // Adaptive grain: each task handles a block of rows instead
+            // of one vertex, so spawn overhead amortizes.
+            let grain = t.seq_rows.max(1);
+            let blocks = m.div_ceil(grain);
+            (0..blocks)
+                .into_par_iter()
+                .flat_map_iter(|b| {
+                    let lo = b * grain;
+                    let hi = (lo + grain).min(m);
+                    (lo..hi).map(&row)
+                })
+                .collect()
+        }
+        None => (0..m).map(&row).collect(),
     }
 }
 

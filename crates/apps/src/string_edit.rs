@@ -26,8 +26,10 @@
 
 use monge_core::array2d::{Array2d, Dense};
 use monge_core::eval;
+use monge_core::scratch::{with_scratch, with_scratch2};
 use monge_core::tube::plane;
 use monge_core::value::Value;
+use monge_parallel::tuning::Tuning;
 use rayon::prelude::*;
 
 /// Edit-operation cost model (plain function pointers keep the model
@@ -205,19 +207,40 @@ pub fn combine_dist(a: &Dense<i64>, b: &Dense<i64>) -> Dense<i64> {
 /// combining tree can consume lazy products ([`DistProduct`], possibly
 /// wrapped in [`monge_core::CachedArray`]) without materializing them.
 pub fn combine_dist_arrays<A: Array2d<i64>, B: Array2d<i64>>(a: &A, b: &B) -> Dense<i64> {
+    combine_dist_arrays_with(a, b, Tuning::from_env())
+}
+
+/// [`combine_dist_arrays`] with explicit tuning: the row halving forks
+/// under `rayon::join` once a block is taller than
+/// [`Tuning::tube_seq_planes`] (the output is split at row boundaries,
+/// so the halves write disjoint slices), and all per-level scratch comes
+/// from the thread-local arena.
+pub fn combine_dist_arrays_with<A: Array2d<i64>, B: Array2d<i64>>(
+    a: &A,
+    b: &B,
+    t: Tuning,
+) -> Dense<i64> {
     let s = a.rows();
     assert_eq!(a.cols(), s);
     assert_eq!(b.rows(), s);
     assert_eq!(b.cols(), s);
     let inf = <i64 as Value>::INFINITY;
-    let mut out = Dense::filled(s, s, inf);
+    let mut out = vec![inf; s * s];
     // Solve rows (of the output) by halving with per-column sandwiches.
-    let lo = vec![0usize; s];
-    let hi = vec![s - 1; s];
-    dc(a, b, 0, s, &lo, &hi, &mut out, &mut Vec::new());
-    out
+    with_scratch2(|lo: &mut Vec<usize>, hi: &mut Vec<usize>| {
+        lo.clear();
+        lo.resize(s, 0);
+        hi.clear();
+        hi.resize(s, s.saturating_sub(1));
+        with_scratch(|scratch: &mut Vec<i64>| {
+            dc(a, b, 0, s, lo, hi, &mut out, scratch, t);
+        });
+    });
+    Dense::from_vec(s, s, out)
 }
 
+/// Solves output rows `i0..i1`; `out` is the row-major slice covering
+/// exactly those rows (`(i1 - i0) * s` entries).
 #[allow(clippy::too_many_arguments)]
 fn dc<A: Array2d<i64>, B: Array2d<i64>>(
     a: &A,
@@ -226,36 +249,51 @@ fn dc<A: Array2d<i64>, B: Array2d<i64>>(
     i1: usize,
     lo: &[usize],
     hi: &[usize],
-    out: &mut Dense<i64>,
+    out: &mut [i64],
     scratch: &mut Vec<i64>,
+    t: Tuning,
 ) {
     if i0 >= i1 {
         return;
     }
     let s = a.rows();
     let mid = i0 + (i1 - i0) / 2;
+    let (top, rest) = out.split_at_mut((mid - i0) * s);
+    let (mid_row, bot) = rest.split_at_mut(s);
     // The middle output row lives on the Monge plane
     // F[k][j] = a[mid,j] + b[j,k]; each sandwich is one batched scan.
-    let pl = plane(a, b, mid);
-    let mut args = vec![0usize; s];
-    let mut from = 0usize;
-    for k in 0..s {
-        // Feasible middle coordinates: j in [mid, k] (band) ∩ sandwich.
-        if k < mid {
-            args[k] = mid.min(k); // unused; out stays ∞ (j<i infeasible)
-            continue;
+    with_scratch(|args: &mut Vec<usize>| {
+        args.clear();
+        args.resize(s, 0);
+        {
+            let pl = plane(a, b, mid);
+            let mut from = 0usize;
+            for k in 0..s {
+                // Feasible middle coordinates: j in [mid, k] (band) ∩ sandwich.
+                if k < mid {
+                    args[k] = mid.min(k); // unused; out stays ∞ (j<i infeasible)
+                    continue;
+                }
+                let l = lo[k].max(from).max(mid);
+                let h = hi[k].min(k);
+                let (bj, bv) = eval::interval_argmin(&pl, k, l, h.max(l) + 1, scratch);
+                mid_row[k] = bv;
+                args[k] = bj;
+                from = bj;
+            }
         }
-        let l = lo[k].max(from).max(mid);
-        let h = hi[k].min(k);
-        let (bj, bv) = eval::interval_argmin(&pl, k, l, h.max(l) + 1, scratch);
-        out.set(mid, k, bv);
-        args[k] = bj;
-        from = bj;
-    }
-    let hi_top: Vec<usize> = args.to_vec();
-    let lo_bot: Vec<usize> = args;
-    dc(a, b, i0, mid, lo, &hi_top, out, scratch);
-    dc(a, b, mid + 1, i1, &lo_bot, hi, out, scratch);
+        // `args` is both the upper block's inclusive upper bounds and the
+        // lower block's lower bounds (double argmin monotonicity).
+        if i1 - i0 > t.tube_seq_planes.max(1) {
+            rayon::join(
+                || with_scratch(|sc: &mut Vec<i64>| dc(a, b, i0, mid, lo, args, top, sc, t)),
+                || with_scratch(|sc: &mut Vec<i64>| dc(a, b, mid + 1, i1, args, hi, bot, sc, t)),
+            );
+        } else {
+            dc(a, b, i0, mid, lo, args, top, scratch, t);
+            dc(a, b, mid + 1, i1, args, hi, bot, scratch, t);
+        }
+    });
 }
 
 /// A **lazy** banded `(min,+)` DIST product: entries are computed on
@@ -306,21 +344,26 @@ impl<'a, A: Array2d<i64>, B: Array2d<i64>> Array2d<i64> for DistProduct<'a, A, B
     fn fill_row(&self, i: usize, cols: std::ops::Range<usize>, out: &mut [i64]) {
         // One monotone sweep computes the whole output row in
         // O(s + argmin span) factor evaluations; the requested slice is
-        // copied out. (Row granularity matches CachedArray's.)
+        // copied out. (Row granularity matches CachedArray's.) Both the
+        // row buffer and the scan scratch are pooled, so repeated calls
+        // (a combining tree touches every row of every level) allocate
+        // nothing.
         let s = self.a.rows();
         let inf = <i64 as Value>::INFINITY;
-        let mut row = vec![inf; s];
-        let pl = plane(self.a, self.b, i);
-        let mut scratch = Vec::new();
-        let mut from = i;
-        for (k, slot) in row.iter_mut().enumerate().skip(i) {
-            let (bj, bv) = eval::interval_argmin(&pl, k, from, k + 1, &mut scratch);
-            *slot = bv;
-            from = bj;
-        }
-        for (slot, k) in out.iter_mut().zip(cols) {
-            *slot = row[k];
-        }
+        with_scratch2(|row: &mut Vec<i64>, scratch: &mut Vec<i64>| {
+            row.clear();
+            row.resize(s, inf);
+            let pl = plane(self.a, self.b, i);
+            let mut from = i;
+            for (k, slot) in row.iter_mut().enumerate().skip(i) {
+                let (bj, bv) = eval::interval_argmin(&pl, k, from, k + 1, scratch);
+                *slot = bv;
+                from = bj;
+            }
+            for (slot, k) in out.iter_mut().zip(cols) {
+                *slot = row[k];
+            }
+        });
     }
 }
 
@@ -344,6 +387,21 @@ pub fn combine_dist_brute(a: &Dense<i64>, b: &Dense<i64>) -> Dense<i64> {
 /// a parallel reduction tree of banded `(min,+)` products, and read
 /// `DIST[0][n]`.
 pub fn edit_distance_dist_tree(x: &[u8], y: &[u8], c: &CostModel, strips: usize) -> i64 {
+    edit_distance_dist_tree_with(x, y, c, strips, Tuning::from_env())
+}
+
+/// [`edit_distance_dist_tree`] with explicit tuning: every stage is
+/// parallel — the per-strip DIST builds fan out over rayon, and each
+/// `(min,+)` combination in the reduction tree runs the forked
+/// [`combine_dist_arrays_with`] divide & conquer, so two combines *and*
+/// the row blocks within one combine execute concurrently.
+pub fn edit_distance_dist_tree_with(
+    x: &[u8],
+    y: &[u8],
+    c: &CostModel,
+    strips: usize,
+    t: Tuning,
+) -> i64 {
     let strips = strips.clamp(1, x.len().max(1));
     let chunk = x.len().div_ceil(strips);
     let parts: Vec<&[u8]> = if x.is_empty() {
@@ -354,7 +412,7 @@ pub fn edit_distance_dist_tree(x: &[u8], y: &[u8], c: &CostModel, strips: usize)
     let dists: Vec<Dense<i64>> = parts.par_iter().map(|xs| strip_dist(xs, y, c)).collect();
     let combined = dists
         .into_par_iter()
-        .reduce_with(|a, b| combine_dist(&a, &b))
+        .reduce_with(|a, b| combine_dist_arrays_with(&a, &b, t))
         .expect("at least one strip");
     combined.entry(0, y.len())
 }

@@ -262,6 +262,54 @@ pub fn interval_argmin<T: Value, A: Array2d<T>>(
     (lo + k, buf[k])
 }
 
+/// [`interval_argmin`] with the scratch buffer checked out of the
+/// thread-local arena ([`crate::scratch`]): callers that cannot (or do
+/// not want to) thread a `&mut Vec<T>` through their recursion get the
+/// same zero-steady-state-allocation behavior for free.
+#[inline]
+pub fn interval_argmin_pooled<T: Value, A: Array2d<T>>(
+    a: &A,
+    row: usize,
+    lo: usize,
+    hi: usize,
+) -> (usize, T) {
+    if let Some(vals) = a.row_view(row, lo..hi) {
+        let k = argmin_slice(vals);
+        return (lo + k, vals[k]);
+    }
+    crate::scratch::with_scratch(|scratch| interval_argmin(a, row, lo, hi, scratch))
+}
+
+/// Rightmost-minimum variant of [`interval_argmin_pooled`].
+#[inline]
+pub fn interval_argmin_rightmost_pooled<T: Value, A: Array2d<T>>(
+    a: &A,
+    row: usize,
+    lo: usize,
+    hi: usize,
+) -> (usize, T) {
+    if let Some(vals) = a.row_view(row, lo..hi) {
+        let k = argmin_slice_rightmost(vals);
+        return (lo + k, vals[k]);
+    }
+    crate::scratch::with_scratch(|scratch| interval_argmin_rightmost(a, row, lo, hi, scratch))
+}
+
+/// Leftmost-maximum variant of [`interval_argmin_pooled`].
+#[inline]
+pub fn interval_argmax_pooled<T: Value, A: Array2d<T>>(
+    a: &A,
+    row: usize,
+    lo: usize,
+    hi: usize,
+) -> (usize, T) {
+    if let Some(vals) = a.row_view(row, lo..hi) {
+        let k = argmax_slice(vals);
+        return (lo + k, vals[k]);
+    }
+    crate::scratch::with_scratch(|scratch| interval_argmax(a, row, lo, hi, scratch))
+}
+
 /// Rightmost-minimum variant of [`interval_argmin`].
 #[inline]
 pub fn interval_argmin_rightmost<T: Value, A: Array2d<T>>(

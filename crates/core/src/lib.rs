@@ -41,6 +41,9 @@
 //! * [`eval`] — the batched evaluation layer: scratch-buffer interval
 //!   scans over [`Array2d::fill_row`], the [`eval::CachedArray`] memoizing
 //!   wrapper, and the [`eval::CountingArray`] evaluation-count metrics hook.
+//! * [`scratch`] — thread-local grow-only buffer arenas so recursion
+//!   leaves (and rayon workers in `monge-parallel`) run allocation-free
+//!   in steady state.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -53,6 +56,7 @@ pub mod eval;
 pub mod generators;
 pub mod monge;
 pub mod online;
+pub mod scratch;
 pub mod smawk;
 pub mod staircase;
 pub mod tube;

@@ -60,16 +60,35 @@ pub enum Tie {
 /// Monge arrays, when `tie == Tie::Right`). Returns the per-row argmin
 /// under the given tie rule.
 pub fn row_minima_totally_monotone<T: Value, A: Array2d<T>>(a: &A, tie: Tie) -> Vec<usize> {
+    let mut out = vec![0usize; a.rows()];
+    row_minima_totally_monotone_into(a, tie, &mut out);
+    out
+}
+
+/// [`row_minima_totally_monotone`] writing into a caller-provided buffer
+/// of length `a.rows()` — with every internal vector checked out of the
+/// thread-local arena ([`crate::scratch`]), a warmed-up call performs no
+/// heap allocation at all. This is the per-plane primitive of the tube
+/// engines, which call SMAWK `p` times per product.
+pub fn row_minima_totally_monotone_into<T: Value, A: Array2d<T>>(
+    a: &A,
+    tie: Tie,
+    out: &mut [usize],
+) {
     let (m, n) = (a.rows(), a.cols());
     assert!(n > 0, "row minima of a zero-column array are undefined");
-    let mut out = vec![0usize; m];
+    assert_eq!(out.len(), m, "output buffer must have one slot per row");
     if m == 0 {
-        return out;
+        return;
     }
-    let rows: Vec<usize> = (0..m).collect();
-    let cols: Vec<usize> = (0..n).collect();
-    smawk_rec(a, &rows, &cols, tie, &mut out);
-    out
+    out.fill(0);
+    crate::scratch::with_scratch2(|rows: &mut Vec<usize>, cols: &mut Vec<usize>| {
+        rows.clear();
+        rows.extend(0..m);
+        cols.clear();
+        cols.extend(0..n);
+        smawk_rec(a, rows, cols, tie, out);
+    });
 }
 
 /// `better(candidate, incumbent)`: does the candidate (which lies to the
@@ -96,55 +115,63 @@ fn smawk_rec<T: Value, A: Array2d<T>>(
     // REDUCE: keep at most |rows| columns that can still contain a row
     // minimum. `stack[k]` is a live column competing at row `rows[k]`;
     // `vals[k]` caches `a.entry(rows[k], stack[k])` so each comparison
-    // evaluates only the challenger, not the incumbent again.
-    let mut stack: Vec<usize> = Vec::with_capacity(rows.len());
-    let mut vals: Vec<T> = Vec::with_capacity(rows.len());
-    for &c in cols {
-        while let Some(&inc) = vals.last() {
-            let r = rows[stack.len() - 1];
-            if replaces(a.entry(r, c), inc, tie) {
-                stack.pop();
-                vals.pop();
+    // evaluates only the challenger, not the incumbent again. The stack
+    // and value buffers come from the thread-local arena: the recursion
+    // settles at `O(lg m)` pooled buffers and allocates nothing after
+    // warm-up.
+    crate::scratch::with_scratch2(|stack: &mut Vec<usize>, vals: &mut Vec<T>| {
+        stack.clear();
+        vals.clear();
+        for &c in cols {
+            while let Some(&inc) = vals.last() {
+                let r = rows[stack.len() - 1];
+                if replaces(a.entry(r, c), inc, tie) {
+                    stack.pop();
+                    vals.pop();
+                } else {
+                    break;
+                }
+            }
+            if stack.len() < rows.len() {
+                vals.push(a.entry(rows[stack.len()], c));
+                stack.push(c);
+            }
+        }
+        debug_assert!(!stack.is_empty());
+
+        // Recurse on the odd-indexed rows with the surviving columns.
+        crate::scratch::with_scratch(|odd_rows: &mut Vec<usize>| {
+            odd_rows.clear();
+            odd_rows.extend(rows.iter().copied().skip(1).step_by(2));
+            smawk_rec(a, odd_rows, stack, tie, out);
+        });
+
+        // INTERPOLATE: fill even-indexed rows. The argmin of rows[i] lies
+        // between the argmins of its odd neighbours within `stack`, and those
+        // are non-decreasing, so one pointer sweep suffices.
+        let mut k = 0usize;
+        let nr = rows.len();
+        for i in (0..nr).step_by(2) {
+            let row = rows[i];
+            let stop_col = if i + 1 < nr {
+                out[rows[i + 1]]
             } else {
-                break;
+                *stack.last().expect("non-empty stack")
+            };
+            let mut best = stack[k];
+            let mut best_v = a.entry(row, best);
+            while stack[k] != stop_col {
+                k += 1;
+                let c = stack[k];
+                let v = a.entry(row, c);
+                if replaces(v, best_v, tie) {
+                    best = c;
+                    best_v = v;
+                }
             }
+            out[row] = best;
         }
-        if stack.len() < rows.len() {
-            vals.push(a.entry(rows[stack.len()], c));
-            stack.push(c);
-        }
-    }
-    debug_assert!(!stack.is_empty());
-
-    // Recurse on the odd-indexed rows with the surviving columns.
-    let odd_rows: Vec<usize> = rows.iter().copied().skip(1).step_by(2).collect();
-    smawk_rec(a, &odd_rows, &stack, tie, out);
-
-    // INTERPOLATE: fill even-indexed rows. The argmin of rows[i] lies
-    // between the argmins of its odd neighbours within `stack`, and those
-    // are non-decreasing, so one pointer sweep suffices.
-    let mut k = 0usize;
-    let nr = rows.len();
-    for i in (0..nr).step_by(2) {
-        let row = rows[i];
-        let stop_col = if i + 1 < nr {
-            out[rows[i + 1]]
-        } else {
-            *stack.last().expect("non-empty stack")
-        };
-        let mut best = stack[k];
-        let mut best_v = a.entry(row, best);
-        while stack[k] != stop_col {
-            k += 1;
-            let c = stack[k];
-            let v = a.entry(row, c);
-            if replaces(v, best_v, tie) {
-                best = c;
-                best_v = v;
-            }
-        }
-        out[row] = best;
-    }
+    });
 }
 
 /// Leftmost row minima of a Monge array in `Θ(m + n)` time.
@@ -197,6 +224,29 @@ pub fn row_maxima_monge<T: Value, A: Array2d<T>>(a: &A) -> RowExtrema<T> {
         .map(|j| n - 1 - j)
         .collect();
     RowExtrema::from_indices(a, index)
+}
+
+/// [`row_minima_monge`] writing argmins into a caller-provided buffer
+/// (no `RowExtrema` allocation, no Monge debug re-verification — the
+/// allocation-free per-plane primitive of the tube engines).
+pub fn row_minima_monge_into<T: Value, A: Array2d<T>>(a: &A, out: &mut [usize]) {
+    row_minima_totally_monotone_into(a, Tie::Left, out);
+}
+
+/// [`row_maxima_monge`] writing argmaxes into a caller-provided buffer.
+pub fn row_maxima_monge_into<T: Value, A: Array2d<T>>(a: &A, out: &mut [usize]) {
+    let n = a.cols();
+    let t = Negate(ReverseCols(a));
+    row_minima_totally_monotone_into(&t, Tie::Right, out);
+    for j in out.iter_mut() {
+        *j = n - 1 - *j;
+    }
+}
+
+/// [`row_maxima_inverse_monge`] writing argmaxes into a caller-provided
+/// buffer.
+pub fn row_maxima_inverse_monge_into<T: Value, A: Array2d<T>>(a: &A, out: &mut [usize]) {
+    row_minima_totally_monotone_into(&Negate(a), Tie::Left, out);
 }
 
 /// Leftmost row minima of an inverse-Monge array in `Θ(m + n)` time.

@@ -128,10 +128,14 @@ pub fn staircase_row_minima<T: Value, A: Array2d<T>>(a: &A, f: &[usize]) -> Vec<
         return Vec::new();
     }
     assert!(a.cols() > 0);
-    let mut best: Vec<Option<(T, usize)>> = vec![None; m];
-    let mut scratch = Vec::new();
-    minima_rec(a, f, 0, m, 0, a.cols(), &mut best, &mut scratch);
-    best.into_iter().map(|b| b.map_or(0, |(_, j)| j)).collect()
+    // Candidate and scan buffers come from the thread-local arena: a
+    // warmed-up call allocates only the returned index vector.
+    crate::scratch::with_scratch2(|best: &mut Vec<Option<(T, usize)>>, scratch: &mut Vec<T>| {
+        best.clear();
+        best.resize(m, None);
+        minima_rec(a, f, 0, m, 0, a.cols(), best, scratch);
+        best.iter().map(|b| b.map_or(0, |(_, j)| j)).collect()
+    })
 }
 
 /// Merges a candidate `(value, column)` into the running leftmost minimum
@@ -199,8 +203,9 @@ pub fn staircase_row_maxima<T: Value, A: Array2d<T>>(a: &A, f: &[usize]) -> Vec<
         return out;
     }
     assert!(a.cols() > 0);
-    let mut scratch = Vec::new();
-    maxima_rec(a, f, 0, m, 0, a.cols(), &mut out, &mut scratch);
+    crate::scratch::with_scratch(|scratch: &mut Vec<T>| {
+        maxima_rec(a, f, 0, m, 0, a.cols(), &mut out, scratch);
+    });
     out
 }
 

@@ -25,7 +25,7 @@
 //! sequential `O((p + r) q)` bound of §1.2 for square-ish inputs.
 
 use crate::array2d::Array2d;
-use crate::smawk::{row_maxima_monge, row_minima_monge};
+use crate::smawk::row_maxima_monge;
 use crate::value::Value;
 use std::ops::Range;
 
@@ -154,22 +154,55 @@ pub fn plane<'a, T: Value, A: Array2d<T>, B: Array2d<T>>(
     }
 }
 
-/// Tube maxima (`(max,+)` product) by per-plane SMAWK:
-/// `O(p (q + r))` time. Ties take the smallest `j`, matching the paper's
-/// "minimum third coordinate" convention transported to the middle
-/// coordinate.
-pub fn tube_maxima<T: Value, A: Array2d<T>, B: Array2d<T>>(d: &A, e: &B) -> TubeExtrema<T> {
+/// Which per-plane SMAWK reduction a tube search runs.
+enum PlaneSolve {
+    /// Leftmost row minima of a Monge plane.
+    MongeMin,
+    /// Leftmost row maxima of a Monge plane.
+    MongeMax,
+    /// Leftmost row maxima of an inverse-Monge plane.
+    InverseMax,
+}
+
+/// Shared per-plane driver: one SMAWK call per plane, with the argmin
+/// buffer checked out of the thread-local arena once for the whole
+/// product. Combined with the arena-backed SMAWK recursion, the per-plane
+/// loop — the sequential leaf every parallel tube engine bottoms out
+/// into — performs no heap allocation beyond the `p × r` output in
+/// steady state.
+fn tube_by_planes<T: Value, A: Array2d<T>, B: Array2d<T>>(
+    d: &A,
+    e: &B,
+    which: PlaneSolve,
+) -> TubeExtrema<T> {
     assert_eq!(d.cols(), e.rows(), "inner dimensions disagree");
     let (p, q, r) = (d.rows(), d.cols(), e.cols());
     assert!(q > 0, "tube over an empty middle dimension is undefined");
     let mut index = Vec::with_capacity(p * r);
     let mut value = Vec::with_capacity(p * r);
-    for i in 0..p {
-        let ex = row_maxima_monge(&plane(d, e, i));
-        index.extend_from_slice(&ex.index);
-        value.extend_from_slice(&ex.value);
-    }
+    crate::scratch::with_scratch(|idx: &mut Vec<usize>| {
+        idx.clear();
+        idx.resize(r, 0);
+        for i in 0..p {
+            let pl = plane(d, e, i);
+            match which {
+                PlaneSolve::MongeMin => crate::smawk::row_minima_monge_into(&pl, idx),
+                PlaneSolve::MongeMax => crate::smawk::row_maxima_monge_into(&pl, idx),
+                PlaneSolve::InverseMax => crate::smawk::row_maxima_inverse_monge_into(&pl, idx),
+            }
+            index.extend_from_slice(idx);
+            value.extend(idx.iter().enumerate().map(|(k, &j)| pl.entry(k, j)));
+        }
+    });
     TubeExtrema { p, r, index, value }
+}
+
+/// Tube maxima (`(max,+)` product) by per-plane SMAWK:
+/// `O(p (q + r))` time. Ties take the smallest `j`, matching the paper's
+/// "minimum third coordinate" convention transported to the middle
+/// coordinate.
+pub fn tube_maxima<T: Value, A: Array2d<T>, B: Array2d<T>>(d: &A, e: &B) -> TubeExtrema<T> {
+    tube_by_planes(d, e, PlaneSolve::MongeMax)
 }
 
 /// Tube minima (`(min,+)` product) by per-plane SMAWK, `O(p (q + r))`.
@@ -187,17 +220,7 @@ pub fn tube_maxima<T: Value, A: Array2d<T>, B: Array2d<T>>(d: &A, e: &B) -> Tube
 /// # use monge_core::Array2d;
 /// ```
 pub fn tube_minima<T: Value, A: Array2d<T>, B: Array2d<T>>(d: &A, e: &B) -> TubeExtrema<T> {
-    assert_eq!(d.cols(), e.rows(), "inner dimensions disagree");
-    let (p, q, r) = (d.rows(), d.cols(), e.cols());
-    assert!(q > 0, "tube over an empty middle dimension is undefined");
-    let mut index = Vec::with_capacity(p * r);
-    let mut value = Vec::with_capacity(p * r);
-    for i in 0..p {
-        let ex = row_minima_monge(&plane(d, e, i));
-        index.extend_from_slice(&ex.index);
-        value.extend_from_slice(&ex.value);
-    }
-    TubeExtrema { p, r, index, value }
+    tube_by_planes(d, e, PlaneSolve::MongeMin)
 }
 
 /// Tube maxima of a composite of **inverse-Monge** factors: for
@@ -205,17 +228,7 @@ pub fn tube_minima<T: Value, A: Array2d<T>, B: Array2d<T>>(d: &A, e: &B) -> Tube
 /// inverse-Monge (the `d` terms cancel out of every quadrangle), so the
 /// per-plane search uses [`crate::smawk::row_maxima_inverse_monge`]. `O(p (q + r))`.
 pub fn tube_maxima_inverse<T: Value, A: Array2d<T>, B: Array2d<T>>(d: &A, e: &B) -> TubeExtrema<T> {
-    assert_eq!(d.cols(), e.rows(), "inner dimensions disagree");
-    let (p, q, r) = (d.rows(), d.cols(), e.cols());
-    assert!(q > 0, "tube over an empty middle dimension is undefined");
-    let mut index = Vec::with_capacity(p * r);
-    let mut value = Vec::with_capacity(p * r);
-    for i in 0..p {
-        let ex = crate::smawk::row_maxima_inverse_monge(&plane(d, e, i));
-        index.extend_from_slice(&ex.index);
-        value.extend_from_slice(&ex.value);
-    }
-    TubeExtrema { p, r, index, value }
+    tube_by_planes(d, e, PlaneSolve::InverseMax)
 }
 
 /// Brute-force tube maxima oracle, `O(p q r)`.

@@ -47,8 +47,11 @@ pub mod pram_tube;
 pub mod rayon_monge;
 pub mod rayon_staircase;
 pub mod rayon_tube;
+pub mod runtime;
 pub mod tuning;
 pub mod vector_array;
 
 pub use pram_monge::MinPrimitive;
+pub use runtime::calibrate;
+pub use tuning::Tuning;
 pub use vector_array::VectorArray;

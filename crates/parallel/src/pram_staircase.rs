@@ -29,6 +29,7 @@
 //! The recursion bottoms out at gaps of `O(√m)` rows solved directly.
 
 use crate::pram_monge::{Engine, MinPrimitive, PramRun};
+use crate::tuning::Tuning;
 use monge_core::array2d::Array2d;
 use monge_core::value::Value;
 
@@ -46,12 +47,14 @@ fn merge_candidate<T: Value>(slot: &mut Cand<T>, v: T, j: usize) {
 }
 
 /// Row minima of a staircase-Monge array with boundary `f` on the
-/// simulated PRAM. Returns leftmost argmins (rows whose finite prefix is
-/// empty report column 0).
-pub fn pram_staircase_row_minima<T: Value, A: Array2d<T>>(
+/// simulated PRAM, with explicit tuning (only
+/// [`Tuning::pram_base_rows`] is consulted). Returns leftmost argmins
+/// (rows whose finite prefix is empty report column 0).
+pub fn pram_staircase_row_minima_with<T: Value, A: Array2d<T>>(
     a: &A,
     f: &[usize],
     prim: MinPrimitive,
+    t: Tuning,
 ) -> PramRun {
     let (m, n) = (a.rows(), a.cols());
     assert_eq!(f.len(), m);
@@ -59,13 +62,22 @@ pub fn pram_staircase_row_minima<T: Value, A: Array2d<T>>(
     let mut eng = Engine::new(prim);
     let mut out: Vec<Cand<T>> = vec![None; m];
     if m > 0 {
-        solve(&mut eng, a, f, 0, m, 0, n, &mut out);
+        solve(&mut eng, a, f, 0, m, 0, n, &mut out, t);
     }
     PramRun {
         index: out.into_iter().map(|c| c.map_or(0, |(_, j)| j)).collect(),
         metrics: eng.pram.metrics().clone(),
         processors: n as u64,
     }
+}
+
+/// [`pram_staircase_row_minima_with`] with environment-seeded tuning.
+pub fn pram_staircase_row_minima<T: Value, A: Array2d<T>>(
+    a: &A,
+    f: &[usize],
+    prim: MinPrimitive,
+) -> PramRun {
+    pram_staircase_row_minima_with(a, f, prim, Tuning::from_env())
 }
 
 /// Solves rows `r0..r1` over columns `[c0, min(c1, f_i))`, merging each
@@ -80,6 +92,7 @@ fn solve<T: Value, A: Array2d<T>>(
     c0: usize,
     c1: usize,
     out: &mut [Cand<T>],
+    t: Tuning,
 ) {
     // Rows whose finite prefix does not reach c0 form a suffix; trim them.
     r1 = partition_point(r0, r1, |i| f[i] > c0);
@@ -87,7 +100,7 @@ fn solve<T: Value, A: Array2d<T>>(
         return;
     }
     let m = r1 - r0;
-    if m <= crate::tuning::pram_base_rows() {
+    if m <= t.pram_base_rows.max(1) {
         // Base case: each row scans its own interval, all in parallel.
         eng.pram.fork();
         for k in r0..r1 {
@@ -211,7 +224,7 @@ fn solve<T: Value, A: Array2d<T>>(
         // Feasible staircase region beyond the bottom sample's boundary:
         // recurse (this is the T(m) = T(√m) + O(·) recursion).
         if fs < c1 {
-            solve(eng, a, f, gap_lo, gap_hi, fs, c1, out);
+            solve(eng, a, f, gap_lo, gap_hi, fs, c1, out, t);
             eng.pram.branch_done();
         }
     }

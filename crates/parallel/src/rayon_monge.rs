@@ -10,16 +10,25 @@
 //! ([`monge_core::eval`]): each sequential leaf fills a reusable scratch
 //! buffer with one [`Array2d::fill_row`] call and argmins over the
 //! slice; the wide-interval path splits the interval into
-//! [`crate::tuning::seq_scan`]-sized chunks, scans each chunk the same
-//! way, and combines candidates with an order-insensitive lexicographic
+//! [`Tuning::seq_scan`]-sized chunks, scans each chunk the same way,
+//! and combines candidates with an order-insensitive lexicographic
 //! reduction.
+//!
+//! Grain sizes come from the [`Tuning`] value threaded through every
+//! call (the plain entry points seed it from the environment; the
+//! `*_with` variants accept an explicit handle, e.g. one produced by
+//! [`crate::runtime::calibrate`]). Scratch buffers at fork boundaries
+//! are checked out of the worker thread's arena
+//! ([`monge_core::scratch`]), so steady-state searches allocate only
+//! their output vectors.
 //!
 //! Work is `O((m + n) lg m)`, span `O(lg m lg n)`, so wall-clock scales
 //! with cores — the rayon stand-in for the paper's `n`-processor bounds.
 
-use crate::tuning;
+use crate::tuning::Tuning;
 use monge_core::array2d::{Array2d, Negate, ReverseCols};
 use monge_core::eval;
+use monge_core::scratch::with_scratch;
 use monge_core::smawk::RowExtrema;
 use monge_core::value::Value;
 use rayon::prelude::*;
@@ -56,9 +65,10 @@ pub(crate) fn interval_argmin<T: Value, A: Array2d<T>>(
     lo: usize,
     hi: usize,
     scratch: &mut Vec<T>,
+    t: Tuning,
 ) -> (usize, T) {
     debug_assert!(lo < hi);
-    let chunk = tuning::seq_scan();
+    let chunk = t.seq_scan.max(1);
     if hi - lo <= chunk {
         return eval::interval_argmin(a, row, lo, hi, scratch);
     }
@@ -68,8 +78,7 @@ pub(crate) fn interval_argmin<T: Value, A: Array2d<T>>(
         .map(|ci| {
             let c_lo = lo + ci * chunk;
             let c_hi = (c_lo + chunk).min(hi);
-            let mut buf = Vec::new();
-            eval::interval_argmin(a, row, c_lo, c_hi, &mut buf)
+            with_scratch(|buf: &mut Vec<T>| eval::interval_argmin(a, row, c_lo, c_hi, buf))
         })
         .reduce_with(lex_min)
         .expect("non-empty interval")
@@ -82,9 +91,10 @@ fn interval_argmin_rightmost<T: Value, A: Array2d<T>>(
     lo: usize,
     hi: usize,
     scratch: &mut Vec<T>,
+    t: Tuning,
 ) -> (usize, T) {
     debug_assert!(lo < hi);
-    let chunk = tuning::seq_scan();
+    let chunk = t.seq_scan.max(1);
     if hi - lo <= chunk {
         return eval::interval_argmin_rightmost(a, row, lo, hi, scratch);
     }
@@ -94,13 +104,15 @@ fn interval_argmin_rightmost<T: Value, A: Array2d<T>>(
         .map(|ci| {
             let c_lo = lo + ci * chunk;
             let c_hi = (c_lo + chunk).min(hi);
-            let mut buf = Vec::new();
-            eval::interval_argmin_rightmost(a, row, c_lo, c_hi, &mut buf)
+            with_scratch(|buf: &mut Vec<T>| {
+                eval::interval_argmin_rightmost(a, row, c_lo, c_hi, buf)
+            })
         })
         .reduce_with(lex_min_rightmost)
         .expect("non-empty interval")
 }
 
+#[allow(clippy::too_many_arguments)]
 fn rec<T: Value, A: Array2d<T>>(
     a: &A,
     r0: usize,
@@ -109,26 +121,28 @@ fn rec<T: Value, A: Array2d<T>>(
     c1: usize,
     out: &mut [usize],
     scratch: &mut Vec<T>,
+    t: Tuning,
 ) {
     if r0 >= r1 {
         return;
     }
     let mid = r0 + (r1 - r0) / 2;
-    let (best, _) = interval_argmin(a, mid, c0, c1, scratch);
+    let (best, _) = interval_argmin(a, mid, c0, c1, scratch, t);
     out[mid - r0] = best;
     let (top, rest) = out.split_at_mut(mid - r0);
     let bot = &mut rest[1..];
-    if r1 - r0 <= tuning::seq_rows() {
-        rec_seq(a, r0, mid, c0, best + 1, top, scratch);
-        rec_seq(a, mid + 1, r1, best, c1, bot, scratch);
+    if r1 - r0 <= t.seq_rows.max(1) {
+        rec_seq(a, r0, mid, c0, best + 1, top, scratch, t);
+        rec_seq(a, mid + 1, r1, best, c1, bot, scratch, t);
         return;
     }
     rayon::join(
-        || rec(a, r0, mid, c0, best + 1, top, &mut Vec::new()),
-        || rec(a, mid + 1, r1, best, c1, bot, &mut Vec::new()),
+        || with_scratch(|s: &mut Vec<T>| rec(a, r0, mid, c0, best + 1, top, s, t)),
+        || with_scratch(|s: &mut Vec<T>| rec(a, mid + 1, r1, best, c1, bot, s, t)),
     );
 }
 
+#[allow(clippy::too_many_arguments)]
 fn rec_seq<T: Value, A: Array2d<T>>(
     a: &A,
     r0: usize,
@@ -137,52 +151,97 @@ fn rec_seq<T: Value, A: Array2d<T>>(
     c1: usize,
     out: &mut [usize],
     scratch: &mut Vec<T>,
+    t: Tuning,
 ) {
     if r0 >= r1 {
         return;
     }
     let mid = r0 + (r1 - r0) / 2;
-    let (best, _) = interval_argmin(a, mid, c0, c1, scratch);
+    let (best, _) = interval_argmin(a, mid, c0, c1, scratch, t);
     out[mid - r0] = best;
     let (top, rest) = out.split_at_mut(mid - r0);
     let bot = &mut rest[1..];
-    rec_seq(a, r0, mid, c0, best + 1, top, scratch);
-    rec_seq(a, mid + 1, r1, best, c1, bot, scratch);
+    rec_seq(a, r0, mid, c0, best + 1, top, scratch, t);
+    rec_seq(a, mid + 1, r1, best, c1, bot, scratch, t);
 }
 
 /// Core parallel routine: leftmost row minima of a totally monotone
-/// (minima) array by parallel divide & conquer.
-pub fn par_row_minima_totally_monotone<T: Value, A: Array2d<T>>(a: &A) -> Vec<usize> {
+/// (minima) array by parallel divide & conquer, with explicit tuning.
+pub fn par_row_minima_totally_monotone_with<T: Value, A: Array2d<T>>(
+    a: &A,
+    t: Tuning,
+) -> Vec<usize> {
     let (m, n) = (a.rows(), a.cols());
     assert!(n > 0);
     let mut out = vec![0usize; m];
-    rec(a, 0, m, 0, n, &mut out, &mut Vec::new());
+    with_scratch(|s: &mut Vec<T>| rec(a, 0, m, 0, n, &mut out, s, t));
     out
+}
+
+/// [`par_row_minima_totally_monotone_with`] with environment-seeded
+/// tuning.
+pub fn par_row_minima_totally_monotone<T: Value, A: Array2d<T>>(a: &A) -> Vec<usize> {
+    par_row_minima_totally_monotone_with(a, Tuning::from_env())
+}
+
+/// Parallel leftmost row minima of a Monge array, with explicit tuning.
+pub fn par_row_minima_monge_with<T: Value, A: Array2d<T>>(a: &A, t: Tuning) -> RowExtrema<T> {
+    let index = par_row_minima_totally_monotone_with(a, t);
+    RowExtrema::from_indices(a, index)
 }
 
 /// Parallel leftmost row minima of a Monge array.
 pub fn par_row_minima_monge<T: Value, A: Array2d<T>>(a: &A) -> RowExtrema<T> {
-    let index = par_row_minima_totally_monotone(a);
+    par_row_minima_monge_with(a, Tuning::from_env())
+}
+
+/// Parallel leftmost row maxima of an inverse-Monge array, with
+/// explicit tuning.
+pub fn par_row_maxima_inverse_monge_with<T: Value, A: Array2d<T>>(
+    a: &A,
+    t: Tuning,
+) -> RowExtrema<T> {
+    let index = par_row_minima_totally_monotone_with(&Negate(a), t);
     RowExtrema::from_indices(a, index)
 }
 
 /// Parallel leftmost row maxima of an inverse-Monge array.
 pub fn par_row_maxima_inverse_monge<T: Value, A: Array2d<T>>(a: &A) -> RowExtrema<T> {
-    let index = par_row_minima_totally_monotone(&Negate(a));
+    par_row_maxima_inverse_monge_with(a, Tuning::from_env())
+}
+
+/// Parallel leftmost row maxima of a Monge array (Table 1.1's problem),
+/// with explicit tuning.
+pub fn par_row_maxima_monge_with<T: Value, A: Array2d<T>>(a: &A, t: Tuning) -> RowExtrema<T> {
+    // As in the sequential case: reverse + negate maps leftmost maxima to
+    // *rightmost* minima; run the D&C on the reflected array with a
+    // reflected tie rule by reflecting indices.
+    let n = a.cols();
+    let tr = Negate(ReverseCols(a));
+    // Rightmost minima of tr == leftmost minima on the reflection of tr,
+    // which is the reflection of a's leftmost maxima. The D&C preserves
+    // leftmost-minima semantics, so run on tr and mirror.
+    let index: Vec<usize> = par_rightmost_row_minima(&tr, t)
+        .into_iter()
+        .map(|j| n - 1 - j)
+        .collect();
     RowExtrema::from_indices(a, index)
 }
 
 /// Parallel leftmost row maxima of a Monge array (Table 1.1's problem).
 pub fn par_row_maxima_monge<T: Value, A: Array2d<T>>(a: &A) -> RowExtrema<T> {
-    // As in the sequential case: reverse + negate maps leftmost maxima to
-    // *rightmost* minima; run the D&C on the reflected array with a
-    // reflected tie rule by reflecting indices.
+    par_row_maxima_monge_with(a, Tuning::from_env())
+}
+
+/// Parallel leftmost row minima of an inverse-Monge array, with
+/// explicit tuning.
+pub fn par_row_minima_inverse_monge_with<T: Value, A: Array2d<T>>(
+    a: &A,
+    t: Tuning,
+) -> RowExtrema<T> {
     let n = a.cols();
-    let t = Negate(ReverseCols(a));
-    // Rightmost minima of t == leftmost minima on the reflection of t,
-    // which is the reflection of a's leftmost maxima. The D&C preserves
-    // leftmost-minima semantics, so run on t and mirror.
-    let index: Vec<usize> = par_rightmost_row_minima(&t)
+    let tr = ReverseCols(a);
+    let index: Vec<usize> = par_rightmost_row_minima(&tr, t)
         .into_iter()
         .map(|j| n - 1 - j)
         .collect();
@@ -191,24 +250,19 @@ pub fn par_row_maxima_monge<T: Value, A: Array2d<T>>(a: &A) -> RowExtrema<T> {
 
 /// Parallel leftmost row minima of an inverse-Monge array.
 pub fn par_row_minima_inverse_monge<T: Value, A: Array2d<T>>(a: &A) -> RowExtrema<T> {
-    let n = a.cols();
-    let t = ReverseCols(a);
-    let index: Vec<usize> = par_rightmost_row_minima(&t)
-        .into_iter()
-        .map(|j| n - 1 - j)
-        .collect();
-    RowExtrema::from_indices(a, index)
+    par_row_minima_inverse_monge_with(a, Tuning::from_env())
 }
 
 /// Rightmost row minima via the same D&C with a right-preferring scan.
-fn par_rightmost_row_minima<T: Value, A: Array2d<T>>(a: &A) -> Vec<usize> {
+fn par_rightmost_row_minima<T: Value, A: Array2d<T>>(a: &A, t: Tuning) -> Vec<usize> {
     let (m, n) = (a.rows(), a.cols());
     assert!(n > 0);
     let mut out = vec![0usize; m];
-    rec_right(a, 0, m, 0, n, &mut out, &mut Vec::new());
+    with_scratch(|s: &mut Vec<T>| rec_right(a, 0, m, 0, n, &mut out, s, t));
     out
 }
 
+#[allow(clippy::too_many_arguments)]
 fn rec_right<T: Value, A: Array2d<T>>(
     a: &A,
     r0: usize,
@@ -217,22 +271,23 @@ fn rec_right<T: Value, A: Array2d<T>>(
     c1: usize,
     out: &mut [usize],
     scratch: &mut Vec<T>,
+    t: Tuning,
 ) {
     if r0 >= r1 {
         return;
     }
     let mid = r0 + (r1 - r0) / 2;
-    let (best, _) = interval_argmin_rightmost(a, mid, c0, c1, scratch);
+    let (best, _) = interval_argmin_rightmost(a, mid, c0, c1, scratch, t);
     out[mid - r0] = best;
     let (top, rest) = out.split_at_mut(mid - r0);
     let bot = &mut rest[1..];
-    if r1 - r0 <= tuning::seq_rows() {
-        rec_right(a, r0, mid, c0, best + 1, top, scratch);
-        rec_right(a, mid + 1, r1, best, c1, bot, scratch);
+    if r1 - r0 <= t.seq_rows.max(1) {
+        rec_right(a, r0, mid, c0, best + 1, top, scratch, t);
+        rec_right(a, mid + 1, r1, best, c1, bot, scratch, t);
     } else {
         rayon::join(
-            || rec_right(a, r0, mid, c0, best + 1, top, &mut Vec::new()),
-            || rec_right(a, mid + 1, r1, best, c1, bot, &mut Vec::new()),
+            || with_scratch(|s: &mut Vec<T>| rec_right(a, r0, mid, c0, best + 1, top, s, t)),
+            || with_scratch(|s: &mut Vec<T>| rec_right(a, mid + 1, r1, best, c1, bot, s, t)),
         );
     }
 }
@@ -297,7 +352,8 @@ mod tests {
         // lexicographic combiner returns the leftmost column no matter
         // how rayon associates the reduction. Width must exceed the
         // seq_scan cutoff so the parallel path actually runs.
-        let n = tuning::seq_scan() * 3 + 17;
+        let t = Tuning::from_env();
+        let n = t.seq_scan * 3 + 17;
         let a = Dense::filled(3, n, 42i64);
         assert_eq!(par_row_minima_monge(&a).index, vec![0; 3]);
         assert_eq!(par_row_maxima_monge(&a).index, vec![0; 3]);
@@ -310,5 +366,26 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(43);
         let a = random_monge_dense(300, 20, &mut rng);
         assert_eq!(par_row_minima_monge(&a).index, brute_row_minima(&a));
+    }
+
+    #[test]
+    fn degenerate_cutoffs_still_agree_with_smawk() {
+        // cutoff = 1 forces maximal forking and single-column chunks —
+        // the worst case for combiner associativity and tie handling.
+        let t = Tuning {
+            seq_scan: 1,
+            seq_rows: 1,
+            ..Tuning::DEFAULT
+        };
+        let mut rng = StdRng::seed_from_u64(44);
+        let a = random_monge_dense(37, 53, &mut rng);
+        assert_eq!(
+            par_row_minima_monge_with(&a, t).index,
+            row_minima_monge(&a).index
+        );
+        assert_eq!(
+            par_row_maxima_monge_with(&a, t).index,
+            row_maxima_monge(&a).index
+        );
     }
 }

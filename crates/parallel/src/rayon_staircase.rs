@@ -10,27 +10,45 @@
 //! * two disjoint lower subproblems.
 //!
 //! Subproblems run under `rayon::join`; the overlapping upper regions
-//! write into separate buffers that are merged in parallel.
+//! write into separate buffers that are merged in parallel. Grain sizes
+//! come from the [`Tuning`] value threaded through every call, and all
+//! scratch (scan buffers, the upper-region merge buffer, fork-boundary
+//! checkouts) comes from the thread-local arena of
+//! [`monge_core::scratch`].
 
 use crate::rayon_monge::interval_argmin;
-use crate::tuning;
+use crate::tuning::Tuning;
 use monge_core::array2d::Array2d;
+use monge_core::scratch::{with_scratch, with_scratch2};
 use monge_core::value::Value;
 
 type Cand<T> = Option<(T, usize)>;
 
 /// Parallel leftmost row minima of a staircase-Monge array with boundary
-/// `f` (see [`monge_core::staircase::compute_boundary`]).
-pub fn par_staircase_row_minima<T: Value, A: Array2d<T>>(a: &A, f: &[usize]) -> Vec<usize> {
+/// `f` (see [`monge_core::staircase::compute_boundary`]), with explicit
+/// tuning.
+pub fn par_staircase_row_minima_with<T: Value, A: Array2d<T>>(
+    a: &A,
+    f: &[usize],
+    t: Tuning,
+) -> Vec<usize> {
     let m = a.rows();
     assert_eq!(f.len(), m);
     if m == 0 {
         return Vec::new();
     }
     assert!(a.cols() > 0);
-    let mut best: Vec<Cand<T>> = vec![None; m];
-    rec(a, f, 0, m, 0, a.cols(), &mut best, &mut Vec::new());
-    best.into_iter().map(|b| b.map_or(0, |(_, j)| j)).collect()
+    with_scratch2(|best: &mut Vec<Cand<T>>, scratch: &mut Vec<T>| {
+        best.clear();
+        best.resize(m, None);
+        rec(a, f, 0, m, 0, a.cols(), best, scratch, t);
+        best.iter().map(|b| b.map_or(0, |(_, j)| j)).collect()
+    })
+}
+
+/// [`par_staircase_row_minima_with`] with environment-seeded tuning.
+pub fn par_staircase_row_minima<T: Value, A: Array2d<T>>(a: &A, f: &[usize]) -> Vec<usize> {
+    par_staircase_row_minima_with(a, f, Tuning::from_env())
 }
 
 fn merge_candidate<T: Value>(slot: &mut Cand<T>, v: T, j: usize) {
@@ -55,6 +73,7 @@ fn rec<T: Value, A: Array2d<T>>(
     c1: usize,
     out: &mut [Cand<T>],
     scratch: &mut Vec<T>,
+    t: Tuning,
 ) {
     r1 = partition_point(r0, r1, |i| f[i] > c0);
     if r0 >= r1 || c0 >= c1 {
@@ -63,11 +82,11 @@ fn rec<T: Value, A: Array2d<T>>(
     let mid = r0 + (r1 - r0) / 2;
     let hi = c1.min(f[mid]);
     // Batched scan of the middle row (parallel chunks when wide).
-    let (best, best_v) = interval_argmin(a, mid, c0, hi, scratch);
+    let (best, best_v) = interval_argmin(a, mid, c0, hi, scratch, t);
     merge_candidate(&mut out[mid - r0], best_v, best);
 
     let cut = partition_point(mid + 1, r1, |i| f[i] > best);
-    let parallel = r1 - r0 > tuning::seq_rows();
+    let parallel = r1 - r0 > t.seq_rows.max(1);
 
     let (above, rest) = out.split_at_mut(mid - r0);
     let below = &mut rest[1..];
@@ -75,34 +94,37 @@ fn rec<T: Value, A: Array2d<T>>(
 
     let upper = |above: &mut [Cand<T>], scratch: &mut Vec<T>| {
         // Monge region left of the middle minimum.
-        rec(a, f, r0, mid, c0, best + 1, above, scratch);
+        rec(a, f, r0, mid, c0, best + 1, above, scratch, t);
         // Staircase region beyond the middle row's boundary, merged in.
         if f[mid] < c1 {
-            let mut tmp: Vec<Cand<T>> = vec![None; mid - r0];
-            rec(a, f, r0, mid, f[mid], c1, &mut tmp, scratch);
-            for (slot, cand) in above.iter_mut().zip(tmp) {
-                if let Some((v, j)) = cand {
-                    merge_candidate(slot, v, j);
+            with_scratch(|tmp: &mut Vec<Cand<T>>| {
+                tmp.clear();
+                tmp.resize(mid - r0, None);
+                rec(a, f, r0, mid, f[mid], c1, tmp, scratch, t);
+                for (slot, cand) in above.iter_mut().zip(tmp.iter()) {
+                    if let Some((v, j)) = *cand {
+                        merge_candidate(slot, v, j);
+                    }
                 }
-            }
+            });
         }
     };
     let lower = |below_hi: &mut [Cand<T>], below_lo: &mut [Cand<T>], scratch: &mut Vec<T>| {
         if parallel {
             rayon::join(
-                || rec(a, f, mid + 1, cut, best, c1, below_hi, &mut Vec::new()),
-                || rec(a, f, cut, r1, c0, best + 1, below_lo, &mut Vec::new()),
+                || with_scratch(|s: &mut Vec<T>| rec(a, f, mid + 1, cut, best, c1, below_hi, s, t)),
+                || with_scratch(|s: &mut Vec<T>| rec(a, f, cut, r1, c0, best + 1, below_lo, s, t)),
             );
         } else {
-            rec(a, f, mid + 1, cut, best, c1, below_hi, scratch);
-            rec(a, f, cut, r1, c0, best + 1, below_lo, scratch);
+            rec(a, f, mid + 1, cut, best, c1, below_hi, scratch, t);
+            rec(a, f, cut, r1, c0, best + 1, below_lo, scratch, t);
         }
     };
 
     if parallel {
         rayon::join(
-            || upper(above, &mut Vec::new()),
-            || lower(below_hi, below_lo, &mut Vec::new()),
+            || with_scratch(|s: &mut Vec<T>| upper(above, s)),
+            || with_scratch(|s: &mut Vec<T>| lower(below_hi, below_lo, s)),
         );
     } else {
         upper(above, scratch);
@@ -179,7 +201,7 @@ mod tests {
         // All-equal rows force every chunk of the parallel scan to tie;
         // the leftmost column must still win (mirrors the rayon_monge
         // plateau regression for the staircase engine).
-        let n = crate::tuning::seq_scan() * 2 + 5;
+        let n = Tuning::from_env().seq_scan * 2 + 5;
         let a = monge_core::array2d::Dense::filled(3, n, 7i64);
         let f = vec![n; 3];
         assert_eq!(par_staircase_row_minima(&a, &f), vec![0; 3]);
@@ -193,6 +215,22 @@ mod tests {
         assert_eq!(
             par_staircase_row_minima(&a, &f),
             monge_core::monge::brute_row_minima(&a)
+        );
+    }
+
+    #[test]
+    fn degenerate_cutoffs_still_agree_with_sequential() {
+        let t = Tuning {
+            seq_scan: 1,
+            seq_rows: 1,
+            ..Tuning::DEFAULT
+        };
+        let mut rng = StdRng::seed_from_u64(54);
+        let a = random_staircase_monge_dense(41, 29, &mut rng);
+        let f = compute_boundary(&a);
+        assert_eq!(
+            par_staircase_row_minima_with(&a, &f, t),
+            staircase_row_minima(&a, &f)
         );
     }
 }

@@ -1,68 +1,123 @@
-//! Centralized sequential-cutoff thresholds for the parallel engines.
+//! Explicit tuning handles for the parallel engines.
 //!
 //! Every divide & conquer engine in this crate bottoms out into a
 //! sequential scan once the subproblem is small enough that spawning
-//! costs more than it saves. Those cutoffs used to be copy-pasted
-//! `const`s scattered across the engine modules; they now live here,
-//! with environment-variable overrides so deployments can retune
-//! without recompiling.
+//! costs more than it saves. Those cutoffs used to be process-global
+//! (`OnceLock`-cached environment lookups); they are now carried in a
+//! [`Tuning`] value that callers pass down explicitly, so two
+//! concurrent searches can run with different grain sizes and tests
+//! can pin degenerate cutoffs without mutating process state.
 //!
-//! | knob | env var | default |
-//! |---|---|---|
-//! | [`seq_scan`] | `MONGE_SEQ_SCAN` | 2048 |
-//! | [`seq_rows`] | `MONGE_SEQ_ROWS` | 64 |
-//! | [`tube_seq_planes`] | `MONGE_TUBE_SEQ_PLANES` | 8 |
-//! | [`pram_base_rows`] | `MONGE_PRAM_BASE_ROWS` | 4 |
+//! | field | env var | default | meaning |
+//! |---|---|---|---|
+//! | [`Tuning::seq_scan`] | `MONGE_SEQ_SCAN` | 2048 | column intervals at most this wide are scanned sequentially |
+//! | [`Tuning::seq_rows`] | `MONGE_SEQ_ROWS` | 64 | row ranges at most this tall stay in the sequential D&C |
+//! | [`Tuning::tube_seq_planes`] | `MONGE_TUBE_SEQ_PLANES` | 8 | tube problems with at most this many planes loop sequentially |
+//! | [`Tuning::pram_base_rows`] | `MONGE_PRAM_BASE_ROWS` | 4 | PRAM staircase base-case height |
 //!
 //! Defaults were chosen with `cargo bench -p monge-bench --bench
 //! substrates` (row-minima group) on an 8-core x86-64 host: below ~2k
 //! elements a rayon task's spawn/steal overhead (~1–2 µs) exceeds the
 //! scan itself, and below ~64 rows the per-level join overhead of the
 //! row recursion dominates. The `rowmin_json` binary in `crates/bench`
-//! regenerates the supporting numbers.
+//! regenerates the supporting numbers (`bench-results/parallel.json`
+//! holds the thread-sweep curves).
 //!
-//! Each getter parses its variable once per process (malformed or
-//! zero values fall back to the default — a zero cutoff would recurse
-//! forever).
+//! ## Precedence
+//!
+//! From strongest to weakest:
+//!
+//! 1. **Per-call values** — whatever `Tuning` the caller passes to a
+//!    `*_with` entry point (struct-update syntax composes well:
+//!    `Tuning { seq_scan: 64, ..base }`).
+//! 2. **Environment variables** — [`Tuning::from_env`] overlays the
+//!    `MONGE_*` variables on the built-in defaults, and
+//!    [`crate::runtime::calibrate`] overlays them on its measured
+//!    values, so a deployment-level pin always beats calibration.
+//! 3. **Calibration** — [`crate::runtime::calibrate`] measures the
+//!    per-entry evaluation cost of the array at hand and sizes chunks
+//!    for ~20 µs of work per rayon task.
+//! 4. **Built-in defaults** — [`Tuning::DEFAULT`].
+//!
+//! Malformed or zero-valued environment variables are ignored (a zero
+//! cutoff would recurse forever); the engines additionally clamp every
+//! cutoff to at least 1 at the point of use, so hand-built `Tuning`
+//! values cannot cause unbounded recursion either.
 
-use std::sync::OnceLock;
-
-fn env_usize(lock: &'static OnceLock<usize>, var: &str, default: usize) -> usize {
-    *lock.get_or_init(|| {
-        std::env::var(var)
-            .ok()
-            .and_then(|s| s.trim().parse::<usize>().ok())
-            .filter(|&v| v > 0)
-            .unwrap_or(default)
-    })
+/// Grain-size cutoffs for the parallel engines, passed by value.
+///
+/// `Tuning` is `Copy` and cheap to thread through recursions; there is
+/// deliberately no global cache, so the same process can run different
+/// searches with different grains concurrently.
+///
+/// ```
+/// use monge_parallel::tuning::Tuning;
+///
+/// let base = Tuning::from_env();          // env-seeded defaults
+/// let fine = Tuning { seq_scan: 64, ..base }; // per-call override
+/// assert_eq!(fine.seq_rows, base.seq_rows);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Tuning {
+    /// Column intervals at most this wide are scanned sequentially
+    /// instead of being split across rayon tasks.
+    pub seq_scan: usize,
+    /// Row ranges at most this tall are solved by the sequential
+    /// divide & conquer instead of forking.
+    pub seq_rows: usize,
+    /// Tube problems with at most this many planes (rows of `D`) run
+    /// the per-plane loop sequentially.
+    pub tube_seq_planes: usize,
+    /// Row ranges at most this tall are handled directly by a PRAM
+    /// interval-minimum step instead of recursing.
+    pub pram_base_rows: usize,
 }
 
-/// Column intervals at most this wide are scanned sequentially instead
-/// of being split across rayon tasks.
-pub fn seq_scan() -> usize {
-    static V: OnceLock<usize> = OnceLock::new();
-    env_usize(&V, "MONGE_SEQ_SCAN", 2048)
+impl Tuning {
+    /// The built-in defaults (see the module docs for provenance).
+    pub const DEFAULT: Tuning = Tuning {
+        seq_scan: 2048,
+        seq_rows: 64,
+        tube_seq_planes: 8,
+        pram_base_rows: 4,
+    };
+
+    /// Defaults overlaid with any valid `MONGE_*` environment
+    /// variables. Parses the environment on every call — entry points
+    /// call this once at the top and pass the value down, so there is
+    /// no per-element cost and no process-global cache to fight in
+    /// tests.
+    pub fn from_env() -> Tuning {
+        Tuning::DEFAULT.env_overlay()
+    }
+
+    /// Overlay any valid `MONGE_*` environment variables on `self`.
+    /// Used both by [`Tuning::from_env`] (on the defaults) and by
+    /// [`crate::runtime::calibrate`] (on measured values), which is
+    /// what gives the environment precedence over calibration.
+    pub fn env_overlay(self) -> Tuning {
+        Tuning {
+            seq_scan: env_usize("MONGE_SEQ_SCAN").unwrap_or(self.seq_scan),
+            seq_rows: env_usize("MONGE_SEQ_ROWS").unwrap_or(self.seq_rows),
+            tube_seq_planes: env_usize("MONGE_TUBE_SEQ_PLANES").unwrap_or(self.tube_seq_planes),
+            pram_base_rows: env_usize("MONGE_PRAM_BASE_ROWS").unwrap_or(self.pram_base_rows),
+        }
+    }
 }
 
-/// Row ranges at most this tall are solved by the sequential divide &
-/// conquer instead of forking.
-pub fn seq_rows() -> usize {
-    static V: OnceLock<usize> = OnceLock::new();
-    env_usize(&V, "MONGE_SEQ_ROWS", 64)
+impl Default for Tuning {
+    fn default() -> Self {
+        Tuning::DEFAULT
+    }
 }
 
-/// Tube problems with at most this many planes (rows of `D`) run the
-/// per-plane loop sequentially.
-pub fn tube_seq_planes() -> usize {
-    static V: OnceLock<usize> = OnceLock::new();
-    env_usize(&V, "MONGE_TUBE_SEQ_PLANES", 8)
-}
-
-/// Row ranges at most this tall are handled directly by a PRAM
-/// interval-minimum step instead of recursing.
-pub fn pram_base_rows() -> usize {
-    static V: OnceLock<usize> = OnceLock::new();
-    env_usize(&V, "MONGE_PRAM_BASE_ROWS", 4)
+/// Positive integer from the environment; `None` on unset, malformed,
+/// or zero (a zero cutoff would recurse forever).
+fn env_usize(var: &str) -> Option<usize> {
+    std::env::var(var)
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&v| v > 0)
 }
 
 #[cfg(test)]
@@ -71,9 +126,28 @@ mod tests {
 
     #[test]
     fn defaults_are_positive() {
-        assert!(seq_scan() > 0);
-        assert!(seq_rows() > 0);
-        assert!(tube_seq_planes() > 0);
-        assert!(pram_base_rows() > 0);
+        let t = Tuning::DEFAULT;
+        assert!(t.seq_scan > 0);
+        assert!(t.seq_rows > 0);
+        assert!(t.tube_seq_planes > 0);
+        assert!(t.pram_base_rows > 0);
+    }
+
+    #[test]
+    fn struct_update_overrides_one_field() {
+        let base = Tuning::DEFAULT;
+        let fine = Tuning {
+            seq_scan: 1,
+            ..base
+        };
+        assert_eq!(fine.seq_scan, 1);
+        assert_eq!(fine.seq_rows, base.seq_rows);
+        assert_eq!(fine.tube_seq_planes, base.tube_seq_planes);
+        assert_eq!(fine.pram_base_rows, base.pram_base_rows);
+    }
+
+    #[test]
+    fn default_trait_matches_const() {
+        assert_eq!(Tuning::default(), Tuning::DEFAULT);
     }
 }

@@ -10,18 +10,45 @@ use monge_core::staircase::staircase_row_minima;
 use monge_core::tube::{tube_maxima, tube_minima};
 use monge_core::Array2d;
 use monge_parallel::pram_monge::{pram_row_maxima_monge, pram_row_minima_monge};
-use monge_parallel::pram_staircase::pram_staircase_row_minima;
+use monge_parallel::pram_staircase::{pram_staircase_row_minima, pram_staircase_row_minima_with};
 use monge_parallel::pram_tube::{pram_tube_maxima, pram_tube_minima};
-use monge_parallel::rayon_monge::{par_row_maxima_monge, par_row_minima_monge};
-use monge_parallel::rayon_staircase::par_staircase_row_minima;
-use monge_parallel::rayon_tube::{par_tube_maxima, par_tube_minima, par_tube_minima_dc};
-use monge_parallel::MinPrimitive;
+use monge_parallel::rayon_monge::{
+    par_row_maxima_monge, par_row_maxima_monge_with, par_row_minima_monge,
+    par_row_minima_monge_with,
+};
+use monge_parallel::rayon_staircase::{par_staircase_row_minima, par_staircase_row_minima_with};
+use monge_parallel::rayon_tube::{
+    par_tube_maxima, par_tube_minima, par_tube_minima_dc, par_tube_minima_dc_with,
+};
+use monge_parallel::{MinPrimitive, Tuning};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 fn dims() -> impl Strategy<Value = (usize, usize)> {
     (1usize..20, 1usize..20)
+}
+
+/// Randomized grain cutoffs, weighted toward the degenerate all-ones
+/// tuning (every recursion forks down to single rows/planes — the
+/// configuration most likely to expose a cutoff off-by-one).
+fn tunings() -> impl Strategy<Value = Tuning> {
+    prop_oneof![
+        1 => Just(Tuning {
+            seq_scan: 1,
+            seq_rows: 1,
+            tube_seq_planes: 1,
+            pram_base_rows: 1,
+        }),
+        3 => (1usize..64, 1usize..32, 1usize..16, 1usize..8).prop_map(
+            |(seq_scan, seq_rows, tube_seq_planes, pram_base_rows)| Tuning {
+                seq_scan,
+                seq_rows,
+                tube_seq_planes,
+                pram_base_rows,
+            }
+        ),
+    ]
 }
 
 proptest! {
@@ -73,6 +100,47 @@ proptest! {
         prop_assert_eq!(&seq_max, &par_tube_maxima(&d, &e));
         prop_assert_eq!(&seq_min, &pram_tube_minima(&d, &e, MinPrimitive::DoublyLog).extrema);
         prop_assert_eq!(&seq_max, &pram_tube_maxima(&d, &e, MinPrimitive::DoublyLog).extrema);
+    }
+}
+
+/// Every cutoff-taking engine must be oblivious to its tuning: random
+/// grain sizes (including the degenerate all-ones tuning) only move work
+/// between the parallel recursion and the sequential leaves, never change
+/// an answer.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn randomized_tuning_row_engines_agree((m, n) in dims(), seed in any::<u64>(),
+                                           t in tunings()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_monge_dense(m, n, &mut rng);
+        prop_assert_eq!(
+            &row_minima_monge(&a).index,
+            &par_row_minima_monge_with(&a, t).index
+        );
+        prop_assert_eq!(
+            &row_maxima_monge(&a).index,
+            &par_row_maxima_monge_with(&a, t).index
+        );
+
+        let f = random_staircase_boundary(m, n, &mut rng);
+        let sa = apply_staircase(&a, &f);
+        let seq = staircase_row_minima(&sa, &f);
+        prop_assert_eq!(&seq, &par_staircase_row_minima_with(&sa, &f, t));
+        prop_assert_eq!(
+            &seq,
+            &pram_staircase_row_minima_with(&sa, &f, MinPrimitive::DoublyLog, t).index
+        );
+    }
+
+    #[test]
+    fn randomized_tuning_tube_agrees(p in 1usize..10, q in 1usize..10, r in 1usize..10,
+                                     seed in any::<u64>(), t in tunings()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = random_monge_dense(p, q, &mut rng);
+        let e = random_monge_dense(q, r, &mut rng);
+        prop_assert_eq!(&tube_minima(&d, &e), &par_tube_minima_dc_with(&d, &e, t));
     }
 }
 
