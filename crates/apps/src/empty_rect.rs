@@ -13,20 +13,27 @@
 //! wall) — every window yields an empty rectangle, and every maximal
 //! crossing rectangle arises from a window bounded by points or walls.
 //!
-//! The crossing case scans all `O(k²)` windows with incremental
-//! left/right supports, parallelized over bottoms with rayon (work
-//! `O(n²)` total for the algorithm, against the `O(n³)` strip-enumeration
-//! brute force). \[AS87\] and this paper instead search the crossing case
-//! with staircase-Monge row minima, reaching `O(n lg² n)` work — that
-//! decomposition is one of the few pieces of the paper's pipeline whose
-//! details the extended abstract leaves to the cited full papers, and our
-//! probe experiments confirm the *undecomposed* window array is not
-//! totally monotone, so we substitute the parallel quadratic scan and
+//! The crossing case is expressed as a **`Plain` row-maxima problem**
+//! over the lazy window-area array (`rows` = window bottoms, `cols` =
+//! window tops, `-∞` below the diagonal) and dispatched: the batched
+//! `fill_row` runs the incremental left/right-support sweep once per
+//! bottom, and the rayon backend fans the bottoms out over cores (work
+//! `O(n²)` total for the algorithm, against the `O(n³)`
+//! strip-enumeration brute force). \[AS87\] and this paper instead
+//! search the crossing case with staircase-Monge row minima, reaching
+//! `O(n lg² n)` work — that decomposition is one of the few pieces of
+//! the paper's pipeline whose details the extended abstract leaves to
+//! the cited full papers, and our probe experiments confirm the
+//! *undecomposed* window array is not totally monotone, so we keep the
+//! quadratic scan but dispatch it honestly as `Structure::Plain` and
 //! record the deviation in DESIGN.md §3.
 
 use crate::geometry::{Point, Rect};
+use monge_core::array2d::Array2d;
+use monge_core::problem::Problem;
+use monge_core::scratch::with_scratch;
 use monge_parallel::tuning::Tuning;
-use rayon::prelude::*;
+use monge_parallel::Dispatcher;
 
 /// Brute-force oracle, `O(n³)`: enumerate all (left, right) support
 /// pairs, then the vertical gaps inside each strip.
@@ -60,7 +67,8 @@ pub fn largest_empty_rectangle_brute(points: &[Point], bbox: Rect) -> Rect {
 pub fn largest_empty_rectangle(points: &[Point], bbox: Rect) -> Rect {
     let mut sorted: Vec<Point> = points.to_vec();
     sorted.sort_by(|a, b| a.x.partial_cmp(&b.x).unwrap());
-    rec(&sorted, bbox, None)
+    let d = Dispatcher::with_default_backends();
+    rec(&d, &sorted, bbox, None)
 }
 
 /// Parallel variant (rayon): recursion sides and window scans run
@@ -77,7 +85,8 @@ pub fn par_largest_empty_rectangle(points: &[Point], bbox: Rect) -> Rect {
 pub fn par_largest_empty_rectangle_with(points: &[Point], bbox: Rect, t: Tuning) -> Rect {
     let mut sorted: Vec<Point> = points.to_vec();
     sorted.sort_by(|a, b| a.x.partial_cmp(&b.x).unwrap());
-    rec(&sorted, bbox, Some(t))
+    let d = Dispatcher::with_default_backends();
+    rec(&d, &sorted, bbox, Some(t))
 }
 
 fn better(a: Rect, b: Rect) -> Rect {
@@ -88,7 +97,7 @@ fn better(a: Rect, b: Rect) -> Rect {
     }
 }
 
-fn rec(points: &[Point], bbox: Rect, parallel: Option<Tuning>) -> Rect {
+fn rec(disp: &Dispatcher<f64>, points: &[Point], bbox: Rect, parallel: Option<Tuning>) -> Rect {
     let n = points.len();
     if n == 0 {
         return bbox;
@@ -106,7 +115,7 @@ fn rec(points: &[Point], bbox: Rect, parallel: Option<Tuning>) -> Rect {
     let x_med = points[n / 2].x;
     let left: Vec<Point> = points.iter().copied().filter(|p| p.x < x_med).collect();
     let right: Vec<Point> = points.iter().copied().filter(|p| p.x > x_med).collect();
-    let cross = crossing(points, x_med, bbox, parallel);
+    let cross = crossing(disp, points, x_med, bbox, parallel);
     let lbox = Rect::new(bbox.x0, bbox.y0, x_med, bbox.y1);
     let rbox = Rect::new(x_med, bbox.y0, bbox.x1, bbox.y1);
     // Guard against non-shrinking recursions when many points share the
@@ -116,66 +125,154 @@ fn rec(points: &[Point], bbox: Rect, parallel: Option<Tuning>) -> Rect {
         .unwrap_or(false);
     let (lb, rb) = if fork {
         rayon::join(
-            || rec(&left, lbox, parallel),
-            || rec(&right, rbox, parallel),
+            || rec(disp, &left, lbox, parallel),
+            || rec(disp, &right, rbox, parallel),
         )
     } else {
-        (rec(&left, lbox, parallel), rec(&right, rbox, parallel))
+        (
+            rec(disp, &left, lbox, parallel),
+            rec(disp, &right, rbox, parallel),
+        )
     };
     better(better(lb, rb), cross)
 }
 
-/// Best rectangle crossing the vertical line `x = x_med`.
-fn crossing(points: &[Point], x_med: f64, bbox: Rect, parallel: Option<Tuning>) -> Rect {
+/// The crossing case's window-area array: row `bi` = window bottom
+/// `ys[bi]`, column `ti` = window top `ys[ti]`, entry = area of the
+/// widest empty crossing rectangle for that window (`-∞` for `ti ≤ bi`).
+/// Not totally monotone (see the module docs), so it dispatches as
+/// [`monge_core::problem::Structure::Plain`]. The batched `fill_row`
+/// runs one incremental support sweep per bottom, preserving the
+/// `O(k + n)` per-row cost of the hand-written scan.
+struct WindowArray<'a> {
+    ys: &'a [f64],
+    /// Points sorted by `y`.
+    by_y: &'a [Point],
+    x_med: f64,
+    bbox: Rect,
+}
+
+impl WindowArray<'_> {
+    /// Left/right supports of the open window `(b, t)`.
+    fn supports(&self, b: f64, t: f64) -> (f64, f64) {
+        let mut l = self.bbox.x0;
+        let mut r = self.bbox.x1;
+        for p in self.by_y {
+            if p.y <= b {
+                continue;
+            }
+            if p.y >= t {
+                break;
+            }
+            if p.x < self.x_med {
+                l = l.max(p.x);
+            } else {
+                r = r.min(p.x);
+            }
+        }
+        (l, r)
+    }
+}
+
+impl Array2d<f64> for WindowArray<'_> {
+    fn rows(&self) -> usize {
+        self.ys.len() - 1
+    }
+
+    fn cols(&self) -> usize {
+        self.ys.len()
+    }
+
+    fn entry(&self, bi: usize, ti: usize) -> f64 {
+        if ti <= bi {
+            return f64::NEG_INFINITY;
+        }
+        let (b, t) = (self.ys[bi], self.ys[ti]);
+        let (l, r) = self.supports(b, t);
+        (r - l).max(0.0) * (t - b)
+    }
+
+    fn fill_row(&self, bi: usize, cols: std::ops::Range<usize>, out: &mut [f64]) {
+        // One incremental sweep computes the whole row; the requested
+        // slice is copied out.
+        let b = self.ys[bi];
+        with_scratch(|row: &mut Vec<f64>| {
+            row.clear();
+            row.resize(self.ys.len(), f64::NEG_INFINITY);
+            let mut l = self.bbox.x0;
+            let mut r = self.bbox.x1;
+            let mut pi = self.by_y.partition_point(|p| p.y <= b);
+            for (ti, slot) in row.iter_mut().enumerate().skip(bi + 1) {
+                let t = self.ys[ti];
+                // Absorb points with b < y < t.
+                while pi < self.by_y.len() && self.by_y[pi].y < t {
+                    let p = self.by_y[pi];
+                    if p.x < self.x_med {
+                        l = l.max(p.x);
+                    } else {
+                        r = r.min(p.x);
+                    }
+                    pi += 1;
+                }
+                *slot = (r - l).max(0.0) * (t - b);
+            }
+            for (slot, ti) in out.iter_mut().zip(cols) {
+                *slot = row[ti];
+            }
+        });
+    }
+}
+
+/// Best rectangle crossing the vertical line `x = x_med`: a dispatched
+/// `Plain` row-maxima solve over [`WindowArray`], then one support
+/// rescan to rebuild the winning rectangle's geometry.
+fn crossing(
+    disp: &Dispatcher<f64>,
+    points: &[Point],
+    x_med: f64,
+    bbox: Rect,
+    parallel: Option<Tuning>,
+) -> Rect {
     // Window candidates: walls plus point ordinates, sorted.
     let mut ys: Vec<f64> = vec![bbox.y0, bbox.y1];
     ys.extend(points.iter().map(|p| p.y));
     ys.sort_by(|a, b| a.partial_cmp(b).unwrap());
     ys.dedup();
-    // Points sorted by y for the incremental scan.
+    let degenerate = Rect::new(x_med, bbox.y0, x_med, bbox.y0);
+    if ys.len() < 2 {
+        return degenerate;
+    }
+    // Points sorted by y for the incremental sweeps.
     let mut by_y: Vec<Point> = points.to_vec();
     by_y.sort_by(|a, b| a.y.partial_cmp(&b.y).unwrap());
 
-    let scan_bottom = |bi: usize| -> Rect {
-        let b = ys[bi];
-        let mut l = bbox.x0;
-        let mut r = bbox.x1;
-        let mut best = Rect::new(x_med, b, x_med, b);
-        let mut best_area = -1.0;
-        // Extend the top over the remaining candidates, absorbing the
-        // points whose y falls into the widening window.
-        let mut pi = by_y.partition_point(|p| p.y <= b);
-        for &t in &ys[bi + 1..] {
-            // Absorb points with b < y < t.
-            while pi < by_y.len() && by_y[pi].y < t {
-                let p = by_y[pi];
-                if p.x < x_med {
-                    l = l.max(p.x);
-                } else {
-                    r = r.min(p.x);
-                }
-                pi += 1;
-            }
-            let area = (r - l).max(0.0) * (t - b);
-            if area > best_area {
-                best_area = area;
-                best = Rect::new(l.min(r), b, r.max(l), t);
-            }
-        }
-        best
+    let wa = WindowArray {
+        ys: &ys,
+        by_y: &by_y,
+        x_med,
+        bbox,
     };
-
-    let k = ys.len();
-    let fan_out = parallel.map(|t| k > t.seq_rows.max(1)).unwrap_or(false);
-    if fan_out {
-        (0..k - 1)
-            .into_par_iter()
-            .map(scan_bottom)
-            .reduce(|| Rect::new(x_med, bbox.y0, x_med, bbox.y0), better)
-    } else {
-        (0..k - 1)
-            .map(scan_bottom)
-            .fold(Rect::new(x_med, bbox.y0, x_med, bbox.y0), better)
+    let problem = Problem::plain_row_maxima(&wa);
+    let (sol, _) = match parallel {
+        Some(t) => disp.solve_with(&problem, t),
+        None => disp
+            .solve_on("sequential", &problem, Tuning::DEFAULT)
+            .expect("sequential backend handles plain rows"),
+    };
+    let ex = sol.into_rows();
+    let mut best = None;
+    for (bi, (&ti, &area)) in ex.index.iter().zip(&ex.value).enumerate() {
+        if best.is_none_or(|(_, _, a)| area > a) {
+            best = Some((bi, ti, area));
+        }
+    }
+    match best {
+        Some((bi, ti, _)) => {
+            let (b, t) = (ys[bi], ys[ti]);
+            let (l, r) = wa.supports(b, t);
+            Rect::new(l.min(r), b, r.max(l), t)
+        }
+        None => degenerate,
     }
 }
 

@@ -12,12 +12,33 @@
 //! sequential time (\[AKM+87\]) or polylog parallel time.
 
 use crate::geometry::Point;
-use monge_core::array2d::FnArray;
-use monge_core::smawk::row_maxima_inverse_monge;
-use monge_parallel::rayon_monge::{
-    par_row_maxima_inverse_monge, par_row_maxima_inverse_monge_with,
-};
+use monge_core::array2d::{Array2d, FnArray};
+use monge_core::problem::Problem;
+use monge_core::smawk::RowExtrema;
 use monge_parallel::tuning::Tuning;
+use monge_parallel::Dispatcher;
+
+/// One cross-chain farthest search, routed through the dispatcher: the
+/// inverse-Monge row-maxima problem, solved by whichever host backend
+/// the grain policy picks for this chain pair's shape.
+fn cross_maxima(d: &Dispatcher<f64>, a: &dyn Array2d<f64>, t: Tuning) -> RowExtrema<f64> {
+    d.solve_with(&Problem::row_maxima_inverse_monge(a), t)
+        .0
+        .into_rows()
+}
+
+/// The same search pinned to the sequential backend (for the
+/// `Θ(m + n)` sequential entry points).
+fn cross_maxima_seq(d: &Dispatcher<f64>, a: &dyn Array2d<f64>) -> RowExtrema<f64> {
+    d.solve_on(
+        "sequential",
+        &Problem::row_maxima_inverse_monge(a),
+        Tuning::DEFAULT,
+    )
+    .expect("sequential backend is always registered and eligible")
+    .0
+    .into_rows()
+}
 
 /// The inverse-Monge cross-chain distance array of Figure 1.1.
 ///
@@ -36,14 +57,24 @@ pub fn farthest_across_chains(p: &[Point], q: &[Point]) -> Vec<usize> {
     assert!(!p.is_empty() && !q.is_empty());
     let a = chain_distance_array(p, q);
     debug_assert!(monge_core::monge::is_inverse_monge(&a));
-    row_maxima_inverse_monge(&a).index
+    let d = Dispatcher::with_default_backends();
+    cross_maxima_seq(&d, &a).index
 }
 
 /// Parallel (rayon) version of [`farthest_across_chains`].
 pub fn par_farthest_across_chains(p: &[Point], q: &[Point]) -> Vec<usize> {
     assert!(!p.is_empty() && !q.is_empty());
     let a = chain_distance_array(p, q);
-    par_row_maxima_inverse_monge(&a).index
+    let d = Dispatcher::with_default_backends();
+    d.solve_on(
+        "rayon",
+        &Problem::row_maxima_inverse_monge(&a),
+        Tuning::from_env(),
+    )
+    .expect("rayon backend handles all rows problems")
+    .0
+    .into_rows()
+    .index
 }
 
 /// Brute-force oracle, `O(mn)`.
@@ -74,11 +105,12 @@ pub fn all_farthest_neighbors(poly: &[Point]) -> Vec<usize> {
     assert!(n >= 2);
     let idx: Vec<usize> = (0..n).collect();
     let mut best: Vec<Option<(f64, usize)>> = vec![None; n];
-    rec(poly, &idx, &mut best);
+    let d = Dispatcher::with_default_backends();
+    rec(&d, poly, &idx, &mut best);
     best.into_iter().map(|b| b.expect("filled").1).collect()
 }
 
-fn rec(poly: &[Point], chain: &[usize], best: &mut [Option<(f64, usize)>]) {
+fn rec(disp: &Dispatcher<f64>, poly: &[Point], chain: &[usize], best: &mut [Option<(f64, usize)>]) {
     let n = chain.len();
     if n < 2 {
         return;
@@ -98,7 +130,7 @@ fn rec(poly: &[Point], chain: &[usize], best: &mut [Option<(f64, usize)>]) {
     let pa = FnArray::new(p.len(), q.len(), |i: usize, j: usize| {
         poly[p[i]].dist(poly[q[j]])
     });
-    let fq = row_maxima_inverse_monge(&pa);
+    let fq = cross_maxima_seq(disp, &pa);
     for (i, (&j, &d)) in fq.index.iter().zip(&fq.value).enumerate() {
         merge(&mut best[p[i]], d, q[j]);
         merge(&mut best[q[j]], d, p[i]);
@@ -110,12 +142,12 @@ fn rec(poly: &[Point], chain: &[usize], best: &mut [Option<(f64, usize)>]) {
     let qa = FnArray::new(q.len(), p.len(), |j: usize, i: usize| {
         poly[q[j]].dist(poly[p[i]])
     });
-    let fp = row_maxima_inverse_monge(&qa);
+    let fp = cross_maxima_seq(disp, &qa);
     for (j, (&i, &d)) in fp.index.iter().zip(&fp.value).enumerate() {
         merge(&mut best[q[j]], d, p[i]);
     }
-    rec(poly, p, best);
-    rec(poly, q, best);
+    rec(disp, poly, p, best);
+    rec(disp, poly, q, best);
 }
 
 /// Parallel all-farthest-neighbors: every cross-chain query runs on the
@@ -133,13 +165,21 @@ pub fn par_all_farthest_neighbors_with(poly: &[Point], t: Tuning) -> Vec<usize> 
     let n = poly.len();
     assert!(n >= 2);
     let mut best: Vec<Option<(f64, usize)>> = vec![None; n];
-    par_rec(poly, 0, n, &mut best, t);
+    let d = Dispatcher::with_default_backends();
+    par_rec(&d, poly, 0, n, &mut best, t);
     best.into_iter().map(|b| b.expect("filled").1).collect()
 }
 
 /// Solves the contiguous chain `lo..hi`; `best` covers exactly those
 /// vertices (`best[i - lo]` is vertex `i`'s candidate).
-fn par_rec(poly: &[Point], lo: usize, hi: usize, best: &mut [Option<(f64, usize)>], t: Tuning) {
+fn par_rec(
+    disp: &Dispatcher<f64>,
+    poly: &[Point],
+    lo: usize,
+    hi: usize,
+    best: &mut [Option<(f64, usize)>],
+    t: Tuning,
+) {
     let n = hi - lo;
     if n < 2 {
         return;
@@ -157,7 +197,8 @@ fn par_rec(poly: &[Point], lo: usize, hi: usize, best: &mut [Option<(f64, usize)
     let mid = lo + n / 2;
     // Cross-chain farthest via the inverse-Monge array, both directions
     // (see `rec` for why the transposed search is needed); the searches
-    // are independent, so they fork against each other.
+    // are independent, so they fork against each other. Each search's
+    // own engine choice (sequential vs rayon) is the dispatcher's.
     let pa = FnArray::new(mid - lo, hi - mid, |i: usize, j: usize| {
         poly[lo + i].dist(poly[mid + j])
     });
@@ -165,12 +206,9 @@ fn par_rec(poly: &[Point], lo: usize, hi: usize, best: &mut [Option<(f64, usize)
         poly[mid + j].dist(poly[lo + i])
     });
     let (fq, fp) = if n > t.seq_rows.max(1) {
-        rayon::join(
-            || par_row_maxima_inverse_monge_with(&pa, t),
-            || par_row_maxima_inverse_monge_with(&qa, t),
-        )
+        rayon::join(|| cross_maxima(disp, &pa, t), || cross_maxima(disp, &qa, t))
     } else {
-        (row_maxima_inverse_monge(&pa), row_maxima_inverse_monge(&qa))
+        (cross_maxima(disp, &pa, t), cross_maxima(disp, &qa, t))
     };
     for (i, (&j, &d)) in fq.index.iter().zip(&fq.value).enumerate() {
         merge(&mut best[i], d, mid + j);
@@ -182,12 +220,12 @@ fn par_rec(poly: &[Point], lo: usize, hi: usize, best: &mut [Option<(f64, usize)
     let (bp, bq) = best.split_at_mut(mid - lo);
     if n > t.seq_rows.max(1) {
         rayon::join(
-            || par_rec(poly, lo, mid, bp, t),
-            || par_rec(poly, mid, hi, bq, t),
+            || par_rec(disp, poly, lo, mid, bp, t),
+            || par_rec(disp, poly, mid, hi, bq, t),
         );
     } else {
-        par_rec(poly, lo, mid, bp, t);
-        par_rec(poly, mid, hi, bq, t);
+        par_rec(disp, poly, lo, mid, bp, t);
+        par_rec(disp, poly, mid, hi, bq, t);
     }
 }
 

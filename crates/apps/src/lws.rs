@@ -19,8 +19,17 @@
 //! * [`lws_concave`] — inverse-Monge weights (concave gap functions such
 //!   as `√(j-i)` or `ln(1+j-i)`, the classical "concave LWS" of the
 //!   molecular-biology literature).
+//!
+//! The recurrence itself is inherently online (`e[i]` gates row `j`),
+//! but once the value vector is known the predecessor recovery is an
+//! *offline* staircase searching problem — [`lws_parents`] dispatches
+//! it through the unified solver layer, which is also the natural
+//! certificate check for the online engines.
 
+use monge_core::array2d::FnArray;
 use monge_core::online::{online_inverse_monge_minima, online_monge_minima};
+use monge_core::problem::Problem;
+use monge_parallel::Dispatcher;
 
 /// Solves the LWS recurrence for **Monge** (convex-gap) weights;
 /// returns `(e, parent)` where `parent[j]` is the argmin predecessor.
@@ -42,6 +51,42 @@ fn assemble(n: usize, rows: Vec<(f64, usize)>) -> (Vec<f64>, Vec<usize>) {
         parent[k + 1] = arg;
     }
     (e, parent)
+}
+
+/// Recovers the argmin predecessors of a solved LWS value vector `e` by
+/// one dispatched staircase solve over `A[j][i] = e[i] + w(i, j)`,
+/// `i < j`.
+///
+/// Listing the rows in *descending* `j` order makes the finite-prefix
+/// boundary `f[r] = n - r` non-increasing — the paper's staircase shape
+/// — and flips the weight's quadrangle orientation: convex (Monge) `w`
+/// becomes a staircase-*inverse*-Monge problem (sequential-only in the
+/// registry), concave (inverse-Monge) `w` becomes staircase-Monge, the
+/// class every staircase engine implements.
+pub fn lws_parents(
+    n: usize,
+    w: &(impl Fn(usize, usize) -> f64 + Sync),
+    e: &[f64],
+    convex: bool,
+) -> Vec<usize> {
+    assert_eq!(e.len(), n + 1);
+    if n == 0 {
+        return vec![0];
+    }
+    let a = FnArray::new(n, n, |r: usize, i: usize| e[i] + w(i, n - r));
+    let f: Vec<usize> = (0..n).map(|r| n - r).collect();
+    let problem = if convex {
+        Problem::staircase_inverse_row_minima(&a, &f)
+    } else {
+        Problem::staircase_row_minima(&a, &f)
+    };
+    let d = Dispatcher::with_default_backends();
+    let (sol, _) = d.solve(&problem);
+    let mut parent = vec![0usize; n + 1];
+    for (r, &i) in sol.into_rows().index.iter().enumerate() {
+        parent[n - r] = i;
+    }
+    parent
 }
 
 /// Brute-force LWS oracle, `O(n²)`.
@@ -124,10 +169,15 @@ impl LotSize {
     }
 
     /// Optimal plan: total cost and the production periods (0-based).
+    /// Values come from the online champion-stack engine; predecessors
+    /// are re-derived through the dispatched staircase solve
+    /// ([`lws_parents`]), which doubles as a certificate that the two
+    /// layers agree on the optimum.
     pub fn solve(&self) -> (f64, Vec<usize>) {
         let n = self.demand.len();
         let lot = |i: usize, j: usize| self.w(i, j);
-        let (e, parent) = lws_monge(n, &lot);
+        let (e, _) = lws_monge(n, &lot);
+        let parent = lws_parents(n, &lot, &e, true);
         let mut runs = Vec::new();
         let mut j = n;
         while j > 0 {
@@ -224,6 +274,44 @@ mod tests {
             let (cost, runs) = ls.solve();
             assert!((cost - e2[n]).abs() < 1e-9, "n={n}");
             assert_eq!(runs.first().copied(), Some(0));
+        }
+    }
+
+    #[test]
+    fn dispatched_parents_reconstruct_the_optimum() {
+        // The staircase-dispatched predecessor recovery must yield a
+        // chain whose cost equals the online engine's optimum, for both
+        // quadrangle orientations.
+        let mut rng = StdRng::seed_from_u64(204);
+        for n in [1usize, 2, 7, 40, 150] {
+            let fo: Vec<f64> = (0..=n).map(|_| rng.random_range(0.0..3.0)).collect();
+            let convex = {
+                let fo = fo.clone();
+                move |i: usize, j: usize| {
+                    let d = (j - i) as f64;
+                    0.01 * d * d + fo[i]
+                }
+            };
+            let concave = move |i: usize, j: usize| ((j - i) as f64).sqrt() + fo[i];
+            for (is_convex, w) in [
+                (true, &convex as &(dyn Fn(usize, usize) -> f64 + Sync)),
+                (false, &concave),
+            ] {
+                let (e, _) = if is_convex {
+                    lws_monge(n, &w)
+                } else {
+                    lws_concave(n, &w)
+                };
+                let parent = lws_parents(n, &w, &e, is_convex);
+                let mut cost = 0.0;
+                let mut j = n;
+                while j > 0 {
+                    assert!(parent[j] < j, "n={n} j={j}");
+                    cost += w(parent[j], j);
+                    j = parent[j];
+                }
+                assert!((cost - e[n]).abs() < 1e-9, "n={n} convex={is_convex}");
+            }
         }
     }
 

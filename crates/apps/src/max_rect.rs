@@ -27,7 +27,8 @@
 
 use crate::geometry::Point;
 use monge_core::array2d::FnArray;
-use monge_core::banded::banded_row_maxima_monge;
+use monge_core::problem::Problem;
+use monge_parallel::{Dispatcher, PramBackend, Tuning};
 
 /// The best rectangle found: area plus the two corner points.
 #[derive(Clone, Copy, Debug)]
@@ -114,9 +115,11 @@ fn best_ne_pair(points: &[Point]) -> Option<CornerRect> {
     let a = FnArray::new(m, n, move |i: usize, j: usize| {
         (cols_ref[j].x - rows_ref[i].x) * (cols_ref[j].y - rows_ref[i].y)
     });
-    let arg = banded_row_maxima_monge(&a, &lo, &hi);
+    let d = Dispatcher::with_default_backends();
+    let (sol, _) = d.solve(&Problem::banded_row_maxima(&a, &lo, &hi));
+    let (arg, _) = sol.banded();
     let mut best: Option<CornerRect> = None;
-    for (i, j) in arg.into_iter().enumerate() {
+    for (i, j) in arg.iter().copied().enumerate() {
         if let Some(j) = j {
             let area = (cols[j].x - rows[i].x) * (cols[j].y - rows[i].y);
             if best.is_none_or(|b| area > b.area) {
@@ -220,13 +223,20 @@ pub fn pram_largest_corner_rectangle(
         let a = FnArray::new(m, n, move |i: usize, j: usize| {
             (cols_ref[j].x - rows_ref[i].x) * (cols_ref[j].y - rows_ref[i].y)
         });
-        let (arg, run_metrics) =
-            monge_parallel::pram_monge::pram_banded_row_maxima_monge(&a, &lo, &hi, prim);
+        let d = Dispatcher::with_all_backends();
+        let (sol, tel) = d
+            .solve_on(
+                PramBackend::name_of(prim),
+                &Problem::banded_row_maxima(&a, &lo, &hi),
+                Tuning::from_env(),
+            )
+            .expect("PRAM backends handle banded problems");
+        let (arg, _) = sol.banded();
         // The two orientation cases are parallel branches: critical path
         // takes the max, work adds.
-        metrics.steps = metrics.steps.max(run_metrics.steps);
-        metrics.work += run_metrics.work;
-        for (i, j) in arg.into_iter().enumerate() {
+        metrics.steps = metrics.steps.max(tel.machine.steps);
+        metrics.work += tel.machine.work;
+        for (i, j) in arg.iter().copied().enumerate() {
             if let Some(j) = j {
                 let area = (cols[j].x - rows[i].x) * (cols[j].y - rows[i].y);
                 if area > best.area {

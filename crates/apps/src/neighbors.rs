@@ -27,7 +27,9 @@
 use crate::geometry::{cross, visible, ConvexPolygon};
 use monge_core::array2d::FnArray;
 use monge_core::eval::CachedArray;
+use monge_core::problem::Problem;
 use monge_parallel::tuning::Tuning;
+use monge_parallel::Dispatcher;
 use rayon::prelude::*;
 
 /// Which neighbor is sought.
@@ -92,48 +94,41 @@ fn solve(
     parallel: Option<Tuning>,
 ) -> Vec<Option<usize>> {
     let m = p.vertices.len();
-    let row = |i: usize| -> Option<usize> {
-        let want_visible = matches!(goal, Goal::NearestVisible | Goal::FarthestVisible);
-        let want_min = matches!(goal, Goal::NearestVisible | Goal::NearestInvisible);
-        let mut best: Option<(f64, usize)> = None;
-        for (j, &qv) in q.vertices.iter().enumerate() {
-            if visible_fast(p, i, q, j) != want_visible {
-                continue;
-            }
-            let d = p.vertices[i].dist(qv);
-            let better = match best {
-                None => true,
-                Some((bd, _)) => {
-                    if want_min {
-                        d < bd
-                    } else {
-                        d > bd
-                    }
-                }
-            };
-            if better {
-                best = Some((d, j));
-            }
+    let n = q.vertices.len();
+    let want_visible = matches!(goal, Goal::NearestVisible | Goal::FarthestVisible);
+    let want_min = matches!(goal, Goal::NearestVisible | Goal::NearestInvisible);
+    // The masked distance array: pairs outside the sought class carry
+    // the absorbing element of the objective. Not totally monotone (the
+    // mask cuts arcs out of the inverse-Monge distance array), so it
+    // dispatches honestly as a `Plain` rows problem; an infinite row
+    // optimum means the class is empty for that vertex.
+    let masked = FnArray::new(m, n, |i: usize, j: usize| {
+        if visible_fast(p, i, q, j) == want_visible {
+            p.vertices[i].dist(q.vertices[j])
+        } else if want_min {
+            f64::INFINITY
+        } else {
+            f64::NEG_INFINITY
         }
-        best.map(|(_, j)| j)
+    });
+    let problem = if want_min {
+        Problem::plain_row_minima(&masked)
+    } else {
+        Problem::plain_row_maxima(&masked)
     };
-    match parallel {
-        Some(t) => {
-            // Adaptive grain: each task handles a block of rows instead
-            // of one vertex, so spawn overhead amortizes.
-            let grain = t.seq_rows.max(1);
-            let blocks = m.div_ceil(grain);
-            (0..blocks)
-                .into_par_iter()
-                .flat_map_iter(|b| {
-                    let lo = b * grain;
-                    let hi = (lo + grain).min(m);
-                    (lo..hi).map(&row)
-                })
-                .collect()
-        }
-        None => (0..m).map(&row).collect(),
-    }
+    let d = Dispatcher::with_default_backends();
+    let (sol, _) = match parallel {
+        Some(t) => d.solve_with(&problem, t),
+        None => d
+            .solve_on("sequential", &problem, Tuning::DEFAULT)
+            .expect("sequential backend handles plain rows"),
+    };
+    let ex = sol.into_rows();
+    ex.index
+        .iter()
+        .zip(&ex.value)
+        .map(|(&j, &v)| v.is_finite().then_some(j))
+        .collect()
 }
 
 /// All four goals at once over one *shared, memoized* distance array.

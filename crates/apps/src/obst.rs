@@ -16,6 +16,15 @@
 //! `root[i][j-1] ≤ root[i][j] ≤ root[i+1][j]`. Searching only that window
 //! collapses the total work to `O(n²)` — the archetype of Monge-structured
 //! dynamic programming.
+//!
+//! Each length-`len` diagonal is phrased as a [`Problem::banded_row_minima`]
+//! over the array `B[i][r] = e[i][r-1] + e[r][i+len]` with the Knuth–Yao
+//! windows as (non-decreasing) bands, and solved through the unified
+//! [`Dispatcher`].
+
+use monge_core::array2d::FnArray;
+use monge_core::problem::Problem;
+use monge_parallel::Dispatcher;
 
 /// Result of an optimal-BST computation.
 #[derive(Clone, Debug, PartialEq)]
@@ -70,22 +79,80 @@ impl Obst {
 /// assert_eq!(t.total_cost(), 10.0 + 2.0 * 2.0);
 /// ```
 pub fn optimal_bst(freq: &[f64]) -> Obst {
-    build(freq, true)
+    let n = freq.len();
+    let prefix = prefix_sums(freq);
+    let mut t = base_table(freq);
+    let d = Dispatcher::with_default_backends();
+    for len in 2..=n {
+        let m = n - len + 1;
+        // Knuth–Yao windows from the previous diagonals; root monotonicity
+        // makes both endpoints non-decreasing in `i`, the exact band shape
+        // the minima search supports.
+        let mut lo = Vec::with_capacity(m);
+        let mut hi = Vec::with_capacity(m);
+        for i in 0..m {
+            let j = i + len;
+            lo.push(t.root[t.at(i, j - 1)].max(i + 1));
+            hi.push(t.root[t.at(i + 1, j)] + 1);
+        }
+        let (arg, val) = {
+            let cost = &t.cost;
+            let stride = n + 1;
+            // Only probed inside the band, where i < r <= i + len keeps
+            // both subproblem lookups in range.
+            let b = FnArray::new(m, n + 1, move |i: usize, r: usize| {
+                cost[i * stride + (r - 1)] + cost[r * stride + (i + len)]
+            });
+            let (sol, _) = d.solve(&Problem::banded_row_minima(&b, &lo, &hi));
+            let (arg, val) = sol.banded();
+            (arg.to_vec(), val.to_vec())
+        };
+        for i in 0..m {
+            let j = i + len;
+            let a = t.at(i, j);
+            t.cost[a] = val[i].expect("Knuth-Yao bands are never empty") + prefix[j] - prefix[i];
+            t.root[a] = arg[i].expect("Knuth-Yao bands are never empty");
+        }
+    }
+    t
 }
 
 /// The `O(n³)` dynamic program without the monotonicity window — the
 /// oracle the speedup is verified against.
 pub fn optimal_bst_cubic(freq: &[f64]) -> Obst {
-    build(freq, false)
+    let n = freq.len();
+    let prefix = prefix_sums(freq);
+    let mut t = base_table(freq);
+    for len in 2..=n {
+        for i in 0..=(n - len) {
+            let j = i + len;
+            let mut best = f64::INFINITY;
+            let mut best_r = i + 1;
+            for r in i + 1..=j {
+                let c = t.cost[t.at(i, r - 1)] + t.cost[t.at(r, j)];
+                if c < best {
+                    best = c;
+                    best_r = r;
+                }
+            }
+            let a = t.at(i, j);
+            t.cost[a] = best + prefix[j] - prefix[i];
+            t.root[a] = best_r;
+        }
+    }
+    t
 }
 
-fn build(freq: &[f64], knuth: bool) -> Obst {
-    let n = freq.len();
-    let mut prefix = vec![0.0f64; n + 1];
+fn prefix_sums(freq: &[f64]) -> Vec<f64> {
+    let mut prefix = vec![0.0f64; freq.len() + 1];
     for (k, &f) in freq.iter().enumerate() {
         prefix[k + 1] = prefix[k] + f;
     }
-    let w = |i: usize, j: usize| prefix[j] - prefix[i];
+    prefix
+}
+
+fn base_table(freq: &[f64]) -> Obst {
+    let n = freq.len();
     let mut t = Obst {
         n,
         cost: vec![0.0; (n + 1) * (n + 1)],
@@ -97,28 +164,6 @@ fn build(freq: &[f64], knuth: bool) -> Obst {
         let a = t.at(i, i + 1);
         t.cost[a] = freq[i];
         t.root[a] = i + 1;
-    }
-    for len in 2..=n {
-        for i in 0..=(n - len) {
-            let j = i + len;
-            let (r_lo, r_hi) = if knuth {
-                (t.root[t.at(i, j - 1)].max(i + 1), t.root[t.at(i + 1, j)])
-            } else {
-                (i + 1, j)
-            };
-            let mut best = f64::INFINITY;
-            let mut best_r = r_lo;
-            for r in r_lo..=r_hi.min(j).max(r_lo) {
-                let c = t.cost[t.at(i, r - 1)] + t.cost[t.at(r, j)];
-                if c < best {
-                    best = c;
-                    best_r = r;
-                }
-            }
-            let a = t.at(i, j);
-            t.cost[a] = best + w(i, j);
-            t.root[a] = best_r;
-        }
     }
     t
 }
@@ -142,6 +187,14 @@ mod tests {
                 fast.total_cost(),
                 slow.total_cost()
             );
+            // Every subproblem agrees, not just the root one: the banded
+            // dispatch reproduces the whole cost table.
+            for i in 0..n {
+                for j in i + 1..=n {
+                    let (f, s) = (fast.cost[fast.at(i, j)], slow.cost[slow.at(i, j)]);
+                    assert!((f - s).abs() < 1e-9, "n={n} cell ({i},{j}): {f} vs {s}");
+                }
+            }
         }
     }
 

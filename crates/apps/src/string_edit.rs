@@ -26,10 +26,12 @@
 
 use monge_core::array2d::{Array2d, Dense};
 use monge_core::eval;
+use monge_core::problem::Problem;
 use monge_core::scratch::{with_scratch, with_scratch2};
 use monge_core::tube::plane;
 use monge_core::value::Value;
 use monge_parallel::tuning::Tuning;
+use monge_parallel::Dispatcher;
 use rayon::prelude::*;
 
 /// Edit-operation cost model (plain function pointers keep the model
@@ -421,12 +423,12 @@ pub fn edit_distance_dist_tree_with(
 /// hypercube — §1.3's headline claim ("the string editing problem … can
 /// be solved in `O(lg n lg m)` time on an `nm`-processor hypercube,
 /// cube-connected cycles, or shuffle-exchange network"). Strip DIST
-/// matrices are built host-side; every `(min,+)` combination runs as a
-/// tube-minima computation on the network
-/// ([`monge_parallel::hc_tube::hc_tube_minima`]), and the returned
-/// metrics accumulate the exchanges of all `⌈lg strips⌉` combining
-/// rounds (each round's combines run on disjoint sub-networks, so the
-/// critical path adds the *maximum* steps per round).
+/// matrices are built host-side; every `(min,+)` combination is
+/// dispatched to the hypercube backend as a
+/// [`Problem::tube_minima`], and the returned metrics accumulate the
+/// exchanges of all `⌈lg strips⌉` combining rounds (each round's
+/// combines run on disjoint sub-networks, so the critical path adds the
+/// *maximum* steps per round).
 pub fn edit_distance_hc(
     x: &[u8],
     y: &[u8],
@@ -441,6 +443,7 @@ pub fn edit_distance_hc(
         x.chunks(chunk).collect()
     };
     let mut level: Vec<Dense<i64>> = parts.iter().map(|xs| strip_dist(xs, y, c)).collect();
+    let disp = Dispatcher::with_default_backends();
     let mut total = monge_hypercube::NetMetrics::default();
     while level.len() > 1 {
         let mut next = Vec::with_capacity(level.len().div_ceil(2));
@@ -450,15 +453,18 @@ pub fn edit_distance_hc(
         while let Some(a) = iter.next() {
             match iter.next() {
                 Some(b) => {
-                    let run = monge_parallel::hc_tube::hc_tube_minima(&a, &b);
-                    round_steps = round_steps.max(run.metrics.comm_steps);
-                    round_local = round_local.max(run.metrics.local_steps);
-                    total.messages += run.metrics.messages;
-                    next.push(Dense::from_vec(
-                        run.extrema.p,
-                        run.extrema.r,
-                        run.extrema.value,
-                    ));
+                    let (sol, tel) = disp
+                        .solve_on(
+                            "hypercube",
+                            &Problem::tube_minima(&a, &b),
+                            Tuning::from_env(),
+                        )
+                        .expect("hypercube backend implements tube minima");
+                    round_steps = round_steps.max(tel.machine.comm_steps);
+                    round_local = round_local.max(tel.machine.local_steps);
+                    total.messages += tel.machine.messages;
+                    let extrema = sol.into_tube();
+                    next.push(Dense::from_vec(extrema.p, extrema.r, extrema.value));
                 }
                 None => next.push(a),
             }

@@ -12,6 +12,8 @@
 //! optimality on arbitrary (including non-Monge) instances.
 
 use monge_core::array2d::Array2d;
+use monge_core::problem::Problem;
+use monge_parallel::Dispatcher;
 
 /// A shipment in a transportation plan.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -72,6 +74,28 @@ pub fn northwest_corner(supply: &[i64], demand: &[i64]) -> Vec<Shipment> {
 /// Total cost of a plan under a cost array.
 pub fn plan_cost<A: Array2d<i64>>(plan: &[Shipment], c: &A) -> i64 {
     plan.iter().map(|s| s.amount * c.entry(s.from, s.to)).sum()
+}
+
+/// Each source's cheapest sink under a Monge cost array — the row minima
+/// of `c`, dispatched through the unified solver registry. Ties go to the
+/// leftmost (earliest) sink, matching Hoffman's greedy orientation.
+pub fn cheapest_sink_per_source<A: Array2d<i64>>(c: &A) -> Vec<usize> {
+    let d = Dispatcher::with_default_backends();
+    let (sol, _) = d.solve(&Problem::row_minima(c));
+    sol.into_rows().index
+}
+
+/// A lower bound certifying greedy plans: every unit shipped from source
+/// `i` costs at least `min_j c[i][j]`, so `Σ aᵢ · minⱼ c[i][j]` bounds the
+/// optimum from below. The row minima come from the dispatcher.
+pub fn shipping_lower_bound<A: Array2d<i64>>(supply: &[i64], c: &A) -> i64 {
+    assert_eq!(supply.len(), c.rows());
+    cheapest_sink_per_source(c)
+        .into_iter()
+        .zip(supply)
+        .enumerate()
+        .map(|(i, (j, &a))| a * c.entry(i, j))
+        .sum::<i64>()
 }
 
 /// Exact minimum-cost transportation by successive shortest paths
@@ -272,5 +296,33 @@ mod tests {
     #[should_panic(expected = "balance")]
     fn unbalanced_instances_are_rejected() {
         let _ = northwest_corner(&[3, 2], &[4]);
+    }
+
+    #[test]
+    fn cheapest_sinks_match_a_row_scan() {
+        let mut rng = StdRng::seed_from_u64(223);
+        for trial in 0..20 {
+            let (m, n) = (1 + trial % 8, 1 + (trial * 3) % 9);
+            let c = random_monge_dense(m, n, &mut rng);
+            let got = cheapest_sink_per_source(&c);
+            for (i, &j) in got.iter().enumerate() {
+                for jj in 0..n {
+                    let (v, best) = (c.entry(i, jj), c.entry(i, j));
+                    assert!(best < v || (best == v && j <= jj), "trial {trial} row {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_the_optimum() {
+        let mut rng = StdRng::seed_from_u64(224);
+        for _ in 0..10 {
+            let c = TransportArray::random(5, 7, &mut rng);
+            let (a, b) = random_balanced(5, 7, &mut rng);
+            let bound = shipping_lower_bound(&a, &c);
+            let opt = min_cost_transport(&a, &b, &c);
+            assert!(bound <= opt, "bound {bound} exceeds optimum {opt}");
+        }
     }
 }

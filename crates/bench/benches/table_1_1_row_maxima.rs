@@ -1,26 +1,28 @@
 //! Table 1.1 wall-clock: row maxima of an `n × n` Monge array —
 //! sequential SMAWK (`Θ(n)`), rayon divide & conquer, and the `O(n²)`
-//! brute force, plus the simulated-PRAM engine at a fixed size.
+//! brute force, plus the simulated-PRAM engine at a fixed size. Every
+//! engine is addressed by backend name through the unified dispatcher.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use monge_bench::workloads::monge_square;
 use monge_core::monge::brute_row_maxima;
-use monge_core::smawk::row_maxima_monge;
-use monge_parallel::pram_monge::pram_row_maxima_monge;
-use monge_parallel::rayon_monge::par_row_maxima_monge;
-use monge_parallel::MinPrimitive;
+use monge_core::problem::Problem;
+use monge_parallel::{Dispatcher, Tuning};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("table_1_1_row_maxima");
     g.sample_size(10);
+    let disp = Dispatcher::with_all_backends();
+    let t = Tuning::from_env();
     for n in [256usize, 1024, 2048] {
         let a = monge_square(n);
+        let p = Problem::row_maxima(&a);
         g.bench_with_input(BenchmarkId::new("smawk_seq", n), &n, |b, _| {
-            b.iter(|| black_box(row_maxima_monge(&a).index))
+            b.iter(|| black_box(disp.solve_on("sequential", &p, t).expect("sequential").0))
         });
         g.bench_with_input(BenchmarkId::new("rayon_dc", n), &n, |b, _| {
-            b.iter(|| black_box(par_row_maxima_monge(&a).index))
+            b.iter(|| black_box(disp.solve_on("rayon", &p, t).expect("rayon").0))
         });
         if n <= 1024 {
             g.bench_with_input(BenchmarkId::new("brute", n), &n, |b, _| {
@@ -29,7 +31,7 @@ fn bench(c: &mut Criterion) {
         }
         if n <= 256 {
             g.bench_with_input(BenchmarkId::new("pram_crcw_sim", n), &n, |b, _| {
-                b.iter(|| black_box(pram_row_maxima_monge(&a, MinPrimitive::DoublyLog).index))
+                b.iter(|| black_box(disp.solve_on("pram:doubly-log", &p, t).expect("pram").0))
             });
         }
     }

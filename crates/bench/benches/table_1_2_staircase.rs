@@ -1,26 +1,29 @@
 //! Table 1.2 wall-clock: row minima of an `n × n` staircase-Monge array —
 //! the feasible-region divide & conquer (sequential and rayon), the
 //! brute force, and the simulated Theorem 2.3 CRCW engine at a fixed
-//! size.
+//! size. Every engine is addressed by backend name through the unified
+//! dispatcher.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use monge_bench::workloads::staircase_square;
-use monge_core::staircase::{staircase_row_minima, staircase_row_minima_brute};
-use monge_parallel::pram_staircase::pram_staircase_row_minima;
-use monge_parallel::rayon_staircase::par_staircase_row_minima;
-use monge_parallel::MinPrimitive;
+use monge_core::problem::Problem;
+use monge_core::staircase::staircase_row_minima_brute;
+use monge_parallel::{Dispatcher, Tuning};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("table_1_2_staircase");
     g.sample_size(10);
+    let disp = Dispatcher::with_all_backends();
+    let t = Tuning::from_env();
     for n in [256usize, 1024, 2048] {
         let (a, f) = staircase_square(n);
+        let p = Problem::staircase_row_minima(&a, &f);
         g.bench_with_input(BenchmarkId::new("dc_seq", n), &n, |b, _| {
-            b.iter(|| black_box(staircase_row_minima(&a, &f)))
+            b.iter(|| black_box(disp.solve_on("sequential", &p, t).expect("sequential").0))
         });
         g.bench_with_input(BenchmarkId::new("rayon_dc", n), &n, |b, _| {
-            b.iter(|| black_box(par_staircase_row_minima(&a, &f)))
+            b.iter(|| black_box(disp.solve_on("rayon", &p, t).expect("rayon").0))
         });
         if n <= 1024 {
             g.bench_with_input(BenchmarkId::new("brute", n), &n, |b, _| {
@@ -29,9 +32,7 @@ fn bench(c: &mut Criterion) {
         }
         if n <= 256 {
             g.bench_with_input(BenchmarkId::new("pram_crcw_sim", n), &n, |b, _| {
-                b.iter(|| {
-                    black_box(pram_staircase_row_minima(&a, &f, MinPrimitive::DoublyLog).index)
-                })
+                b.iter(|| black_box(disp.solve_on("pram:doubly-log", &p, t).expect("pram").0))
             });
         }
     }

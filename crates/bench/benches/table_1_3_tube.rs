@@ -1,29 +1,37 @@
 //! Table 1.3 wall-clock: tube maxima of an `n × n × n` Monge-composite
 //! array — per-plane SMAWK (`O(n²)`), the `O(n³)` brute force, the rayon
-//! plane-parallel and divide & conquer engines.
+//! plane-parallel engine (via the dispatcher) and the divide & conquer
+//! strategy variant (called directly — the dispatcher intentionally
+//! hides engine-internal strategy knobs).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use monge_bench::workloads::composite_pair;
-use monge_core::tube::{tube_maxima, tube_maxima_brute, tube_minima};
-use monge_parallel::rayon_tube::{par_tube_maxima, par_tube_minima_dc};
+use monge_core::problem::Problem;
+use monge_core::tube::tube_maxima_brute;
+use monge_parallel::rayon_tube::par_tube_minima_dc;
+use monge_parallel::{Dispatcher, Tuning};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("table_1_3_tube");
     g.sample_size(10);
+    let disp = Dispatcher::with_default_backends();
+    let t = Tuning::from_env();
     for n in [64usize, 128, 256] {
         let (d, e) = composite_pair(n);
+        let pmax = Problem::tube_maxima(&d, &e);
+        let pmin = Problem::tube_minima(&d, &e);
         g.bench_with_input(BenchmarkId::new("smawk_planes_seq", n), &n, |b, _| {
-            b.iter(|| black_box(tube_maxima(&d, &e)))
+            b.iter(|| black_box(disp.solve_on("sequential", &pmax, t).expect("sequential").0))
         });
         g.bench_with_input(BenchmarkId::new("rayon_planes", n), &n, |b, _| {
-            b.iter(|| black_box(par_tube_maxima(&d, &e)))
+            b.iter(|| black_box(disp.solve_on("rayon", &pmax, t).expect("rayon").0))
         });
         g.bench_with_input(BenchmarkId::new("rayon_dc_minima", n), &n, |b, _| {
             b.iter(|| black_box(par_tube_minima_dc(&d, &e)))
         });
         g.bench_with_input(BenchmarkId::new("seq_minima", n), &n, |b, _| {
-            b.iter(|| black_box(tube_minima(&d, &e)))
+            b.iter(|| black_box(disp.solve_on("sequential", &pmin, t).expect("sequential").0))
         });
         if n <= 128 {
             g.bench_with_input(BenchmarkId::new("brute", n), &n, |b, _| {

@@ -26,8 +26,8 @@ use monge_bench::workloads::{monge_square, rng_for};
 use monge_core::array2d::{Array2d, Dense};
 use monge_core::eval;
 use monge_core::generators::{random_monge_dense, ImplicitMonge};
-use monge_parallel::rayon_monge::par_row_minima_monge_with;
-use monge_parallel::Tuning;
+use monge_core::problem::Problem;
+use monge_parallel::{Dispatcher, Tuning};
 use rand::RngExt;
 use rayon::ThreadPoolBuilder;
 use std::hint::black_box;
@@ -174,10 +174,12 @@ fn parallel_json(quick: bool) -> String {
         black_box(edit_distance_dist_tree_with(&x, &y, &c, strips, t));
     };
     let mut curves = Vec::new();
+    let disp = Dispatcher::with_default_backends();
     for &n in dense_sizes {
         let dense = monge_square(n);
+        let p = Problem::row_minima(&dense);
         let dense_rowmin = || {
-            black_box(par_row_minima_monge_with(&dense, t));
+            black_box(disp.solve_on("rayon", &p, t).expect("rayon backend").0);
         };
         curves.push(speedup_curve("dense_rowmin", n, reps, &dense_rowmin));
     }

@@ -1,22 +1,19 @@
 //! Paper-style table regeneration. Each `table_*` / `app_*` function
 //! sweeps sizes, measures the relevant engines, and prints the paper's
 //! claimed bounds next to the measured series with a growth-law fit.
+//!
+//! Every engine invocation goes through the unified [`Dispatcher`]: a
+//! table row is one [`Problem`] solved on each registered backend by
+//! name, with the step/work/message columns read off the returned
+//! [`Telemetry`](monge_core::problem::Telemetry) instead of per-engine
+//! metric structs.
 
 use crate::fit::best_fit;
 use crate::workloads::*;
-use monge_core::array2d::{Array2d, Dense};
-use monge_core::smawk::{row_maxima_monge, row_minima_monge};
+use monge_core::array2d::Array2d;
+use monge_core::problem::Problem;
 use monge_core::value::Value;
-use monge_parallel::hc_monge::hc_row_maxima;
-use monge_parallel::hc_staircase::hc_staircase_row_minima;
-use monge_parallel::hc_tube::hc_tube_minima;
-use monge_parallel::pram_monge::pram_row_maxima_monge;
-use monge_parallel::pram_staircase::pram_staircase_row_minima;
-use monge_parallel::pram_tube::pram_tube_maxima;
-use monge_parallel::rayon_monge::par_row_maxima_monge;
-use monge_parallel::rayon_staircase::par_staircase_row_minima;
-use monge_parallel::rayon_tube::par_tube_maxima;
-use monge_parallel::{MinPrimitive, VectorArray};
+use monge_parallel::{Dispatcher, MinPrimitive, PramBackend, Tuning, VectorArray};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -28,7 +25,9 @@ pub fn time<R>(f: impl FnOnce() -> R) -> (R, f64) {
 }
 
 /// An [`Array2d`] adapter counting entry evaluations — the natural work
-/// measure under the paper's "entries computed on demand" model.
+/// measure under the paper's "entries computed on demand" model. Only
+/// the brute-force oracles still need it; dispatched solves report the
+/// same number in `Telemetry::evaluations`.
 pub struct Counting<'a, A> {
     inner: &'a A,
     count: AtomicU64,
@@ -91,6 +90,8 @@ pub fn table_1_1(sizes: &[usize]) {
         "hc:CCC",
         "rayon:ms"
     );
+    let disp = Dispatcher::with_all_backends();
+    let tun = Tuning::from_env();
     let mut ns = Vec::new();
     let mut crcw_steps = Vec::new();
     let mut dl_steps = Vec::new();
@@ -99,37 +100,39 @@ pub fn table_1_1(sizes: &[usize]) {
     let mut hc_steps = Vec::new();
     for &n in sizes {
         let a = monge_square(n);
-        let counted = Counting::new(&a);
-        let (_, seq_s) = time(|| row_maxima_monge(&counted));
-        let seq_entries = counted.count();
-        let crcw = pram_row_maxima_monge(&a, MinPrimitive::Constant);
-        let dl = pram_row_maxima_monge(&a, MinPrimitive::DoublyLog);
-        let crew = pram_row_maxima_monge(&a, MinPrimitive::Tree);
+        let p = Problem::row_maxima(&a);
+        let (seq, seq_s) = time(|| disp.solve_on("sequential", &p, tun).expect("sequential"));
+        let seq_entries = seq.1.evaluations;
+        let (_, crcw) = disp.solve_on("pram:constant", &p, tun).expect("crcw");
+        let (_, dl) = disp.solve_on("pram:doubly-log", &p, tun).expect("dl");
+        let (_, crew) = disp.solve_on("pram:tree", &p, tun).expect("crew");
         let (v, w) = transport_vectors(n);
-        let va = VectorArray::new(v, w, |x: i64, y: i64| (x - y).abs());
-        let hc = hc_row_maxima(&va);
-        let (_, ray_s) = time(|| par_row_maxima_monge(&a));
+        let g = |x: i64, y: i64| (x - y).abs();
+        let va = VectorArray::new(v.clone(), w.clone(), g);
+        let ph = Problem::row_maxima(&va).with_rank(&v, &w, &g);
+        let (_, hc) = disp.solve_on("hypercube", &ph, tun).expect("hypercube");
+        let (_, ray_s) = time(|| disp.solve_on("rayon", &p, tun).expect("rayon"));
         println!(
             "{:>6} | {:>10} {:>10.3} | {:>10} {:>10} | {:>9} {:>9} | {:>10} | {:>9} {:>9} {:>9} | {:>10.3}",
             n,
             seq_entries,
             seq_s * 1e3,
-            crcw.metrics.steps,
-            crcw.metrics.work,
-            dl.metrics.steps,
-            dl.metrics.work,
-            crew.metrics.steps,
-            hc.metrics.steps(),
-            hc.emulation.se_steps,
-            hc.emulation.ccc_steps,
+            crcw.machine.steps,
+            crcw.machine.work,
+            dl.machine.steps,
+            dl.machine.work,
+            crew.machine.steps,
+            hc.machine.local_steps + hc.machine.comm_steps,
+            hc.machine.se_steps,
+            hc.machine.ccc_steps,
             ray_s * 1e3,
         );
         ns.push(n as f64);
-        crcw_steps.push(crcw.metrics.steps as f64);
-        dl_steps.push(dl.metrics.steps as f64);
-        dl_work.push(dl.metrics.work as f64);
-        crew_steps.push(crew.metrics.steps as f64);
-        hc_steps.push(hc.metrics.steps() as f64);
+        crcw_steps.push(crcw.machine.steps as f64);
+        dl_steps.push(dl.machine.steps as f64);
+        dl_work.push(dl.machine.work as f64);
+        crew_steps.push(crew.machine.steps as f64);
+        hc_steps.push((hc.machine.local_steps + hc.machine.comm_steps) as f64);
     }
     println!();
     println!(
@@ -167,36 +170,41 @@ pub fn table_1_2(sizes: &[usize]) {
         "hc:SE",
         "rayon:ms"
     );
+    let disp = Dispatcher::with_all_backends();
+    let tun = Tuning::from_env();
     let mut ns = Vec::new();
     let mut crcw_steps = Vec::new();
     let mut hc_steps = Vec::new();
     for &n in sizes {
         let (a, f) = staircase_square(n);
-        let (_, seq_s) = time(|| monge_core::staircase::staircase_row_minima(&a, &f));
+        let p = Problem::staircase_row_minima(&a, &f);
+        let (_, seq_s) = time(|| disp.solve_on("sequential", &p, tun).expect("sequential"));
         let (_, brute_s) = time(|| monge_core::staircase::staircase_row_minima_brute(&a, &f));
-        let crcw = pram_staircase_row_minima(&a, &f, MinPrimitive::Constant);
-        let crew = pram_staircase_row_minima(&a, &f, MinPrimitive::Tree);
+        let (_, crcw) = disp.solve_on("pram:constant", &p, tun).expect("crcw");
+        let (_, crew) = disp.solve_on("pram:tree", &p, tun).expect("crew");
         let (v, w) = transport_vectors(n);
+        let g = |x: i64, y: i64| (x - y).abs();
+        let va = VectorArray::new(v.clone(), w.clone(), g);
         let mut fb = random_staircase_boundary_for(n);
         fb.truncate(n);
-        let va = VectorArray::new(v, w, |x: i64, y: i64| (x - y).abs());
-        let hc = hc_staircase_row_minima(&va, &fb);
-        let (_, ray_s) = time(|| par_staircase_row_minima(&a, &f));
+        let ph = Problem::staircase_row_minima(&va, &fb).with_rank(&v, &w, &g);
+        let (_, hc) = disp.solve_on("hypercube", &ph, tun).expect("hypercube");
+        let (_, ray_s) = time(|| disp.solve_on("rayon", &p, tun).expect("rayon"));
         println!(
             "{:>6} | {:>10.3} {:>10.3} | {:>10} {:>10} | {:>10} | {:>9} {:>9} | {:>10.3}",
             n,
             seq_s * 1e3,
             brute_s * 1e3,
-            crcw.metrics.steps,
-            crcw.metrics.work,
-            crew.metrics.steps,
-            hc.metrics.steps(),
-            hc.emulation.se_steps,
+            crcw.machine.steps,
+            crcw.machine.work,
+            crew.machine.steps,
+            hc.machine.local_steps + hc.machine.comm_steps,
+            hc.machine.se_steps,
             ray_s * 1e3,
         );
         ns.push(n as f64);
-        crcw_steps.push(crcw.metrics.steps as f64);
-        hc_steps.push(hc.metrics.steps() as f64);
+        crcw_steps.push(crcw.machine.steps as f64);
+        hc_steps.push((hc.machine.local_steps + hc.machine.comm_steps) as f64);
     }
     println!();
     println!("fit: CRCW steps ~ {}", best_fit(&ns, &crcw_steps));
@@ -219,25 +227,28 @@ pub fn table_1_3(sizes: &[usize], hc_sizes: &[usize]) {
         "{:>6} | {:>10} {:>10} | {:>10} {:>10} | {:>10}",
         "n", "seq:ms", "brute:ms", "CRCW:steps", "CRCW:work", "rayon:ms"
     );
+    let disp = Dispatcher::with_all_backends();
+    let tun = Tuning::from_env();
     let mut ns = Vec::new();
     let mut crcw_steps = Vec::new();
     for &n in sizes {
         let (d, e) = composite_pair(n);
-        let (_, seq_s) = time(|| monge_core::tube::tube_maxima(&d, &e));
+        let p = Problem::tube_maxima(&d, &e);
+        let (_, seq_s) = time(|| disp.solve_on("sequential", &p, tun).expect("sequential"));
         let (_, brute_s) = time(|| monge_core::tube::tube_maxima_brute(&d, &e));
-        let crcw = pram_tube_maxima(&d, &e, MinPrimitive::Constant);
-        let (_, ray_s) = time(|| par_tube_maxima(&d, &e));
+        let (_, crcw) = disp.solve_on("pram:constant", &p, tun).expect("crcw");
+        let (_, ray_s) = time(|| disp.solve_on("rayon", &p, tun).expect("rayon"));
         println!(
             "{:>6} | {:>10.3} {:>10.3} | {:>10} {:>10} | {:>10.3}",
             n,
             seq_s * 1e3,
             brute_s * 1e3,
-            crcw.metrics.steps,
-            crcw.metrics.work,
+            crcw.machine.steps,
+            crcw.machine.work,
             ray_s * 1e3,
         );
         ns.push(n as f64);
-        crcw_steps.push(crcw.metrics.steps as f64);
+        crcw_steps.push(crcw.machine.steps as f64);
     }
     println!();
     println!("fit: CRCW steps ~ {}", best_fit(&ns, &crcw_steps));
@@ -250,16 +261,17 @@ pub fn table_1_3(sizes: &[usize], hc_sizes: &[usize]) {
     let mut hsteps = Vec::new();
     for &n in hc_sizes {
         let (d, e) = composite_pair(n);
-        let run = hc_tube_minima(&d, &e);
+        let p = Problem::tube_minima(&d, &e);
+        let (_, hc) = disp.solve_on("hypercube", &p, tun).expect("hypercube");
         println!(
             "{:>6} | {:>10} {:>10} {:>10}",
             n,
-            run.metrics.steps(),
-            run.emulation.se_steps,
-            run.metrics.messages
+            hc.machine.local_steps + hc.machine.comm_steps,
+            hc.machine.se_steps,
+            hc.machine.messages
         );
         hns.push(n as f64);
-        hsteps.push(run.metrics.steps() as f64);
+        hsteps.push((hc.machine.local_steps + hc.machine.comm_steps) as f64);
     }
     println!("fit: hypercube steps ~ {}", best_fit(&hns, &hsteps));
     println!("(paper claims Theta(lg n) with the proof omitted; our sort-based");
@@ -460,8 +472,11 @@ pub fn ablation(sizes: &[usize]) {
         "Comb:steps",
         "Comb:work"
     );
+    let disp = Dispatcher::with_all_backends();
+    let tun = Tuning::from_env();
     for &n in sizes {
         let a = monge_square(n);
+        let p = Problem::row_minima(&a);
         let runs: Vec<_> = [
             MinPrimitive::Tree,
             MinPrimitive::DoublyLog,
@@ -469,19 +484,23 @@ pub fn ablation(sizes: &[usize]) {
             MinPrimitive::Combining,
         ]
         .iter()
-        .map(|&p| monge_parallel::pram_monge::pram_row_minima_monge(&a, p))
+        .map(|&prim| {
+            disp.solve_on(PramBackend::name_of(prim), &p, tun)
+                .expect("pram backend")
+                .1
+        })
         .collect();
         println!(
             "{:>6} | {:>11} {:>11} | {:>11} {:>11} | {:>11} {:>11} | {:>11} {:>11}",
             n,
-            runs[0].metrics.steps,
-            runs[0].metrics.work,
-            runs[1].metrics.steps,
-            runs[1].metrics.work,
-            runs[2].metrics.steps,
-            runs[2].metrics.work,
-            runs[3].metrics.steps,
-            runs[3].metrics.work,
+            runs[0].machine.steps,
+            runs[0].machine.work,
+            runs[1].machine.steps,
+            runs[1].machine.work,
+            runs[2].machine.steps,
+            runs[2].machine.work,
+            runs[3].machine.steps,
+            runs[3].machine.work,
         );
     }
 
@@ -505,9 +524,12 @@ pub fn ablation(sizes: &[usize]) {
     );
     for &n in &[64usize, 128, 256] {
         let (d, e) = composite_pair(n);
-        let (_, t_planes) = time(|| par_tube_maxima(&d, &e));
+        let p = Problem::tube_maxima(&d, &e);
+        let (_, t_planes) = time(|| disp.solve_on("rayon", &p, tun).expect("rayon"));
+        // The divide-and-conquer tube strategy is an internal variant the
+        // dispatcher intentionally hides; call it directly for the ablation.
         let (_, t_dc) = time(|| monge_parallel::rayon_tube::par_tube_minima_dc(&d, &e));
-        let (_, t_seq) = time(|| monge_core::tube::tube_minima(&d, &e));
+        let (_, t_seq) = time(|| disp.solve_on("sequential", &p, tun).expect("sequential"));
         println!(
             "{:>6} | {:>12.3} {:>12.3} {:>12.3}",
             n,
@@ -540,9 +562,13 @@ pub fn speedup(n: usize) {
         "{:>8} | {:>12} {:>8} | {:>12} {:>8} | {:>12} {:>8}",
         "threads", "rowmax:ms", "x", "tube:ms", "x", "fig1.1:ms", "x"
     );
+    let disp = Dispatcher::with_default_backends();
+    let tun = Tuning::from_env();
     let a = monge_square(n);
     let (d, e) = composite_pair(n / 4);
     let (p, q) = polygon_chains(8 * n);
+    let pa = Problem::row_maxima(&a);
+    let pt = Problem::tube_maxima(&d, &e);
     let mut base = [0.0f64; 3];
     for (idx, &threads) in [1usize, 2, 4, 8].iter().enumerate() {
         let pool = rayon::ThreadPoolBuilder::new()
@@ -550,8 +576,8 @@ pub fn speedup(n: usize) {
             .build()
             .expect("pool");
         let (t1, t2, t3) = pool.install(|| {
-            let (_, t1) = time(|| par_row_maxima_monge(&a));
-            let (_, t2) = time(|| par_tube_maxima(&d, &e));
+            let (_, t1) = time(|| disp.solve_on("rayon", &pa, tun).expect("rayon"));
+            let (_, t2) = time(|| disp.solve_on("rayon", &pt, tun).expect("rayon"));
             let (_, t3) = time(|| monge_apps::farthest::par_farthest_across_chains(&p, &q));
             (t1, t2, t3)
         });
@@ -621,8 +647,9 @@ pub fn dp_apps(sizes: &[usize]) {
     let plan = monge_apps::transport::northwest_corner(&a, &b);
     let greedy = monge_apps::transport::plan_cost(&plan, &c);
     let opt = monge_apps::transport::min_cost_transport(&a, &b, &c);
+    let bound = monge_apps::transport::shipping_lower_bound(&a, &c);
     println!(
-        "  greedy cost {greedy}, min-cost-flow {opt}, optimal = {}",
+        "  greedy cost {greedy}, min-cost-flow {opt}, row-minima bound {bound}, optimal = {}",
         greedy == opt
     );
 }
@@ -648,20 +675,22 @@ fn fig_1_1_impl(sizes: &[usize], brute_cap: usize) {
         "{:>7} | {:>12} {:>12} {:>10} {:>10} | {:>8}",
         "n", "brute:entry", "smawk:entry", "brute:ms", "smawk:ms", "agree"
     );
+    let disp = Dispatcher::with_default_backends();
+    let tun = Tuning::from_env();
     for &n in sizes {
         let (p, q) = polygon_chains(n);
         let a = monge_apps::farthest::chain_distance_array(&p, &q);
-        let counted = Counting::new(&a);
-        let (idx_fast, fast_s) =
-            time(|| monge_core::smawk::row_maxima_inverse_monge(&counted).index);
-        let fast_entries = counted.count();
+        let pr = Problem::row_maxima_inverse_monge(&a);
+        let (run, fast_s) = time(|| disp.solve_on("sequential", &pr, tun).expect("sequential"));
+        let idx_fast = run.0.into_rows().index;
+        let fast_entries = run.1.evaluations;
         if n <= brute_cap {
-            let counted2 = Counting::new(&a);
-            let (idx_brute, brute_s) = time(|| monge_core::monge::brute_row_maxima(&counted2));
+            let counted = Counting::new(&a);
+            let (idx_brute, brute_s) = time(|| monge_core::monge::brute_row_maxima(&counted));
             println!(
                 "{:>7} | {:>12} {:>12} {:>10.3} {:>10.3} | {:>8}",
                 n,
-                counted2.count(),
+                counted.count(),
                 fast_entries,
                 brute_s * 1e3,
                 fast_s * 1e3,
@@ -679,5 +708,4 @@ fn fig_1_1_impl(sizes: &[usize], brute_cap: usize) {
             );
         }
     }
-    let _ = row_minima_monge::<i64, Dense<i64>>; // keep import used in all configurations
 }

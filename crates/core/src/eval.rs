@@ -19,10 +19,30 @@
 //! observable in tests and benchmarks.
 
 use crate::array2d::Array2d;
+use crate::tiebreak::Tie;
 use crate::value::Value;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
+
+/// Process-global tally of value comparisons performed by the slice
+/// scans (and flushed in bulk by SMAWK's REDUCE/INTERPOLATE). Relaxed,
+/// best-effort under concurrency — the telemetry layer snapshots deltas
+/// around each dispatched solve.
+static COMPARISONS: AtomicU64 = AtomicU64::new(0);
+
+/// Current value of the process-global comparison counter.
+pub fn comparison_count() -> u64 {
+    COMPARISONS.load(Ordering::Relaxed)
+}
+
+/// Adds `n` comparisons to the process-global tally. Engines that keep
+/// a local count on their hot path (SMAWK) flush it here once per call.
+pub fn add_comparisons(n: u64) {
+    if n > 0 {
+        COMPARISONS.fetch_add(n, Ordering::Relaxed);
+    }
+}
 
 // The slice scans below are two-level: a branch-free lane-parallel
 // minimum per fixed-size block (eight independent accumulator chains, so
@@ -101,25 +121,15 @@ fn block_max<T: Value>(v: &[T]) -> T {
     m
 }
 
-/// One-pass scan for short slices, pinned to conditional moves.
+/// One-pass scan for short slices, pinned to conditional moves. The
+/// tie rule is [`Tie::replaces_min`] — the same comparison SMAWK and
+/// the parallel combiners use — and constant-folds after inlining.
 #[inline]
-fn small_argmin<T: Value>(vals: &[T]) -> usize {
+fn small_argmin_tie<T: Value>(vals: &[T], tie: Tie) -> usize {
     let mut best = 0usize;
     let mut best_v = vals[0];
     for (k, &v) in vals.iter().enumerate().skip(1) {
-        let better = v.total_lt(best_v);
-        best = std::hint::select_unpredictable(better, k, best);
-        best_v = std::hint::select_unpredictable(better, v, best_v);
-    }
-    best
-}
-
-#[inline]
-fn small_argmin_rightmost<T: Value>(vals: &[T]) -> usize {
-    let mut best = 0usize;
-    let mut best_v = vals[0];
-    for (k, &v) in vals.iter().enumerate().skip(1) {
-        let take = v.total_le(best_v);
+        let take = tie.replaces_min(v, best_v);
         best = std::hint::select_unpredictable(take, k, best);
         best_v = std::hint::select_unpredictable(take, v, best_v);
     }
@@ -131,77 +141,68 @@ fn small_argmax<T: Value>(vals: &[T]) -> usize {
     let mut best = 0usize;
     let mut best_v = vals[0];
     for (k, &v) in vals.iter().enumerate().skip(1) {
-        let better = best_v.total_lt(v);
+        let better = Tie::Left.replaces_max(v, best_v);
         best = std::hint::select_unpredictable(better, k, best);
         best_v = std::hint::select_unpredictable(better, v, best_v);
     }
     best
 }
 
-/// Index of the **leftmost** minimum of a non-empty slice.
+/// Index of the minimum of a non-empty slice under the given tie rule —
+/// the one blocked scan behind [`argmin_slice`] and
+/// [`argmin_slice_rightmost`].
 #[inline]
-pub fn argmin_slice<T: Value>(vals: &[T]) -> usize {
+pub fn argmin_slice_tie<T: Value>(vals: &[T], tie: Tie) -> usize {
     debug_assert!(!vals.is_empty());
+    add_comparisons(vals.len() as u64 - 1);
     if vals.len() < 2 * BLOCK {
-        return small_argmin(vals);
+        return small_argmin_tie(vals, tie);
     }
-    // Strict improvement keeps the *first* block attaining the minimum.
+    // Under `Left` only strict improvement moves the winner, keeping the
+    // *first* block attaining the minimum; under `Right` equality moves
+    // it, keeping the *last*.
     let mut m = block_min(&vals[..BLOCK]);
     let mut best_start = 0usize;
     let mut start = BLOCK;
     while start < vals.len() {
         let end = (start + BLOCK).min(vals.len());
         let bm = block_min(&vals[start..end]);
-        if bm.total_lt(m) {
+        if tie.replaces_min(bm, m) {
             m = bm;
             best_start = start;
         }
         start = end;
     }
     let end = (best_start + BLOCK).min(vals.len());
-    for (k, &x) in vals[best_start..end].iter().enumerate() {
-        // `x >= m` throughout, so `!(m < x)` means `x == m`.
-        if !m.total_lt(x) {
-            return best_start + k;
-        }
-    }
-    best_start // unreachable: the winning block holds its own minimum
+    let block = vals[best_start..end].iter().enumerate();
+    // Rescan the winning block from the tie rule's preferred side;
+    // `x >= m` throughout, so `!(m < x)` means `x == m`.
+    let k = match tie {
+        Tie::Left => block.clone().find(|&(_, &x)| !m.total_lt(x)),
+        Tie::Right => block.clone().rev().find(|&(_, &x)| !m.total_lt(x)),
+    };
+    // The winning block holds its own minimum, so the find always hits.
+    best_start + k.map_or(0, |(k, _)| k)
+}
+
+/// Index of the **leftmost** minimum of a non-empty slice.
+#[inline]
+pub fn argmin_slice<T: Value>(vals: &[T]) -> usize {
+    argmin_slice_tie(vals, Tie::Left)
 }
 
 /// Index of the **rightmost** minimum of a non-empty slice (ties move
 /// right — the scan the reverse-and-negate maxima reductions need).
 #[inline]
 pub fn argmin_slice_rightmost<T: Value>(vals: &[T]) -> usize {
-    debug_assert!(!vals.is_empty());
-    if vals.len() < 2 * BLOCK {
-        return small_argmin_rightmost(vals);
-    }
-    // Non-strict improvement keeps the *last* block attaining the minimum.
-    let mut m = block_min(&vals[..BLOCK]);
-    let mut best_start = 0usize;
-    let mut start = BLOCK;
-    while start < vals.len() {
-        let end = (start + BLOCK).min(vals.len());
-        let bm = block_min(&vals[start..end]);
-        if bm.total_le(m) {
-            m = bm;
-            best_start = start;
-        }
-        start = end;
-    }
-    let end = (best_start + BLOCK).min(vals.len());
-    for (k, &x) in vals[best_start..end].iter().enumerate().rev() {
-        if !m.total_lt(x) {
-            return best_start + k;
-        }
-    }
-    best_start // unreachable: the winning block holds its own minimum
+    argmin_slice_tie(vals, Tie::Right)
 }
 
 /// Index of the **leftmost** maximum of a non-empty slice.
 #[inline]
 pub fn argmax_slice<T: Value>(vals: &[T]) -> usize {
     debug_assert!(!vals.is_empty());
+    add_comparisons(vals.len() as u64 - 1);
     if vals.len() < 2 * BLOCK {
         return small_argmax(vals);
     }

@@ -44,6 +44,12 @@
 //! * [`scratch`] — thread-local grow-only buffer arenas so recursion
 //!   leaves (and rayon workers in `monge-parallel`) run allocation-free
 //!   in steady state.
+//! * [`tiebreak`] — the one implementation of the leftmost/rightmost
+//!   tie-break rule every scan, reduction and candidate merge shares.
+//! * [`problem`] — the solver-dispatch IR: [`problem::Problem`] /
+//!   [`problem::Solution`] / [`problem::Telemetry`] plus the shared
+//!   §1.2 Min/Max duality lowering ([`problem::lower_rows`]) that the
+//!   `monge-parallel` backend registry consumes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -56,16 +62,22 @@ pub mod eval;
 pub mod generators;
 pub mod monge;
 pub mod online;
+pub mod problem;
 pub mod scratch;
 pub mod smawk;
 pub mod staircase;
+pub mod tiebreak;
 pub mod tube;
 pub mod value;
 
 pub use array2d::{Array2d, Dense, FnArray};
 pub use eval::{CachedArray, CountingArray};
+pub use problem::{
+    MachineCounters, Objective, Problem, ProblemKind, Solution, Structure, Telemetry,
+};
 pub use smawk::{
     row_maxima_inverse_monge, row_maxima_monge, row_minima_inverse_monge, row_minima_monge,
     RowExtrema,
 };
+pub use tiebreak::Tie;
 pub use value::Value;

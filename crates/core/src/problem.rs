@@ -1,0 +1,749 @@
+//! The solver-dispatch intermediate representation: one [`Problem`]
+//! value describing *what* to search, one [`Solution`] shape for every
+//! engine's answer, and one [`Telemetry`] record making each solve
+//! observable.
+//!
+//! The paper states a small family of searching problems — row minima /
+//! maxima of (inverse-)Monge arrays, row minima of staircase-Monge
+//! arrays, tube minima / maxima of Monge-composite arrays — and then
+//! solves each on several machines (sequential SMAWK, CRCW/CREW PRAM,
+//! hypercube-like networks). This module is the code-level mirror of
+//! that separation: a `Problem` names the *search*, the `Backend` trait
+//! in `monge-parallel` names the *machine*, and the dispatcher in
+//! between picks an engine by capability and size. Applications build
+//! `Problem` values and never name concrete engine functions.
+//!
+//! The §1.2 dualities ("reversing the order of an array's columns
+//! and/or negating its entries allows us to move back and forth"
+//! between minima and maxima) live here too, in [`lower_rows`] — one
+//! implementation that every backend shares, instead of each engine
+//! hand-rolling its own reverse/negate/mirror plumbing.
+
+use crate::array2d::{Array2d, Negate, ReverseCols};
+use crate::smawk::RowExtrema;
+use crate::tiebreak::Tie;
+use crate::tube::TubeExtrema;
+use crate::value::Value;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// What is being optimized along each row (or tube).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Objective {
+    /// Per-row (per-tube) minima.
+    Minimize,
+    /// Per-row (per-tube) maxima.
+    Maximize,
+}
+
+/// The structural promise the caller makes about the array — the
+/// license a backend relies on to search fewer than `m·n` entries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Structure {
+    /// `a[i,j] + a[k,l] ≤ a[i,l] + a[k,j]` for `i<k`, `j<l` (eq. 1.1).
+    Monge,
+    /// The reversed inequality (eq. 1.2).
+    InverseMonge,
+    /// No structure at all: backends must scan whole rows. This is the
+    /// honest route for applications whose arrays are *not* totally
+    /// monotone (the empty-rectangle crossing windows, the masked
+    /// polygon-neighbor arrays) but still want dispatched, instrumented,
+    /// batched row scans.
+    Plain,
+}
+
+/// Discriminant of a [`Problem`] — what the capability flags and the
+/// conformance suite enumerate over.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ProblemKind {
+    /// Per-row minima of a two-dimensional array.
+    RowMinima,
+    /// Per-row maxima of a two-dimensional array.
+    RowMaxima,
+    /// Per-row minima of a staircase array's finite prefixes.
+    StaircaseRowMinima,
+    /// Per-row minima restricted to per-row candidate bands.
+    BandedRowMinima,
+    /// Per-row maxima restricted to per-row candidate bands.
+    BandedRowMaxima,
+    /// Tube minima of the Monge-composite `c[i,j,k] = d[i,j] + e[j,k]`.
+    TubeMinima,
+    /// Tube maxima of the same composite.
+    TubeMaxima,
+}
+
+impl ProblemKind {
+    /// Every problem kind, in a fixed order (used by the telemetry
+    /// audit and the conformance suite to enumerate coverage).
+    pub const ALL: [ProblemKind; 7] = [
+        ProblemKind::RowMinima,
+        ProblemKind::RowMaxima,
+        ProblemKind::StaircaseRowMinima,
+        ProblemKind::BandedRowMinima,
+        ProblemKind::BandedRowMaxima,
+        ProblemKind::TubeMinima,
+        ProblemKind::TubeMaxima,
+    ];
+}
+
+/// A minimal read-only view of a three-dimensional array, provided so
+/// the tube problems have an explicit 3-D surface to point at.
+/// [`crate::tube::MongeComposite`] implements it; the engines
+/// themselves always work from the two Monge *factors* (the composite's
+/// planes are Monge — Lemma behind Thm 3.4 — and storing `p·q·r`
+/// entries would defeat the point).
+pub trait Array3d<T: Value> {
+    /// First-coordinate extent `p`.
+    fn dim_p(&self) -> usize;
+    /// Middle-coordinate extent `q` (the one searched over).
+    fn dim_q(&self) -> usize;
+    /// Third-coordinate extent `r`.
+    fn dim_r(&self) -> usize;
+    /// The entry `c[i, j, k]`.
+    fn entry3(&self, i: usize, j: usize, k: usize) -> T;
+}
+
+/// The rank structure `a[i,j] = g(v[i], w[j])` some backends require.
+///
+/// The hypercube engines do not read arbitrary arrays: the paper's §3
+/// algorithms distribute the *generator vectors* `v` and `w` across the
+/// network and evaluate `g` locally at each node. A problem carrying
+/// this structure (see [`Problem::with_rank`]) is eligible for those
+/// backends; one without it is not — that asymmetry is exactly what the
+/// dispatcher's capability flags encode.
+#[derive(Clone, Copy)]
+pub struct RankStructure<'a, T> {
+    /// Row generator vector (`v[i]` for row `i`).
+    pub v: &'a [T],
+    /// Column generator vector (`w[j]` for column `j`).
+    pub w: &'a [T],
+    /// The combining function `g`.
+    pub g: &'a (dyn Fn(T, T) -> T + Sync),
+}
+
+impl<T> std::fmt::Debug for RankStructure<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RankStructure")
+            .field("v_len", &self.v.len())
+            .field("w_len", &self.w.len())
+            .finish()
+    }
+}
+
+/// A searching problem, described by reference: the IR every backend
+/// consumes and every application produces.
+///
+/// Arrays are borrowed as `&dyn Array2d<T>` — anything lazy or dense
+/// coerces in place, matching the paper's "entries computed in `O(1)`
+/// on demand" model, and the §1.2 reductions wrap the trait object in
+/// stack-allocated adapters without copying.
+#[derive(Clone, Copy)]
+pub enum Problem<'a, T: Value> {
+    /// Row minima or maxima of a (possibly structured) 2-D array.
+    Rows {
+        /// The array to search.
+        array: &'a dyn Array2d<T>,
+        /// The structural promise (drives which engines may skip entries).
+        structure: Structure,
+        /// Minimize or maximize.
+        objective: Objective,
+        /// Tie-break rule among equal optima (default [`Tie::Left`]).
+        tie: Tie,
+        /// Optional `g(v[i], w[j])` generator form (hypercube eligibility).
+        rank: Option<RankStructure<'a, T>>,
+    },
+    /// Row minima over the finite prefixes of a staircase array.
+    ///
+    /// `boundary[i]` is the paper's `f_i`: row `i` is finite exactly on
+    /// columns `0..boundary[i]`, and the boundary is non-increasing.
+    /// Entries at or beyond the boundary are never read (they may be
+    /// `∞` or garbage). `structure` describes the finite region:
+    /// [`Structure::Monge`] is the paper's staircase-Monge class;
+    /// [`Structure::InverseMonge`] is the staircase-inverse-Monge
+    /// variant only the sequential engine handles.
+    Staircase {
+        /// The array to search (finite on each row's prefix).
+        array: &'a dyn Array2d<T>,
+        /// Per-row finite-prefix lengths `f_i` (non-increasing).
+        boundary: &'a [usize],
+        /// Monge or inverse-Monge promise on the finite region.
+        structure: Structure,
+        /// Optional generator form (hypercube eligibility).
+        rank: Option<RankStructure<'a, T>>,
+    },
+    /// Row extrema restricted to per-row candidate bands
+    /// `lo[i] ≤ j < hi[i]` (empty bands allowed → `None` for that row).
+    ///
+    /// The monotonicity the divide & conquer needs: for `Minimize` the
+    /// bands must be non-decreasing in both endpoints; for `Maximize`
+    /// non-increasing (the two-corner-rectangle shape).
+    Banded {
+        /// The array to search (entries outside the bands are never read).
+        array: &'a dyn Array2d<T>,
+        /// Per-row band starts.
+        lo: &'a [usize],
+        /// Per-row band ends (exclusive).
+        hi: &'a [usize],
+        /// Minimize or maximize.
+        objective: Objective,
+    },
+    /// Tube extrema of the Monge-composite `c[i,j,k] = d[i,j] + e[j,k]`:
+    /// for every `(i, k)`, the optimal middle coordinate `j`.
+    Tube {
+        /// Left Monge factor `d` (`p × q`).
+        d: &'a dyn Array2d<T>,
+        /// Right Monge factor `e` (`q × r`).
+        e: &'a dyn Array2d<T>,
+        /// Minimize or maximize.
+        objective: Objective,
+    },
+}
+
+impl<T: Value> std::fmt::Debug for Problem<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (m, n) = self.search_shape();
+        write!(f, "Problem::{:?}({m}×{n})", self.kind())
+    }
+}
+
+impl<'a, T: Value> Problem<'a, T> {
+    /// Leftmost row minima of a Monge array.
+    pub fn row_minima(array: &'a dyn Array2d<T>) -> Self {
+        Self::rows(array, Structure::Monge, Objective::Minimize)
+    }
+
+    /// Leftmost row maxima of a Monge array (Table 1.1's problem).
+    pub fn row_maxima(array: &'a dyn Array2d<T>) -> Self {
+        Self::rows(array, Structure::Monge, Objective::Maximize)
+    }
+
+    /// Leftmost row minima of an inverse-Monge array.
+    pub fn row_minima_inverse_monge(array: &'a dyn Array2d<T>) -> Self {
+        Self::rows(array, Structure::InverseMonge, Objective::Minimize)
+    }
+
+    /// Leftmost row maxima of an inverse-Monge array (Figure 1.1's
+    /// farthest-neighbor shape).
+    pub fn row_maxima_inverse_monge(array: &'a dyn Array2d<T>) -> Self {
+        Self::rows(array, Structure::InverseMonge, Objective::Maximize)
+    }
+
+    /// Leftmost row minima of an arbitrary (unstructured) array.
+    pub fn plain_row_minima(array: &'a dyn Array2d<T>) -> Self {
+        Self::rows(array, Structure::Plain, Objective::Minimize)
+    }
+
+    /// Leftmost row maxima of an arbitrary (unstructured) array.
+    pub fn plain_row_maxima(array: &'a dyn Array2d<T>) -> Self {
+        Self::rows(array, Structure::Plain, Objective::Maximize)
+    }
+
+    /// General rows constructor.
+    pub fn rows(array: &'a dyn Array2d<T>, structure: Structure, objective: Objective) -> Self {
+        Problem::Rows {
+            array,
+            structure,
+            objective,
+            tie: Tie::Left,
+            rank: None,
+        }
+    }
+
+    /// Leftmost row minima of a staircase-Monge array with the given
+    /// non-increasing boundary.
+    pub fn staircase_row_minima(array: &'a dyn Array2d<T>, boundary: &'a [usize]) -> Self {
+        Problem::Staircase {
+            array,
+            boundary,
+            structure: Structure::Monge,
+            rank: None,
+        }
+    }
+
+    /// Leftmost row minima of a staircase-*inverse*-Monge array.
+    pub fn staircase_inverse_row_minima(array: &'a dyn Array2d<T>, boundary: &'a [usize]) -> Self {
+        Problem::Staircase {
+            array,
+            boundary,
+            structure: Structure::InverseMonge,
+            rank: None,
+        }
+    }
+
+    /// Banded leftmost row minima (bands non-decreasing).
+    pub fn banded_row_minima(array: &'a dyn Array2d<T>, lo: &'a [usize], hi: &'a [usize]) -> Self {
+        Problem::Banded {
+            array,
+            lo,
+            hi,
+            objective: Objective::Minimize,
+        }
+    }
+
+    /// Banded leftmost row maxima (bands non-increasing).
+    pub fn banded_row_maxima(array: &'a dyn Array2d<T>, lo: &'a [usize], hi: &'a [usize]) -> Self {
+        Problem::Banded {
+            array,
+            lo,
+            hi,
+            objective: Objective::Maximize,
+        }
+    }
+
+    /// Tube minima of `c[i,j,k] = d[i,j] + e[j,k]`.
+    pub fn tube_minima(d: &'a dyn Array2d<T>, e: &'a dyn Array2d<T>) -> Self {
+        Problem::Tube {
+            d,
+            e,
+            objective: Objective::Minimize,
+        }
+    }
+
+    /// Tube maxima of `c[i,j,k] = d[i,j] + e[j,k]` (Table 1.3).
+    pub fn tube_maxima(d: &'a dyn Array2d<T>, e: &'a dyn Array2d<T>) -> Self {
+        Problem::Tube {
+            d,
+            e,
+            objective: Objective::Maximize,
+        }
+    }
+
+    /// Attaches the `g(v[i], w[j])` generator form, making the problem
+    /// eligible for rank-structured (hypercube) backends. No-op for
+    /// banded and tube problems.
+    #[must_use]
+    pub fn with_rank(mut self, v: &'a [T], w: &'a [T], g: &'a (dyn Fn(T, T) -> T + Sync)) -> Self {
+        let rs = RankStructure { v, w, g };
+        match &mut self {
+            Problem::Rows { rank, .. } | Problem::Staircase { rank, .. } => *rank = Some(rs),
+            Problem::Banded { .. } | Problem::Tube { .. } => {}
+        }
+        self
+    }
+
+    /// Overrides the tie-break rule (rows problems only; the staircase,
+    /// banded and tube kinds are defined as leftmost / smallest-middle).
+    #[must_use]
+    pub fn with_tie(mut self, t: Tie) -> Self {
+        if let Problem::Rows { tie, .. } = &mut self {
+            *tie = t;
+        }
+        self
+    }
+
+    /// This problem's kind (capability-matrix row).
+    pub fn kind(&self) -> ProblemKind {
+        match self {
+            Problem::Rows {
+                objective: Objective::Minimize,
+                ..
+            } => ProblemKind::RowMinima,
+            Problem::Rows { .. } => ProblemKind::RowMaxima,
+            Problem::Staircase { .. } => ProblemKind::StaircaseRowMinima,
+            Problem::Banded {
+                objective: Objective::Minimize,
+                ..
+            } => ProblemKind::BandedRowMinima,
+            Problem::Banded { .. } => ProblemKind::BandedRowMaxima,
+            Problem::Tube {
+                objective: Objective::Minimize,
+                ..
+            } => ProblemKind::TubeMinima,
+            Problem::Tube { .. } => ProblemKind::TubeMaxima,
+        }
+    }
+
+    /// Does the problem carry the `g(v[i], w[j])` generator form?
+    pub fn has_rank(&self) -> bool {
+        matches!(
+            self,
+            Problem::Rows { rank: Some(_), .. } | Problem::Staircase { rank: Some(_), .. }
+        )
+    }
+
+    /// The array whose entry cost dominates the solve — what the
+    /// calibration probe should time.
+    pub fn primary_array(&self) -> &'a dyn Array2d<T> {
+        match self {
+            Problem::Rows { array, .. }
+            | Problem::Staircase { array, .. }
+            | Problem::Banded { array, .. } => *array,
+            Problem::Tube { d, .. } => *d,
+        }
+    }
+
+    /// `(rows, cols)` of the search space: the array shape, or
+    /// `(p·r, q)` for tubes (one row per output cell, searched over the
+    /// middle coordinate) — the quantities the selection policy
+    /// compares against the fork cutoffs.
+    pub fn search_shape(&self) -> (usize, usize) {
+        match self {
+            Problem::Rows { array, .. }
+            | Problem::Staircase { array, .. }
+            | Problem::Banded { array, .. } => (array.rows(), array.cols()),
+            Problem::Tube { d, e, .. } => (d.rows() * e.cols(), d.cols()),
+        }
+    }
+}
+
+/// Lowers a structured rows problem to **leftmost-convention row minima
+/// of a totally monotone array** via the §1.2 reductions — the single
+/// implementation of the Min/Max duality that every backend shares.
+///
+/// `run` receives the lowered array and the tie rule to search it
+/// under; the second return value is `Some(n)` when the reduction
+/// reversed the columns, in which case the caller must map every
+/// returned column `j` back to `n - 1 - j` (see [`mirror_indices`]).
+/// Values must always be re-gathered from the *original* array (the
+/// lowered one may be negated):
+///
+/// | structure, objective | lowered array | tie | mirrored |
+/// |---|---|---|---|
+/// | Monge, Minimize | `a` | as given | no |
+/// | inverse-Monge, Maximize | `-a` | as given | no |
+/// | Monge, Maximize | `-reverse_cols(a)` | flipped | yes |
+/// | inverse-Monge, Minimize | `reverse_cols(a)` | flipped | yes |
+///
+/// # Panics
+/// If `structure` is [`Structure::Plain`] — unstructured rows have no
+/// total-monotonicity license to lower to.
+pub fn lower_rows<T: Value, R>(
+    array: &dyn Array2d<T>,
+    structure: Structure,
+    objective: Objective,
+    tie: Tie,
+    run: impl FnOnce(&dyn Array2d<T>, Tie) -> R,
+) -> (R, Option<usize>) {
+    let n = array.cols();
+    match (structure, objective) {
+        (Structure::Monge, Objective::Minimize) => (run(array, tie), None),
+        (Structure::InverseMonge, Objective::Maximize) => (run(&Negate(array), tie), None),
+        (Structure::Monge, Objective::Maximize) => {
+            (run(&Negate(ReverseCols(array)), tie.flip()), Some(n))
+        }
+        (Structure::InverseMonge, Objective::Minimize) => {
+            (run(&ReverseCols(array), tie.flip()), Some(n))
+        }
+        (Structure::Plain, _) => {
+            panic!("lower_rows requires Monge or inverse-Monge structure")
+        }
+    }
+}
+
+/// Maps indices found on a column-reversed array back to original
+/// columns (`j → n - 1 - j`).
+pub fn mirror_indices(index: &mut [usize], n: usize) {
+    for j in index.iter_mut() {
+        *j = n - 1 - *j;
+    }
+}
+
+/// Every backend's answer, in one shape per problem family.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Solution<T> {
+    /// Per-row optimum column and value (rows and staircase problems).
+    Rows(RowExtrema<T>),
+    /// Banded problems: `None` where a row's band is empty.
+    Banded {
+        /// Per-row optimum column, `None` for empty bands.
+        index: Vec<Option<usize>>,
+        /// Per-row optimum value, `None` for empty bands.
+        value: Vec<Option<T>>,
+    },
+    /// Tube problems: optimal middle coordinate per `(i, k)`.
+    Tube(TubeExtrema<T>),
+}
+
+impl<T: Value> Solution<T> {
+    /// The rows answer; panics for banded/tube solutions.
+    pub fn rows(&self) -> &RowExtrema<T> {
+        match self {
+            Solution::Rows(r) => r,
+            other => panic!("expected a rows solution, got {}", other.variant_name()),
+        }
+    }
+
+    /// Consumes into the rows answer; panics for banded/tube solutions.
+    pub fn into_rows(self) -> RowExtrema<T> {
+        match self {
+            Solution::Rows(r) => r,
+            other => panic!("expected a rows solution, got {}", other.variant_name()),
+        }
+    }
+
+    /// The banded answer; panics otherwise.
+    pub fn banded(&self) -> (&[Option<usize>], &[Option<T>]) {
+        match self {
+            Solution::Banded { index, value } => (index, value),
+            other => panic!("expected a banded solution, got {}", other.variant_name()),
+        }
+    }
+
+    /// The tube answer; panics otherwise.
+    pub fn tube(&self) -> &TubeExtrema<T> {
+        match self {
+            Solution::Tube(t) => t,
+            other => panic!("expected a tube solution, got {}", other.variant_name()),
+        }
+    }
+
+    /// Consumes into the tube answer; panics otherwise.
+    pub fn into_tube(self) -> TubeExtrema<T> {
+        match self {
+            Solution::Tube(t) => t,
+            other => panic!("expected a tube solution, got {}", other.variant_name()),
+        }
+    }
+
+    fn variant_name(&self) -> &'static str {
+        match self {
+            Solution::Rows(_) => "Rows",
+            Solution::Banded { .. } => "Banded",
+            Solution::Tube(_) => "Tube",
+        }
+    }
+}
+
+/// One timed section of a dispatched solve.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Phase {
+    /// Section label (`"prepare"`, `"search"`, `"finalize"`, …).
+    pub name: &'static str,
+    /// Wall-clock nanoseconds spent in the section.
+    pub nanos: u128,
+}
+
+/// Simulated-machine cost counters, populated only by the simulator
+/// backends (all zero for host-execution backends). Typed fields rather
+/// than a string map so the bench tables can keep printing exact
+/// step/work/message numbers straight out of a dispatched solve.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MachineCounters {
+    /// PRAM: synchronous parallel steps.
+    pub steps: u64,
+    /// PRAM: total operations across processors.
+    pub work: u64,
+    /// PRAM: peak processors active in one step.
+    pub processors: u64,
+    /// Hypercube: compute (non-exchange) steps.
+    pub local_steps: u64,
+    /// Hypercube: single-dimension exchange steps.
+    pub comm_steps: u64,
+    /// Hypercube: point-to-point messages moved.
+    pub messages: u64,
+    /// Emulated cost of the dimension trace on cube-connected cycles.
+    pub ccc_steps: u64,
+    /// Emulated cost of the dimension trace on a shuffle-exchange.
+    pub se_steps: u64,
+}
+
+/// What one dispatched solve did: evaluation/comparison/task/arena
+/// counts, per-phase wall time, and (for simulator backends) the
+/// machine-model cost. Filled cooperatively — the dispatcher stamps the
+/// identity fields, wall clock and process-global counter deltas; the
+/// backend records phases, entry evaluations and machine counters.
+///
+/// The evaluation/comparison/task/checkout counters are process-global
+/// and relaxed-atomic: under concurrent solves the deltas attribute
+/// other threads' activity to whichever solve observes it. They are
+/// exact when solves are not racing each other, which is how the tests
+/// and benches run.
+#[derive(Clone, Debug, Default)]
+pub struct Telemetry {
+    /// Name of the backend that ran the solve.
+    pub backend: &'static str,
+    /// The problem kind solved.
+    pub kind: Option<ProblemKind>,
+    /// Array entries evaluated (computed or copied) during the solve.
+    pub evaluations: u64,
+    /// Value comparisons performed by the eval layer's scans and
+    /// SMAWK's REDUCE/INTERPOLATE steps.
+    pub comparisons: u64,
+    /// Rayon tasks forked (0 for sequential and simulator backends).
+    pub tasks: u64,
+    /// Scratch-arena buffer checkouts.
+    pub arena_checkouts: u64,
+    /// Timed sections, in execution order.
+    pub phases: Vec<Phase>,
+    /// Total wall-clock nanoseconds, as measured by the dispatcher
+    /// around the whole backend call.
+    pub total_nanos: u128,
+    /// Simulated machine cost (simulator backends only).
+    pub machine: MachineCounters,
+}
+
+impl Telemetry {
+    /// Appends a timed phase.
+    pub fn record_phase(&mut self, name: &'static str, nanos: u128) {
+        self.phases.push(Phase { name, nanos });
+    }
+
+    /// Sum of the recorded phase durations (≤ [`Telemetry::total_nanos`],
+    /// up to the dispatcher's own bookkeeping overhead).
+    pub fn phase_nanos(&self) -> u128 {
+        self.phases.iter().map(|p| p.nanos).sum()
+    }
+}
+
+/// An evaluation-counting pass-through used by the dispatch layer.
+///
+/// Unlike [`crate::eval::CountingArray`] — which deliberately hides
+/// [`Array2d::row_view`] so eval-layer tests count *exact* per-entry
+/// work — `Metered` forwards the zero-copy tier and counts the viewed
+/// elements, so wrapping a dense array for telemetry does not demote it
+/// to the copy path. The count is therefore "entries made available to
+/// the engine", an upper bound on entries actually compared.
+pub struct Metered<A> {
+    inner: A,
+    count: AtomicU64,
+}
+
+impl<A> Metered<A> {
+    /// Wraps an array with a zeroed counter.
+    pub fn new(inner: A) -> Self {
+        Self {
+            inner,
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Entries evaluated or viewed through this wrapper so far.
+    pub fn evaluations(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+}
+
+impl<T: Value, A: Array2d<T>> Array2d<T> for Metered<A> {
+    fn rows(&self) -> usize {
+        self.inner.rows()
+    }
+    fn cols(&self) -> usize {
+        self.inner.cols()
+    }
+    #[inline]
+    fn entry(&self, i: usize, j: usize) -> T {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.inner.entry(i, j)
+    }
+    fn fill_row(&self, i: usize, cols: Range<usize>, out: &mut [T]) {
+        self.count.fetch_add(cols.len() as u64, Ordering::Relaxed);
+        self.inner.fill_row(i, cols, out);
+    }
+    fn row_view(&self, i: usize, cols: Range<usize>) -> Option<&[T]> {
+        let v = self.inner.row_view(i, cols)?;
+        self.count.fetch_add(v.len() as u64, Ordering::Relaxed);
+        Some(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array2d::Dense;
+    use crate::monge::{brute_row_maxima, brute_row_minima};
+    use crate::smawk::row_minima_totally_monotone;
+
+    fn solve_lowered(a: &Dense<i64>, s: Structure, o: Objective) -> Vec<usize> {
+        let (mut idx, mirror) = lower_rows(a, s, o, Tie::Left, |arr, tie| {
+            row_minima_totally_monotone(&arr, tie)
+        });
+        if let Some(n) = mirror {
+            mirror_indices(&mut idx, n);
+        }
+        idx
+    }
+
+    #[test]
+    fn lowering_covers_all_four_dualities() {
+        let monge = Dense::tabulate(6, 9, |i, j| {
+            let (i, j) = (i as i64, j as i64);
+            (i - j) * (i - j) + 2 * j
+        });
+        assert!(crate::monge::is_monge(&monge));
+        let inv = Negate(&monge).to_dense();
+        assert_eq!(
+            solve_lowered(&monge, Structure::Monge, Objective::Minimize),
+            brute_row_minima(&monge)
+        );
+        assert_eq!(
+            solve_lowered(&monge, Structure::Monge, Objective::Maximize),
+            brute_row_maxima(&monge)
+        );
+        assert_eq!(
+            solve_lowered(&inv, Structure::InverseMonge, Objective::Minimize),
+            brute_row_minima(&inv)
+        );
+        assert_eq!(
+            solve_lowered(&inv, Structure::InverseMonge, Objective::Maximize),
+            brute_row_maxima(&inv)
+        );
+    }
+
+    #[test]
+    fn lowering_keeps_leftmost_convention_on_plateaus() {
+        // Constant arrays are simultaneously Monge and inverse-Monge;
+        // all four lowerings must land on column 0.
+        let a = Dense::filled(4, 7, 5i64);
+        for s in [Structure::Monge, Structure::InverseMonge] {
+            for o in [Objective::Minimize, Objective::Maximize] {
+                assert_eq!(solve_lowered(&a, s, o), vec![0; 4], "{s:?}/{o:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn problem_kinds_and_builders_agree() {
+        let a = Dense::filled(3, 3, 1i64);
+        let lo = [0usize, 0, 0];
+        let hi = [3usize, 3, 3];
+        assert_eq!(Problem::row_minima(&a).kind(), ProblemKind::RowMinima);
+        assert_eq!(
+            Problem::row_maxima_inverse_monge(&a).kind(),
+            ProblemKind::RowMaxima
+        );
+        assert_eq!(Problem::plain_row_maxima(&a).kind(), ProblemKind::RowMaxima);
+        let f = [3usize, 2, 1];
+        assert_eq!(
+            Problem::staircase_row_minima(&a, &f).kind(),
+            ProblemKind::StaircaseRowMinima
+        );
+        assert_eq!(
+            Problem::banded_row_minima(&a, &lo, &hi).kind(),
+            ProblemKind::BandedRowMinima
+        );
+        assert_eq!(
+            Problem::banded_row_maxima(&a, &lo, &hi).kind(),
+            ProblemKind::BandedRowMaxima
+        );
+        assert_eq!(Problem::tube_minima(&a, &a).kind(), ProblemKind::TubeMinima);
+        assert_eq!(Problem::tube_maxima(&a, &a).kind(), ProblemKind::TubeMaxima);
+        assert_eq!(Problem::tube_maxima(&a, &a).search_shape(), (9, 3));
+    }
+
+    #[test]
+    fn rank_attachment_gates_eligibility() {
+        let a = Dense::filled(2, 3, 0i64);
+        let v = [0i64, 1];
+        let w = [0i64, 1, 2];
+        let g = |x: i64, y: i64| x + y;
+        let p = Problem::row_minima(&a);
+        assert!(!p.has_rank());
+        assert!(p.with_rank(&v, &w, &g).has_rank());
+        // Attaching rank to a tube problem is an explicit no-op.
+        assert!(!Problem::tube_minima(&a, &a)
+            .with_rank(&v, &w, &g)
+            .has_rank());
+    }
+
+    #[test]
+    fn metered_counts_without_hiding_row_views() {
+        let m = Metered::new(Dense::tabulate(2, 5, |i, j| (i + j) as i64));
+        assert!(m.row_view(0, 1..4).is_some());
+        assert_eq!(m.evaluations(), 3);
+        m.entry(1, 0);
+        assert_eq!(m.evaluations(), 4);
+        let mut buf = vec![0i64; 5];
+        m.fill_row(1, 0..5, &mut buf);
+        assert_eq!(m.evaluations(), 9);
+    }
+}

@@ -19,8 +19,11 @@
 //! paper's convention ("if a row has several maxima, then we take the
 //! leftmost one").
 
-use crate::array2d::{Array2d, Negate, ReverseCols};
+use crate::array2d::Array2d;
+use crate::problem::{lower_rows, mirror_indices, Objective, Structure};
 use crate::value::Value;
+
+pub use crate::tiebreak::Tie;
 
 /// Positions and values of each row's optimum.
 #[derive(Clone, Debug, PartialEq)]
@@ -41,15 +44,6 @@ impl<T: Value> RowExtrema<T> {
             .collect();
         Self { index, value }
     }
-}
-
-/// Tie-breaking rule for equal optima within a row.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Tie {
-    /// Prefer the smallest column index.
-    Left,
-    /// Prefer the largest column index.
-    Right,
 }
 
 /// Row minima of a totally monotone array (SMAWK), `Θ(m + n)` for Monge
@@ -82,23 +76,18 @@ pub fn row_minima_totally_monotone_into<T: Value, A: Array2d<T>>(
         return;
     }
     out.fill(0);
+    // Comparisons are tallied locally through the recursion and flushed
+    // to the process-global telemetry counter once per call, keeping the
+    // atomic off the REDUCE hot path.
+    let mut cmp = 0u64;
     crate::scratch::with_scratch2(|rows: &mut Vec<usize>, cols: &mut Vec<usize>| {
         rows.clear();
         rows.extend(0..m);
         cols.clear();
         cols.extend(0..n);
-        smawk_rec(a, rows, cols, tie, out);
+        smawk_rec(a, rows, cols, tie, out, &mut cmp);
     });
-}
-
-/// `better(candidate, incumbent)`: does the candidate (which lies to the
-/// *right* of the incumbent) replace it?
-#[inline]
-fn replaces<T: Value>(cand: T, inc: T, tie: Tie) -> bool {
-    match tie {
-        Tie::Left => cand.total_lt(inc),
-        Tie::Right => cand.total_le(inc),
-    }
+    crate::eval::add_comparisons(cmp);
 }
 
 fn smawk_rec<T: Value, A: Array2d<T>>(
@@ -107,6 +96,7 @@ fn smawk_rec<T: Value, A: Array2d<T>>(
     cols: &[usize],
     tie: Tie,
     out: &mut [usize],
+    cmp: &mut u64,
 ) {
     if rows.is_empty() {
         return;
@@ -125,7 +115,8 @@ fn smawk_rec<T: Value, A: Array2d<T>>(
         for &c in cols {
             while let Some(&inc) = vals.last() {
                 let r = rows[stack.len() - 1];
-                if replaces(a.entry(r, c), inc, tie) {
+                *cmp += 1;
+                if tie.replaces_min(a.entry(r, c), inc) {
                     stack.pop();
                     vals.pop();
                 } else {
@@ -143,7 +134,7 @@ fn smawk_rec<T: Value, A: Array2d<T>>(
         crate::scratch::with_scratch(|odd_rows: &mut Vec<usize>| {
             odd_rows.clear();
             odd_rows.extend(rows.iter().copied().skip(1).step_by(2));
-            smawk_rec(a, odd_rows, stack, tie, out);
+            smawk_rec(a, odd_rows, stack, tie, out, cmp);
         });
 
         // INTERPOLATE: fill even-indexed rows. The argmin of rows[i] lies
@@ -164,7 +155,8 @@ fn smawk_rec<T: Value, A: Array2d<T>>(
                 k += 1;
                 let c = stack[k];
                 let v = a.entry(row, c);
-                if replaces(v, best_v, tie) {
+                *cmp += 1;
+                if tie.replaces_min(v, best_v) {
                     best = c;
                     best_v = v;
                 }
@@ -196,6 +188,23 @@ pub fn row_minima_monge<T: Value, A: Array2d<T>>(a: &A) -> RowExtrema<T> {
     RowExtrema::from_indices(a, index)
 }
 
+/// Shared body of the duality wrappers: lower to leftmost-convention
+/// row minima via [`lower_rows`] (the workspace's one implementation of
+/// the §1.2 reductions), run SMAWK, and map indices back.
+fn extrema_lowered<T: Value, A: Array2d<T>>(
+    a: &A,
+    structure: Structure,
+    objective: Objective,
+    out: &mut [usize],
+) {
+    let (_, mirror) = lower_rows(a, structure, objective, Tie::Left, |arr, tie| {
+        row_minima_totally_monotone_into(&arr, tie, out)
+    });
+    if let Some(n) = mirror {
+        mirror_indices(out, n);
+    }
+}
+
 /// Leftmost row maxima of an inverse-Monge array in `Θ(m + n)` time.
 ///
 /// This is the routine behind the Figure 1.1 example: the inter-chain
@@ -206,7 +215,8 @@ pub fn row_maxima_inverse_monge<T: Value, A: Array2d<T>>(a: &A) -> RowExtrema<T>
         crate::monge::is_inverse_monge(a),
         "input is not inverse-Monge"
     );
-    let index = row_minima_totally_monotone(&Negate(a), Tie::Left);
+    let mut index = vec![0usize; a.rows()];
+    extrema_lowered(a, Structure::InverseMonge, Objective::Maximize, &mut index);
     RowExtrema::from_indices(a, index)
 }
 
@@ -214,15 +224,8 @@ pub fn row_maxima_inverse_monge<T: Value, A: Array2d<T>>(a: &A) -> RowExtrema<T>
 /// problem).
 pub fn row_maxima_monge<T: Value, A: Array2d<T>>(a: &A) -> RowExtrema<T> {
     debug_assert!(crate::monge::is_monge(a), "input is not Monge");
-    let n = a.cols();
-    // Reverse columns: Monge -> inverse-Monge; negate: -> Monge. The
-    // leftmost maximum of A is the *rightmost* minimum of the transformed
-    // array, at mirrored position.
-    let t = Negate(ReverseCols(a));
-    let index: Vec<usize> = row_minima_totally_monotone(&t, Tie::Right)
-        .into_iter()
-        .map(|j| n - 1 - j)
-        .collect();
+    let mut index = vec![0usize; a.rows()];
+    extrema_lowered(a, Structure::Monge, Objective::Maximize, &mut index);
     RowExtrema::from_indices(a, index)
 }
 
@@ -235,18 +238,13 @@ pub fn row_minima_monge_into<T: Value, A: Array2d<T>>(a: &A, out: &mut [usize]) 
 
 /// [`row_maxima_monge`] writing argmaxes into a caller-provided buffer.
 pub fn row_maxima_monge_into<T: Value, A: Array2d<T>>(a: &A, out: &mut [usize]) {
-    let n = a.cols();
-    let t = Negate(ReverseCols(a));
-    row_minima_totally_monotone_into(&t, Tie::Right, out);
-    for j in out.iter_mut() {
-        *j = n - 1 - *j;
-    }
+    extrema_lowered(a, Structure::Monge, Objective::Maximize, out);
 }
 
 /// [`row_maxima_inverse_monge`] writing argmaxes into a caller-provided
 /// buffer.
 pub fn row_maxima_inverse_monge_into<T: Value, A: Array2d<T>>(a: &A, out: &mut [usize]) {
-    row_minima_totally_monotone_into(&Negate(a), Tie::Left, out);
+    extrema_lowered(a, Structure::InverseMonge, Objective::Maximize, out);
 }
 
 /// Leftmost row minima of an inverse-Monge array in `Θ(m + n)` time.
@@ -255,12 +253,8 @@ pub fn row_minima_inverse_monge<T: Value, A: Array2d<T>>(a: &A) -> RowExtrema<T>
         crate::monge::is_inverse_monge(a),
         "input is not inverse-Monge"
     );
-    let n = a.cols();
-    let t = ReverseCols(a);
-    let index: Vec<usize> = row_minima_totally_monotone(&t, Tie::Right)
-        .into_iter()
-        .map(|j| n - 1 - j)
-        .collect();
+    let mut index = vec![0usize; a.rows()];
+    extrema_lowered(a, Structure::InverseMonge, Objective::Minimize, &mut index);
     RowExtrema::from_indices(a, index)
 }
 

@@ -138,18 +138,7 @@ pub fn staircase_row_minima<T: Value, A: Array2d<T>>(a: &A, f: &[usize]) -> Vec<
     })
 }
 
-/// Merges a candidate `(value, column)` into the running leftmost minimum
-/// of a row.
-fn merge_candidate<T: Value>(slot: &mut Option<(T, usize)>, v: T, j: usize) {
-    match slot {
-        None => *slot = Some((v, j)),
-        Some((bv, bj)) => {
-            if v.total_lt(*bv) || (!bv.total_lt(v) && j < *bj) {
-                *slot = Some((v, j));
-            }
-        }
-    }
-}
+use crate::tiebreak::merge_min_candidate as merge_candidate;
 
 #[allow(clippy::too_many_arguments)]
 fn minima_rec<T: Value, A: Array2d<T>>(

@@ -1,0 +1,174 @@
+//! The single source of truth for extremum tie-breaking.
+//!
+//! Every engine in this workspace ultimately asks one question — *does a
+//! candidate entry replace the incumbent optimum of its row?* — and the
+//! paper fixes the answer: "if a row has several maxima, then we take
+//! the leftmost one". Before this module the strict/non-strict
+//! comparison pair implementing that rule was re-derived independently
+//! in SMAWK's REDUCE step, the rayon engine's lexicographic reduction
+//! combiner, the staircase engines' candidate merge, and the eval
+//! layer's branchless scans; keeping four copies in sync is exactly how
+//! the parallel-reduce tie-break bug fixed in PR 1 happened. Now
+//! [`Tie`] owns the comparisons and everyone else calls in.
+
+use crate::value::Value;
+
+/// Tie-breaking rule for equal optima within a row.
+///
+/// `Left` is the paper's convention and the default everywhere; `Right`
+/// exists because the §1.2 reverse-and-negate reductions turn a
+/// leftmost problem on the original array into a *rightmost* problem on
+/// the reflected one (see [`crate::problem::lower_rows`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Tie {
+    /// Prefer the smallest column index.
+    Left,
+    /// Prefer the largest column index.
+    Right,
+}
+
+impl Tie {
+    /// The opposite preference — what a tie rule becomes on the other
+    /// side of a column reversal.
+    #[inline]
+    #[must_use]
+    pub fn flip(self) -> Tie {
+        match self {
+            Tie::Left => Tie::Right,
+            Tie::Right => Tie::Left,
+        }
+    }
+
+    /// Does a *minimum* candidate appearing **after** (to the right of)
+    /// the incumbent replace it?
+    ///
+    /// This is the only comparison a left-to-right minimum scan needs:
+    /// under `Left` the candidate must strictly improve, under `Right`
+    /// equality suffices.
+    #[inline]
+    pub fn replaces_min<T: Value>(self, candidate: T, incumbent: T) -> bool {
+        match self {
+            Tie::Left => candidate.total_lt(incumbent),
+            Tie::Right => candidate.total_le(incumbent),
+        }
+    }
+
+    /// Does a *maximum* candidate appearing **after** the incumbent
+    /// replace it?
+    #[inline]
+    pub fn replaces_max<T: Value>(self, candidate: T, incumbent: T) -> bool {
+        match self {
+            Tie::Left => incumbent.total_lt(candidate),
+            Tie::Right => incumbent.total_le(candidate),
+        }
+    }
+}
+
+/// Order-insensitive combiner for `(column, value)` minimum candidates:
+/// smaller value wins, and on equal values the tie rule picks the
+/// column. Associative and commutative, so a parallel reduction returns
+/// the same answer no matter how the runtime associates it.
+#[inline]
+pub fn lex_min<T: Value>(x: (usize, T), y: (usize, T), tie: Tie) -> (usize, T) {
+    let y_wins = y.1.total_lt(x.1)
+        || (!x.1.total_lt(y.1)
+            && match tie {
+                Tie::Left => y.0 < x.0,
+                Tie::Right => y.0 > x.0,
+            });
+    if y_wins {
+        y
+    } else {
+        x
+    }
+}
+
+/// Merges a `(value, column)` minimum candidate into a row's running
+/// optimum slot, keeping the **leftmost** minimum. The staircase
+/// engines' divide & conquer visits each row from several independent
+/// subproblems in no particular column order, so the merge must compare
+/// columns explicitly rather than rely on scan direction.
+#[inline]
+pub fn merge_min_candidate<T: Value>(slot: &mut Option<(T, usize)>, v: T, j: usize) {
+    match slot {
+        None => *slot = Some((v, j)),
+        Some((bv, bj)) => {
+            if v.total_lt(*bv) || (!bv.total_lt(v) && j < *bj) {
+                *slot = Some((v, j));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A plateau (all-equal) array is the adversarial case for every
+    /// tie rule: each comparison is a tie, so only the rule decides.
+    #[test]
+    fn plateau_scans_obey_the_tie_rule() {
+        let row = [7i64; 13];
+        let mut left = 0usize;
+        let mut right = 0usize;
+        for (k, &v) in row.iter().enumerate().skip(1) {
+            if Tie::Left.replaces_min(v, row[left]) {
+                left = k;
+            }
+            if Tie::Right.replaces_min(v, row[right]) {
+                right = k;
+            }
+        }
+        assert_eq!(left, 0, "leftmost rule must keep the first of a plateau");
+        assert_eq!(right, 12, "rightmost rule must take the last of a plateau");
+    }
+
+    #[test]
+    fn plateau_reduction_is_order_insensitive() {
+        // Combine plateau candidates in several association orders; the
+        // leftmost rule must always return column 0 and the rightmost
+        // rule the largest column.
+        let cands: Vec<(usize, i64)> = (0..9).map(|j| (j, 4)).collect();
+        let fold_l = cands
+            .iter()
+            .copied()
+            .reduce(|x, y| lex_min(x, y, Tie::Left))
+            .unwrap();
+        let fold_r = cands
+            .iter()
+            .copied()
+            .rev()
+            .reduce(|x, y| lex_min(y, x, Tie::Right))
+            .unwrap();
+        assert_eq!(fold_l.0, 0);
+        assert_eq!(fold_r.0, 8);
+        // Tree-shaped association.
+        let tree = lex_min(
+            lex_min(cands[3], cands[1], Tie::Left),
+            lex_min(cands[0], cands[7], Tie::Left),
+            Tie::Left,
+        );
+        assert_eq!(tree.0, 0);
+    }
+
+    #[test]
+    fn plateau_merge_keeps_leftmost() {
+        let mut slot: Option<(i64, usize)> = None;
+        for j in [5usize, 2, 8, 2, 0, 9] {
+            merge_min_candidate(&mut slot, 3, j);
+        }
+        assert_eq!(slot, Some((3, 0)));
+        merge_min_candidate(&mut slot, 2, 7);
+        assert_eq!(slot, Some((2, 7)), "strictly smaller value always wins");
+    }
+
+    #[test]
+    fn max_rule_mirrors_min_rule() {
+        assert!(Tie::Left.replaces_max(5i64, 4));
+        assert!(!Tie::Left.replaces_max(4i64, 4));
+        assert!(Tie::Right.replaces_max(4i64, 4));
+        assert!(!Tie::Right.replaces_max(3i64, 4));
+        assert_eq!(Tie::Left.flip(), Tie::Right);
+        assert_eq!(Tie::Right.flip(), Tie::Left);
+    }
+}

@@ -122,16 +122,7 @@ pub fn hc_staircase_row_minima<T: Value, G: Fn(T, T) -> T + Sync>(
     }
 }
 
-fn merge_candidate<T: Value>(slot: &mut Option<(T, usize)>, v: T, j: usize) {
-    match slot {
-        None => *slot = Some((v, j)),
-        Some((bv, bj)) => {
-            if v.total_lt(*bv) || (!bv.total_lt(v) && j < *bj) {
-                *slot = Some((v, j));
-            }
-        }
-    }
-}
+use monge_core::tiebreak::merge_min_candidate as merge_candidate;
 
 fn partition_point(lo: usize, hi: usize, pred: impl Fn(usize) -> bool) -> usize {
     let (mut lo, mut hi) = (lo, hi);

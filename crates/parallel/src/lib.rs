@@ -17,6 +17,13 @@
 //! sequential algorithms in `monge-core` (same leftmost tie-breaking),
 //! which the cross-engine test suite enforces.
 //!
+//! Applications normally do not call the engines directly: the
+//! [`dispatch`] module wraps every engine (including `monge-core`'s
+//! sequential algorithms) behind one [`dispatch::Backend`] trait and a
+//! [`dispatch::Dispatcher`] registry that selects an engine per
+//! [`monge_core::problem::Problem`] and instruments each solve with a
+//! [`monge_core::problem::Telemetry`].
+//!
 //! ```
 //! use monge_core::array2d::Dense;
 //! use monge_core::smawk::row_minima_monge;
@@ -37,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod ansv_par;
+pub mod dispatch;
 pub mod hc_monge;
 pub mod hc_staircase;
 pub mod hc_tube;
@@ -51,6 +59,10 @@ pub mod runtime;
 pub mod tuning;
 pub mod vector_array;
 
+pub use dispatch::{
+    Backend, Capabilities, Dispatcher, HypercubeBackend, PramBackend, RayonBackend,
+    SequentialBackend,
+};
 pub use pram_monge::MinPrimitive;
 pub use runtime::calibrate;
 pub use tuning::Tuning;

@@ -459,6 +459,22 @@ pub fn pram_row_maxima_inverse_monge<T: Value, A: Array2d<T>>(
     pram_row_minima_dc(&Negate(a), prim)
 }
 
+/// Row minima of an inverse-Monge array on the PRAM: column reversal
+/// restores the Monge property, and the mirrored `VI` index encoding
+/// keeps the tie-break leftmost in original columns.
+pub fn pram_row_minima_inverse_monge<T: Value, A: Array2d<T>>(
+    a: &A,
+    prim: MinPrimitive,
+) -> PramRun {
+    let n = a.cols();
+    let t = ReverseCols(a);
+    let mut run = dc_with_mirror(&t, prim, Some(n));
+    for j in run.index.iter_mut() {
+        *j = n - 1 - *j;
+    }
+    run
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -516,6 +532,25 @@ mod tests {
         let a = Negate(&base).to_dense();
         let run = pram_row_maxima_inverse_monge(&a, MinPrimitive::Constant);
         assert_eq!(run.index, brute_row_maxima(&a));
+    }
+
+    #[test]
+    fn inverse_minima_matches_brute_and_stays_leftmost() {
+        use monge_core::array2d::{Dense, Negate};
+        let mut rng = StdRng::seed_from_u64(89);
+        let base = random_monge_dense(18, 14, &mut rng);
+        let a = Negate(&base).to_dense();
+        for prim in all_prims() {
+            let run = pram_row_minima_inverse_monge(&a, prim);
+            assert_eq!(run.index, brute_row_minima(&a), "{prim:?}");
+        }
+        // Plateau: the mirrored reduction must still prefer the leftmost
+        // original column on ties.
+        let flat = Dense::filled(6, 8, 2i64);
+        assert_eq!(
+            pram_row_minima_inverse_monge(&flat, MinPrimitive::DoublyLog).index,
+            vec![0; 6]
+        );
     }
 
     #[test]

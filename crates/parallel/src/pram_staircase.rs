@@ -35,16 +35,7 @@ use monge_core::value::Value;
 
 type Cand<T> = Option<(T, usize)>;
 
-fn merge_candidate<T: Value>(slot: &mut Cand<T>, v: T, j: usize) {
-    match slot {
-        None => *slot = Some((v, j)),
-        Some((bv, bj)) => {
-            if v.total_lt(*bv) || (!bv.total_lt(v) && j < *bj) {
-                *slot = Some((v, j));
-            }
-        }
-    }
-}
+use monge_core::tiebreak::merge_min_candidate as merge_candidate;
 
 /// Row minima of a staircase-Monge array with boundary `f` on the
 /// simulated PRAM, with explicit tuning (only

@@ -6,59 +6,91 @@
 //! intervals (total monotonicity), and recurse in parallel. The interval
 //! scan of a middle row is itself a parallel reduction when wide.
 //!
+//! There is exactly **one** recursion here, parameterized by a
+//! [`Tie`] policy. The three non-canonical (structure, objective)
+//! combinations reach it through the §1.2 lowering implemented once in
+//! [`monge_core::problem::lower_rows`]: negate and/or reverse columns,
+//! flip the tie rule when the columns were mirrored, and map indices
+//! back. No hand-written rightmost twin survives.
+//!
 //! All interval scans go through the batched evaluation layer
 //! ([`monge_core::eval`]): each sequential leaf fills a reusable scratch
 //! buffer with one [`Array2d::fill_row`] call and argmins over the
 //! slice; the wide-interval path splits the interval into
 //! [`Tuning::seq_scan`]-sized chunks, scans each chunk the same way,
 //! and combines candidates with an order-insensitive lexicographic
-//! reduction.
+//! reduction ([`monge_core::tiebreak::lex_min`]).
 //!
 //! Grain sizes come from the [`Tuning`] value threaded through every
 //! call (the plain entry points seed it from the environment; the
 //! `*_with` variants accept an explicit handle, e.g. one produced by
-//! [`crate::runtime::calibrate`]). Scratch buffers at fork boundaries
-//! are checked out of the worker thread's arena
-//! ([`monge_core::scratch`]), so steady-state searches allocate only
-//! their output vectors.
+//! [`crate::runtime::calibrate`]). Forks go through
+//! [`crate::runtime::join_tracked`] so dispatched solves can report
+//! task fan-out; scratch buffers at fork boundaries are checked out of
+//! the worker thread's arena ([`monge_core::scratch`]), so steady-state
+//! searches allocate only their output vectors.
 //!
 //! Work is `O((m + n) lg m)`, span `O(lg m lg n)`, so wall-clock scales
 //! with cores — the rayon stand-in for the paper's `n`-processor bounds.
 
+use crate::runtime;
 use crate::tuning::Tuning;
-use monge_core::array2d::{Array2d, Negate, ReverseCols};
+use monge_core::array2d::Array2d;
 use monge_core::eval;
+use monge_core::problem::{lower_rows, mirror_indices, Objective, Structure};
 use monge_core::scratch::with_scratch;
 use monge_core::smawk::RowExtrema;
+use monge_core::tiebreak::{lex_min, Tie};
 use monge_core::value::Value;
 use rayon::prelude::*;
 
-/// Order-insensitive combiner for `(column, value)` candidates: smaller
-/// value wins, and on equal values the smaller column. Associative and
-/// commutative, so the result is the leftmost minimum no matter how
-/// rayon associates the reduction.
+/// Sequential interval scan honoring the tie policy.
 #[inline]
-pub(crate) fn lex_min<T: Value>(x: (usize, T), y: (usize, T)) -> (usize, T) {
-    if y.1.total_lt(x.1) || (!x.1.total_lt(y.1) && y.0 < x.0) {
-        y
-    } else {
-        x
+fn interval_scan_seq<T: Value, A: Array2d<T>>(
+    a: &A,
+    row: usize,
+    lo: usize,
+    hi: usize,
+    scratch: &mut Vec<T>,
+    tie: Tie,
+) -> (usize, T) {
+    match tie {
+        Tie::Left => eval::interval_argmin(a, row, lo, hi, scratch),
+        Tie::Right => eval::interval_argmin_rightmost(a, row, lo, hi, scratch),
     }
 }
 
-/// Rightmost-preference twin of [`lex_min`]: on equal values the
-/// *larger* column wins.
-#[inline]
-fn lex_min_rightmost<T: Value>(x: (usize, T), y: (usize, T)) -> (usize, T) {
-    if y.1.total_lt(x.1) || (!x.1.total_lt(y.1) && y.0 > x.0) {
-        y
-    } else {
-        x
-    }
-}
-
-/// Leftmost minimum of `a[row, lo..hi)` with its value; scans in
+/// Tie-preferred minimum of `a[row, lo..hi)` with its value; scans in
 /// parallel chunks when the interval is wider than the tuning cutoff.
+pub(crate) fn interval_argmin_tie<T: Value, A: Array2d<T>>(
+    a: &A,
+    row: usize,
+    lo: usize,
+    hi: usize,
+    scratch: &mut Vec<T>,
+    t: Tuning,
+    tie: Tie,
+) -> (usize, T) {
+    debug_assert!(lo < hi);
+    let chunk = t.seq_scan.max(1);
+    if hi - lo <= chunk {
+        return interval_scan_seq(a, row, lo, hi, scratch, tie);
+    }
+    let n_chunks = (hi - lo).div_ceil(chunk);
+    runtime::add_tasks(n_chunks as u64);
+    (0..n_chunks)
+        .into_par_iter()
+        .map(|ci| {
+            let c_lo = lo + ci * chunk;
+            let c_hi = (c_lo + chunk).min(hi);
+            with_scratch(|buf: &mut Vec<T>| interval_scan_seq(a, row, c_lo, c_hi, buf, tie))
+        })
+        .reduce_with(|x, y| lex_min(x, y, tie))
+        .expect("non-empty interval")
+}
+
+/// Leftmost minimum of `a[row, lo..hi)` with its value — the shape the
+/// staircase and tube engines consume.
 pub(crate) fn interval_argmin<T: Value, A: Array2d<T>>(
     a: &A,
     row: usize,
@@ -67,49 +99,7 @@ pub(crate) fn interval_argmin<T: Value, A: Array2d<T>>(
     scratch: &mut Vec<T>,
     t: Tuning,
 ) -> (usize, T) {
-    debug_assert!(lo < hi);
-    let chunk = t.seq_scan.max(1);
-    if hi - lo <= chunk {
-        return eval::interval_argmin(a, row, lo, hi, scratch);
-    }
-    let n_chunks = (hi - lo).div_ceil(chunk);
-    (0..n_chunks)
-        .into_par_iter()
-        .map(|ci| {
-            let c_lo = lo + ci * chunk;
-            let c_hi = (c_lo + chunk).min(hi);
-            with_scratch(|buf: &mut Vec<T>| eval::interval_argmin(a, row, c_lo, c_hi, buf))
-        })
-        .reduce_with(lex_min)
-        .expect("non-empty interval")
-}
-
-/// Rightmost-minimum variant of [`interval_argmin`].
-fn interval_argmin_rightmost<T: Value, A: Array2d<T>>(
-    a: &A,
-    row: usize,
-    lo: usize,
-    hi: usize,
-    scratch: &mut Vec<T>,
-    t: Tuning,
-) -> (usize, T) {
-    debug_assert!(lo < hi);
-    let chunk = t.seq_scan.max(1);
-    if hi - lo <= chunk {
-        return eval::interval_argmin_rightmost(a, row, lo, hi, scratch);
-    }
-    let n_chunks = (hi - lo).div_ceil(chunk);
-    (0..n_chunks)
-        .into_par_iter()
-        .map(|ci| {
-            let c_lo = lo + ci * chunk;
-            let c_hi = (c_lo + chunk).min(hi);
-            with_scratch(|buf: &mut Vec<T>| {
-                eval::interval_argmin_rightmost(a, row, c_lo, c_hi, buf)
-            })
-        })
-        .reduce_with(lex_min_rightmost)
-        .expect("non-empty interval")
+    interval_argmin_tie(a, row, lo, hi, scratch, t, Tie::Left)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -122,23 +112,24 @@ fn rec<T: Value, A: Array2d<T>>(
     out: &mut [usize],
     scratch: &mut Vec<T>,
     t: Tuning,
+    tie: Tie,
 ) {
     if r0 >= r1 {
         return;
     }
     let mid = r0 + (r1 - r0) / 2;
-    let (best, _) = interval_argmin(a, mid, c0, c1, scratch, t);
+    let (best, _) = interval_argmin_tie(a, mid, c0, c1, scratch, t, tie);
     out[mid - r0] = best;
     let (top, rest) = out.split_at_mut(mid - r0);
     let bot = &mut rest[1..];
     if r1 - r0 <= t.seq_rows.max(1) {
-        rec_seq(a, r0, mid, c0, best + 1, top, scratch, t);
-        rec_seq(a, mid + 1, r1, best, c1, bot, scratch, t);
+        rec_seq(a, r0, mid, c0, best + 1, top, scratch, t, tie);
+        rec_seq(a, mid + 1, r1, best, c1, bot, scratch, t, tie);
         return;
     }
-    rayon::join(
-        || with_scratch(|s: &mut Vec<T>| rec(a, r0, mid, c0, best + 1, top, s, t)),
-        || with_scratch(|s: &mut Vec<T>| rec(a, mid + 1, r1, best, c1, bot, s, t)),
+    runtime::join_tracked(
+        || with_scratch(|s: &mut Vec<T>| rec(a, r0, mid, c0, best + 1, top, s, t, tie)),
+        || with_scratch(|s: &mut Vec<T>| rec(a, mid + 1, r1, best, c1, bot, s, t, tie)),
     );
 }
 
@@ -152,17 +143,49 @@ fn rec_seq<T: Value, A: Array2d<T>>(
     out: &mut [usize],
     scratch: &mut Vec<T>,
     t: Tuning,
+    tie: Tie,
 ) {
     if r0 >= r1 {
         return;
     }
     let mid = r0 + (r1 - r0) / 2;
-    let (best, _) = interval_argmin(a, mid, c0, c1, scratch, t);
+    let (best, _) = interval_argmin_tie(a, mid, c0, c1, scratch, t, tie);
     out[mid - r0] = best;
     let (top, rest) = out.split_at_mut(mid - r0);
     let bot = &mut rest[1..];
-    rec_seq(a, r0, mid, c0, best + 1, top, scratch, t);
-    rec_seq(a, mid + 1, r1, best, c1, bot, scratch, t);
+    rec_seq(a, r0, mid, c0, best + 1, top, scratch, t, tie);
+    rec_seq(a, mid + 1, r1, best, c1, bot, scratch, t, tie);
+}
+
+/// Tie-preferred row minima of a totally monotone array — the raw
+/// engine the dispatch backends and the lowering wrappers share.
+pub(crate) fn par_rowmin_with_tie<T: Value, A: Array2d<T>>(
+    a: &A,
+    tie: Tie,
+    t: Tuning,
+) -> Vec<usize> {
+    let (m, n) = (a.rows(), a.cols());
+    assert!(n > 0);
+    let mut out = vec![0usize; m];
+    with_scratch(|s: &mut Vec<T>| rec(a, 0, m, 0, n, &mut out, s, t, tie));
+    out
+}
+
+/// Lowers a (structure, objective) pair onto the single leftmost-minima
+/// recursion per §1.2 and maps the answer back to original columns.
+fn par_extrema_lowered<T: Value, A: Array2d<T>>(
+    a: &A,
+    structure: Structure,
+    objective: Objective,
+    t: Tuning,
+) -> Vec<usize> {
+    let (mut index, mirror) = lower_rows(a, structure, objective, Tie::Left, |arr, tie| {
+        par_rowmin_with_tie(&arr, tie, t)
+    });
+    if let Some(n) = mirror {
+        mirror_indices(&mut index, n);
+    }
+    index
 }
 
 /// Core parallel routine: leftmost row minima of a totally monotone
@@ -171,11 +194,7 @@ pub fn par_row_minima_totally_monotone_with<T: Value, A: Array2d<T>>(
     a: &A,
     t: Tuning,
 ) -> Vec<usize> {
-    let (m, n) = (a.rows(), a.cols());
-    assert!(n > 0);
-    let mut out = vec![0usize; m];
-    with_scratch(|s: &mut Vec<T>| rec(a, 0, m, 0, n, &mut out, s, t));
-    out
+    par_rowmin_with_tie(a, Tie::Left, t)
 }
 
 /// [`par_row_minima_totally_monotone_with`] with environment-seeded
@@ -186,7 +205,7 @@ pub fn par_row_minima_totally_monotone<T: Value, A: Array2d<T>>(a: &A) -> Vec<us
 
 /// Parallel leftmost row minima of a Monge array, with explicit tuning.
 pub fn par_row_minima_monge_with<T: Value, A: Array2d<T>>(a: &A, t: Tuning) -> RowExtrema<T> {
-    let index = par_row_minima_totally_monotone_with(a, t);
+    let index = par_extrema_lowered(a, Structure::Monge, Objective::Minimize, t);
     RowExtrema::from_indices(a, index)
 }
 
@@ -201,7 +220,7 @@ pub fn par_row_maxima_inverse_monge_with<T: Value, A: Array2d<T>>(
     a: &A,
     t: Tuning,
 ) -> RowExtrema<T> {
-    let index = par_row_minima_totally_monotone_with(&Negate(a), t);
+    let index = par_extrema_lowered(a, Structure::InverseMonge, Objective::Maximize, t);
     RowExtrema::from_indices(a, index)
 }
 
@@ -213,18 +232,7 @@ pub fn par_row_maxima_inverse_monge<T: Value, A: Array2d<T>>(a: &A) -> RowExtrem
 /// Parallel leftmost row maxima of a Monge array (Table 1.1's problem),
 /// with explicit tuning.
 pub fn par_row_maxima_monge_with<T: Value, A: Array2d<T>>(a: &A, t: Tuning) -> RowExtrema<T> {
-    // As in the sequential case: reverse + negate maps leftmost maxima to
-    // *rightmost* minima; run the D&C on the reflected array with a
-    // reflected tie rule by reflecting indices.
-    let n = a.cols();
-    let tr = Negate(ReverseCols(a));
-    // Rightmost minima of tr == leftmost minima on the reflection of tr,
-    // which is the reflection of a's leftmost maxima. The D&C preserves
-    // leftmost-minima semantics, so run on tr and mirror.
-    let index: Vec<usize> = par_rightmost_row_minima(&tr, t)
-        .into_iter()
-        .map(|j| n - 1 - j)
-        .collect();
+    let index = par_extrema_lowered(a, Structure::Monge, Objective::Maximize, t);
     RowExtrema::from_indices(a, index)
 }
 
@@ -239,12 +247,7 @@ pub fn par_row_minima_inverse_monge_with<T: Value, A: Array2d<T>>(
     a: &A,
     t: Tuning,
 ) -> RowExtrema<T> {
-    let n = a.cols();
-    let tr = ReverseCols(a);
-    let index: Vec<usize> = par_rightmost_row_minima(&tr, t)
-        .into_iter()
-        .map(|j| n - 1 - j)
-        .collect();
+    let index = par_extrema_lowered(a, Structure::InverseMonge, Objective::Minimize, t);
     RowExtrema::from_indices(a, index)
 }
 
@@ -253,49 +256,10 @@ pub fn par_row_minima_inverse_monge<T: Value, A: Array2d<T>>(a: &A) -> RowExtrem
     par_row_minima_inverse_monge_with(a, Tuning::from_env())
 }
 
-/// Rightmost row minima via the same D&C with a right-preferring scan.
-fn par_rightmost_row_minima<T: Value, A: Array2d<T>>(a: &A, t: Tuning) -> Vec<usize> {
-    let (m, n) = (a.rows(), a.cols());
-    assert!(n > 0);
-    let mut out = vec![0usize; m];
-    with_scratch(|s: &mut Vec<T>| rec_right(a, 0, m, 0, n, &mut out, s, t));
-    out
-}
-
-#[allow(clippy::too_many_arguments)]
-fn rec_right<T: Value, A: Array2d<T>>(
-    a: &A,
-    r0: usize,
-    r1: usize,
-    c0: usize,
-    c1: usize,
-    out: &mut [usize],
-    scratch: &mut Vec<T>,
-    t: Tuning,
-) {
-    if r0 >= r1 {
-        return;
-    }
-    let mid = r0 + (r1 - r0) / 2;
-    let (best, _) = interval_argmin_rightmost(a, mid, c0, c1, scratch, t);
-    out[mid - r0] = best;
-    let (top, rest) = out.split_at_mut(mid - r0);
-    let bot = &mut rest[1..];
-    if r1 - r0 <= t.seq_rows.max(1) {
-        rec_right(a, r0, mid, c0, best + 1, top, scratch, t);
-        rec_right(a, mid + 1, r1, best, c1, bot, scratch, t);
-    } else {
-        rayon::join(
-            || with_scratch(|s: &mut Vec<T>| rec_right(a, r0, mid, c0, best + 1, top, s, t)),
-            || with_scratch(|s: &mut Vec<T>| rec_right(a, mid + 1, r1, best, c1, bot, s, t)),
-        );
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use monge_core::array2d::Dense;
+    use monge_core::array2d::{Dense, Negate};
     use monge_core::generators::{random_monge_dense, ImplicitMonge};
     use monge_core::monge::{brute_row_maxima, brute_row_minima};
     use monge_core::smawk::{row_maxima_monge, row_minima_monge};
@@ -366,6 +330,24 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(43);
         let a = random_monge_dense(300, 20, &mut rng);
         assert_eq!(par_row_minima_monge(&a).index, brute_row_minima(&a));
+    }
+
+    #[test]
+    fn forks_register_in_the_task_counter() {
+        let t = Tuning {
+            seq_rows: 1,
+            ..Tuning::DEFAULT
+        };
+        let a = Dense::tabulate(64, 8, |i, j| {
+            let d = i as i64 - j as i64;
+            d * d
+        });
+        let before = runtime::task_count();
+        let _ = par_row_minima_monge_with(&a, t);
+        assert!(
+            runtime::task_count() > before,
+            "row-level forks should bump the global task counter"
+        );
     }
 
     #[test]

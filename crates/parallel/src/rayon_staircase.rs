@@ -9,7 +9,8 @@
 //!   are combined by value, and
 //! * two disjoint lower subproblems.
 //!
-//! Subproblems run under `rayon::join`; the overlapping upper regions
+//! Subproblems run under the task-counting
+//! [`crate::runtime::join_tracked`]; the overlapping upper regions
 //! write into separate buffers that are merged in parallel. Grain sizes
 //! come from the [`Tuning`] value threaded through every call, and all
 //! scratch (scan buffers, the upper-region merge buffer, fork-boundary
@@ -17,9 +18,11 @@
 //! [`monge_core::scratch`].
 
 use crate::rayon_monge::interval_argmin;
+use crate::runtime::join_tracked;
 use crate::tuning::Tuning;
 use monge_core::array2d::Array2d;
 use monge_core::scratch::{with_scratch, with_scratch2};
+use monge_core::tiebreak::merge_min_candidate as merge_candidate;
 use monge_core::value::Value;
 
 type Cand<T> = Option<(T, usize)>;
@@ -49,17 +52,6 @@ pub fn par_staircase_row_minima_with<T: Value, A: Array2d<T>>(
 /// [`par_staircase_row_minima_with`] with environment-seeded tuning.
 pub fn par_staircase_row_minima<T: Value, A: Array2d<T>>(a: &A, f: &[usize]) -> Vec<usize> {
     par_staircase_row_minima_with(a, f, Tuning::from_env())
-}
-
-fn merge_candidate<T: Value>(slot: &mut Cand<T>, v: T, j: usize) {
-    match slot {
-        None => *slot = Some((v, j)),
-        Some((bv, bj)) => {
-            if v.total_lt(*bv) || (!bv.total_lt(v) && j < *bj) {
-                *slot = Some((v, j));
-            }
-        }
-    }
 }
 
 /// `out` covers rows `r0..r1` (index `i - r0`).
@@ -111,7 +103,7 @@ fn rec<T: Value, A: Array2d<T>>(
     };
     let lower = |below_hi: &mut [Cand<T>], below_lo: &mut [Cand<T>], scratch: &mut Vec<T>| {
         if parallel {
-            rayon::join(
+            join_tracked(
                 || with_scratch(|s: &mut Vec<T>| rec(a, f, mid + 1, cut, best, c1, below_hi, s, t)),
                 || with_scratch(|s: &mut Vec<T>| rec(a, f, cut, r1, c0, best + 1, below_lo, s, t)),
             );
@@ -122,7 +114,7 @@ fn rec<T: Value, A: Array2d<T>>(
     };
 
     if parallel {
-        rayon::join(
+        join_tracked(
             || with_scratch(|s: &mut Vec<T>| upper(above, s)),
             || with_scratch(|s: &mut Vec<T>| lower(below_hi, below_lo, s)),
         );

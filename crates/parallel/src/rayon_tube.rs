@@ -17,6 +17,7 @@
 //! thread-local arena ([`monge_core::scratch`]).
 
 use crate::rayon_monge::interval_argmin;
+use crate::runtime;
 use crate::tuning::Tuning;
 use monge_core::array2d::Array2d;
 use monge_core::scratch::{with_scratch, with_scratch2};
@@ -38,6 +39,7 @@ fn par_tube<T: Value, A: Array2d<T>, B: Array2d<T>>(d: &A, e: &B, maxima: bool) 
     assert_eq!(d.cols(), e.rows(), "inner dimensions disagree");
     let (p, q, r) = (d.rows(), d.cols(), e.cols());
     assert!(q > 0);
+    runtime::add_tasks(p as u64);
     let per_plane: Vec<(Vec<usize>, Vec<T>)> = (0..p)
         .into_par_iter()
         .map(|i| {
@@ -143,7 +145,7 @@ fn dc<T: Value, A: Array2d<T>, B: Array2d<T>>(
             hi_top.extend(mid_arg.iter().map(|&j| j + 1));
             let lo_bot = &*mid_arg;
             if i1 - i0 > t.tube_seq_planes.max(1) {
-                rayon::join(
+                runtime::join_tracked(
                     || dc(d, e, i0, mid, lo, hi_top, r, top, top_v, t),
                     || dc(d, e, mid + 1, i1, lo_bot, hi, r, bot_i, bot_v, t),
                 );

@@ -46,9 +46,43 @@ use crate::tuning::Tuning;
 use monge_core::array2d::Array2d;
 use monge_core::eval;
 use monge_core::value::Value;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 pub use monge_core::scratch::{pooled_buffers, with_scratch, with_scratch2};
+
+/// Process-global tally of rayon tasks forked by the engines (two per
+/// [`join_tracked`], one per parallel scan chunk). Relaxed, best-effort
+/// under concurrency; the dispatch layer snapshots deltas around each
+/// solve so telemetry can report fan-out for free.
+static TASKS: AtomicU64 = AtomicU64::new(0);
+
+/// Current value of the process-global task counter.
+pub fn task_count() -> u64 {
+    TASKS.load(Ordering::Relaxed)
+}
+
+/// Adds `n` forked tasks to the tally (parallel iterators count their
+/// chunks here).
+pub(crate) fn add_tasks(n: u64) {
+    if n > 0 {
+        TASKS.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// [`rayon::join`] that counts both closures toward [`task_count`] —
+/// the fork primitive every engine in this crate uses, so dispatched
+/// solves can report how many tasks a search actually spawned.
+pub fn join_tracked<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    TASKS.fetch_add(2, Ordering::Relaxed);
+    rayon::join(a, b)
+}
 
 /// Target amount of work per rayon task, in nanoseconds.
 ///

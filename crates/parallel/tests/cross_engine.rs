@@ -1,184 +1,281 @@
-//! Cross-engine agreement: the sequential (SMAWK / divide & conquer),
-//! rayon, PRAM and hypercube engines must return identical argmin/argmax
-//! vectors — same optima *and* same leftmost tie-breaking — on the same
-//! certified random instances.
+//! Cross-backend conformance, generated from the dispatcher registry:
+//! one instance generator per [`ProblemKind`], each instance solved on
+//! **every** backend that declares itself eligible and compared against
+//! the sequential reference — same optima *and* same leftmost
+//! tie-breaking. Registering a new backend automatically enrols it
+//! here; no hand-enumerated engine pairs.
 
+use monge_core::array2d::{Array2d, Dense};
 use monge_core::generators::{apply_staircase, random_monge_dense, random_staircase_boundary};
-use monge_core::monge::{brute_row_maxima, brute_row_minima};
-use monge_core::smawk::{row_maxima_monge, row_minima_monge};
-use monge_core::staircase::staircase_row_minima;
-use monge_core::tube::{tube_maxima, tube_minima};
-use monge_core::Array2d;
-use monge_parallel::pram_monge::{pram_row_maxima_monge, pram_row_minima_monge};
-use monge_parallel::pram_staircase::{pram_staircase_row_minima, pram_staircase_row_minima_with};
-use monge_parallel::pram_tube::{pram_tube_maxima, pram_tube_minima};
-use monge_parallel::rayon_monge::{
-    par_row_maxima_monge, par_row_maxima_monge_with, par_row_minima_monge,
-    par_row_minima_monge_with,
-};
-use monge_parallel::rayon_staircase::{par_staircase_row_minima, par_staircase_row_minima_with};
-use monge_parallel::rayon_tube::{
-    par_tube_maxima, par_tube_minima, par_tube_minima_dc, par_tube_minima_dc_with,
-};
-use monge_parallel::{MinPrimitive, Tuning};
-use proptest::prelude::*;
+use monge_core::problem::{Problem, ProblemKind};
+use monge_parallel::{Dispatcher, Tuning};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use std::collections::BTreeSet;
 
-fn dims() -> impl Strategy<Value = (usize, usize)> {
-    (1usize..20, 1usize..20)
+/// Solves `problem` on every eligible backend and checks each solution
+/// against the sequential reference. Returns the backends that ran.
+fn conform(
+    d: &Dispatcher<i64>,
+    problem: &Problem<'_, i64>,
+    t: Tuning,
+    ctx: &str,
+) -> Vec<&'static str> {
+    let (reference, _) = d
+        .solve_on("sequential", problem, t)
+        .expect("the sequential backend is total");
+    let mut ran = Vec::new();
+    for b in d.eligible(problem) {
+        let name = b.name();
+        let (sol, tel) = d
+            .solve_on(name, problem, t)
+            .expect("an eligible backend must accept the problem");
+        assert_eq!(tel.backend, name, "{ctx}: telemetry names the backend");
+        assert_eq!(
+            tel.kind,
+            Some(problem.kind()),
+            "{ctx}: telemetry names the kind"
+        );
+        assert_eq!(
+            &sol, &reference,
+            "{ctx}: backend {name} disagrees with the sequential reference"
+        );
+        ran.push(name);
+    }
+    ran
 }
 
-/// Randomized grain cutoffs, weighted toward the degenerate all-ones
+/// Grain cutoffs for a trial: the default, the degenerate all-ones
 /// tuning (every recursion forks down to single rows/planes — the
-/// configuration most likely to expose a cutoff off-by-one).
-fn tunings() -> impl Strategy<Value = Tuning> {
-    prop_oneof![
-        1 => Just(Tuning {
+/// configuration most likely to expose a cutoff off-by-one), or random.
+fn tuning_for(trial: u64, rng: &mut StdRng) -> Tuning {
+    match trial % 3 {
+        0 => Tuning::DEFAULT,
+        1 => Tuning {
             seq_scan: 1,
             seq_rows: 1,
             tube_seq_planes: 1,
             pram_base_rows: 1,
-        }),
-        3 => (1usize..64, 1usize..32, 1usize..16, 1usize..8).prop_map(
-            |(seq_scan, seq_rows, tube_seq_planes, pram_base_rows)| Tuning {
-                seq_scan,
-                seq_rows,
-                tube_seq_planes,
-                pram_base_rows,
-            }
-        ),
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn row_minima_engines_agree((m, n) in dims(), seed in any::<u64>()) {
-        let a = random_monge_dense(m, n, &mut StdRng::seed_from_u64(seed));
-        let seq = row_minima_monge(&a).index;
-        prop_assert_eq!(&seq, &brute_row_minima(&a));
-        prop_assert_eq!(&seq, &par_row_minima_monge(&a).index);
-        prop_assert_eq!(&seq, &pram_row_minima_monge(&a, MinPrimitive::DoublyLog).index);
-        prop_assert_eq!(&seq, &pram_row_minima_monge(&a, MinPrimitive::Tree).index);
-    }
-
-    #[test]
-    fn row_maxima_engines_agree((m, n) in dims(), seed in any::<u64>()) {
-        let a = random_monge_dense(m, n, &mut StdRng::seed_from_u64(seed));
-        let seq = row_maxima_monge(&a).index;
-        prop_assert_eq!(&seq, &brute_row_maxima(&a));
-        prop_assert_eq!(&seq, &par_row_maxima_monge(&a).index);
-        prop_assert_eq!(&seq, &pram_row_maxima_monge(&a, MinPrimitive::Constant).index);
-    }
-
-    #[test]
-    fn staircase_engines_agree((m, n) in dims(), seed in any::<u64>()) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let base = random_monge_dense(m, n, &mut rng);
-        let f = random_staircase_boundary(m, n, &mut rng);
-        let a = apply_staircase(&base, &f);
-        let seq = staircase_row_minima(&a, &f);
-        prop_assert_eq!(&seq, &par_staircase_row_minima(&a, &f));
-        prop_assert_eq!(
-            &seq,
-            &pram_staircase_row_minima(&a, &f, MinPrimitive::DoublyLog).index
-        );
-    }
-
-    #[test]
-    fn tube_engines_agree(p in 1usize..10, q in 1usize..10, r in 1usize..10,
-                          seed in any::<u64>()) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let d = random_monge_dense(p, q, &mut rng);
-        let e = random_monge_dense(q, r, &mut rng);
-        let seq_min = tube_minima(&d, &e);
-        let seq_max = tube_maxima(&d, &e);
-        prop_assert_eq!(&seq_min, &par_tube_minima(&d, &e));
-        prop_assert_eq!(&seq_min, &par_tube_minima_dc(&d, &e));
-        prop_assert_eq!(&seq_max, &par_tube_maxima(&d, &e));
-        prop_assert_eq!(&seq_min, &pram_tube_minima(&d, &e, MinPrimitive::DoublyLog).extrema);
-        prop_assert_eq!(&seq_max, &pram_tube_maxima(&d, &e, MinPrimitive::DoublyLog).extrema);
+        },
+        _ => Tuning {
+            seq_scan: rng.random_range(1..64),
+            seq_rows: rng.random_range(1..32),
+            tube_seq_planes: rng.random_range(1..16),
+            pram_base_rows: rng.random_range(1..8),
+        },
     }
 }
 
-/// Every cutoff-taking engine must be oblivious to its tuning: random
-/// grain sizes (including the degenerate all-ones tuning) only move work
-/// between the parallel recursion and the sequential leaves, never change
-/// an answer.
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+/// Sorted-transport vectors: `|v_i - w_j|` is Monge, and the rank form
+/// is what the hypercube engines require.
+fn transport_vectors(m: usize, n: usize, rng: &mut StdRng) -> (Vec<i64>, Vec<i64>) {
+    let mut v: Vec<i64> = (0..m).map(|_| rng.random_range(0..1_000)).collect();
+    let mut w: Vec<i64> = (0..n).map(|_| rng.random_range(0..1_000)).collect();
+    v.sort_unstable();
+    w.sort_unstable();
+    (v, w)
+}
 
-    #[test]
-    fn randomized_tuning_row_engines_agree((m, n) in dims(), seed in any::<u64>(),
-                                           t in tunings()) {
-        let mut rng = StdRng::seed_from_u64(seed);
+/// Monotone bands: non-decreasing for minima, non-increasing for maxima.
+fn random_bands(
+    m: usize,
+    n: usize,
+    increasing: bool,
+    rng: &mut StdRng,
+) -> (Vec<usize>, Vec<usize>) {
+    let mut lo: Vec<usize> = (0..m).map(|_| rng.random_range(0..=n)).collect();
+    let mut hi: Vec<usize> = (0..m).map(|_| rng.random_range(0..=n)).collect();
+    if increasing {
+        lo.sort_unstable();
+        hi.sort_unstable();
+    } else {
+        lo.sort_unstable_by(|a, b| b.cmp(a));
+        hi.sort_unstable_by(|a, b| b.cmp(a));
+    }
+    let lo = lo.iter().zip(&hi).map(|(&l, &h)| l.min(h)).collect();
+    (lo, hi)
+}
+
+/// The registry-wide sweep: for every [`ProblemKind`], generate
+/// certified instances (dense, inverse-Monge, rank-structured, plain)
+/// and conform every eligible backend; afterwards every backend in the
+/// registry must have participated for each kind it claims to support.
+#[test]
+fn every_problem_kind_conforms_across_the_registry() {
+    let d = Dispatcher::with_all_backends();
+    let mut ran_for: Vec<(ProblemKind, BTreeSet<&'static str>)> = ProblemKind::ALL
+        .iter()
+        .map(|&k| (k, BTreeSet::new()))
+        .collect();
+    let mut record = |kind: ProblemKind, names: Vec<&'static str>| {
+        let slot = ran_for.iter_mut().find(|(k, _)| *k == kind).expect("kind");
+        slot.1.extend(names);
+    };
+
+    for trial in 0..10u64 {
+        let mut rng = StdRng::seed_from_u64(0xD15_7A7C4 + trial);
+        let t = tuning_for(trial, &mut rng);
+        let (m, n) = (rng.random_range(1..18), rng.random_range(1..18));
+        let ctx = format!("trial {trial} ({m}x{n})");
+
+        // Rows: dense Monge, its inverse-Monge mirror, and the
+        // rank-structured transport form the hypercube engines need.
         let a = random_monge_dense(m, n, &mut rng);
-        prop_assert_eq!(
-            &row_minima_monge(&a).index,
-            &par_row_minima_monge_with(&a, t).index
+        let inv = Dense::tabulate(m, n, |i, j| -a.entry(i, j));
+        record(
+            ProblemKind::RowMinima,
+            conform(&d, &Problem::row_minima(&a), t, &ctx),
         );
-        prop_assert_eq!(
-            &row_maxima_monge(&a).index,
-            &par_row_maxima_monge_with(&a, t).index
+        record(
+            ProblemKind::RowMaxima,
+            conform(&d, &Problem::row_maxima(&a), t, &ctx),
+        );
+        record(
+            ProblemKind::RowMinima,
+            conform(&d, &Problem::row_minima_inverse_monge(&inv), t, &ctx),
+        );
+        record(
+            ProblemKind::RowMaxima,
+            conform(&d, &Problem::row_maxima_inverse_monge(&inv), t, &ctx),
+        );
+        let (v, w) = transport_vectors(m, n, &mut rng);
+        let g = |x: i64, y: i64| (x - y).abs();
+        let ranked = Dense::tabulate(m, n, |i, j| g(v[i], w[j]));
+        record(
+            ProblemKind::RowMinima,
+            conform(
+                &d,
+                &Problem::row_minima(&ranked).with_rank(&v, &w, &g),
+                t,
+                &ctx,
+            ),
+        );
+        record(
+            ProblemKind::RowMaxima,
+            conform(
+                &d,
+                &Problem::row_maxima(&ranked).with_rank(&v, &w, &g),
+                t,
+                &ctx,
+            ),
         );
 
+        // Staircase: masked Monge instance, plus the rank form.
         let f = random_staircase_boundary(m, n, &mut rng);
         let sa = apply_staircase(&a, &f);
-        let seq = staircase_row_minima(&sa, &f);
-        prop_assert_eq!(&seq, &par_staircase_row_minima_with(&sa, &f, t));
-        prop_assert_eq!(
-            &seq,
-            &pram_staircase_row_minima_with(&sa, &f, MinPrimitive::DoublyLog, t).index
+        record(
+            ProblemKind::StaircaseRowMinima,
+            conform(&d, &Problem::staircase_row_minima(&sa, &f), t, &ctx),
+        );
+        let masked_ranked = apply_staircase(&ranked, &f);
+        record(
+            ProblemKind::StaircaseRowMinima,
+            conform(
+                &d,
+                &Problem::staircase_row_minima(&masked_ranked, &f).with_rank(&v, &w, &g),
+                t,
+                &ctx,
+            ),
+        );
+
+        // Banded: monotone windows over the Monge instance.
+        let (lo, hi) = random_bands(m, n, true, &mut rng);
+        record(
+            ProblemKind::BandedRowMinima,
+            conform(&d, &Problem::banded_row_minima(&a, &lo, &hi), t, &ctx),
+        );
+        let (lo, hi) = random_bands(m, n, false, &mut rng);
+        record(
+            ProblemKind::BandedRowMaxima,
+            conform(&d, &Problem::banded_row_maxima(&a, &lo, &hi), t, &ctx),
+        );
+
+        // Tube: a Monge-composite pair.
+        let q = rng.random_range(1..10);
+        let td = random_monge_dense(m.min(9), q, &mut rng);
+        let te = random_monge_dense(q, n.min(9), &mut rng);
+        record(
+            ProblemKind::TubeMinima,
+            conform(&d, &Problem::tube_minima(&td, &te), t, &ctx),
+        );
+        record(
+            ProblemKind::TubeMaxima,
+            conform(&d, &Problem::tube_maxima(&td, &te), t, &ctx),
         );
     }
 
-    #[test]
-    fn randomized_tuning_tube_agrees(p in 1usize..10, q in 1usize..10, r in 1usize..10,
-                                     seed in any::<u64>(), t in tunings()) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let d = random_monge_dense(p, q, &mut rng);
-        let e = random_monge_dense(q, r, &mut rng);
-        prop_assert_eq!(&tube_minima(&d, &e), &par_tube_minima_dc_with(&d, &e, t));
+    // Registry coverage: a backend claiming a kind must actually have
+    // been exercised on it by the generators above (the hypercube
+    // engine only for the kinds its rank/objective gates admit).
+    for b in d.backends() {
+        for kind in b.capabilities().kinds() {
+            let always_admitted = match b.name() {
+                "hypercube" => matches!(kind, ProblemKind::TubeMinima),
+                _ => true,
+            };
+            let ran = ran_for
+                .iter()
+                .find(|(k, _)| *k == kind)
+                .map(|(_, s)| s.contains(b.name()))
+                .unwrap_or(false);
+            assert!(
+                !always_admitted || ran,
+                "backend {} was never conformance-tested on {kind:?}",
+                b.name()
+            );
+        }
+    }
+    // The rank-form generators must have pulled the hypercube engine
+    // into the rows and staircase sweeps too.
+    for kind in [
+        ProblemKind::RowMinima,
+        ProblemKind::RowMaxima,
+        ProblemKind::StaircaseRowMinima,
+    ] {
+        let ran = &ran_for.iter().find(|(k, _)| *k == kind).unwrap().1;
+        assert!(
+            ran.contains("hypercube"),
+            "rank-form instances never reached the hypercube backend for {kind:?}"
+        );
     }
 }
 
-/// Hypercube engines run on the `VectorArray` model, so they get their
-/// own generator (sorted-transport family) and a smaller case count
-/// (network simulation is the slowest engine).
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn hypercube_engines_agree((m, n) in (1usize..16, 1usize..16), seed in any::<u64>()) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut v: Vec<i64> = (0..m).map(|_| rng.random_range(0..1_000)).collect();
-        let mut w: Vec<i64> = (0..n).map(|_| rng.random_range(0..1_000)).collect();
-        v.sort_unstable();
-        w.sort_unstable();
-        let a = monge_parallel::VectorArray::new(v, w, |x: i64, y: i64| (x - y).abs());
-        let seq_min = row_minima_monge(&a).index;
-        let seq_max = row_maxima_monge(&a).index;
-        prop_assert_eq!(&seq_min, &monge_parallel::hc_monge::hc_row_minima(&a).index);
-        prop_assert_eq!(&seq_max, &monge_parallel::hc_monge::hc_row_maxima(&a).index);
-
-        // Staircase variant of the same instance.
-        let f = random_staircase_boundary(m, n, &mut rng);
-        let run = monge_parallel::hc_staircase::hc_staircase_row_minima(&a, &f);
-        let dense = monge_core::array2d::Dense::tabulate(m, n, |i, j| {
-            if j < f[i] { a.entry(i, j) } else { <i64 as monge_core::Value>::INFINITY }
+/// The plain (unstructured) rows escape hatch: host backends brute-scan,
+/// simulators must not claim eligibility.
+#[test]
+fn plain_rows_conform_on_host_backends() {
+    let d = Dispatcher::with_all_backends();
+    for trial in 0..6u64 {
+        let mut rng = StdRng::seed_from_u64(0xBEEF + trial);
+        let t = tuning_for(trial, &mut rng);
+        let (m, n) = (rng.random_range(1..24), rng.random_range(1..24));
+        let a = Dense::tabulate(m, n, |i, j| {
+            ((i * 7 + j * 13 + trial as usize) % 11) as i64 - 5
         });
-        prop_assert_eq!(&run.index, &staircase_row_minima(&dense, &f));
+        let ctx = format!("plain trial {trial}");
+        let ran = conform(&d, &Problem::plain_row_minima(&a), t, &ctx);
+        assert_eq!(ran, ["sequential", "rayon"], "{ctx}");
+        let ran = conform(&d, &Problem::plain_row_maxima(&a), t, &ctx);
+        assert_eq!(ran, ["sequential", "rayon"], "{ctx}");
     }
+}
 
-    #[test]
-    fn hypercube_tube_agrees(p in 1usize..8, q in 1usize..8, r in 1usize..8,
-                             seed in any::<u64>()) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let d = random_monge_dense(p, q, &mut rng);
-        let e = random_monge_dense(q, r, &mut rng);
-        let run = monge_parallel::hc_tube::hc_tube_minima(&d, &e);
-        prop_assert_eq!(&run.extrema, &tube_minima(&d, &e));
+/// Rightmost tie-breaking flows through every backend that admits it
+/// (hosts only — the simulators are leftmost-only and must decline).
+#[test]
+fn rightmost_ties_conform_where_admitted() {
+    let d = Dispatcher::with_all_backends();
+    for trial in 0..6u64 {
+        let mut rng = StdRng::seed_from_u64(0x71E5 + trial);
+        let t = tuning_for(trial, &mut rng);
+        let (m, n) = (rng.random_range(1..16), rng.random_range(1..16));
+        let a = random_monge_dense(m, n, &mut rng);
+        let p = Problem::row_minima(&a).with_tie(monge_core::tiebreak::Tie::Right);
+        let ran = conform(&d, &p, t, &format!("rightmost trial {trial}"));
+        assert!(ran.contains(&"rayon"), "rayon must admit rightmost ties");
+        assert!(
+            ran.iter().all(|name| !name.starts_with("pram:")),
+            "PRAM simulators are leftmost-only"
+        );
     }
 }
