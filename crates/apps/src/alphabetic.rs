@@ -229,8 +229,8 @@ pub fn huffman_cost(w: &[f64]) -> f64 {
     let mut heap: BinaryHeap<Reverse<F>> = w.iter().map(|&x| Reverse(F(x))).collect();
     let mut total = 0.0;
     while heap.len() > 1 {
-        let a = heap.pop().unwrap().0 .0;
-        let b = heap.pop().unwrap().0 .0;
+        let a = heap.pop().expect("heap holds at least two weights").0 .0;
+        let b = heap.pop().expect("heap holds at least two weights").0 .0;
         total += a + b;
         heap.push(Reverse(F(a + b)));
     }

@@ -30,6 +30,7 @@
 
 use crate::geometry::{Point, Rect};
 use monge_core::array2d::Array2d;
+use monge_core::guard::SolveError;
 use monge_core::problem::Problem;
 use monge_core::scratch::with_scratch;
 use monge_parallel::tuning::Tuning;
@@ -40,7 +41,7 @@ use monge_parallel::Dispatcher;
 pub fn largest_empty_rectangle_brute(points: &[Point], bbox: Rect) -> Rect {
     let mut xs: Vec<f64> = vec![bbox.x0, bbox.x1];
     xs.extend(points.iter().map(|p| p.x));
-    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs.sort_by(f64::total_cmp);
     xs.dedup();
     let mut best = Rect::new(bbox.x0, bbox.y0, bbox.x0, bbox.y0);
     let mut best_area = -1.0f64;
@@ -49,7 +50,7 @@ pub fn largest_empty_rectangle_brute(points: &[Point], bbox: Rect) -> Rect {
             // Points strictly inside the strip.
             let mut ys: Vec<f64> = vec![bbox.y0, bbox.y1];
             ys.extend(points.iter().filter(|p| p.x > xl && p.x < xr).map(|p| p.y));
-            ys.sort_by(|u, v| u.partial_cmp(v).unwrap());
+            ys.sort_by(f64::total_cmp);
             for w in ys.windows(2) {
                 let area = (xr - xl) * (w[1] - w[0]);
                 if area > best_area {
@@ -66,7 +67,7 @@ pub fn largest_empty_rectangle_brute(points: &[Point], bbox: Rect) -> Rect {
 /// window-scanned crossing case; `O(n²)` work, parallel over windows.
 pub fn largest_empty_rectangle(points: &[Point], bbox: Rect) -> Rect {
     let mut sorted: Vec<Point> = points.to_vec();
-    sorted.sort_by(|a, b| a.x.partial_cmp(&b.x).unwrap());
+    sorted.sort_by(|a, b| a.x.total_cmp(&b.x));
     let d = Dispatcher::with_default_backends();
     rec(&d, &sorted, bbox, None)
 }
@@ -84,9 +85,54 @@ pub fn par_largest_empty_rectangle(points: &[Point], bbox: Rect) -> Rect {
 /// so the row grain transfers directly).
 pub fn par_largest_empty_rectangle_with(points: &[Point], bbox: Rect, t: Tuning) -> Rect {
     let mut sorted: Vec<Point> = points.to_vec();
-    sorted.sort_by(|a, b| a.x.partial_cmp(&b.x).unwrap());
+    sorted.sort_by(|a, b| a.x.total_cmp(&b.x));
     let d = Dispatcher::with_default_backends();
     rec(&d, &sorted, bbox, Some(t))
+}
+
+/// Validation shared by the `try_` entry points: the box must be finite
+/// and well-ordered, and every point must be finite and inside it.
+fn check_instance(points: &[Point], bbox: Rect) -> Result<(), SolveError> {
+    let corners = [bbox.x0, bbox.y0, bbox.x1, bbox.y1];
+    if corners.iter().any(|v| !v.is_finite()) {
+        return Err(SolveError::InvalidInput {
+            reason: "bounding box has a non-finite coordinate".into(),
+        });
+    }
+    if bbox.x0 > bbox.x1 || bbox.y0 > bbox.y1 {
+        return Err(SolveError::InvalidInput {
+            reason: "bounding box is inverted (x0 > x1 or y0 > y1)".into(),
+        });
+    }
+    for (k, p) in points.iter().enumerate() {
+        if !(p.x.is_finite() && p.y.is_finite()) {
+            return Err(SolveError::InvalidInput {
+                reason: format!("point {k} has a non-finite coordinate"),
+            });
+        }
+        if p.x < bbox.x0 || p.x > bbox.x1 || p.y < bbox.y0 || p.y > bbox.y1 {
+            return Err(SolveError::InvalidInput {
+                reason: format!("point {k} lies outside the bounding box"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// [`largest_empty_rectangle`] behind input validation: returns
+/// [`SolveError::InvalidInput`] for non-finite coordinates, an inverted
+/// box, or points outside it, instead of panicking or silently producing
+/// a nonsense rectangle.
+pub fn try_largest_empty_rectangle(points: &[Point], bbox: Rect) -> Result<Rect, SolveError> {
+    check_instance(points, bbox)?;
+    Ok(largest_empty_rectangle(points, bbox))
+}
+
+/// [`par_largest_empty_rectangle`] behind the same input validation as
+/// [`try_largest_empty_rectangle`].
+pub fn try_par_largest_empty_rectangle(points: &[Point], bbox: Rect) -> Result<Rect, SolveError> {
+    check_instance(points, bbox)?;
+    Ok(par_largest_empty_rectangle(points, bbox))
 }
 
 fn better(a: Rect, b: Rect) -> Rect {
@@ -110,7 +156,7 @@ fn rec(disp: &Dispatcher<f64>, points: &[Point], bbox: Rect, parallel: Option<Tu
             Rect::new(bbox.x0, bbox.y0, bbox.x1, p.y),
             Rect::new(bbox.x0, p.y, bbox.x1, bbox.y1),
         ];
-        return cands.into_iter().reduce(better).unwrap();
+        return cands.into_iter().fold(cands[0], better);
     }
     let x_med = points[n / 2].x;
     let left: Vec<Point> = points.iter().copied().filter(|p| p.x < x_med).collect();
@@ -236,7 +282,7 @@ fn crossing(
     // Window candidates: walls plus point ordinates, sorted.
     let mut ys: Vec<f64> = vec![bbox.y0, bbox.y1];
     ys.extend(points.iter().map(|p| p.y));
-    ys.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    ys.sort_by(f64::total_cmp);
     ys.dedup();
     let degenerate = Rect::new(x_med, bbox.y0, x_med, bbox.y0);
     if ys.len() < 2 {
@@ -244,7 +290,7 @@ fn crossing(
     }
     // Points sorted by y for the incremental sweeps.
     let mut by_y: Vec<Point> = points.to_vec();
-    by_y.sort_by(|a, b| a.y.partial_cmp(&b.y).unwrap());
+    by_y.sort_by(|a, b| a.y.total_cmp(&b.y));
 
     let wa = WindowArray {
         ys: &ys,

@@ -13,6 +13,7 @@
 
 use crate::geometry::Point;
 use monge_core::array2d::{Array2d, FnArray};
+use monge_core::guard::SolveError;
 use monge_core::problem::Problem;
 use monge_core::smawk::RowExtrema;
 use monge_parallel::tuning::Tuning;
@@ -93,6 +94,44 @@ pub fn farthest_across_chains_brute(p: &[Point], q: &[Point]) -> Vec<usize> {
             best
         })
         .collect()
+}
+
+/// A chain (or polygon) must be non-degenerate and fully finite before
+/// the distance array can be declared inverse-Monge.
+fn check_chain(label: &str, pts: &[Point], min_len: usize) -> Result<(), SolveError> {
+    if pts.len() < min_len {
+        return Err(SolveError::InvalidInput {
+            reason: format!(
+                "{label} needs at least {min_len} vertices, got {}",
+                pts.len()
+            ),
+        });
+    }
+    for (k, p) in pts.iter().enumerate() {
+        if !(p.x.is_finite() && p.y.is_finite()) {
+            return Err(SolveError::InvalidInput {
+                reason: format!("{label} vertex {k} has a non-finite coordinate"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// [`farthest_across_chains`] behind input validation: empty chains or
+/// non-finite vertices become [`SolveError::InvalidInput`] instead of a
+/// panic.
+pub fn try_farthest_across_chains(p: &[Point], q: &[Point]) -> Result<Vec<usize>, SolveError> {
+    check_chain("chain P", p, 1)?;
+    check_chain("chain Q", q, 1)?;
+    Ok(farthest_across_chains(p, q))
+}
+
+/// [`all_farthest_neighbors`] behind input validation: polygons with
+/// fewer than two vertices or non-finite coordinates become
+/// [`SolveError::InvalidInput`] instead of a panic.
+pub fn try_all_farthest_neighbors(poly: &[Point]) -> Result<Vec<usize>, SolveError> {
+    check_chain("polygon", poly, 2)?;
+    Ok(all_farthest_neighbors(poly))
 }
 
 /// All-farthest-neighbors of a convex polygon: for every vertex, the

@@ -78,7 +78,7 @@ impl ConvexPolygon {
         let mut angles: Vec<f64> = (0..n)
             .map(|_| rng.random_range(0.0..std::f64::consts::TAU))
             .collect();
-        angles.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        angles.sort_by(f64::total_cmp);
         // Points on a circle are always in convex position.
         let vertices = angles
             .into_iter()

@@ -25,9 +25,19 @@
 //! * [`obst`] — Knuth–Yao optimal binary search trees (\[Yao80\]);
 //! * [`transport`] — Hoffman's transportation greedy on Monge costs
 //!   (\[Mon81\], \[Hof61\]), with a min-cost-flow oracle.
+//!
+//! ## Error handling
+//!
+//! User-reachable entry points come in pairs: a panicking function for
+//! trusted inputs and a `try_`-prefixed variant returning
+//! [`monge_core::guard::SolveError`] for untrusted ones (input
+//! validation, checked arithmetic). Library code may only panic on
+//! internal invariants, via `expect` with a message naming the
+//! invariant — `unwrap()` is denied crate-wide outside tests.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod alphabetic;
 pub mod empty_rect;

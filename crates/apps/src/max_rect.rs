@@ -64,7 +64,7 @@ pub fn largest_corner_rectangle_brute(points: &[Point]) -> CornerRect {
 /// by `x` ascending (`y` strictly descending).
 fn sw_staircase(points: &[Point]) -> Vec<Point> {
     let mut sorted: Vec<Point> = points.to_vec();
-    sorted.sort_by(|a, b| (a.x, a.y).partial_cmp(&(b.x, b.y)).unwrap());
+    sorted.sort_by(|a, b| a.x.total_cmp(&b.x).then(a.y.total_cmp(&b.y)));
     let mut stair: Vec<Point> = Vec::new();
     for &p in &sorted {
         // Keep p iff nothing kept so far has y <= p.y (the last kept
@@ -80,7 +80,7 @@ fn sw_staircase(points: &[Point]) -> Vec<Point> {
 /// by `x` ascending (`y` strictly descending).
 fn ne_staircase(points: &[Point]) -> Vec<Point> {
     let mut sorted: Vec<Point> = points.to_vec();
-    sorted.sort_by(|a, b| (b.x, b.y).partial_cmp(&(a.x, a.y)).unwrap());
+    sorted.sort_by(|a, b| b.x.total_cmp(&a.x).then(b.y.total_cmp(&a.y)));
     let mut stair: Vec<Point> = Vec::new();
     for &p in &sorted {
         if stair.last().is_none_or(|l| p.y > l.y) {

@@ -26,6 +26,7 @@
 
 use monge_core::array2d::{Array2d, Dense};
 use monge_core::eval;
+use monge_core::guard::SolveError;
 use monge_core::problem::Problem;
 use monge_core::scratch::{with_scratch, with_scratch2};
 use monge_core::tube::plane;
@@ -71,6 +72,75 @@ impl CostModel {
             },
         }
     }
+}
+
+/// Largest per-operation cost magnitude over the byte alphabets actually
+/// present in `x` and `y` (at most 256 × 256 probes, independent of the
+/// string lengths).
+fn max_abs_cost(x: &[u8], y: &[u8], c: &CostModel) -> i64 {
+    let mut in_x = [false; 256];
+    let mut in_y = [false; 256];
+    for &b in x {
+        in_x[b as usize] = true;
+    }
+    for &b in y {
+        in_y[b as usize] = true;
+    }
+    let mut m = 0i64;
+    for a in 0..256u16 {
+        if !in_x[a as usize] {
+            continue;
+        }
+        m = m.max((c.del)(a as u8).saturating_abs());
+        for b in 0..256u16 {
+            if in_y[b as usize] {
+                m = m.max((c.sub)(a as u8, b as u8).saturating_abs());
+            }
+        }
+    }
+    for b in 0..256u16 {
+        if in_y[b as usize] {
+            m = m.max((c.ins)(b as u8).saturating_abs());
+        }
+    }
+    m
+}
+
+/// Pre-flight overflow audit for the editing pipelines: any source-to-
+/// sink path of the grid-DAG performs at most `|x| + |y| + 1` operations,
+/// and the DIST combining tree only ever adds two such path costs, so all
+/// accumulated scores stay strictly below the `i64` infinity sentinel
+/// (`i64::MAX / 4`) iff `max|cost| · (|x| + |y| + 1)` stays below half of
+/// it. Adversarial weights near `i64::MAX` fail here with
+/// [`SolveError::Overflow`] instead of silently wrapping inside the DP.
+pub fn check_cost_range(x: &[u8], y: &[u8], c: &CostModel) -> Result<(), SolveError> {
+    let ops = (x.len() + y.len() + 1) as i64;
+    let bound = <i64 as Value>::INFINITY / 2;
+    match max_abs_cost(x, y, c).checked_mul(ops) {
+        Some(total) if total < bound => Ok(()),
+        _ => Err(SolveError::Overflow {
+            context: "string_edit cost accumulation",
+        }),
+    }
+}
+
+/// [`edit_distance_dp`] behind the [`check_cost_range`] overflow audit.
+pub fn try_edit_distance_dp(x: &[u8], y: &[u8], c: &CostModel) -> Result<i64, SolveError> {
+    check_cost_range(x, y, c)?;
+    Ok(edit_distance_dp(x, y, c))
+}
+
+/// [`edit_distance_dist_tree`] behind the [`check_cost_range`] overflow
+/// audit: the DIST combine (`(min,+)` tube minima) adds two path costs
+/// per probe, which the audit proves cannot wrap.
+pub fn try_edit_distance_dist_tree(
+    x: &[u8],
+    y: &[u8],
+    c: &CostModel,
+    strips: usize,
+) -> Result<i64, SolveError> {
+    check_cost_range(x, y, c)?;
+    Ok(edit_distance_dist_tree(x, y, c, strips))
 }
 
 /// Wagner–Fischer dynamic program, `O(|x|·|y|)` time, `O(|y|)` space.
@@ -758,5 +828,43 @@ mod tests {
         let c = CostModel::unit();
         assert_eq!(edit_distance_dist_tree(b"", b"abc", &c, 4), 3);
         assert_eq!(edit_distance_dist_tree(b"abc", b"", &c, 2), 3);
+    }
+
+    #[test]
+    fn adversarial_weights_are_rejected_not_wrapped() {
+        // Costs adjacent to i64::MAX: one operation already exceeds the
+        // finite budget, so the audit must refuse before the DP wraps.
+        let evil = CostModel {
+            del: |_| i64::MAX - 1,
+            ins: |_| i64::MAX - 1,
+            sub: |_, _| i64::MAX - 1,
+        };
+        assert!(matches!(
+            try_edit_distance_dp(b"ab", b"cd", &evil),
+            Err(SolveError::Overflow { .. })
+        ));
+        assert!(matches!(
+            try_edit_distance_dist_tree(b"ab", b"cd", &evil, 2),
+            Err(SolveError::Overflow { .. })
+        ));
+        // The largest per-op cost the audit admits for this length still
+        // solves, and matches the unchecked DP.
+        let ops = 2 + 2 + 1;
+        let max_ok = <i64 as Value>::INFINITY / 2 / ops - 1;
+        assert!(max_ok > 0);
+        let benign = CostModel {
+            del: |_| 3,
+            ins: |_| 2,
+            sub: |a, b| i64::from(a != b) * 4,
+        };
+        assert_eq!(
+            try_edit_distance_dp(b"ab", b"cd", &benign).expect("benign model passes the audit"),
+            edit_distance_dp(b"ab", b"cd", &benign)
+        );
+        assert_eq!(
+            try_edit_distance_dist_tree(b"kitten", b"sitting", &CostModel::unit(), 3)
+                .expect("unit model passes the audit"),
+            3
+        );
     }
 }

@@ -12,6 +12,7 @@
 //! optimality on arbitrary (including non-Monge) instances.
 
 use monge_core::array2d::Array2d;
+use monge_core::guard::SolveError;
 use monge_core::problem::Problem;
 use monge_parallel::Dispatcher;
 
@@ -71,9 +72,61 @@ pub fn northwest_corner(supply: &[i64], demand: &[i64]) -> Vec<Shipment> {
     plan
 }
 
+/// [`northwest_corner`] behind input validation: imbalance or negative
+/// quantities become [`SolveError::InvalidInput`] instead of a panic.
+pub fn try_northwest_corner(supply: &[i64], demand: &[i64]) -> Result<Vec<Shipment>, SolveError> {
+    if supply.iter().any(|&x| x < 0) || demand.iter().any(|&x| x < 0) {
+        return Err(SolveError::InvalidInput {
+            reason: "supplies and demands must be non-negative".into(),
+        });
+    }
+    let (sa, sb) = (checked_sum(supply)?, checked_sum(demand)?);
+    if sa != sb {
+        return Err(SolveError::InvalidInput {
+            reason: format!("supply {sa} and demand {sb} must balance"),
+        });
+    }
+    Ok(northwest_corner(supply, demand))
+}
+
+fn checked_sum(xs: &[i64]) -> Result<i64, SolveError> {
+    xs.iter().try_fold(0i64, |acc, &x| {
+        acc.checked_add(x).ok_or(SolveError::Overflow {
+            context: "transport quantity total",
+        })
+    })
+}
+
 /// Total cost of a plan under a cost array.
+///
+/// Panics on `i64` overflow; [`try_plan_cost`] is the checked variant for
+/// adversarial weights.
 pub fn plan_cost<A: Array2d<i64>>(plan: &[Shipment], c: &A) -> i64 {
-    plan.iter().map(|s| s.amount * c.entry(s.from, s.to)).sum()
+    try_plan_cost(plan, c).expect("plan cost overflowed i64")
+}
+
+/// [`plan_cost`] with checked arithmetic: amount × cost products and
+/// their running total that exceed `i64` report
+/// [`SolveError::Overflow`] instead of wrapping; out-of-range shipment
+/// indices report [`SolveError::InvalidInput`].
+pub fn try_plan_cost<A: Array2d<i64>>(plan: &[Shipment], c: &A) -> Result<i64, SolveError> {
+    let (m, n) = (c.rows(), c.cols());
+    plan.iter().try_fold(0i64, |acc, s| {
+        if s.from >= m || s.to >= n {
+            return Err(SolveError::InvalidInput {
+                reason: format!(
+                    "shipment ({}, {}) outside the {m}×{n} cost array",
+                    s.from, s.to
+                ),
+            });
+        }
+        s.amount
+            .checked_mul(c.entry(s.from, s.to))
+            .and_then(|term| acc.checked_add(term))
+            .ok_or(SolveError::Overflow {
+                context: "transport plan cost",
+            })
+    })
 }
 
 /// Each source's cheapest sink under a Monge cost array — the row minima
@@ -89,13 +142,34 @@ pub fn cheapest_sink_per_source<A: Array2d<i64>>(c: &A) -> Vec<usize> {
 /// `i` costs at least `min_j c[i][j]`, so `Σ aᵢ · minⱼ c[i][j]` bounds the
 /// optimum from below. The row minima come from the dispatcher.
 pub fn shipping_lower_bound<A: Array2d<i64>>(supply: &[i64], c: &A) -> i64 {
-    assert_eq!(supply.len(), c.rows());
+    try_shipping_lower_bound(supply, c).expect("shipping lower bound overflowed i64")
+}
+
+/// [`shipping_lower_bound`] with checked arithmetic: a supply/cost
+/// mismatch reports [`SolveError::InvalidInput`]; adversarial weights
+/// whose products or total exceed `i64` report [`SolveError::Overflow`]
+/// instead of wrapping.
+pub fn try_shipping_lower_bound<A: Array2d<i64>>(supply: &[i64], c: &A) -> Result<i64, SolveError> {
+    if supply.len() != c.rows() {
+        return Err(SolveError::InvalidInput {
+            reason: format!(
+                "supply length {} does not match the {} cost rows",
+                supply.len(),
+                c.rows()
+            ),
+        });
+    }
     cheapest_sink_per_source(c)
         .into_iter()
         .zip(supply)
         .enumerate()
-        .map(|(i, (j, &a))| a * c.entry(i, j))
-        .sum::<i64>()
+        .try_fold(0i64, |acc, (i, (j, &a))| {
+            a.checked_mul(c.entry(i, j))
+                .and_then(|term| acc.checked_add(term))
+                .ok_or(SolveError::Overflow {
+                    context: "transport shipping lower bound",
+                })
+        })
 }
 
 /// Exact minimum-cost transportation by successive shortest paths
@@ -312,6 +386,91 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn adversarial_weights_overflow_to_typed_errors() {
+        // amount × cost adjacent to i64::MAX must report Overflow, not
+        // wrap into a plausible-looking total.
+        let c = Dense::from_rows(vec![vec![i64::MAX - 1, 1], vec![1, i64::MAX - 1]]);
+        let plan = vec![
+            Shipment {
+                from: 0,
+                to: 0,
+                amount: 2,
+            },
+            Shipment {
+                from: 1,
+                to: 1,
+                amount: 2,
+            },
+        ];
+        assert!(matches!(
+            try_plan_cost(&plan, &c),
+            Err(SolveError::Overflow { .. })
+        ));
+        // A single in-range product that overflows only in the running
+        // total is also caught.
+        let c1 = Dense::from_rows(vec![vec![i64::MAX / 2], vec![i64::MAX / 2]]);
+        let plan1 = vec![
+            Shipment {
+                from: 0,
+                to: 0,
+                amount: 2,
+            },
+            Shipment {
+                from: 1,
+                to: 0,
+                amount: 2,
+            },
+        ];
+        assert!(matches!(
+            try_plan_cost(&plan1, &c1),
+            Err(SolveError::Overflow { .. })
+        ));
+        // Out-of-range shipment indices are invalid input, not a panic.
+        let stray = vec![Shipment {
+            from: 5,
+            to: 0,
+            amount: 1,
+        }];
+        assert!(matches!(
+            try_plan_cost(&stray, &c),
+            Err(SolveError::InvalidInput { .. })
+        ));
+        assert!(matches!(
+            try_shipping_lower_bound(&[2, 2], &c1),
+            Err(SolveError::Overflow { .. })
+        ));
+        // Benign instances agree with the panicking wrappers.
+        let ok = Dense::from_rows(vec![vec![3i64, 1], vec![2, 4]]);
+        let plan_ok = northwest_corner(&[1, 1], &[1, 1]);
+        assert_eq!(
+            try_plan_cost(&plan_ok, &ok).expect("small costs cannot overflow"),
+            plan_cost(&plan_ok, &ok)
+        );
+        assert_eq!(
+            try_shipping_lower_bound(&[1, 1], &ok).expect("small costs cannot overflow"),
+            shipping_lower_bound(&[1, 1], &ok)
+        );
+    }
+
+    #[test]
+    fn unbalanced_or_negative_instances_get_typed_errors() {
+        assert!(matches!(
+            try_northwest_corner(&[3, 2], &[4]),
+            Err(SolveError::InvalidInput { .. })
+        ));
+        assert!(matches!(
+            try_northwest_corner(&[-1, 2], &[1]),
+            Err(SolveError::InvalidInput { .. })
+        ));
+        assert!(matches!(
+            try_northwest_corner(&[i64::MAX, i64::MAX], &[1]),
+            Err(SolveError::Overflow { .. })
+        ));
+        let plan = try_northwest_corner(&[2, 1], &[1, 2]).expect("balanced instance");
+        assert_eq!(plan, northwest_corner(&[2, 1], &[1, 2]));
     }
 
     #[test]

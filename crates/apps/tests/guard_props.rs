@@ -1,0 +1,178 @@
+//! Property tests for the guarded dispatch layer: full validation
+//! accepts every genuinely Monge / staircase-Monge instance (and the
+//! guarded solve agrees with the sequential reference), rejects every
+//! instance with one injected violation, and sampled validation has no
+//! false negatives at violation densities of `1/n` and above.
+
+use monge_core::array2d::{Array2d, Dense};
+use monge_core::generators::{apply_staircase, random_monge_dense, random_staircase_boundary};
+use monge_core::guard::{GuardPolicy, SolveError};
+use monge_core::problem::Problem;
+use monge_parallel::{Dispatcher, Tuning};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Copy of `a` with `delta` added at the single entry `(i, j)`. For an
+/// interior `(i, j)` and a positive `delta`, this breaks the adjacent
+/// quadruple `(i-1, i, j-1, j)`, which has `(i, j)` on its diagonal.
+fn corrupt_one(a: &Dense<i64>, i: usize, j: usize, delta: i64) -> Dense<i64> {
+    let rows: Vec<Vec<i64>> = (0..a.rows())
+        .map(|r| {
+            (0..a.cols())
+                .map(|c| {
+                    let v = a.entry(r, c);
+                    if (r, c) == (i, j) {
+                        v + delta
+                    } else {
+                        v
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    Dense::from_rows(rows)
+}
+
+/// Copy of `a` with `i * delta` added down column `j` (a constant shift
+/// of a column preserves Monge; a row-linear one breaks every adjacent
+/// quadruple touching columns `(j-1, j)`): `m - 1` of the
+/// `(m-1)(n-1)` adjacent quadruples violated — density `1/(n-1) > 1/n`,
+/// the regime where sampled validation must never miss.
+fn corrupt_column(a: &Dense<i64>, j: usize, delta: i64) -> Dense<i64> {
+    let rows: Vec<Vec<i64>> = (0..a.rows())
+        .map(|r| {
+            (0..a.cols())
+                .map(|c| {
+                    let v = a.entry(r, c);
+                    if c == j {
+                        v + (r as i64) * delta
+                    } else {
+                        v
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    Dense::from_rows(rows)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn full_validation_accepts_every_monge_instance(
+        m in 2usize..12, n in 2usize..12, seed in any::<u64>()
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_monge_dense(m, n, &mut rng);
+        let d = Dispatcher::with_default_backends();
+        let policy = GuardPolicy::full_validation().fail_on_violation();
+        let (sol, tel) = d
+            .solve_guarded(&Problem::row_minima(&a), &policy)
+            .expect("genuinely Monge instances pass full validation");
+        let (reference, _) = d
+            .solve_on("sequential", &Problem::row_minima(&a), Tuning::DEFAULT)
+            .expect("sequential is total");
+        prop_assert_eq!(sol.into_rows().index, reference.into_rows().index);
+        let guard = tel.guard.expect("guarded solves stamp an outcome");
+        prop_assert!(!guard.quarantined);
+        prop_assert!(guard.witness.is_none());
+    }
+
+    #[test]
+    fn full_validation_accepts_every_staircase_instance(
+        m in 2usize..12, n in 2usize..12, seed in any::<u64>()
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = random_monge_dense(m, n, &mut rng);
+        let boundary = random_staircase_boundary(m, n, &mut rng);
+        let stair = apply_staircase(&base, &boundary);
+        let d = Dispatcher::with_default_backends();
+        let policy = GuardPolicy::full_validation().fail_on_violation();
+        let problem = Problem::staircase_row_minima(&stair, &boundary);
+        let (sol, tel) = d
+            .solve_guarded(&problem, &policy)
+            .expect("genuine staircase-Monge instances pass full validation");
+        let (reference, _) = d
+            .solve_on("sequential", &problem, Tuning::DEFAULT)
+            .expect("sequential is total");
+        prop_assert_eq!(sol.into_rows().index, reference.into_rows().index);
+        prop_assert!(!tel.guard.expect("outcome stamped").quarantined);
+    }
+
+    #[test]
+    fn full_validation_rejects_one_injected_violation(
+        m in 2usize..12, n in 2usize..12, seed in any::<u64>()
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_monge_dense(m, n, &mut rng);
+        // An interior corruption site derived from the seed.
+        let i = 1 + (seed % (m as u64 - 1).max(1)) as usize;
+        let j = 1 + ((seed >> 16) % (n as u64 - 1).max(1)) as usize;
+        let bad = corrupt_one(&a, i.min(m - 1), j.min(n - 1), 10_000_000);
+        let d = Dispatcher::with_default_backends();
+        let policy = GuardPolicy::full_validation().fail_on_violation();
+        match d.solve_guarded(&Problem::row_minima(&bad), &policy) {
+            Err(SolveError::StructureViolation(w)) => {
+                // The reported witness must be a real violation of the
+                // corrupted array, not just a flag.
+                prop_assert!(w.i < w.k && w.j < w.l);
+                let lhs = bad.entry(w.i, w.j) + bad.entry(w.k, w.l);
+                let rhs = bad.entry(w.i, w.l) + bad.entry(w.k, w.j);
+                prop_assert!(lhs > rhs, "witness does not violate Monge: {}", w);
+            }
+            other => prop_assert!(false, "expected StructureViolation, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn quarantine_still_answers_correctly_for_the_corrupted_array(
+        m in 2usize..12, n in 2usize..12, seed in any::<u64>()
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_monge_dense(m, n, &mut rng);
+        let i = 1 + (seed % (m as u64 - 1).max(1)) as usize;
+        let j = 1 + ((seed >> 16) % (n as u64 - 1).max(1)) as usize;
+        let bad = corrupt_one(&a, i.min(m - 1), j.min(n - 1), 10_000_000);
+        let d = Dispatcher::with_default_backends();
+        let (sol, tel) = d
+            .solve_guarded(&Problem::row_minima(&bad), &GuardPolicy::full_validation())
+            .expect("quarantine degrades, it does not fail");
+        // Leftmost row minima of the array as it actually is.
+        let expect: Vec<usize> = (0..m)
+            .map(|r| {
+                let mut best = 0usize;
+                for c in 1..n {
+                    if bad.entry(r, c) < bad.entry(r, best) {
+                        best = c;
+                    }
+                }
+                best
+            })
+            .collect();
+        prop_assert_eq!(sol.into_rows().index, expect);
+        let guard = tel.guard.expect("outcome stamped");
+        prop_assert!(guard.quarantined);
+        prop_assert_eq!(guard.fallback_path(), vec!["brute"]);
+    }
+
+    #[test]
+    fn sampled_mode_never_misses_density_above_one_over_n(
+        m in 2usize..12, n in 2usize..12, seed in any::<u64>()
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_monge_dense(m, n, &mut rng);
+        let j = 1 + ((seed >> 8) % (n as u64 - 1).max(1)) as usize;
+        let bad = corrupt_column(&a, j.min(n - 1), 10_000_000);
+        let d = Dispatcher::with_default_backends();
+        let policy = GuardPolicy::sampled_validation()
+            .with_seed(seed ^ 0xD15EA5E)
+            .fail_on_violation();
+        let res = d.solve_guarded(&Problem::row_minima(&bad), &policy);
+        prop_assert!(
+            matches!(res, Err(SolveError::StructureViolation(_))),
+            "sampled validation missed a density-1/(n-1) corruption"
+        );
+    }
+}

@@ -252,6 +252,7 @@ pub fn interval_argmin<T: Value, A: Array2d<T>>(
     hi: usize,
     scratch: &mut Vec<T>,
 ) -> (usize, T) {
+    crate::guard::checkpoint();
     debug_assert!(lo < hi);
     if let Some(vals) = a.row_view(row, lo..hi) {
         let k = argmin_slice(vals);
@@ -274,6 +275,7 @@ pub fn interval_argmin_pooled<T: Value, A: Array2d<T>>(
     lo: usize,
     hi: usize,
 ) -> (usize, T) {
+    crate::guard::checkpoint();
     if let Some(vals) = a.row_view(row, lo..hi) {
         let k = argmin_slice(vals);
         return (lo + k, vals[k]);
@@ -289,6 +291,7 @@ pub fn interval_argmin_rightmost_pooled<T: Value, A: Array2d<T>>(
     lo: usize,
     hi: usize,
 ) -> (usize, T) {
+    crate::guard::checkpoint();
     if let Some(vals) = a.row_view(row, lo..hi) {
         let k = argmin_slice_rightmost(vals);
         return (lo + k, vals[k]);
@@ -304,6 +307,7 @@ pub fn interval_argmax_pooled<T: Value, A: Array2d<T>>(
     lo: usize,
     hi: usize,
 ) -> (usize, T) {
+    crate::guard::checkpoint();
     if let Some(vals) = a.row_view(row, lo..hi) {
         let k = argmax_slice(vals);
         return (lo + k, vals[k]);
@@ -320,6 +324,7 @@ pub fn interval_argmin_rightmost<T: Value, A: Array2d<T>>(
     hi: usize,
     scratch: &mut Vec<T>,
 ) -> (usize, T) {
+    crate::guard::checkpoint();
     debug_assert!(lo < hi);
     if let Some(vals) = a.row_view(row, lo..hi) {
         let k = argmin_slice_rightmost(vals);
@@ -340,6 +345,7 @@ pub fn interval_argmax<T: Value, A: Array2d<T>>(
     hi: usize,
     scratch: &mut Vec<T>,
 ) -> (usize, T) {
+    crate::guard::checkpoint();
     debug_assert!(lo < hi);
     if let Some(vals) = a.row_view(row, lo..hi) {
         let k = argmax_slice(vals);

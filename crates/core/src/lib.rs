@@ -46,6 +46,10 @@
 //!   in steady state.
 //! * [`tiebreak`] — the one implementation of the leftmost/rightmost
 //!   tie-break rule every scan, reduction and candidate merge shares.
+//! * [`guard`] — the fault model of the guarded dispatch layer:
+//!   [`guard::SolveError`], [`guard::GuardPolicy`], cooperative
+//!   cancellation ([`guard::CancelToken`] / [`guard::checkpoint`]) and
+//!   the deterministic [`guard::FaultInjector`] test adaptor.
 //! * [`problem`] — the solver-dispatch IR: [`problem::Problem`] /
 //!   [`problem::Solution`] / [`problem::Telemetry`] plus the shared
 //!   §1.2 Min/Max duality lowering ([`problem::lower_rows`]) that the
@@ -60,6 +64,7 @@ pub mod banded;
 pub mod dist;
 pub mod eval;
 pub mod generators;
+pub mod guard;
 pub mod monge;
 pub mod online;
 pub mod problem;
@@ -72,6 +77,10 @@ pub mod value;
 
 pub use array2d::{Array2d, Dense, FnArray};
 pub use eval::{CachedArray, CountingArray};
+pub use guard::{
+    CancelToken, FaultInjector, FaultPlan, GuardOutcome, GuardPolicy, SolveError, Validation,
+    ViolationAction,
+};
 pub use problem::{
     MachineCounters, Objective, Problem, ProblemKind, Solution, Structure, Telemetry,
 };

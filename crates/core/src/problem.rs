@@ -570,6 +570,10 @@ pub struct Telemetry {
     pub total_nanos: u128,
     /// Simulated machine cost (simulator backends only).
     pub machine: MachineCounters,
+    /// Guarded-solve outcome: validation cost, quarantine state and the
+    /// fallback path. `None` for unguarded solves; populated only by
+    /// `Dispatcher::solve_guarded` in `monge-parallel`.
+    pub guard: Option<crate::guard::GuardOutcome>,
 }
 
 impl Telemetry {

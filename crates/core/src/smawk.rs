@@ -98,6 +98,7 @@ fn smawk_rec<T: Value, A: Array2d<T>>(
     out: &mut [usize],
     cmp: &mut u64,
 ) {
+    crate::guard::checkpoint();
     if rows.is_empty() {
         return;
     }

@@ -151,6 +151,7 @@ fn minima_rec<T: Value, A: Array2d<T>>(
     out: &mut [Option<(T, usize)>],
     scratch: &mut Vec<T>,
 ) {
+    crate::guard::checkpoint();
     // Trim rows whose finite prefix does not reach this column range:
     // `f` is non-increasing, so they form a suffix.
     r1 = partition_point(r0, r1, |i| f[i] > c0);

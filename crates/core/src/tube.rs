@@ -184,6 +184,7 @@ fn tube_by_planes<T: Value, A: Array2d<T>, B: Array2d<T>>(
         idx.clear();
         idx.resize(r, 0);
         for i in 0..p {
+            crate::guard::checkpoint();
             let pl = plane(d, e, i);
             match which {
                 PlaneSolve::MongeMin => crate::smawk::row_minima_monge_into(&pl, idx),

@@ -142,8 +142,9 @@ pub trait Backend<T: Value>: Send + Sync {
 }
 
 /// Per-row optimum of one unstructured row, honoring the tie rule. The
-/// shared leaf of both host backends' `Plain` paths.
-fn plain_row_opt<T: Value, A: Array2d<T>>(
+/// shared leaf of both host backends' `Plain` paths (and of the guarded
+/// layer's brute-force terminal backend).
+pub(crate) fn plain_row_opt<T: Value, A: Array2d<T>>(
     a: &A,
     i: usize,
     objective: Objective,
@@ -163,7 +164,10 @@ fn plain_row_opt<T: Value, A: Array2d<T>>(
 }
 
 /// Gathers banded optimum values from the (metered) array.
-fn banded_values<T: Value, A: Array2d<T>>(a: &A, index: &[Option<usize>]) -> Vec<Option<T>> {
+pub(crate) fn banded_values<T: Value, A: Array2d<T>>(
+    a: &A,
+    index: &[Option<usize>],
+) -> Vec<Option<T>> {
     index
         .iter()
         .enumerate()
@@ -818,7 +822,7 @@ impl<T: Value> Dispatcher<T> {
     /// The instrumentation wrapper: snapshots the process-global
     /// counters, runs the backend, stamps identity, wall clock and
     /// counter deltas.
-    fn run(
+    pub(crate) fn run(
         &self,
         backend: &dyn Backend<T>,
         problem: &Problem<'_, T>,

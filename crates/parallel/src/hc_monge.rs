@@ -334,6 +334,7 @@ fn run<T: Value, G: Fn(T, T) -> T + Sync>(a: &VectorArray<T, G>, mirror: Option<
     // candidate column intervals.
     let mut segs: Vec<(usize, usize, usize, usize)> = vec![(0, m, 0, n)];
     while !segs.is_empty() {
+        monge_core::guard::checkpoint();
         let blocks: Vec<Block> = segs
             .iter()
             .map(|&(r0, r1, c0, c1)| Block {

@@ -46,6 +46,7 @@ pub fn hc_staircase_row_minima<T: Value, G: Fn(T, T) -> T + Sync>(
         c1: n,
     }];
     while !tasks.is_empty() {
+        monge_core::guard::checkpoint();
         // Trim each task's rows to those whose finite prefix reaches c0
         // (they form a suffix because f is non-increasing).
         let mut level: Vec<Task> = Vec::with_capacity(tasks.len());

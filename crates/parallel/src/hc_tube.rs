@@ -279,6 +279,7 @@ pub fn hc_tube_minima<T: Value, A: Array2d<T>, B: Array2d<T>>(d: &A, e: &B) -> H
     // Outer halving over planes.
     let mut outer: Vec<(usize, usize)> = vec![(0, p)];
     while !outer.is_empty() {
+        monge_core::guard::checkpoint();
         // Bounds for every active middle plane from its solved neighbours.
         let mids: Vec<(usize, Vec<usize>, Vec<usize>)> = outer
             .iter()
@@ -308,6 +309,7 @@ pub fn hc_tube_minima<T: Value, A: Array2d<T>, B: Array2d<T>>(d: &A, e: &B) -> H
             .collect();
         let mut solved_rows: Vec<Vec<usize>> = mids.iter().map(|_| vec![0; r]).collect();
         while !inner.is_empty() {
+            monge_core::guard::checkpoint();
             let blocks: Vec<GBlock> = inner
                 .iter()
                 .map(|&(x, k0, k1, jlo, jhi)| {

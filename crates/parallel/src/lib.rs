@@ -45,6 +45,7 @@
 
 pub mod ansv_par;
 pub mod dispatch;
+pub mod guarded;
 pub mod hc_monge;
 pub mod hc_staircase;
 pub mod hc_tube;
@@ -63,6 +64,7 @@ pub use dispatch::{
     Backend, Capabilities, Dispatcher, HypercubeBackend, PramBackend, RayonBackend,
     SequentialBackend,
 };
+pub use guarded::BruteForceBackend;
 pub use pram_monge::MinPrimitive;
 pub use runtime::calibrate;
 pub use tuning::Tuning;

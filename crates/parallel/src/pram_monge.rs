@@ -203,6 +203,7 @@ fn rec<T: Value, A: Array2d<T>>(
     c1: usize,
     out: &mut [usize],
 ) {
+    monge_core::guard::checkpoint();
     if r0 >= r1 {
         return;
     }

@@ -110,7 +110,7 @@ fn solve<T: Value, A: Array2d<T>>(
     // Sampled rows; the last row of the range is always sampled so every
     // gap has a lower constraint.
     let mut samples: Vec<usize> = (r0..r1).skip(s - 1).step_by(s).collect();
-    if *samples.last().unwrap() != r1 - 1 {
+    if samples.last() != Some(&(r1 - 1)) {
         samples.push(r1 - 1);
     }
     let su = samples.len();
@@ -233,6 +233,7 @@ fn monge_rec_rows<T: Value, A: Array2d<T>>(
     c1: usize,
     out: &mut [usize],
 ) {
+    monge_core::guard::checkpoint();
     if r0 >= r1 || c0 >= c1 {
         return;
     }
@@ -265,6 +266,7 @@ fn monge_rec<T: Value, A: Array2d<T>>(
     c1: usize,
     out: &mut [usize],
 ) {
+    monge_core::guard::checkpoint();
     if r0 >= r1 || c0 >= c1 {
         return;
     }

@@ -114,6 +114,7 @@ fn rec<T: Value, A: Array2d<T>>(
     t: Tuning,
     tie: Tie,
 ) {
+    monge_core::guard::checkpoint();
     if r0 >= r1 {
         return;
     }
@@ -145,6 +146,7 @@ fn rec_seq<T: Value, A: Array2d<T>>(
     t: Tuning,
     tie: Tie,
 ) {
+    monge_core::guard::checkpoint();
     if r0 >= r1 {
         return;
     }

@@ -67,6 +67,7 @@ fn rec<T: Value, A: Array2d<T>>(
     scratch: &mut Vec<T>,
     t: Tuning,
 ) {
+    monge_core::guard::checkpoint();
     r1 = partition_point(r0, r1, |i| f[i] > c0);
     if r0 >= r1 || c0 >= c1 {
         return;

@@ -105,6 +105,7 @@ fn dc<T: Value, A: Array2d<T>, B: Array2d<T>>(
     value: &mut [T],
     t: Tuning,
 ) {
+    monge_core::guard::checkpoint();
     if i0 >= i1 {
         return;
     }
