@@ -1,0 +1,443 @@
+//! The complexity-bound auditor: turns the PRAM simulator's machine
+//! counters into asserted asymptotics.
+//!
+//! The paper's headline claims are *resource bounds* — Theorem 2.3
+//! gives `O(lg n)` CRCW steps with `n` processors for staircase-Monge
+//! row minima, the CREW route costs `O(lg n lg lg n)` — and answers
+//! alone cannot certify them. The auditor runs one backend over a
+//! geometric size ladder on seeded generators, reads the
+//! [`Telemetry::machine`] counters the dispatch layer stamps
+//! (parallel steps, peak processors, total work, concurrent-write
+//! events), and asserts each point stays within `slack · shape(n)`.
+//! Failures render the offending `(n, steps, bound)` table.
+//!
+//! The slack factor absorbs the constant the theorem hides; it is
+//! calibrated once against measured constants (see DESIGN.md §12) and
+//! can be loosened globally through `MONGE_AUDIT_SLACK` for slow or
+//! instrumented builds. A slack can hide a constant — it cannot hide a
+//! growth rate, which is what the ladder checks: the negative-control
+//! test feeds a deliberately quadratic dummy backend through the same
+//! auditor and the `lg n` bound rejects it at every rung.
+
+use std::fmt;
+
+use monge_core::generators::{random_staircase_boundary, ImplicitMonge};
+use monge_core::problem::{Problem, Solution, Telemetry};
+use monge_parallel::dispatch::{Backend, Capabilities, Dispatcher};
+use monge_parallel::Tuning;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The growth shapes the paper's bounds are stated in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BoundShape {
+    /// `lg n` — Theorem 2.3's CRCW step bound.
+    LogN,
+    /// `lg n · lg lg n` — the CREW staircase bound of §2.3.
+    LogNLogLogN,
+    /// `lg² n` — tree-primitive (binary-fan-in) critical paths.
+    Log2N,
+    /// `n` — linear processor counts.
+    Linear,
+    /// `n lg n` — work bounds of the divide & conquer.
+    NLogN,
+    /// `n²` — the quadratic-processor constant-time minimum, and the
+    /// negative control's honest label.
+    NSquared,
+}
+
+impl BoundShape {
+    /// The shape evaluated at `n` (clamped so `lg lg n ≥ 1`; every
+    /// shape is ≥ 1 for n ≥ 2, keeping slack multiplicative).
+    pub fn eval(self, n: usize) -> f64 {
+        let x = (n.max(2)) as f64;
+        let lg = x.log2();
+        match self {
+            BoundShape::LogN => lg,
+            BoundShape::LogNLogLogN => lg * lg.log2().max(1.0),
+            BoundShape::Log2N => lg * lg,
+            BoundShape::Linear => x,
+            BoundShape::NLogN => x * lg,
+            BoundShape::NSquared => x * x,
+        }
+    }
+
+    /// Human-readable label for report tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            BoundShape::LogN => "lg n",
+            BoundShape::LogNLogLogN => "lg n · lg lg n",
+            BoundShape::Log2N => "lg² n",
+            BoundShape::Linear => "n",
+            BoundShape::NLogN => "n lg n",
+            BoundShape::NSquared => "n²",
+        }
+    }
+}
+
+/// The bound one audit asserts: a step-count shape, a processor-count
+/// shape, slack factors for the hidden constants, and (for claimed
+/// CREW/EREW runs) a concurrent-write prohibition.
+#[derive(Clone, Copy, Debug)]
+pub struct BoundSpec {
+    /// Parallel-step growth shape.
+    pub steps: BoundShape,
+    /// Multiplicative slack on the step bound.
+    pub steps_slack: f64,
+    /// Peak-processor growth shape.
+    pub processors: BoundShape,
+    /// Multiplicative slack on the processor bound.
+    pub proc_slack: f64,
+    /// Assert `concurrent_write_events == 0` — the counter that
+    /// certifies a claimed CREW bound actually ran without concurrent
+    /// writes.
+    pub forbid_concurrent_writes: bool,
+}
+
+impl BoundSpec {
+    /// A CRCW-style spec: steps within `slack · shape`, processors
+    /// within `proc_slack · proc_shape`, concurrent writes allowed.
+    pub fn crcw(steps: BoundShape, steps_slack: f64, processors: BoundShape, proc_slack: f64) -> Self {
+        BoundSpec {
+            steps,
+            steps_slack,
+            processors,
+            proc_slack,
+            forbid_concurrent_writes: false,
+        }
+    }
+
+    /// A CREW-style spec: same bounds plus zero concurrent writes.
+    pub fn crew(steps: BoundShape, steps_slack: f64, processors: BoundShape, proc_slack: f64) -> Self {
+        BoundSpec {
+            forbid_concurrent_writes: true,
+            ..Self::crcw(steps, steps_slack, processors, proc_slack)
+        }
+    }
+}
+
+/// Which seeded generator feeds the ladder.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AuditFamily {
+    /// Square implicit Monge arrays → row minima.
+    MongeRows,
+    /// Implicit Monge masked by a random staircase boundary → the
+    /// Theorem 2.3 problem.
+    Staircase,
+    /// Two implicit Monge factors → tube minima of the composite.
+    CompositeTube,
+}
+
+impl AuditFamily {
+    /// Label for report tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            AuditFamily::MongeRows => "monge-rows",
+            AuditFamily::Staircase => "staircase",
+            AuditFamily::CompositeTube => "composite-tube",
+        }
+    }
+}
+
+/// One ladder rung's measured counters against its bounds.
+#[derive(Clone, Debug)]
+pub struct AuditPoint {
+    /// Instance size (rows = cols = n).
+    pub n: usize,
+    /// Measured parallel steps.
+    pub steps: u64,
+    /// Measured total work.
+    pub work: u64,
+    /// Measured peak simultaneously-active processors.
+    pub processors: u64,
+    /// Steps in which ≥ 2 processors wrote one cell.
+    pub concurrent_write_events: u64,
+    /// `slack · shape(n)` for steps.
+    pub step_bound: f64,
+    /// `slack · shape(n)` for processors.
+    pub proc_bound: f64,
+    /// Whether concurrent writes were forbidden at this rung.
+    pub forbid_concurrent_writes: bool,
+}
+
+impl AuditPoint {
+    /// Does this rung stay within its bounds?
+    pub fn ok(&self) -> bool {
+        (self.steps as f64) <= self.step_bound
+            && (self.processors as f64) <= self.proc_bound
+            && (!self.forbid_concurrent_writes || self.concurrent_write_events == 0)
+    }
+}
+
+/// The full audit of one backend × family × ladder.
+#[derive(Clone, Debug)]
+pub struct AuditReport {
+    /// Audited registry backend name.
+    pub backend: String,
+    /// Generator family.
+    pub family: AuditFamily,
+    /// The asserted bound.
+    pub spec: BoundSpec,
+    /// One entry per ladder rung.
+    pub points: Vec<AuditPoint>,
+    /// Least-squares slope of `ln steps` against `ln lg n` — the
+    /// fitted polylog degree. ≈1 for `lg n` engines, ≈2 for `lg² n`;
+    /// a linear or quadratic impostor fits ≫ 3 on a 2^6..2^14 ladder.
+    pub fitted_polylog_degree: f64,
+}
+
+impl AuditReport {
+    /// Every rung within bounds?
+    pub fn ok(&self) -> bool {
+        self.points.iter().all(AuditPoint::ok)
+    }
+
+    /// The rungs that broke their bound.
+    pub fn offenders(&self) -> Vec<&AuditPoint> {
+        self.points.iter().filter(|p| !p.ok()).collect()
+    }
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "audit {} / {}: steps ≤ {:.1}·{}, procs ≤ {:.1}·{}{}  (fitted polylog degree {:.2})",
+            self.backend,
+            self.family.label(),
+            self.spec.steps_slack,
+            self.spec.steps.label(),
+            self.spec.proc_slack,
+            self.spec.processors.label(),
+            if self.spec.forbid_concurrent_writes {
+                ", no concurrent writes"
+            } else {
+                ""
+            },
+            self.fitted_polylog_degree,
+        )?;
+        writeln!(
+            f,
+            "{:>8} {:>10} {:>12} {:>10} {:>12} {:>8} {:>6}",
+            "n", "steps", "step-bound", "procs", "proc-bound", "cw-ev", "ok"
+        )?;
+        for p in &self.points {
+            writeln!(
+                f,
+                "{:>8} {:>10} {:>12.1} {:>10} {:>12.1} {:>8} {:>6}",
+                p.n,
+                p.steps,
+                p.step_bound,
+                p.processors,
+                p.proc_bound,
+                p.concurrent_write_events,
+                if p.ok() { "ok" } else { "FAIL" }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The geometric ladder `2^lo ..= 2^hi`.
+pub fn ladder(lo: u32, hi: u32) -> Vec<usize> {
+    (lo..=hi).map(|p| 1usize << p).collect()
+}
+
+/// Global slack multiplier from `MONGE_AUDIT_SLACK` (default 1.0,
+/// values < 1 ignored) — a release valve for instrumented builds, not
+/// a way to change the asserted growth rate.
+pub fn env_slack() -> f64 {
+    std::env::var("MONGE_AUDIT_SLACK")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|&x| x >= 1.0)
+        .unwrap_or(1.0)
+}
+
+fn fit_polylog_degree(points: &[(usize, u64)]) -> f64 {
+    // Least squares of y = ln(steps) on x = ln(lg n).
+    let samples: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|&&(n, s)| n >= 4 && s > 0)
+        .map(|&(n, s)| (((n as f64).log2()).ln(), (s as f64).ln()))
+        .collect();
+    if samples.len() < 2 {
+        return 0.0;
+    }
+    let k = samples.len() as f64;
+    let (sx, sy): (f64, f64) = samples.iter().fold((0.0, 0.0), |(a, b), (x, y)| (a + x, b + y));
+    let (sxx, sxy): (f64, f64) = samples
+        .iter()
+        .fold((0.0, 0.0), |(a, b), (x, y)| (a + x * x, b + x * y));
+    let denom = k * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return 0.0;
+    }
+    (k * sxy - sx * sy) / denom
+}
+
+/// Runs `backend` over the ladder on `family`'s seeded generator and
+/// checks every rung against `spec` (slacks additionally scaled by
+/// [`env_slack`]). Answers are cross-checked against the sequential
+/// backend at every rung — a fast-but-wrong engine must not pass its
+/// complexity audit.
+///
+/// # Panics
+/// If the backend is unknown or ineligible for the family's problem.
+pub fn audit(
+    d: &Dispatcher<i64>,
+    backend: &str,
+    family: AuditFamily,
+    spec: BoundSpec,
+    sizes: &[usize],
+    seed: u64,
+) -> AuditReport {
+    let slack = env_slack();
+    let mut points = Vec::with_capacity(sizes.len());
+    for &n in sizes {
+        let mut rng = StdRng::seed_from_u64(seed ^ (n as u64).wrapping_mul(0x9E37_79B9));
+        let (solution, telemetry, reference): (Solution<i64>, Telemetry, Solution<i64>) =
+            match family {
+                AuditFamily::MongeRows => {
+                    let a = ImplicitMonge::random(n, n, 3, &mut rng);
+                    let p = Problem::row_minima(&a);
+                    let (sol, tel) = d
+                        .solve_on(backend, &p, Tuning::DEFAULT)
+                        .unwrap_or_else(|| panic!("{backend} ineligible for {family:?}"));
+                    let (want, _) = d.solve_on("sequential", &p, Tuning::DEFAULT).unwrap();
+                    (sol, tel, want)
+                }
+                AuditFamily::Staircase => {
+                    let a = ImplicitMonge::random(n, n, 3, &mut rng);
+                    let f = random_staircase_boundary(n, n, &mut rng);
+                    let p = Problem::staircase_row_minima(&a, &f);
+                    let (sol, tel) = d
+                        .solve_on(backend, &p, Tuning::DEFAULT)
+                        .unwrap_or_else(|| panic!("{backend} ineligible for {family:?}"));
+                    let (want, _) = d.solve_on("sequential", &p, Tuning::DEFAULT).unwrap();
+                    (sol, tel, want)
+                }
+                AuditFamily::CompositeTube => {
+                    let da = ImplicitMonge::random(n, n, 2, &mut rng);
+                    let ea = ImplicitMonge::random(n, n, 2, &mut rng);
+                    let p = Problem::tube_minima(&da, &ea);
+                    let (sol, tel) = d
+                        .solve_on(backend, &p, Tuning::DEFAULT)
+                        .unwrap_or_else(|| panic!("{backend} ineligible for {family:?}"));
+                    let (want, _) = d.solve_on("sequential", &p, Tuning::DEFAULT).unwrap();
+                    (sol, tel, want)
+                }
+            };
+        assert_eq!(
+            solution, reference,
+            "{backend} disagrees with sequential on {} at n={n} — \
+             a complexity audit of wrong answers is meaningless",
+            family.label()
+        );
+        points.push(AuditPoint {
+            n,
+            steps: telemetry.machine.steps,
+            work: telemetry.machine.work,
+            processors: telemetry.machine.processors,
+            concurrent_write_events: telemetry.machine.concurrent_write_events,
+            step_bound: spec.steps_slack * slack * spec.steps.eval(n),
+            proc_bound: spec.proc_slack * slack * spec.processors.eval(n),
+            forbid_concurrent_writes: spec.forbid_concurrent_writes,
+        });
+    }
+    let fitted = fit_polylog_degree(
+        &points.iter().map(|p| (p.n, p.steps)).collect::<Vec<_>>(),
+    );
+    AuditReport {
+        backend: backend.to_string(),
+        family,
+        spec,
+        points,
+        fitted_polylog_degree: fitted,
+    }
+}
+
+/// The negative control: a backend that answers correctly (it delegates
+/// to the sequential engine) but whose machine counters confess a
+/// quadratic schedule — `n²` steps on `n` processors. Any audit that
+/// accepts this backend under a polylog bound is broken.
+pub struct QuadraticDummyBackend;
+
+impl Backend<i64> for QuadraticDummyBackend {
+    fn name(&self) -> &'static str {
+        "dummy:quadratic"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        <monge_parallel::SequentialBackend as Backend<i64>>::capabilities(
+            &monge_parallel::SequentialBackend,
+        )
+    }
+
+    fn solve(
+        &self,
+        problem: &Problem<'_, i64>,
+        tuning: &Tuning,
+        telemetry: &mut Telemetry,
+    ) -> Solution<i64> {
+        let sol = monge_parallel::SequentialBackend.solve(problem, tuning, telemetry);
+        let (m, n) = problem.search_shape();
+        telemetry.machine.steps = (m as u64) * (n as u64);
+        telemetry.machine.work = (m as u64) * (n as u64);
+        telemetry.machine.processors = n as u64;
+        sol
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_are_monotone_and_ordered() {
+        for n in [64usize, 1024, 16384] {
+            assert!(BoundShape::LogN.eval(n) < BoundShape::LogNLogLogN.eval(n));
+            assert!(BoundShape::LogNLogLogN.eval(n) < BoundShape::Log2N.eval(n));
+            assert!(BoundShape::Log2N.eval(n) < BoundShape::Linear.eval(n));
+            assert!(BoundShape::Linear.eval(n) < BoundShape::NSquared.eval(n));
+        }
+    }
+
+    #[test]
+    fn fit_recovers_the_degree() {
+        // steps = lg² n exactly → degree ≈ 2.
+        let pts: Vec<(usize, u64)> = (6..=14)
+            .map(|p| {
+                let n = 1usize << p;
+                (n, (p * p) as u64)
+            })
+            .collect();
+        let d = fit_polylog_degree(&pts);
+        assert!((d - 2.0).abs() < 0.05, "fitted {d}");
+    }
+
+    #[test]
+    fn report_display_prints_offenders() {
+        let spec = BoundSpec::crcw(BoundShape::LogN, 1.0, BoundShape::Linear, 1.0);
+        let report = AuditReport {
+            backend: "dummy".into(),
+            family: AuditFamily::Staircase,
+            spec,
+            points: vec![AuditPoint {
+                n: 64,
+                steps: 4096,
+                work: 4096,
+                processors: 64,
+                concurrent_write_events: 0,
+                step_bound: 6.0,
+                proc_bound: 64.0,
+                forbid_concurrent_writes: false,
+            }],
+            fitted_polylog_degree: 6.0,
+        };
+        assert!(!report.ok());
+        let text = report.to_string();
+        assert!(text.contains("FAIL"), "{text}");
+        assert!(text.contains("4096"), "{text}");
+    }
+}

@@ -1,0 +1,361 @@
+//! Replayable reproducer corpus: a line-oriented text format for
+//! [`Instance`]s (the workspace has no serde — and a reproducer you can
+//! read in a diff is worth more than a compact one).
+//!
+//! ```text
+//! # monge-conformance reproducer v1
+//! kind StaircaseRowMinima
+//! structure Monge
+//! objective min
+//! tie left
+//! family staircase-cliff
+//! seed 4242
+//! m 3
+//! n 4
+//! a 5 4 0 9
+//! a 5 4 inf inf
+//! a 5 inf inf inf
+//! boundary 4 2 1
+//! ```
+//!
+//! Matrix rows are `a …` / `e …` lines top to bottom; `inf` spells the
+//! `i64` infinity sentinel. Optional sections: `boundary`, `lo`/`hi`,
+//! `rankv`/`rankw` (rank instances rebuild against [`crate::gen::sq`]),
+//! and the tube factor `e` preceded by its `ep`/`eq` extents.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use monge_core::array2d::{Array2d, Dense};
+use monge_core::problem::{Objective, ProblemKind, Structure};
+use monge_core::tiebreak::Tie;
+use monge_core::value::Value;
+use monge_parallel::Tuning;
+
+use crate::fuzz::{conformance_dispatcher, disagreeing_backends, TINY_GRAIN};
+use crate::gen::Instance;
+
+/// The checked-in corpus directory (`conformance-corpus/` at the
+/// workspace root), overridable through `MONGE_CORPUS_DIR`.
+pub fn corpus_dir() -> PathBuf {
+    std::env::var_os("MONGE_CORPUS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("..")
+                .join("..")
+                .join("conformance-corpus")
+        })
+}
+
+fn kind_name(kind: ProblemKind) -> &'static str {
+    match kind {
+        ProblemKind::RowMinima => "RowMinima",
+        ProblemKind::RowMaxima => "RowMaxima",
+        ProblemKind::StaircaseRowMinima => "StaircaseRowMinima",
+        ProblemKind::BandedRowMinima => "BandedRowMinima",
+        ProblemKind::BandedRowMaxima => "BandedRowMaxima",
+        ProblemKind::TubeMinima => "TubeMinima",
+        ProblemKind::TubeMaxima => "TubeMaxima",
+    }
+}
+
+fn parse_kind(s: &str) -> Result<ProblemKind, String> {
+    ProblemKind::ALL
+        .iter()
+        .copied()
+        .find(|&k| kind_name(k) == s)
+        .ok_or_else(|| format!("unknown kind '{s}'"))
+}
+
+fn value_str(v: i64) -> String {
+    if v == <i64 as Value>::INFINITY {
+        "inf".to_string()
+    } else {
+        v.to_string()
+    }
+}
+
+fn parse_value(s: &str) -> Result<i64, String> {
+    if s == "inf" {
+        Ok(<i64 as Value>::INFINITY)
+    } else {
+        s.parse::<i64>().map_err(|e| format!("bad value '{s}': {e}"))
+    }
+}
+
+fn parse_list<T, F: Fn(&str) -> Result<T, String>>(rest: &str, f: F) -> Result<Vec<T>, String> {
+    rest.split_whitespace().map(|t| f(t)).collect()
+}
+
+/// Renders `inst` in the corpus text format. `note` lines (may be
+/// empty) are embedded as comments — backend name, original seed, the
+/// fuzz run that found it.
+pub fn render(inst: &Instance, note: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "# monge-conformance reproducer v1");
+    for line in note.lines() {
+        let _ = writeln!(s, "# {line}");
+    }
+    let _ = writeln!(s, "kind {}", kind_name(inst.kind));
+    let _ = writeln!(
+        s,
+        "structure {}",
+        match inst.structure {
+            Structure::Monge => "Monge",
+            Structure::InverseMonge => "InverseMonge",
+            Structure::Plain => "Plain",
+        }
+    );
+    let _ = writeln!(
+        s,
+        "objective {}",
+        if inst.objective == Objective::Minimize { "min" } else { "max" }
+    );
+    let _ = writeln!(s, "tie {}", if inst.tie == Tie::Left { "left" } else { "right" });
+    let _ = writeln!(s, "family {}", inst.family);
+    let _ = writeln!(s, "m {}", inst.a.rows());
+    let _ = writeln!(s, "n {}", inst.a.cols());
+    for i in 0..inst.a.rows() {
+        let row: Vec<String> = (0..inst.a.cols()).map(|j| value_str(inst.a.entry(i, j))).collect();
+        let _ = writeln!(s, "a {}", row.join(" "));
+    }
+    if let Some(f) = &inst.boundary {
+        let row: Vec<String> = f.iter().map(|x| x.to_string()).collect();
+        let _ = writeln!(s, "boundary {}", row.join(" "));
+    }
+    if let Some(lo) = &inst.lo {
+        let row: Vec<String> = lo.iter().map(|x| x.to_string()).collect();
+        let _ = writeln!(s, "lo {}", row.join(" "));
+    }
+    if let Some(hi) = &inst.hi {
+        let row: Vec<String> = hi.iter().map(|x| x.to_string()).collect();
+        let _ = writeln!(s, "hi {}", row.join(" "));
+    }
+    if let Some((v, w)) = &inst.rank {
+        let vs: Vec<String> = v.iter().map(|x| x.to_string()).collect();
+        let ws: Vec<String> = w.iter().map(|x| x.to_string()).collect();
+        let _ = writeln!(s, "rankv {}", vs.join(" "));
+        let _ = writeln!(s, "rankw {}", ws.join(" "));
+    }
+    if let Some(e) = &inst.e {
+        let _ = writeln!(s, "ep {}", e.rows());
+        let _ = writeln!(s, "eq {}", e.cols());
+        for i in 0..e.rows() {
+            let row: Vec<String> = (0..e.cols()).map(|j| value_str(e.entry(i, j))).collect();
+            let _ = writeln!(s, "e {}", row.join(" "));
+        }
+    }
+    s
+}
+
+/// Parses the corpus text format back into an [`Instance`].
+pub fn parse(text: &str) -> Result<Instance, String> {
+    let mut kind = None;
+    let mut structure = Structure::Monge;
+    let mut objective = Objective::Minimize;
+    let mut tie = Tie::Left;
+    let mut m = None;
+    let mut n = None;
+    let mut a_rows: Vec<Vec<i64>> = Vec::new();
+    let mut boundary = None;
+    let mut lo = None;
+    let mut hi = None;
+    let mut rankv: Option<Vec<i64>> = None;
+    let mut rankw: Option<Vec<i64>> = None;
+    let mut ep = None;
+    let mut eq = None;
+    let mut e_rows: Vec<Vec<i64>> = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (key, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+        let rest = rest.trim();
+        match key {
+            "kind" => kind = Some(parse_kind(rest)?),
+            "structure" => {
+                structure = match rest {
+                    "Monge" => Structure::Monge,
+                    "InverseMonge" => Structure::InverseMonge,
+                    "Plain" => Structure::Plain,
+                    other => return Err(format!("unknown structure '{other}'")),
+                }
+            }
+            "objective" => {
+                objective = match rest {
+                    "min" => Objective::Minimize,
+                    "max" => Objective::Maximize,
+                    other => return Err(format!("unknown objective '{other}'")),
+                }
+            }
+            "tie" => {
+                tie = match rest {
+                    "left" => Tie::Left,
+                    "right" => Tie::Right,
+                    other => return Err(format!("unknown tie '{other}'")),
+                }
+            }
+            "family" => {}
+            "seed" => {}
+            "m" => m = rest.parse::<usize>().ok(),
+            "n" => n = rest.parse::<usize>().ok(),
+            "a" => a_rows.push(parse_list(rest, parse_value)?),
+            "boundary" => {
+                boundary = Some(parse_list(rest, |t| {
+                    t.parse::<usize>().map_err(|e| e.to_string())
+                })?)
+            }
+            "lo" => {
+                lo = Some(parse_list(rest, |t| {
+                    t.parse::<usize>().map_err(|e| e.to_string())
+                })?)
+            }
+            "hi" => {
+                hi = Some(parse_list(rest, |t| {
+                    t.parse::<usize>().map_err(|e| e.to_string())
+                })?)
+            }
+            "rankv" => rankv = Some(parse_list(rest, parse_value)?),
+            "rankw" => rankw = Some(parse_list(rest, parse_value)?),
+            "ep" => ep = rest.parse::<usize>().ok(),
+            "eq" => eq = rest.parse::<usize>().ok(),
+            "e" => e_rows.push(parse_list(rest, parse_value)?),
+            other => return Err(format!("unknown key '{other}'")),
+        }
+    }
+    let kind = kind.ok_or("missing kind")?;
+    let (m, n) = (m.ok_or("missing m")?, n.ok_or("missing n")?);
+    if a_rows.len() != m || a_rows.iter().any(|r| r.len() != n) {
+        return Err(format!("matrix a is not {m}×{n}"));
+    }
+    let a = Dense::from_rows(a_rows);
+    let e = if let (Some(ep), Some(eq)) = (ep, eq) {
+        if e_rows.len() != ep || e_rows.iter().any(|r| r.len() != eq) {
+            return Err(format!("matrix e is not {ep}×{eq}"));
+        }
+        Some(Dense::from_rows(e_rows))
+    } else {
+        None
+    };
+    let rank = match (rankv, rankw) {
+        (Some(v), Some(w)) => Some((v, w)),
+        (None, None) => None,
+        _ => return Err("rankv/rankw must appear together".to_string()),
+    };
+    Ok(Instance {
+        kind,
+        structure,
+        objective,
+        tie,
+        a,
+        e,
+        boundary,
+        lo,
+        hi,
+        rank,
+        family: "corpus",
+    })
+}
+
+/// Writes `inst` under the corpus directory as `<stem>.corpus` and
+/// returns the path.
+pub fn save(inst: &Instance, stem: &str, note: &str) -> std::io::Result<PathBuf> {
+    let dir = corpus_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{stem}.corpus"));
+    std::fs::write(&path, render(inst, note))?;
+    Ok(path)
+}
+
+/// Replays one corpus file: parses it, re-checks its structural
+/// promise, and diffs every registry-eligible backend against the
+/// brute oracle under both grain policies. `Ok(())` means conformant.
+pub fn replay_file(path: &Path) -> Result<(), String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    let inst = parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    if !inst.valid() {
+        return Err(format!(
+            "{}: instance no longer satisfies its structural promise",
+            path.display()
+        ));
+    }
+    let d = conformance_dispatcher();
+    for tuning in [Tuning::DEFAULT, TINY_GRAIN] {
+        let bad = disagreeing_backends(&d, &inst, tuning);
+        if !bad.is_empty() {
+            return Err(format!(
+                "{}: backends disagree with the brute oracle: {bad:?}",
+                path.display()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Replays every `*.corpus` file in the corpus directory. Returns the
+/// number of files replayed; a missing directory replays zero files
+/// (not an error — fresh checkouts before any mismatch exist).
+pub fn replay_all() -> Result<usize, String> {
+    let dir = corpus_dir();
+    let Ok(entries) = std::fs::read_dir(&dir) else {
+        return Ok(0);
+    };
+    let mut count = 0;
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "corpus"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        replay_file(&path)?;
+        count += 1;
+    }
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+    use monge_core::problem::ProblemKind;
+
+    #[test]
+    fn roundtrip_every_kind() {
+        for kind in ProblemKind::ALL {
+            for seed in [0u64, 5, 11] {
+                let inst = generate(kind, seed);
+                let text = render(&inst, "roundtrip test");
+                let back = parse(&text).unwrap_or_else(|e| panic!("{kind:?}: {e}\n{text}"));
+                assert_eq!(inst.a.data(), back.a.data(), "{kind:?} matrix");
+                assert_eq!(inst.boundary, back.boundary);
+                assert_eq!(inst.lo, back.lo);
+                assert_eq!(inst.hi, back.hi);
+                assert_eq!(inst.rank, back.rank);
+                assert_eq!(
+                    inst.e.as_ref().map(|e| e.data().to_vec()),
+                    back.e.as_ref().map(|e| e.data().to_vec())
+                );
+                assert!(back.valid(), "{kind:?} parsed instance invalid");
+            }
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(parse("m 2\nn 2\na 1 2\na 3 4").is_err()); // no kind
+        assert!(parse("kind RowMinima\nm 2\nn 2\na 1 2").is_err()); // short matrix
+        assert!(parse("kind Bogus\nm 1\nn 1\na 0").is_err());
+        assert!(parse("kind RowMinima\nm 1\nn 1\na 0\nrankv 1").is_err()); // lone rankv
+    }
+
+    #[test]
+    fn infinity_spelling_roundtrips() {
+        let inst = generate(ProblemKind::StaircaseRowMinima, 3);
+        let text = render(&inst, "");
+        let back = parse(&text).unwrap();
+        assert_eq!(inst.a.data(), back.a.data());
+    }
+}

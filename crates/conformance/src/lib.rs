@@ -1,0 +1,37 @@
+//! Conformance lab for the Monge searching workspace.
+//!
+//! Two instruments, both deterministic:
+//!
+//! * [`audit`] — a complexity-bound auditor that runs the PRAM-backed
+//!   engines over a geometric ladder of instance sizes, reads the step
+//!   and processor counters out of the dispatch telemetry, and asserts
+//!   the paper's bounds (Theorem 2.3's `O(lg n)` CRCW schedule, the
+//!   CREW `O(lg n lg lg n)` variant, …) with configurable slack. A
+//!   deliberately quadratic dummy backend serves as the negative
+//!   control: the auditor must fail it.
+//! * [`fuzz`] — a differential fuzzer that generates structured
+//!   instances ([`gen`]) from SplitMix64 seeds ([`rng`]), solves each
+//!   on every eligible backend, diffs full argmin vectors (values,
+//!   indices, and tie-breaks) against the brute-force oracle, and
+//!   shrinks any mismatch to a minimal reproducer persisted in the
+//!   text corpus ([`corpus`]).
+//!
+//! Everything is a pure function of explicit seeds: a failure report
+//! names the seed, and the seed regenerates the failure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod corpus;
+pub mod fuzz;
+pub mod gen;
+pub mod rng;
+
+pub use audit::{audit, env_slack, ladder, AuditFamily, AuditReport, BoundShape, BoundSpec};
+pub use corpus::{corpus_dir, parse, render, replay_all, replay_file};
+pub use fuzz::{
+    conformance_dispatcher, fuzz_budget, fuzz_kind, shrink, FuzzReport, Mismatch, TINY_GRAIN,
+};
+pub use gen::{generate, Instance};
+pub use rng::SplitMix64;

@@ -1,0 +1,138 @@
+//! Complexity-bound audits over the geometric ladder `n = 2^6 ..= 2^14`.
+//!
+//! Each test pins one PRAM min-primitive to the theorem whose resource
+//! bound it implements, reads the simulator's machine counters out of
+//! the dispatch telemetry, and asserts every rung stays inside
+//! `slack · shape(n)`. The slack constants absorb the constants the
+//! theorems hide; they were calibrated against measured step counts
+//! (see DESIGN.md §12) and leave ≥ 1.5× headroom at the tightest rung
+//! while rejecting the quadratic negative control at every rung.
+
+use monge_conformance::audit::{
+    audit, ladder, AuditFamily, BoundShape, BoundSpec, QuadraticDummyBackend,
+};
+use monge_conformance::fuzz::conformance_dispatcher;
+use monge_parallel::Dispatcher;
+
+const SEED: u64 = 0xC0FFEE;
+
+/// Theorem 2.3: staircase-Monge row minima in `O(lg n)` CRCW steps on
+/// `≤ n` processors. The combining-write primitive is the engine that
+/// realizes it; plain Monge rows are the theorem's special case of an
+/// all-feasible staircase.
+#[test]
+fn theorem_2_3_combining_crcw_lg_n_steps_linear_processors() {
+    let d = conformance_dispatcher();
+    let spec = BoundSpec::crcw(BoundShape::LogN, 6.0, BoundShape::Linear, 2.0);
+    for family in [AuditFamily::MongeRows, AuditFamily::Staircase] {
+        let report = audit(&d, "pram:combining", family, spec, &ladder(6, 14), SEED);
+        assert!(report.ok(), "{report}");
+        assert!(
+            report.fitted_polylog_degree < 3.0,
+            "step growth is not polylog:\n{report}"
+        );
+    }
+}
+
+/// The CRCW-Arbitrary route: the doubly-logarithmic fan-in tree costs
+/// `O(lg n · lg lg n)` steps on `≤ n` processors.
+#[test]
+fn doubly_log_crcw_lg_n_lg_lg_n_steps() {
+    let d = conformance_dispatcher();
+    let spec = BoundSpec::crcw(BoundShape::LogNLogLogN, 10.0, BoundShape::Linear, 2.0);
+    for family in [AuditFamily::MongeRows, AuditFamily::Staircase] {
+        let report = audit(&d, "pram:doubly-log", family, spec, &ladder(6, 14), SEED);
+        assert!(report.ok(), "{report}");
+        assert!(
+            report.fitted_polylog_degree < 3.0,
+            "step growth is not polylog:\n{report}"
+        );
+    }
+}
+
+/// The CREW variant: binary fan-in costs `O(lg² n)` steps, and the
+/// concurrent-write counter doubles as the model certificate — a
+/// claimed CREW schedule must log **zero** concurrent-write events.
+#[test]
+fn tree_crew_lg_squared_steps_and_no_concurrent_writes() {
+    let d = conformance_dispatcher();
+    let spec = BoundSpec::crew(BoundShape::Log2N, 3.0, BoundShape::Linear, 2.0);
+    for family in [AuditFamily::MongeRows, AuditFamily::Staircase] {
+        let report = audit(&d, "pram:tree", family, spec, &ladder(6, 14), SEED);
+        assert!(report.ok(), "{report}");
+    }
+}
+
+/// The quadratic-processor constant-time minimum (§2.1): `O(lg n)`
+/// dispatch rounds end to end, but peak processors may reach `n²/2`.
+/// The simulation itself costs `Θ(n²)` work per round, so this ladder
+/// stops at `2^9`.
+#[test]
+fn constant_primitive_quadratic_processors_small_ladder() {
+    let d = conformance_dispatcher();
+    let spec = BoundSpec::crcw(BoundShape::LogN, 10.0, BoundShape::NSquared, 1.0);
+    for family in [AuditFamily::MongeRows, AuditFamily::Staircase] {
+        let report = audit(&d, "pram:constant", family, spec, &ladder(6, 9), SEED);
+        assert!(report.ok(), "{report}");
+    }
+}
+
+/// Tube minima of the composite `c[i,j,k] = d[i,j] + e[j,k]` inherit
+/// the per-primitive step bounds; the plane count multiplies work, not
+/// depth. Smaller ladder — the instance itself is `Θ(n²)` cells.
+#[test]
+fn composite_tube_inherits_primitive_step_bounds() {
+    let d = conformance_dispatcher();
+    let combining = BoundSpec::crcw(BoundShape::LogN, 6.0, BoundShape::Linear, 2.0);
+    let report = audit(
+        &d,
+        "pram:combining",
+        AuditFamily::CompositeTube,
+        combining,
+        &ladder(6, 9),
+        SEED,
+    );
+    assert!(report.ok(), "{report}");
+
+    let tree = BoundSpec::crew(BoundShape::Log2N, 3.0, BoundShape::Linear, 2.0);
+    let report = audit(
+        &d,
+        "pram:tree",
+        AuditFamily::CompositeTube,
+        tree,
+        &ladder(6, 9),
+        SEED,
+    );
+    assert!(report.ok(), "{report}");
+}
+
+/// Negative control: a backend that answers correctly but runs a
+/// quadratic schedule must fail the Theorem 2.3 audit at every rung,
+/// and the failure report must name the offending rungs. An auditor
+/// that passes this backend is asserting nothing.
+#[test]
+fn negative_control_quadratic_dummy_fails_the_lg_n_bound() {
+    let mut d = Dispatcher::with_all_backends();
+    d.register(Box::new(QuadraticDummyBackend));
+    let spec = BoundSpec::crcw(BoundShape::LogN, 6.0, BoundShape::Linear, 2.0);
+    let report = audit(
+        &d,
+        "dummy:quadratic",
+        AuditFamily::MongeRows,
+        spec,
+        &ladder(6, 11),
+        SEED,
+    );
+    assert!(!report.ok(), "auditor accepted a quadratic schedule");
+    assert_eq!(
+        report.offenders().len(),
+        report.points.len(),
+        "n² steps must breach lg n at every rung:\n{report}"
+    );
+    assert!(
+        report.fitted_polylog_degree > 4.0,
+        "quadratic growth should fit far above any polylog degree:\n{report}"
+    );
+    let table = report.to_string();
+    assert!(table.contains("FAIL"), "{table}");
+}

@@ -525,6 +525,21 @@ pub struct MachineCounters {
     pub work: u64,
     /// PRAM: peak processors active in one step.
     pub processors: u64,
+    /// PRAM: total shared-memory reads.
+    pub reads: u64,
+    /// PRAM: total shared-memory writes (post conflict resolution).
+    pub writes: u64,
+    /// PRAM: steps in which at least two processors read one cell
+    /// (always 0 on a legal EREW run).
+    pub concurrent_read_events: u64,
+    /// PRAM: steps in which at least two processors wrote one cell
+    /// (always 0 on a legal CREW run — the counter the conformance
+    /// auditor checks to certify a claimed CREW bound really ran
+    /// without concurrent writes).
+    pub concurrent_write_events: u64,
+    /// PRAM: model violations recorded by a lenient machine (strict
+    /// machines panic instead; always 0 there).
+    pub violations: u64,
     /// Hypercube: compute (non-exchange) steps.
     pub local_steps: u64,
     /// Hypercube: single-dimension exchange steps.

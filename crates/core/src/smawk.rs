@@ -44,6 +44,34 @@ impl<T: Value> RowExtrema<T> {
             .collect();
         Self { index, value }
     }
+
+    /// Boundary-aware gather for staircase problems: a row whose finite
+    /// prefix is empty (`boundary[i] == 0`) gets the canonical sentinel
+    /// answer — index `0`, value `+∞` — **without reading the array**
+    /// (the infeasible region may hold garbage, not just `∞`). Every
+    /// staircase backend routes its final gather through here so the
+    /// sentinel is identical across engines, which is what the
+    /// differential fuzzer diffs against.
+    pub fn from_staircase_indices<A: Array2d<T>>(
+        a: &A,
+        boundary: &[usize],
+        mut index: Vec<usize>,
+    ) -> Self {
+        debug_assert_eq!(boundary.len(), index.len());
+        let value = index
+            .iter_mut()
+            .enumerate()
+            .map(|(i, j)| {
+                if boundary[i] == 0 {
+                    *j = 0;
+                    T::INFINITY
+                } else {
+                    a.entry(i, *j)
+                }
+            })
+            .collect();
+        Self { index, value }
+    }
 }
 
 /// Row minima of a totally monotone array (SMAWK), `Θ(m + n)` for Monge

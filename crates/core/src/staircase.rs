@@ -20,8 +20,10 @@
 //! * Brute-force oracles for both.
 //!
 //! Returned argmin/argmax positions are the **leftmost** optimum of each
-//! row's finite prefix; a fully infinite row (only possible with `f_i = 0`,
-//! which the generators never produce) reports column `0`.
+//! row's finite prefix; a fully infinite row (`f_i = 0`) reports the
+//! canonical sentinel — column `0`, never read, value `+∞` when gathered
+//! through `RowExtrema::from_staircase_indices`. Every engine and oracle
+//! in the workspace agrees on this answer.
 
 use crate::array2d::Array2d;
 use crate::eval::{interval_argmax, interval_argmin};
@@ -54,7 +56,12 @@ pub fn staircase_row_minima_brute<T: Value, A: Array2d<T>>(a: &A, f: &[usize]) -
     assert_eq!(f.len(), a.rows());
     (0..a.rows())
         .map(|i| {
-            let fi = f[i].max(1).min(a.cols());
+            let fi = f[i].min(a.cols());
+            if fi == 0 {
+                // Canonical sentinel for an empty finite prefix: leftmost
+                // column, never read.
+                return 0;
+            }
             let mut best = 0;
             let mut best_v = a.entry(i, 0);
             for j in 1..fi {
@@ -74,7 +81,10 @@ pub fn staircase_row_maxima_brute<T: Value, A: Array2d<T>>(a: &A, f: &[usize]) -
     assert_eq!(f.len(), a.rows());
     (0..a.rows())
         .map(|i| {
-            let fi = f[i].max(1).min(a.cols());
+            let fi = f[i].min(a.cols());
+            if fi == 0 {
+                return 0;
+            }
             let mut best = 0;
             let mut best_v = a.entry(i, 0);
             for j in 1..fi {
@@ -193,8 +203,12 @@ pub fn staircase_row_maxima<T: Value, A: Array2d<T>>(a: &A, f: &[usize]) -> Vec<
         return out;
     }
     assert!(a.cols() > 0);
+    // Rows with an empty finite prefix (`f_i = 0`) form a suffix (`f` is
+    // non-increasing); they keep the canonical sentinel index 0 and are
+    // never read.
+    let feasible = partition_point(0, m, |i| f[i] > 0);
     crate::scratch::with_scratch(|scratch: &mut Vec<T>| {
-        maxima_rec(a, f, 0, m, 0, a.cols(), &mut out, scratch);
+        maxima_rec(a, f, 0, feasible, 0, a.cols(), &mut out, scratch);
     });
     out
 }

@@ -245,7 +245,7 @@ impl<T: Value> Backend<T> for SequentialBackend {
                 };
                 telemetry.record_phase("search", t0.elapsed().as_nanos());
                 let t1 = Instant::now();
-                let sol = Solution::Rows(RowExtrema::from_indices(&a, index));
+                let sol = Solution::Rows(RowExtrema::from_staircase_indices(&a, boundary, index));
                 telemetry.record_phase("finalize", t1.elapsed().as_nanos());
                 telemetry.evaluations += a.evaluations();
                 sol
@@ -365,7 +365,7 @@ impl<T: Value> Backend<T> for RayonBackend {
                 let index = rayon_staircase::par_staircase_row_minima_with(&a, boundary, t);
                 telemetry.record_phase("search", t0.elapsed().as_nanos());
                 let t1 = Instant::now();
-                let sol = Solution::Rows(RowExtrema::from_indices(&a, index));
+                let sol = Solution::Rows(RowExtrema::from_staircase_indices(&a, boundary, index));
                 telemetry.record_phase("finalize", t1.elapsed().as_nanos());
                 telemetry.evaluations += a.evaluations();
                 sol
@@ -442,6 +442,11 @@ impl<T: Value> Backend<T> for PramBackend {
             telemetry.machine.steps = m.steps;
             telemetry.machine.work = m.work;
             telemetry.machine.processors = m.peak_processors;
+            telemetry.machine.reads = m.reads;
+            telemetry.machine.writes = m.writes;
+            telemetry.machine.concurrent_read_events = m.concurrent_read_events;
+            telemetry.machine.concurrent_write_events = m.concurrent_write_events;
+            telemetry.machine.violations = m.violations;
         };
         match *problem {
             Problem::Rows {
@@ -487,7 +492,7 @@ impl<T: Value> Backend<T> for PramBackend {
                 telemetry.record_phase("search", t0.elapsed().as_nanos());
                 stamp(telemetry, &run.metrics);
                 let t1 = Instant::now();
-                let sol = Solution::Rows(RowExtrema::from_indices(&a, run.index));
+                let sol = Solution::Rows(RowExtrema::from_staircase_indices(&a, boundary, run.index));
                 telemetry.record_phase("finalize", t1.elapsed().as_nanos());
                 telemetry.evaluations += a.evaluations();
                 sol
@@ -661,7 +666,7 @@ impl<T: Value> Backend<T> for HypercubeBackend {
                 telemetry.evaluations += evals.load(Ordering::Relaxed);
                 let t1 = Instant::now();
                 let a = Metered::new(array);
-                let sol = Solution::Rows(RowExtrema::from_indices(&a, run.index));
+                let sol = Solution::Rows(RowExtrema::from_staircase_indices(&a, boundary, run.index));
                 telemetry.record_phase("finalize", t1.elapsed().as_nanos());
                 telemetry.evaluations += a.evaluations();
                 sol

@@ -111,15 +111,19 @@ impl<T: Value> Backend<T> for BruteForceBackend {
                     (0..a.rows())
                         .map(|i| {
                             checkpoint();
-                            // Mirror the sequential engine's clamp: every
-                            // row scans at least its first column.
-                            let fi = boundary[i].max(1).min(n);
+                            // A fully-infeasible row (empty finite prefix)
+                            // takes the canonical sentinel answer — index 0,
+                            // value +∞, no reads — matching the fast engines.
+                            let fi = boundary[i].min(n);
+                            if fi == 0 {
+                                return 0;
+                            }
                             eval::interval_argmin(&a, i, 0, fi, buf).0
                         })
                         .collect()
                 });
                 telemetry.evaluations += a.evaluations();
-                Solution::Rows(RowExtrema::from_indices(&a, index))
+                Solution::Rows(RowExtrema::from_staircase_indices(&a, boundary, index))
             }
             Problem::Banded {
                 array,

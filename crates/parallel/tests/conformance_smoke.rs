@@ -1,0 +1,42 @@
+//! Smoke-level conformance pass wired into the dispatch crate's own
+//! test suite (through the `monge-conformance` dev-dependency), so a
+//! plain `cargo test -p monge-parallel` already runs a miniature
+//! differential fuzz and one complexity audit. The full lab — 500+
+//! instances per kind, the 2^6..2^14 ladder, corpus replay — lives in
+//! `cargo test -p monge-conformance`.
+
+use monge_conformance::audit::{audit, ladder, AuditFamily, BoundShape, BoundSpec};
+use monge_conformance::fuzz::{conformance_dispatcher, fuzz_kind};
+use monge_core::problem::ProblemKind;
+
+#[test]
+fn quick_differential_pass_over_every_kind() {
+    let d = conformance_dispatcher();
+    for kind in ProblemKind::ALL {
+        let report = fuzz_kind(&d, kind, 25, 0x57A7);
+        assert!(
+            report.mismatches.is_empty(),
+            "{kind:?}: backend disagreement {:?}",
+            report
+                .mismatches
+                .iter()
+                .map(|m| (&m.backend, m.seed, m.family))
+                .collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn quick_theorem_2_3_audit() {
+    let d = conformance_dispatcher();
+    let spec = BoundSpec::crcw(BoundShape::LogN, 6.0, BoundShape::Linear, 2.0);
+    let report = audit(
+        &d,
+        "pram:combining",
+        AuditFamily::Staircase,
+        spec,
+        &ladder(6, 10),
+        0xC0FFEE,
+    );
+    assert!(report.ok(), "{report}");
+}

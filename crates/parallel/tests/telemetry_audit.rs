@@ -117,7 +117,26 @@ fn simulators_report_machine_counters() {
         assert!(tel.machine.steps > 0, "{name}: no PRAM steps");
         assert!(tel.machine.work > 0, "{name}: no PRAM work");
         assert!(tel.machine.processors > 0, "{name}: no processor count");
+        assert!(tel.machine.reads > 0, "{name}: no shared-memory reads");
+        assert!(tel.machine.writes > 0, "{name}: no shared-memory writes");
+        assert_eq!(tel.machine.violations, 0, "{name}: model violations");
     }
+
+    // The concurrent-write counter separates the simulated models: the
+    // binary fan-in tree is genuinely CREW (zero concurrent-write
+    // events — that counter is the model certificate the conformance
+    // auditor relies on), while the combining-write primitive exists
+    // precisely to exploit concurrent writes.
+    let (_, tel) = d.solve_on("pram:tree", &p, t).expect("pram backend");
+    assert_eq!(
+        tel.machine.concurrent_write_events, 0,
+        "tree primitive must simulate clean CREW"
+    );
+    let (_, tel) = d.solve_on("pram:combining", &p, t).expect("pram backend");
+    assert!(
+        tel.machine.concurrent_write_events > 0,
+        "combining primitive never exercised a concurrent write"
+    );
 
     let v: Vec<i64> = (0..12).map(|x| 2 * x).collect();
     let w: Vec<i64> = (0..12).map(|y| 2 * y + 1).collect();
