@@ -238,6 +238,9 @@ impl Array2d<f64> for WindowArray<'_> {
         (r - l).max(0.0) * (t - b)
     }
 
+    // `prefers_streaming` stays `false`: like `DistProduct`, each
+    // `fill_row` runs a row-granular incremental sweep, so chunked
+    // streaming would repeat the sweep per chunk.
     fn fill_row(&self, bi: usize, cols: std::ops::Range<usize>, out: &mut [f64]) {
         // One incremental sweep computes the whole row; the requested
         // slice is copied out.

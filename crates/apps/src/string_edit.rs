@@ -422,6 +422,10 @@ impl<'a, A: Array2d<i64>, B: Array2d<i64>> Array2d<i64> for DistProduct<'a, A, B
         // nothing.
         let s = self.a.rows();
         let inf = <i64 as Value>::INFINITY;
+        // NOTE: because this computes the *whole* row per call (the
+        // monotone sweep is row-granular), `prefers_streaming` stays
+        // at its default `false` — chunked streaming would re-run the
+        // sweep once per chunk.
         with_scratch2(|row: &mut Vec<i64>, scratch: &mut Vec<i64>| {
             row.clear();
             row.resize(s, inf);

@@ -26,6 +26,7 @@ use monge_bench::workloads::{monge_square, rng_for};
 use monge_core::array2d::{Array2d, Dense};
 use monge_core::eval;
 use monge_core::generators::{random_monge_dense, ImplicitMonge};
+use monge_core::kernel::{self, Kernel};
 use monge_core::problem::Problem;
 use monge_parallel::{Dispatcher, Tuning};
 use rand::RngExt;
@@ -77,6 +78,15 @@ fn quick_mode() -> bool {
     std::env::var("MONGE_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
 }
 
+/// Times `batched_row_minima` with the kernel selection pinned to `k`,
+/// restoring `Auto` after (the pin is process-global).
+fn batched_ns_with<A: Array2d<i64>>(a: &A, k: Kernel, reps: usize) -> u128 {
+    kernel::select(k);
+    let ns = time_ns(|| batched_row_minima(a), reps);
+    kernel::select(Kernel::Auto);
+    ns
+}
+
 fn rowmin_json(quick: bool) -> String {
     let reps = if quick { 3 } else { 15 };
     let sizes: &[usize] = if quick {
@@ -93,24 +103,39 @@ fn rowmin_json(quick: bool) -> String {
             per_entry_row_minima(&implicit),
             batched_row_minima(&implicit)
         );
-        for (substrate, per_entry, batched) in [
+        // Four timed columns per substrate: the historical per-entry
+        // baseline, the default (`Auto`) batched path — the acceptance
+        // metric — and both kernels pinned, so a regression in either
+        // shows up even while `Auto` masks it. Without the `simd`
+        // feature the `Simd` pin degrades to scalar and the last two
+        // columns coincide.
+        for (substrate, per_entry, batched, scalar_b, simd_b) in [
             (
                 "dense",
                 time_ns(|| per_entry_row_minima(&dense), reps),
                 time_ns(|| batched_row_minima(&dense), reps),
+                batched_ns_with(&dense, Kernel::Scalar, reps),
+                batched_ns_with(&dense, Kernel::Simd, reps),
             ),
             (
                 "implicit",
                 time_ns(|| per_entry_row_minima(&implicit), reps),
                 time_ns(|| batched_row_minima(&implicit), reps),
+                batched_ns_with(&implicit, Kernel::Scalar, reps),
+                batched_ns_with(&implicit, Kernel::Simd, reps),
             ),
         ] {
             let speedup = per_entry as f64 / batched as f64;
-            println!("{substrate:>9} n={n:<6} per_entry={per_entry:>10}ns batched={batched:>10}ns speedup={speedup:.2}x");
+            let simd_gain = scalar_b as f64 / simd_b as f64;
+            println!(
+                "{substrate:>9} n={n:<6} per_entry={per_entry:>10}ns batched={batched:>10}ns \
+                 scalar={scalar_b:>10}ns simd={simd_b:>10}ns speedup={speedup:.2}x simd_gain={simd_gain:.2}x"
+            );
             records.push(format!(
                 "    {{\"substrate\": \"{substrate}\", \"rows\": {ROWS}, \"n\": {n}, \
                  \"per_entry_ns\": {per_entry}, \"batched_ns\": {batched}, \
-                 \"speedup\": {speedup:.4}}}"
+                 \"scalar_batched_ns\": {scalar_b}, \"simd_batched_ns\": {simd_b}, \
+                 \"speedup\": {speedup:.4}, \"simd_gain\": {simd_gain:.4}}}"
             ));
         }
     }

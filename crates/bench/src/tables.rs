@@ -58,6 +58,9 @@ impl<'a, T: Value, A: Array2d<T>> Array2d<T> for Counting<'a, A> {
         self.count.fetch_add(1, Ordering::Relaxed);
         self.inner.entry(i, j)
     }
+    fn prefers_streaming(&self) -> bool {
+        self.inner.prefers_streaming()
+    }
 }
 
 fn hdr(title: &str) {

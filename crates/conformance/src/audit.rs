@@ -97,7 +97,12 @@ pub struct BoundSpec {
 impl BoundSpec {
     /// A CRCW-style spec: steps within `slack · shape`, processors
     /// within `proc_slack · proc_shape`, concurrent writes allowed.
-    pub fn crcw(steps: BoundShape, steps_slack: f64, processors: BoundShape, proc_slack: f64) -> Self {
+    pub fn crcw(
+        steps: BoundShape,
+        steps_slack: f64,
+        processors: BoundShape,
+        proc_slack: f64,
+    ) -> Self {
         BoundSpec {
             steps,
             steps_slack,
@@ -108,7 +113,12 @@ impl BoundSpec {
     }
 
     /// A CREW-style spec: same bounds plus zero concurrent writes.
-    pub fn crew(steps: BoundShape, steps_slack: f64, processors: BoundShape, proc_slack: f64) -> Self {
+    pub fn crew(
+        steps: BoundShape,
+        steps_slack: f64,
+        processors: BoundShape,
+        proc_slack: f64,
+    ) -> Self {
         BoundSpec {
             forbid_concurrent_writes: true,
             ..Self::crcw(steps, steps_slack, processors, proc_slack)
@@ -265,7 +275,9 @@ fn fit_polylog_degree(points: &[(usize, u64)]) -> f64 {
         return 0.0;
     }
     let k = samples.len() as f64;
-    let (sx, sy): (f64, f64) = samples.iter().fold((0.0, 0.0), |(a, b), (x, y)| (a + x, b + y));
+    let (sx, sy): (f64, f64) = samples
+        .iter()
+        .fold((0.0, 0.0), |(a, b), (x, y)| (a + x, b + y));
     let (sxx, sxy): (f64, f64) = samples
         .iter()
         .fold((0.0, 0.0), |(a, b), (x, y)| (a + x * x, b + x * y));
@@ -329,7 +341,8 @@ pub fn audit(
                 }
             };
         assert_eq!(
-            solution, reference,
+            solution,
+            reference,
             "{backend} disagrees with sequential on {} at n={n} — \
              a complexity audit of wrong answers is meaningless",
             family.label()
@@ -345,9 +358,7 @@ pub fn audit(
             forbid_concurrent_writes: spec.forbid_concurrent_writes,
         });
     }
-    let fitted = fit_polylog_degree(
-        &points.iter().map(|p| (p.n, p.steps)).collect::<Vec<_>>(),
-    );
+    let fitted = fit_polylog_degree(&points.iter().map(|p| (p.n, p.steps)).collect::<Vec<_>>());
     AuditReport {
         backend: backend.to_string(),
         family,

@@ -80,7 +80,8 @@ fn parse_value(s: &str) -> Result<i64, String> {
     if s == "inf" {
         Ok(<i64 as Value>::INFINITY)
     } else {
-        s.parse::<i64>().map_err(|e| format!("bad value '{s}': {e}"))
+        s.parse::<i64>()
+            .map_err(|e| format!("bad value '{s}': {e}"))
     }
 }
 
@@ -110,14 +111,28 @@ pub fn render(inst: &Instance, note: &str) -> String {
     let _ = writeln!(
         s,
         "objective {}",
-        if inst.objective == Objective::Minimize { "min" } else { "max" }
+        if inst.objective == Objective::Minimize {
+            "min"
+        } else {
+            "max"
+        }
     );
-    let _ = writeln!(s, "tie {}", if inst.tie == Tie::Left { "left" } else { "right" });
+    let _ = writeln!(
+        s,
+        "tie {}",
+        if inst.tie == Tie::Left {
+            "left"
+        } else {
+            "right"
+        }
+    );
     let _ = writeln!(s, "family {}", inst.family);
     let _ = writeln!(s, "m {}", inst.a.rows());
     let _ = writeln!(s, "n {}", inst.a.cols());
     for i in 0..inst.a.rows() {
-        let row: Vec<String> = (0..inst.a.cols()).map(|j| value_str(inst.a.entry(i, j))).collect();
+        let row: Vec<String> = (0..inst.a.cols())
+            .map(|j| value_str(inst.a.entry(i, j)))
+            .collect();
         let _ = writeln!(s, "a {}", row.join(" "));
     }
     if let Some(f) = &inst.boundary {
@@ -273,8 +288,7 @@ pub fn save(inst: &Instance, stem: &str, note: &str) -> std::io::Result<PathBuf>
 /// promise, and diffs every registry-eligible backend against the
 /// brute oracle under both grain policies. `Ok(())` means conformant.
 pub fn replay_file(path: &Path) -> Result<(), String> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("{}: {e}", path.display()))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
     let inst = parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
     if !inst.valid() {
         return Err(format!(

@@ -49,6 +49,7 @@ pub const TINY_GRAIN: Tuning = Tuning {
     seq_rows: 1,
     tube_seq_planes: 1,
     pram_base_rows: 1,
+    kernel: monge_core::kernel::Kernel::Auto,
 };
 
 /// One confirmed disagreement with the oracle, already shrunk.
@@ -79,11 +80,7 @@ pub struct FuzzReport {
 
 /// The backends of `d` that disagree with the brute oracle on `inst`,
 /// by registry name. Empty = conformant.
-pub fn disagreeing_backends(
-    d: &Dispatcher<i64>,
-    inst: &Instance,
-    tuning: Tuning,
-) -> Vec<String> {
+pub fn disagreeing_backends(d: &Dispatcher<i64>, inst: &Instance, tuning: Tuning) -> Vec<String> {
     let p = inst.problem();
     let Some((want, _)) = d.solve_on(BRUTE, &p, tuning) else {
         // The oracle refuses only structurally impossible IR; the
@@ -109,9 +106,10 @@ pub fn backend_disagrees(
     tuning: Tuning,
 ) -> bool {
     let p = inst.problem();
-    let (Some((want, _)), Some((got, _))) =
-        (d.solve_on(BRUTE, &p, tuning), d.solve_on(backend, &p, tuning))
-    else {
+    let (Some((want, _)), Some((got, _))) = (
+        d.solve_on(BRUTE, &p, tuning),
+        d.solve_on(backend, &p, tuning),
+    ) else {
         // A shrink step that makes the backend ineligible does not
         // preserve the failure.
         return false;
@@ -134,14 +132,16 @@ pub fn fuzz_kind(
         let inst = generate(kind, seed);
         // Alternate grain policies so both the sequential and the
         // parallel split paths of the host engines are diffed.
-        let tuning = if i % 2 == 0 { Tuning::DEFAULT } else { TINY_GRAIN };
+        let tuning = if i % 2 == 0 {
+            Tuning::DEFAULT
+        } else {
+            TINY_GRAIN
+        };
         let p = inst.problem();
         report.instances += 1;
         report.solves += d.eligible(&p).len().saturating_sub(1);
         for backend in disagreeing_backends(d, &inst, tuning) {
-            let shrunk = shrink(&inst, |cand| {
-                backend_disagrees(d, cand, &backend, tuning)
-            });
+            let shrunk = shrink(&inst, |cand| backend_disagrees(d, cand, &backend, tuning));
             report.mismatches.push(Mismatch {
                 kind,
                 seed,

@@ -62,8 +62,8 @@ impl Instance {
     pub fn problem(&self) -> Problem<'_, i64> {
         match self.kind {
             ProblemKind::RowMinima | ProblemKind::RowMaxima => {
-                let mut p = Problem::rows(&self.a, self.structure, self.objective)
-                    .with_tie(self.tie);
+                let mut p =
+                    Problem::rows(&self.a, self.structure, self.objective).with_tie(self.tie);
                 if let Some((v, w)) = &self.rank {
                     p = p.with_rank(v, w, &sq);
                 }
@@ -114,9 +114,8 @@ impl Instance {
             if v.len() != self.a.rows() || w.len() != self.a.cols() {
                 return false;
             }
-            let consistent = (0..self.a.rows()).all(|i| {
-                (0..self.a.cols()).all(|j| self.a.entry(i, j) == sq(v[i], w[j]))
-            });
+            let consistent = (0..self.a.rows())
+                .all(|i| (0..self.a.cols()).all(|j| self.a.entry(i, j) == sq(v[i], w[j])));
             if !consistent {
                 return false;
             }
@@ -165,9 +164,7 @@ impl Instance {
             }
             ProblemKind::TubeMinima | ProblemKind::TubeMaxima => {
                 let Some(e) = &self.e else { return false };
-                e.rows() == self.a.cols()
-                    && check_monge(&self.a).is_ok()
-                    && check_monge(e).is_ok()
+                e.rows() == self.a.cols() && check_monge(&self.a).is_ok() && check_monge(e).is_ok()
             }
         }
     }
@@ -240,7 +237,11 @@ fn rows_instance(kind: ProblemKind, seed: u64) -> Instance {
     };
     // The simulators only answer the leftmost tie rule; a slice of
     // rightmost-tie instances keeps the host engines honest too.
-    let tie = if r.chance(1, 10) { Tie::Right } else { Tie::Left };
+    let tie = if r.chance(1, 10) {
+        Tie::Right
+    } else {
+        Tie::Left
+    };
     let (a, structure, rank, name): (Dense<i64>, Structure, _, &'static str) = match family {
         0 => (
             monge_base(m, n, &mut r, 1000, 16, 1),
@@ -478,7 +479,10 @@ fn banded_instance(kind: ProblemKind, seed: u64) -> Instance {
             let width: Vec<usize> = (0..m).map(|_| if r.chance(1, 2) { 0 } else { 1 }).collect();
             (
                 pos.clone(),
-                pos.iter().zip(&width).map(|(&p, &w)| (p + w).min(n)).collect(),
+                pos.iter()
+                    .zip(&width)
+                    .map(|(&p, &w)| (p + w).min(n))
+                    .collect(),
             )
         }
         3 => {
@@ -582,9 +586,7 @@ pub fn generate(kind: ProblemKind, seed: u64) -> Instance {
     match kind {
         ProblemKind::RowMinima | ProblemKind::RowMaxima => rows_instance(kind, seed),
         ProblemKind::StaircaseRowMinima => staircase_instance(seed),
-        ProblemKind::BandedRowMinima | ProblemKind::BandedRowMaxima => {
-            banded_instance(kind, seed)
-        }
+        ProblemKind::BandedRowMinima | ProblemKind::BandedRowMaxima => banded_instance(kind, seed),
         ProblemKind::TubeMinima | ProblemKind::TubeMaxima => tube_instance(kind, seed),
     }
 }
@@ -629,6 +631,9 @@ mod tests {
             saw_garbage |= inst.family == "staircase-garbage-beyond-boundary";
         }
         assert!(saw_zero, "no fully-infeasible rows generated in 300 seeds");
-        assert!(saw_garbage, "no garbage-beyond-boundary instances in 300 seeds");
+        assert!(
+            saw_garbage,
+            "no garbage-beyond-boundary instances in 300 seeds"
+        );
     }
 }

@@ -7,11 +7,9 @@
 //! 500 — the quick-CI budget; the nightly job raises it).
 
 use monge_conformance::corpus;
-use monge_core::array2d::Array2d;
-use monge_conformance::fuzz::{
-    conformance_dispatcher, fuzz_budget, fuzz_kind, PlantedBugBackend,
-};
+use monge_conformance::fuzz::{conformance_dispatcher, fuzz_budget, fuzz_kind, PlantedBugBackend};
 use monge_conformance::gen::generate;
+use monge_core::array2d::Array2d;
 use monge_core::guard::{AttemptOutcome, FaultInjector, FaultPlan, GuardPolicy, SolveError};
 use monge_core::problem::{Problem, ProblemKind, Solution};
 use monge_core::value::Value;
@@ -63,10 +61,7 @@ fn planted_bug_is_caught_shrunk_and_replayable() {
         "the fuzzer missed a backend that is wrong on every 5×5+ instance"
     );
     assert!(
-        report
-            .mismatches
-            .iter()
-            .all(|m| m.backend == "planted-bug"),
+        report.mismatches.iter().all(|m| m.backend == "planted-bug"),
         "real backends mismatched too: {:?}",
         report
             .mismatches
@@ -143,7 +138,10 @@ fn infeasible_staircase_rows_get_the_canonical_sentinel_everywhere() {
         .iter()
         .map(|b| b.name().to_string())
         .collect();
-    assert!(names.len() >= 4, "expected several eligible backends: {names:?}");
+    assert!(
+        names.len() >= 4,
+        "expected several eligible backends: {names:?}"
+    );
     for name in &names {
         let (sol, _) = d.solve_on(name, &p, Tuning::DEFAULT).unwrap();
         let Solution::Rows(ex) = sol else {
@@ -182,7 +180,11 @@ fn guarded_fallback_paths_match_the_injected_fault_pattern() {
         let base = inst.a.clone();
 
         // Budget 0: the plan is armed but can never fire.
-        let f = FaultInjector::new(base.clone(), FaultPlan::none(seed).panics(1000).panic_budget(0), 0i64);
+        let f = FaultInjector::new(
+            base.clone(),
+            FaultPlan::none(seed).panics(1000).panic_budget(0),
+            0i64,
+        );
         let (_, tel) = d
             .solve_guarded(&Problem::row_minima(&f), &GuardPolicy::default())
             .expect("budget 0 must solve clean");
@@ -191,14 +193,22 @@ fn guarded_fallback_paths_match_the_injected_fault_pattern() {
         assert_eq!(guard.attempts[0].outcome, AttemptOutcome::Completed);
 
         // Budget 1: exactly one transient panic, absorbed by the chain.
-        let f = FaultInjector::new(base.clone(), FaultPlan::none(seed).panics(1000).panic_budget(1), 0i64);
+        let f = FaultInjector::new(
+            base.clone(),
+            FaultPlan::none(seed).panics(1000).panic_budget(1),
+            0i64,
+        );
         let (_, tel) = d
             .solve_guarded(&Problem::row_minima(&f), &GuardPolicy::default())
             .expect("one transient panic must be absorbed");
         assert!(f.panics_fired() >= 1);
         let guard = tel.guard.expect("guarded solves stamp an outcome");
         assert!(guard.degraded(), "seed {seed}: the panic must be on record");
-        assert_eq!(guard.attempts[0].outcome, AttemptOutcome::Panicked, "seed {seed}");
+        assert_eq!(
+            guard.attempts[0].outcome,
+            AttemptOutcome::Panicked,
+            "seed {seed}"
+        );
         assert_eq!(
             guard.attempts.last().unwrap().outcome,
             AttemptOutcome::Completed,

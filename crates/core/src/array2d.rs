@@ -61,6 +61,25 @@ pub trait Array2d<T: Value>: Sync {
         None
     }
 
+    /// Does this array *generate* its rows rather than store them?
+    ///
+    /// Generator-backed implementations (closure arrays, implicit
+    /// rank-form arrays, composite planes) should return `true`: the
+    /// interval scans in [`crate::eval`] then evaluate wide rows
+    /// through a streaming chunked reduction — `fill_row` into a small
+    /// stack buffer, reduce while L1-hot, repeat — instead of
+    /// materializing the whole interval into a scratch buffer and
+    /// rescanning it, which round-trips every generated value through
+    /// memory twice and regresses past the cache boundary. Arrays that
+    /// store rows (and adapters over them that can serve
+    /// [`Array2d::row_view`]) should keep the default `false`; the
+    /// zero-copy tier is already strictly better there. Adapters that
+    /// merely re-index or post-process another array forward the
+    /// inner array's answer.
+    fn prefers_streaming(&self) -> bool {
+        false
+    }
+
     /// Materializes the array into dense row-major storage.
     fn to_dense(&self) -> Dense<T>
     where
@@ -101,6 +120,9 @@ impl<T: Value, A: Array2d<T> + ?Sized> Array2d<T> for &A {
     }
     fn row_view(&self, i: usize, cols: Range<usize>) -> Option<&[T]> {
         (**self).row_view(i, cols)
+    }
+    fn prefers_streaming(&self) -> bool {
+        (**self).prefers_streaming()
     }
 }
 
@@ -228,6 +250,9 @@ impl<T: Value, F: Fn(usize, usize) -> T + Sync> Array2d<T> for FnArray<F> {
     fn entry(&self, i: usize, j: usize) -> T {
         (self.f)(i, j)
     }
+    fn prefers_streaming(&self) -> bool {
+        true
+    }
 }
 
 /// Entry-wise negation: row maxima of `A` are row minima of `Negate(A)`.
@@ -250,6 +275,11 @@ impl<T: Value, A: Array2d<T>> Array2d<T> for Negate<A> {
         for v in out.iter_mut() {
             *v = v.neg();
         }
+    }
+    fn prefers_streaming(&self) -> bool {
+        // Negation can never serve `row_view`, but its `fill_row`
+        // stays cheap exactly when the inner one does.
+        self.0.prefers_streaming()
     }
 }
 
@@ -275,6 +305,9 @@ impl<T: Value, A: Array2d<T>> Array2d<T> for ReverseCols<A> {
         self.0.fill_row(i, n - cols.end..n - cols.start, out);
         out.reverse();
     }
+    fn prefers_streaming(&self) -> bool {
+        self.0.prefers_streaming()
+    }
 }
 
 /// Row reversal: also converts between Monge and inverse-Monge.
@@ -298,6 +331,9 @@ impl<T: Value, A: Array2d<T>> Array2d<T> for ReverseRows<A> {
     fn row_view(&self, i: usize, cols: Range<usize>) -> Option<&[T]> {
         self.0.row_view(self.0.rows() - 1 - i, cols)
     }
+    fn prefers_streaming(&self) -> bool {
+        self.0.prefers_streaming()
+    }
 }
 
 /// Transposition: Monge-ness is preserved.
@@ -314,6 +350,12 @@ impl<T: Value, A: Array2d<T>> Array2d<T> for Transpose<A> {
     #[inline]
     fn entry(&self, i: usize, j: usize) -> T {
         self.0.entry(j, i)
+    }
+    fn prefers_streaming(&self) -> bool {
+        // A transposed row is a column of the inner array: never
+        // contiguous, so the whole-row buffer path has no locality
+        // advantage to offer over streaming chunks.
+        true
     }
 }
 
@@ -377,6 +419,9 @@ impl<T: Value, A: Array2d<T>> Array2d<T> for SubArray<A> {
         self.inner
             .row_view(self.row_range.start + i, c0 + cols.start..c0 + cols.end)
     }
+    fn prefers_streaming(&self) -> bool {
+        self.inner.prefers_streaming()
+    }
 }
 
 /// Entry-wise sum of two equal-shape arrays. Monge arrays are closed
@@ -406,6 +451,12 @@ impl<T: Value, A: Array2d<T>, B: Array2d<T>> Array2d<T> for Plus<A, B> {
         for (slot, j) in out.iter_mut().zip(cols) {
             *slot = slot.add(self.1.entry(i, j));
         }
+    }
+    fn prefers_streaming(&self) -> bool {
+        // The sum must be computed element-wise regardless, so stream
+        // whenever either operand would; a stored left operand only
+        // feeds the per-chunk `fill_row` faster.
+        self.0.prefers_streaming() || self.1.prefers_streaming()
     }
 }
 
@@ -454,6 +505,9 @@ impl<T: Value, A: Array2d<T>> Array2d<T> for SelectRows<A> {
     fn row_view(&self, i: usize, cols: Range<usize>) -> Option<&[T]> {
         self.inner.row_view(self.rows[i], cols)
     }
+    fn prefers_streaming(&self) -> bool {
+        self.inner.prefers_streaming()
+    }
 }
 
 /// A column-selected view (strictly increasing column selection).
@@ -492,6 +546,12 @@ impl<T: Value, A: Array2d<T>> Array2d<T> for SelectCols<A> {
     #[inline]
     fn entry(&self, i: usize, j: usize) -> T {
         self.inner.entry(i, self.cols[j])
+    }
+    fn prefers_streaming(&self) -> bool {
+        // Column selection gathers from scattered positions; like
+        // `Transpose` there is no contiguity for the buffer path to
+        // exploit.
+        true
     }
 }
 

@@ -149,12 +149,26 @@ fn small_argmax<T: Value>(vals: &[T]) -> usize {
 }
 
 /// Index of the minimum of a non-empty slice under the given tie rule —
-/// the one blocked scan behind [`argmin_slice`] and
-/// [`argmin_slice_rightmost`].
+/// the one scan behind [`argmin_slice`] and [`argmin_slice_rightmost`].
+/// Dispatches to the vector kernel ([`crate::kernel::argmin_lanes`])
+/// when one is compiled in, supported and selected, else runs the
+/// scalar blocked scan.
 #[inline]
 pub fn argmin_slice_tie<T: Value>(vals: &[T], tie: Tie) -> usize {
     debug_assert!(!vals.is_empty());
     add_comparisons(vals.len() as u64 - 1);
+    if let Some(k) = crate::kernel::argmin_lanes(vals, tie) {
+        return k;
+    }
+    argmin_slice_tie_scalar(vals, tie)
+}
+
+/// The scalar two-level blocked scan behind [`argmin_slice_tie`],
+/// callable directly so tests and benchmarks can pin the reference
+/// implementation regardless of the [`crate::kernel`] selection.
+#[inline]
+pub fn argmin_slice_tie_scalar<T: Value>(vals: &[T], tie: Tie) -> usize {
+    debug_assert!(!vals.is_empty());
     if vals.len() < 2 * BLOCK {
         return small_argmin_tie(vals, tie);
     }
@@ -198,11 +212,23 @@ pub fn argmin_slice_rightmost<T: Value>(vals: &[T]) -> usize {
     argmin_slice_tie(vals, Tie::Right)
 }
 
-/// Index of the **leftmost** maximum of a non-empty slice.
+/// Index of the **leftmost** maximum of a non-empty slice. Dispatches
+/// to the vector kernel like [`argmin_slice_tie`].
 #[inline]
 pub fn argmax_slice<T: Value>(vals: &[T]) -> usize {
     debug_assert!(!vals.is_empty());
     add_comparisons(vals.len() as u64 - 1);
+    if let Some(k) = crate::kernel::argmax_lanes(vals) {
+        return k;
+    }
+    argmax_slice_scalar(vals)
+}
+
+/// The scalar blocked scan behind [`argmax_slice`], callable directly
+/// (see [`argmin_slice_tie_scalar`]).
+#[inline]
+pub fn argmax_slice_scalar<T: Value>(vals: &[T]) -> usize {
+    debug_assert!(!vals.is_empty());
     if vals.len() < 2 * BLOCK {
         return small_argmax(vals);
     }
@@ -237,6 +263,87 @@ fn scratch_slice<T: Value>(scratch: &mut Vec<T>, width: usize) -> &mut [T] {
     &mut scratch[..width]
 }
 
+/// Chunk width of the streaming fused generate+reduce scans: one
+/// stack-resident buffer of this many values (2 KiB for 64-bit types —
+/// comfortably L1) is filled and reduced per round, so a generated row
+/// never materializes in full. 256 also keeps the whole chunk inside
+/// one scalar block of [`argmin_slice_tie_scalar`].
+const STREAM_CHUNK: usize = 256;
+
+/// Streaming leftmost/rightmost minimum of `a[row, lo..hi)` for arrays
+/// whose rows are *generated* rather than stored
+/// ([`Array2d::prefers_streaming`]): `fill_row` lands in a stack
+/// buffer one [`STREAM_CHUNK`] at a time and each chunk is reduced
+/// while it is hot in L1. This is what fixes the large-`n` regression
+/// of the buffer-the-whole-row path — wide generated rows round-trip
+/// through memory twice there (generate into scratch, then rescan),
+/// and past the L1/L2 boundary the second pass is a cache-miss march.
+///
+/// Chunks are visited left to right, so merging each chunk's winner
+/// with [`Tie::replaces_min`] preserves both tie conventions exactly.
+#[inline]
+pub fn stream_argmin_tie<T: Value, A: Array2d<T> + ?Sized>(
+    a: &A,
+    row: usize,
+    lo: usize,
+    hi: usize,
+    tie: Tie,
+) -> (usize, T) {
+    debug_assert!(lo < hi);
+    let mut buf = [T::ZERO; STREAM_CHUNK];
+    let mut best_j = lo;
+    let mut best_v = T::INFINITY;
+    let mut first = true;
+    let mut start = lo;
+    while start < hi {
+        let end = (start + STREAM_CHUNK).min(hi);
+        let chunk = &mut buf[..end - start];
+        a.fill_row(row, start..end, chunk);
+        let k = argmin_slice_tie(chunk, tie);
+        let v = chunk[k];
+        // `first` guards the degenerate all-+∞ row: `replaces_min`
+        // under `Left` would never replace the `INFINITY` seed.
+        if first || tie.replaces_min(v, best_v) {
+            best_j = start + k;
+            best_v = v;
+            first = false;
+        }
+        start = end;
+    }
+    (best_j, best_v)
+}
+
+/// Streaming leftmost maximum of `a[row, lo..hi)`; see
+/// [`stream_argmin_tie`].
+#[inline]
+pub fn stream_argmax<T: Value, A: Array2d<T> + ?Sized>(
+    a: &A,
+    row: usize,
+    lo: usize,
+    hi: usize,
+) -> (usize, T) {
+    debug_assert!(lo < hi);
+    let mut buf = [T::ZERO; STREAM_CHUNK];
+    let mut best_j = lo;
+    let mut best_v = T::NEG_INFINITY;
+    let mut first = true;
+    let mut start = lo;
+    while start < hi {
+        let end = (start + STREAM_CHUNK).min(hi);
+        let chunk = &mut buf[..end - start];
+        a.fill_row(row, start..end, chunk);
+        let k = argmax_slice(chunk);
+        let v = chunk[k];
+        if first || Tie::Left.replaces_max(v, best_v) {
+            best_j = start + k;
+            best_v = v;
+            first = false;
+        }
+        start = end;
+    }
+    (best_j, best_v)
+}
+
 /// Leftmost minimum of `a[row, lo..hi)`. Returns the *absolute* column
 /// and its value. `lo < hi` required.
 ///
@@ -257,6 +364,9 @@ pub fn interval_argmin<T: Value, A: Array2d<T>>(
     if let Some(vals) = a.row_view(row, lo..hi) {
         let k = argmin_slice(vals);
         return (lo + k, vals[k]);
+    }
+    if a.prefers_streaming() {
+        return stream_argmin_tie(a, row, lo, hi, Tie::Left);
     }
     let buf = scratch_slice(scratch, hi - lo);
     a.fill_row(row, lo..hi, buf);
@@ -280,6 +390,9 @@ pub fn interval_argmin_pooled<T: Value, A: Array2d<T>>(
         let k = argmin_slice(vals);
         return (lo + k, vals[k]);
     }
+    if a.prefers_streaming() {
+        return stream_argmin_tie(a, row, lo, hi, Tie::Left);
+    }
     crate::scratch::with_scratch(|scratch| interval_argmin(a, row, lo, hi, scratch))
 }
 
@@ -296,6 +409,9 @@ pub fn interval_argmin_rightmost_pooled<T: Value, A: Array2d<T>>(
         let k = argmin_slice_rightmost(vals);
         return (lo + k, vals[k]);
     }
+    if a.prefers_streaming() {
+        return stream_argmin_tie(a, row, lo, hi, Tie::Right);
+    }
     crate::scratch::with_scratch(|scratch| interval_argmin_rightmost(a, row, lo, hi, scratch))
 }
 
@@ -311,6 +427,9 @@ pub fn interval_argmax_pooled<T: Value, A: Array2d<T>>(
     if let Some(vals) = a.row_view(row, lo..hi) {
         let k = argmax_slice(vals);
         return (lo + k, vals[k]);
+    }
+    if a.prefers_streaming() {
+        return stream_argmax(a, row, lo, hi);
     }
     crate::scratch::with_scratch(|scratch| interval_argmax(a, row, lo, hi, scratch))
 }
@@ -329,6 +448,9 @@ pub fn interval_argmin_rightmost<T: Value, A: Array2d<T>>(
     if let Some(vals) = a.row_view(row, lo..hi) {
         let k = argmin_slice_rightmost(vals);
         return (lo + k, vals[k]);
+    }
+    if a.prefers_streaming() {
+        return stream_argmin_tie(a, row, lo, hi, Tie::Right);
     }
     let buf = scratch_slice(scratch, hi - lo);
     a.fill_row(row, lo..hi, buf);
@@ -350,6 +472,9 @@ pub fn interval_argmax<T: Value, A: Array2d<T>>(
     if let Some(vals) = a.row_view(row, lo..hi) {
         let k = argmax_slice(vals);
         return (lo + k, vals[k]);
+    }
+    if a.prefers_streaming() {
+        return stream_argmax(a, row, lo, hi);
     }
     let buf = scratch_slice(scratch, hi - lo);
     a.fill_row(row, lo..hi, buf);
@@ -463,6 +588,9 @@ impl<T: Value, A: Array2d<T>> Array2d<T> for CountingArray<A> {
     fn fill_row(&self, i: usize, cols: Range<usize>, out: &mut [T]) {
         self.count.fetch_add(cols.len() as u64, Ordering::Relaxed);
         self.inner.fill_row(i, cols, out);
+    }
+    fn prefers_streaming(&self) -> bool {
+        self.inner.prefers_streaming()
     }
 }
 

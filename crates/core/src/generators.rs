@@ -219,8 +219,19 @@ impl Array2d<i64> for ImplicitMonge {
         }
         for b in &self.bumps {
             let (w, xi) = (b.weight, b.x[i]);
-            for (slot, &yj) in out.iter_mut().zip(&b.y[cols.clone()]) {
-                *slot -= w * xi.min(yj);
+            // `y` is ascending, so `min(x[i], y[j])` crosses over once:
+            // `y[j]` below the partition point, the constant `x[i]` at
+            // and above it (equals may go either side — `min` agrees).
+            // The prefix keeps the multiply; the suffix collapses to a
+            // single splat subtraction, halving the work on average.
+            let ys = &b.y[cols.clone()];
+            let c = ys.partition_point(|&yj| yj < xi);
+            for (slot, &yj) in out[..c].iter_mut().zip(&ys[..c]) {
+                *slot -= w * yj;
+            }
+            let wx = w * xi;
+            for slot in &mut out[c..] {
+                *slot -= wx;
             }
         }
         if self.negate {
@@ -228,6 +239,9 @@ impl Array2d<i64> for ImplicitMonge {
                 *slot = -*slot;
             }
         }
+    }
+    fn prefers_streaming(&self) -> bool {
+        true
     }
 }
 
@@ -271,6 +285,9 @@ impl Array2d<i64> for TransportArray {
         for (slot, &yj) in out.iter_mut().zip(&self.y[cols]) {
             *slot = (xi - yj).abs();
         }
+    }
+    fn prefers_streaming(&self) -> bool {
+        true
     }
 }
 

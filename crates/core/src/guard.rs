@@ -649,6 +649,10 @@ impl<T: Value, A: Array2d<T>> Array2d<T> for FaultInjector<T, A> {
             *slot = self.entry(i, j);
         }
     }
+
+    fn prefers_streaming(&self) -> bool {
+        self.inner.prefers_streaming()
+    }
 }
 
 #[cfg(test)]

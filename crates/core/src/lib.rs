@@ -39,8 +39,12 @@
 //! * [`dist`] — DIST-matrix algebra ((min,+) products of Monge matrices)
 //!   used by the string-editing application.
 //! * [`eval`] — the batched evaluation layer: scratch-buffer interval
-//!   scans over [`Array2d::fill_row`], the [`eval::CachedArray`] memoizing
+//!   scans over [`Array2d::fill_row`], streaming chunked scans for
+//!   generator-backed arrays, the [`eval::CachedArray`] memoizing
 //!   wrapper, and the [`eval::CountingArray`] evaluation-count metrics hook.
+//! * [`kernel`] — vectorized `(min, argmin)` lane kernels (AVX2, behind
+//!   the `simd` feature) and the [`kernel::Kernel`] runtime selection
+//!   knob the scans and the dispatcher share.
 //! * [`scratch`] — thread-local grow-only buffer arenas so recursion
 //!   leaves (and rayon workers in `monge-parallel`) run allocation-free
 //!   in steady state.
@@ -55,7 +59,15 @@
 //!   §1.2 Min/Max duality lowering ([`problem::lower_rows`]) that the
 //!   `monge-parallel` backend registry consumes.
 
-#![forbid(unsafe_code)]
+// The only unsafe code in this workspace's libraries is the AVX2
+// kernel bodies (and their `TypeId`-checked slice casts) in
+// [`kernel`], compiled only under the `simd` feature on x86-64; every
+// other configuration is pure safe Rust, enforced at `forbid` level.
+#![cfg_attr(
+    not(all(feature = "simd", target_arch = "x86_64")),
+    forbid(unsafe_code)
+)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ansv;
@@ -65,6 +77,7 @@ pub mod dist;
 pub mod eval;
 pub mod generators;
 pub mod guard;
+pub mod kernel;
 pub mod monge;
 pub mod online;
 pub mod problem;
@@ -81,6 +94,7 @@ pub use guard::{
     CancelToken, FaultInjector, FaultPlan, GuardOutcome, GuardPolicy, SolveError, Validation,
     ViolationAction,
 };
+pub use kernel::Kernel;
 pub use problem::{
     MachineCounters, Objective, Problem, ProblemKind, Solution, Structure, Telemetry,
 };

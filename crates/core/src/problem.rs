@@ -653,6 +653,9 @@ impl<T: Value, A: Array2d<T>> Array2d<T> for Metered<A> {
         self.count.fetch_add(v.len() as u64, Ordering::Relaxed);
         Some(v)
     }
+    fn prefers_streaming(&self) -> bool {
+        self.inner.prefers_streaming()
+    }
 }
 
 #[cfg(test)]

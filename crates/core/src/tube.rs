@@ -138,6 +138,11 @@ impl<'a, T: Value, A: Array2d<T>, B: Array2d<T>> Array2d<T> for Plane<'a, T, A, 
             *slot = slot.add(self.e.entry(j, k));
         }
     }
+    fn prefers_streaming(&self) -> bool {
+        // Every plane row is computed (d-row slice + folded e column),
+        // so wide tube scans stream regardless of how D is stored.
+        true
+    }
 }
 
 /// Builds the plane `F_i` of the composite `c[i,j,k] = d[i,j] + e[j,k]`.

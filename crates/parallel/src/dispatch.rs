@@ -492,7 +492,8 @@ impl<T: Value> Backend<T> for PramBackend {
                 telemetry.record_phase("search", t0.elapsed().as_nanos());
                 stamp(telemetry, &run.metrics);
                 let t1 = Instant::now();
-                let sol = Solution::Rows(RowExtrema::from_staircase_indices(&a, boundary, run.index));
+                let sol =
+                    Solution::Rows(RowExtrema::from_staircase_indices(&a, boundary, run.index));
                 telemetry.record_phase("finalize", t1.elapsed().as_nanos());
                 telemetry.evaluations += a.evaluations();
                 sol
@@ -666,7 +667,8 @@ impl<T: Value> Backend<T> for HypercubeBackend {
                 telemetry.evaluations += evals.load(Ordering::Relaxed);
                 let t1 = Instant::now();
                 let a = Metered::new(array);
-                let sol = Solution::Rows(RowExtrema::from_staircase_indices(&a, boundary, run.index));
+                let sol =
+                    Solution::Rows(RowExtrema::from_staircase_indices(&a, boundary, run.index));
                 telemetry.record_phase("finalize", t1.elapsed().as_nanos());
                 telemetry.evaluations += a.evaluations();
                 sol
@@ -833,6 +835,12 @@ impl<T: Value> Dispatcher<T> {
         problem: &Problem<'_, T>,
         tuning: &Tuning,
     ) -> (Solution<T>, Telemetry) {
+        // Honor the tuning's kernel request before any scan runs; the
+        // selection is process-global (see `monge_core::kernel`), so a
+        // `Scalar`/`Simd` pin here outlives the solve by design —
+        // callers mixing pinned tunings across threads should
+        // serialize solves themselves.
+        tuning.apply_kernel();
         let mut telemetry = Telemetry {
             backend: backend.name(),
             kind: Some(problem.kind()),

@@ -36,6 +36,12 @@
 //! seq_rows = TARGET_TASK_NANOS / (c · (n/m + lg m))   (clamped to [4, 4096])
 //! ```
 //!
+//! Calibration also probes the kernel choice: when the `simd` feature
+//! is active and the CPU supports it, it times the scalar blocked scan
+//! against the vector lane kernel on a sample row and pins
+//! [`Tuning::kernel`] to `Scalar` if vectorization loses (leaving
+//! `Auto` — SIMD on — otherwise).
+//!
 //! The result is then overlaid with any `MONGE_*` environment
 //! variables ([`Tuning::env_overlay`]), preserving the precedence
 //! documented in [`crate::tuning`]: per-call values beat the
@@ -45,6 +51,7 @@
 use crate::tuning::Tuning;
 use monge_core::array2d::Array2d;
 use monge_core::eval;
+use monge_core::kernel::Kernel;
 use monge_core::value::Value;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -118,9 +125,57 @@ pub fn calibrate<T: Value, A: Array2d<T>>(a: &A) -> Tuning {
         seq_scan,
         seq_rows,
         tube_seq_planes,
+        kernel: probe_kernel(a),
         ..Tuning::DEFAULT
     }
     .env_overlay()
+}
+
+/// Probes whether the SIMD lane kernels actually beat the scalar
+/// blocked scan on this array's values, returning the [`Kernel`]
+/// request calibration should carry.
+///
+/// Returns [`Kernel::Auto`] (no request) when SIMD is not compiled in
+/// or not supported by the CPU — the scans already fall back to scalar
+/// there. Otherwise it materializes one sample row and times both scan
+/// implementations; if the vector kernel loses (e.g. very short rows,
+/// or a value type the kernels don't cover), the calibrated tuning
+/// pins [`Kernel::Scalar`] so the dispatcher turns vectorization off
+/// for this workload.
+fn probe_kernel<T: Value, A: Array2d<T>>(a: &A) -> Kernel {
+    use monge_core::kernel;
+    if !kernel::simd_compiled() || !kernel::simd_available() {
+        return Kernel::Auto;
+    }
+    let n = a.cols();
+    let width = n.min(4096);
+    if width < 2 * kernel::MIN_SIMD_LEN {
+        // Too short for the lane kernels to engage at all.
+        return Kernel::Auto;
+    }
+    with_scratch(|scratch: &mut Vec<T>| {
+        scratch.clear();
+        scratch.resize(width, T::ZERO);
+        a.fill_row(a.rows() / 2, 0..width, scratch);
+        let reps = (50_000 / width).max(8);
+        let time = |f: &dyn Fn(&[T]) -> usize| {
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                std::hint::black_box(f(std::hint::black_box(&scratch[..])));
+            }
+            t0.elapsed().as_nanos()
+        };
+        let scalar = time(&|v| eval::argmin_slice_tie_scalar(v, monge_core::Tie::Left));
+        let simd = time(&|v| {
+            kernel::argmin_lanes(v, monge_core::Tie::Left)
+                .unwrap_or_else(|| eval::argmin_slice_tie_scalar(v, monge_core::Tie::Left))
+        });
+        if simd <= scalar {
+            Kernel::Auto
+        } else {
+            Kernel::Scalar
+        }
+    })
 }
 
 /// Measured cost of one entry evaluation, in nanoseconds.

@@ -14,6 +14,7 @@
 //! | [`Tuning::seq_rows`] | `MONGE_SEQ_ROWS` | 64 | row ranges at most this tall stay in the sequential D&C |
 //! | [`Tuning::tube_seq_planes`] | `MONGE_TUBE_SEQ_PLANES` | 8 | tube problems with at most this many planes loop sequentially |
 //! | [`Tuning::pram_base_rows`] | `MONGE_PRAM_BASE_ROWS` | 4 | PRAM staircase base-case height |
+//! | [`Tuning::kernel`] | `MONGE_KERNEL` | `auto` | slice-scan kernel choice (`auto` / `scalar` / `simd`) |
 //!
 //! Defaults were chosen with `cargo bench -p monge-bench --bench
 //! substrates` (row-minima group) on an 8-core x86-64 host: below ~2k
@@ -42,9 +43,19 @@
 //! Malformed or zero-valued environment variables are ignored (a zero
 //! cutoff would recurse forever); the engines additionally clamp every
 //! cutoff to at least 1 at the point of use, so hand-built `Tuning`
-//! values cannot cause unbounded recursion either.
+//! values cannot cause unbounded recursion either. An unparsable
+//! `MONGE_KERNEL` likewise falls back to the current value.
+//!
+//! The [`Tuning::kernel`] field is a *requested selection*, not a
+//! per-call switch: the dispatcher applies it to the process-global
+//! kernel state ([`monge_core::kernel::select`]) on entry, because the
+//! slice scans deep inside `monge-core` have no `Tuning` in scope (see
+//! the precedence notes in [`monge_core::kernel`]).
 
-/// Grain-size cutoffs for the parallel engines, passed by value.
+use monge_core::kernel::Kernel;
+
+/// Grain-size cutoffs (and kernel selection) for the parallel
+/// engines, passed by value.
 ///
 /// `Tuning` is `Copy` and cheap to thread through recursions; there is
 /// deliberately no global cache, so the same process can run different
@@ -71,6 +82,12 @@ pub struct Tuning {
     /// Row ranges at most this tall are handled directly by a PRAM
     /// interval-minimum step instead of recursing.
     pub pram_base_rows: usize,
+    /// Which slice-scan kernel the engines should use
+    /// ([`monge_core::kernel::Kernel`]): `Auto` (the default) lets the
+    /// runtime pick SIMD whenever it is compiled in and supported,
+    /// `Scalar`/`Simd` pin the choice. Applied process-globally by the
+    /// dispatcher and by [`crate::runtime::calibrate`].
+    pub kernel: Kernel,
 }
 
 impl Tuning {
@@ -80,6 +97,7 @@ impl Tuning {
         seq_rows: 64,
         tube_seq_planes: 8,
         pram_base_rows: 4,
+        kernel: Kernel::Auto,
     };
 
     /// Defaults overlaid with any valid `MONGE_*` environment
@@ -101,6 +119,17 @@ impl Tuning {
             seq_rows: env_usize("MONGE_SEQ_ROWS").unwrap_or(self.seq_rows),
             tube_seq_planes: env_usize("MONGE_TUBE_SEQ_PLANES").unwrap_or(self.tube_seq_planes),
             pram_base_rows: env_usize("MONGE_PRAM_BASE_ROWS").unwrap_or(self.pram_base_rows),
+            kernel: Kernel::from_env().unwrap_or(self.kernel),
+        }
+    }
+
+    /// Applies this tuning's [`Tuning::kernel`] request to the
+    /// process-global kernel selection. A no-op for [`Kernel::Auto`],
+    /// which is also the global default — so callers that never touch
+    /// the knob never mutate process state.
+    pub fn apply_kernel(&self) {
+        if self.kernel != Kernel::Auto {
+            monge_core::kernel::select(self.kernel);
         }
     }
 }
@@ -144,6 +173,16 @@ mod tests {
         assert_eq!(fine.seq_rows, base.seq_rows);
         assert_eq!(fine.tube_seq_planes, base.tube_seq_planes);
         assert_eq!(fine.pram_base_rows, base.pram_base_rows);
+        assert_eq!(fine.kernel, base.kernel);
+    }
+
+    #[test]
+    fn default_kernel_is_auto() {
+        assert_eq!(Tuning::DEFAULT.kernel, Kernel::Auto);
+        // Applying the default must not disturb the global selection.
+        let before = monge_core::kernel::selected();
+        Tuning::DEFAULT.apply_kernel();
+        assert_eq!(monge_core::kernel::selected(), before);
     }
 
     #[test]

@@ -50,6 +50,9 @@ impl<T: Value, G: Fn(T, T) -> T + Sync> Array2d<T> for VectorArray<T, G> {
             *slot = (self.g)(vi, wj);
         }
     }
+    fn prefers_streaming(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

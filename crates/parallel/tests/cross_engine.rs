@@ -56,12 +56,14 @@ fn tuning_for(trial: u64, rng: &mut StdRng) -> Tuning {
             seq_rows: 1,
             tube_seq_planes: 1,
             pram_base_rows: 1,
+            ..Tuning::DEFAULT
         },
         _ => Tuning {
             seq_scan: rng.random_range(1..64),
             seq_rows: rng.random_range(1..32),
             tube_seq_planes: rng.random_range(1..16),
             pram_base_rows: rng.random_range(1..8),
+            ..Tuning::DEFAULT
         },
     }
 }

@@ -158,6 +158,7 @@ fn simulators_report_machine_counters() {
         seq_rows: 1,
         tube_seq_planes: 1,
         pram_base_rows: 1,
+        ..Tuning::DEFAULT
     };
     let (_, tel) = d.solve_on("rayon", &p, fine).expect("rayon backend");
     assert!(tel.tasks > 0, "rayon: no tracked task spawns");
