@@ -22,6 +22,7 @@
 use monge_apps::string_edit::{
     combine_dist_arrays_with, edit_distance_dist_tree_with, edit_distance_dp, strip_dist, CostModel,
 };
+use monge_bench::json::{document, Record};
 use monge_bench::workloads::{monge_square, rng_for};
 use monge_core::array2d::{Array2d, Dense};
 use monge_core::eval;
@@ -131,15 +132,22 @@ fn rowmin_json(quick: bool) -> String {
                 "{substrate:>9} n={n:<6} per_entry={per_entry:>10}ns batched={batched:>10}ns \
                  scalar={scalar_b:>10}ns simd={simd_b:>10}ns speedup={speedup:.2}x simd_gain={simd_gain:.2}x"
             );
-            records.push(format!(
-                "    {{\"substrate\": \"{substrate}\", \"rows\": {ROWS}, \"n\": {n}, \
-                 \"per_entry_ns\": {per_entry}, \"batched_ns\": {batched}, \
-                 \"scalar_batched_ns\": {scalar_b}, \"simd_batched_ns\": {simd_b}, \
-                 \"speedup\": {speedup:.4}, \"simd_gain\": {simd_gain:.4}}}"
-            ));
+            records.push(
+                Record::new()
+                    .str("substrate", substrate)
+                    .num("rows", ROWS as u64)
+                    .num("n", n as u64)
+                    .num("per_entry_ns", per_entry)
+                    .num("batched_ns", batched)
+                    .num("scalar_batched_ns", scalar_b)
+                    .num("simd_batched_ns", simd_b)
+                    .float("speedup", speedup)
+                    .float("simd_gain", simd_gain)
+                    .render(),
+            );
         }
     }
-    format!("{{\n  \"rowmin\": [\n{}\n  ]\n}}\n", records.join(",\n"))
+    document("rowmin", &records)
 }
 
 /// Times `work` under fresh rayon pools of 1/2/4/8 threads and renders
@@ -164,12 +172,13 @@ fn speedup_curve(name: &str, size: usize, reps: usize, work: &(dyn Fn() + Sync))
         times[0],
         speedups.join(", ")
     );
-    format!(
-        "    {{\"workload\": \"{name}\", \"size\": {size}, \"threads\": [1, 2, 4, 8], \
-         \"times_ns\": [{}], \"speedup\": [{}]}}",
-        times_s.join(", "),
-        speedups.join(", ")
-    )
+    Record::new()
+        .str("workload", name)
+        .num("size", size as u64)
+        .raw_array("threads", "1, 2, 4, 8")
+        .raw_array("times_ns", &times_s.join(", "))
+        .raw_array("speedup", &speedups.join(", "))
+        .render()
 }
 
 fn parallel_json(quick: bool) -> String {
@@ -215,7 +224,7 @@ fn parallel_json(quick: bool) -> String {
         &dist_combine,
     ));
     curves.push(speedup_curve("string_edit_e2e", len, reps, &string_edit));
-    format!("{{\n  \"parallel\": [\n{}\n  ]\n}}\n", curves.join(",\n"))
+    document("parallel", &curves)
 }
 
 fn main() {

@@ -1,0 +1,116 @@
+//! The bench crate's flat-JSON dialect, shared by every writer and
+//! tripwire (no serde dependency).
+//!
+//! `bench-results/*.json` files are line-oriented on purpose: one
+//! record object per line inside one named array, so the guard tests
+//! can grep a line and pull fields without a parser. [`Record`] renders
+//! such a line, [`document`] wraps the lines into the committed file,
+//! and [`field`] is the extractor the tripwires use to read them back.
+
+/// Builder for one flat JSON record (`{"k": v, ...}` on a single line).
+///
+/// ```
+/// use monge_bench::json::{field, Record};
+///
+/// let line = Record::new()
+///     .str("substrate", "dense")
+///     .num("n", 1024u64)
+///     .float("speedup", 1.51234)
+///     .render();
+/// assert_eq!(field(&line, "substrate").as_deref(), Some("dense"));
+/// assert_eq!(field(&line, "speedup").as_deref(), Some("1.5123"));
+/// ```
+#[derive(Default)]
+pub struct Record {
+    parts: Vec<String>,
+}
+
+impl Record {
+    /// Starts an empty record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a quoted string field.
+    #[must_use]
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.parts.push(format!("\"{key}\": \"{value}\""));
+        self
+    }
+
+    /// Appends an unquoted numeric field (any integer width).
+    #[must_use]
+    pub fn num(mut self, key: &str, value: impl Into<u128>) -> Self {
+        self.parts.push(format!("\"{key}\": {}", value.into()));
+        self
+    }
+
+    /// Appends a float field rendered with four decimals — the precision
+    /// every committed speedup/gain column uses.
+    #[must_use]
+    pub fn float(mut self, key: &str, value: f64) -> Self {
+        self.parts.push(format!("\"{key}\": {value:.4}"));
+        self
+    }
+
+    /// Appends an already-rendered JSON array field.
+    #[must_use]
+    pub fn raw_array(mut self, key: &str, rendered: &str) -> Self {
+        self.parts.push(format!("\"{key}\": [{rendered}]"));
+        self
+    }
+
+    /// Renders the record as one indented line (ready for [`document`]).
+    pub fn render(&self) -> String {
+        format!("    {{{}}}", self.parts.join(", "))
+    }
+}
+
+/// Wraps rendered record lines into the committed file shape:
+/// one top-level object holding one named array.
+pub fn document(section: &str, records: &[String]) -> String {
+    format!("{{\n  \"{section}\": [\n{}\n  ]\n}}\n", records.join(",\n"))
+}
+
+/// Minimal field extractor for the flat records [`Record`] emits —
+/// `"key": value` pairs, one record per line. Returns the raw token
+/// with quotes stripped; callers parse numerics themselves so a
+/// malformed committed file fails loudly in the tripwire.
+pub fn field(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim().trim_matches('"').to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_field() {
+        let line = Record::new()
+            .str("workload", "mixed_sizes")
+            .num("batch", 64u32)
+            .float("speedup", 1.2999)
+            .raw_array("threads", "1, 2, 4")
+            .render();
+        assert_eq!(field(&line, "workload").as_deref(), Some("mixed_sizes"));
+        assert_eq!(field(&line, "batch").as_deref(), Some("64"));
+        assert_eq!(field(&line, "speedup").as_deref(), Some("1.2999"));
+        assert!(field(&line, "missing").is_none());
+        // Array fields terminate at the first comma — tripwires only
+        // extract scalar fields, so this is fine and documented.
+        assert!(line.contains("\"threads\": [1, 2, 4]"));
+    }
+
+    #[test]
+    fn document_shape_is_line_greppable() {
+        let doc = document("rowmin", &[Record::new().num("n", 1u32).render()]);
+        assert!(doc.starts_with("{\n  \"rowmin\": [\n"));
+        assert!(doc.ends_with("\n  ]\n}\n"));
+        let line = doc.lines().find(|l| l.contains("\"n\"")).unwrap();
+        assert_eq!(field(line, "n").as_deref(), Some("1"));
+    }
+}

@@ -18,5 +18,6 @@
 #![warn(missing_docs)]
 
 pub mod fit;
+pub mod json;
 pub mod tables;
 pub mod workloads;

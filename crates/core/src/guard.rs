@@ -365,6 +365,19 @@ impl CancelToken {
         self.inner.flag.store(true, Ordering::Relaxed);
     }
 
+    /// Wall-clock budget left before the deadline fires: `None` for
+    /// tokens without a deadline, `Some(ZERO)` once cancelled or
+    /// expired. The batch layer carves a batch budget into per-group
+    /// slices from this.
+    pub fn remaining(&self) -> Option<Duration> {
+        if self.inner.flag.load(Ordering::Relaxed) {
+            return self.inner.deadline.map(|_| Duration::ZERO);
+        }
+        self.inner
+            .deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
     /// Has the token been cancelled (or its deadline passed)?
     pub fn is_cancelled(&self) -> bool {
         if self.inner.flag.load(Ordering::Relaxed) {
@@ -734,6 +747,19 @@ mod tests {
         assert!(!t.is_cancelled());
         t.cancel();
         assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn remaining_tracks_the_deadline() {
+        assert_eq!(CancelToken::new().remaining(), None);
+        let t = CancelToken::with_deadline(Duration::from_secs(3600));
+        let r = t.remaining().expect("deadline token reports remaining");
+        assert!(r > Duration::from_secs(3000) && r <= Duration::from_secs(3600));
+        t.cancel();
+        assert_eq!(t.remaining(), Some(Duration::ZERO));
+        let spent = CancelToken::with_deadline(Duration::ZERO);
+        assert!(spent.is_cancelled());
+        assert_eq!(spent.remaining(), Some(Duration::ZERO));
     }
 
     #[test]

@@ -591,6 +591,10 @@ pub struct Telemetry {
     pub guard: Option<crate::guard::GuardOutcome>,
 }
 
+/// The [`Telemetry::backend`] label of a merged rollup whose inputs ran
+/// on different backends.
+pub const MERGED_BACKEND: &str = "(merged)";
+
 impl Telemetry {
     /// Appends a timed phase.
     pub fn record_phase(&mut self, name: &'static str, nanos: u128) {
@@ -601,6 +605,76 @@ impl Telemetry {
     /// up to the dispatcher's own bookkeeping overhead).
     pub fn phase_nanos(&self) -> u128 {
         self.phases.iter().map(|p| p.nanos).sum()
+    }
+
+    /// Accumulates `other` into `self` — the rollup primitive behind
+    /// per-tenant and per-batch telemetry aggregation.
+    ///
+    /// Additive counters (evaluations, comparisons, tasks, checkouts,
+    /// wall clocks, and the simulators' step/work/read/write/message
+    /// tallies) are **saturating-summed**; machine counters that are
+    /// high-water marks (peak [`MachineCounters::processors`]) take the
+    /// **max**. Per-phase nanos are summed by phase name, preserving
+    /// first-seen order. Identity fields survive only when they agree:
+    /// differing backends collapse to [`MERGED_BACKEND`], differing
+    /// kinds to `None`. Guard outcomes are not merged — a rollup has no
+    /// single fallback path — so `guard` keeps `self`'s value.
+    pub fn accumulate(&mut self, other: &Telemetry) {
+        // A fresh rollup (default-constructed, backend still "") adopts
+        // the first part's identity outright; afterwards identity fields
+        // survive only while every part agrees.
+        let fresh = self.backend.is_empty();
+        if fresh {
+            self.backend = other.backend;
+            self.kind = other.kind;
+        } else {
+            if self.backend != other.backend {
+                self.backend = MERGED_BACKEND;
+            }
+            if self.kind != other.kind {
+                self.kind = None;
+            }
+        }
+        self.evaluations = self.evaluations.saturating_add(other.evaluations);
+        self.comparisons = self.comparisons.saturating_add(other.comparisons);
+        self.tasks = self.tasks.saturating_add(other.tasks);
+        self.arena_checkouts = self.arena_checkouts.saturating_add(other.arena_checkouts);
+        self.total_nanos = self.total_nanos.saturating_add(other.total_nanos);
+        for p in &other.phases {
+            match self.phases.iter_mut().find(|q| q.name == p.name) {
+                Some(q) => q.nanos = q.nanos.saturating_add(p.nanos),
+                None => self.phases.push(p.clone()),
+            }
+        }
+        let m = &mut self.machine;
+        let o = &other.machine;
+        m.steps = m.steps.saturating_add(o.steps);
+        m.work = m.work.saturating_add(o.work);
+        m.processors = m.processors.max(o.processors);
+        m.reads = m.reads.saturating_add(o.reads);
+        m.writes = m.writes.saturating_add(o.writes);
+        m.concurrent_read_events = m
+            .concurrent_read_events
+            .saturating_add(o.concurrent_read_events);
+        m.concurrent_write_events = m
+            .concurrent_write_events
+            .saturating_add(o.concurrent_write_events);
+        m.violations = m.violations.saturating_add(o.violations);
+        m.local_steps = m.local_steps.saturating_add(o.local_steps);
+        m.comm_steps = m.comm_steps.saturating_add(o.comm_steps);
+        m.messages = m.messages.saturating_add(o.messages);
+        m.ccc_steps = m.ccc_steps.saturating_add(o.ccc_steps);
+        m.se_steps = m.se_steps.saturating_add(o.se_steps);
+    }
+
+    /// Merges a set of telemetries into one rollup via
+    /// [`Telemetry::accumulate`].
+    pub fn merge<'t>(parts: impl IntoIterator<Item = &'t Telemetry>) -> Telemetry {
+        let mut out = Telemetry::default();
+        for t in parts {
+            out.accumulate(t);
+        }
+        out
     }
 }
 
@@ -755,6 +829,112 @@ mod tests {
         assert!(!Problem::tube_minima(&a, &a)
             .with_rank(&v, &w, &g)
             .has_rank());
+    }
+
+    #[test]
+    fn merge_sums_counters_and_phases() {
+        let mut a = Telemetry {
+            backend: "sequential",
+            kind: Some(ProblemKind::RowMinima),
+            evaluations: 10,
+            comparisons: 5,
+            tasks: 2,
+            arena_checkouts: 3,
+            total_nanos: 100,
+            ..Telemetry::default()
+        };
+        a.record_phase("search", 60);
+        a.record_phase("finalize", 20);
+        let mut b = Telemetry {
+            backend: "sequential",
+            kind: Some(ProblemKind::RowMinima),
+            evaluations: 7,
+            comparisons: 1,
+            tasks: 0,
+            arena_checkouts: 4,
+            total_nanos: 50,
+            ..Telemetry::default()
+        };
+        b.record_phase("search", 30);
+        b.record_phase("validate", 5);
+        let m = Telemetry::merge([&a, &b]);
+        assert_eq!(m.backend, "sequential");
+        assert_eq!(m.kind, Some(ProblemKind::RowMinima));
+        assert_eq!(m.evaluations, 17);
+        assert_eq!(m.comparisons, 6);
+        assert_eq!(m.tasks, 2);
+        assert_eq!(m.arena_checkouts, 7);
+        assert_eq!(m.total_nanos, 150);
+        let search = m.phases.iter().find(|p| p.name == "search").unwrap();
+        assert_eq!(search.nanos, 90);
+        let validate = m.phases.iter().find(|p| p.name == "validate").unwrap();
+        assert_eq!(validate.nanos, 5);
+        assert_eq!(m.phases.len(), 3, "phase order preserved, names deduped");
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_wrapping() {
+        let a = Telemetry {
+            backend: "x",
+            evaluations: u64::MAX - 1,
+            total_nanos: u128::MAX - 1,
+            ..Telemetry::default()
+        };
+        let b = Telemetry {
+            backend: "x",
+            evaluations: 10,
+            total_nanos: 10,
+            ..Telemetry::default()
+        };
+        let m = Telemetry::merge([&a, &b]);
+        assert_eq!(m.evaluations, u64::MAX);
+        assert_eq!(m.total_nanos, u128::MAX);
+    }
+
+    #[test]
+    fn merge_mixes_identity_and_maxes_high_water_marks() {
+        let mut a = Telemetry {
+            backend: "sequential",
+            kind: Some(ProblemKind::RowMinima),
+            ..Telemetry::default()
+        };
+        a.machine.steps = 4;
+        a.machine.processors = 16;
+        a.machine.work = 100;
+        let mut b = Telemetry {
+            backend: "rayon",
+            kind: Some(ProblemKind::TubeMinima),
+            ..Telemetry::default()
+        };
+        b.machine.steps = 6;
+        b.machine.processors = 8;
+        b.machine.work = 50;
+        let m = Telemetry::merge([&a, &b]);
+        assert_eq!(m.backend, MERGED_BACKEND);
+        assert_eq!(m.kind, None, "disagreeing kinds collapse to None");
+        assert_eq!(m.machine.steps, 10, "steps are additive");
+        assert_eq!(m.machine.work, 150, "work is additive");
+        assert_eq!(m.machine.processors, 16, "peak processors take the max");
+    }
+
+    #[test]
+    fn merge_of_nothing_is_default_and_accumulate_is_incremental() {
+        let m = Telemetry::merge([]);
+        assert_eq!(m.backend, "");
+        assert_eq!(m.evaluations, 0);
+        let a = Telemetry {
+            backend: "sequential",
+            kind: Some(ProblemKind::RowMinima),
+            evaluations: 1,
+            ..Telemetry::default()
+        };
+        let mut roll = Telemetry::default();
+        roll.accumulate(&a);
+        assert_eq!(roll.backend, "sequential");
+        assert_eq!(roll.kind, Some(ProblemKind::RowMinima));
+        roll.accumulate(&a);
+        assert_eq!(roll.evaluations, 2);
+        assert_eq!(roll.backend, "sequential", "agreeing backends survive");
     }
 
     #[test]

@@ -1,0 +1,1221 @@
+//! Batched solving: amortized dispatch over heterogeneous problem
+//! streams ([`Dispatcher::solve_batch`]) and a [`SolverService`] front
+//! door with per-tenant telemetry rollups.
+//!
+//! A one-at-a-time serving loop pays per request for everything the
+//! dispatch stack does once per solve: grain calibration (hundreds of
+//! microseconds of timed probe scans), backend selection, kernel
+//! pinning, structure validation, scratch-arena warm-up. This module
+//! amortizes those costs across a whole batch:
+//!
+//! 1. **Admission.** Every problem is precondition-checked and its
+//!    structural promise validated exactly once (the same
+//!    [`GuardPolicy`] semantics as `solve_guarded`): violations fail or
+//!    quarantine the individual problem, never the batch.
+//! 2. **Grouping.** Admitted problems are grouped by
+//!    `(ProblemKind, structure, size-class)` — the key under which one
+//!    backend selection and one [`Tuning`] resolution (calibrated
+//!    against the group's largest member) are valid for every member.
+//! 3. **Merge-Path chunking.** Each group's row-minima work is
+//!    flattened into one global work list of *units* (rows for the
+//!    rows/staircase/banded families, planes for tubes) and split into
+//!    equal-*cost* contiguous chunks by prefix-summed per-problem cost
+//!    estimates — the Merge Path idiom (Green–Odeh–Birk): chunk
+//!    boundaries fall where the cost prefix crosses `k·total/C`, so a
+//!    batch of one 16384-row problem and five hundred 64-row problems
+//!    load-balances instead of serializing on the big one. Chunks run
+//!    across the rayon pool; answers are per-row (per-plane) properties
+//!    of the array, so stitching the strips back together is
+//!    bitwise-identical to solving each problem whole.
+//! 4. **Admission control.** A per-batch deadline is carved into
+//!    per-group slices proportional to estimated cost; every chunk
+//!    checks its group's [`CancelToken`] at strip boundaries (and the
+//!    engines checkpoint inside strips). Groups whose estimated cost
+//!    exceeds [`BatchPolicy::max_group_cost`] are **shed**: downgraded
+//!    onto the `solve_guarded` fallback chain one problem at a time
+//!    rather than failing the batch. A panicking or deadline-starved
+//!    strip likewise downgrades only its own problem.
+//! 5. **Rollups.** Per-problem [`Telemetry`] is merged via
+//!    [`Telemetry::merge`]; the [`SolverService`] accumulates the same
+//!    rollups per tenant.
+//!
+//! ```
+//! use monge_core::array2d::Dense;
+//! use monge_core::problem::Problem;
+//! use monge_parallel::batch::BatchPolicy;
+//! use monge_parallel::Dispatcher;
+//!
+//! let a = Dense::tabulate(64, 64, |i, j| {
+//!     let d = i as i64 - j as i64;
+//!     d * d
+//! });
+//! let b = Dense::tabulate(16, 48, |i, j| (i as i64 - j as i64).abs());
+//! let batch = [Problem::row_minima(&a), Problem::row_minima(&b)];
+//! let d = Dispatcher::with_default_backends();
+//! let results = d.solve_batch(&batch, BatchPolicy::default());
+//! assert_eq!(results.len(), 2);
+//! assert!(results.iter().all(|r| r.is_ok()));
+//! ```
+
+use std::collections::HashMap;
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+use rayon::prelude::*;
+
+use monge_core::array2d::SubArray;
+use monge_core::guard::{
+    payload_to_string, with_cancellation, Attempt, AttemptOutcome, CancelToken, Cancelled,
+    GuardOutcome, GuardPolicy, SolveError, Validation, ViolationAction,
+};
+use monge_core::problem::{Problem, ProblemKind, Solution, Structure, Telemetry};
+use monge_core::scratch;
+use monge_core::smawk::RowExtrema;
+use monge_core::tube::TubeExtrema;
+use monge_core::value::Value;
+
+use crate::dispatch::{Backend, Dispatcher};
+use crate::guarded::{input_preconditions, validate, BruteForceBackend, BRUTE};
+use crate::runtime;
+use crate::tuning::Tuning;
+
+/// The [`Telemetry::backend`] / [`Attempt::backend`] label of a solve
+/// executed by the fused batch path.
+pub const BATCH: &str = "batch";
+
+/// How a batch executes: guard semantics per problem, a wall-clock
+/// budget for the whole batch, and the amortization knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchPolicy {
+    /// Per-problem guard semantics: validation mode, violation action,
+    /// fallback depth and sampling seed. The policy's own `deadline`
+    /// field is ignored — use [`BatchPolicy::deadline`], which is
+    /// carved into per-group slices.
+    pub guard: GuardPolicy,
+    /// Wall-clock budget for the whole batch, carved into per-group
+    /// slices proportional to estimated cost. A starved group degrades
+    /// to [`SolveError::DeadlineExceeded`] for its own members only.
+    pub deadline: Option<Duration>,
+    /// Calibrate the grain cutoffs once per group against the group's
+    /// most expensive member (default `true`). Ignored when
+    /// [`BatchPolicy::tuning`] is set.
+    pub calibrate: bool,
+    /// Explicit tuning override: beats calibration and the environment,
+    /// matching the per-call precedence of [`crate::tuning`].
+    pub tuning: Option<Tuning>,
+    /// Load-shedding threshold: groups whose estimated cost (in entry
+    /// evaluations) exceeds this are not fused; their members are
+    /// downgraded onto the `solve_guarded` fallback chain one at a
+    /// time. `None` (the default) never sheds.
+    pub max_group_cost: Option<u64>,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            guard: GuardPolicy::default(),
+            deadline: None,
+            calibrate: true,
+            tuning: None,
+            max_group_cost: None,
+        }
+    }
+}
+
+impl BatchPolicy {
+    /// Sets the per-problem guard semantics.
+    #[must_use]
+    pub fn with_guard(mut self, guard: GuardPolicy) -> Self {
+        self.guard = guard;
+        self
+    }
+
+    /// Sets the whole-batch wall-clock budget.
+    #[must_use]
+    pub fn with_deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Pins an explicit tuning instead of calibrating per group.
+    #[must_use]
+    pub fn with_tuning(mut self, t: Tuning) -> Self {
+        self.tuning = Some(t);
+        self
+    }
+
+    /// Disables per-group calibration (environment-seeded tuning).
+    #[must_use]
+    pub fn without_calibration(mut self) -> Self {
+        self.calibrate = false;
+        self
+    }
+
+    /// Sets the load-shedding threshold (estimated entry evaluations).
+    #[must_use]
+    pub fn shed_above(mut self, cost: u64) -> Self {
+        self.max_group_cost = Some(cost);
+        self
+    }
+}
+
+/// What a whole batch did: per-problem results and telemetry plus the
+/// group-level accounting the service and the benches report.
+pub struct BatchReport<T> {
+    /// Per-problem outcome, in input order.
+    pub results: Vec<Result<Solution<T>, SolveError>>,
+    /// Per-problem telemetry, in input order (default for problems that
+    /// failed preconditions before reaching an engine).
+    pub telemetry: Vec<Telemetry>,
+    /// How many `(kind, structure, size-class)` groups the batch formed.
+    pub groups: usize,
+    /// How many groups were shed onto the fallback chain by
+    /// [`BatchPolicy::max_group_cost`].
+    pub shed_groups: usize,
+}
+
+impl<T: Value> BatchReport<T> {
+    /// Whole-batch telemetry rollup via [`Telemetry::merge`].
+    pub fn rollup(&self) -> Telemetry {
+        Telemetry::merge(&self.telemetry)
+    }
+}
+
+/// The grouping key: problems sharing it can share one backend
+/// selection and one tuning resolution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct GroupKey {
+    kind: ProblemKind,
+    /// `Structure` discriminant (banded/tube problems are Monge by
+    /// construction).
+    structure: u8,
+    /// `floor(log2(search area)) + 1` — members of one class are within
+    /// 2× of each other, so one calibrated tuning fits all.
+    size_class: u32,
+}
+
+fn group_key<T: Value>(p: &Problem<'_, T>) -> GroupKey {
+    let structure = match p {
+        Problem::Rows { structure, .. } | Problem::Staircase { structure, .. } => match structure {
+            Structure::Plain => 0,
+            Structure::Monge => 1,
+            Structure::InverseMonge => 2,
+        },
+        Problem::Banded { .. } | Problem::Tube { .. } => 1,
+    };
+    let (m, n) = p.search_shape();
+    let area = (m as u128 * n as u128).max(1);
+    GroupKey {
+        kind: p.kind(),
+        structure,
+        size_class: 128 - area.leading_zeros(),
+    }
+}
+
+/// `~ n/m + ceil lg m`: entries a structured engine touches per row.
+fn structured_row_cost(m: usize, n: usize) -> u64 {
+    let lg = 64 - (m.max(2) as u64 - 1).leading_zeros() as u64;
+    (n / m.max(1)) as u64 + lg
+}
+
+/// The cost model behind the Merge-Path chunk boundaries:
+/// `(units, per-unit cost)` where a *unit* is one row (one plane for
+/// tubes) and the cost is an estimated entry-evaluation count.
+fn cost_model<T: Value>(p: &Problem<'_, T>) -> (usize, u64) {
+    match *p {
+        Problem::Rows {
+            array, structure, ..
+        } => {
+            let (m, n) = (array.rows(), array.cols());
+            let unit = if structure == Structure::Plain {
+                n as u64
+            } else {
+                structured_row_cost(m, n)
+            };
+            (m, unit.max(1))
+        }
+        Problem::Staircase { array, .. } => {
+            let (m, n) = (array.rows(), array.cols());
+            (m, structured_row_cost(m, n).max(1))
+        }
+        Problem::Banded { lo, hi, .. } => {
+            let m = lo.len();
+            let total: u64 = lo
+                .iter()
+                .zip(hi)
+                .map(|(&l, &h)| h.saturating_sub(l) as u64)
+                .sum();
+            (m, (total / m.max(1) as u64).max(1))
+        }
+        // A tube plane is a full SMAWK pass over an r×q Monge plane,
+        // ~5(q + r) entries (cf. the calibration model in `runtime`).
+        Problem::Tube { d, e, .. } => (d.rows(), (5 * (d.cols() + e.cols())).max(1) as u64),
+    }
+}
+
+/// One contiguous piece of one problem's unit range, assigned to a
+/// chunk.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Strip {
+    /// Index into the group's member list (not the batch).
+    member: usize,
+    /// Unit (row / plane) range of that member.
+    units: Range<usize>,
+}
+
+/// Splits the group's concatenated unit list into ≤ `chunks` contiguous
+/// pieces of roughly equal cost: chunk `k` ends where the prefix-summed
+/// cost crosses `(k+1)·total/chunks`. Exact partition — every unit of
+/// every member lands in exactly one strip, in order.
+fn plan_chunks(costs: &[(usize, u64)], chunks: usize) -> Vec<Vec<Strip>> {
+    let total: u128 = costs.iter().map(|&(u, c)| u as u128 * c as u128).sum();
+    let total_units: usize = costs.iter().map(|&(u, _)| u).sum();
+    if total_units == 0 {
+        return Vec::new();
+    }
+    let chunks = chunks.clamp(1, total_units);
+    let target = (total / chunks as u128).max(1);
+    let mut plan: Vec<Vec<Strip>> = Vec::new();
+    let mut cur: Vec<Strip> = Vec::new();
+    let mut acc: u128 = 0;
+    let mut cut = target;
+    for (member, &(units, unit_cost)) in costs.iter().enumerate() {
+        let mut u0 = 0usize;
+        while u0 < units {
+            let take = if plan.len() + 1 >= chunks {
+                // Terminal chunk: absorb the remainder.
+                units - u0
+            } else {
+                let room = cut.saturating_sub(acc);
+                (room.div_ceil(unit_cost.max(1) as u128).max(1) as usize).min(units - u0)
+            };
+            cur.push(Strip {
+                member,
+                units: u0..u0 + take,
+            });
+            acc += take as u128 * unit_cost as u128;
+            u0 += take;
+            if acc >= cut && plan.len() + 1 < chunks {
+                plan.push(std::mem::take(&mut cur));
+                cut += target;
+            }
+        }
+    }
+    if !cur.is_empty() {
+        plan.push(cur);
+    }
+    plan
+}
+
+/// Solves one strip by building the sub-problem over a row (plane)
+/// window of the original arrays and running the group's backend on it.
+/// Row-minima answers are per-row properties (per-plane for tubes), so
+/// strip answers are bitwise-identical to the corresponding rows of the
+/// whole-problem answer.
+fn solve_strip<T: Value>(
+    dispatcher: &Dispatcher<T>,
+    backend: &dyn Backend<T>,
+    problem: &Problem<'_, T>,
+    units: Range<usize>,
+    tuning: &Tuning,
+) -> (Solution<T>, Telemetry) {
+    // A strip spanning the whole problem needs no window: run the
+    // original directly, skipping the SubArray indirection on every
+    // entry read (the common case for members smaller than one chunk).
+    if units == (0..problem.primary_array().rows()) {
+        return dispatcher.run(backend, problem, tuning);
+    }
+    match *problem {
+        Problem::Rows {
+            array,
+            structure,
+            objective,
+            tie,
+            ..
+        } => {
+            let sub = SubArray::new(array, units, 0..array.cols());
+            let p = Problem::Rows {
+                array: &sub,
+                structure,
+                objective,
+                tie,
+                rank: None,
+            };
+            dispatcher.run(backend, &p, tuning)
+        }
+        Problem::Staircase {
+            array,
+            boundary,
+            structure,
+            ..
+        } => {
+            let sub = SubArray::new(array, units.clone(), 0..array.cols());
+            let p = Problem::Staircase {
+                array: &sub,
+                boundary: &boundary[units],
+                structure,
+                rank: None,
+            };
+            dispatcher.run(backend, &p, tuning)
+        }
+        Problem::Banded {
+            array,
+            lo,
+            hi,
+            objective,
+        } => {
+            let sub = SubArray::new(array, units.clone(), 0..array.cols());
+            let p = Problem::Banded {
+                array: &sub,
+                lo: &lo[units.clone()],
+                hi: &hi[units],
+                objective,
+            };
+            dispatcher.run(backend, &p, tuning)
+        }
+        Problem::Tube { d, e, objective } => {
+            let sub = SubArray::new(d, units, 0..d.cols());
+            let p = Problem::Tube {
+                d: &sub,
+                e,
+                objective,
+            };
+            dispatcher.run(backend, &p, tuning)
+        }
+    }
+}
+
+/// Concatenates a problem's strip solutions (already in unit order)
+/// back into the whole-problem solution, merging the strip telemetries.
+fn stitch<T: Value>(
+    problem: &Problem<'_, T>,
+    parts: Vec<StripPart<T>>,
+) -> (Solution<T>, Telemetry) {
+    let mut tel = Telemetry::merge(parts.iter().map(|(_, _, t)| t));
+    tel.backend = BATCH;
+    let sol = match *problem {
+        Problem::Rows { .. } | Problem::Staircase { .. } => {
+            let mut index = Vec::new();
+            let mut value = Vec::new();
+            for (_, s, _) in parts {
+                let r = s.into_rows();
+                index.extend(r.index);
+                value.extend(r.value);
+            }
+            Solution::Rows(RowExtrema { index, value })
+        }
+        Problem::Banded { .. } => {
+            let mut index = Vec::new();
+            let mut value = Vec::new();
+            for (_, s, _) in parts {
+                if let Solution::Banded {
+                    index: si,
+                    value: sv,
+                } = s
+                {
+                    index.extend(si);
+                    value.extend(sv);
+                }
+            }
+            Solution::Banded { index, value }
+        }
+        Problem::Tube { e, .. } => {
+            let r = e.cols();
+            let mut p = 0;
+            let mut index = Vec::new();
+            let mut value = Vec::new();
+            for (_, s, _) in parts {
+                let t = s.into_tube();
+                p += t.p;
+                index.extend(t.index);
+                value.extend(t.value);
+            }
+            Solution::Tube(TubeExtrema { p, r, index, value })
+        }
+    };
+    (sol, tel)
+}
+
+/// One stitchable strip output: `(unit range, solution, telemetry)`.
+type StripPart<T> = (Range<usize>, Solution<T>, Telemetry);
+
+/// One chunk strip record: `(member index, unit range, result)`, where
+/// `None` marks a strip lost to a panic or to the group's cancellation.
+type ChunkStrip<T> = (usize, Range<usize>, Option<(Solution<T>, Telemetry)>);
+
+/// What one chunk produced: strip outputs in order.
+struct ChunkOut<T> {
+    strips: Vec<ChunkStrip<T>>,
+}
+
+impl<T: Value> Dispatcher<T> {
+    /// Solves a batch of heterogeneous problems with amortized dispatch:
+    /// grouped by `(kind, structure, size-class)`, one tuning resolution
+    /// and one backend selection per group, Merge-Path chunking across
+    /// the rayon pool, per-group deadline slices and load shedding. See
+    /// the [module docs](crate::batch) and [`BatchPolicy`].
+    ///
+    /// Results are in input order; each problem fails or succeeds
+    /// individually, with the same answers a sequential
+    /// `solve_guarded` loop would produce.
+    pub fn solve_batch(
+        &self,
+        problems: &[Problem<'_, T>],
+        policy: BatchPolicy,
+    ) -> Vec<Result<Solution<T>, SolveError>> {
+        self.solve_batch_report(problems, &policy).results
+    }
+
+    /// [`Dispatcher::solve_batch`] with the full per-problem telemetry
+    /// and group accounting.
+    pub fn solve_batch_report(
+        &self,
+        problems: &[Problem<'_, T>],
+        policy: &BatchPolicy,
+    ) -> BatchReport<T> {
+        let start = Instant::now();
+        let n = problems.len();
+        let mut results: Vec<Option<Result<Solution<T>, SolveError>>> =
+            (0..n).map(|_| None).collect();
+        let mut telemetry: Vec<Telemetry> = (0..n).map(|_| Telemetry::default()).collect();
+
+        // --- Admission: preconditions + exactly one validation per
+        //     request (the fused path never re-validates, no matter how
+        //     many strips or fallbacks a problem sees). ---
+        let mut admitted: Vec<usize> = Vec::new();
+        let mut quarantined: Vec<usize> = Vec::new();
+        for (i, p) in problems.iter().enumerate() {
+            if let Err(reason) = input_preconditions(p) {
+                results[i] = Some(Err(SolveError::InvalidInput { reason }));
+                continue;
+            }
+            let t0 = Instant::now();
+            let validated = catch_unwind(AssertUnwindSafe(|| validate(p, &policy.guard)));
+            let mut outcome = GuardOutcome {
+                validation: policy.guard.validation,
+                ..GuardOutcome::default()
+            };
+            outcome.validation_nanos = t0.elapsed().as_nanos();
+            match validated {
+                Ok(Ok(())) => {
+                    telemetry[i].guard = Some(outcome);
+                    admitted.push(i);
+                }
+                Ok(Err(witness)) => match policy.guard.on_violation {
+                    ViolationAction::Fail => {
+                        results[i] = Some(Err(SolveError::StructureViolation(witness)));
+                    }
+                    ViolationAction::Quarantine => {
+                        outcome.quarantined = true;
+                        outcome.witness = Some(*witness);
+                        telemetry[i].guard = Some(outcome);
+                        quarantined.push(i);
+                    }
+                },
+                Err(payload) => {
+                    results[i] = Some(Err(SolveError::BackendPanic {
+                        backend: "validator",
+                        payload: payload_to_string(payload.as_ref()),
+                    }));
+                }
+            }
+        }
+
+        // --- Grouping (deterministic first-appearance order). ---
+        let mut groups: Vec<(GroupKey, Vec<usize>)> = Vec::new();
+        let mut by_key: HashMap<GroupKey, usize> = HashMap::new();
+        for &i in &admitted {
+            let key = group_key(&problems[i]);
+            let g = *by_key.entry(key).or_insert_with(|| {
+                groups.push((key, Vec::new()));
+                groups.len() - 1
+            });
+            groups[g].1.push(i);
+        }
+
+        // --- Deadline carving: per-group slices proportional to
+        //     estimated cost (quarantined problems form a brute-force
+        //     pseudo-group). ---
+        let cost_of = |i: usize| -> u128 {
+            let (units, unit) = cost_model(&problems[i]);
+            units as u128 * unit as u128
+        };
+        let group_costs: Vec<u128> = groups
+            .iter()
+            .map(|(_, members)| members.iter().map(|&i| cost_of(i)).sum())
+            .collect();
+        let quarantine_cost: u128 = quarantined
+            .iter()
+            .map(|&i| {
+                let (m, n) = problems[i].search_shape();
+                (m as u128 * n as u128).max(1)
+            })
+            .sum();
+        let total_cost: u128 = (group_costs.iter().sum::<u128>() + quarantine_cost).max(1);
+        let slice_for = |cost: u128| -> Option<Duration> {
+            policy
+                .deadline
+                .map(|d| Duration::from_secs_f64(d.as_secs_f64() * cost as f64 / total_cost as f64))
+        };
+
+        // --- Execute each group: fused, or shed onto the guarded
+        //     fallback chain. ---
+        let mut shed_groups = 0usize;
+        for ((_, members), &gcost) in groups.iter().zip(&group_costs) {
+            let token = slice_for(gcost).map(CancelToken::with_deadline);
+            let tuning = self.resolve_group_tuning(policy, members, problems);
+            let shed = policy.max_group_cost.is_some_and(|c| gcost > c as u128);
+            let sequential = self.find("sequential");
+            match (shed, sequential) {
+                (false, Some(seq)) => {
+                    self.run_group_fused(
+                        problems,
+                        members,
+                        seq,
+                        &tuning,
+                        &token,
+                        policy,
+                        start,
+                        &mut results,
+                        &mut telemetry,
+                    );
+                }
+                _ => {
+                    if shed {
+                        shed_groups += 1;
+                    }
+                    for &i in members {
+                        let (res, tel) = self.downgrade_solve(&problems[i], policy, &token, tuning);
+                        merge_downgrade(&mut telemetry[i], tel);
+                        results[i] = Some(res);
+                    }
+                }
+            }
+        }
+
+        // --- Quarantine pseudo-group: brute force, which is correct
+        //     without the structural promise. ---
+        if !quarantined.is_empty() {
+            let token = slice_for(quarantine_cost).map(CancelToken::with_deadline);
+            let brute = BruteForceBackend;
+            let tuning = Tuning::from_env();
+            for &i in &quarantined {
+                if token.as_ref().is_some_and(CancelToken::is_cancelled) {
+                    results[i] = Some(Err(self.batch_deadline_error(start, policy)));
+                    continue;
+                }
+                let attempt = catch_unwind(AssertUnwindSafe(|| match &token {
+                    Some(tok) => with_cancellation(tok, || self.run(&brute, &problems[i], &tuning)),
+                    None => self.run(&brute, &problems[i], &tuning),
+                }));
+                match attempt {
+                    Ok((sol, mut tel)) => {
+                        let mut outcome = telemetry[i].guard.take().unwrap_or_default();
+                        outcome.attempts.push(Attempt {
+                            backend: BRUTE,
+                            outcome: AttemptOutcome::Completed,
+                        });
+                        tel.guard = Some(outcome);
+                        telemetry[i] = tel;
+                        results[i] = Some(Ok(sol));
+                    }
+                    Err(payload) if payload.downcast_ref::<Cancelled>().is_some() => {
+                        results[i] = Some(Err(self.batch_deadline_error(start, policy)));
+                    }
+                    Err(payload) => {
+                        results[i] = Some(Err(SolveError::BackendPanic {
+                            backend: BRUTE,
+                            payload: payload_to_string(payload.as_ref()),
+                        }));
+                    }
+                }
+            }
+        }
+
+        BatchReport {
+            results: results
+                .into_iter()
+                .map(|r| {
+                    r.unwrap_or_else(|| {
+                        Err(SolveError::InvalidInput {
+                            reason: "batch executor produced no outcome".to_string(),
+                        })
+                    })
+                })
+                .collect(),
+            telemetry,
+            groups: groups.len(),
+            shed_groups,
+        }
+    }
+
+    /// One tuning for the whole group: explicit override, else one
+    /// calibration against the group's most expensive member, else the
+    /// environment.
+    fn resolve_group_tuning(
+        &self,
+        policy: &BatchPolicy,
+        members: &[usize],
+        problems: &[Problem<'_, T>],
+    ) -> Tuning {
+        if let Some(t) = policy.tuning {
+            return t;
+        }
+        if !policy.calibrate {
+            return Tuning::from_env();
+        }
+        let rep = members
+            .iter()
+            .copied()
+            .max_by_key(|&i| {
+                let (units, unit) = cost_model(&problems[i]);
+                units as u128 * unit as u128
+            })
+            .expect("groups are never empty");
+        runtime::calibrate(&problems[rep].primary_array())
+    }
+
+    /// The fused path: one scratch prewarm broadcast, one global work
+    /// list, Merge-Path chunks across the pool, stitch, and per-problem
+    /// downgrade of panicked or starved members.
+    #[allow(clippy::too_many_arguments)]
+    fn run_group_fused(
+        &self,
+        problems: &[Problem<'_, T>],
+        members: &[usize],
+        seq: &dyn Backend<T>,
+        tuning: &Tuning,
+        token: &Option<CancelToken>,
+        policy: &BatchPolicy,
+        batch_start: Instant,
+        results: &mut [Option<Result<Solution<T>, SolveError>>],
+        telemetry: &mut [Telemetry],
+    ) {
+        // One shared scratch-arena session: pre-grow every pool
+        // thread's arena to the group's widest scan once, so no chunk
+        // pays the growth memcpys mid-solve.
+        let max_cols = members
+            .iter()
+            .map(|&i| problems[i].primary_array().cols())
+            .max()
+            .unwrap_or(0);
+        if max_cols > 0 {
+            rayon::broadcast(|_| scratch::prewarm::<T>(2, max_cols));
+        }
+
+        // Members with no units (empty arrays) bypass chunking: solve
+        // whole, exactly as the one-at-a-time path would.
+        let mut active: Vec<usize> = Vec::with_capacity(members.len());
+        for &i in members {
+            let (units, _) = cost_model(&problems[i]);
+            if units == 0 {
+                let (res, tel) =
+                    self.direct_solve(&problems[i], seq, tuning, token, policy, batch_start);
+                merge_downgrade(&mut telemetry[i], tel);
+                results[i] = Some(res);
+            } else {
+                active.push(i);
+            }
+        }
+        if active.is_empty() {
+            return;
+        }
+
+        // The global work list and its equal-cost chunks. On a
+        // single-thread pool, splitting is pure strip-boundary overhead
+        // with no balancing benefit (cancellation still fires through
+        // the engines' own checkpoints), so everything rides one chunk.
+        let costs: Vec<(usize, u64)> = active.iter().map(|&i| cost_model(&problems[i])).collect();
+        let threads = rayon::current_num_threads().max(1);
+        let chunk_count = if threads == 1 {
+            1
+        } else {
+            threads * tuning.batch_chunks_per_thread.max(1)
+        };
+        let chunks = plan_chunks(&costs, chunk_count);
+
+        let chunk_outs: Vec<ChunkOut<T>> = chunks
+            .par_iter()
+            .map(|chunk| {
+                let mut strips = Vec::with_capacity(chunk.len());
+                let mut cancelled = false;
+                for strip in chunk {
+                    let i = active[strip.member];
+                    // The cooperative-cancellation checkpoint at the
+                    // strip (chunk-internal) boundary.
+                    if cancelled || token.as_ref().is_some_and(CancelToken::is_cancelled) {
+                        cancelled = true;
+                        strips.push((strip.member, strip.units.clone(), None));
+                        continue;
+                    }
+                    let attempt = catch_unwind(AssertUnwindSafe(|| match token {
+                        Some(tok) => with_cancellation(tok, || {
+                            solve_strip(self, seq, &problems[i], strip.units.clone(), tuning)
+                        }),
+                        None => solve_strip(self, seq, &problems[i], strip.units.clone(), tuning),
+                    }));
+                    match attempt {
+                        Ok(out) => strips.push((strip.member, strip.units.clone(), Some(out))),
+                        Err(payload) => {
+                            if payload.downcast_ref::<Cancelled>().is_some() {
+                                cancelled = true;
+                            }
+                            strips.push((strip.member, strip.units.clone(), None));
+                        }
+                    }
+                }
+                ChunkOut { strips }
+            })
+            .collect();
+
+        // Stitch per member; any member with a missing strip is
+        // downgraded whole onto the guarded fallback chain with
+        // whatever budget is left of the group's slice.
+        let mut parts: Vec<Vec<StripPart<T>>> = active.iter().map(|_| Vec::new()).collect();
+        let mut broken = vec![false; active.len()];
+        for chunk in chunk_outs {
+            for (member, units, out) in chunk.strips {
+                match out {
+                    Some((sol, tel)) => parts[member].push((units, sol, tel)),
+                    None => broken[member] = true,
+                }
+            }
+        }
+        for (member, member_parts) in parts.into_iter().enumerate() {
+            let i = active[member];
+            let units = costs[member].0;
+            let mut covered = 0usize;
+            let contiguous = member_parts.iter().all(|(r, _, _)| {
+                let ok = r.start == covered;
+                covered = r.end;
+                ok
+            });
+            if broken[member] || !contiguous || covered != units {
+                let (res, tel) = self.downgrade_solve(&problems[i], policy, token, *tuning);
+                merge_downgrade(&mut telemetry[i], tel);
+                results[i] = Some(res);
+                continue;
+            }
+            // An unsplit member needs no concatenation or merge.
+            let (sol, mut tel) = if member_parts.len() == 1 {
+                let (_, sol, mut tel) = member_parts.into_iter().next().expect("one part");
+                tel.backend = BATCH;
+                (sol, tel)
+            } else {
+                stitch(&problems[i], member_parts)
+            };
+            let mut outcome = telemetry[i].guard.take().unwrap_or_default();
+            outcome.attempts.push(Attempt {
+                backend: BATCH,
+                outcome: AttemptOutcome::Completed,
+            });
+            tel.guard = Some(outcome);
+            telemetry[i] = tel;
+            results[i] = Some(Ok(sol));
+        }
+    }
+
+    /// Whole-problem solve on the group backend (empty problems, which
+    /// have no units to chunk).
+    fn direct_solve(
+        &self,
+        problem: &Problem<'_, T>,
+        seq: &dyn Backend<T>,
+        tuning: &Tuning,
+        token: &Option<CancelToken>,
+        policy: &BatchPolicy,
+        batch_start: Instant,
+    ) -> (Result<Solution<T>, SolveError>, Telemetry) {
+        let attempt = catch_unwind(AssertUnwindSafe(|| match token {
+            Some(tok) => with_cancellation(tok, || self.run(seq, problem, tuning)),
+            None => self.run(seq, problem, tuning),
+        }));
+        match attempt {
+            Ok((sol, mut tel)) => {
+                tel.backend = BATCH;
+                (Ok(sol), tel)
+            }
+            Err(payload) if payload.downcast_ref::<Cancelled>().is_some() => (
+                Err(self.batch_deadline_error(batch_start, policy)),
+                Telemetry::default(),
+            ),
+            Err(payload) => (
+                Err(SolveError::BackendPanic {
+                    backend: seq.name(),
+                    payload: payload_to_string(payload.as_ref()),
+                }),
+                Telemetry::default(),
+            ),
+        }
+    }
+
+    /// Downgrades one problem onto the `solve_guarded` fallback chain:
+    /// validation off (the batch already validated it once), deadline
+    /// clamped to what remains of the group's slice.
+    fn downgrade_solve(
+        &self,
+        problem: &Problem<'_, T>,
+        policy: &BatchPolicy,
+        token: &Option<CancelToken>,
+        tuning: Tuning,
+    ) -> (Result<Solution<T>, SolveError>, Telemetry) {
+        let deadline = match token {
+            Some(tok) => tok.remaining(),
+            None => None,
+        };
+        let guard = GuardPolicy {
+            validation: Validation::Off,
+            deadline,
+            ..policy.guard
+        };
+        match self.solve_guarded_with(problem, &guard, tuning) {
+            Ok((sol, tel)) => (Ok(sol), tel),
+            Err(e) => (Err(e), Telemetry::default()),
+        }
+    }
+
+    fn batch_deadline_error(&self, start: Instant, policy: &BatchPolicy) -> SolveError {
+        SolveError::DeadlineExceeded {
+            elapsed: start.elapsed(),
+            deadline: policy.deadline.unwrap_or_default(),
+        }
+    }
+}
+
+/// Folds a downgraded (or direct) solve's telemetry into the slot that
+/// already holds the batch-stage validation record, keeping the
+/// admission stage's guard outcome fields when the solve brought none.
+fn merge_downgrade(slot: &mut Telemetry, solved: Telemetry) {
+    let admission = slot.guard.take();
+    *slot = solved;
+    match (&mut slot.guard, admission) {
+        (Some(g), Some(a)) => {
+            // The batch validated during admission; the downgraded solve
+            // ran with validation off. Surface the real record.
+            g.validation = a.validation;
+            g.validation_nanos = a.validation_nanos;
+            if g.witness.is_none() {
+                g.witness = a.witness;
+            }
+        }
+        (slot_guard @ None, Some(a)) => *slot_guard = Some(a),
+        _ => {}
+    }
+}
+
+/// A front door for streams of heterogeneous problems: submit per
+/// tenant, drain as one amortized batch, read per-tenant telemetry
+/// rollups.
+///
+/// ```
+/// use monge_core::array2d::Dense;
+/// use monge_core::problem::Problem;
+/// use monge_parallel::batch::{BatchPolicy, SolverService};
+///
+/// let a = Dense::tabulate(32, 32, |i, j| {
+///     let d = i as i64 - j as i64;
+///     d * d
+/// });
+/// let mut svc = SolverService::new(BatchPolicy::default());
+/// svc.submit("tenant-a", Problem::row_minima(&a));
+/// svc.submit("tenant-b", Problem::row_maxima(&a));
+/// let results = svc.drain();
+/// assert!(results.iter().all(|r| r.is_ok()));
+/// assert!(svc.tenant_telemetry("tenant-a").unwrap().evaluations > 0);
+/// ```
+pub struct SolverService<'a, T: Value> {
+    dispatcher: Dispatcher<T>,
+    policy: BatchPolicy,
+    queue: Vec<(String, Problem<'a, T>)>,
+    tenants: HashMap<String, Telemetry>,
+}
+
+impl<'a, T: Value> SolverService<'a, T> {
+    /// A service over [`Dispatcher::with_default_backends`].
+    pub fn new(policy: BatchPolicy) -> Self {
+        Self::with_dispatcher(Dispatcher::with_default_backends(), policy)
+    }
+
+    /// A service over a custom registry.
+    pub fn with_dispatcher(dispatcher: Dispatcher<T>, policy: BatchPolicy) -> Self {
+        SolverService {
+            dispatcher,
+            policy,
+            queue: Vec::new(),
+            tenants: HashMap::new(),
+        }
+    }
+
+    /// The underlying registry (e.g. to register extra backends before
+    /// the first drain).
+    pub fn dispatcher_mut(&mut self) -> &mut Dispatcher<T> {
+        &mut self.dispatcher
+    }
+
+    /// Enqueues a problem for `tenant`; returns its index in the next
+    /// [`SolverService::drain`]'s result vector.
+    pub fn submit(&mut self, tenant: &str, problem: Problem<'a, T>) -> usize {
+        self.queue.push((tenant.to_string(), problem));
+        self.queue.len() - 1
+    }
+
+    /// Problems waiting for the next drain.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Solves everything submitted since the last drain as one batch
+    /// (in submission order), folds each problem's telemetry into its
+    /// tenant's rollup, and returns the per-problem outcomes.
+    pub fn drain(&mut self) -> Vec<Result<Solution<T>, SolveError>> {
+        let queue = std::mem::take(&mut self.queue);
+        let problems: Vec<Problem<'a, T>> = queue.iter().map(|(_, p)| *p).collect();
+        let report = self.dispatcher.solve_batch_report(&problems, &self.policy);
+        for ((tenant, _), tel) in queue.iter().zip(&report.telemetry) {
+            self.tenants
+                .entry(tenant.clone())
+                .or_default()
+                .accumulate(tel);
+        }
+        report.results
+    }
+
+    /// The accumulated rollup for one tenant (across every drain).
+    pub fn tenant_telemetry(&self, tenant: &str) -> Option<&Telemetry> {
+        self.tenants.get(tenant)
+    }
+
+    /// Every tenant's rollup, in arbitrary order.
+    pub fn tenants(&self) -> impl Iterator<Item = (&str, &Telemetry)> {
+        self.tenants.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monge_core::array2d::{Array2d, Dense};
+    use monge_core::generators::random_monge_dense;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn monge(m: usize, n: usize, seed: u64) -> Dense<i64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        random_monge_dense(m, n, &mut rng)
+    }
+
+    #[test]
+    fn chunk_plan_is_an_exact_partition_in_order() {
+        // One big member and many small ones — the Merge-Path shape.
+        let mut costs: Vec<(usize, u64)> = vec![(16384, 3)];
+        costs.extend((0..40).map(|_| (64usize, 3u64)));
+        let plan = plan_chunks(&costs, 8);
+        assert!(plan.len() <= 8 && !plan.is_empty());
+        // Every unit of every member appears exactly once, in order.
+        let mut next: Vec<usize> = vec![0; costs.len()];
+        for chunk in &plan {
+            for strip in chunk {
+                assert_eq!(strip.units.start, next[strip.member]);
+                next[strip.member] = strip.units.end;
+            }
+        }
+        for (m, &(units, _)) in costs.iter().enumerate() {
+            assert_eq!(next[m], units, "member {m} fully covered");
+        }
+        // The big member is split across chunks rather than serializing
+        // one chunk on it.
+        let big_strips: usize = plan.iter().flatten().filter(|s| s.member == 0).count();
+        assert!(
+            big_strips > 1,
+            "16384-row member split into {big_strips} strip(s)"
+        );
+        // Chunk costs are balanced within ~2x of the ideal target.
+        let cost = |c: &Vec<Strip>| c.iter().map(|s| s.units.len() as u64 * 3).sum::<u64>();
+        let total: u64 = plan.iter().map(cost).sum();
+        let target = total / plan.len() as u64;
+        for c in &plan {
+            assert!(cost(c) <= 2 * target + 3 * 16384 / 8, "balanced chunks");
+        }
+    }
+
+    #[test]
+    fn chunk_plan_handles_empty_and_degenerate_inputs() {
+        assert!(plan_chunks(&[], 4).is_empty());
+        assert!(plan_chunks(&[(0, 5), (0, 1)], 4).is_empty());
+        let plan = plan_chunks(&[(1, 100)], 8);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(
+            plan[0],
+            vec![Strip {
+                member: 0,
+                units: 0..1
+            }]
+        );
+    }
+
+    #[test]
+    fn batch_matches_individual_solves_across_kinds() {
+        let a = monge(33, 47, 1);
+        let b = monge(64, 16, 2);
+        let small = monge(5, 5, 3);
+        let boundary: Vec<usize> = (0..33).map(|i| 47 - i).collect();
+        let lo: Vec<usize> = (0..33).map(|i| i / 2).collect();
+        let hi: Vec<usize> = (0..33).map(|i| (i / 2 + 9).min(47)).collect();
+        // Tube factors must chain: b is 64×16, so e needs 16 rows.
+        let e = monge(16, 9, 4);
+        let problems = vec![
+            Problem::row_minima(&a),
+            Problem::row_maxima(&b),
+            Problem::row_minima(&small),
+            Problem::staircase_row_minima(&a, &boundary),
+            Problem::banded_row_minima(&a, &lo, &hi),
+            Problem::tube_minima(&b, &e),
+            Problem::plain_row_minima(&a),
+        ];
+
+        let d = Dispatcher::with_default_backends();
+        let policy = BatchPolicy::default().without_calibration();
+        let batch = d.solve_batch(&problems, policy);
+        for (i, p) in problems.iter().enumerate() {
+            let (expected, _) = d
+                .solve_guarded_with(p, &GuardPolicy::default(), Tuning::from_env())
+                .unwrap();
+            assert_eq!(
+                batch[i].as_ref().unwrap(),
+                &expected,
+                "problem {i} ({:?}) differs from the one-at-a-time solve",
+                p.kind()
+            );
+        }
+    }
+
+    #[test]
+    fn batch_telemetry_records_one_validation_and_a_batch_attempt() {
+        let a = monge(40, 40, 7);
+        let problems = vec![Problem::row_minima(&a); 3];
+        let d = Dispatcher::with_default_backends();
+        let policy = BatchPolicy::default()
+            .without_calibration()
+            .with_guard(GuardPolicy::full_validation());
+        let report = d.solve_batch_report(&problems, &policy);
+        assert_eq!(report.groups, 1);
+        for tel in &report.telemetry {
+            let guard = tel.guard.as_ref().unwrap();
+            assert!(
+                guard.validation_nanos > 0,
+                "validation ran during admission"
+            );
+            assert_eq!(guard.fallback_path(), vec![BATCH]);
+            assert!(tel.evaluations > 0);
+        }
+        assert!(report.rollup().evaluations >= report.telemetry[0].evaluations);
+    }
+
+    #[test]
+    fn zero_deadline_starves_the_batch_without_panicking() {
+        let a = monge(256, 256, 9);
+        let problems = vec![Problem::row_minima(&a); 4];
+        let d = Dispatcher::with_default_backends();
+        let policy = BatchPolicy::default()
+            .without_calibration()
+            .with_deadline(Duration::ZERO);
+        let results = d.solve_batch(&problems, policy);
+        for r in results {
+            assert!(
+                matches!(r, Err(SolveError::DeadlineExceeded { .. })),
+                "starved batch must fail with DeadlineExceeded, got {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn shedding_degrades_but_still_answers() {
+        let a = monge(128, 128, 11);
+        let problems = vec![Problem::row_minima(&a); 3];
+        let d = Dispatcher::with_default_backends();
+        let report = d.solve_batch_report(
+            &problems,
+            &BatchPolicy::default().without_calibration().shed_above(1),
+        );
+        assert_eq!(report.shed_groups, 1, "the lone group overflows the cap");
+        let (expected, _) = d
+            .solve_guarded_with(&problems[0], &GuardPolicy::default(), Tuning::from_env())
+            .unwrap();
+        for (r, tel) in report.results.iter().zip(&report.telemetry) {
+            assert_eq!(r.as_ref().unwrap(), &expected);
+            // Shed members went through the guarded chain, not the
+            // fused path.
+            let guard = tel.guard.as_ref().unwrap();
+            assert!(guard.fallback_path().iter().all(|&b| b != BATCH));
+        }
+    }
+
+    #[test]
+    fn quarantined_member_degrades_to_brute_only_for_itself() {
+        let good = monge(24, 24, 13);
+        // An anti-Monge bump the full check must catch.
+        let mut bad = good.clone();
+        let v = bad.entry(3, 3);
+        bad.set(3, 3, v + 1_000_000);
+        let problems = vec![Problem::row_minima(&good), Problem::row_minima(&bad)];
+        let d = Dispatcher::with_default_backends();
+        let policy = BatchPolicy::default()
+            .without_calibration()
+            .with_guard(GuardPolicy::full_validation());
+        let report = d.solve_batch_report(&problems, &policy);
+        let good_guard = report.telemetry[0].guard.as_ref().unwrap();
+        assert!(!good_guard.quarantined);
+        assert_eq!(good_guard.fallback_path(), vec![BATCH]);
+        let bad_guard = report.telemetry[1].guard.as_ref().unwrap();
+        assert!(bad_guard.quarantined);
+        assert_eq!(bad_guard.fallback_path(), vec![BRUTE]);
+        // Brute's answer is the true row minima of the corrupted array.
+        let (brute_expected, _) = d
+            .solve_guarded_with(
+                &problems[1],
+                &GuardPolicy::full_validation(),
+                Tuning::from_env(),
+            )
+            .unwrap();
+        assert_eq!(report.results[1].as_ref().unwrap(), &brute_expected);
+    }
+
+    #[test]
+    fn service_rolls_up_telemetry_per_tenant() {
+        let a = monge(32, 32, 17);
+        let mut svc = SolverService::new(BatchPolicy::default().without_calibration());
+        svc.submit("alpha", Problem::row_minima(&a));
+        svc.submit("alpha", Problem::row_maxima(&a));
+        svc.submit("beta", Problem::row_minima(&a));
+        assert_eq!(svc.pending(), 3);
+        let results = svc.drain();
+        assert_eq!(results.len(), 3);
+        assert!(results.iter().all(Result::is_ok));
+        assert_eq!(svc.pending(), 0);
+        let alpha = svc.tenant_telemetry("alpha").unwrap().clone();
+        let beta = svc.tenant_telemetry("beta").unwrap().clone();
+        assert!(alpha.evaluations > beta.evaluations);
+        assert_eq!(alpha.kind, None, "mixed kinds collapse in the rollup");
+        assert_eq!(svc.tenants().count(), 2);
+        // A second drain accumulates instead of replacing.
+        svc.submit("beta", Problem::row_minima(&a));
+        let before = beta.evaluations;
+        svc.drain();
+        assert!(svc.tenant_telemetry("beta").unwrap().evaluations > before);
+    }
+
+    #[test]
+    fn invalid_inputs_fail_individually_not_batchwide() {
+        let a = monge(8, 8, 19);
+        let bad_boundary = vec![2usize, 5, 1, 1, 1, 1, 1, 1]; // not non-increasing
+        let problems = vec![
+            Problem::row_minima(&a),
+            Problem::staircase_row_minima(&a, &bad_boundary),
+        ];
+        let d = Dispatcher::with_default_backends();
+        let results = d.solve_batch(&problems, BatchPolicy::default().without_calibration());
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(SolveError::InvalidInput { .. })));
+    }
+}

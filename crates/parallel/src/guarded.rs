@@ -28,6 +28,13 @@
 //! every candidate without using the structural promise, so it returns
 //! correct extrema even for arrays whose Monge promise is broken.
 //!
+//! Validation runs **exactly once per request**, before the chain walk:
+//! fallback attempts never re-validate, so
+//! [`GuardOutcome::validation_nanos`] is a one-shot cost independent of
+//! fallback depth (pinned by the `validation_once` regression tests,
+//! and what makes the batch layer's validate-at-admission bookkeeping
+//! equivalent to this one).
+//!
 //! Deadlines are cooperative: the engines call
 //! [`monge_core::guard::checkpoint`] at recursion leaves and
 //! interval-scan boundaries; `solve_guarded` installs a
@@ -177,7 +184,7 @@ fn sample_budget(m: usize, n: usize) -> usize {
 /// Validates the problem's structural promise per the policy. `Ok(())`
 /// means "no violation found" (vacuously for [`Validation::Off`] and
 /// for `Plain` structure).
-fn validate<T: Value>(
+pub(crate) fn validate<T: Value>(
     problem: &Problem<'_, T>,
     policy: &GuardPolicy,
 ) -> Result<(), Box<ViolationWitness>> {
@@ -427,7 +434,7 @@ fn deadline_error(start: Instant, policy: &GuardPolicy) -> SolveError {
 /// The input-shape preconditions the engines `assert!` on, reported as
 /// typed errors instead: array extents, boundary/band lengths and
 /// monotonicity, tube inner dimensions.
-fn input_preconditions<T: Value>(problem: &Problem<'_, T>) -> Result<(), String> {
+pub(crate) fn input_preconditions<T: Value>(problem: &Problem<'_, T>) -> Result<(), String> {
     match *problem {
         Problem::Rows { array, .. } => {
             if array.rows() > 0 && array.cols() == 0 {

@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod ansv_par;
+pub mod batch;
 pub mod dispatch;
 pub mod guarded;
 pub mod hc_monge;
@@ -60,6 +61,7 @@ pub mod runtime;
 pub mod tuning;
 pub mod vector_array;
 
+pub use batch::{BatchPolicy, BatchReport, SolverService};
 pub use dispatch::{
     Backend, Capabilities, Dispatcher, HypercubeBackend, PramBackend, RayonBackend,
     SequentialBackend,
