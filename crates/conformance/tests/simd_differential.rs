@@ -43,9 +43,14 @@ const SIMD: Tuning = Tuning {
 };
 
 /// Solves `p` under both kernel pins on every eligible backend of `d`
-/// and asserts the full solutions agree, restoring `Auto` after.
+/// and asserts the full solutions agree. The solves mutate the
+/// process-global selection (`Tuning::apply_kernel`), so the scoped
+/// guard restores the pre-call selection on exit — including the
+/// panicking exit of a failed assertion, which used to leave a stale
+/// `Simd` pin for whichever test ran next.
 fn diff_kernels(d: &Dispatcher<i64>, p: &Problem<'_, i64>, ctx: &str) {
     let _g = lock();
+    let _pin = kernel::scoped(kernel::selected());
     for b in d.eligible(p) {
         let Some((scalar, _)) = d.solve_on(b.name(), p, SCALAR) else {
             continue;
@@ -58,7 +63,6 @@ fn diff_kernels(d: &Dispatcher<i64>, p: &Problem<'_, i64>, ctx: &str) {
             b.name()
         );
     }
-    kernel::select(Kernel::Auto);
 }
 
 #[test]
@@ -106,8 +110,9 @@ fn zero_slack_plateaus_agree_across_kernels() {
         for tie in [Tie::Left, Tie::Right] {
             let p = Problem::row_minima(&a).with_tie(tie);
             let _g = lock();
+            let pin = kernel::scoped(kernel::selected());
             let (sol, _) = d.solve_on("sequential", &p, SIMD).unwrap();
-            kernel::select(Kernel::Auto);
+            drop(pin);
             drop(_g);
             let want = match tie {
                 Tie::Left => 0,
@@ -131,9 +136,10 @@ fn f64_solves_agree_across_kernels() {
     for tie in [Tie::Left, Tie::Right] {
         let p = Problem::row_minima(&a).with_tie(tie);
         let _g = lock();
+        let pin = kernel::scoped(kernel::selected());
         let scalar: Option<(Solution<f64>, _)> = d.solve_on("sequential", &p, SCALAR);
         let simd = d.solve_on("sequential", &p, SIMD);
-        kernel::select(Kernel::Auto);
+        drop(pin);
         drop(_g);
         assert_eq!(scalar.unwrap().0, simd.unwrap().0, "f64 tie={tie:?}");
     }

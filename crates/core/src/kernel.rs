@@ -91,8 +91,60 @@ fn encode(k: Kernel) -> u8 {
 }
 
 /// Sets the process-global kernel selection.
+///
+/// This is a raw, unscoped write: nothing restores the previous
+/// selection, and a panic between a `select` and its manual restore
+/// leaves the pin stale for the rest of the process. Code that pins
+/// temporarily — measurement probes, differential tests — should use
+/// [`scoped`] instead.
 pub fn select(k: Kernel) {
     SELECTED.store(encode(k), Ordering::Relaxed);
+}
+
+/// Pins the process-global kernel selection for the lifetime of the
+/// returned guard, restoring the prior selection on drop — including
+/// on unwind, so a panicking measurement or test assertion can never
+/// leave a stale pin behind.
+///
+/// Pins are process-global state, not a stack: two overlapping guards
+/// on different threads race, and the one dropped last wins. Callers
+/// that interleave pinned sections (the kernel differential tests, the
+/// autotune measurement loop) must serialize them externally.
+///
+/// ```
+/// use monge_core::kernel::{self, Kernel};
+///
+/// let before = kernel::selected();
+/// {
+///     let _pin = kernel::scoped(Kernel::Scalar);
+///     assert_eq!(kernel::selected(), Kernel::Scalar);
+/// }
+/// assert_eq!(kernel::selected(), before);
+/// ```
+#[must_use = "the pin is released when the guard drops"]
+pub fn scoped(k: Kernel) -> ScopedKernel {
+    let prev = selected();
+    select(k);
+    ScopedKernel { prev }
+}
+
+/// RAII guard for a temporary kernel pin; see [`scoped`].
+#[derive(Debug)]
+pub struct ScopedKernel {
+    prev: Kernel,
+}
+
+impl ScopedKernel {
+    /// The selection this guard will restore when dropped.
+    pub fn previous(&self) -> Kernel {
+        self.prev
+    }
+}
+
+impl Drop for ScopedKernel {
+    fn drop(&mut self) {
+        select(self.prev);
+    }
 }
 
 /// The current process-global selection; seeds itself from
@@ -532,13 +584,42 @@ mod tests {
         assert_eq!(Kernel::default(), Kernel::Auto);
     }
 
+    /// Serializes the tests that mutate the process-global selection.
+    static SELECT_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn selection_is_sticky() {
+        let _g = SELECT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let before = selected();
         select(Kernel::Scalar);
         assert_eq!(selected(), Kernel::Scalar);
         assert!(!simd_active());
         select(before);
+        assert_eq!(selected(), before);
+    }
+
+    #[test]
+    fn scoped_pin_restores_on_drop_and_unwind() {
+        let _g = SELECT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let before = selected();
+        {
+            let pin = scoped(Kernel::Scalar);
+            assert_eq!(selected(), Kernel::Scalar);
+            assert_eq!(pin.previous(), before);
+            // Nested pins restore in LIFO order.
+            {
+                let _inner = scoped(Kernel::Auto);
+                assert_eq!(selected(), Kernel::Auto);
+            }
+            assert_eq!(selected(), Kernel::Scalar);
+        }
+        assert_eq!(selected(), before);
+        // A panic inside a pinned section must not leave the pin stale.
+        let result = std::panic::catch_unwind(|| {
+            let _pin = scoped(Kernel::Scalar);
+            panic!("measurement blew up");
+        });
+        assert!(result.is_err());
         assert_eq!(selected(), before);
     }
 

@@ -552,6 +552,43 @@ pub struct MachineCounters {
     pub se_steps: u64,
 }
 
+/// Where a dispatched solve's backend/tuning decision came from — the
+/// observable end of the precedence chain *per-call > `MONGE_*` env >
+/// autotune cache > calibrate probe > defaults*. Stamped into
+/// [`Telemetry::provenance`] by the dispatch layer so benches and tests
+/// can assert which selection path actually ran (e.g. the CI autotune
+/// leg requires a warm second run to report only [`Cached`]).
+///
+/// [`Cached`]: TuningProvenance::Cached
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TuningProvenance {
+    /// A persisted (or already-measured) autotune winner was looked up.
+    Cached,
+    /// The autotuner measured the candidate set on this very call and
+    /// the winner was applied (and cached for the next caller).
+    Measured,
+    /// The one-shot calibration probe sized the grains (autotune off,
+    /// in `readonly` mode with a cold key, or waiting out another
+    /// thread's in-flight measurement).
+    Probed,
+    /// No measurement informed the decision: built-in defaults, a
+    /// `MONGE_*` environment overlay, or an explicit per-call tuning.
+    Default,
+}
+
+impl TuningProvenance {
+    /// The lowercase label (`cached` / `measured` / `probed` /
+    /// `default`) the bench JSON rows carry.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TuningProvenance::Cached => "cached",
+            TuningProvenance::Measured => "measured",
+            TuningProvenance::Probed => "probed",
+            TuningProvenance::Default => "default",
+        }
+    }
+}
+
 /// What one dispatched solve did: evaluation/comparison/task/arena
 /// counts, per-phase wall time, and (for simulator backends) the
 /// machine-model cost. Filled cooperatively — the dispatcher stamps the
@@ -589,6 +626,10 @@ pub struct Telemetry {
     /// fallback path. `None` for unguarded solves; populated only by
     /// `Dispatcher::solve_guarded` in `monge-parallel`.
     pub guard: Option<crate::guard::GuardOutcome>,
+    /// Where the backend/tuning decision came from ([`TuningProvenance`]).
+    /// `None` when the solve ran below the dispatch entry points that
+    /// resolve tuning (e.g. a backend invoked directly).
+    pub provenance: Option<TuningProvenance>,
 }
 
 /// The [`Telemetry::backend`] label of a merged rollup whose inputs ran
@@ -627,12 +668,16 @@ impl Telemetry {
         if fresh {
             self.backend = other.backend;
             self.kind = other.kind;
+            self.provenance = other.provenance;
         } else {
             if self.backend != other.backend {
                 self.backend = MERGED_BACKEND;
             }
             if self.kind != other.kind {
                 self.kind = None;
+            }
+            if self.provenance != other.provenance {
+                self.provenance = None;
             }
         }
         self.evaluations = self.evaluations.saturating_add(other.evaluations);

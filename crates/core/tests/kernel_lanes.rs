@@ -7,9 +7,11 @@
 //! sentinel rows and one-element intervals.
 //!
 //! Kernel selection is process-global, so every test that pins it goes
-//! through [`with_kernel`], which serializes on a mutex and restores
-//! the previous selection. Under `--no-default-features` the `Simd`
-//! passes silently degrade to scalar-vs-scalar, which keeps the suite
+//! through [`with_kernel`], which serializes on a mutex and pins via
+//! the scoped RAII guard ([`monge_core::kernel::scoped`]) — the
+//! previous selection is restored even when an assertion inside the
+//! closure panics. Under `--no-default-features` the `Simd` passes
+//! silently degrade to scalar-vs-scalar, which keeps the suite
 //! meaningful in both CI feature legs.
 
 use monge_core::array2d::{Array2d, Dense, FnArray};
@@ -24,10 +26,9 @@ static KERNEL_LOCK: Mutex<()> = Mutex::new(());
 
 fn with_kernel<R>(k: Kernel, f: impl FnOnce() -> R) -> R {
     let guard: MutexGuard<'_, ()> = KERNEL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
-    let before = kernel::selected();
-    kernel::select(k);
+    let pin = kernel::scoped(k);
     let r = f();
-    kernel::select(before);
+    drop(pin);
     drop(guard);
     r
 }

@@ -13,9 +13,12 @@
 //!    [`GuardPolicy`] semantics as `solve_guarded`): violations fail or
 //!    quarantine the individual problem, never the batch.
 //! 2. **Grouping.** Admitted problems are grouped by
-//!    `(ProblemKind, structure, size-class)` — the key under which one
-//!    backend selection and one [`Tuning`] resolution (calibrated
-//!    against the group's largest member) are valid for every member.
+//!    `(ProblemKind, structure, size-class)` — the same coordinates as
+//!    the persistent autotuner's key ([`crate::autotune`]), so one
+//!    table lookup (or one single-flight measurement, keyed by the
+//!    group's largest member) resolves the [`Tuning`] for every
+//!    member; the decision's provenance is stamped into each member's
+//!    [`Telemetry`].
 //! 3. **Merge-Path chunking.** Each group's row-minima work is
 //!    flattened into one global work list of *units* (rows for the
 //!    rows/staircase/banded families, planes for tubes) and split into
@@ -69,7 +72,7 @@ use monge_core::guard::{
     payload_to_string, with_cancellation, Attempt, AttemptOutcome, CancelToken, Cancelled,
     GuardOutcome, GuardPolicy, SolveError, Validation, ViolationAction,
 };
-use monge_core::problem::{Problem, ProblemKind, Solution, Structure, Telemetry};
+use monge_core::problem::{Problem, ProblemKind, Solution, Structure, Telemetry, TuningProvenance};
 use monge_core::scratch;
 use monge_core::smawk::RowExtrema;
 use monge_core::tube::TubeExtrema;
@@ -77,7 +80,6 @@ use monge_core::value::Value;
 
 use crate::dispatch::{Backend, Dispatcher};
 use crate::guarded::{input_preconditions, validate, BruteForceBackend, BRUTE};
-use crate::runtime;
 use crate::tuning::Tuning;
 
 /// The [`Telemetry::backend`] / [`Attempt::backend`] label of a solve
@@ -196,20 +198,12 @@ struct GroupKey {
 }
 
 fn group_key<T: Value>(p: &Problem<'_, T>) -> GroupKey {
-    let structure = match p {
-        Problem::Rows { structure, .. } | Problem::Staircase { structure, .. } => match structure {
-            Structure::Plain => 0,
-            Structure::Monge => 1,
-            Structure::InverseMonge => 2,
-        },
-        Problem::Banded { .. } | Problem::Tube { .. } => 1,
-    };
-    let (m, n) = p.search_shape();
-    let area = (m as u128 * n as u128).max(1);
+    // Shares its coordinates with `autotune::AutotuneKey` so one
+    // autotune table entry covers one batch group.
     GroupKey {
         kind: p.kind(),
-        structure,
-        size_class: 128 - area.leading_zeros(),
+        structure: crate::autotune::structure_code(p),
+        size_class: crate::autotune::size_class(p),
     }
 }
 
@@ -564,7 +558,7 @@ impl<T: Value> Dispatcher<T> {
         let mut shed_groups = 0usize;
         for ((_, members), &gcost) in groups.iter().zip(&group_costs) {
             let token = slice_for(gcost).map(CancelToken::with_deadline);
-            let tuning = self.resolve_group_tuning(policy, members, problems);
+            let (tuning, provenance) = self.resolve_group_tuning(policy, members, problems);
             let shed = policy.max_group_cost.is_some_and(|c| gcost > c as u128);
             let sequential = self.find("sequential");
             match (shed, sequential) {
@@ -591,6 +585,11 @@ impl<T: Value> Dispatcher<T> {
                         results[i] = Some(res);
                     }
                 }
+            }
+            // One group decision covers every member; stamp it after
+            // the executors have written their telemetry.
+            for &i in members {
+                telemetry[i].provenance = Some(provenance);
             }
         }
 
@@ -651,19 +650,24 @@ impl<T: Value> Dispatcher<T> {
     }
 
     /// One tuning for the whole group: explicit override, else one
-    /// calibration against the group's most expensive member, else the
-    /// environment.
+    /// autotune consultation keyed by the group's most expensive
+    /// member ([`Dispatcher::autotune_decision`] — the group key and
+    /// the autotune key share their `(kind, structure, size-class)`
+    /// coordinates, so one table entry covers the whole group), else
+    /// the environment. The winner's *backend* is ignored here: fused
+    /// strips always run on the sequential engine, with the rayon pool
+    /// parallelizing across strips rather than within one.
     fn resolve_group_tuning(
         &self,
         policy: &BatchPolicy,
         members: &[usize],
         problems: &[Problem<'_, T>],
-    ) -> Tuning {
+    ) -> (Tuning, TuningProvenance) {
         if let Some(t) = policy.tuning {
-            return t;
+            return (t, TuningProvenance::Default);
         }
         if !policy.calibrate {
-            return Tuning::from_env();
+            return (Tuning::from_env(), TuningProvenance::Default);
         }
         let rep = members
             .iter()
@@ -673,7 +677,8 @@ impl<T: Value> Dispatcher<T> {
                 units as u128 * unit as u128
             })
             .expect("groups are never empty");
-        runtime::calibrate(&problems[rep].primary_array())
+        let decision = self.autotune_decision(&problems[rep]);
+        (decision.tuning, decision.provenance)
     }
 
     /// The fused path: one scratch prewarm broadcast, one global work

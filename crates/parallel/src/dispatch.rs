@@ -41,17 +41,25 @@
 //! [`crate::runtime`]: a problem whose search shape fits inside one
 //! sequential grain (`seq_rows` rows, `seq_scan` columns —
 //! `tube_seq_planes` planes for tubes) runs sequentially; anything
-//! larger goes to rayon. [`Dispatcher::solve_calibrated`] measures the
-//! per-entry cost of the problem's own array first, so expensive
-//! generator entries flip the decision exactly when they should.
+//! larger goes to rayon. [`Dispatcher::solve_calibrated`] consults the
+//! persistent autotuner first ([`crate::autotune`]): a cached winner
+//! names both the backend and the tuning outright (provenance
+//! `cached`), a cold key is measured once (`measured`), and when the
+//! autotuner has nothing — disabled, read-only miss, or another thread
+//! mid-measurement — the call falls back to the one-shot calibration
+//! probe (`probed`), which measures the per-entry cost of the
+//! problem's own array so expensive generator entries flip the
+//! grain decision exactly when they should. The chosen path is
+//! stamped into [`Telemetry::provenance`].
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use monge_core::array2d::{Array2d, Negate};
 use monge_core::problem::{
     lower_rows, mirror_indices, Metered, Objective, Problem, ProblemKind, Solution, Structure,
-    Telemetry,
+    Telemetry, TuningProvenance,
 };
 use monge_core::scratch::with_scratch;
 use monge_core::smawk::{row_minima_totally_monotone, RowExtrema};
@@ -59,6 +67,7 @@ use monge_core::tiebreak::Tie;
 use monge_core::value::Value;
 use monge_core::{banded, eval, scratch, staircase, tube};
 
+use crate::autotune::{self, AutotuneKey, AutotuneMode, Autotuner, Claim};
 use crate::pram_monge::{self, MinPrimitive};
 use crate::tuning::Tuning;
 use crate::vector_array::VectorArray;
@@ -694,11 +703,23 @@ impl<T: Value> Backend<T> for HypercubeBackend {
     }
 }
 
+/// What the autotune consultation decided for one solve: the tuning to
+/// run with, the winner backend when the table (or a fresh measurement)
+/// named one, and the provenance to stamp into the telemetry.
+pub(crate) struct AutotuneDecision {
+    pub(crate) tuning: Tuning,
+    pub(crate) backend: Option<String>,
+    pub(crate) provenance: TuningProvenance,
+}
+
 /// The instrumented engine registry: owns the [`Backend`]s, answers
 /// eligibility queries, auto-selects a host engine by the grain policy,
 /// and wraps every solve with the telemetry bookkeeping.
 pub struct Dispatcher<T: Value> {
     backends: Vec<Box<dyn Backend<T>>>,
+    /// `None` means the process-global [`crate::autotune::global`]
+    /// table; tests attach isolated instances.
+    autotuner: Option<Arc<Autotuner>>,
 }
 
 impl<T: Value> Default for Dispatcher<T> {
@@ -712,6 +733,26 @@ impl<T: Value> Dispatcher<T> {
     pub fn new() -> Self {
         Self {
             backends: Vec::new(),
+            autotuner: None,
+        }
+    }
+
+    /// Attaches a dedicated [`Autotuner`] instance to this dispatcher
+    /// instead of the process-global table — how tests isolate their
+    /// measurement counters, and how an application can scope a winner
+    /// table to one workload.
+    pub fn with_autotuner(mut self, tuner: Arc<Autotuner>) -> Self {
+        self.autotuner = Some(tuner);
+        self
+    }
+
+    /// The autotuner behind [`Dispatcher::solve_calibrated`] and batch
+    /// group tuning: the attached instance, else the process-global
+    /// table.
+    pub fn autotuner(&self) -> &Autotuner {
+        match &self.autotuner {
+            Some(tuner) => tuner,
+            None => autotune::global(),
         }
     }
 
@@ -801,13 +842,68 @@ impl<T: Value> Dispatcher<T> {
         self.run(backend, problem, &tuning)
     }
 
-    /// Calibrates the grain cutoffs against the problem's own primary
-    /// array ([`crate::runtime::calibrate`]), then solves. Worth its few
-    /// hundred microseconds when the entry cost is unknown (generator
-    /// arrays), pointless for one-off small solves.
+    /// Solves with *measured* selection: consults the persistent
+    /// autotuner ([`crate::autotune`]) for this problem's key — running
+    /// the single-flight candidate measurement on first encounter — and
+    /// falls back to the one-shot calibration probe
+    /// ([`crate::runtime::calibrate`]) whenever the autotuner has
+    /// nothing for this call (disabled, read-only miss, or another
+    /// thread mid-measurement). A warm key is a hash-map lookup: no
+    /// probe, no measurement, no overhead beyond [`Dispatcher::solve_with`].
+    ///
+    /// The returned [`Telemetry::provenance`] says which path decided
+    /// the solve: `cached`, `measured`, or `probed`.
     pub fn solve_calibrated(&self, problem: &Problem<'_, T>) -> (Solution<T>, Telemetry) {
-        let tuning = runtime::calibrate(&problem.primary_array());
-        self.solve_with(problem, tuning)
+        let decision = self.autotune_decision(problem);
+        let backend = decision
+            .backend
+            .as_deref()
+            .and_then(|name| self.find(name))
+            .filter(|b| b.eligible(problem))
+            .unwrap_or_else(|| self.select(problem, &decision.tuning));
+        let (solution, mut telemetry) = self.run(backend, problem, &decision.tuning);
+        telemetry.provenance = Some(decision.provenance);
+        (solution, telemetry)
+    }
+
+    /// The autotune consultation shared by [`Dispatcher::solve_calibrated`]
+    /// and the batch layer's group tuning: winner from the table
+    /// (re-overlaid with the `MONGE_*` environment, which outranks the
+    /// cache), measured on a cold key, calibration probe otherwise.
+    pub(crate) fn autotune_decision(&self, problem: &Problem<'_, T>) -> AutotuneDecision {
+        let tuner = self.autotuner();
+        let (m, n) = problem.search_shape();
+        if tuner.mode() != AutotuneMode::Off && m > 0 && n > 0 {
+            match tuner.begin(AutotuneKey::of(problem)) {
+                Claim::Hit(w) => {
+                    return AutotuneDecision {
+                        tuning: w.tuning.env_overlay(),
+                        backend: Some(w.backend),
+                        provenance: TuningProvenance::Cached,
+                    }
+                }
+                Claim::Measure(token) => {
+                    if let Some(w) = autotune::measure(self, problem) {
+                        let decision = AutotuneDecision {
+                            tuning: w.tuning.env_overlay(),
+                            backend: Some(w.backend.clone()),
+                            provenance: TuningProvenance::Measured,
+                        };
+                        token.fulfill(w);
+                        return decision;
+                    }
+                    // No eligible candidate (the token's drop released
+                    // the claim): probe like everyone else.
+                }
+                Claim::Pass => {}
+            }
+        }
+        // `calibrate` env-overlays its measured values itself.
+        AutotuneDecision {
+            tuning: runtime::calibrate(&problem.primary_array()),
+            backend: None,
+            provenance: TuningProvenance::Probed,
+        }
     }
 
     /// Solves on the named backend (simulators included), or `None` if
@@ -844,6 +940,10 @@ impl<T: Value> Dispatcher<T> {
         let mut telemetry = Telemetry {
             backend: backend.name(),
             kind: Some(problem.kind()),
+            // Callers that hand a tuning in directly (per-call or
+            // env-seeded) are the `default` provenance; the autotuned
+            // entry points overwrite this with the path that ran.
+            provenance: Some(TuningProvenance::Default),
             ..Telemetry::default()
         };
         let comparisons0 = eval::comparison_count();

@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod ansv_par;
+pub mod autotune;
 pub mod batch;
 pub mod dispatch;
 pub mod guarded;
@@ -61,6 +62,7 @@ pub mod runtime;
 pub mod tuning;
 pub mod vector_array;
 
+pub use autotune::{AutotuneKey, AutotuneMode, Autotuner, Winner};
 pub use batch::{BatchPolicy, BatchReport, SolverService};
 pub use dispatch::{
     Backend, Capabilities, Dispatcher, HypercubeBackend, PramBackend, RayonBackend,

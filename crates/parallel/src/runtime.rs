@@ -45,8 +45,16 @@
 //! The result is then overlaid with any `MONGE_*` environment
 //! variables ([`Tuning::env_overlay`]), preserving the precedence
 //! documented in [`crate::tuning`]: per-call values beat the
-//! environment, which beats calibration, which beats the built-in
-//! defaults.
+//! environment, which beats the autotune cache, which beats
+//! calibration, which beats the built-in defaults.
+//!
+//! Calibration is the *one-shot, per-process* layer: it never touches
+//! disk and never compares whole backends. The persistent autotuner
+//! ([`crate::autotune`]) sits above it — measuring candidate
+//! `(backend, tuning, kernel)` configurations per problem family and
+//! remembering the winners across processes — and uses `calibrate`'s
+//! output both as one of its candidate tunings and as the fallback
+//! for every call the table cannot answer.
 
 use crate::tuning::Tuning;
 use monge_core::array2d::Array2d;

@@ -33,13 +33,24 @@
 //!    `*_with` entry point (struct-update syntax composes well:
 //!    `Tuning { seq_scan: 64, ..base }`).
 //! 2. **Environment variables** — [`Tuning::from_env`] overlays the
-//!    `MONGE_*` variables on the built-in defaults, and
+//!    `MONGE_*` variables on the built-in defaults,
 //!    [`crate::runtime::calibrate`] overlays them on its measured
-//!    values, so a deployment-level pin always beats calibration.
-//! 3. **Calibration** — [`crate::runtime::calibrate`] measures the
+//!    values, and the autotuner re-overlays them on every cached
+//!    winner it serves, so a deployment-level pin always beats both
+//!    measurement layers.
+//! 3. **Autotune cache** — the persistent winner table of
+//!    [`crate::autotune`]: a `(backend, Tuning)` measured once per
+//!    [`crate::autotune::AutotuneKey`] by racing the candidate set on
+//!    a probe of the real problem, remembered across processes.
+//! 4. **Calibration** — [`crate::runtime::calibrate`] measures the
 //!    per-entry evaluation cost of the array at hand and sizes chunks
-//!    for ~20 µs of work per rayon task.
-//! 4. **Built-in defaults** — [`Tuning::DEFAULT`].
+//!    for ~20 µs of work per rayon task. The fallback whenever the
+//!    autotuner has nothing for a call (disabled, read-only miss, or
+//!    mid-measurement on another thread).
+//! 5. **Built-in defaults** — [`Tuning::DEFAULT`].
+//!
+//! Which layer decided a dispatched solve is recorded in
+//! [`monge_core::problem::Telemetry::provenance`].
 //!
 //! Malformed or zero-valued environment variables are ignored (a zero
 //! cutoff would recurse forever); the engines additionally clamp every

@@ -1,0 +1,70 @@
+//! Single-flight measurement under contention: N threads hitting
+//! `solve_calibrated` on the same cold key perform exactly one
+//! measurement between them — the losers fall back to the calibration
+//! probe (or pick up the cached winner if the race has already been
+//! decided) instead of blocking or re-measuring.
+
+use std::sync::{Arc, Barrier};
+
+use monge_core::array2d::Dense;
+use monge_core::generators::random_monge_dense;
+use monge_core::monge::brute_row_minima;
+use monge_core::problem::{Problem, TuningProvenance};
+use monge_parallel::{AutotuneMode, Autotuner, Dispatcher};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn n_threads_on_one_cold_key_measure_exactly_once() {
+    const THREADS: usize = 8;
+    let tuner = Arc::new(Autotuner::in_memory(AutotuneMode::On));
+    let dispatcher =
+        Arc::new(Dispatcher::<i64>::with_default_backends().with_autotuner(tuner.clone()));
+    // One array per thread, identical shape and structure: every
+    // problem maps to the same autotune key.
+    let arrays: Vec<Dense<i64>> = (0..THREADS)
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(0xC0 + i as u64);
+            random_monge_dense(64, 64, &mut rng)
+        })
+        .collect();
+    let barrier = Barrier::new(THREADS);
+
+    let provenances: Vec<TuningProvenance> = std::thread::scope(|scope| {
+        let handles: Vec<_> = arrays
+            .iter()
+            .map(|a| {
+                let d = Arc::clone(&dispatcher);
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    let p = Problem::row_minima(a);
+                    let (sol, tel) = d.solve_calibrated(&p);
+                    assert_eq!(sol.rows().index, brute_row_minima(a));
+                    tel.provenance.expect("calibrated solves stamp provenance")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    assert_eq!(
+        tuner.measurements(),
+        1,
+        "same cold key measured more than once (provenances: {provenances:?})"
+    );
+    let measured = provenances
+        .iter()
+        .filter(|&&p| p == TuningProvenance::Measured)
+        .count();
+    assert_eq!(measured, 1, "exactly one thread owns the measurement");
+    // Everyone else either probed (measurement still in flight) or hit
+    // the cache (measurement already done) — never `default`.
+    assert!(provenances.iter().all(|&p| p != TuningProvenance::Default));
+
+    // The dust has settled: every later solve is a pure cache hit.
+    let p = Problem::row_minima(&arrays[0]);
+    let (_, tel) = dispatcher.solve_calibrated(&p);
+    assert_eq!(tel.provenance, Some(TuningProvenance::Cached));
+    assert_eq!(tuner.measurements(), 1);
+}
