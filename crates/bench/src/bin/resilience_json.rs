@@ -1,0 +1,150 @@
+//! Goodput and latency under fault storms: `bench-results/resilience.json`.
+//!
+//! Three scenarios, each a single-wave chaos storm from the
+//! `monge-conformance` harness (virtual-clock health registry, so
+//! breaker cooldowns and retry backoffs cost no wall time):
+//!
+//! * `baseline` — no faults at all; the goodput and latency reference.
+//! * `transient_burst` — budgeted panicking reads on every solve
+//!   (budget 2): the retry layer absorbs them, at a latency cost the
+//!   p50/p99 columns make visible.
+//! * `hard_outage` — unbudgeted panicking reads: breakers trip, the
+//!   brute terminal panics too, and solves resolve as typed errors —
+//!   degraded goodput, never wrong answers.
+//!
+//! Every storm solve is checked bitwise against the brute scan of its
+//! quiet fault twin inside the harness; any wrong answer (or a
+//! cross-contaminated control solve) makes this binary exit nonzero
+//! without writing a file — committed numbers are correctness-gated.
+//!
+//! The committed file is enforced by the
+//! `crates/bench/tests/resilience_guard.rs` tripwire.
+//!
+//! ```text
+//! cargo run --release --bin resilience_json
+//! ```
+//!
+//! `MONGE_BENCH_QUICK` shrinks the storms to smoke-test size (quick
+//! numbers are not meaningful and are never committed).
+
+use monge_bench::json::{document, Record};
+use monge_conformance::chaos::{run_storm_with_latencies, StormSpec, Wave};
+use std::time::Instant;
+
+fn quick_mode() -> bool {
+    std::env::var("MONGE_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// One single-wave scenario covering the whole storm.
+struct Scenario {
+    name: &'static str,
+    wave: Option<Wave>,
+}
+
+fn scenarios(solves: usize) -> Vec<Scenario> {
+    let full = |panic_per_mille, panic_budget| Wave {
+        start: 0,
+        len: solves,
+        panic_per_mille,
+        panic_budget,
+        violation_per_mille: 0,
+        latency_per_mille: 0,
+        latency_us: 0,
+    };
+    vec![
+        Scenario {
+            name: "baseline",
+            wave: None,
+        },
+        Scenario {
+            name: "transient_burst",
+            wave: Some(full(80, Some(2))),
+        },
+        Scenario {
+            name: "hard_outage",
+            wave: Some(full(120, None)),
+        },
+    ]
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let quick = quick_mode();
+    if quick {
+        println!("MONGE_BENCH_QUICK set: smoke-test sizes");
+    }
+    let solves = if quick { 300 } else { 2000 };
+    let seed = 0xBE5C_11E7u64;
+
+    let mut records = Vec::new();
+    let mut baseline_goodput: Option<u32> = None;
+    for sc in scenarios(solves) {
+        let spec = StormSpec {
+            seed,
+            solves,
+            tick_us: 2_000,
+            // The bench measures; the tripwire over the committed file
+            // asserts — no floor here, so a regression is committed
+            // (and caught) rather than hidden behind a panic.
+            goodput_floor_per_mille: 0,
+            waves: sc.wave.into_iter().collect(),
+        };
+        let t = Instant::now();
+        let (report, mut latencies) = match run_storm_with_latencies(&spec) {
+            Ok(out) => out,
+            Err(e) => {
+                eprintln!("scenario {}: correctness gate failed: {e}", sc.name);
+                std::process::exit(2);
+            }
+        };
+        let total_ns = t.elapsed().as_nanos();
+        latencies.sort_unstable();
+        let p50 = percentile(&latencies, 0.50);
+        let p99 = percentile(&latencies, 0.99);
+        let solves_per_sec = report.solves as f64 / (total_ns as f64 / 1e9);
+        let ratio = match baseline_goodput {
+            None => {
+                baseline_goodput = Some(report.goodput_per_mille);
+                1.0
+            }
+            Some(base) => report.goodput_per_mille as f64 / base.max(1) as f64,
+        };
+        println!(
+            "{:>16} goodput={:>4}‰ ok={:<5} typed={:<5} retries={:<6} skips={:<5} \
+             p50={p50}ns p99={p99}ns",
+            sc.name,
+            report.goodput_per_mille,
+            report.ok,
+            report.typed_errors,
+            report.retries,
+            report.breaker_skips,
+        );
+        records.push(
+            Record::new()
+                .str("scenario", sc.name)
+                .num("solves", report.solves as u64)
+                .num("ok", report.ok as u64)
+                .num("typed_errors", report.typed_errors as u64)
+                .num("retries", report.retries)
+                .num("breaker_skips", report.breaker_skips)
+                .num("goodput_per_mille", report.goodput_per_mille)
+                .float("goodput_ratio", ratio)
+                .num("p50_ns", p50)
+                .num("p99_ns", p99)
+                .float("solves_per_sec", solves_per_sec)
+                .render(),
+        );
+    }
+
+    std::fs::create_dir_all("bench-results").expect("create bench-results/");
+    let doc = document("resilience", &records);
+    std::fs::write("bench-results/resilience.json", &doc).expect("write resilience.json");
+    println!("wrote bench-results/resilience.json");
+}

@@ -1,0 +1,612 @@
+//! Deterministic chaos-soak harness: seeded fault storms over thousands
+//! of mixed-kind guarded solves, asserting *bitwise-correct-or-typed-
+//! error* on every one.
+//!
+//! A storm is a pure function of a [`StormSpec`]: one `u64` seed, a
+//! solve count, and a schedule of [`Wave`]s, each injecting panics
+//! (budgeted = transient, unbudgeted = hard outage), Monge violations
+//! and read latency at per-mille rates through the workspace's
+//! deterministic [`FaultInjector`]. Every solve draws a fresh instance
+//! from [`crate::gen::generate`] (all seven [`ProblemKind`]s), wraps it
+//! in an injector, and runs it through a guarded dispatcher whose
+//! health registry rides a [`VirtualClock`] — breaker cooldowns and
+//! retry backoffs advance virtual time, so the whole soak costs no
+//! wall-clock sleeps and its breaker transitions replay bit-for-bit.
+//!
+//! The correctness oracle exploits the injector's purity: two injectors
+//! with the same plan fault the same sites, so a *quiet* twin (same
+//! violation stream, panics and latency zeroed) is value-identical to
+//! what the storm dispatcher read. Each storm solve must either equal
+//! the brute scan of its quiet twin bitwise, or fail with a typed
+//! [`SolveError`] — a wrong answer is the only unacceptable outcome.
+//!
+//! Policy per wave: waves that inject violations run under
+//! [`Validation::Full`](monge_core::guard::Validation::Full) with quarantine (a violated instance must be
+//! caught and rerouted to the brute scan, whose answer on the faulty
+//! array matches the quiet twin); panic/latency-only waves run with
+//! validation off so the faults reach the engines and exercise the
+//! retry and breaker paths. Rank annotations are dropped on purpose:
+//! the hypercube solves from the `(v, w)` vectors, which an injector on
+//! the dense array cannot perturb, so rank instances would make engine
+//! disagreement legal.
+//!
+//! The storm chain is pinned to the sequential engine (plus the brute
+//! terminal the guarded walk always appends): rayon's work-stealing
+//! makes panic-*budget* consumption schedule-dependent — how many
+//! budgeted sites fire before the unwind wins the race varies run to
+//! run — which would break the bitwise reproducibility this harness
+//! exists to assert. Rayon's fault containment is covered by the
+//! `fault_injection` suite in `monge-parallel`.
+//!
+//! Cross-contamination sentinel: every [`CONTROL_PERIOD`]-th solve, a
+//! fixed *clean* instance is solved on the same (storm-battered)
+//! dispatcher and must still produce its precomputed answer — open
+//! breakers may reroute it to the brute terminal, but its result must
+//! never change.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use monge_core::array2d::Dense;
+use monge_core::guard::{
+    BreakerState, FaultInjector, FaultPlan, GuardPolicy, RetryPolicy, SolveError,
+};
+use monge_core::problem::{Problem, ProblemKind, Structure};
+use monge_parallel::dispatch::Dispatcher;
+use monge_parallel::guarded::BRUTE;
+use monge_parallel::{
+    BruteForceBackend, HealthConfig, HealthRegistry, SequentialBackend, Tuning, VirtualClock,
+};
+
+use crate::gen::{generate, Instance};
+use crate::rng::SplitMix64;
+
+/// A fixed clean instance is re-solved on the storm dispatcher every
+/// this many solves; its answer changing means cross-contamination.
+pub const CONTROL_PERIOD: usize = 16;
+
+/// Violation perturbation magnitude: far above any adjacent-quadrangle
+/// slack the generators produce, far below the `i64` infinity sentinel.
+const DELTA: i64 = 1 << 20;
+
+/// One contiguous fault regime inside a storm: solves in
+/// `start..start + len` run under this plan, everything else is calm.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Wave {
+    /// First solve index the wave covers.
+    pub start: usize,
+    /// Number of consecutive solves covered.
+    pub len: usize,
+    /// Per-mille rate of panicking entry reads.
+    pub panic_per_mille: u32,
+    /// Cap on panics fired per solve (`None` = every site, always — a
+    /// hard outage; `Some(b)` = transient, retries can succeed).
+    pub panic_budget: Option<u64>,
+    /// Per-mille rate of Monge-violating entry perturbations.
+    pub violation_per_mille: u32,
+    /// Per-mille rate of artificially slow entry reads.
+    pub latency_per_mille: u32,
+    /// Stall length of a slow read, in microseconds (real wall-clock —
+    /// keep small).
+    pub latency_us: u64,
+}
+
+impl Wave {
+    fn covers(&self, solve: usize) -> bool {
+        solve >= self.start && solve - self.start < self.len
+    }
+}
+
+/// A complete, self-describing storm: seed, solve count, virtual
+/// inter-arrival tick, goodput floor and wave schedule. Pure data —
+/// [`run_storm`] is a pure function of it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StormSpec {
+    /// Master seed: instance draws, fault sites and retry jitter all
+    /// derive from it. A failure report quoting this seed is a full
+    /// reproducer.
+    pub seed: u64,
+    /// Total guarded solves in the storm.
+    pub solves: usize,
+    /// Virtual time advanced before each solve (models inter-arrival
+    /// time; this is what lets open breakers reach their cooldown).
+    pub tick_us: u64,
+    /// Minimum acceptable `ok` solves, per mille; [`run_storm`] fails
+    /// below it.
+    pub goodput_floor_per_mille: u32,
+    /// The fault schedule. Solves outside every wave run fault-free.
+    pub waves: Vec<Wave>,
+}
+
+impl StormSpec {
+    /// The standard four-act storm scaled to `solves`: a transient
+    /// panic burst (budgeted — retries absorb it), a violation storm
+    /// (full validation quarantines every one), a hard outage
+    /// (unbudgeted panics — typed errors, breakers trip), then calm
+    /// long enough for cooldowns to elapse and probes to close the
+    /// breakers again.
+    pub fn standard(seed: u64, solves: usize) -> Self {
+        let burst = solves * 3 / 10;
+        let violation = solves / 4;
+        let outage = solves * 3 / 20;
+        StormSpec {
+            seed,
+            solves,
+            tick_us: 2_000,
+            goodput_floor_per_mille: 700,
+            waves: vec![
+                Wave {
+                    start: 0,
+                    len: burst,
+                    panic_per_mille: 80,
+                    panic_budget: Some(2),
+                    violation_per_mille: 0,
+                    latency_per_mille: 10,
+                    latency_us: 20,
+                },
+                Wave {
+                    start: burst,
+                    len: violation,
+                    panic_per_mille: 0,
+                    panic_budget: None,
+                    violation_per_mille: 60,
+                    latency_per_mille: 0,
+                    latency_us: 0,
+                },
+                Wave {
+                    start: burst + violation,
+                    len: outage,
+                    panic_per_mille: 120,
+                    panic_budget: None,
+                    violation_per_mille: 0,
+                    latency_per_mille: 0,
+                    latency_us: 0,
+                },
+            ],
+        }
+    }
+
+    /// The wave covering solve `s`, if any.
+    pub fn wave_for(&self, s: usize) -> Option<&Wave> {
+        self.waves.iter().find(|w| w.covers(s))
+    }
+
+    /// Renders the spec in the `.storm` fixture format (see
+    /// [`parse_spec`]). `note` lines are embedded as comments.
+    pub fn render(&self, note: &str) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "# monge-chaos storm v1");
+        for line in note.lines() {
+            let _ = writeln!(s, "# {line}");
+        }
+        let _ = writeln!(s, "seed {}", self.seed);
+        let _ = writeln!(s, "solves {}", self.solves);
+        let _ = writeln!(s, "tick_us {}", self.tick_us);
+        let _ = writeln!(s, "goodput_floor {}", self.goodput_floor_per_mille);
+        for w in &self.waves {
+            let budget = match w.panic_budget {
+                Some(b) => b.to_string(),
+                None => "-".to_string(),
+            };
+            let _ = writeln!(
+                s,
+                "wave {} {} {} {} {} {} {}",
+                w.start,
+                w.len,
+                w.panic_per_mille,
+                budget,
+                w.violation_per_mille,
+                w.latency_per_mille,
+                w.latency_us
+            );
+        }
+        s
+    }
+}
+
+/// Parses the `.storm` fixture format back into a [`StormSpec`]:
+/// `key value` lines (`seed`, `solves`, `tick_us`, `goodput_floor`) and
+/// one `wave start len panic budget violation latency latency_us` line
+/// per wave, `-` spelling an unbudgeted (hard-outage) panic plan.
+pub fn parse_spec(text: &str) -> Result<StormSpec, String> {
+    let mut seed = None;
+    let mut solves = None;
+    let mut tick_us = 2_000u64;
+    let mut floor = 0u32;
+    let mut waves = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (key, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+        let rest = rest.trim();
+        match key {
+            "seed" => seed = rest.parse::<u64>().ok(),
+            "solves" => solves = rest.parse::<usize>().ok(),
+            "tick_us" => {
+                tick_us = rest
+                    .parse::<u64>()
+                    .map_err(|e| format!("bad tick_us '{rest}': {e}"))?
+            }
+            "goodput_floor" => {
+                floor = rest
+                    .parse::<u32>()
+                    .map_err(|e| format!("bad goodput_floor '{rest}': {e}"))?
+            }
+            "wave" => {
+                let f: Vec<&str> = rest.split_whitespace().collect();
+                if f.len() != 7 {
+                    return Err(format!("wave line needs 7 fields, got {}", f.len()));
+                }
+                let num = |s: &str| -> Result<u64, String> {
+                    s.parse::<u64>().map_err(|e| e.to_string())
+                };
+                waves.push(Wave {
+                    start: num(f[0])? as usize,
+                    len: num(f[1])? as usize,
+                    panic_per_mille: num(f[2])? as u32,
+                    panic_budget: if f[3] == "-" { None } else { Some(num(f[3])?) },
+                    violation_per_mille: num(f[4])? as u32,
+                    latency_per_mille: num(f[5])? as u32,
+                    latency_us: num(f[6])?,
+                });
+            }
+            other => return Err(format!("unknown key '{other}'")),
+        }
+    }
+    Ok(StormSpec {
+        seed: seed.ok_or("missing seed")?,
+        solves: solves.ok_or("missing solves")?,
+        tick_us,
+        goodput_floor_per_mille: floor,
+        waves,
+    })
+}
+
+/// Aggregate outcome of one storm. `PartialEq` on purpose: two runs of
+/// the same spec must compare equal, digest included.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StormReport {
+    /// Storm solves performed (control solves not counted).
+    pub solves: usize,
+    /// Solves returning `Ok` with the bitwise-correct answer
+    /// (quarantined solves included).
+    pub ok: usize,
+    /// `Ok` solves that were quarantined to the brute scan by full
+    /// validation catching an injected violation.
+    pub quarantined: usize,
+    /// Solves failing with a typed [`SolveError`] — the only permitted
+    /// failure mode.
+    pub typed_errors: usize,
+    /// Total in-place retry attempts across the storm.
+    pub retries: u64,
+    /// Total breaker admission denials across the storm.
+    pub breaker_skips: u64,
+    /// `ok * 1000 / solves`.
+    pub goodput_per_mille: u32,
+    /// Order-sensitive fold of every solve outcome and every
+    /// post-solve breaker snapshot: equal digests mean the breaker
+    /// state machines walked the exact same transition sequence.
+    pub state_digest: u64,
+}
+
+/// Chaos budget: `MONGE_CHAOS_BUDGET` (total storm solves), or
+/// `default` when unset/unparsable.
+pub fn chaos_budget(default: usize) -> usize {
+    std::env::var("MONGE_CHAOS_BUDGET")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&b| b > 0)
+        .unwrap_or(default)
+}
+
+/// SplitMix64 finalizer for the digest fold.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn fold(acc: u64, x: u64) -> u64 {
+    mix(acc ^ mix(x))
+}
+
+fn error_tag(e: &SolveError) -> u64 {
+    match e {
+        SolveError::StructureViolation(_) => 1,
+        SolveError::BackendPanic { .. } => 2,
+        SolveError::DeadlineExceeded { .. } => 3,
+        SolveError::Overflow { .. } => 4,
+        SolveError::InvalidInput { .. } => 5,
+        SolveError::CircuitOpen { .. } => 6,
+    }
+}
+
+fn state_tag(s: BreakerState) -> u64 {
+    match s {
+        BreakerState::Closed => 0,
+        BreakerState::Open => 1,
+        BreakerState::HalfOpen => 2,
+    }
+}
+
+/// The storm problem over the injected array(s): [`Instance::problem`]
+/// minus the rank annotation (see the module docs for why).
+fn storm_problem<'x>(
+    inst: &'x Instance,
+    a: &'x FaultInjector<i64, Dense<i64>>,
+    e: Option<&'x FaultInjector<i64, Dense<i64>>>,
+) -> Problem<'x, i64> {
+    match inst.kind {
+        ProblemKind::RowMinima | ProblemKind::RowMaxima => {
+            Problem::rows(a, inst.structure, inst.objective).with_tie(inst.tie)
+        }
+        ProblemKind::StaircaseRowMinima => {
+            let f = inst.boundary.as_deref().expect("staircase boundary");
+            if inst.structure == Structure::InverseMonge {
+                Problem::staircase_inverse_row_minima(a, f)
+            } else {
+                Problem::staircase_row_minima(a, f)
+            }
+        }
+        ProblemKind::BandedRowMinima => Problem::banded_row_minima(
+            a,
+            inst.lo.as_deref().expect("banded lo"),
+            inst.hi.as_deref().expect("banded hi"),
+        ),
+        ProblemKind::BandedRowMaxima => Problem::banded_row_maxima(
+            a,
+            inst.lo.as_deref().expect("banded lo"),
+            inst.hi.as_deref().expect("banded hi"),
+        ),
+        ProblemKind::TubeMinima => Problem::tube_minima(a, e.expect("tube factor e")),
+        ProblemKind::TubeMaxima => Problem::tube_maxima(a, e.expect("tube factor e")),
+    }
+}
+
+/// Runs the storm. `Err` carries a human-readable reproducer (always
+/// quoting `spec.seed`) for any incorrect result, cross-contaminated
+/// control solve, or goodput below the spec's floor.
+pub fn run_storm(spec: &StormSpec) -> Result<StormReport, String> {
+    run_storm_with_latencies(spec).map(|(report, _)| report)
+}
+
+/// [`run_storm`], also returning per-solve wall-clock nanoseconds
+/// (control solves excluded) for the resilience benchmark's percentile
+/// columns. The report stays deterministic; the latencies are the one
+/// wall-clock-dependent output and are kept out of it on purpose.
+pub fn run_storm_with_latencies(spec: &StormSpec) -> Result<(StormReport, Vec<u64>), String> {
+    // Generous retry provisioning: the standard burst wave needs two
+    // retries per solve, so the credit per admitted request must cover
+    // that or the budget would starve mid-storm by design rather than
+    // by overload. The outage wave still drains it (its retries are
+    // wasted), which is the budget doing its job.
+    let config = HealthConfig {
+        retry_budget: 256,
+        retry_credit_milli: 2_000,
+        ..HealthConfig::DEFAULT
+    };
+    let clock = Arc::new(VirtualClock::new());
+    let health = Arc::new(HealthRegistry::new(config, clock.clone()));
+    let mut storm = Dispatcher::new();
+    storm.register(Box::new(SequentialBackend));
+    let storm = storm.with_health_registry(health.clone());
+
+    let mut oracle: Dispatcher<i64> = Dispatcher::new();
+    oracle.register(Box::new(BruteForceBackend));
+
+    let retry = RetryPolicy::retries(3, Duration::from_millis(1), Duration::from_millis(20))
+        .with_seed(spec.seed);
+    let quiet_policy = GuardPolicy::default()
+        .with_retry(retry)
+        .with_seed(spec.seed);
+    let full_policy = GuardPolicy::full_validation()
+        .with_retry(retry)
+        .with_seed(spec.seed);
+
+    let control = generate(ProblemKind::RowMinima, spec.seed ^ 0xC017_7801);
+    let control_want = oracle
+        .solve_on(BRUTE, &control.problem(), Tuning::DEFAULT)
+        .expect("brute oracle is eligible for every problem")
+        .0;
+
+    let mut latencies: Vec<u64> = Vec::with_capacity(spec.solves);
+    let mut report = StormReport {
+        solves: spec.solves,
+        ok: 0,
+        quarantined: 0,
+        typed_errors: 0,
+        retries: 0,
+        breaker_skips: 0,
+        goodput_per_mille: 0,
+        state_digest: mix(spec.seed),
+    };
+
+    for s in 0..spec.solves {
+        clock.advance(Duration::from_micros(spec.tick_us));
+        let mut r = SplitMix64::new(spec.seed ^ mix(s as u64 + 1));
+        let kind = ProblemKind::ALL[r.below(ProblemKind::ALL.len() as u64) as usize];
+        let inst = generate(kind, r.next_u64());
+        let site_seed = r.next_u64();
+        let plan = match spec.wave_for(s) {
+            Some(w) => FaultPlan {
+                seed: site_seed,
+                violation_per_mille: w.violation_per_mille,
+                panic_per_mille: w.panic_per_mille,
+                panic_budget: w.panic_budget,
+                latency_per_mille: w.latency_per_mille,
+                latency: Duration::from_micros(w.latency_us),
+            },
+            None => FaultPlan::none(site_seed),
+        };
+        // The quiet twin: same violation sites and values, no panics,
+        // no latency — what the brute reference safely scans.
+        let quiet = FaultPlan {
+            panic_per_mille: 0,
+            panic_budget: None,
+            latency_per_mille: 0,
+            latency: Duration::ZERO,
+            ..plan
+        };
+        let plan_e = FaultPlan {
+            seed: site_seed ^ 0xE1E1_E1E1,
+            ..plan
+        };
+        let quiet_e = FaultPlan {
+            seed: site_seed ^ 0xE1E1_E1E1,
+            ..quiet
+        };
+        let fa = FaultInjector::new(inst.a.clone(), plan, DELTA);
+        let fe = inst
+            .e
+            .as_ref()
+            .map(|e| FaultInjector::new(e.clone(), plan_e, DELTA));
+        let qa = FaultInjector::new(inst.a.clone(), quiet, DELTA);
+        let qe = inst
+            .e
+            .as_ref()
+            .map(|e| FaultInjector::new(e.clone(), quiet_e, DELTA));
+
+        let problem = storm_problem(&inst, &fa, fe.as_ref());
+        let reference = storm_problem(&inst, &qa, qe.as_ref());
+        let want = oracle
+            .solve_on(BRUTE, &reference, Tuning::DEFAULT)
+            .expect("brute oracle is eligible for every problem")
+            .0;
+
+        let policy = if plan.violation_per_mille > 0 {
+            &full_policy
+        } else {
+            &quiet_policy
+        };
+        let t_solve = std::time::Instant::now();
+        let solved = storm.solve_guarded_with(&problem, policy, Tuning::DEFAULT);
+        latencies.push(t_solve.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        match solved {
+            Ok((sol, tel)) => {
+                if sol != want {
+                    return Err(format!(
+                        "storm seed {}: solve {s} ({kind:?}, family {}) returned a wrong \
+                         answer — rerun the same spec to reproduce",
+                        spec.seed, inst.family
+                    ));
+                }
+                report.ok += 1;
+                if tel.guard.as_ref().is_some_and(|g| g.quarantined) {
+                    report.quarantined += 1;
+                }
+                report.retries += tel.retries;
+                report.breaker_skips += tel.breaker_skips;
+                report.state_digest = fold(report.state_digest, 1);
+            }
+            Err(e) => {
+                report.typed_errors += 1;
+                report.state_digest = fold(report.state_digest, 0x100 | error_tag(&e));
+            }
+        }
+        for snap in health.snapshot() {
+            let name_hash = snap
+                .backend
+                .bytes()
+                .fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(b as u64));
+            report.state_digest = fold(report.state_digest, name_hash ^ state_tag(snap.state));
+            report.state_digest = fold(
+                report.state_digest,
+                ((snap.window_failures as u64) << 32) | snap.window_len as u64,
+            );
+        }
+
+        if s % CONTROL_PERIOD == CONTROL_PERIOD - 1 {
+            match storm.solve_guarded_with(&control.problem(), &quiet_policy, Tuning::DEFAULT) {
+                Ok((sol, _)) if sol == control_want => {}
+                Ok(_) => {
+                    return Err(format!(
+                        "storm seed {}: control solve after solve {s} diverged — \
+                         cross-contamination",
+                        spec.seed
+                    ));
+                }
+                Err(e) => {
+                    return Err(format!(
+                        "storm seed {}: control solve after solve {s} failed: {e}",
+                        spec.seed
+                    ));
+                }
+            }
+        }
+    }
+
+    report.goodput_per_mille = if spec.solves == 0 {
+        1000
+    } else {
+        (report.ok as u64 * 1000 / spec.solves as u64) as u32
+    };
+    if report.goodput_per_mille < spec.goodput_floor_per_mille {
+        return Err(format!(
+            "storm seed {}: goodput {}‰ fell below the floor {}‰ ({} ok / {} solves, \
+             {} typed errors)",
+            spec.seed,
+            report.goodput_per_mille,
+            spec.goodput_floor_per_mille,
+            report.ok,
+            spec.solves,
+            report.typed_errors
+        ));
+    }
+    Ok((report, latencies))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_roundtrips_through_the_storm_format() {
+        let spec = StormSpec::standard(77, 400);
+        let text = spec.render("roundtrip test");
+        let back = parse_spec(&text).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        assert!(parse_spec("solves 10").is_err()); // no seed
+        assert!(parse_spec("seed 1").is_err()); // no solves
+        assert!(parse_spec("seed 1\nsolves 10\nwave 0 1 2").is_err()); // short wave
+        assert!(parse_spec("seed 1\nsolves 10\nbogus 3").is_err());
+    }
+
+    #[test]
+    fn waves_cover_their_ranges_exactly() {
+        let spec = StormSpec::standard(1, 1000);
+        assert_eq!(spec.wave_for(0), Some(&spec.waves[0]));
+        assert_eq!(spec.wave_for(299), Some(&spec.waves[0]));
+        assert_eq!(spec.wave_for(300), Some(&spec.waves[1]));
+        assert_eq!(spec.wave_for(549), Some(&spec.waves[1]));
+        assert_eq!(spec.wave_for(550), Some(&spec.waves[2]));
+        assert_eq!(spec.wave_for(699), Some(&spec.waves[2]));
+        assert_eq!(spec.wave_for(700), None);
+        assert_eq!(spec.wave_for(999), None);
+    }
+
+    #[test]
+    fn calm_storm_is_pure_goodput() {
+        let spec = StormSpec {
+            seed: 9,
+            solves: 96,
+            tick_us: 1000,
+            goodput_floor_per_mille: 1000,
+            waves: Vec::new(),
+        };
+        let report = run_storm(&spec).unwrap();
+        assert_eq!(report.ok, 96);
+        assert_eq!(report.typed_errors, 0);
+        assert_eq!(report.quarantined, 0);
+        assert_eq!(report.retries, 0);
+        assert_eq!(report.breaker_skips, 0);
+        assert_eq!(report.goodput_per_mille, 1000);
+    }
+}

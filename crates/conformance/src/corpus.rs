@@ -86,7 +86,7 @@ fn parse_value(s: &str) -> Result<i64, String> {
 }
 
 fn parse_list<T, F: Fn(&str) -> Result<T, String>>(rest: &str, f: F) -> Result<Vec<T>, String> {
-    rest.split_whitespace().map(|t| f(t)).collect()
+    rest.split_whitespace().map(f).collect()
 }
 
 /// Renders `inst` in the corpus text format. `note` lines (may be

@@ -159,6 +159,10 @@ pub fn fuzz_kind(
 // Shrinking
 // ---------------------------------------------------------------------
 
+/// A structural shrink step: returns the smaller candidate, or `None`
+/// when the step does not apply to this instance.
+type Transform = Box<dyn Fn(&Instance) -> Option<Instance>>;
+
 fn drop_row(a: &Dense<i64>, i: usize) -> Dense<i64> {
     Dense::tabulate(a.rows() - 1, a.cols(), |r, c| {
         a.entry(if r >= i { r + 1 } else { r }, c)
@@ -270,11 +274,12 @@ fn halve_values(inst: &Instance) -> Option<Instance> {
         && inst
             .e
             .as_ref()
-            .map_or(true, |e| e.data().iter().all(|&x| x == inf || x == 0))
+            .is_none_or(|e| e.data().iter().all(|&x| x == inf || x == 0))
     {
         return None;
     }
-    let halve = |a: &Dense<i64>| {
+    fn halve(a: &Dense<i64>) -> Dense<i64> {
+        let inf = <i64 as Value>::INFINITY;
         Dense::from_vec(
             a.rows(),
             a.cols(),
@@ -283,7 +288,7 @@ fn halve_values(inst: &Instance) -> Option<Instance> {
                 .map(|&x| if x == inf { inf } else { x / 2 })
                 .collect(),
         )
-    };
+    }
     out.a = halve(&inst.a);
     out.e = inst.e.as_ref().map(halve);
     Some(out)
@@ -316,8 +321,8 @@ pub fn shrink(start: &Instance, still_fails: impl Fn(&Instance) -> bool) -> Inst
     loop {
         let mut progressed = false;
 
-        let structural: Vec<Box<dyn Fn(&Instance) -> Option<Instance>>> = {
-            let mut t: Vec<Box<dyn Fn(&Instance) -> Option<Instance>>> = Vec::new();
+        let structural: Vec<Transform> = {
+            let mut t: Vec<Transform> = Vec::new();
             for i in 0..cur.a.rows() {
                 t.push(Box::new(move |x: &Instance| delete_row(x, i)));
             }

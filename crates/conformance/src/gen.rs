@@ -195,7 +195,7 @@ fn monge_base(
     let v: Vec<i64> = (0..n).map(|_| snap(r.range_i64(-offset, offset))).collect();
     let mut prefix = vec![0i64; n];
     let mut data = Vec::with_capacity(m * n);
-    for i in 0..m {
+    for (i, &ui) in u.iter().enumerate() {
         let mut acc = 0i64;
         for (j, p) in prefix.iter_mut().enumerate() {
             let g = if i == 0 || j == 0 || density == 0 {
@@ -205,7 +205,7 @@ fn monge_base(
             };
             acc += g;
             *p += acc;
-            data.push(u[i] + v[j] - *p);
+            data.push(ui + v[j] - *p);
         }
     }
     Dense::from_vec(m, n, data)
@@ -333,9 +333,9 @@ fn mask_staircase(base: &Dense<i64>, f: &[usize], garbage: Option<&mut SplitMix6
         }),
         Some(r) => {
             let mut data = Vec::with_capacity(m * n);
-            for i in 0..m {
+            for (i, &fi) in f.iter().enumerate() {
                 for j in 0..n {
-                    data.push(if j >= f[i] {
+                    data.push(if j >= fi {
                         r.range_i64(-1_000_000, 1_000_000)
                     } else {
                         base.entry(i, j)
@@ -368,7 +368,7 @@ fn staircase_instance(seed: u64) -> Instance {
         1 | 3 => {
             let zeros = r.range_usize(1, m);
             let mut f: Vec<usize> = (0..m - zeros).map(|_| r.range_usize(1, n)).collect();
-            f.extend(std::iter::repeat(0).take(zeros));
+            f.extend(std::iter::repeat_n(0, zeros));
             f
         }
         2 => {

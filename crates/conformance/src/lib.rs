@@ -2,13 +2,18 @@
 //!
 //! Two instruments, both deterministic:
 //!
-//! * [`audit`] — a complexity-bound auditor that runs the PRAM-backed
+//! * [`audit`](mod@audit) — a complexity-bound auditor that runs the PRAM-backed
 //!   engines over a geometric ladder of instance sizes, reads the step
 //!   and processor counters out of the dispatch telemetry, and asserts
 //!   the paper's bounds (Theorem 2.3's `O(lg n)` CRCW schedule, the
 //!   CREW `O(lg n lg lg n)` variant, …) with configurable slack. A
 //!   deliberately quadratic dummy backend serves as the negative
 //!   control: the auditor must fail it.
+//! * [`chaos`] — a chaos-soak harness that schedules seeded fault
+//!   storms (panic bursts, violation storms, hard outages) over
+//!   thousands of mixed-kind guarded solves on a virtual-clock health
+//!   registry, asserting bitwise-correct-or-typed-error on every solve
+//!   and bit-for-bit reproducible breaker transitions.
 //! * [`fuzz`] — a differential fuzzer that generates structured
 //!   instances ([`gen`]) from SplitMix64 seeds ([`rng`]), solves each
 //!   on every eligible backend, diffs full argmin vectors (values,
@@ -23,12 +28,16 @@
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod chaos;
 pub mod corpus;
 pub mod fuzz;
 pub mod gen;
 pub mod rng;
 
 pub use audit::{audit, env_slack, ladder, AuditFamily, AuditReport, BoundShape, BoundSpec};
+pub use chaos::{
+    chaos_budget, parse_spec, run_storm, run_storm_with_latencies, StormReport, StormSpec, Wave,
+};
 pub use corpus::{corpus_dir, parse, render, replay_all, replay_file};
 pub use fuzz::{
     conformance_dispatcher, fuzz_budget, fuzz_kind, shrink, FuzzReport, Mismatch, TINY_GRAIN,

@@ -174,8 +174,14 @@ fn infeasible_staircase_rows_get_the_canonical_sentinel_everywhere() {
 ///   straight to the brute scan: path is exactly `["brute"]`.
 #[test]
 fn guarded_fallback_paths_match_the_injected_fault_pattern() {
-    let d = Dispatcher::with_default_backends();
     for seed in 0..8u64 {
+        // Fresh dispatcher (= fresh breaker memory) per seed: this test
+        // asserts the fallback shape of each fault pattern in isolation,
+        // and the deliberate unlimited-panic phase would otherwise open
+        // the host backends' circuits for the later seeds. Breaker
+        // dynamics under sustained fault load are the chaos harness's
+        // job (`monge_conformance::chaos`).
+        let d = Dispatcher::with_default_backends();
         let inst = generate(ProblemKind::RowMinima, 0xFA_0000 + seed);
         let base = inst.a.clone();
 

@@ -273,7 +273,7 @@ const STREAM_CHUNK: usize = 256;
 /// Streaming leftmost/rightmost minimum of `a[row, lo..hi)` for arrays
 /// whose rows are *generated* rather than stored
 /// ([`Array2d::prefers_streaming`]): `fill_row` lands in a stack
-/// buffer one [`STREAM_CHUNK`] at a time and each chunk is reduced
+/// buffer one `STREAM_CHUNK` at a time and each chunk is reduced
 /// while it is hot in L1. This is what fixes the large-`n` regression
 /// of the buffer-the-whole-row path — wide generated rows round-trip
 /// through memory twice there (generate into scratch, then rescan),

@@ -74,7 +74,7 @@ pub enum ViolationAction {
 }
 
 /// Configuration of one guarded solve: how much to validate, how long
-/// to run, how far to fall back.
+/// to run, how far to fall back, how often to retry.
 #[derive(Clone, Copy, Debug)]
 pub struct GuardPolicy {
     /// Structure validation mode (default [`Validation::Off`]).
@@ -89,6 +89,8 @@ pub struct GuardPolicy {
     pub max_fallback_depth: usize,
     /// Seed for the sampled validation's quadruple choice.
     pub seed: u64,
+    /// Retry discipline for transient faults (default: no retries).
+    pub retry: RetryPolicy,
 }
 
 impl Default for GuardPolicy {
@@ -99,11 +101,19 @@ impl Default for GuardPolicy {
             deadline: None,
             max_fallback_depth: 3,
             seed: 0x9E37_79B9_7F4A_7C15,
+            retry: RetryPolicy::NONE,
         }
     }
 }
 
 impl GuardPolicy {
+    /// Sets the retry discipline for transient faults.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
     /// Default policy with [`Validation::Full`].
     pub fn full_validation() -> Self {
         GuardPolicy {
@@ -147,6 +157,152 @@ impl GuardPolicy {
         self.seed = seed;
         self
     }
+}
+
+/// Retry discipline for transient faults in a guarded solve: panicking
+/// backends (and deadline aborts with wall-clock slack remaining) are
+/// re-attempted up to `max_attempts` times with seeded
+/// decorrelated-jitter backoff, subject to the serving layer's global
+/// retry *budget* (see `monge-parallel::health`) so a fault storm
+/// cannot amplify itself into an overload.
+///
+/// `Copy`, like [`GuardPolicy`] — the budget state lives in the health
+/// registry, not here.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per chain link (`1` = no retries).
+    pub max_attempts: u32,
+    /// Backoff floor for the decorrelated jitter.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Seed for the jitter stream, so a replayed solve backs off
+    /// identically.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// No retries — every fault falls straight through to the next
+    /// chain link. The [`GuardPolicy`] default.
+    pub const NONE: RetryPolicy = RetryPolicy {
+        max_attempts: 1,
+        base_backoff: Duration::ZERO,
+        max_backoff: Duration::ZERO,
+        seed: 0x5EED_5EED,
+    };
+
+    /// A retrying policy: `max_attempts` total attempts, backoff jitter
+    /// between `base` and `3×` the previous delay (decorrelated
+    /// jitter), capped at `max`.
+    pub fn retries(max_attempts: u32, base: Duration, max: Duration) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            base_backoff: base,
+            max_backoff: max,
+            seed: 0x5EED_5EED,
+        }
+    }
+
+    /// Sets the jitter seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// [`RetryPolicy::NONE`] overlaid with any valid `MONGE_RETRY_*`
+    /// environment variables: `MONGE_RETRY_MAX` (total attempts),
+    /// `MONGE_RETRY_BASE_MS` / `MONGE_RETRY_MAX_MS` (backoff floor and
+    /// ceiling, default 1 ms / 100 ms once retries are enabled).
+    pub fn from_env() -> Self {
+        let env_u64 =
+            |key: &str| -> Option<u64> { std::env::var(key).ok()?.trim().parse::<u64>().ok() };
+        let max_attempts = env_u64("MONGE_RETRY_MAX").map_or(1, |v| v.clamp(1, 64) as u32);
+        if max_attempts <= 1 {
+            return RetryPolicy::NONE;
+        }
+        let base = Duration::from_millis(env_u64("MONGE_RETRY_BASE_MS").unwrap_or(1));
+        let max = Duration::from_millis(env_u64("MONGE_RETRY_MAX_MS").unwrap_or(100));
+        RetryPolicy::retries(max_attempts, base, max.max(base))
+    }
+
+    /// Would this policy retry after `attempt` failed attempts?
+    pub fn allows(&self, attempts_made: u32) -> bool {
+        attempts_made < self.max_attempts
+    }
+
+    /// The decorrelated-jitter backoff before retry number `attempt`
+    /// (1-based) of the solve identified by `salt`: uniformly drawn
+    /// from `[base, 3 × previous]`, capped at `max_backoff`. Pure in
+    /// `(seed, salt, attempt)`, so replays back off identically.
+    pub fn backoff(&self, salt: u64, attempt: u32) -> Duration {
+        if self.max_backoff.is_zero() {
+            return Duration::ZERO;
+        }
+        let base = self.base_backoff.as_nanos() as u64;
+        let mut prev = base.max(1);
+        let cap = self.max_backoff.as_nanos() as u64;
+        let mut delay = base;
+        for k in 1..=attempt {
+            let hi = prev.saturating_mul(3).clamp(base.max(1), cap.max(1));
+            let lo = base.min(hi);
+            let span = (hi - lo).max(1);
+            let draw = mix(self.seed ^ mix(salt).wrapping_add(k as u64)) % span;
+            delay = (lo + draw).min(cap);
+            prev = delay.max(1);
+        }
+        Duration::from_nanos(delay)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::NONE
+    }
+}
+
+/// The state of one backend's circuit breaker (see
+/// `monge-parallel::health`): `Closed` admits solves, `Open` skips the
+/// backend until a cooldown elapses, `HalfOpen` admits a single probe
+/// whose outcome closes or re-opens the circuit.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: every solve is admitted.
+    #[default]
+    Closed,
+    /// Tripped: solves are skipped until the cooldown elapses.
+    Open,
+    /// Cooled down: one probe solve is admitted at a time.
+    HalfOpen,
+}
+
+impl std::fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        })
+    }
+}
+
+/// A point-in-time view of one backend's health record, stamped into
+/// [`crate::problem::Telemetry::health_snapshot`] by the resilient
+/// serving layer so operators can see *why* a solve took the path it
+/// did.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BackendHealthSnapshot {
+    /// Registry name of the backend.
+    pub backend: &'static str,
+    /// Breaker state at snapshot time.
+    pub state: BreakerState,
+    /// Faulted outcomes currently in the sliding window.
+    pub window_failures: u32,
+    /// Outcomes currently in the sliding window.
+    pub window_len: u32,
+    /// Exponentially-weighted moving average of per-solve latency, in
+    /// nanoseconds (0 until the first completed solve).
+    pub latency_ewma_nanos: u64,
 }
 
 /// A structure violation rendered for reporting: the witnessing
@@ -239,6 +395,16 @@ pub enum SolveError {
         /// What was wrong with the input.
         reason: String,
     },
+    /// Every admissible backend's circuit breaker was open, and the
+    /// fallback budget did not reach the (always-admitted) brute-force
+    /// terminal. Carries the shortest cooldown remaining among the
+    /// skipped backends, so callers can schedule a re-submit.
+    CircuitOpen {
+        /// Registry name of the first breaker-skipped backend.
+        backend: &'static str,
+        /// Cooldown remaining before that breaker half-opens.
+        retry_after: Duration,
+    },
 }
 
 impl std::fmt::Display for SolveError {
@@ -254,6 +420,13 @@ impl std::fmt::Display for SolveError {
             ),
             SolveError::Overflow { context } => write!(f, "i64 overflow in {context}"),
             SolveError::InvalidInput { reason } => write!(f, "invalid input: {reason}"),
+            SolveError::CircuitOpen {
+                backend,
+                retry_after,
+            } => write!(
+                f,
+                "circuit open for backend '{backend}': retry after {retry_after:?}"
+            ),
         }
     }
 }
@@ -781,6 +954,29 @@ mod tests {
     }
 
     #[test]
+    fn retry_backoff_is_deterministic_and_bounded() {
+        let p = RetryPolicy::retries(4, Duration::from_millis(2), Duration::from_millis(50))
+            .with_seed(0xD00D);
+        for attempt in 1..=3u32 {
+            let a = p.backoff(7, attempt);
+            let b = p.backoff(7, attempt);
+            assert_eq!(a, b, "same (seed, salt, attempt) → same delay");
+            assert!(a >= Duration::from_millis(2) && a <= Duration::from_millis(50));
+        }
+        // Different salts decorrelate.
+        let delays: Vec<Duration> = (0..16).map(|s| p.backoff(s, 2)).collect();
+        let distinct = delays
+            .iter()
+            .collect::<std::collections::HashSet<_>>()
+            .len();
+        assert!(distinct > 1, "jitter must not collapse to one delay");
+        // The no-retry policy never sleeps.
+        assert_eq!(RetryPolicy::NONE.backoff(1, 1), Duration::ZERO);
+        assert!(RetryPolicy::NONE.allows(0) && !RetryPolicy::NONE.allows(1));
+        assert!(p.allows(3) && !p.allows(4));
+    }
+
+    #[test]
     fn solve_error_displays() {
         let e = SolveError::Overflow { context: "test" };
         assert!(format!("{e}").contains("overflow"));
@@ -789,5 +985,10 @@ mod tests {
             deadline: Duration::from_millis(1),
         };
         assert!(format!("{e}").contains("deadline"));
+        let e = SolveError::CircuitOpen {
+            backend: "rayon",
+            retry_after: Duration::from_millis(3),
+        };
+        assert!(format!("{e}").contains("circuit open"));
     }
 }

@@ -630,6 +630,16 @@ pub struct Telemetry {
     /// `None` when the solve ran below the dispatch entry points that
     /// resolve tuning (e.g. a backend invoked directly).
     pub provenance: Option<TuningProvenance>,
+    /// Transient-fault retries performed by the resilient serving layer
+    /// for this solve (0 for unguarded or retry-free solves).
+    pub retries: u64,
+    /// Fallback-chain links skipped because their circuit breaker was
+    /// open ([`crate::guard::BreakerState::Open`]).
+    pub breaker_skips: u64,
+    /// Per-backend health at the end of the solve, stamped by the
+    /// resilient serving layer (`monge-parallel::health`). `None` for
+    /// solves that ran below it.
+    pub health_snapshot: Option<Vec<crate::guard::BackendHealthSnapshot>>,
 }
 
 /// The [`Telemetry::backend`] label of a merged rollup whose inputs ran
@@ -659,7 +669,12 @@ impl Telemetry {
     /// first-seen order. Identity fields survive only when they agree:
     /// differing backends collapse to [`MERGED_BACKEND`], differing
     /// kinds to `None`. Guard outcomes are not merged — a rollup has no
-    /// single fallback path — so `guard` keeps `self`'s value.
+    /// single fallback path — so `guard` keeps `self`'s value; the
+    /// resilience counters (`retries`, `breaker_skips`) are additive,
+    /// while `health_snapshot` — a point-in-time view, meaningless to
+    /// sum — takes the *latest* part's snapshot (`other`'s when it has
+    /// one), matching how a service rollup should report current
+    /// health.
     pub fn accumulate(&mut self, other: &Telemetry) {
         // A fresh rollup (default-constructed, backend still "") adopts
         // the first part's identity outright; afterwards identity fields
@@ -682,6 +697,11 @@ impl Telemetry {
         }
         self.evaluations = self.evaluations.saturating_add(other.evaluations);
         self.comparisons = self.comparisons.saturating_add(other.comparisons);
+        self.retries = self.retries.saturating_add(other.retries);
+        self.breaker_skips = self.breaker_skips.saturating_add(other.breaker_skips);
+        if other.health_snapshot.is_some() {
+            self.health_snapshot.clone_from(&other.health_snapshot);
+        }
         self.tasks = self.tasks.saturating_add(other.tasks);
         self.arena_checkouts = self.arena_checkouts.saturating_add(other.arena_checkouts);
         self.total_nanos = self.total_nanos.saturating_add(other.total_nanos);
@@ -980,6 +1000,57 @@ mod tests {
         roll.accumulate(&a);
         assert_eq!(roll.evaluations, 2);
         assert_eq!(roll.backend, "sequential", "agreeing backends survive");
+    }
+
+    #[test]
+    fn merge_sums_resilience_counters_and_keeps_latest_snapshot() {
+        use crate::guard::{BackendHealthSnapshot, BreakerState};
+        let snap = |state: BreakerState, fails: u32| {
+            vec![BackendHealthSnapshot {
+                backend: "rayon",
+                state,
+                window_failures: fails,
+                window_len: 8,
+                latency_ewma_nanos: 1000,
+            }]
+        };
+        let a = Telemetry {
+            backend: "x",
+            retries: 2,
+            breaker_skips: 1,
+            health_snapshot: Some(snap(BreakerState::Open, 5)),
+            ..Telemetry::default()
+        };
+        let b = Telemetry {
+            backend: "x",
+            retries: 3,
+            breaker_skips: 0,
+            health_snapshot: Some(snap(BreakerState::HalfOpen, 5)),
+            ..Telemetry::default()
+        };
+        let c = Telemetry {
+            backend: "x",
+            retries: 0,
+            breaker_skips: 4,
+            health_snapshot: None,
+            ..Telemetry::default()
+        };
+        let m = Telemetry::merge([&a, &b, &c]);
+        assert_eq!(m.retries, 5, "retries are additive");
+        assert_eq!(m.breaker_skips, 5, "breaker skips are additive");
+        // The snapshot is a point-in-time view: the latest part that
+        // carried one wins; a later part with none does not erase it.
+        assert_eq!(m.health_snapshot, Some(snap(BreakerState::HalfOpen, 5)));
+        // Saturation, like every additive counter.
+        let hot = Telemetry {
+            backend: "x",
+            retries: u64::MAX - 1,
+            breaker_skips: u64::MAX - 1,
+            ..Telemetry::default()
+        };
+        let m = Telemetry::merge([&hot, &a]);
+        assert_eq!(m.retries, u64::MAX);
+        assert_eq!(m.breaker_skips, u64::MAX);
     }
 
     #[test]

@@ -42,8 +42,8 @@
 //! cached winner's tuning is re-overlaid with the `MONGE_*` variables
 //! on every use ([`Tuning::env_overlay`]), so a deployment-level pin
 //! always beats a measured winner. Which path actually decided a solve
-//! is stamped into [`Telemetry::provenance`]
-//! ([`TuningProvenance::Cached`] / `Measured` / `Probed` / `Default`),
+//! is stamped into [`Telemetry::provenance`](monge_core::problem::Telemetry::provenance)
+//! ([`TuningProvenance::Cached`](monge_core::problem::TuningProvenance::Cached) / `Measured` / `Probed` / `Default`),
 //! so benches and tests can assert the selection path — the CI
 //! autotune leg requires a warm second run to report only `cached`
 //! with zero measurements.

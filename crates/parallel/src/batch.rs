@@ -80,6 +80,7 @@ use monge_core::value::Value;
 
 use crate::dispatch::{Backend, Dispatcher};
 use crate::guarded::{input_preconditions, validate, BruteForceBackend, BRUTE};
+use crate::health::{Admission, Observation};
 use crate::tuning::Tuning;
 
 /// The [`Telemetry::backend`] / [`Attempt::backend`] label of a solve
@@ -438,9 +439,19 @@ type StripPart<T> = (Range<usize>, Solution<T>, Telemetry);
 /// `None` marks a strip lost to a panic or to the group's cancellation.
 type ChunkStrip<T> = (usize, Range<usize>, Option<(Solution<T>, Telemetry)>);
 
-/// What one chunk produced: strip outputs in order.
+/// What one chunk produced: strip outputs in order, plus the fault
+/// kinds it observed (fed to the health registry at group granularity).
 struct ChunkOut<T> {
     strips: Vec<ChunkStrip<T>>,
+    lost_panic: bool,
+    lost_deadline: bool,
+}
+
+/// Group-level fused outcome: whether any strip was lost, and to what.
+#[derive(Clone, Copy, Debug, Default)]
+struct FusedOutcome {
+    lost_panic: bool,
+    lost_deadline: bool,
 }
 
 impl<T: Value> Dispatcher<T> {
@@ -560,10 +571,21 @@ impl<T: Value> Dispatcher<T> {
             let token = slice_for(gcost).map(CancelToken::with_deadline);
             let (tuning, provenance) = self.resolve_group_tuning(policy, members, problems);
             let shed = policy.max_group_cost.is_some_and(|c| gcost > c as u128);
+            // The fused path runs on the sequential engine; its circuit
+            // breaker gates group selection. An Open circuit downgrades
+            // the whole group onto the guarded chain (which does its own
+            // per-link admission) instead of fusing onto a backend that
+            // is currently faulting.
             let sequential = self.find("sequential");
-            match (shed, sequential) {
+            let fused_admission = match (&sequential, shed) {
+                (Some(_), false) => self.health().admit("sequential"),
+                _ => Admission::Allow,
+            };
+            let breaker_denied = matches!(fused_admission, Admission::Deny { .. });
+            match (shed || breaker_denied, sequential) {
                 (false, Some(seq)) => {
-                    self.run_group_fused(
+                    let t_group = Instant::now();
+                    let fused = self.run_group_fused(
                         problems,
                         members,
                         seq,
@@ -574,6 +596,18 @@ impl<T: Value> Dispatcher<T> {
                         &mut results,
                         &mut telemetry,
                     );
+                    // One observation per fused group resolves a probe
+                    // and keeps the window's granularity independent of
+                    // group size.
+                    let group_nanos = t_group.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                    let observed = if fused.lost_deadline {
+                        Observation::Deadline
+                    } else if fused.lost_panic {
+                        Observation::Panic
+                    } else {
+                        Observation::Ok
+                    };
+                    self.health().record("sequential", observed, group_nanos);
                 }
                 _ => {
                     if shed {
@@ -582,6 +616,10 @@ impl<T: Value> Dispatcher<T> {
                     for &i in members {
                         let (res, tel) = self.downgrade_solve(&problems[i], policy, &token, tuning);
                         merge_downgrade(&mut telemetry[i], tel);
+                        if breaker_denied {
+                            telemetry[i].breaker_skips =
+                                telemetry[i].breaker_skips.saturating_add(1);
+                        }
                         results[i] = Some(res);
                     }
                 }
@@ -696,7 +734,7 @@ impl<T: Value> Dispatcher<T> {
         batch_start: Instant,
         results: &mut [Option<Result<Solution<T>, SolveError>>],
         telemetry: &mut [Telemetry],
-    ) {
+    ) -> FusedOutcome {
         // One shared scratch-arena session: pre-grow every pool
         // thread's arena to the group's widest scan once, so no chunk
         // pays the growth memcpys mid-solve.
@@ -724,7 +762,7 @@ impl<T: Value> Dispatcher<T> {
             }
         }
         if active.is_empty() {
-            return;
+            return FusedOutcome::default();
         }
 
         // The global work list and its equal-cost chunks. On a
@@ -745,6 +783,7 @@ impl<T: Value> Dispatcher<T> {
             .map(|chunk| {
                 let mut strips = Vec::with_capacity(chunk.len());
                 let mut cancelled = false;
+                let mut lost_panic = false;
                 for strip in chunk {
                     let i = active[strip.member];
                     // The cooperative-cancellation checkpoint at the
@@ -765,12 +804,18 @@ impl<T: Value> Dispatcher<T> {
                         Err(payload) => {
                             if payload.downcast_ref::<Cancelled>().is_some() {
                                 cancelled = true;
+                            } else {
+                                lost_panic = true;
                             }
                             strips.push((strip.member, strip.units.clone(), None));
                         }
                     }
                 }
-                ChunkOut { strips }
+                ChunkOut {
+                    strips,
+                    lost_panic,
+                    lost_deadline: cancelled,
+                }
             })
             .collect();
 
@@ -779,7 +824,10 @@ impl<T: Value> Dispatcher<T> {
         // whatever budget is left of the group's slice.
         let mut parts: Vec<Vec<StripPart<T>>> = active.iter().map(|_| Vec::new()).collect();
         let mut broken = vec![false; active.len()];
+        let mut fused = FusedOutcome::default();
         for chunk in chunk_outs {
+            fused.lost_panic |= chunk.lost_panic;
+            fused.lost_deadline |= chunk.lost_deadline;
             for (member, units, out) in chunk.strips {
                 match out {
                     Some((sol, tel)) => parts[member].push((units, sol, tel)),
@@ -819,6 +867,7 @@ impl<T: Value> Dispatcher<T> {
             telemetry[i] = tel;
             results[i] = Some(Ok(sol));
         }
+        fused
     }
 
     /// Whole-problem solve on the group backend (empty problems, which
@@ -909,9 +958,65 @@ fn merge_downgrade(slot: &mut Telemetry, solved: Telemetry) {
     }
 }
 
+/// Why [`SolverService::submit`] refused a problem — typed backpressure
+/// the caller can act on (drain now, shed load, or retry after the next
+/// drain) instead of an unbounded queue absorbing an overload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The service's bounded pending queue is full; drain before
+    /// submitting more.
+    Overloaded {
+        /// Problems currently pending.
+        pending: usize,
+        /// The queue bound ([`SolverService::with_max_pending`]).
+        capacity: usize,
+    },
+    /// This tenant reached its in-flight quota; other tenants may still
+    /// submit.
+    TenantOverQuota {
+        /// The refused tenant.
+        tenant: String,
+        /// That tenant's pending problems.
+        pending: usize,
+        /// The per-tenant bound ([`SolverService::with_tenant_quota`]).
+        quota: usize,
+    },
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Overloaded { pending, capacity } => {
+                write!(
+                    f,
+                    "service overloaded: {pending} pending of {capacity} capacity"
+                )
+            }
+            SubmitError::TenantOverQuota {
+                tenant,
+                pending,
+                quota,
+            } => {
+                write!(
+                    f,
+                    "tenant '{tenant}' over quota: {pending} pending of {quota} allowed"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
 /// A front door for streams of heterogeneous problems: submit per
-/// tenant, drain as one amortized batch, read per-tenant telemetry
-/// rollups.
+/// tenant (against a bounded queue and optional per-tenant quotas),
+/// drain as one amortized batch, read per-tenant telemetry rollups.
+///
+/// Drains are *graceful* under pressure: the batch deadline is carved
+/// into per-group slices, and past-deadline or faulting work is shed
+/// onto the guarded fallback chain member-by-member instead of stalling
+/// or failing the whole drain — submission order of the results is
+/// preserved regardless.
 ///
 /// ```
 /// use monge_core::array2d::Dense;
@@ -923,8 +1028,8 @@ fn merge_downgrade(slot: &mut Telemetry, solved: Telemetry) {
 ///     d * d
 /// });
 /// let mut svc = SolverService::new(BatchPolicy::default());
-/// svc.submit("tenant-a", Problem::row_minima(&a));
-/// svc.submit("tenant-b", Problem::row_maxima(&a));
+/// svc.submit("tenant-a", Problem::row_minima(&a)).unwrap();
+/// svc.submit("tenant-b", Problem::row_maxima(&a)).unwrap();
 /// let results = svc.drain();
 /// assert!(results.iter().all(|r| r.is_ok()));
 /// assert!(svc.tenant_telemetry("tenant-a").unwrap().evaluations > 0);
@@ -934,7 +1039,13 @@ pub struct SolverService<'a, T: Value> {
     policy: BatchPolicy,
     queue: Vec<(String, Problem<'a, T>)>,
     tenants: HashMap<String, Telemetry>,
+    max_pending: usize,
+    tenant_quota: Option<usize>,
+    pending_by_tenant: HashMap<String, usize>,
 }
+
+/// Default bound on a service's pending queue.
+pub const DEFAULT_MAX_PENDING: usize = 4096;
 
 impl<'a, T: Value> SolverService<'a, T> {
     /// A service over [`Dispatcher::with_default_backends`].
@@ -949,7 +1060,27 @@ impl<'a, T: Value> SolverService<'a, T> {
             policy,
             queue: Vec::new(),
             tenants: HashMap::new(),
+            max_pending: DEFAULT_MAX_PENDING,
+            tenant_quota: None,
+            pending_by_tenant: HashMap::new(),
         }
+    }
+
+    /// Bounds the pending queue (default [`DEFAULT_MAX_PENDING`]); a
+    /// full queue refuses submissions with [`SubmitError::Overloaded`].
+    #[must_use]
+    pub fn with_max_pending(mut self, capacity: usize) -> Self {
+        self.max_pending = capacity;
+        self
+    }
+
+    /// Caps any one tenant's pending problems; an over-quota tenant is
+    /// refused with [`SubmitError::TenantOverQuota`] while others keep
+    /// submitting — one noisy tenant cannot monopolize the queue.
+    #[must_use]
+    pub fn with_tenant_quota(mut self, quota: usize) -> Self {
+        self.tenant_quota = Some(quota);
+        self
     }
 
     /// The underlying registry (e.g. to register extra backends before
@@ -958,11 +1089,39 @@ impl<'a, T: Value> SolverService<'a, T> {
         &mut self.dispatcher
     }
 
-    /// Enqueues a problem for `tenant`; returns its index in the next
-    /// [`SolverService::drain`]'s result vector.
-    pub fn submit(&mut self, tenant: &str, problem: Problem<'a, T>) -> usize {
+    /// The dispatcher's fault memory ([`crate::health`]): breaker
+    /// states and the retry budget carried across drains.
+    pub fn health(&self) -> &std::sync::Arc<crate::health::HealthRegistry> {
+        self.dispatcher.health()
+    }
+
+    /// Enqueues a problem for `tenant`; on success returns its index in
+    /// the next [`SolverService::drain`]'s result vector. Refusals are
+    /// typed backpressure ([`SubmitError`]) and leave the queue
+    /// unchanged.
+    pub fn submit(&mut self, tenant: &str, problem: Problem<'a, T>) -> Result<usize, SubmitError> {
+        if self.queue.len() >= self.max_pending {
+            return Err(SubmitError::Overloaded {
+                pending: self.queue.len(),
+                capacity: self.max_pending,
+            });
+        }
+        let tenant_pending = self.pending_by_tenant.get(tenant).copied().unwrap_or(0);
+        if let Some(quota) = self.tenant_quota {
+            if tenant_pending >= quota {
+                return Err(SubmitError::TenantOverQuota {
+                    tenant: tenant.to_string(),
+                    pending: tenant_pending,
+                    quota,
+                });
+            }
+        }
+        *self
+            .pending_by_tenant
+            .entry(tenant.to_string())
+            .or_insert(0) += 1;
         self.queue.push((tenant.to_string(), problem));
-        self.queue.len() - 1
+        Ok(self.queue.len() - 1)
     }
 
     /// Problems waiting for the next drain.
@@ -970,11 +1129,17 @@ impl<'a, T: Value> SolverService<'a, T> {
         self.queue.len()
     }
 
+    /// Problems `tenant` has waiting for the next drain.
+    pub fn tenant_pending(&self, tenant: &str) -> usize {
+        self.pending_by_tenant.get(tenant).copied().unwrap_or(0)
+    }
+
     /// Solves everything submitted since the last drain as one batch
     /// (in submission order), folds each problem's telemetry into its
     /// tenant's rollup, and returns the per-problem outcomes.
     pub fn drain(&mut self) -> Vec<Result<Solution<T>, SolveError>> {
         let queue = std::mem::take(&mut self.queue);
+        self.pending_by_tenant.clear();
         let problems: Vec<Problem<'a, T>> = queue.iter().map(|(_, p)| *p).collect();
         let report = self.dispatcher.solve_batch_report(&problems, &self.policy);
         for ((tenant, _), tel) in queue.iter().zip(&report.telemetry) {
@@ -1190,10 +1355,11 @@ mod tests {
     fn service_rolls_up_telemetry_per_tenant() {
         let a = monge(32, 32, 17);
         let mut svc = SolverService::new(BatchPolicy::default().without_calibration());
-        svc.submit("alpha", Problem::row_minima(&a));
-        svc.submit("alpha", Problem::row_maxima(&a));
-        svc.submit("beta", Problem::row_minima(&a));
+        svc.submit("alpha", Problem::row_minima(&a)).unwrap();
+        svc.submit("alpha", Problem::row_maxima(&a)).unwrap();
+        svc.submit("beta", Problem::row_minima(&a)).unwrap();
         assert_eq!(svc.pending(), 3);
+        assert_eq!(svc.tenant_pending("alpha"), 2);
         let results = svc.drain();
         assert_eq!(results.len(), 3);
         assert!(results.iter().all(Result::is_ok));
@@ -1204,10 +1370,162 @@ mod tests {
         assert_eq!(alpha.kind, None, "mixed kinds collapse in the rollup");
         assert_eq!(svc.tenants().count(), 2);
         // A second drain accumulates instead of replacing.
-        svc.submit("beta", Problem::row_minima(&a));
+        svc.submit("beta", Problem::row_minima(&a)).unwrap();
         let before = beta.evaluations;
         svc.drain();
         assert!(svc.tenant_telemetry("beta").unwrap().evaluations > before);
+    }
+
+    #[test]
+    fn submit_backpressure_is_typed_and_leaves_the_queue_intact() {
+        let a = monge(8, 8, 23);
+        let mut svc = SolverService::new(BatchPolicy::default().without_calibration())
+            .with_max_pending(2)
+            .with_tenant_quota(1);
+        svc.submit("alpha", Problem::row_minima(&a)).unwrap();
+        // Tenant quota fires first: alpha already has 1 in flight.
+        match svc.submit("alpha", Problem::row_minima(&a)) {
+            Err(SubmitError::TenantOverQuota {
+                tenant,
+                pending,
+                quota,
+            }) => {
+                assert_eq!(tenant, "alpha");
+                assert_eq!((pending, quota), (1, 1));
+            }
+            other => panic!("expected TenantOverQuota, got {other:?}"),
+        }
+        svc.submit("beta", Problem::row_minima(&a)).unwrap();
+        // Queue full: even a fresh tenant is refused.
+        match svc.submit("gamma", Problem::row_minima(&a)) {
+            Err(SubmitError::Overloaded { pending, capacity }) => {
+                assert_eq!((pending, capacity), (2, 2));
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        assert_eq!(svc.pending(), 2, "refusals leave the queue unchanged");
+        // Drain frees both the queue and the tenant counters.
+        assert!(svc.drain().iter().all(Result::is_ok));
+        assert_eq!(svc.tenant_pending("alpha"), 0);
+        svc.submit("alpha", Problem::row_minima(&a)).unwrap();
+        let errs: Vec<String> = [
+            SubmitError::Overloaded {
+                pending: 2,
+                capacity: 2,
+            },
+            SubmitError::TenantOverQuota {
+                tenant: "alpha".into(),
+                pending: 1,
+                quota: 1,
+            },
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+        assert!(errs[0].contains("overloaded"));
+        assert!(errs[1].contains("alpha"));
+    }
+
+    #[test]
+    fn drain_preserves_submit_order_across_mixed_outcomes() {
+        // Distinct row counts make each solution traceable to its
+        // submission slot even across quarantine, invalid input, and
+        // clean members interleaved between two tenants.
+        let a = monge(10, 16, 29);
+        let b = monge(20, 16, 31);
+        let c = monge(30, 16, 37);
+        let mut broken = monge(15, 15, 41);
+        let v = broken.entry(4, 4);
+        broken.set(4, 4, v + 1_000_000);
+        let bad_boundary = vec![1usize, 5]; // wrong length AND increasing
+        let mut svc = SolverService::new(
+            BatchPolicy::default()
+                .without_calibration()
+                .with_guard(GuardPolicy::full_validation()),
+        );
+        let i0 = svc.submit("alpha", Problem::row_minima(&a)).unwrap();
+        let i1 = svc.submit("beta", Problem::row_minima(&broken)).unwrap();
+        let i2 = svc
+            .submit("alpha", Problem::staircase_row_minima(&a, &bad_boundary))
+            .unwrap();
+        let i3 = svc.submit("beta", Problem::row_minima(&b)).unwrap();
+        let i4 = svc.submit("alpha", Problem::row_minima(&c)).unwrap();
+        assert_eq!((i0, i1, i2, i3, i4), (0, 1, 2, 3, 4));
+        let results = svc.drain();
+        assert_eq!(results.len(), 5);
+        assert_eq!(results[0].as_ref().unwrap().rows().index.len(), 10);
+        // The quarantined member still answers (brute), in its slot.
+        assert_eq!(results[1].as_ref().unwrap().rows().index.len(), 15);
+        assert!(matches!(results[2], Err(SolveError::InvalidInput { .. })));
+        assert_eq!(results[3].as_ref().unwrap().rows().index.len(), 20);
+        assert_eq!(results[4].as_ref().unwrap().rows().index.len(), 30);
+    }
+
+    #[test]
+    fn tenant_isolation_survives_a_faulty_neighbor() {
+        // Tenant alpha streams structure-violating arrays (quarantined);
+        // tenant beta's clean work must come back bitwise-identical to a
+        // solo run, with no resilience counters leaking into its rollup.
+        let clean = monge(24, 24, 43);
+        let mut dirty = clean.clone();
+        let v = dirty.entry(2, 2);
+        dirty.set(2, 2, v + 1_000_000);
+        let policy = BatchPolicy::default()
+            .without_calibration()
+            .with_guard(GuardPolicy::full_validation());
+        let d = Dispatcher::with_default_backends();
+        let (solo, _) = d
+            .solve_guarded_with(
+                &Problem::row_minima(&clean),
+                &GuardPolicy::full_validation(),
+                Tuning::from_env(),
+            )
+            .unwrap();
+        let mut svc = SolverService::new(policy);
+        svc.submit("alpha", Problem::row_minima(&dirty)).unwrap();
+        svc.submit("beta", Problem::row_minima(&clean)).unwrap();
+        svc.submit("alpha", Problem::row_minima(&dirty)).unwrap();
+        let results = svc.drain();
+        assert_eq!(results[1].as_ref().unwrap(), &solo);
+        let beta = svc.tenant_telemetry("beta").unwrap();
+        assert_eq!(beta.retries, 0);
+        assert_eq!(beta.breaker_skips, 0);
+        // Alpha's quarantined members still answer correctly (brute).
+        assert!(results[0].is_ok() && results[2].is_ok());
+        assert!(svc.tenant_telemetry("alpha").unwrap().evaluations > 0);
+    }
+
+    #[test]
+    fn open_sequential_breaker_downgrades_fused_groups() {
+        use crate::health::{HealthConfig, HealthRegistry, VirtualClock};
+        use std::sync::Arc;
+        let clock = Arc::new(VirtualClock::new());
+        let registry = Arc::new(HealthRegistry::new(HealthConfig::DEFAULT, clock));
+        let d = Dispatcher::with_default_backends().with_health_registry(registry.clone());
+        registry.force_open("sequential");
+        let a = monge(32, 32, 47);
+        let problems = vec![Problem::row_minima(&a); 3];
+        let report = d.solve_batch_report(&problems, &BatchPolicy::default().without_calibration());
+        for (r, tel) in report.results.iter().zip(&report.telemetry) {
+            let (expected, _) = Dispatcher::with_default_backends()
+                .solve_guarded_with(&problems[0], &GuardPolicy::default(), Tuning::from_env())
+                .unwrap();
+            assert_eq!(r.as_ref().unwrap(), &expected);
+            assert!(
+                tel.breaker_skips >= 1,
+                "denied fused path is counted: {}",
+                tel.breaker_skips
+            );
+            let path = tel.guard.as_ref().unwrap().fallback_path();
+            assert!(
+                !path.contains(&BATCH),
+                "members bypassed the fused path, got {path:?}"
+            );
+            assert!(
+                !path.contains(&"sequential"),
+                "guarded walk also skips the open circuit, got {path:?}"
+            );
+        }
     }
 
     #[test]

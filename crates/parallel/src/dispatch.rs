@@ -68,6 +68,7 @@ use monge_core::value::Value;
 use monge_core::{banded, eval, scratch, staircase, tube};
 
 use crate::autotune::{self, AutotuneKey, AutotuneMode, Autotuner, Claim};
+use crate::health::HealthRegistry;
 use crate::pram_monge::{self, MinPrimitive};
 use crate::tuning::Tuning;
 use crate::vector_array::VectorArray;
@@ -720,6 +721,11 @@ pub struct Dispatcher<T: Value> {
     /// `None` means the process-global [`crate::autotune::global`]
     /// table; tests attach isolated instances.
     autotuner: Option<Arc<Autotuner>>,
+    /// Per-dispatcher fault memory: breaker states, outcome windows,
+    /// retry budget ([`crate::health`]). Fresh (environment-configured,
+    /// monotonic clock) per dispatcher unless a shared or virtual-clock
+    /// instance is attached.
+    health: Arc<HealthRegistry>,
 }
 
 impl<T: Value> Default for Dispatcher<T> {
@@ -734,6 +740,7 @@ impl<T: Value> Dispatcher<T> {
         Self {
             backends: Vec::new(),
             autotuner: None,
+            health: Arc::new(HealthRegistry::from_env()),
         }
     }
 
@@ -744,6 +751,21 @@ impl<T: Value> Dispatcher<T> {
     pub fn with_autotuner(mut self, tuner: Arc<Autotuner>) -> Self {
         self.autotuner = Some(tuner);
         self
+    }
+
+    /// Replaces this dispatcher's [`HealthRegistry`] — how tests attach
+    /// a virtual-clock registry, and how several dispatchers can share
+    /// one fault memory.
+    pub fn with_health_registry(mut self, health: Arc<HealthRegistry>) -> Self {
+        self.health = health;
+        self
+    }
+
+    /// The fault memory consulted by the guarded chain
+    /// ([`crate::guarded`]) and the batch layer ([`crate::batch`]):
+    /// breaker admission, outcome windows, the global retry budget.
+    pub fn health(&self) -> &Arc<HealthRegistry> {
+        &self.health
     }
 
     /// The autotuner behind [`Dispatcher::solve_calibrated`] and batch

@@ -41,9 +41,26 @@
 //! [`monge_core::guard::CancelToken`] for the duration of each attempt
 //! and converts the resulting [`Cancelled`] unwind into
 //! [`SolveError::DeadlineExceeded`].
+//!
+//! ## Resilience (PR 9)
+//!
+//! The chain walk consults the dispatcher's [`crate::health`] registry
+//! per link: a backend whose circuit breaker is Open is *skipped*
+//! before any attempt is paid for (counted in
+//! [`Telemetry::breaker_skips`]), and every attempt's outcome feeds the
+//! registry's sliding window. The [`BruteForceBackend`] terminal is
+//! exempt — a degraded process always reaches the correct slow path —
+//! so [`SolveError::CircuitOpen`] only surfaces when the caller pinned
+//! or truncated the chain away from the terminal. Transient faults
+//! (panics, and deadline aborts with slack remaining) retry in place
+//! under [`monge_core::guard::RetryPolicy`]'s seeded decorrelated
+//! jitter, gated by the registry's global retry budget; each retry is a
+//! fresh [`GuardOutcome::attempts`] entry and is counted in
+//! [`Telemetry::retries`]. Successful solves carry a
+//! [`Telemetry::health_snapshot`] of every tracked backend.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use monge_core::array2d::Array2d;
 use monge_core::guard::{
@@ -63,6 +80,7 @@ use monge_core::value::Value;
 use monge_core::{eval, tube};
 
 use crate::dispatch::{banded_values, plain_row_opt, Backend, Capabilities, Dispatcher};
+use crate::health::{Admission, Observation};
 use crate::tuning::Tuning;
 
 /// The terminal link of every fallback chain: leftmost scans over every
@@ -325,6 +343,10 @@ impl<T: Value> Dispatcher<T> {
     ) -> Result<(Solution<T>, Telemetry), SolveError> {
         let start = Instant::now();
         let token = policy.deadline.map(CancelToken::with_deadline);
+        let health = self.health();
+        // Every admitted request credits the global retry budget (see
+        // `crate::health`): retries stay a bounded fraction of load.
+        health.credit_request();
         let mut outcome = GuardOutcome {
             validation: policy.validation,
             ..GuardOutcome::default()
@@ -342,14 +364,25 @@ impl<T: Value> Dispatcher<T> {
         outcome.validation_nanos = t0.elapsed().as_nanos();
         let quarantined = match validated {
             Ok(Ok(())) => false,
-            Ok(Err(witness)) => match policy.on_violation {
-                ViolationAction::Fail => return Err(SolveError::StructureViolation(witness)),
-                ViolationAction::Quarantine => {
-                    outcome.quarantined = true;
-                    outcome.witness = Some(*witness);
-                    true
+            Ok(Err(witness)) => {
+                // Broken promises are a health signal too: recorded
+                // against the "validator" pseudo-backend, which is
+                // never admission-checked (it is not a chain link) but
+                // shows up in snapshots.
+                health.record(
+                    "validator",
+                    Observation::Violation,
+                    outcome.validation_nanos.min(u64::MAX as u128) as u64,
+                );
+                match policy.on_violation {
+                    ViolationAction::Fail => return Err(SolveError::StructureViolation(witness)),
+                    ViolationAction::Quarantine => {
+                        outcome.quarantined = true;
+                        outcome.witness = Some(*witness);
+                        true
+                    }
                 }
-            },
+            }
             Err(payload) => {
                 return Err(SolveError::BackendPanic {
                     backend: "validator",
@@ -377,44 +410,113 @@ impl<T: Value> Dispatcher<T> {
         chain.push(&brute);
         chain.truncate(policy.max_fallback_depth + 1);
 
-        // --- Walk the chain, each attempt under catch_unwind. ---
+        // --- Walk the chain, each attempt under catch_unwind. The
+        //     breaker is consulted per link at walk time (never for the
+        //     brute terminal); transient faults retry in place under
+        //     the policy's backoff while the global budget allows. ---
+        let retry = policy.retry;
         let mut last_panic: Option<SolveError> = None;
+        let mut skipped_open: Option<(&'static str, Duration)> = None;
+        let mut retries: u64 = 0;
+        let mut breaker_skips: u64 = 0;
+        let mut attempted_any = false;
         for backend in chain.iter() {
             if let Some(tok) = &token {
                 if tok.is_cancelled() {
                     return Err(deadline_error(start, policy));
                 }
             }
-            let attempt = catch_unwind(AssertUnwindSafe(|| match &token {
-                Some(tok) => with_cancellation(tok, || self.run(*backend, problem, &tuning)),
-                None => self.run(*backend, problem, &tuning),
-            }));
-            match attempt {
-                Ok((solution, mut telemetry)) => {
-                    outcome.attempts.push(Attempt {
-                        backend: backend.name(),
-                        outcome: AttemptOutcome::Completed,
-                    });
-                    telemetry.guard = Some(outcome);
-                    return Ok((solution, telemetry));
-                }
-                Err(payload) => {
-                    if payload.downcast_ref::<Cancelled>().is_some() {
-                        outcome.attempts.push(Attempt {
-                            backend: backend.name(),
-                            outcome: AttemptOutcome::DeadlineExceeded,
-                        });
-                        return Err(deadline_error(start, policy));
+            let name = backend.name();
+            if name != BRUTE {
+                if let Admission::Deny { retry_after } = health.admit(name) {
+                    breaker_skips += 1;
+                    if skipped_open.is_none() {
+                        skipped_open = Some((name, retry_after));
                     }
-                    outcome.attempts.push(Attempt {
-                        backend: backend.name(),
-                        outcome: AttemptOutcome::Panicked,
-                    });
-                    last_panic = Some(SolveError::BackendPanic {
-                        backend: backend.name(),
-                        payload: payload_to_string(payload.as_ref()),
-                    });
+                    continue;
                 }
+            }
+            let mut attempts_here: u32 = 0;
+            loop {
+                attempts_here += 1;
+                attempted_any = true;
+                let t_attempt = Instant::now();
+                let attempt = catch_unwind(AssertUnwindSafe(|| match &token {
+                    Some(tok) => with_cancellation(tok, || self.run(*backend, problem, &tuning)),
+                    None => self.run(*backend, problem, &tuning),
+                }));
+                let latency = t_attempt.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                match attempt {
+                    Ok((solution, mut telemetry)) => {
+                        health.record(name, Observation::Ok, latency);
+                        outcome.attempts.push(Attempt {
+                            backend: name,
+                            outcome: AttemptOutcome::Completed,
+                        });
+                        telemetry.guard = Some(outcome);
+                        telemetry.retries = retries;
+                        telemetry.breaker_skips = breaker_skips;
+                        telemetry.health_snapshot = Some(health.snapshot());
+                        return Ok((solution, telemetry));
+                    }
+                    Err(payload) => {
+                        if payload.downcast_ref::<Cancelled>().is_some() {
+                            health.record(name, Observation::Deadline, latency);
+                            outcome.attempts.push(Attempt {
+                                backend: name,
+                                outcome: AttemptOutcome::DeadlineExceeded,
+                            });
+                            // A deadline abort only retries when slack
+                            // remains — i.e. an explicit cancel raced a
+                            // deadline that has not actually elapsed.
+                            let slack = token
+                                .as_ref()
+                                .and_then(|t| t.remaining())
+                                .unwrap_or(Duration::ZERO);
+                            if !slack.is_zero()
+                                && retry.allows(attempts_here)
+                                && health.try_spend_retry()
+                            {
+                                retries += 1;
+                                health
+                                    .clock()
+                                    .sleep(retry.backoff(policy.seed, attempts_here));
+                                continue;
+                            }
+                            return Err(deadline_error(start, policy));
+                        }
+                        health.record(name, Observation::Panic, latency);
+                        outcome.attempts.push(Attempt {
+                            backend: name,
+                            outcome: AttemptOutcome::Panicked,
+                        });
+                        last_panic = Some(SolveError::BackendPanic {
+                            backend: name,
+                            payload: payload_to_string(payload.as_ref()),
+                        });
+                        let deadline_live = token.as_ref().is_none_or(|t| !t.is_cancelled());
+                        if deadline_live && retry.allows(attempts_here) && health.try_spend_retry()
+                        {
+                            retries += 1;
+                            health
+                                .clock()
+                                .sleep(retry.backoff(policy.seed, attempts_here));
+                            continue;
+                        }
+                        break; // next chain link
+                    }
+                }
+            }
+        }
+        if !attempted_any {
+            if let Some((backend, retry_after)) = skipped_open {
+                // Every reachable link was breaker-denied (possible when
+                // `max_fallback_depth` truncates the brute terminal away
+                // or the chain was pinned): a typed, retryable refusal.
+                return Err(SolveError::CircuitOpen {
+                    backend,
+                    retry_after,
+                });
             }
         }
         Err(last_panic.unwrap_or(SolveError::BackendPanic {

@@ -1,0 +1,688 @@
+//! Cross-request fault memory for the serving stack: a per-backend
+//! health registry with sliding-window outcome tracking, circuit
+//! breakers, and the global retry budget behind
+//! [`monge_core::guard::RetryPolicy`].
+//!
+//! The guarded dispatch layer (PR 4) treats every solve as an isolated
+//! attempt: a backend that panics on request N is tried again fresh on
+//! request N+1, burning a `catch_unwind` + checkpoint budget each time.
+//! A long-lived service answering a sustained request stream needs
+//! *memory*: [`HealthRegistry`] records a sliding window of per-solve
+//! outcomes (ok / panic / deadline / violation) plus a latency EWMA per
+//! backend name, and derives a circuit-breaker admission
+//! decision from it:
+//!
+//! ```text
+//!            K failures in window
+//!   Closed ──────────────────────▶ Open
+//!      ▲                            │ cooldown elapses
+//!      │ probe completes            ▼
+//!      └──────────────────────── HalfOpen ──probe faults──▶ Open
+//! ```
+//!
+//! * **Closed** — every solve admitted; outcomes fill the window.
+//! * **Open** — solves denied ([`Admission::Deny`] with the remaining
+//!   cooldown); the guarded chain skips the backend *before* paying for
+//!   a doomed attempt.
+//! * **HalfOpen** — after the cooldown, a single probe solve is
+//!   admitted at a time ([`Admission::Probe`]); a completed probe closes
+//!   the circuit, a faulted one re-opens it.
+//!
+//! All transitions are driven by a pluggable [`Clock`] — monotonic in
+//! production ([`MonotonicClock`]), a seeded-advance [`VirtualClock`] in
+//! tests and the chaos harness — so every state change is deterministic
+//! and assertable without real sleeps.
+//!
+//! The registry also owns the **global retry budget**: a token bucket
+//! refilled by a fixed credit per admitted request and drained by one
+//! token per retry, so retries can never amplify an overload beyond a
+//! bounded fraction of the request rate (the Finagle-style budget
+//! argument). [`HealthRegistry::try_spend_retry`] is consulted by the
+//! guarded chain before every re-attempt.
+//!
+//! The promise-free `BruteForceBackend` terminal is exempt by
+//! construction: the guarded chain never consults the registry for it,
+//! so a degraded process always has a correct (if slow) path to an
+//! answer.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use monge_core::guard::{BackendHealthSnapshot, BreakerState};
+
+/// A monotonic time source for breaker cooldowns and retry backoff.
+///
+/// Production uses [`MonotonicClock`]; tests and the chaos harness use
+/// [`VirtualClock`], whose `sleep` *advances* virtual time instead of
+/// stalling the thread — which is what makes breaker transitions and
+/// backoff schedules deterministic and fast to assert.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Monotonic time elapsed since this clock's epoch.
+    fn now(&self) -> Duration;
+
+    /// Blocks (or virtually advances) for `d`.
+    fn sleep(&self, d: Duration);
+}
+
+/// The production [`Clock`]: `Instant`-based, epoch at construction.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    epoch: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose epoch is now.
+    pub fn new() -> Self {
+        MonotonicClock {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now(&self) -> Duration {
+        self.epoch.elapsed()
+    }
+
+    fn sleep(&self, d: Duration) {
+        if !d.is_zero() {
+            std::thread::sleep(d);
+        }
+    }
+}
+
+/// A deterministic [`Clock`] for tests: time only moves when
+/// [`VirtualClock::advance`] (or a backoff `sleep`) moves it.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    nanos: AtomicU64,
+}
+
+impl VirtualClock {
+    /// A clock at virtual time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Moves virtual time forward by `d`.
+    pub fn advance(&self, d: Duration) {
+        self.nanos
+            .fetch_add(d.as_nanos().min(u64::MAX as u128) as u64, Ordering::Relaxed);
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> Duration {
+        Duration::from_nanos(self.nanos.load(Ordering::Relaxed))
+    }
+
+    fn sleep(&self, d: Duration) {
+        // A virtual sleep is an advance: retry backoff under the chaos
+        // harness costs zero wall-clock but still sequences the breaker
+        // cooldown math.
+        self.advance(d);
+    }
+}
+
+/// Breaker and retry-budget knobs, overridable via `MONGE_BREAKER_*` /
+/// `MONGE_RETRY_*` environment variables (see
+/// [`HealthConfig::from_env`]).
+#[derive(Clone, Copy, Debug)]
+pub struct HealthConfig {
+    /// Sliding-window length, in outcomes (`MONGE_BREAKER_WINDOW`).
+    pub window: usize,
+    /// Failures in the window that trip Closed → Open
+    /// (`MONGE_BREAKER_OPEN_AFTER`). `0` disables the breaker: every
+    /// admission is allowed.
+    pub open_after: u32,
+    /// Open → HalfOpen cooldown (`MONGE_BREAKER_COOLDOWN_MS`).
+    pub cooldown: Duration,
+    /// Completed probes needed to close a HalfOpen circuit.
+    pub half_open_successes: u32,
+    /// EWMA weight of the newest latency sample, in per-mille.
+    pub ewma_per_mille: u32,
+    /// Retry-budget capacity in whole tokens (`MONGE_RETRY_BUDGET`);
+    /// one retry spends one token. The bucket starts full.
+    pub retry_budget: u64,
+    /// Milli-tokens credited to the budget per admitted request: `100`
+    /// means one free retry per ten requests, steady-state.
+    pub retry_credit_milli: u64,
+}
+
+impl HealthConfig {
+    /// The built-in defaults: window 16, open after 5 window failures,
+    /// 100 ms cooldown, 1 probe to close, EWMA weight 0.2, retry budget
+    /// 64 tokens refilled at 0.1 per request.
+    pub const DEFAULT: HealthConfig = HealthConfig {
+        window: 16,
+        open_after: 5,
+        cooldown: Duration::from_millis(100),
+        half_open_successes: 1,
+        ewma_per_mille: 200,
+        retry_budget: 64,
+        retry_credit_milli: 100,
+    };
+
+    /// Defaults overlaid with any valid environment overrides:
+    /// `MONGE_BREAKER_WINDOW`, `MONGE_BREAKER_OPEN_AFTER` (0 disables),
+    /// `MONGE_BREAKER_COOLDOWN_MS`, `MONGE_RETRY_BUDGET`. Malformed
+    /// values are ignored, like the `MONGE_*` tuning knobs.
+    pub fn from_env() -> Self {
+        let env_u64 =
+            |key: &str| -> Option<u64> { std::env::var(key).ok()?.trim().parse::<u64>().ok() };
+        let mut c = HealthConfig::DEFAULT;
+        if let Some(w) = env_u64("MONGE_BREAKER_WINDOW") {
+            if w > 0 {
+                c.window = w.min(4096) as usize;
+            }
+        }
+        if let Some(k) = env_u64("MONGE_BREAKER_OPEN_AFTER") {
+            c.open_after = k.min(u32::MAX as u64) as u32;
+        }
+        if let Some(ms) = env_u64("MONGE_BREAKER_COOLDOWN_MS") {
+            c.cooldown = Duration::from_millis(ms);
+        }
+        if let Some(b) = env_u64("MONGE_RETRY_BUDGET") {
+            c.retry_budget = b;
+        }
+        c
+    }
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig::DEFAULT
+    }
+}
+
+/// What one solve attempt did, as the registry records it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Observation {
+    /// The backend returned a solution.
+    Ok,
+    /// The backend panicked.
+    Panic,
+    /// The cooperative deadline fired inside the backend.
+    Deadline,
+    /// Validation found the input's structural promise broken (recorded
+    /// against the `"validator"` pseudo-backend).
+    Violation,
+}
+
+impl Observation {
+    fn is_failure(self) -> bool {
+        !matches!(self, Observation::Ok)
+    }
+}
+
+/// The registry's answer to "may this backend take the next solve?".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// Circuit closed: proceed.
+    Allow,
+    /// Circuit half-open: proceed as the single in-flight probe. The
+    /// caller **must** [`HealthRegistry::record`] the attempt's outcome,
+    /// or the probe slot stays occupied until [`HealthRegistry::reset`].
+    Probe,
+    /// Circuit open: skip this backend.
+    Deny {
+        /// Cooldown remaining before the breaker half-opens.
+        retry_after: Duration,
+    },
+}
+
+/// One backend's sliding window, EWMA and breaker state.
+#[derive(Debug, Default)]
+struct BackendRecord {
+    /// `true` entries are failures.
+    window: VecDeque<bool>,
+    failures: u32,
+    ewma_nanos: u64,
+    state: BreakerState,
+    /// Clock reading when the circuit last opened.
+    opened_at: Duration,
+    probe_in_flight: bool,
+    probe_successes: u32,
+}
+
+impl BackendRecord {
+    fn push_outcome(&mut self, failure: bool, window: usize) {
+        self.window.push_back(failure);
+        if failure {
+            self.failures += 1;
+        }
+        while self.window.len() > window.max(1) {
+            if self.window.pop_front() == Some(true) {
+                self.failures -= 1;
+            }
+        }
+    }
+
+    fn reset_window(&mut self) {
+        self.window.clear();
+        self.failures = 0;
+    }
+}
+
+/// Process-lifetime (or service-lifetime) fault memory: per-backend
+/// sliding windows, circuit breakers, latency EWMAs, and the global
+/// retry budget. See the [module docs](self) for the state machine.
+///
+/// One registry is attached to each [`crate::Dispatcher`] (tests swap
+/// in instances driven by a [`VirtualClock`]); a
+/// [`crate::batch::SolverService`] therefore carries its fault memory
+/// across drains.
+#[derive(Debug)]
+pub struct HealthRegistry {
+    clock: Arc<dyn Clock>,
+    config: HealthConfig,
+    records: Mutex<HashMap<&'static str, BackendRecord>>,
+    /// Retry budget in milli-tokens (1000 = one retry).
+    retry_milli: AtomicU64,
+}
+
+impl HealthRegistry {
+    /// A registry over an explicit config and clock.
+    pub fn new(config: HealthConfig, clock: Arc<dyn Clock>) -> Self {
+        HealthRegistry {
+            clock,
+            retry_milli: AtomicU64::new(config.retry_budget.saturating_mul(1000)),
+            config,
+            records: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Environment-configured registry on a fresh [`MonotonicClock`] —
+    /// what [`crate::Dispatcher`] constructs by default.
+    pub fn from_env() -> Self {
+        Self::new(HealthConfig::from_env(), Arc::new(MonotonicClock::new()))
+    }
+
+    /// The clock driving cooldowns and retry backoff.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> HealthConfig {
+        self.config
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<&'static str, BackendRecord>> {
+        self.records.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// May `backend` take the next solve? Open circuits whose cooldown
+    /// has elapsed transition to HalfOpen here and grant the probe slot.
+    pub fn admit(&self, backend: &'static str) -> Admission {
+        if self.config.open_after == 0 {
+            return Admission::Allow;
+        }
+        let mut records = self.lock();
+        let rec = records.entry(backend).or_default();
+        match rec.state {
+            BreakerState::Closed => Admission::Allow,
+            BreakerState::Open => {
+                let now = self.clock.now();
+                let reopens = rec.opened_at + self.config.cooldown;
+                if now >= reopens {
+                    rec.state = BreakerState::HalfOpen;
+                    rec.probe_in_flight = true;
+                    rec.probe_successes = 0;
+                    Admission::Probe
+                } else {
+                    Admission::Deny {
+                        retry_after: reopens - now,
+                    }
+                }
+            }
+            BreakerState::HalfOpen => {
+                if rec.probe_in_flight {
+                    Admission::Deny {
+                        retry_after: Duration::ZERO,
+                    }
+                } else {
+                    rec.probe_in_flight = true;
+                    Admission::Probe
+                }
+            }
+        }
+    }
+
+    /// Records one attempt's outcome and latency, driving the breaker
+    /// state machine. `latency_nanos` feeds the EWMA for every outcome
+    /// (a slow failure is still a latency signal).
+    pub fn record(&self, backend: &'static str, outcome: Observation, latency_nanos: u64) {
+        let mut records = self.lock();
+        let rec = records.entry(backend).or_default();
+        let a = self.config.ewma_per_mille.min(1000) as u128;
+        rec.ewma_nanos = if rec.ewma_nanos == 0 {
+            latency_nanos
+        } else {
+            ((a * latency_nanos as u128 + (1000 - a) * rec.ewma_nanos as u128) / 1000) as u64
+        };
+        if self.config.open_after == 0 {
+            return;
+        }
+        let failure = outcome.is_failure();
+        match rec.state {
+            BreakerState::Closed => {
+                rec.push_outcome(failure, self.config.window);
+                if rec.failures >= self.config.open_after {
+                    rec.state = BreakerState::Open;
+                    rec.opened_at = self.clock.now();
+                    rec.reset_window();
+                }
+            }
+            BreakerState::HalfOpen => {
+                rec.probe_in_flight = false;
+                if failure {
+                    rec.state = BreakerState::Open;
+                    rec.opened_at = self.clock.now();
+                    rec.probe_successes = 0;
+                    rec.reset_window();
+                } else {
+                    rec.probe_successes += 1;
+                    if rec.probe_successes >= self.config.half_open_successes.max(1) {
+                        rec.state = BreakerState::Closed;
+                        rec.reset_window();
+                    }
+                }
+            }
+            // A straggler outcome landing while Open (e.g. a strip that
+            // finished after its breaker tripped) changes nothing: the
+            // cooldown owns the next transition.
+            BreakerState::Open => {}
+        }
+    }
+
+    /// The breaker state of `backend` (Closed for never-seen names).
+    pub fn state(&self, backend: &str) -> BreakerState {
+        self.lock()
+            .get(backend)
+            .map_or(BreakerState::Closed, |r| r.state)
+    }
+
+    /// Trips `backend`'s breaker to Open as of now — the operational
+    /// kill switch, and how tests force the all-open topology.
+    pub fn force_open(&self, backend: &'static str) {
+        let mut records = self.lock();
+        let rec = records.entry(backend).or_default();
+        rec.state = BreakerState::Open;
+        rec.opened_at = self.clock.now();
+        rec.probe_in_flight = false;
+        rec.reset_window();
+    }
+
+    /// Clears `backend`'s record entirely (state, window, EWMA).
+    pub fn reset(&self, backend: &str) {
+        self.lock().remove(backend);
+    }
+
+    /// A point-in-time snapshot of every tracked backend, sorted by
+    /// name for deterministic telemetry.
+    pub fn snapshot(&self) -> Vec<BackendHealthSnapshot> {
+        let records = self.lock();
+        let mut out: Vec<BackendHealthSnapshot> = records
+            .iter()
+            .map(|(&backend, r)| BackendHealthSnapshot {
+                backend,
+                state: r.state,
+                window_failures: r.failures,
+                window_len: r.window.len() as u32,
+                latency_ewma_nanos: r.ewma_nanos,
+            })
+            .collect();
+        out.sort_by_key(|s| s.backend);
+        out
+    }
+
+    // --- Retry budget -------------------------------------------------
+
+    /// Credits the budget for one admitted request (called once per
+    /// guarded solve). Capped at [`HealthConfig::retry_budget`] tokens.
+    pub fn credit_request(&self) {
+        let cap = self.config.retry_budget.saturating_mul(1000);
+        let credit = self.config.retry_credit_milli;
+        if credit == 0 {
+            return;
+        }
+        // Saturating add under the cap; relaxed CAS loop.
+        let mut cur = self.retry_milli.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_add(credit).min(cap);
+            if next == cur {
+                return;
+            }
+            match self.retry_milli.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Spends one retry token; `false` means the global budget is
+    /// exhausted and the caller must not retry.
+    pub fn try_spend_retry(&self) -> bool {
+        let mut cur = self.retry_milli.load(Ordering::Relaxed);
+        loop {
+            if cur < 1000 {
+                return false;
+            }
+            match self.retry_milli.compare_exchange_weak(
+                cur,
+                cur - 1000,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Whole retry tokens currently available.
+    pub fn retry_tokens(&self) -> u64 {
+        self.retry_milli.load(Ordering::Relaxed) / 1000
+    }
+}
+
+impl Default for HealthRegistry {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn virtual_registry(config: HealthConfig) -> (Arc<VirtualClock>, HealthRegistry) {
+        let clock = Arc::new(VirtualClock::new());
+        let reg = HealthRegistry::new(config, clock.clone());
+        (clock, reg)
+    }
+
+    #[test]
+    fn breaker_opens_after_k_failures_and_recovers_via_half_open() {
+        let config = HealthConfig {
+            open_after: 3,
+            cooldown: Duration::from_millis(50),
+            ..HealthConfig::DEFAULT
+        };
+        let (clock, reg) = virtual_registry(config);
+        assert_eq!(reg.admit("rayon"), Admission::Allow);
+        for _ in 0..2 {
+            reg.record("rayon", Observation::Panic, 10);
+            assert_eq!(reg.state("rayon"), BreakerState::Closed);
+        }
+        reg.record("rayon", Observation::Panic, 10);
+        assert_eq!(reg.state("rayon"), BreakerState::Open, "K=3 failures trip");
+        // Denied with the remaining cooldown.
+        match reg.admit("rayon") {
+            Admission::Deny { retry_after } => {
+                assert_eq!(retry_after, Duration::from_millis(50));
+            }
+            other => panic!("expected Deny, got {other:?}"),
+        }
+        // Cooldown elapses on the virtual clock: exactly one probe.
+        clock.advance(Duration::from_millis(50));
+        assert_eq!(reg.admit("rayon"), Admission::Probe);
+        assert_eq!(reg.state("rayon"), BreakerState::HalfOpen);
+        assert!(
+            matches!(reg.admit("rayon"), Admission::Deny { .. }),
+            "second probe denied while the first is in flight"
+        );
+        reg.record("rayon", Observation::Ok, 10);
+        assert_eq!(reg.state("rayon"), BreakerState::Closed, "probe closes");
+        assert_eq!(reg.admit("rayon"), Admission::Allow);
+    }
+
+    #[test]
+    fn failed_probe_reopens_with_a_fresh_cooldown() {
+        let config = HealthConfig {
+            open_after: 1,
+            cooldown: Duration::from_millis(10),
+            ..HealthConfig::DEFAULT
+        };
+        let (clock, reg) = virtual_registry(config);
+        reg.record("seq", Observation::Deadline, 5);
+        assert_eq!(reg.state("seq"), BreakerState::Open);
+        clock.advance(Duration::from_millis(10));
+        assert_eq!(reg.admit("seq"), Admission::Probe);
+        reg.record("seq", Observation::Panic, 5);
+        assert_eq!(reg.state("seq"), BreakerState::Open, "failed probe reopens");
+        match reg.admit("seq") {
+            Admission::Deny { retry_after } => {
+                assert_eq!(retry_after, Duration::from_millis(10), "cooldown restarts");
+            }
+            other => panic!("expected Deny, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn window_slides_old_failures_out() {
+        let config = HealthConfig {
+            window: 4,
+            open_after: 3,
+            ..HealthConfig::DEFAULT
+        };
+        let (_clock, reg) = virtual_registry(config);
+        // Two failures, then a run of successes pushes them out.
+        reg.record("b", Observation::Panic, 1);
+        reg.record("b", Observation::Panic, 1);
+        for _ in 0..4 {
+            reg.record("b", Observation::Ok, 1);
+        }
+        // Two fresh failures: window holds [ok, ok, fail, fail] → 2 < 3.
+        reg.record("b", Observation::Panic, 1);
+        reg.record("b", Observation::Panic, 1);
+        assert_eq!(
+            reg.state("b"),
+            BreakerState::Closed,
+            "old failures aged out"
+        );
+        reg.record("b", Observation::Panic, 1);
+        assert_eq!(
+            reg.state("b"),
+            BreakerState::Open,
+            "3 in-window failures trip"
+        );
+    }
+
+    #[test]
+    fn disabled_breaker_always_allows() {
+        let config = HealthConfig {
+            open_after: 0,
+            ..HealthConfig::DEFAULT
+        };
+        let (_clock, reg) = virtual_registry(config);
+        for _ in 0..50 {
+            reg.record("b", Observation::Panic, 1);
+        }
+        assert_eq!(reg.admit("b"), Admission::Allow);
+        assert_eq!(reg.state("b"), BreakerState::Closed);
+    }
+
+    #[test]
+    fn retry_budget_drains_and_refills_by_request_credit() {
+        let config = HealthConfig {
+            retry_budget: 2,
+            retry_credit_milli: 500, // one token per two requests
+            ..HealthConfig::DEFAULT
+        };
+        let (_clock, reg) = virtual_registry(config);
+        assert!(reg.try_spend_retry());
+        assert!(reg.try_spend_retry());
+        assert!(!reg.try_spend_retry(), "bucket starts with exactly 2");
+        reg.credit_request();
+        assert!(!reg.try_spend_retry(), "half a token is not a retry");
+        reg.credit_request();
+        assert!(reg.try_spend_retry(), "two requests credit one retry");
+        // The cap holds.
+        for _ in 0..100 {
+            reg.credit_request();
+        }
+        assert_eq!(reg.retry_tokens(), 2);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_reflects_state() {
+        let (_clock, reg) = virtual_registry(HealthConfig {
+            open_after: 1,
+            ..HealthConfig::DEFAULT
+        });
+        reg.record("zeta", Observation::Ok, 100);
+        reg.record("alpha", Observation::Panic, 50);
+        let snap = reg.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].backend, "alpha");
+        assert_eq!(snap[0].state, BreakerState::Open);
+        assert_eq!(snap[1].backend, "zeta");
+        assert_eq!(snap[1].state, BreakerState::Closed);
+        assert_eq!(snap[1].window_failures, 0);
+        assert_eq!(snap[1].window_len, 1);
+        assert_eq!(snap[1].latency_ewma_nanos, 100);
+    }
+
+    #[test]
+    fn ewma_tracks_latency_with_first_sample_seeding() {
+        let (_clock, reg) = virtual_registry(HealthConfig::DEFAULT);
+        reg.record("b", Observation::Ok, 1000);
+        reg.record("b", Observation::Ok, 2000);
+        let snap = reg.snapshot();
+        // 0.2 × 2000 + 0.8 × 1000 = 1200.
+        assert_eq!(snap[0].latency_ewma_nanos, 1200);
+    }
+
+    #[test]
+    fn virtual_clock_sleep_advances_time() {
+        let clock = VirtualClock::new();
+        assert_eq!(clock.now(), Duration::ZERO);
+        clock.sleep(Duration::from_millis(7));
+        clock.advance(Duration::from_millis(3));
+        assert_eq!(clock.now(), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn force_open_denies_until_reset() {
+        let (_clock, reg) = virtual_registry(HealthConfig::DEFAULT);
+        reg.force_open("rayon");
+        assert!(matches!(reg.admit("rayon"), Admission::Deny { .. }));
+        reg.reset("rayon");
+        assert_eq!(reg.admit("rayon"), Admission::Allow);
+    }
+}

@@ -51,6 +51,7 @@ pub mod guarded;
 pub mod hc_monge;
 pub mod hc_staircase;
 pub mod hc_tube;
+pub mod health;
 pub mod pram_ansv;
 pub mod pram_monge;
 pub mod pram_staircase;
@@ -63,12 +64,15 @@ pub mod tuning;
 pub mod vector_array;
 
 pub use autotune::{AutotuneKey, AutotuneMode, Autotuner, Winner};
-pub use batch::{BatchPolicy, BatchReport, SolverService};
+pub use batch::{BatchPolicy, BatchReport, SolverService, SubmitError};
 pub use dispatch::{
     Backend, Capabilities, Dispatcher, HypercubeBackend, PramBackend, RayonBackend,
     SequentialBackend,
 };
 pub use guarded::BruteForceBackend;
+pub use health::{
+    Admission, Clock, HealthConfig, HealthRegistry, MonotonicClock, Observation, VirtualClock,
+};
 pub use pram_monge::MinPrimitive;
 pub use runtime::calibrate;
 pub use tuning::Tuning;

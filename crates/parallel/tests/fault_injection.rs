@@ -233,6 +233,79 @@ fn brute_terminal_matches_sequential_on_every_problem_kind() {
 }
 
 #[test]
+fn all_open_circuits_land_on_brute_for_every_problem_kind() {
+    use monge_core::guard::BreakerState;
+    use monge_parallel::{HealthConfig, HealthRegistry, VirtualClock};
+    use std::sync::Arc;
+
+    // Every non-terminal circuit forced Open (virtual clock: no
+    // cooldown ever elapses): the guarded chain must skip straight to
+    // the exempt brute terminal and still answer correctly on all
+    // seven problem kinds.
+    let clock = Arc::new(VirtualClock::new());
+    let registry = Arc::new(HealthRegistry::new(HealthConfig::DEFAULT, clock));
+    let d = Dispatcher::with_default_backends().with_health_registry(registry.clone());
+    registry.force_open("sequential");
+    registry.force_open("rayon");
+
+    let reference = Dispatcher::with_default_backends();
+    let mut rng = StdRng::seed_from_u64(0x0C1);
+    let a = random_monge_dense(14, 11, &mut rng);
+    let boundary = random_staircase_boundary(14, 11, &mut rng);
+    let stair = apply_staircase(&a, &boundary);
+    let lo: Vec<usize> = (0..14).map(|i| (i / 2).min(10)).collect();
+    let hi: Vec<usize> = (0..14).map(|i| (i / 2 + 5).min(11)).collect();
+    let e = random_monge_dense(11, 7, &mut rng);
+    let problems: Vec<Problem<'_, i64>> = vec![
+        Problem::row_minima(&a),
+        Problem::row_maxima(&a),
+        Problem::staircase_row_minima(&stair, &boundary),
+        Problem::banded_row_minima(&a, &lo, &hi),
+        Problem::banded_row_maxima(&a, &lo, &hi),
+        Problem::tube_minima(&a, &e),
+        Problem::tube_maxima(&a, &e),
+    ];
+    assert_eq!(
+        problems.len(),
+        monge_core::problem::ProblemKind::ALL.len(),
+        "one instance per problem kind"
+    );
+    for p in &problems {
+        let (sol, tel) = d
+            .solve_guarded(p, &GuardPolicy::default())
+            .unwrap_or_else(|e| panic!("{:?} must reach brute, got {e}", p.kind()));
+        let (want, _) = reference
+            .solve_guarded(p, &GuardPolicy::default())
+            .expect("reference dispatcher is healthy");
+        assert_eq!(sol, want, "{:?}", p.kind());
+        let guard = tel.guard.expect("guarded solves stamp an outcome");
+        assert_eq!(
+            guard.fallback_path(),
+            vec!["brute"],
+            "{:?}: only the exempt terminal may run",
+            p.kind()
+        );
+        assert!(
+            tel.breaker_skips >= 1,
+            "{:?}: skipped links are counted, got {}",
+            p.kind(),
+            tel.breaker_skips
+        );
+        let snap = tel
+            .health_snapshot
+            .expect("successful solves carry a snapshot");
+        for name in ["sequential", "rayon"] {
+            if let Some(s) = snap.iter().find(|s| s.backend == name) {
+                assert_eq!(s.state, BreakerState::Open, "{name} stays open");
+            }
+        }
+    }
+    // The registry never transitioned: virtual time never advanced.
+    assert_eq!(registry.state("sequential"), BreakerState::Open);
+    assert_eq!(registry.state("rayon"), BreakerState::Open);
+}
+
+#[test]
 fn violations_and_panics_compose_without_escaping() {
     // Both fault kinds at once, across seeds: whatever happens, the
     // result is a typed Ok/Err — never a propagating panic — and Ok
