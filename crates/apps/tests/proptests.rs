@@ -102,8 +102,8 @@ proptest! {
     #[test]
     fn edit_engines_agree(m in 0usize..30, n in 0usize..30, seed in any::<u64>()) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let x: Vec<u8> = (0..m).map(|_| b'a' + rng.random_range(0..4)).collect();
-        let y: Vec<u8> = (0..n).map(|_| b'a' + rng.random_range(0..4)).collect();
+        let x: Vec<u8> = (0..m).map(|_| b'a' + rng.random_range(0u8..4)).collect();
+        let y: Vec<u8> = (0..n).map(|_| b'a' + rng.random_range(0u8..4)).collect();
         for c in [CostModel::unit(), CostModel::weighted()] {
             let d = edit_distance_dp(&x, &y, &c);
             prop_assert_eq!(edit_distance_antidiagonal(&x, &y, &c), d);

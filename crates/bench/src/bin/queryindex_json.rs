@@ -1,0 +1,143 @@
+//! Submatrix query-index benchmark with a JSON summary
+//! (`bench-results/queryindex.json`): build-once/query-many against
+//! brute per-query re-scanning across a square size ladder.
+//!
+//! Per ladder size the record carries the one-time preprocessing cost
+//! (`build_ns`, `index_bytes`, `breakpoints`) and the serving-rate
+//! comparison: the same seeded rectangle batch answered through the
+//! `QueryIndex` (`index_qps`) and by brute submatrix scans over the
+//! dense array (`brute_qps`), with `speedup` their ratio. Correctness
+//! is gated before any timing — every rectangle's `(value, row, col)`
+//! must match the brute scan bitwise.
+//!
+//! ```text
+//! cargo run --release --bin queryindex_json
+//! ```
+//!
+//! Setting `MONGE_BENCH_QUICK` (to anything but `0` or empty) shrinks
+//! the ladder to smoke-test size — CI uses this to keep the binary
+//! exercised without paying benchmark wall-clock. The committed file
+//! is always regenerated at full size.
+
+use monge_bench::json::{document, Record};
+use monge_bench::workloads::{monge_square, rng_for};
+use monge_core::array2d::{Array2d, Dense};
+use monge_core::problem::{Objective, Problem, Structure};
+use monge_parallel::Dispatcher;
+use rand::RngExt;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn quick_mode() -> bool {
+    std::env::var("MONGE_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Seeded rectangle batch: varied extents, every rectangle non-empty.
+fn sample_rects(n: usize, count: usize) -> Vec<(usize, usize, usize, usize)> {
+    let mut rng = rng_for(71, n);
+    (0..count)
+        .map(|_| {
+            let r1 = rng.random_range(0..n);
+            let r2 = rng.random_range(r1..n) + 1;
+            let c1 = rng.random_range(0..n);
+            let c2 = rng.random_range(c1..n) + 1;
+            (r1, r2, c1, c2)
+        })
+        .collect()
+}
+
+/// Brute oracle: full submatrix scan, leftmost `(value, row, col)`.
+fn brute_min(a: &Dense<i64>, r: (usize, usize, usize, usize)) -> (i64, usize, usize) {
+    let (r1, r2, c1, c2) = r;
+    let mut best = (i64::MAX, usize::MAX, usize::MAX);
+    for i in r1..r2 {
+        for j in c1..c2 {
+            let v = a.entry(i, j);
+            if v < best.0 {
+                best = (v, i, j);
+            }
+        }
+    }
+    best
+}
+
+fn queryindex_json(quick: bool) -> String {
+    let sizes: &[usize] = if quick {
+        &[64, 256]
+    } else {
+        &[256, 1024, 4096]
+    };
+    let queries = if quick { 8 } else { 32 };
+    let d = Dispatcher::<i64>::with_default_backends();
+    let mut records = Vec::new();
+    for &n in sizes {
+        let a = monge_square(n);
+        let p = Problem::rows(&a, Structure::Monge, Objective::Minimize);
+
+        let t = Instant::now();
+        let (ix, tel) = d
+            .build_index_guarded(&p, &Default::default())
+            .expect("index build");
+        let build_ns = t.elapsed().as_nanos();
+        assert_eq!(tel.index_builds, 1);
+
+        let rects = sample_rects(n, queries);
+        // Correctness gate before any timing: bitwise agreement with
+        // the brute scan on every rectangle in the batch.
+        for &r in &rects {
+            let ans = ix.query_min(r.0..r.1, r.2..r.3).expect("in-bounds query");
+            assert_eq!(
+                (ans.value, ans.row, ans.col),
+                brute_min(&a, r),
+                "index disagrees with brute at n={n} rect {r:?}"
+            );
+        }
+
+        let t = Instant::now();
+        for &r in &rects {
+            black_box(ix.query_min(r.0..r.1, r.2..r.3).unwrap());
+        }
+        let index_ns = t.elapsed().as_nanos().max(1);
+        let t = Instant::now();
+        for &r in &rects {
+            black_box(brute_min(&a, r));
+        }
+        let brute_ns = t.elapsed().as_nanos().max(1);
+
+        let index_qps = queries as f64 / (index_ns as f64 / 1e9);
+        let brute_qps = queries as f64 / (brute_ns as f64 / 1e9);
+        let speedup = brute_ns as f64 / index_ns as f64;
+        println!(
+            "n={n:<5} build={build_ns:>12}ns bytes={:>10} breakpoints={:>8} \
+             index={index_qps:>12.0}q/s brute={brute_qps:>9.1}q/s speedup={speedup:.1}x",
+            ix.bytes(),
+            ix.breakpoints(),
+        );
+        records.push(
+            Record::new()
+                .num("n", n as u64)
+                .num("build_ns", build_ns)
+                .num("index_bytes", ix.bytes())
+                .num("breakpoints", ix.breakpoints())
+                .num("queries", queries as u64)
+                .num("index_ns", index_ns)
+                .num("brute_ns", brute_ns)
+                .float("index_qps", index_qps)
+                .float("brute_qps", brute_qps)
+                .float("speedup", speedup)
+                .render(),
+        );
+    }
+    document("queryindex", &records)
+}
+
+fn main() {
+    let quick = quick_mode();
+    if quick {
+        println!("MONGE_BENCH_QUICK set: smoke-test sizes");
+    }
+    std::fs::create_dir_all("bench-results").expect("create bench-results/");
+    let out = queryindex_json(quick);
+    std::fs::write("bench-results/queryindex.json", &out).expect("write queryindex.json");
+    println!("wrote bench-results/queryindex.json");
+}

@@ -181,7 +181,7 @@ impl Instance {
 /// the fuzzer's streams are frozen). All offsets and densities are
 /// multiples of `quant`, so `quant > 1` produces plateau-heavy arrays
 /// whose ties stress the leftmost rule.
-fn monge_base(
+pub(crate) fn monge_base(
     m: usize,
     n: usize,
     r: &mut SplitMix64,

@@ -20,6 +20,12 @@
 //!   indices, and tie-breaks) against the brute-force oracle, and
 //!   shrinks any mismatch to a minimal reproducer persisted in the
 //!   text corpus ([`corpus`]).
+//! * [`queryfuzz`] — the query-level lab for the submatrix
+//!   [`monge_core::queryindex::QueryIndex`]: seeded rectangle batches
+//!   over structured arrays, every `query_min`/`query_max` diffed
+//!   bitwise against a brute submatrix scan, mismatches shrunk to a
+//!   minimal `(array, rectangle)` pair and persisted as `*.qcorpus`
+//!   replay fixtures.
 //!
 //! Everything is a pure function of explicit seeds: a failure report
 //! names the seed, and the seed regenerates the failure.
@@ -32,6 +38,7 @@ pub mod chaos;
 pub mod corpus;
 pub mod fuzz;
 pub mod gen;
+pub mod queryfuzz;
 pub mod rng;
 
 pub use audit::{audit, env_slack, ladder, AuditFamily, AuditReport, BoundShape, BoundSpec};
@@ -43,4 +50,9 @@ pub use fuzz::{
     conformance_dispatcher, fuzz_budget, fuzz_kind, shrink, FuzzReport, Mismatch, TINY_GRAIN,
 };
 pub use gen::{generate, Instance};
+pub use queryfuzz::{
+    brute_query, fuzz_query_family, query_array, query_disagrees, query_fuzz_budget,
+    replay_all_queries, replay_query_file, sample_rects, shrink_query, QueryFuzzReport,
+    QueryInstance, QueryMismatch, Rect, QUERY_FAMILIES,
+};
 pub use rng::SplitMix64;

@@ -1,0 +1,206 @@
+//! Query-level differential fuzzing of the submatrix `QueryIndex`:
+//! seeded rectangle batches over every structured generator family,
+//! each `query_min`/`query_max` diffed bitwise (value, argmin row,
+//! argmin column — leftmost ties) against a brute submatrix scan, with
+//! greedy shrinking to a minimal `(array, rectangle)` reproducer and a
+//! checked-in `.qcorpus` replay corpus.
+//!
+//! Budget: `MONGE_QUERY_FUZZ_BUDGET` arrays per family (default 40 —
+//! the quick-CI budget, ≥ 500 query checks per family; the nightly job
+//! raises it).
+
+use monge_conformance::queryfuzz::{
+    self, brute_query, fuzz_query_family, query_array, query_fuzz_budget, replay_all_queries,
+    replay_query_file, sample_rects, shrink_query, Rect, QUERY_FAMILIES,
+};
+use monge_conformance::{corpus, SplitMix64};
+use monge_core::array2d::Array2d;
+use monge_core::queryindex::{QueryAnswer, QueryIndex};
+use monge_core::value::Value;
+
+/// The tentpole assertion: for every structure family, hundreds of
+/// seeded `(array, rectangle)` cases answered by the index must match
+/// the brute submatrix scan bitwise — value, argmin row, and argmin
+/// column under the leftmost rule, for both objectives. Any mismatch
+/// arrives already shrunk, so the failure message *is* the reproducer.
+#[test]
+fn index_agrees_with_the_brute_scan_on_every_family() {
+    let budget = query_fuzz_budget(40);
+    for (k, &family) in QUERY_FAMILIES.iter().enumerate() {
+        let report = fuzz_query_family(family, budget, 0x9_0000 + (k as u64) * 0x1_0000);
+        assert_eq!(report.arrays, budget);
+        assert!(
+            report.queries >= budget * 16,
+            "{family}: only {} query checks",
+            report.queries
+        );
+        assert!(
+            report.mismatches.is_empty(),
+            "{family}: {} mismatches; first (seed {}, {}):\n{}",
+            report.mismatches.len(),
+            report.mismatches[0].seed,
+            if report.mismatches[0].maximize {
+                "query_max"
+            } else {
+                "query_min"
+            },
+            queryfuzz::render_query(
+                &report.mismatches[0].instance,
+                report.mismatches[0].rect,
+                "shrunk reproducer"
+            ),
+        );
+    }
+}
+
+/// With the default quick budget the lab covers ≥ 500 query checks per
+/// structure family — the acceptance floor. (A caller-lowered
+/// `MONGE_QUERY_FUZZ_BUDGET` is allowed to go below it; the floor is
+/// asserted against the default.)
+#[test]
+fn default_budget_meets_the_case_floor() {
+    let report = fuzz_query_family("monge-random", 40, 0xF1_0000);
+    assert!(
+        report.queries >= 500,
+        "default budget covers only {} cases",
+        report.queries
+    );
+    assert!(report.mismatches.is_empty());
+}
+
+/// Planted-bug drill for the query lab: diff the (correct) index
+/// against a deliberately *wrong* oracle — a rightmost-tie brute scan —
+/// over the plateau family, whose ties make the two rules diverge. The
+/// loop must catch the divergence, the shrinker must walk it down to a
+/// tiny `(array, rectangle)` pair that still shows a tie, and the
+/// rendered reproducer must replay clean against the real oracle.
+#[test]
+fn planted_wrong_oracle_is_caught_shrunk_and_replayable() {
+    let rightmost_brute = |a: &monge_core::array2d::Dense<i64>, rect: Rect| {
+        let mut best: Option<QueryAnswer<i64>> = None;
+        for i in rect.rows().rev() {
+            for j in rect.cols().rev() {
+                let v = a.entry(i, j);
+                let wins = match &best {
+                    None => true,
+                    Some(b) => v.total_lt(b.value),
+                };
+                if wins {
+                    best = Some(QueryAnswer {
+                        value: v,
+                        row: i,
+                        col: j,
+                    });
+                }
+            }
+        }
+        best.unwrap()
+    };
+    let diverges = |inst: &monge_conformance::QueryInstance, rect: Rect| {
+        let Ok(ix) = QueryIndex::build(&inst.a, inst.structure) else {
+            return false;
+        };
+        ix.query_min(rect.rows(), rect.cols()).unwrap() != rightmost_brute(&inst.a, rect)
+    };
+    let mut caught = 0;
+    for seed in 0..60u64 {
+        let inst = query_array("monge-plateau", seed);
+        let mut r = SplitMix64::new(seed);
+        for rect in sample_rects(inst.a.rows(), inst.a.cols(), &mut r, 8) {
+            if !diverges(&inst, rect) {
+                continue;
+            }
+            caught += 1;
+            let (shrunk, srect) = shrink_query(&inst, rect, diverges);
+            assert!(
+                shrunk.a.rows() <= 8 && shrunk.a.cols() <= 8,
+                "shrinker left a {}×{} reproducer",
+                shrunk.a.rows(),
+                shrunk.a.cols()
+            );
+            assert!(srect.area() >= 2, "a 1-cell rectangle cannot hold a tie");
+            assert!(shrunk.valid(), "shrinking broke the structural promise");
+            // The rendered pair must parse back and replay clean
+            // against the *real* leftmost oracle.
+            let text = queryfuzz::render_query(&shrunk, srect, "wrong-oracle drill");
+            let (back, brect) = queryfuzz::parse_query(&text).expect("reproducer must parse");
+            assert_eq!(back.a.data(), shrunk.a.data());
+            assert_eq!(brect, srect);
+            let dir = std::env::temp_dir().join("monge-conformance-query-drill");
+            std::fs::create_dir_all(&dir).unwrap();
+            let path = dir.join("wrong-oracle.qcorpus");
+            std::fs::write(&path, text).unwrap();
+            replay_query_file(&path).expect("the real index must replay the reproducer clean");
+            break;
+        }
+        if caught > 0 {
+            break;
+        }
+    }
+    assert!(
+        caught > 0,
+        "60 plateau seeds never produced a tie the two rules split on"
+    );
+}
+
+/// Checked-in query corpus: every `.qcorpus` fixture must parse,
+/// re-validate its structural promise, and replay conformant.
+#[test]
+fn checked_in_query_corpus_replays_clean() {
+    let n = replay_all_queries().expect("query corpus replay");
+    assert!(
+        n >= 2,
+        "expected ≥ 2 checked-in .qcorpus fixtures, found {n}"
+    );
+}
+
+#[test]
+fn fixture_plateau_stitch_replays() {
+    replay_query_file(&corpus::corpus_dir().join("plateau-stitch.qcorpus")).unwrap();
+}
+
+#[test]
+fn fixture_inf_staircase_replays() {
+    replay_query_file(&corpus::corpus_dir().join("inf-staircase.qcorpus")).unwrap();
+}
+
+#[test]
+fn fixture_inverse_monge_replays() {
+    replay_query_file(&corpus::corpus_dir().join("inverse-monge-rect.qcorpus")).unwrap();
+}
+
+/// The `+∞` staircase sentinel interacts with both objectives: inside
+/// a masked region `query_max` reports the sentinel (leftmost masked
+/// cell), while `query_min` never returns it as long as one finite
+/// cell is in range.
+#[test]
+fn inf_sentinels_behave_under_both_objectives() {
+    for seed in 0..30u64 {
+        let inst = query_array("monge-inf-sentinel", seed);
+        let (m, n) = (inst.a.rows(), inst.a.cols());
+        let ix = QueryIndex::build(&inst.a, inst.structure).unwrap();
+        let inf = <i64 as Value>::INFINITY;
+        let has_finite = inst.a.data().iter().any(|&x| x != inf);
+        let full_min = ix.query_min(0..m, 0..n).unwrap();
+        let full_max = ix.query_max(0..m, 0..n).unwrap();
+        assert_eq!(
+            full_min,
+            brute_query(
+                &inst.a,
+                Rect {
+                    r1: 0,
+                    r2: m,
+                    c1: 0,
+                    c2: n
+                },
+                false
+            )
+        );
+        if has_finite {
+            assert_ne!(full_min.value, inf, "seed {seed}: min picked a sentinel");
+        }
+        if inst.a.data().contains(&inf) {
+            assert_eq!(full_max.value, inf, "seed {seed}: max missed the sentinel");
+        }
+    }
+}

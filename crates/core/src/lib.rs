@@ -58,6 +58,10 @@
 //!   [`problem::Solution`] / [`problem::Telemetry`] plus the shared
 //!   §1.2 Min/Max duality lowering ([`problem::lower_rows`]) that the
 //!   `monge-parallel` backend registry consumes.
+//! * [`queryindex`] — build-once / query-many submatrix serving: a
+//!   segment tree of SMAWK-computed breakpoint envelopes answering
+//!   rectangle min/max queries with zero source-array evaluations
+//!   ([`queryindex::QueryIndex`]).
 
 // The only unsafe code in this workspace's libraries is the AVX2
 // kernel bodies (and their `TypeId`-checked slice casts) in
@@ -81,6 +85,7 @@ pub mod kernel;
 pub mod monge;
 pub mod online;
 pub mod problem;
+pub mod queryindex;
 pub mod scratch;
 pub mod smawk;
 pub mod staircase;
@@ -98,6 +103,7 @@ pub use kernel::Kernel;
 pub use problem::{
     MachineCounters, Objective, Problem, ProblemKind, Solution, Structure, Telemetry,
 };
+pub use queryindex::{QueryAnswer, QueryIndex};
 pub use smawk::{
     row_maxima_inverse_monge, row_maxima_monge, row_minima_inverse_monge, row_minima_monge,
     RowExtrema,

@@ -640,6 +640,23 @@ pub struct Telemetry {
     /// resilient serving layer (`monge-parallel::health`). `None` for
     /// solves that ran below it.
     pub health_snapshot: Option<Vec<crate::guard::BackendHealthSnapshot>>,
+    /// Submatrix query indexes built ([`crate::queryindex::QueryIndex`]),
+    /// stamped by the dispatcher's index-build path and the service
+    /// layer's per-tenant handle cache.
+    pub index_builds: u64,
+    /// Index-handle cache hits: requests served by reusing an already
+    /// built [`crate::queryindex::QueryIndex`] instead of rebuilding.
+    pub index_hits: u64,
+    /// Approximate heap bytes of the indexes built (store, summaries,
+    /// envelopes and sparse tables).
+    pub index_bytes: u64,
+    /// Breakpoint segments stored across the built indexes' envelopes.
+    pub index_breakpoints: u64,
+    /// Rectangle queries answered by indexes and folded into this
+    /// telemetry (service rollups drain the per-index counters).
+    pub index_queries: u64,
+    /// Predecessor-search probe steps spent answering those queries.
+    pub index_probes: u64,
 }
 
 /// The [`Telemetry::backend`] label of a merged rollup whose inputs ran
@@ -704,6 +721,14 @@ impl Telemetry {
         }
         self.tasks = self.tasks.saturating_add(other.tasks);
         self.arena_checkouts = self.arena_checkouts.saturating_add(other.arena_checkouts);
+        self.index_builds = self.index_builds.saturating_add(other.index_builds);
+        self.index_hits = self.index_hits.saturating_add(other.index_hits);
+        self.index_bytes = self.index_bytes.saturating_add(other.index_bytes);
+        self.index_breakpoints = self
+            .index_breakpoints
+            .saturating_add(other.index_breakpoints);
+        self.index_queries = self.index_queries.saturating_add(other.index_queries);
+        self.index_probes = self.index_probes.saturating_add(other.index_probes);
         self.total_nanos = self.total_nanos.saturating_add(other.total_nanos);
         for p in &other.phases {
             match self.phases.iter_mut().find(|q| q.name == p.name) {
@@ -1000,6 +1025,55 @@ mod tests {
         roll.accumulate(&a);
         assert_eq!(roll.evaluations, 2);
         assert_eq!(roll.backend, "sequential", "agreeing backends survive");
+    }
+
+    #[test]
+    fn merge_and_accumulate_sum_index_accounting_losslessly() {
+        let a = Telemetry {
+            backend: "queryindex",
+            index_builds: 1,
+            index_hits: 2,
+            index_bytes: 4096,
+            index_breakpoints: 37,
+            index_queries: 100,
+            index_probes: 450,
+            ..Telemetry::default()
+        };
+        let b = Telemetry {
+            backend: "queryindex",
+            index_builds: 2,
+            index_hits: 0,
+            index_bytes: 1024,
+            index_breakpoints: 5,
+            index_queries: 7,
+            index_probes: 21,
+            ..Telemetry::default()
+        };
+        let m = Telemetry::merge([&a, &b]);
+        assert_eq!(m.index_builds, 3);
+        assert_eq!(m.index_hits, 2);
+        assert_eq!(m.index_bytes, 5120);
+        assert_eq!(m.index_breakpoints, 42);
+        assert_eq!(m.index_queries, 107);
+        assert_eq!(m.index_probes, 471);
+        // Accumulating one part at a time lands on the same rollup.
+        let mut roll = Telemetry::default();
+        roll.accumulate(&a);
+        roll.accumulate(&b);
+        assert_eq!(roll.index_builds, m.index_builds);
+        assert_eq!(roll.index_hits, m.index_hits);
+        assert_eq!(roll.index_bytes, m.index_bytes);
+        assert_eq!(roll.index_breakpoints, m.index_breakpoints);
+        assert_eq!(roll.index_queries, m.index_queries);
+        assert_eq!(roll.index_probes, m.index_probes);
+        // Saturation, not wraparound, at the top of the range.
+        let big = Telemetry {
+            backend: "queryindex",
+            index_queries: u64::MAX - 3,
+            ..Telemetry::default()
+        };
+        let m = Telemetry::merge([&big, &a]);
+        assert_eq!(m.index_queries, u64::MAX);
     }
 
     #[test]

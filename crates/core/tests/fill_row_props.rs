@@ -5,7 +5,7 @@
 //! `row_view`, the borrowed slice must agree too.
 
 use monge_core::array2d::{
-    Array2d, Dense, FnArray, Negate, Plus, ReverseCols, ReverseRows, SelectCols, SelectRows,
+    Array2d, FnArray, Negate, Plus, ReverseCols, ReverseRows, SelectCols, SelectRows,
     SubArray, Transpose,
 };
 use monge_core::eval::{CachedArray, CountingArray};

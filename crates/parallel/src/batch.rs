@@ -63,6 +63,7 @@
 use std::collections::HashMap;
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rayon::prelude::*;
@@ -73,6 +74,7 @@ use monge_core::guard::{
     GuardOutcome, GuardPolicy, SolveError, Validation, ViolationAction,
 };
 use monge_core::problem::{Problem, ProblemKind, Solution, Structure, Telemetry, TuningProvenance};
+use monge_core::queryindex::QueryIndex;
 use monge_core::scratch;
 use monge_core::smawk::RowExtrema;
 use monge_core::tube::TubeExtrema;
@@ -1042,6 +1044,7 @@ pub struct SolverService<'a, T: Value> {
     max_pending: usize,
     tenant_quota: Option<usize>,
     pending_by_tenant: HashMap<String, usize>,
+    indexes: HashMap<String, HashMap<String, Arc<QueryIndex<T>>>>,
 }
 
 /// Default bound on a service's pending queue.
@@ -1063,6 +1066,7 @@ impl<'a, T: Value> SolverService<'a, T> {
             max_pending: DEFAULT_MAX_PENDING,
             tenant_quota: None,
             pending_by_tenant: HashMap::new(),
+            indexes: HashMap::new(),
         }
     }
 
@@ -1134,9 +1138,91 @@ impl<'a, T: Value> SolverService<'a, T> {
         self.pending_by_tenant.get(tenant).copied().unwrap_or(0)
     }
 
+    /// Builds (or fetches) `tenant`'s named [`QueryIndex`] over
+    /// `problem`'s array, under the service's guard policy.
+    ///
+    /// The first call for a `(tenant, name)` pair runs
+    /// [`Dispatcher::build_index_guarded`] and folds the build's
+    /// telemetry (evaluations, `index_builds`, `index_bytes`,
+    /// `index_breakpoints`, build phase) into the tenant's rollup.
+    /// Later calls return the cached handle and bump the rollup's
+    /// `index_hits` instead — the handle stays live across drains, so a
+    /// tenant preprocesses once and serves query batches indefinitely.
+    /// Handles are [`Arc`]s: clones stay valid even after
+    /// [`SolverService::drop_index`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`Dispatcher::build_index_guarded`]; a failed build caches
+    /// nothing.
+    pub fn build_index(
+        &mut self,
+        tenant: &str,
+        name: &str,
+        problem: &Problem<'_, T>,
+    ) -> Result<Arc<QueryIndex<T>>, SolveError> {
+        if let Some(ix) = self
+            .indexes
+            .get(tenant)
+            .and_then(|named| named.get(name))
+            .cloned()
+        {
+            let rollup = self.tenants.entry(tenant.to_string()).or_default();
+            rollup.index_hits = rollup.index_hits.saturating_add(1);
+            return Ok(ix);
+        }
+        let (ix, tel) = self
+            .dispatcher
+            .build_index_guarded(problem, &self.policy.guard)?;
+        self.tenants
+            .entry(tenant.to_string())
+            .or_default()
+            .accumulate(&tel);
+        let ix = Arc::new(ix);
+        self.indexes
+            .entry(tenant.to_string())
+            .or_default()
+            .insert(name.to_string(), Arc::clone(&ix));
+        Ok(ix)
+    }
+
+    /// `tenant`'s named index handle, if one has been built.
+    pub fn index(&self, tenant: &str, name: &str) -> Option<Arc<QueryIndex<T>>> {
+        self.indexes
+            .get(tenant)
+            .and_then(|named| named.get(name))
+            .cloned()
+    }
+
+    /// Evicts `tenant`'s named index, folding its unharvested query
+    /// counters into the tenant rollup first. Returns whether an index
+    /// was cached under that name. Outstanding [`Arc`] clones keep
+    /// serving; only the service's handle is dropped.
+    pub fn drop_index(&mut self, tenant: &str, name: &str) -> bool {
+        let Some(named) = self.indexes.get_mut(tenant) else {
+            return false;
+        };
+        let Some(ix) = named.remove(name) else {
+            return false;
+        };
+        if named.is_empty() {
+            self.indexes.remove(tenant);
+        }
+        let (queries, probes) = ix.take_counters();
+        let rollup = self.tenants.entry(tenant.to_string()).or_default();
+        rollup.index_queries = rollup.index_queries.saturating_add(queries);
+        rollup.index_probes = rollup.index_probes.saturating_add(probes);
+        true
+    }
+
     /// Solves everything submitted since the last drain as one batch
     /// (in submission order), folds each problem's telemetry into its
     /// tenant's rollup, and returns the per-problem outcomes.
+    ///
+    /// Also harvests every cached [`QueryIndex`]'s usage counters since
+    /// the previous drain into its tenant's `index_queries` /
+    /// `index_probes`, so rollups account for query serving alongside
+    /// solves.
     pub fn drain(&mut self) -> Vec<Result<Solution<T>, SolveError>> {
         let queue = std::mem::take(&mut self.queue);
         self.pending_by_tenant.clear();
@@ -1147,6 +1233,20 @@ impl<'a, T: Value> SolverService<'a, T> {
                 .entry(tenant.clone())
                 .or_default()
                 .accumulate(tel);
+        }
+        for (tenant, named) in &self.indexes {
+            let mut queries = 0u64;
+            let mut probes = 0u64;
+            for ix in named.values() {
+                let (q, p) = ix.take_counters();
+                queries = queries.saturating_add(q);
+                probes = probes.saturating_add(p);
+            }
+            if queries != 0 || probes != 0 {
+                let rollup = self.tenants.entry(tenant.clone()).or_default();
+                rollup.index_queries = rollup.index_queries.saturating_add(queries);
+                rollup.index_probes = rollup.index_probes.saturating_add(probes);
+            }
         }
         report.results
     }
@@ -1167,6 +1267,7 @@ mod tests {
     use super::*;
     use monge_core::array2d::{Array2d, Dense};
     use monge_core::generators::random_monge_dense;
+    use monge_core::problem::Objective;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -1526,6 +1627,76 @@ mod tests {
                 "guarded walk also skips the open circuit, got {path:?}"
             );
         }
+    }
+
+    #[test]
+    fn service_index_handles_are_cached_and_reusable_across_drains() {
+        let a = monge(24, 24, 61);
+        let p = Problem::rows(&a, Structure::Monge, Objective::Minimize);
+        let mut svc: SolverService<'_, i64> =
+            SolverService::new(BatchPolicy::default().without_calibration());
+        let ix = svc.build_index("alpha", "costs", &p).unwrap();
+        let tel = svc.tenant_telemetry("alpha").unwrap().clone();
+        assert_eq!(tel.index_builds, 1);
+        assert_eq!(tel.index_hits, 0);
+        assert_eq!(tel.index_bytes, ix.bytes());
+        assert!(tel.evaluations >= 24 * 24);
+
+        // A second build of the same name is a cache hit, not a rebuild.
+        let again = svc.build_index("alpha", "costs", &p).unwrap();
+        assert!(Arc::ptr_eq(&ix, &again));
+        let tel = svc.tenant_telemetry("alpha").unwrap().clone();
+        assert_eq!(tel.index_builds, 1);
+        assert_eq!(tel.index_hits, 1);
+
+        // Queries served between drains fold into the tenant rollup.
+        let ans = ix.query_min(3..19, 1..22).unwrap();
+        let mut best = (i64::MAX, usize::MAX, usize::MAX);
+        for i in 3..19 {
+            for j in 1..22 {
+                let v = a.entry(i, j);
+                if (v, i, j) < best {
+                    best = (v, i, j);
+                }
+            }
+        }
+        assert_eq!((ans.value, ans.row, ans.col), best);
+        ix.query_max(0..24, 0..24).unwrap();
+        svc.submit("alpha", Problem::row_minima(&a)).unwrap();
+        assert!(svc.drain().iter().all(Result::is_ok));
+        let tel = svc.tenant_telemetry("alpha").unwrap().clone();
+        assert_eq!(tel.index_queries, 2);
+        assert!(tel.index_probes > 0);
+
+        // The handle survives the drain and keeps serving; the next
+        // drain harvests only the new traffic.
+        let held = svc.index("alpha", "costs").unwrap();
+        held.query_min(0..24, 5..6).unwrap();
+        svc.drain();
+        assert_eq!(svc.tenant_telemetry("alpha").unwrap().index_queries, 3);
+
+        // drop_index harvests pending counters and evicts the handle.
+        held.query_min(1..2, 1..2).unwrap();
+        assert!(svc.drop_index("alpha", "costs"));
+        assert!(!svc.drop_index("alpha", "costs"));
+        assert!(svc.index("alpha", "costs").is_none());
+        assert_eq!(svc.tenant_telemetry("alpha").unwrap().index_queries, 4);
+        // Outstanding clones still answer after eviction.
+        held.query_min(0..1, 0..1).unwrap();
+    }
+
+    #[test]
+    fn service_index_build_failures_cache_nothing() {
+        let a = monge(8, 8, 67);
+        let p = Problem::rows(&a, Structure::Plain, Objective::Minimize);
+        let mut svc: SolverService<'_, i64> =
+            SolverService::new(BatchPolicy::default().without_calibration());
+        assert!(matches!(
+            svc.build_index("alpha", "plain", &p),
+            Err(SolveError::InvalidInput { .. })
+        ));
+        assert!(svc.index("alpha", "plain").is_none());
+        assert!(svc.tenant_telemetry("alpha").is_none());
     }
 
     #[test]

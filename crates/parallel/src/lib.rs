@@ -56,6 +56,7 @@ pub mod pram_ansv;
 pub mod pram_monge;
 pub mod pram_staircase;
 pub mod pram_tube;
+pub mod queryindex;
 pub mod rayon_monge;
 pub mod rayon_staircase;
 pub mod rayon_tube;
@@ -74,6 +75,7 @@ pub use health::{
     Admission, Clock, HealthConfig, HealthRegistry, MonotonicClock, Observation, VirtualClock,
 };
 pub use pram_monge::MinPrimitive;
+pub use queryindex::QUERYINDEX;
 pub use runtime::calibrate;
 pub use tuning::Tuning;
 pub use vector_array::VectorArray;

@@ -67,8 +67,8 @@ fn geometry_to_array_to_search() {
 fn strings_to_dist_to_tube_minima() {
     // Strings -> strip DIST matrices (Monge) -> tube-minima combination.
     let mut rng = StdRng::seed_from_u64(4);
-    let x: Vec<u8> = (0..30).map(|_| b'a' + rng.random_range(0..3)).collect();
-    let y: Vec<u8> = (0..37).map(|_| b'a' + rng.random_range(0..3)).collect();
+    let x: Vec<u8> = (0..30).map(|_| b'a' + rng.random_range(0u8..3)).collect();
+    let y: Vec<u8> = (0..37).map(|_| b'a' + rng.random_range(0u8..3)).collect();
     let c = monge::apps::string_edit::CostModel::weighted();
     let d = monge::apps::string_edit::edit_distance_dp(&x, &y, &c);
     for strips in [1, 2, 4, 7] {

@@ -1,0 +1,160 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no registry access, so the workspace patches
+//! `criterion` to this vendored implementation (see `[patch.crates-io]`
+//! in the root manifest). It compiles and runs the workspace's benches
+//! with a simple best-of-N wall-clock loop and stderr reporting — no
+//! statistics, plots, or baselines. The committed `bench-results/*.json`
+//! artifacts come from the dedicated `src/bin/*_json.rs` writers, not
+//! from this harness, so nothing downstream depends on its output.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An identifier carrying only a parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to bench closures; [`Bencher::iter`] runs and times the body.
+pub struct Bencher {
+    samples: usize,
+    best_nanos: u128,
+}
+
+impl Bencher {
+    /// Times `body` over `samples` runs, keeping the best.
+    pub fn iter<R>(&mut self, mut body: impl FnMut() -> R) {
+        // One warm-up, then timed runs.
+        black_box(body());
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(body());
+            let dt = t0.elapsed().as_nanos();
+            if dt < self.best_nanos {
+                self.best_nanos = dt;
+            }
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-bench sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    fn run<F>(&mut self, label: String, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.samples.min(10),
+            best_nanos: u128::MAX,
+        };
+        f(&mut b);
+        if b.best_nanos == u128::MAX {
+            eprintln!("{}/{label}: no measurement", self.name);
+        } else {
+            eprintln!("{}/{label}: best {} ns", self.name, b.best_nanos);
+        }
+    }
+
+    /// Benchmarks `f` with `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.name, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a parameterless closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into(), &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The harness entry point benches receive as `&mut Criterion`.
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a parameterless closure outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, &mut f);
+        group.finish();
+        self
+    }
+}
+
+/// Declares a bench group function running each listed bench.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,346 @@
+//! The narrow parallel-iterator surface this workspace uses, executed
+//! by materializing items and fanning chunks out over scoped threads.
+//!
+//! Chains are lazy until a terminal (`collect`, `reduce_with`,
+//! `for_each`, `max`, `min`): the terminal drives the chain, splitting
+//! the item list into one contiguous chunk per effective worker so
+//! results keep their input order.
+
+use crate::{current_num_threads, join};
+use std::ops::Range;
+
+/// Applies `f` to every item, preserving order, using up to the
+/// current effective thread count.
+fn parallel_map<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = current_num_threads().clamp(1, items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let len = items.len();
+    let chunk = len.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut rest = items;
+    while rest.len() > chunk {
+        let tail = rest.split_off(chunk);
+        chunks.push(rest);
+        rest = tail;
+    }
+    chunks.push(rest);
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(chunks.len());
+        let mut iter = chunks.into_iter();
+        let first = iter.next().expect("at least one chunk");
+        for c in iter {
+            handles.push(s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()));
+        }
+        let mut out: Vec<R> = first.into_iter().map(f).collect();
+        for h in handles {
+            match h.join() {
+                Ok(mut part) => out.append(&mut part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        out
+    })
+}
+
+/// Balanced adjacent-pair reduction (parallel via [`join`]), matching
+/// rayon's guarantee that `reduce_with` only combines neighbors.
+fn tree_reduce<T, OP>(mut items: Vec<T>, op: &OP) -> Option<T>
+where
+    T: Send,
+    OP: Fn(T, T) -> T + Sync,
+{
+    match items.len() {
+        0 => None,
+        1 => items.pop(),
+        len => {
+            let right = items.split_off(len / 2);
+            let (l, r) = join(|| tree_reduce(items, op), || tree_reduce(right, op));
+            match (l, r) {
+                (Some(a), Some(b)) => Some(op(a, b)),
+                (a, b) => a.or(b),
+            }
+        }
+    }
+}
+
+/// A lazily-composed parallel iterator.
+pub trait ParallelIterator: Sized {
+    /// The element type the chain yields.
+    type Item: Send;
+
+    /// Executes the chain, returning items in order.
+    fn drive(self) -> Vec<Self::Item>;
+
+    /// Maps every item through `f`.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Maps every item to a serial iterator and concatenates the
+    /// results in order.
+    fn flat_map_iter<U, F>(self, f: F) -> FlatMapIter<Self, F>
+    where
+        U: IntoIterator,
+        U::Item: Send,
+        F: Fn(Self::Item) -> U + Sync + Send,
+    {
+        FlatMapIter { base: self, f }
+    }
+
+    /// Collects into `C` (in practice, `Vec<_>`).
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_vec(self.drive())
+    }
+
+    /// Reduces adjacent results with `op`; `None` on an empty chain.
+    fn reduce_with<OP>(self, op: OP) -> Option<Self::Item>
+    where
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
+    {
+        tree_reduce(self.drive(), &op)
+    }
+
+    /// Runs `f` on every item.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        let _ = self.map(f).drive();
+    }
+
+    /// The maximum item, `None` on an empty chain.
+    fn max(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        self.drive().into_iter().max()
+    }
+
+    /// The minimum item, `None` on an empty chain.
+    fn min(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        self.drive().into_iter().min()
+    }
+}
+
+/// A materialized item list at the head of a chain.
+pub struct VecIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecIter<T> {
+    type Item = T;
+
+    fn drive(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// The `map` adaptor.
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, R, F> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(P::Item) -> R + Sync + Send,
+{
+    type Item = R;
+
+    fn drive(self) -> Vec<R> {
+        parallel_map(self.base.drive(), &self.f)
+    }
+}
+
+/// The `flat_map_iter` adaptor.
+pub struct FlatMapIter<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, U, F> ParallelIterator for FlatMapIter<P, F>
+where
+    P: ParallelIterator,
+    U: IntoIterator,
+    U::Item: Send,
+    F: Fn(P::Item) -> U + Sync + Send,
+{
+    type Item = U::Item;
+
+    fn drive(self) -> Vec<U::Item> {
+        let f = self.f;
+        parallel_map(self.base.drive(), &|x| {
+            f(x).into_iter().collect::<Vec<U::Item>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+}
+
+/// Conversion into a parallel iterator (by value).
+pub trait IntoParallelIterator {
+    /// The chain head type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The element type.
+    type Item: Send;
+    /// Builds the chain head.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = VecIter<T>;
+    type Item = T;
+
+    fn into_par_iter(self) -> VecIter<T> {
+        VecIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = VecIter<usize>;
+    type Item = usize;
+
+    fn into_par_iter(self) -> VecIter<usize> {
+        VecIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for std::ops::RangeInclusive<usize> {
+    type Iter = VecIter<usize>;
+    type Item = usize;
+
+    fn into_par_iter(self) -> VecIter<usize> {
+        VecIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for Range<u64> {
+    type Iter = VecIter<u64>;
+    type Item = u64;
+
+    fn into_par_iter(self) -> VecIter<u64> {
+        VecIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelIterator for &'a [T] {
+    type Iter = VecIter<&'a T>;
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> VecIter<&'a T> {
+        VecIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelIterator for &'a Vec<T> {
+    type Iter = VecIter<&'a T>;
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> VecIter<&'a T> {
+        VecIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// `par_iter()` on borrowed collections, mirroring rayon's blanket.
+pub trait IntoParallelRefIterator<'a> {
+    /// The chain head type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The element type (a reference).
+    type Item: Send + 'a;
+    /// Builds the chain head over `&self`.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoParallelIterator,
+{
+    type Iter = <&'a C as IntoParallelIterator>::Iter;
+    type Item = <&'a C as IntoParallelIterator>::Item;
+
+    fn par_iter(&'a self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// Collection types a chain can `collect` into.
+pub trait FromParallelIterator<T> {
+    /// Builds the collection from driven items (already in order).
+    fn from_par_vec(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_par_vec(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reduce_with_combines_adjacent() {
+        let strings: Vec<String> = ["a", "b", "c", "d", "e"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let combined = strings
+            .into_par_iter()
+            .reduce_with(|a, b| format!("{a}{b}"))
+            .unwrap();
+        assert_eq!(combined, "abcde");
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = crate::join(|| 1 + 1, || "x".repeat(3));
+        assert_eq!(a, 2);
+        assert_eq!(b, "xxx");
+    }
+
+    #[test]
+    fn install_pins_thread_count() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        pool.install(|| assert_eq!(crate::current_num_threads(), 1));
+    }
+}

@@ -1,0 +1,235 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build container has no registry access, so the workspace patches
+//! `rayon` to this vendored implementation (see `[patch.crates-io]` in
+//! the root manifest). It keeps rayon's semantics on the surface this
+//! workspace actually uses — [`join`], [`broadcast`],
+//! [`current_num_threads`], [`ThreadPoolBuilder`]/[`ThreadPool::install`],
+//! and parallel iterators with `map`/`collect`/`reduce_with`/`for_each` —
+//! executing on scoped `std::thread` workers instead of a work-stealing
+//! pool.
+//!
+//! Differences from real rayon, all benign for this workspace:
+//! - [`join`] spawns a scoped thread per fork (with a process-wide live
+//!   cap, falling back to sequential), so fine-grained joins cost more
+//!   than a work-stealing deque. The engines all have sequential-grain
+//!   cutoffs that keep fork counts small.
+//! - [`ThreadPool::install`] pins the *calling thread's* effective
+//!   thread count rather than moving work onto a dedicated pool. Since
+//!   a 1-thread install runs everything inline, "sequential baseline"
+//!   measurements keep their meaning.
+//! - `reduce_with` combines adjacent results in a balanced tree, which
+//!   matches rayon's adjacency guarantee.
+
+use std::panic::resume_unwind;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Live spawned-thread cap, above which forks run sequentially.
+const MAX_LIVE_THREADS: usize = 128;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static INSTALLED_THREADS: std::cell::Cell<Option<usize>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// The number of worker threads the current scope should assume.
+pub fn current_num_threads() -> usize {
+    INSTALLED_THREADS.with(|c| c.get()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+struct LiveGuard;
+
+impl LiveGuard {
+    /// Claims a live-thread slot; `None` when at the cap.
+    fn claim() -> Option<LiveGuard> {
+        let prev = LIVE.fetch_add(1, Ordering::Relaxed);
+        if prev >= MAX_LIVE_THREADS {
+            LIVE.fetch_sub(1, Ordering::Relaxed);
+            None
+        } else {
+            Some(LiveGuard)
+        }
+    }
+}
+
+impl Drop for LiveGuard {
+    fn drop(&mut self) {
+        LIVE.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Runs both closures, potentially in parallel, returning both results.
+/// Panics in either closure propagate after both complete, like rayon.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    let Some(_guard) = LiveGuard::claim() else {
+        return (a(), b());
+    };
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        match hb.join() {
+            Ok(rb) => (ra, rb),
+            Err(payload) => resume_unwind(payload),
+        }
+    })
+}
+
+/// Per-invocation context handed to [`broadcast`] closures.
+pub struct BroadcastContext<'a> {
+    index: usize,
+    num_threads: usize,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl BroadcastContext<'_> {
+    /// This worker's index in `0..num_threads()`.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// How many workers the broadcast ran on.
+    pub fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Runs `op` once on every worker thread, returning the results in
+/// worker order.
+pub fn broadcast<OP, R>(op: OP) -> Vec<R>
+where
+    OP: Fn(BroadcastContext<'_>) -> R + Sync,
+    R: Send,
+{
+    let n = current_num_threads().max(1);
+    if n == 1 {
+        return vec![op(BroadcastContext {
+            index: 0,
+            num_threads: 1,
+            _marker: std::marker::PhantomData,
+        })];
+    }
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (1..n)
+            .map(|index| {
+                let op = &op;
+                s.spawn(move || {
+                    op(BroadcastContext {
+                        index,
+                        num_threads: n,
+                        _marker: std::marker::PhantomData,
+                    })
+                })
+            })
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        out.push(op(BroadcastContext {
+            index: 0,
+            num_threads: n,
+            _marker: std::marker::PhantomData,
+        }));
+        for h in handles {
+            match h.join() {
+                Ok(r) => out.push(r),
+                Err(payload) => resume_unwind(payload),
+            }
+        }
+        out
+    })
+}
+
+/// Error from [`ThreadPoolBuilder::build`]; this implementation never
+/// produces one, but the type keeps call sites source-compatible.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`] with a fixed worker count.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Starts a builder with the default worker count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count (`0` means the default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            }),
+        })
+    }
+}
+
+/// A handle that scopes work to a fixed effective thread count.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count as the effective
+    /// parallelism for joins and parallel iterators it performs.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        let prev = INSTALLED_THREADS.with(|c| c.replace(Some(self.num_threads)));
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(prev);
+        op()
+    }
+
+    /// This pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+pub mod iter;
+
+/// The customary glob import, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::iter::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+}
